@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation: sensitivity of Cooper's desiderata to profiling noise.
+ *
+ * Runs the full pipeline (sparse profiling, collaborative filtering,
+ * SMR matching) at increasing measurement-noise levels and reports
+ * prediction accuracy, fairness, and stability. Expected shape:
+ * desiderata degrade gracefully — the paper notes stable policies
+ * deliver the same desiderata with oracular knowledge or predicted
+ * preferences.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/framework.hh"
+#include "game/fairness.hh"
+#include "stats/online.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "workload/population.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("agents", "500", "population size per trial");
+    flags.declare("trials", "5", "trial populations per noise level");
+    flags.declare("seed", "1", "base RNG seed");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return bench::runHarness(
+        "Ablation: desiderata vs profiling-noise level", [&] {
+        const Catalog catalog = Catalog::paperTableI();
+        const InterferenceModel model(catalog);
+        const auto agents =
+            static_cast<std::size_t>(flags.getInt("agents"));
+        const auto trials =
+            static_cast<std::size_t>(flags.getInt("trials"));
+        const auto seed =
+            static_cast<std::uint64_t>(flags.getInt("seed"));
+
+        Table table({"noise_sigma", "prediction_accuracy",
+                     "fairness_corr", "blocking_pairs", "mean_penalty"});
+        for (double sigma : {0.0, 0.002, 0.004, 0.01, 0.02}) {
+            OnlineStats acc, fair, blocking, penalty;
+            for (std::size_t trial = 0; trial < trials; ++trial) {
+                FrameworkConfig config;
+                config.policy = "SMR";
+                config.sampleRatio = 0.25;
+                config.noise.sigma = sigma;
+                CooperFramework framework(catalog, model, config,
+                                          seed + trial * 17);
+                Rng rng(seed + trial * 29 + 5);
+                const auto population = samplePopulation(
+                    catalog, agents, MixKind::Uniform, rng);
+                const EpochReport report =
+                    framework.runEpoch(population);
+
+                acc.add(report.predictionAccuracy);
+                blocking.add(static_cast<double>(report.blockingPairs));
+                penalty.add(report.meanPenalty);
+
+                ColocationInstance instance =
+                    framework.buildInstance(population);
+                const auto rows = penaltiesByType(
+                    catalog, population, report.matching,
+                    [&](AgentId a, AgentId b) {
+                        return instance.trueDisutility(a, b);
+                    });
+                fair.add(fairness(rows).rankCorrelation);
+            }
+            table.addRow({Table::num(sigma, 3),
+                          Table::num(acc.mean(), 3),
+                          Table::num(fair.mean(), 3),
+                          Table::num(blocking.mean(), 1),
+                          Table::num(penalty.mean(), 4)});
+        }
+        table.print(std::cout);
+        std::cout << "\nExpected shape: fairness and performance hold "
+                     "as noise grows; accuracy\nand stability degrade "
+                     "gracefully.\n";
+    });
+}

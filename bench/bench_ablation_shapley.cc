@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: Monte-Carlo Shapley error vs permutation count.
+ *
+ * Exact Shapley is exponential in the number of agents; Cooper's
+ * fairness goal only needs the ordering and rough magnitudes, which
+ * sampling provides cheaply. This harness quantifies the trade-off on
+ * a 12-agent interference game.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "game/shapley.hh"
+#include "stats/online.hh"
+#include "util/cli.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("agents", "12", "interference-game size (<= 20)");
+    flags.declare("repeats", "10", "estimates per sample count");
+    flags.declare("seed", "1", "base RNG seed");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return bench::runHarness(
+        "Ablation: sampled Shapley accuracy vs permutation count", [&] {
+        const auto n = static_cast<std::size_t>(flags.getInt("agents"));
+        const auto repeats =
+            static_cast<std::size_t>(flags.getInt("repeats"));
+
+        std::vector<double> interference;
+        for (std::size_t i = 0; i < n; ++i)
+            interference.push_back(0.5 + static_cast<double>(i));
+        const auto v = interferenceGame(interference);
+        const auto exact = shapleyExact(n, v);
+
+        Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+        Table table({"samples", "max_abs_error", "mean_abs_error",
+                     "order_preserved"});
+        for (std::size_t samples : {10u, 50u, 100u, 500u, 1000u,
+                                    5000u}) {
+            OnlineStats max_err, mean_err;
+            std::size_t ordered = 0;
+            for (std::size_t r = 0; r < repeats; ++r) {
+                const auto est = shapleySampled(n, v, samples, rng);
+                double worst = 0.0, total = 0.0;
+                bool monotone = true;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double err = std::abs(est[i] - exact[i]);
+                    worst = std::max(worst, err);
+                    total += err;
+                    if (i > 0 && est[i] < est[i - 1])
+                        monotone = false;
+                }
+                max_err.add(worst);
+                mean_err.add(total / static_cast<double>(n));
+                if (monotone)
+                    ++ordered;
+            }
+            table.addRow({Table::num(static_cast<long long>(samples)),
+                          Table::num(max_err.mean(), 4),
+                          Table::num(mean_err.mean(), 4),
+                          Table::num(static_cast<long long>(ordered)) +
+                              "/" +
+                              Table::num(
+                                  static_cast<long long>(repeats))});
+        }
+        table.print(std::cout);
+        std::cout << "\nExpected shape: error shrinks roughly with "
+                     "1/sqrt(samples); a few hundred\npermutations "
+                     "already preserve the contentiousness ordering "
+                     "that fair\nattribution needs.\n";
+    });
+}

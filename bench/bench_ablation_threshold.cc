@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: threshold colocation vs greedy (Section IV.C).
+ *
+ * Threshold schemes colocate only when both penalties stay under a
+ * tolerance and otherwise add a machine. With no machines held in
+ * reserve, GR performs at least as well; this harness sweeps the
+ * tolerance and reports machines used, jobs left running alone, and
+ * mean penalty.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/experiment.hh"
+#include "stats/online.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("agents", "1000", "population size per trial");
+    flags.declare("trials", "5", "trial populations");
+    flags.declare("mix", "Uniform",
+                  "workload mix: Uniform|Beta-Low|Gaussian|Beta-High");
+    flags.declare("seed", "1", "base RNG seed");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return bench::runHarness(
+        "Ablation: threshold tolerance vs greedy colocation", [&] {
+        const Catalog catalog = Catalog::paperTableI();
+        const InterferenceModel model(catalog);
+        const auto agents =
+            static_cast<std::size_t>(flags.getInt("agents"));
+        const auto trials =
+            static_cast<std::size_t>(flags.getInt("trials"));
+        MixKind mix = MixKind::Uniform;
+        for (MixKind candidate : allMixes())
+            if (mixName(candidate) == flags.get("mix"))
+                mix = candidate;
+
+        Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+        Table table({"policy", "mean_penalty", "machines_used",
+                     "jobs_alone"});
+
+        // Greedy baseline with exactly n/2 machines.
+        {
+            OnlineStats penalty;
+            Rng gr_rng(11);
+            GreedyPolicy gr;
+            for (std::size_t trial = 0; trial < trials; ++trial) {
+                const auto instance =
+                    sampleInstance(catalog, model, agents, mix, rng);
+                const PolicyRun run = runPolicy(gr, instance, gr_rng);
+                penalty.add(run.meanPenalty);
+            }
+            table.addRow({"GR", Table::num(penalty.mean(), 4),
+                          Table::num(static_cast<long long>(agents / 2)),
+                          "0"});
+        }
+
+        for (double tolerance : {0.02, 0.05, 0.10, 0.20}) {
+            OnlineStats penalty, machines, alone;
+            Rng th_rng(13);
+            ThresholdPolicy th(tolerance);
+            for (std::size_t trial = 0; trial < trials; ++trial) {
+                const auto instance =
+                    sampleInstance(catalog, model, agents, mix, rng);
+                const PolicyRun run = runPolicy(th, instance, th_rng);
+                penalty.add(run.meanPenalty);
+                const std::size_t pairs = run.matching.pairCount();
+                const std::size_t singles = agents - 2 * pairs;
+                machines.add(static_cast<double>(pairs + singles));
+                alone.add(static_cast<double>(singles));
+            }
+            table.addRow({"TH(" + Table::num(tolerance, 2) + ")",
+                          Table::num(penalty.mean(), 4),
+                          Table::num(machines.mean(), 1),
+                          Table::num(alone.mean(), 1)});
+        }
+        table.print(std::cout);
+        std::cout << "\nExpected shape: tighter tolerances bound "
+                     "penalties only by spending\nextra machines; with "
+                     "machines fixed at n/2, GR's mean penalty is\n"
+                     "competitive, matching Section IV.C's argument.\n";
+    });
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ */
+
+#ifndef COOPER_BENCH_COMMON_HH
+#define COOPER_BENCH_COMMON_HH
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+namespace cooper::bench {
+
+/** Run a harness body with uniform banner and error handling. */
+template <typename Fn>
+int
+runHarness(const std::string &title, Fn &&body)
+{
+    std::cout << "=====================================================\n"
+              << title << "\n"
+              << "=====================================================\n";
+    try {
+        body();
+    } catch (const std::exception &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    }
+    std::cout << "\n";
+    return 0;
+}
+
+} // namespace cooper::bench
+
+#endif // COOPER_BENCH_COMMON_HH

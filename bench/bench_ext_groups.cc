@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Extension (Section VIII): colocation with more than two co-runners
+ * via hierarchical stable matching.
+ *
+ * Compares hierarchical (match applications, then match pairs),
+ * greedy, and random groupings at group sizes 2 and 4 on performance
+ * (mean penalty) and fairness (penalty-vs-demand rank correlation).
+ * Expected shape: the hierarchical heuristic retains the fairness of
+ * pairwise stable matching while greedy/random groupings do not;
+ * penalties grow with group size for everyone.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/experiment.hh"
+#include "core/groups.hh"
+#include "stats/correlation.hh"
+#include "stats/online.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace cooper;
+
+struct GroupScore
+{
+    double meanPenalty = 0.0;
+    double fairness = 0.0;
+};
+
+GroupScore
+score(const ColocationInstance &instance, const InterferenceModel &model,
+      const Grouping &grouping)
+{
+    const auto penalties = trueGroupPenalties(instance, model, grouping);
+    std::vector<double> demand;
+    demand.reserve(instance.agents());
+    for (AgentId a = 0; a < instance.agents(); ++a)
+        demand.push_back(
+            instance.catalog().job(instance.typeOf(a)).gbps);
+    GroupScore out;
+    double acc = 0.0;
+    for (double p : penalties)
+        acc += p;
+    out.meanPenalty = acc / static_cast<double>(penalties.size());
+    out.fairness = spearman(demand, penalties);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("agents", "400", "population size per trial");
+    flags.declare("trials", "5", "trial populations");
+    flags.declare("seed", "1", "base RNG seed");
+    flags.declare("csv", "", "optional path to also write CSV");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return bench::runHarness(
+        "Extension: hierarchical matching for group colocation", [&] {
+        const Catalog catalog = Catalog::paperTableI();
+        const InterferenceModel model(catalog);
+        const auto agents =
+            static_cast<std::size_t>(flags.getInt("agents"));
+        const auto trials =
+            static_cast<std::size_t>(flags.getInt("trials"));
+
+        Table table({"group_size", "scheme", "mean_penalty",
+                     "fairness_corr"});
+        Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+
+        for (std::size_t size : {std::size_t(2), std::size_t(4)}) {
+            OnlineStats h_pen, h_fair, g_pen, g_fair, r_pen, r_fair;
+            for (std::size_t trial = 0; trial < trials; ++trial) {
+                const auto instance = sampleInstance(
+                    catalog, model, agents, MixKind::Uniform, rng);
+                Rng rng_h = rng.split();
+                Rng rng_g = rng.split();
+                Rng rng_r = rng.split();
+
+                const GroupScore h = score(
+                    instance, model,
+                    hierarchicalGroups(instance, size, rng_h));
+                const GroupScore g = score(
+                    instance, model, greedyGroups(instance, size, rng_g));
+                const GroupScore r = score(
+                    instance, model, randomGroups(instance, size, rng_r));
+                h_pen.add(h.meanPenalty);
+                h_fair.add(h.fairness);
+                g_pen.add(g.meanPenalty);
+                g_fair.add(g.fairness);
+                r_pen.add(r.meanPenalty);
+                r_fair.add(r.fairness);
+            }
+            const auto size_txt =
+                Table::num(static_cast<long long>(size));
+            table.addRow({size_txt, "hierarchical",
+                          Table::num(h_pen.mean(), 4),
+                          Table::num(h_fair.mean(), 3)});
+            table.addRow({size_txt, "greedy",
+                          Table::num(g_pen.mean(), 4),
+                          Table::num(g_fair.mean(), 3)});
+            table.addRow({size_txt, "random",
+                          Table::num(r_pen.mean(), 4),
+                          Table::num(r_fair.mean(), 3)});
+        }
+        table.print(std::cout);
+        std::cout << "\nExpected shape: penalties grow with group size "
+                     "for every scheme; the\nhierarchical heuristic "
+                     "keeps penalty-vs-demand correlation high while\n"
+                     "greedy and random groupings lose it.\n";
+
+        if (const std::string path = flags.get("csv"); !path.empty())
+            table.writeCsv(path);
+    });
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension: the colocation game in deployment (Section III.A) —
+ * continuous arrivals, periodic batching, and queueing on a fixed
+ * machine pool.
+ *
+ * Sweeps offered load and compares GR (performance-centric) against
+ * SMR (stable) on queueing delay, slowdown, and utilization. Expected
+ * shape: the stable policy's throughput metrics track the greedy
+ * baseline across the load range — fairness costs little even in a
+ * closed-loop deployment — until both saturate at the same knee.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/scheduler.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("machines", "10", "chip multiprocessors");
+    flags.declare("epoch", "300", "scheduling period (s)");
+    flags.declare("horizon", "20000", "arrival window (s)");
+    flags.declare("seed", "1", "base RNG seed");
+    flags.declare("csv", "", "optional path to also write CSV");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return bench::runHarness(
+        "Extension: scheduler under load, GR vs SMR", [&] {
+        const Catalog catalog = Catalog::paperTableI();
+        const InterferenceModel model(catalog);
+
+        Table table({"arrivals_per_hour", "policy", "mean_wait_s",
+                     "mean_slowdown", "utilization", "unfinished"});
+        for (double per_hour : {30.0, 90.0, 180.0, 360.0}) {
+            for (const char *policy : {"GR", "SMR"}) {
+                SchedulerConfig config;
+                config.policy = policy;
+                config.machines = static_cast<std::size_t>(
+                    flags.getInt("machines"));
+                config.epochSec =
+                    static_cast<double>(flags.getInt("epoch"));
+                config.arrivalRatePerSec = per_hour / 3600.0;
+
+                EpochScheduler scheduler(
+                    catalog, model, config,
+                    static_cast<std::uint64_t>(flags.getInt("seed")));
+                const ScheduleTrace trace = scheduler.run(
+                    static_cast<double>(flags.getInt("horizon")),
+                    10000.0);
+
+                table.addRow(
+                    {Table::num(per_hour, 0), policy,
+                     Table::num(trace.meanWaitSec, 1),
+                     Table::num(trace.meanSlowdown, 2),
+                     Table::num(trace.utilization, 3),
+                     Table::num(static_cast<long long>(
+                         trace.unfinished))});
+            }
+        }
+        table.print(std::cout);
+        std::cout << "\nExpected shape: SMR's wait/slowdown track GR "
+                     "across the load range;\nboth saturate at the "
+                     "same knee. Stability costs little throughput "
+                     "even\nin the closed-loop deployment setting.\n";
+
+        if (const std::string path = flags.get("csv"); !path.empty())
+            table.writeCsv(path);
+    });
+}

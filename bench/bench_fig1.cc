@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 1: unfair colocations show no link between contentiousness
+ * and penalties.
+ *
+ * 1000 jobs drawn randomly from the pool share last-level cache and
+ * memory bandwidth in pairs. The left panel is each job's bandwidth
+ * demand; the middle and right panels are throughput penalties under
+ * the greedy (GR) and complementary (CO) policies, averaged over the
+ * colocations that include the job. Expected shape: Correlation, the
+ * most contentious job, is penalized no more than Canneal or Dedup
+ * under GR; Dedup, among the least contentious, is penalized more
+ * than most under CO.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/experiment.hh"
+#include "stats/online.hh"
+#include "util/chart.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("agents", "1000", "population size per trial");
+    flags.declare("trials", "5", "trial populations to average over");
+    flags.declare("seed", "1", "base RNG seed");
+    flags.declare("csv", "", "optional path to also write CSV");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return bench::runHarness(
+        "Figure 1: contentiousness vs penalty under GR and CO", [&] {
+        const Catalog catalog = Catalog::paperTableI();
+        const InterferenceModel model(catalog);
+        const auto agents =
+            static_cast<std::size_t>(flags.getInt("agents"));
+        const auto trials =
+            static_cast<std::size_t>(flags.getInt("trials"));
+
+        GreedyPolicy gr;
+        ComplementaryPolicy co;
+        std::vector<OnlineStats> gr_stats(catalog.size());
+        std::vector<OnlineStats> co_stats(catalog.size());
+
+        Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+            const auto instance = sampleInstance(
+                catalog, model, agents, MixKind::Uniform, rng);
+            for (auto *policy :
+                 std::initializer_list<const ColocationPolicy *>{
+                     &gr, &co}) {
+                Rng policy_rng = rng.split();
+                const PolicyRun run =
+                    runPolicy(*policy, instance, policy_rng);
+                auto &stats =
+                    policy == static_cast<const ColocationPolicy *>(&gr)
+                        ? gr_stats
+                        : co_stats;
+                for (AgentId a = 0; a < instance.agents(); ++a)
+                    if (run.matching.isMatched(a))
+                        stats[instance.typeOf(a)].add(run.penalties[a]);
+            }
+        }
+
+        Table table({"job", "bandwidth_GBps", "GR_penalty",
+                     "CO_penalty"});
+        std::vector<Bar> demand_bars, gr_bars, co_bars;
+        for (const std::string &name : Catalog::figureJobNames()) {
+            const JobType &job = catalog.jobByName(name);
+            table.addRow({name, Table::num(job.gbps, 2),
+                          Table::num(gr_stats[job.id].mean(), 4),
+                          Table::num(co_stats[job.id].mean(), 4)});
+            demand_bars.push_back(Bar{name, job.gbps});
+            gr_bars.push_back(Bar{name, gr_stats[job.id].mean()});
+            co_bars.push_back(Bar{name, co_stats[job.id].mean()});
+        }
+        table.print(std::cout);
+        std::cout << "\n"
+                  << renderBarChart("Memory bandwidth (GB/s)",
+                                    demand_bars)
+                  << "\n"
+                  << renderBarChart("Greedy (GR) throughput penalty",
+                                    gr_bars)
+                  << "\n"
+                  << renderBarChart(
+                         "Complementary (CO) throughput penalty",
+                         co_bars);
+
+        if (const std::string path = flags.get("csv"); !path.empty())
+            table.writeCsv(path);
+    });
+}

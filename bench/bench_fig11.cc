@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 11: performance penalties for varied colocation policies and
+ * workload mixes (Uniform, Beta-Low, Gaussian, Beta-High).
+ *
+ * Pools per-agent penalties across trial populations and reports the
+ * distribution per (mix, policy). Expected shape: stable policies
+ * perform within a few percent of GR on every mix; penalties grow as
+ * the mix skews toward memory-intensive jobs, with Beta-High the
+ * worst case, where SMP performs best by preventing contentious jobs
+ * from matching each other.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "core/experiment.hh"
+#include "stats/descriptive.hh"
+#include "util/chart.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("agents", "1000", "population size per trial");
+    flags.declare("trials", "5", "trial populations per mix");
+    flags.declare("seed", "1", "base RNG seed");
+    flags.declare("csv", "", "optional path to also write CSV");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return bench::runHarness(
+        "Figure 11: penalty distributions by policy and workload mix",
+        [&] {
+        const Catalog catalog = Catalog::paperTableI();
+        const InterferenceModel model(catalog);
+        const auto agents =
+            static_cast<std::size_t>(flags.getInt("agents"));
+        const auto trials =
+            static_cast<std::size_t>(flags.getInt("trials"));
+        const auto policies = figurePolicies();
+
+        Table table({"mix", "policy", "mean", "median", "q3",
+                     "whisker_high"});
+        Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+
+        for (MixKind mix : allMixes()) {
+            std::map<std::string, std::vector<double>> pooled;
+            for (std::size_t trial = 0; trial < trials; ++trial) {
+                const auto instance =
+                    sampleInstance(catalog, model, agents, mix, rng);
+                for (const auto &policy : policies) {
+                    Rng policy_rng = rng.split();
+                    const PolicyRun run =
+                        runPolicy(*policy, instance, policy_rng);
+                    auto &sink = pooled[policy->name()];
+                    sink.insert(sink.end(), run.penalties.begin(),
+                                run.penalties.end());
+                }
+            }
+            std::vector<std::string> labels;
+            std::vector<BoxStats> boxes;
+            for (const auto &policy : policies) {
+                const auto &samples = pooled[policy->name()];
+                // The paper draws whiskers at 3x IQR past the
+                // quartiles.
+                const BoxStats box = boxStats(samples, 3.0);
+                table.addRow({mixName(mix), policy->name(),
+                              Table::num(mean(samples), 4),
+                              Table::num(box.median, 4),
+                              Table::num(box.q3, 4),
+                              Table::num(box.whiskerHigh, 4)});
+                labels.push_back(policy->name());
+                boxes.push_back(box);
+            }
+            std::cout << renderBoxplots(mixName(mix) +
+                                            ": per-agent penalties",
+                                        labels, boxes)
+                      << "\n";
+        }
+        table.print(std::cout);
+        std::cout
+            << "\nExpected shape: stable policies (S*) track GR within "
+               "a few percent on\nevery mix; Beta-High is hardest and "
+               "favors SMP, whose partition prevents\ncontentious jobs "
+               "from pairing with each other.\n";
+
+        if (const std::string path = flags.get("csv"); !path.empty())
+            table.writeCsv(path);
+    });
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 12: preference-prediction accuracy (Equation 2) as the
+ * portion of sampled colocation profiles varies, for one and two
+ * predictor iterations.
+ *
+ * The profiler's fully measured matrix defines each agent's true
+ * preference list; the predictor sees a sampled subset of its cells.
+ * Expected shape: accuracy is poor near 20% sampling, jumps at 25%
+ * (~83% in the paper), and climbs slowly toward ~95% at 75%; the
+ * second iteration helps most at low sampling ratios.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cf/accuracy.hh"
+#include "cf/item_knn.hh"
+#include "cf/subsample.hh"
+#include "sim/profiler.hh"
+#include "stats/online.hh"
+#include "util/chart.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "workload/catalog.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("trials", "10", "trials per sampling ratio");
+    flags.declare("seed", "1", "base RNG seed");
+    flags.declare("csv", "", "optional path to also write CSV");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return bench::runHarness(
+        "Figure 12: prediction accuracy vs portion of sampled profiles",
+        [&] {
+        const Catalog catalog = Catalog::paperTableI();
+        const InterferenceModel model(catalog);
+        const std::size_t n = catalog.size();
+        const auto trials =
+            static_cast<std::size_t>(flags.getInt("trials"));
+        const auto seed =
+            static_cast<std::uint64_t>(flags.getInt("seed"));
+
+        const std::vector<double> ratios{0.10, 0.15, 0.20, 0.25, 0.30,
+                                         0.40, 0.50, 0.60, 0.75, 0.90};
+
+        // Columns: the paper's pure item-based predictor with one and
+        // two iterations, plus this implementation's bidirectional
+        // blend (the framework default).
+        Table table({"sample_ratio", "item_1_iter", "item_2_iter",
+                     "bidirectional"});
+        std::vector<Bar> bars;
+        for (double ratio : ratios) {
+            OnlineStats one, two, blend;
+            for (std::size_t t = 0; t < trials; ++t) {
+                SystemProfiler profiler(model, NoiseConfig{},
+                                        seed + t * 101);
+                const SparseMatrix full = profiler.sampleProfiles(1.0);
+                std::vector<std::vector<double>> truth(
+                    n, std::vector<double>(n, 0.0));
+                for (std::size_t i = 0; i < n; ++i)
+                    for (std::size_t j = 0; j < n; ++j)
+                        truth[i][j] = full.at(i, j);
+
+                Rng rng(seed * 977 + t * 13 + 1);
+                const SparseMatrix sparse =
+                    subsampleSymmetric(full, ratio, 2, rng);
+
+                for (std::size_t iters : {std::size_t(1),
+                                          std::size_t(2)}) {
+                    ItemKnnConfig config;
+                    config.iterations = iters;
+                    config.bidirectional = false;
+                    const Prediction p =
+                        ItemKnnPredictor(config).predict(sparse);
+                    const double acc =
+                        preferenceAccuracy(truth, p.dense);
+                    (iters == 1 ? one : two).add(acc);
+                }
+                ItemKnnConfig config;
+                const Prediction p =
+                    ItemKnnPredictor(config).predict(sparse);
+                blend.add(preferenceAccuracy(truth, p.dense));
+            }
+            table.addRow({Table::num(ratio, 2),
+                          Table::num(100.0 * one.mean(), 1),
+                          Table::num(100.0 * two.mean(), 1),
+                          Table::num(100.0 * blend.mean(), 1)});
+            bars.push_back(Bar{"ratio " + Table::num(ratio, 2),
+                               100.0 * two.mean()});
+        }
+        table.print(std::cout);
+        std::cout << "\n"
+                  << renderBarChart(
+                         "% correct preference predictions "
+                         "(item-based, two iterations)",
+                         bars)
+                  << "\nPaper: ~83% at 25% sampling rising to ~95% at "
+                     "75%; error is\nunacceptably high at 20%, falls "
+                     "quickly with 25%, slowly beyond 30%.\n";
+
+        if (const std::string path = flags.get("csv"); !path.empty())
+            table.writeCsv(path);
+    });
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 13: scalability analysis — SMR fairness as the number of
+ * agents grows (10, 100, 1000).
+ *
+ * Small populations lack the diversity to satisfy preferences, so the
+ * link between contentiousness and penalty is weak; larger populations
+ * strengthen the correlation and shrink its variance. Cooper is more
+ * effective for larger systems.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/experiment.hh"
+#include "stats/descriptive.hh"
+#include "stats/online.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("trials", "20", "trial populations per size");
+    flags.declare("seed", "1", "base RNG seed");
+    flags.declare("csv", "", "optional path to also write CSV");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return bench::runHarness(
+        "Figure 13: SMR fairness vs population size", [&] {
+        const Catalog catalog = Catalog::paperTableI();
+        const InterferenceModel model(catalog);
+        const auto trials =
+            static_cast<std::size_t>(flags.getInt("trials"));
+        const std::vector<std::size_t> sizes{10, 100, 1000};
+
+        StableMarriageRandomPolicy smr;
+        Table table({"population", "fairness_corr_mean",
+                     "fairness_corr_stddev", "penalty_stddev_mean"});
+
+        Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+        for (std::size_t size : sizes) {
+            OnlineStats corr_stats;
+            OnlineStats spread_stats;
+            for (std::size_t trial = 0; trial < trials; ++trial) {
+                const auto instance = sampleInstance(
+                    catalog, model, size, MixKind::Uniform, rng);
+                Rng policy_rng = rng.split();
+                const PolicyRun run =
+                    runPolicy(smr, instance, policy_rng);
+                const auto rows =
+                    aggregateByType(instance, run.matching);
+                corr_stats.add(fairness(rows).rankCorrelation);
+                // Within-type penalty spread: unfairness risk.
+                OnlineStats spread;
+                for (const auto &row : rows)
+                    spread.add(row.stddev);
+                spread_stats.add(spread.mean());
+            }
+            table.addRow({Table::num(static_cast<long long>(size)),
+                          Table::num(corr_stats.mean(), 3),
+                          Table::num(corr_stats.stddev(), 3),
+                          Table::num(spread_stats.mean(), 4)});
+        }
+        table.print(std::cout);
+        std::cout << "\nExpected shape: the penalty-vs-contentiousness "
+                     "correlation strengthens\nwith population size and "
+                     "its variance shrinks — larger systems are fairer."
+                     "\n";
+
+        if (const std::string path = flags.get("csv"); !path.empty())
+            table.writeCsv(path);
+    });
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 7: contention-induced throughput penalties per job under the
+ * five colocation policies (GR, CO, SMP, SMR, SR).
+ *
+ * 1000 jobs sampled uniformly at random share the system; each job's
+ * penalty is averaged over its colocations across trial populations.
+ * Expected shape: GR and CO show no link between contentiousness
+ * (x-axis order) and penalty — dedup is penalized most under GR and
+ * above most jobs under CO — while SMR and SR penalties rise with
+ * contentiousness. SMP restricts matches and stays unfair.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "core/experiment.hh"
+#include "stats/online.hh"
+#include "util/chart.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("agents", "1000", "population size per trial");
+    flags.declare("trials", "5", "trial populations to average over");
+    flags.declare("seed", "1", "base RNG seed");
+    flags.declare("cf", "false",
+                  "use collaborative-filtering predictions instead of "
+                  "oracular penalties (Section VI.C)");
+    flags.declare("csv", "", "optional path to also write CSV");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return bench::runHarness(
+        "Figure 7: per-job penalties under each policy", [&] {
+        const Catalog catalog = Catalog::paperTableI();
+        const InterferenceModel model(catalog);
+        const auto agents =
+            static_cast<std::size_t>(flags.getInt("agents"));
+        const auto trials =
+            static_cast<std::size_t>(flags.getInt("trials"));
+        const auto policies = figurePolicies();
+
+        // stats[policy][type] accumulates penalties across trials.
+        std::map<std::string, std::vector<OnlineStats>> stats;
+        for (const auto &policy : policies)
+            stats[policy->name()].resize(catalog.size());
+
+        Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+            const auto instance =
+                flags.getBool("cf")
+                    ? sampleInstanceCf(catalog, model, agents,
+                                       MixKind::Uniform, 0.25, rng)
+                    : sampleInstance(catalog, model, agents,
+                                     MixKind::Uniform, rng);
+            for (const auto &policy : policies) {
+                Rng policy_rng = rng.split();
+                const PolicyRun run =
+                    runPolicy(*policy, instance, policy_rng);
+                for (AgentId a = 0; a < instance.agents(); ++a)
+                    if (run.matching.isMatched(a))
+                        stats[policy->name()][instance.typeOf(a)].add(
+                            run.penalties[a]);
+            }
+        }
+
+        Table table({"job", "GBps", "GR", "CO", "SMP", "SMR", "SR"});
+        for (const std::string &name : Catalog::figureJobNames()) {
+            const JobType &job = catalog.jobByName(name);
+            std::vector<std::string> row{name, Table::num(job.gbps, 2)};
+            for (const auto &policy : policies)
+                row.push_back(Table::num(
+                    stats[policy->name()][job.id].mean(), 4));
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+
+        for (const auto &policy : policies) {
+            std::vector<Bar> bars;
+            std::vector<JobPenalty> rows;
+            for (const std::string &name : Catalog::figureJobNames()) {
+                const JobType &job = catalog.jobByName(name);
+                bars.push_back(
+                    Bar{name, stats[policy->name()][job.id].mean()});
+                JobPenalty row;
+                row.type = job.id;
+                row.gbps = job.gbps;
+                row.meanPenalty = stats[policy->name()][job.id].mean();
+                rows.push_back(row);
+            }
+            const FairnessReport report = fairness(rows);
+            std::cout << "\n"
+                      << renderBarChart(
+                             policy->name() +
+                                 " mean throughput penalty (rank corr " +
+                                 Table::num(report.rankCorrelation, 2) +
+                                 ")",
+                             bars);
+        }
+
+        if (const std::string path = flags.get("csv"); !path.empty())
+            table.writeCsv(path);
+    });
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 8: correlation between ranked performance penalties (bars)
+ * and ranked bandwidth demands (line).
+ *
+ * For each policy, jobs are ranked by mean penalty and by bandwidth
+ * demand; fairness means the penalty rank tracks the demand rank
+ * (bars track the line). Expected shape: GR, CO, and SMP are unfair
+ * (ranks unrelated); SMR and SR are fair (ranks aligned).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "core/experiment.hh"
+#include "stats/correlation.hh"
+#include "stats/descriptive.hh"
+#include "stats/online.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("agents", "1000", "population size per trial");
+    flags.declare("trials", "5", "trial populations to average over");
+    flags.declare("seed", "1", "base RNG seed");
+    flags.declare("cf", "false",
+                  "use collaborative-filtering predictions instead of "
+                  "oracular penalties (Section VI.C)");
+    flags.declare("csv", "", "optional path to also write CSV");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return bench::runHarness(
+        "Figure 8: ranked penalties vs ranked bandwidth demands", [&] {
+        const Catalog catalog = Catalog::paperTableI();
+        const InterferenceModel model(catalog);
+        const auto agents =
+            static_cast<std::size_t>(flags.getInt("agents"));
+        const auto trials =
+            static_cast<std::size_t>(flags.getInt("trials"));
+        const auto policies = figurePolicies();
+
+        std::map<std::string, std::vector<OnlineStats>> stats;
+        for (const auto &policy : policies)
+            stats[policy->name()].resize(catalog.size());
+
+        Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+            const auto instance =
+                flags.getBool("cf")
+                    ? sampleInstanceCf(catalog, model, agents,
+                                       MixKind::Uniform, 0.25, rng)
+                    : sampleInstance(catalog, model, agents,
+                                     MixKind::Uniform, rng);
+            for (const auto &policy : policies) {
+                Rng policy_rng = rng.split();
+                const PolicyRun run =
+                    runPolicy(*policy, instance, policy_rng);
+                for (AgentId a = 0; a < instance.agents(); ++a)
+                    if (run.matching.isMatched(a))
+                        stats[policy->name()][instance.typeOf(a)].add(
+                            run.penalties[a]);
+            }
+        }
+
+        // Ranks over the eleven displayed jobs.
+        const auto names = Catalog::figureJobNames();
+        std::vector<double> demands;
+        for (const auto &name : names)
+            demands.push_back(catalog.jobByName(name).gbps);
+        const auto demand_ranks = ranks(demands);
+
+        Table table({"job", "bandwidth_rank", "GR", "CO", "SMP", "SMR",
+                     "SR"});
+        std::map<std::string, std::vector<double>> penalty_ranks;
+        for (const auto &policy : policies) {
+            std::vector<double> penalties;
+            for (const auto &name : names)
+                penalties.push_back(
+                    stats[policy->name()][catalog.jobByName(name).id]
+                        .mean());
+            penalty_ranks[policy->name()] = ranks(penalties);
+        }
+        for (std::size_t k = 0; k < names.size(); ++k) {
+            std::vector<std::string> row{names[k],
+                                         Table::num(demand_ranks[k], 1)};
+            for (const auto &policy : policies)
+                row.push_back(
+                    Table::num(penalty_ranks[policy->name()][k], 1));
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+
+        std::cout << "\nRank correlation (penalty rank vs demand rank; "
+                     "1.0 = perfectly fair):\n";
+        for (const auto &policy : policies) {
+            std::vector<double> pr = penalty_ranks[policy->name()];
+            std::cout << "  " << policy->name() << ": "
+                      << Table::num(spearman(demand_ranks, pr), 3)
+                      << "\n";
+        }
+        std::cout << "Expected shape: near zero for GR/CO/SMP, strongly "
+                     "positive for SMR/SR.\n";
+
+        if (const std::string path = flags.get("csv"); !path.empty())
+            table.writeCsv(path);
+    });
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Arrival streams: the paper's deployment setting (Section III.A) —
+ * jobs arrive continuously, the game batches them every scheduling
+ * period, and pairs dispatch onto whatever machines are free.
+ *
+ * Sweeps the arrival rate from light to heavy load and reports
+ * queueing delay, slowdown, and utilization for a chosen policy, so
+ * you can see where the cluster saturates and what colocation buys.
+ */
+
+#include <iostream>
+
+#include "core/scheduler.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("policy", "SMR", "GR|CO|SMP|SMR|SR");
+    flags.declare("machines", "10", "chip multiprocessors");
+    flags.declare("epoch", "300", "scheduling period in seconds");
+    flags.declare("horizon", "20000", "simulated arrival window (s)");
+    flags.declare("mix", "Uniform",
+                  "Uniform|Beta-Low|Gaussian|Beta-High");
+    flags.declare("seed", "11", "RNG seed");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const Catalog catalog = Catalog::paperTableI();
+    const InterferenceModel model(catalog);
+
+    MixKind mix = MixKind::Uniform;
+    for (MixKind candidate : allMixes())
+        if (mixName(candidate) == flags.get("mix"))
+            mix = candidate;
+
+    std::cout << "Arrival-stream simulation: policy "
+              << flags.get("policy") << ", " << flags.getInt("machines")
+              << " machines, " << flags.getInt("epoch")
+              << " s epochs, mix " << flags.get("mix") << "\n\n";
+
+    Table table({"arrivals_per_hour", "jobs", "mean_wait_s",
+                 "mean_slowdown", "utilization", "left_in_queue"});
+    for (double per_hour : {20.0, 60.0, 120.0, 240.0, 480.0}) {
+        SchedulerConfig config;
+        config.policy = flags.get("policy");
+        config.epochSec = static_cast<double>(flags.getInt("epoch"));
+        config.arrivalRatePerSec = per_hour / 3600.0;
+        config.machines =
+            static_cast<std::size_t>(flags.getInt("machines"));
+        config.mix = mix;
+
+        EpochScheduler scheduler(
+            catalog, model, config,
+            static_cast<std::uint64_t>(flags.getInt("seed")));
+        const ScheduleTrace trace = scheduler.run(
+            static_cast<double>(flags.getInt("horizon")), 10000.0);
+
+        table.addRow({Table::num(per_hour, 0),
+                      Table::num(static_cast<long long>(
+                          trace.jobs.size())),
+                      Table::num(trace.meanWaitSec, 1),
+                      Table::num(trace.meanSlowdown, 2),
+                      Table::num(trace.utilization, 3),
+                      Table::num(static_cast<long long>(
+                          trace.epochs.back().queued))});
+    }
+    table.print(std::cout);
+    std::cout << "\nWait and slowdown stay flat until the machine pool "
+                 "saturates, then the\nqueue (and both metrics) grow "
+                 "without bound — size the cluster near the\nknee. Try "
+                 "--policy GR vs --policy SMR: throughput is similar, "
+                 "but the\nstable policy keeps strategic users from "
+                 "defecting (see\nexamples/strategic_users).\n";
+    return 0;
+}

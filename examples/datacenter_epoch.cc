@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Datacenter epochs: run several scheduling periods of the colocation
+ * game on a fixed machine pool, the workload the paper's introduction
+ * motivates (batch analytics sharing big servers).
+ *
+ * Each epoch, a new batch of jobs arrives, agents predict preferences
+ * from freshly sampled profiles, the coordinator matches them, and
+ * the dispatcher queues pairs on a 10-CMP cluster. The example prints
+ * per-epoch performance, fairness, and stability, and accumulates
+ * utilization statistics across epochs.
+ */
+
+#include <iostream>
+
+#include "core/framework.hh"
+#include "game/fairness.hh"
+#include "stats/online.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "workload/population.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("epochs", "6", "scheduling periods to simulate");
+    flags.declare("agents", "120", "jobs arriving per epoch");
+    flags.declare("machines", "10", "chip multiprocessors available");
+    flags.declare("policy", "SMR", "GR|CO|SMP|SMR|SR|TH");
+    flags.declare("mix", "Uniform",
+                  "Uniform|Beta-Low|Gaussian|Beta-High");
+    flags.declare("seed", "2026", "RNG seed");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const Catalog catalog = Catalog::paperTableI();
+    const InterferenceModel model(catalog);
+
+    MixKind mix = MixKind::Uniform;
+    for (MixKind candidate : allMixes())
+        if (mixName(candidate) == flags.get("mix"))
+            mix = candidate;
+
+    FrameworkConfig config;
+    config.policy = flags.get("policy");
+    config.sampleRatio = 0.25;
+    config.machines = static_cast<std::size_t>(flags.getInt("machines"));
+    config.alpha = 0.02;
+
+    const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    CooperFramework cooper(catalog, model, config, seed);
+    Rng rng(seed + 1);
+
+    std::cout << "Simulating " << flags.getInt("epochs")
+              << " scheduling epochs: " << flags.getInt("agents")
+              << " jobs per epoch on " << config.machines
+              << " CMPs, policy " << config.policy << ", mix "
+              << flags.get("mix") << "\n\n";
+
+    Table table({"epoch", "mean_penalty", "fairness_corr",
+                 "blocking_pairs", "break_away_agents", "makespan_s",
+                 "utilization"});
+    OnlineStats penalty_acc, util_acc;
+    for (std::int64_t epoch = 0; epoch < flags.getInt("epochs");
+         ++epoch) {
+        const auto population = samplePopulation(
+            catalog, static_cast<std::size_t>(flags.getInt("agents")),
+            mix, rng);
+        const EpochReport report = cooper.runEpoch(population);
+
+        ColocationInstance instance = cooper.buildInstance(population);
+        const auto rows = penaltiesByType(
+            catalog, population, report.matching,
+            [&](AgentId a, AgentId b) {
+                return instance.trueDisutility(a, b);
+            });
+
+        penalty_acc.add(report.meanPenalty);
+        util_acc.add(report.dispatch.utilization);
+        table.addRow({Table::num(static_cast<long long>(epoch + 1)),
+                      Table::num(report.meanPenalty, 4),
+                      Table::num(fairness(rows).rankCorrelation, 3),
+                      Table::num(static_cast<long long>(
+                          report.blockingPairs)),
+                      Table::num(static_cast<long long>(
+                          report.breakAwayAgents)),
+                      Table::num(report.dispatch.makespanSec, 0),
+                      Table::num(report.dispatch.utilization, 3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nAcross epochs: mean penalty "
+              << Table::num(penalty_acc.mean(), 4) << " (stddev "
+              << Table::num(penalty_acc.stddev(), 4)
+              << "), mean utilization "
+              << Table::num(util_acc.mean(), 3) << "\n";
+    std::cout << "Try --policy GR to see the same workload under the "
+                 "performance-centric\nbaseline: penalties stay "
+                 "similar but fairness and stability collapse.\n";
+    return 0;
+}

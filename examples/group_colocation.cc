@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Group colocation: sharing each CMP among four jobs instead of two
+ * (the paper's Section VIII extension).
+ *
+ * Builds a population, groups it hierarchically (stable-match the
+ * jobs, then stable-match the pairs), and contrasts the outcome with
+ * greedy packing: per-group penalties, fairness, and the worst-off
+ * job under each scheme.
+ */
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "core/groups.hh"
+#include "stats/correlation.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooper;
+
+    CliFlags flags;
+    flags.declare("agents", "64", "population size");
+    flags.declare("group-size", "4", "jobs per CMP (power of two)");
+    flags.declare("seed", "21", "RNG seed");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const Catalog catalog = Catalog::paperTableI();
+    const InterferenceModel model(catalog);
+    const auto group_size =
+        static_cast<std::size_t>(flags.getInt("group-size"));
+
+    Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+    const auto instance = sampleInstance(
+        catalog, model, static_cast<std::size_t>(flags.getInt("agents")),
+        MixKind::Uniform, rng);
+
+    Rng rng_h(1), rng_g(1);
+    const Grouping hier =
+        hierarchicalGroups(instance, group_size, rng_h);
+    const Grouping greedy = greedyGroups(instance, group_size, rng_g);
+
+    std::cout << std::fixed << std::setprecision(4);
+    std::cout << "Grouping " << instance.agents() << " jobs onto CMPs "
+              << "shared " << group_size << " ways\n\n";
+
+    auto report = [&](const char *title, const Grouping &grouping) {
+        const auto penalties =
+            trueGroupPenalties(instance, model, grouping);
+        std::vector<double> demand;
+        for (AgentId a = 0; a < instance.agents(); ++a)
+            demand.push_back(
+                catalog.job(instance.typeOf(a)).gbps);
+        double total = 0.0, worst = 0.0;
+        AgentId worst_agent = 0;
+        for (AgentId a = 0; a < instance.agents(); ++a) {
+            total += penalties[a];
+            if (penalties[a] > worst) {
+                worst = penalties[a];
+                worst_agent = a;
+            }
+        }
+        std::cout << title << ":\n  mean penalty "
+                  << total / static_cast<double>(penalties.size())
+                  << ", fairness (penalty vs demand) "
+                  << spearman(demand, penalties) << "\n  worst off: "
+                  << catalog.job(instance.typeOf(worst_agent)).name
+                  << " at " << worst << "\n";
+
+        // Show the three most contentious groups.
+        std::vector<std::size_t> order(grouping.groups.size());
+        for (std::size_t g = 0; g < order.size(); ++g)
+            order[g] = g;
+        auto group_penalty = [&](std::size_t g) {
+            double acc = 0.0;
+            for (AgentId a : grouping.groups[g])
+                acc += penalties[a];
+            return acc;
+        };
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t x, std::size_t y) {
+                      return group_penalty(x) > group_penalty(y);
+                  });
+        for (std::size_t k = 0; k < std::min<std::size_t>(3,
+                                                          order.size());
+             ++k) {
+            std::cout << "  hot group " << k + 1 << ":";
+            for (AgentId a : grouping.groups[order[k]])
+                std::cout << " "
+                          << catalog.job(instance.typeOf(a)).name;
+            std::cout << "  (total "
+                      << group_penalty(order[k]) << ")\n";
+        }
+        std::cout << "\n";
+    };
+    report("Hierarchical stable grouping", hier);
+    report("Greedy demand packing", greedy);
+
+    std::cout << "The hierarchical scheme concentrates contentious "
+                 "jobs together (they\npay for the contention they "
+                 "cause) while greedy packing spreads them\nacross "
+                 "sensitive victims.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+#include "accuracy.hh"
+
+#include "util/error.hh"
+
+namespace cooper {
+
+double
+preferenceAccuracy(const std::vector<std::vector<double>> &truth,
+                   const std::vector<std::vector<double>> &predicted)
+{
+    fatalIf(truth.empty(), "preferenceAccuracy: empty matrix");
+    fatalIf(truth.size() != predicted.size(),
+            "preferenceAccuracy: row count mismatch");
+    const std::size_t n = truth.size();
+
+    long long incorrect = 0;
+    long long pairs = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+        fatalIf(truth[a].size() != n || predicted[a].size() != n,
+                "preferenceAccuracy: matrices must be square");
+        // Candidates are every co-runner except the agent itself.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == a)
+                continue;
+            for (std::size_t j = i + 1; j < n; ++j) {
+                if (j == a)
+                    continue;
+                ++pairs;
+                const bool true_prefers_i = truth[a][i] < truth[a][j];
+                const bool pred_prefers_i =
+                    predicted[a][i] < predicted[a][j];
+                if (true_prefers_i != pred_prefers_i)
+                    ++incorrect;
+            }
+        }
+    }
+    if (pairs == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(incorrect) /
+                     static_cast<double>(pairs);
+}
+
+} // namespace cooper

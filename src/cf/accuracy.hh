@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Preference-prediction accuracy, Equation 2 of the paper.
+ *
+ * The rank coefficient tau compares each agent's predicted preference
+ * list against its true list, counting pairwise inversions:
+ *
+ *   tau = 1 - [ sum_a sum_{i<j in C_a} K_ij ] / [ n * C(n-1, 2) ]
+ *
+ * where K_ij = 1 when agent a's preference between candidates i and j
+ * differs across the true and predicted matrices.
+ */
+
+#ifndef COOPER_CF_ACCURACY_HH
+#define COOPER_CF_ACCURACY_HH
+
+#include <vector>
+
+namespace cooper {
+
+/**
+ * Fraction of correctly ordered preference pairs across all agents.
+ *
+ * @param truth Dense true penalty matrix (rows: agents, cols:
+ *        candidate co-runners).
+ * @param predicted Dense predicted penalty matrix of the same shape.
+ * @return Value in [0, 1]; 1 means every pairwise preference matches.
+ */
+double preferenceAccuracy(
+    const std::vector<std::vector<double>> &truth,
+    const std::vector<std::vector<double>> &predicted);
+
+} // namespace cooper
+
+#endif // COOPER_CF_ACCURACY_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Item-based collaborative filtering, the paper's preference
+ * predictor (implemented there with R's recommenderlab; reimplemented
+ * here from scratch).
+ *
+ * Jobs play the role of consumers, candidate co-runners the role of
+ * products, and measured penalties the role of ratings. Item-item
+ * similarity captures that a co-runner which degrades one job tends to
+ * degrade similar jobs, so a job's unknown penalty with co-runner y is
+ * predicted from its known penalties with co-runners similar to y.
+ */
+
+#ifndef COOPER_CF_ITEM_KNN_HH
+#define COOPER_CF_ITEM_KNN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "cf/sparse_matrix.hh"
+
+namespace cooper {
+
+/** Item-item similarity measure. */
+enum class Similarity
+{
+    Cosine,         //!< raw cosine over co-rated rows
+    AdjustedCosine, //!< cosine after subtracting each row's mean
+    Pearson,        //!< Pearson over co-rated rows
+};
+
+/** Predictor configuration. */
+struct ItemKnnConfig
+{
+    Similarity similarity = Similarity::AdjustedCosine;
+
+    /** Neighbors per prediction; 0 means use all items. */
+    std::size_t neighbors = 0;
+
+    /** Minimum co-rated rows for a similarity to count. */
+    std::size_t minOverlap = 2;
+
+    /**
+     * Refinement iterations. Iteration 1 predicts unknowns from
+     * observed cells only; later iterations recompute similarities on
+     * the filled matrix and re-predict the originally unknown cells
+     * (the paper reports one to three iterations suffice).
+     */
+    std::size_t iterations = 2;
+
+    /**
+     * Blend the item-based prediction with the same predictor run on
+     * the transposed matrix. A colocation measurement is naturally
+     * bidirectional — M[x][y] and M[y][x] come from the same run —
+     * so the transpose view ("which victims does co-runner y hurt")
+     * carries complementary structure and the blend is markedly more
+     * accurate. Requires a square matrix; ignored otherwise.
+     */
+    bool bidirectional = true;
+};
+
+/** Dense prediction result. */
+struct Prediction
+{
+    /** Filled matrix: observed cells preserved, unknowns predicted. */
+    std::vector<std::vector<double>> dense;
+
+    /** Iterations actually performed. */
+    std::size_t iterations = 0;
+
+    /** Cells that had to fall back to row/column/global means. */
+    std::size_t fallbackCells = 0;
+};
+
+/**
+ * Item-based k-nearest-neighbor predictor.
+ */
+class ItemKnnPredictor
+{
+  public:
+    explicit ItemKnnPredictor(ItemKnnConfig config = {});
+
+    /**
+     * Fill a sparse ratings matrix.
+     *
+     * @param ratings Sparse penalty observations (rows: jobs, columns:
+     *        co-runners).
+     * @return Dense matrix plus diagnostics.
+     */
+    Prediction predict(const SparseMatrix &ratings) const;
+
+    /**
+     * Item-item similarity matrix over the known cells (exposed for
+     * tests and the accuracy study).
+     */
+    std::vector<std::vector<double>>
+    similarityMatrix(const SparseMatrix &ratings) const;
+
+  private:
+    /** Item-based prediction of one orientation (no blending). */
+    Prediction predictOneView(const SparseMatrix &ratings) const;
+
+    ItemKnnConfig config_;
+};
+
+/**
+ * Extract a preference order from one row of a dense penalty matrix:
+ * candidate co-runners sorted by increasing penalty (most preferred
+ * first), excluding `self`.
+ *
+ * @param penalties Dense penalty row for one job.
+ * @param self Index to exclude (a job does not co-run with itself).
+ */
+std::vector<std::size_t>
+preferenceOrder(const std::vector<double> &penalties, std::size_t self);
+
+} // namespace cooper
+
+#endif // COOPER_CF_ITEM_KNN_HH

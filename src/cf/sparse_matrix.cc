@@ -1,0 +1,116 @@
+#include "sparse_matrix.hh"
+
+#include "util/error.hh"
+
+namespace cooper {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), values_(rows * cols, 0.0),
+      mask_(rows * cols, 0)
+{
+    fatalIf(rows == 0 || cols == 0, "SparseMatrix: empty shape ", rows,
+            "x", cols);
+}
+
+void
+SparseMatrix::checkBounds(std::size_t r, std::size_t c) const
+{
+    fatalIf(r >= rows_ || c >= cols_, "SparseMatrix: (", r, ", ", c,
+            ") outside ", rows_, "x", cols_);
+}
+
+void
+SparseMatrix::set(std::size_t r, std::size_t c, double value)
+{
+    checkBounds(r, c);
+    const std::size_t idx = r * cols_ + c;
+    if (!mask_[idx]) {
+        mask_[idx] = 1;
+        ++knownCount_;
+    }
+    values_[idx] = value;
+}
+
+void
+SparseMatrix::clear(std::size_t r, std::size_t c)
+{
+    checkBounds(r, c);
+    const std::size_t idx = r * cols_ + c;
+    if (mask_[idx]) {
+        mask_[idx] = 0;
+        values_[idx] = 0.0;
+        --knownCount_;
+    }
+}
+
+double
+SparseMatrix::at(std::size_t r, std::size_t c) const
+{
+    checkBounds(r, c);
+    fatalIf(!known(r, c), "SparseMatrix: cell (", r, ", ", c,
+            ") is unknown");
+    return values_[r * cols_ + c];
+}
+
+double
+SparseMatrix::density() const
+{
+    return static_cast<double>(knownCount_) /
+           static_cast<double>(rows_ * cols_);
+}
+
+std::vector<SparseMatrix::Entry>
+SparseMatrix::entries() const
+{
+    std::vector<Entry> out;
+    out.reserve(knownCount_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            if (known(r, c))
+                out.push_back(Entry{r, c, values_[r * cols_ + c]});
+    return out;
+}
+
+double
+SparseMatrix::knownMean() const
+{
+    if (knownCount_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        if (mask_[i])
+            acc += values_[i];
+    return acc / static_cast<double>(knownCount_);
+}
+
+double
+SparseMatrix::rowMean(std::size_t r, double fallback) const
+{
+    checkBounds(r, 0);
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+        if (known(r, c)) {
+            acc += values_[r * cols_ + c];
+            ++count;
+        }
+    }
+    return count ? acc / static_cast<double>(count) : fallback;
+}
+
+double
+SparseMatrix::colMean(std::size_t c, double fallback) const
+{
+    checkBounds(0, c);
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        if (known(r, c)) {
+            acc += values_[r * cols_ + c];
+            ++count;
+        }
+    }
+    return count ? acc / static_cast<double>(count) : fallback;
+}
+
+} // namespace cooper

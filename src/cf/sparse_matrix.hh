@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sparse ratings matrix used by the preference predictor.
+ *
+ * Cooper's profiler samples only a fraction of all pairwise
+ * colocations (e.g., 25% of a 20x20 job matrix); SparseMatrix records
+ * which penalties are known and their measured values.
+ */
+
+#ifndef COOPER_CF_SPARSE_MATRIX_HH
+#define COOPER_CF_SPARSE_MATRIX_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cooper {
+
+/**
+ * Dense-backed matrix with a known/unknown mask.
+ *
+ * Dense backing is the right trade-off here: the matrices are at most
+ * a few thousand square and the predictor touches most cells anyway.
+ */
+class SparseMatrix
+{
+  public:
+    /** An unknown cell, for iteration APIs. */
+    struct Entry
+    {
+        std::size_t row = 0;
+        std::size_t col = 0;
+        double value = 0.0;
+    };
+
+    SparseMatrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Record a measurement. */
+    void set(std::size_t r, std::size_t c, double value);
+
+    /** Forget a measurement (used by accuracy experiments). */
+    void clear(std::size_t r, std::size_t c);
+
+    bool known(std::size_t r, std::size_t c) const
+    {
+        return mask_[r * cols_ + c] != 0;
+    }
+
+    /** Value of a known cell; fatal if the cell is unknown. */
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Value of a cell, or `fallback` when unknown. */
+    double valueOr(std::size_t r, std::size_t c, double fallback) const
+    {
+        return known(r, c) ? values_[r * cols_ + c] : fallback;
+    }
+
+    /** Number of known cells. */
+    std::size_t knownCount() const { return knownCount_; }
+
+    /** Fraction of known cells. */
+    double density() const;
+
+    /** All known entries in row-major order. */
+    std::vector<Entry> entries() const;
+
+    /** Mean of known values; zero when nothing is known. */
+    double knownMean() const;
+
+    /** Mean of known values in a row; fallback when the row is empty. */
+    double rowMean(std::size_t r, double fallback) const;
+
+    /** Mean of known values in a column; fallback when empty. */
+    double colMean(std::size_t c, double fallback) const;
+
+  private:
+    void checkBounds(std::size_t r, std::size_t c) const;
+
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> values_;
+    std::vector<std::uint8_t> mask_;
+    std::size_t knownCount_ = 0;
+};
+
+} // namespace cooper
+
+#endif // COOPER_CF_SPARSE_MATRIX_HH

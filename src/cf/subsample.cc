@@ -1,0 +1,62 @@
+#include "subsample.hh"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+SparseMatrix
+subsampleSymmetric(const SparseMatrix &full, double ratio,
+                   std::size_t min_per_row, Rng &rng)
+{
+    fatalIf(full.rows() != full.cols(),
+            "subsampleSymmetric: matrix must be square");
+    fatalIf(ratio <= 0.0 || ratio > 1.0,
+            "subsampleSymmetric: ratio ", ratio, " outside (0, 1]");
+    const std::size_t n = full.rows();
+    fatalIf(full.knownCount() != n * n,
+            "subsampleSymmetric: matrix must be fully known");
+
+    SparseMatrix sparse(n, n);
+    const auto target = static_cast<std::size_t>(
+        std::ceil(ratio * static_cast<double>(n * n)));
+
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    pairs.reserve(n * (n + 1) / 2);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            pairs.emplace_back(i, j);
+    rng.shuffle(pairs);
+
+    auto keep = [&](std::size_t i, std::size_t j) {
+        sparse.set(i, j, full.at(i, j));
+        if (i != j)
+            sparse.set(j, i, full.at(j, i));
+    };
+
+    for (const auto &[i, j] : pairs) {
+        if (sparse.knownCount() >= target)
+            break;
+        keep(i, j);
+    }
+
+    for (std::size_t r = 0; r < n; ++r) {
+        std::size_t have = 0;
+        for (std::size_t c = 0; c < n; ++c)
+            if (sparse.known(r, c))
+                ++have;
+        while (have < std::min(min_per_row, n)) {
+            const auto j = rng.uniformInt(static_cast<std::uint64_t>(n));
+            if (!sparse.known(r, j)) {
+                keep(r, j);
+                ++have;
+            }
+        }
+    }
+    return sparse;
+}
+
+} // namespace cooper

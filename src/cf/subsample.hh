@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Symmetric subsampling of a dense ratings matrix, used by the
+ * prediction-accuracy study (Figure 12): the profiler's full measured
+ * matrix is the "true list" and the predictor sees only a sampled
+ * subset of its cells.
+ */
+
+#ifndef COOPER_CF_SUBSAMPLE_HH
+#define COOPER_CF_SUBSAMPLE_HH
+
+#include "cf/sparse_matrix.hh"
+#include "util/rng.hh"
+
+namespace cooper {
+
+/**
+ * Keep a random subset of a fully known square matrix.
+ *
+ * Colocation cells come in symmetric pairs — running jobs i and j
+ * together measures both (i, j) and (j, i) — so cells are sampled as
+ * unordered pairs. Every row retains at least `min_per_row` cells.
+ *
+ * @param full Fully known square matrix.
+ * @param ratio Fraction of cells to keep (0, 1].
+ * @param min_per_row Minimum retained cells per row.
+ * @param rng Random stream.
+ */
+SparseMatrix subsampleSymmetric(const SparseMatrix &full, double ratio,
+                                std::size_t min_per_row, Rng &rng);
+
+} // namespace cooper
+
+#endif // COOPER_CF_SUBSAMPLE_HH

@@ -1,0 +1,112 @@
+#include "agent.hh"
+
+#include <algorithm>
+
+#include "core/coordinator.hh"
+#include "util/error.hh"
+
+namespace cooper {
+
+Agent::Agent(AgentId id, JobTypeId type)
+    : id_(id), type_(type)
+{}
+
+const SparseMatrix &
+Agent::queryProfiles(Coordinator &coordinator) const
+{
+    return coordinator.profiles();
+}
+
+std::vector<double>
+Agent::predictTypeRow(const SparseMatrix &profiles,
+                      const ItemKnnConfig &config) const
+{
+    fatalIf(type_ >= profiles.rows(),
+            "Agent ", id_, ": type ", type_,
+            " outside the profile matrix");
+    const ItemKnnPredictor predictor(config);
+    const Prediction prediction = predictor.predict(profiles);
+    return prediction.dense[type_];
+}
+
+std::vector<std::size_t>
+Agent::predictTypePreferences(const SparseMatrix &profiles,
+                              const ItemKnnConfig &config) const
+{
+    // A job can colocate with another instance of its own type, so
+    // no index is excluded (the sentinel is past the end).
+    const auto row = predictTypeRow(profiles, config);
+    return preferenceOrder(row, row.size());
+}
+
+void
+Agent::setPreferences(std::vector<AgentId> ordered)
+{
+    for (AgentId c : ordered)
+        fatalIf(c == id_, "Agent ", id_, ": own id on preference list");
+    prefs_ = std::move(ordered);
+}
+
+std::vector<AgentId>
+Agent::messageTargets(const Matching &matching,
+                      const DisutilityFn &disutility, double alpha) const
+{
+    std::vector<AgentId> targets;
+    if (!matching.isMatched(id_))
+        return targets; // running alone: nothing to improve on
+
+    const double current = disutility(id_, matching.partnerOf(id_));
+    for (AgentId candidate : prefs_) {
+        if (candidate == matching.partnerOf(id_))
+            continue;
+        const double gain = current - disutility(id_, candidate);
+        const bool worthwhile =
+            alpha > 0.0 ? gain >= alpha : gain > 0.0;
+        if (worthwhile)
+            targets.push_back(candidate);
+    }
+    return targets;
+}
+
+Recommendation
+Agent::assess(const Matching &matching,
+              const std::vector<AgentId> &received,
+              const DisutilityFn &disutility, double alpha) const
+{
+    Recommendation rec;
+    if (!matching.isMatched(id_))
+        return rec;
+
+    const auto targets = messageTargets(matching, disutility, alpha);
+    const double current = disutility(id_, matching.partnerOf(id_));
+
+    for (AgentId sender : received) {
+        // A sender prefers us over its partner; it blocks with us
+        // only if we messaged it too.
+        if (std::find(targets.begin(), targets.end(), sender) ==
+            targets.end()) {
+            continue;
+        }
+        BreakAwayOption option;
+        option.partner = sender;
+        option.myGain = current - disutility(id_, sender);
+        if (matching.isMatched(sender)) {
+            option.partnerGain =
+                disutility(sender, matching.partnerOf(sender)) -
+                disutility(sender, id_);
+        }
+        rec.options.push_back(option);
+    }
+    if (!rec.options.empty()) {
+        rec.action = ActionKind::BreakAway;
+        // Most attractive alternatives first.
+        std::stable_sort(rec.options.begin(), rec.options.end(),
+                         [](const BreakAwayOption &a,
+                            const BreakAwayOption &b) {
+                             return a.myGain > b.myGain;
+                         });
+    }
+    return rec;
+}
+
+} // namespace cooper

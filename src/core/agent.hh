@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Decentralized agents (Section IV, Figures 4 and 6).
+ *
+ * An agent represents one user and her job. It queries the
+ * coordinator's profiler, predicts preferences for co-runners, and
+ * after assignment assesses its colocation and recommends strategic
+ * action: participate, or break away with a mutually preferred
+ * partner. Break-away opportunities are discovered through message
+ * exchange: an agent messages everyone it prefers over its assigned
+ * co-runner; a mutual message identifies a blocking pair.
+ */
+
+#ifndef COOPER_CORE_AGENT_HH
+#define COOPER_CORE_AGENT_HH
+
+#include <vector>
+
+#include "cf/item_knn.hh"
+#include "matching/blocking.hh"
+#include "matching/matching.hh"
+#include "workload/job.hh"
+
+namespace cooper {
+
+class Coordinator;
+
+/** Strategic action an agent recommends to its user. */
+enum class ActionKind
+{
+    Participate,
+    BreakAway,
+};
+
+/** A mutually beneficial alternative colocation. */
+struct BreakAwayOption
+{
+    AgentId partner = 0;
+    double myGain = 0.0;      //!< penalty reduction for this agent
+    double partnerGain = 0.0; //!< penalty reduction for the partner
+};
+
+/** The action recommender's output for one agent. */
+struct Recommendation
+{
+    ActionKind action = ActionKind::Participate;
+    std::vector<BreakAwayOption> options;
+};
+
+/**
+ * One user's agent in the colocation game.
+ */
+class Agent
+{
+  public:
+    /**
+     * @param id Agent id within the population.
+     * @param type The job the agent runs.
+     */
+    Agent(AgentId id, JobTypeId type);
+
+    AgentId id() const { return id_; }
+    JobTypeId type() const { return type_; }
+
+    /**
+     * Query interface: fetch the sparse colocation profiles from the
+     * coordinator's profiler (Figure 6's first agent module).
+     */
+    const SparseMatrix &queryProfiles(Coordinator &coordinator) const;
+
+    /**
+     * Preference predictor: fill the sparse profiles with item-based
+     * collaborative filtering and return this agent's believed
+     * penalty row over job types (Figure 6's second agent module).
+     *
+     * @param profiles Sparse type-level measurements.
+     * @param config Predictor settings.
+     */
+    std::vector<double>
+    predictTypeRow(const SparseMatrix &profiles,
+                   const ItemKnnConfig &config = {}) const;
+
+    /**
+     * Candidate job types ordered most-preferred first, derived from
+     * predictTypeRow (ties broken toward the lower type id). The
+     * agent's own type is included: a job may colocate with another
+     * instance of itself.
+     */
+    std::vector<std::size_t>
+    predictTypePreferences(const SparseMatrix &profiles,
+                           const ItemKnnConfig &config = {}) const;
+
+    /**
+     * Store the predicted preference list (candidate agents, most
+     * preferred first) produced from the preference predictor.
+     */
+    void setPreferences(std::vector<AgentId> ordered);
+
+    /** Predicted preference order over other agents. */
+    const std::vector<AgentId> &preferences() const { return prefs_; }
+
+    /**
+     * Candidates this agent prefers over its assigned co-runner and
+     * would gain at least `alpha` penalty by switching to; these are
+     * the agents it messages.
+     *
+     * @param matching Assigned colocations.
+     * @param disutility Assessed disutility oracle.
+     * @param alpha Minimum gain worth acting on.
+     */
+    std::vector<AgentId> messageTargets(const Matching &matching,
+                                        const DisutilityFn &disutility,
+                                        double alpha) const;
+
+    /**
+     * Assess the assignment given the messages received and recommend
+     * an action. A blocking partner is a message target that also
+     * messaged this agent.
+     *
+     * @param matching Assigned colocations.
+     * @param received Agents whose messages arrived.
+     * @param disutility Assessed disutility oracle.
+     * @param alpha Minimum gain worth acting on.
+     */
+    Recommendation assess(const Matching &matching,
+                          const std::vector<AgentId> &received,
+                          const DisutilityFn &disutility,
+                          double alpha) const;
+
+  private:
+    AgentId id_;
+    JobTypeId type_;
+    std::vector<AgentId> prefs_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_CORE_AGENT_HH

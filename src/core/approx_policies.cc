@@ -1,0 +1,147 @@
+#include "approx_policies.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/kmeans.hh"
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+/**
+ * Shared engine: pair agents through a coarse classification.
+ *
+ * Classes are drained greedily: commit the cheapest remaining
+ * (class, class) colocation — a class may pair with itself — and
+ * pair agents across it until one side runs out.
+ */
+Matching
+matchThroughClasses(const ColocationInstance &instance,
+                    const std::vector<std::size_t> &class_of_type,
+                    std::size_t classes, Rng &rng)
+{
+    const std::size_t types = instance.catalog().size();
+    fatalIf(class_of_type.size() != types,
+            "matchThroughClasses: need one class per job type");
+
+    // Class-level colocation cost: membership-weighted mean of the
+    // believed type-level penalties in both directions.
+    const std::size_t n = instance.agents();
+    std::vector<std::vector<AgentId>> members(classes);
+    std::vector<double> type_count(types, 0.0);
+    for (AgentId a = 0; a < n; ++a) {
+        members[class_of_type[instance.typeOf(a)]].push_back(a);
+        type_count[instance.typeOf(a)] += 1.0;
+    }
+    // Shuffle members so within-class pairing is unbiased.
+    for (auto &list : members)
+        rng.shuffle(list);
+
+    auto class_cost = [&](std::size_t ci, std::size_t cj) {
+        double weight = 0.0, acc = 0.0;
+        for (JobTypeId t = 0; t < types; ++t) {
+            if (class_of_type[t] != ci || type_count[t] == 0.0)
+                continue;
+            for (JobTypeId u = 0; u < types; ++u) {
+                if (class_of_type[u] != cj || type_count[u] == 0.0)
+                    continue;
+                const double w = type_count[t] * type_count[u];
+                acc += w * (instance.believed()(t, u) +
+                            instance.believed()(u, t));
+                weight += w;
+            }
+        }
+        return weight > 0.0 ? acc / weight
+                            : std::numeric_limits<double>::infinity();
+    };
+
+    std::vector<std::size_t> next(classes, 0); // consumed members
+    auto remaining = [&](std::size_t c) {
+        return members[c].size() - next[c];
+    };
+
+    Matching matching(n);
+    for (;;) {
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < classes; ++c)
+            total += remaining(c);
+        if (total < 2)
+            break;
+
+        // Cheapest feasible class pair (self-pairs need two agents).
+        double best = 0.0;
+        std::size_t best_i = classes, best_j = classes;
+        for (std::size_t ci = 0; ci < classes; ++ci) {
+            if (remaining(ci) == 0)
+                continue;
+            for (std::size_t cj = ci; cj < classes; ++cj) {
+                if (remaining(cj) == 0 ||
+                    (ci == cj && remaining(ci) < 2)) {
+                    continue;
+                }
+                const double cost = class_cost(ci, cj);
+                if (best_i == classes || cost < best) {
+                    best = cost;
+                    best_i = ci;
+                    best_j = cj;
+                }
+            }
+        }
+        panicIf(best_i == classes,
+                "matchThroughClasses: no feasible class pair");
+
+        if (best_i == best_j) {
+            while (remaining(best_i) >= 2) {
+                const AgentId a = members[best_i][next[best_i]++];
+                const AgentId b = members[best_i][next[best_i]++];
+                matching.pair(a, b);
+            }
+        } else {
+            while (remaining(best_i) > 0 && remaining(best_j) > 0) {
+                const AgentId a = members[best_i][next[best_i]++];
+                const AgentId b = members[best_j][next[best_j]++];
+                matching.pair(a, b);
+            }
+        }
+    }
+    return matching;
+}
+
+} // namespace
+
+Matching
+TypeMatchPolicy::assign(const ColocationInstance &instance,
+                        Rng &rng) const
+{
+    const std::size_t types = instance.catalog().size();
+    std::vector<std::size_t> identity(types);
+    for (std::size_t t = 0; t < types; ++t)
+        identity[t] = t;
+    return matchThroughClasses(instance, identity, types, rng);
+}
+
+ClusterMatchPolicy::ClusterMatchPolicy(std::size_t clusters)
+    : clusters_(clusters)
+{
+    fatalIf(clusters_ == 0, "ClusterMatchPolicy: need >= 1 cluster");
+}
+
+Matching
+ClusterMatchPolicy::assign(const ColocationInstance &instance,
+                           Rng &rng) const
+{
+    const Catalog &catalog = instance.catalog();
+    std::vector<std::vector<double>> features;
+    features.reserve(catalog.size());
+    for (const JobType &job : catalog.jobs())
+        features.push_back({job.gbps, job.cacheMB, job.bwSensitivity,
+                            job.cacheSensitivity});
+    const auto normalized = normalizeFeatures(features);
+    const std::size_t k = std::min(clusters_, catalog.size());
+    const KMeansResult clusters = kmeans(normalized, k, rng);
+    return matchThroughClasses(instance, clusters.assignment, k, rng);
+}
+
+} // namespace cooper

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Approximate colocation policies from the paper's future-work
+ * discussion (Section VIII): classify applications into types (or
+ * clusters of types) and then match at that coarser granularity.
+ * Stability guarantees weaken, but matching cost drops from O(n^2)
+ * over agents to O(t^2) over types.
+ */
+
+#ifndef COOPER_CORE_APPROX_POLICIES_HH
+#define COOPER_CORE_APPROX_POLICIES_HH
+
+#include "core/policies.hh"
+
+namespace cooper {
+
+/**
+ * Type-level matching (TM): greedily commit the cheapest remaining
+ * (type, type) colocation — a type may pair with itself — and pair
+ * agents across the committed type pair until one side runs out.
+ */
+class TypeMatchPolicy : public ColocationPolicy
+{
+  public:
+    std::string name() const override { return "TM"; }
+    Matching assign(const ColocationInstance &instance,
+                    Rng &rng) const override;
+};
+
+/**
+ * Cluster-level matching (CM): k-means the job types on their
+ * resource profile (bandwidth, cache footprint, sensitivities), then
+ * apply type-level matching over clusters.
+ */
+class ClusterMatchPolicy : public ColocationPolicy
+{
+  public:
+    /** @param clusters Number of k-means clusters over job types. */
+    explicit ClusterMatchPolicy(std::size_t clusters = 6);
+
+    std::string name() const override { return "CM"; }
+    Matching assign(const ColocationInstance &instance,
+                    Rng &rng) const override;
+
+    std::size_t clusters() const { return clusters_; }
+
+  private:
+    std::size_t clusters_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_CORE_APPROX_POLICIES_HH

@@ -1,0 +1,67 @@
+#include "coordinator.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+Coordinator::Coordinator(const Catalog &catalog,
+                         const InterferenceModel &model,
+                         CoordinatorConfig config, std::uint64_t seed)
+    : catalog_(&catalog), model_(&model), config_(std::move(config)),
+      profiler_(model, config_.noise, seed),
+      policy_(makePolicy(config_.policy))
+{
+    fatalIf(config_.sampleRatio <= 0.0 || config_.sampleRatio > 1.0,
+            "Coordinator: sampleRatio outside (0, 1]");
+    fatalIf(config_.profileRepeats == 0,
+            "Coordinator: profileRepeats must be >= 1");
+}
+
+const SparseMatrix &
+Coordinator::profiles()
+{
+    if (!profiles_) {
+        profiles_ = profiler_.sampleProfiles(config_.sampleRatio, 2,
+                                             config_.profileRepeats);
+    }
+    return *profiles_;
+}
+
+void
+Coordinator::refreshProfiles()
+{
+    profiles_.reset();
+}
+
+const ProfileDatabase &
+Coordinator::database() const
+{
+    return profiler_.database();
+}
+
+Matching
+Coordinator::colocate(const ColocationInstance &instance, Rng &rng) const
+{
+    Matching matching = policy_->assign(instance, rng);
+    panicIf(!matching.consistent(),
+            "Coordinator: policy ", policy_->name(),
+            " returned an inconsistent matching");
+    return matching;
+}
+
+DispatchReport
+Coordinator::dispatch(const std::vector<PairAssignment> &pairs,
+                      std::size_t pair_count_hint) const
+{
+    const std::size_t hint =
+        pair_count_hint ? pair_count_hint : pairs.size();
+    const std::size_t machines =
+        config_.machines ? config_.machines
+                         : std::max<std::size_t>(1, hint);
+    Cluster cluster(*model_, machines);
+    return cluster.dispatch(pairs);
+}
+
+} // namespace cooper

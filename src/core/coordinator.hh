@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The system coordinator (Figures 4 and 6).
+ *
+ * The coordinator is the centralized counterpart to the decentralized
+ * agents. It exposes three services: the system profiler (a database
+ * of colocation measurements that answers agents' queries), the
+ * colocation policy (assigning co-runners from agents' predicted
+ * preferences), and the job dispatcher (sending participating pairs
+ * to machines). Together with the agents it shields human users from
+ * hardware complexity.
+ */
+
+#ifndef COOPER_CORE_COORDINATOR_HH
+#define COOPER_CORE_COORDINATOR_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/instance.hh"
+#include "core/policies.hh"
+#include "sim/cluster.hh"
+#include "sim/profiler.hh"
+
+namespace cooper {
+
+/** Coordinator-side configuration. */
+struct CoordinatorConfig
+{
+    /** Policy short name: GR, CO, SMP, SMR, SR, TH. */
+    std::string policy = "SMR";
+
+    /** Fraction of the type matrix the profiler samples. */
+    double sampleRatio = 0.25;
+
+    /** Measurements averaged per profiled colocation. */
+    std::size_t profileRepeats = 3;
+
+    /** Profiling-noise parameters. */
+    NoiseConfig noise;
+
+    /** Machines available to the dispatcher; 0 means one per pair. */
+    std::size_t machines = 0;
+};
+
+/**
+ * Centralized coordinator: profiler + colocation policy + dispatcher.
+ */
+class Coordinator
+{
+  public:
+    /**
+     * @param catalog Job catalog.
+     * @param model Ground-truth interference model (the "hardware").
+     * @param config Coordinator settings.
+     * @param seed Seed for profiling noise and sampling.
+     */
+    Coordinator(const Catalog &catalog, const InterferenceModel &model,
+                CoordinatorConfig config, std::uint64_t seed = 1);
+
+    const CoordinatorConfig &config() const { return config_; }
+    const Catalog &catalog() const { return *catalog_; }
+
+    /**
+     * Profiler service: the sparse matrix of sampled type-level
+     * colocation measurements. Sampled lazily on first query and
+     * cached; agents query this to train their predictors.
+     */
+    const SparseMatrix &profiles();
+
+    /** Re-profile from scratch (e.g., at an epoch boundary). */
+    void refreshProfiles();
+
+    /**
+     * Measurement database accumulated by the profiler (supports the
+     * paper's Google-wide-profiling-style queries).
+     */
+    const ProfileDatabase &database() const;
+
+    /**
+     * Policy service: assign co-runners for an instance built from
+     * the agents' predicted preferences.
+     */
+    Matching colocate(const ColocationInstance &instance, Rng &rng) const;
+
+    /**
+     * Dispatcher service: send colocated pairs to machines; pairs
+     * queue when machines are scarce.
+     */
+    DispatchReport dispatch(const std::vector<PairAssignment> &pairs,
+                            std::size_t pair_count_hint = 0) const;
+
+  private:
+    const Catalog *catalog_;
+    const InterferenceModel *model_;
+    CoordinatorConfig config_;
+    SystemProfiler profiler_;
+    std::unique_ptr<ColocationPolicy> policy_;
+    std::optional<SparseMatrix> profiles_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_CORE_COORDINATOR_HH

@@ -1,0 +1,81 @@
+#include "experiment.hh"
+
+#include "cf/item_knn.hh"
+#include "sim/profiler.hh"
+#include "util/error.hh"
+
+namespace cooper {
+
+ColocationInstance
+sampleInstance(const Catalog &catalog, const InterferenceModel &model,
+               std::size_t agents, MixKind mix, Rng &rng)
+{
+    auto population = samplePopulation(catalog, agents, mix, rng);
+    return ColocationInstance::oracular(catalog, std::move(population),
+                                        model);
+}
+
+ColocationInstance
+sampleInstanceCf(const Catalog &catalog, const InterferenceModel &model,
+                 std::size_t agents, MixKind mix, double sample_ratio,
+                 Rng &rng)
+{
+    auto population = samplePopulation(catalog, agents, mix, rng);
+
+    SystemProfiler profiler(model, NoiseConfig{}, rng());
+    const SparseMatrix profiles = profiler.sampleProfiles(sample_ratio);
+    const Prediction prediction = ItemKnnPredictor().predict(profiles);
+
+    const std::size_t n = catalog.size();
+    PenaltyMatrix truth = model.penaltyMatrix();
+    PenaltyMatrix believed(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            believed(i, j) = prediction.dense[i][j];
+    return ColocationInstance(catalog, std::move(population),
+                              std::move(truth), std::move(believed));
+}
+
+PolicyRun
+runPolicy(const ColocationPolicy &policy,
+          const ColocationInstance &instance, Rng &rng)
+{
+    PolicyRun run;
+    run.policy = policy.name();
+    run.matching = policy.assign(instance, rng);
+    panicIf(!run.matching.consistent(),
+            "runPolicy: inconsistent matching from ", policy.name());
+    run.penalties = instance.truePenalties(run.matching);
+    run.meanPenalty = instance.meanTruePenalty(run.matching);
+    return run;
+}
+
+std::vector<JobPenalty>
+aggregateByType(const ColocationInstance &instance,
+                const Matching &matching)
+{
+    return penaltiesByType(
+        instance.catalog(), instance.types(), matching,
+        [&](AgentId a, AgentId b) {
+            return instance.trueDisutility(a, b);
+        });
+}
+
+std::vector<JobPenalty>
+figureJobRows(const Catalog &catalog,
+              const std::vector<JobPenalty> &by_type)
+{
+    std::vector<JobPenalty> rows;
+    for (const std::string &name : Catalog::figureJobNames()) {
+        const JobType &job = catalog.jobByName(name);
+        for (const auto &entry : by_type) {
+            if (entry.type == job.id) {
+                rows.push_back(entry);
+                break;
+            }
+        }
+    }
+    return rows;
+}
+
+} // namespace cooper

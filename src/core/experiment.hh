@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared experiment plumbing for the evaluation harnesses in bench/.
+ *
+ * Each bench binary reproduces one of the paper's tables or figures;
+ * this header centralizes the pieces they share: sampling a
+ * population, building an instance, running a policy, and aggregating
+ * per-job penalties.
+ */
+
+#ifndef COOPER_CORE_EXPERIMENT_HH
+#define COOPER_CORE_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hh"
+#include "core/policies.hh"
+#include "game/fairness.hh"
+#include "workload/population.hh"
+
+namespace cooper {
+
+/** One policy's outcome on one instance. */
+struct PolicyRun
+{
+    std::string policy;
+    Matching matching;
+    std::vector<double> penalties; //!< true per-agent penalties
+    double meanPenalty = 0.0;
+};
+
+/**
+ * Sample a population and wrap it in an oracular instance.
+ */
+ColocationInstance
+sampleInstance(const Catalog &catalog, const InterferenceModel &model,
+               std::size_t agents, MixKind mix, Rng &rng);
+
+/**
+ * Sample a population and wrap it in a collaborative-filtering
+ * instance: believed penalties come from sparse noisy profiles run
+ * through the preference predictor, the way a deployed Cooper would
+ * operate (Section VI.C compares this against oracular knowledge).
+ *
+ * @param sample_ratio Fraction of the type matrix profiled.
+ */
+ColocationInstance
+sampleInstanceCf(const Catalog &catalog, const InterferenceModel &model,
+                 std::size_t agents, MixKind mix, double sample_ratio,
+                 Rng &rng);
+
+/** Run one policy and collect its true penalties. */
+PolicyRun runPolicy(const ColocationPolicy &policy,
+                    const ColocationInstance &instance, Rng &rng);
+
+/**
+ * Aggregate a run into per-type penalties ordered by contentiousness
+ * (the figures' x-axis).
+ */
+std::vector<JobPenalty> aggregateByType(const ColocationInstance &instance,
+                                        const Matching &matching);
+
+/**
+ * Restrict per-type aggregates to the eleven jobs displayed in
+ * Figures 1/7/8, in the paper's x-axis order. Types absent from the
+ * population are skipped.
+ */
+std::vector<JobPenalty>
+figureJobRows(const Catalog &catalog,
+              const std::vector<JobPenalty> &by_type);
+
+} // namespace cooper
+
+#endif // COOPER_CORE_EXPERIMENT_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The Cooper framework: coordinator plus agents, end to end.
+ *
+ * One epoch of the colocation game (Sections III and IV):
+ *   1. the coordinator's profiler measures a sparse sample of
+ *      pairwise colocations;
+ *   2. each agent's preference predictor fills in the unobserved
+ *      penalties with item-based collaborative filtering;
+ *   3. the coordinator's colocation policy matches agents;
+ *   4. agents assess assignments by exchanging messages and recommend
+ *      participating or breaking away;
+ *   5. the job dispatcher sends participating pairs to machines.
+ */
+
+#ifndef COOPER_CORE_FRAMEWORK_HH
+#define COOPER_CORE_FRAMEWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cf/item_knn.hh"
+#include "core/agent.hh"
+#include "core/coordinator.hh"
+#include "core/instance.hh"
+#include "core/policies.hh"
+#include "sim/cluster.hh"
+#include "sim/profiler.hh"
+
+namespace cooper {
+
+/** Framework configuration. */
+struct FrameworkConfig
+{
+    /** Policy short name: GR, CO, SMP, SMR, SR, TH. */
+    std::string policy = "SMR";
+
+    /** Fraction of the type-penalty matrix the profiler samples. */
+    double sampleRatio = 0.25;
+
+    /** Skip prediction and hand policies the ground truth. */
+    bool oracular = false;
+
+    /** Preference-predictor settings. */
+    ItemKnnConfig predictor;
+
+    /** Profiling-noise settings. */
+    NoiseConfig noise;
+
+    /** Minimum gain for which an agent breaks away (Figure 10's
+     *  alpha). */
+    double alpha = 0.0;
+
+    /** Machines available to the dispatcher; 0 means one per pair. */
+    std::size_t machines = 0;
+
+    /** Tie-breaking jitter for agent-level disutilities. */
+    double jitter = 1e-4;
+};
+
+/** Everything one epoch produces. */
+struct EpochReport
+{
+    Matching matching;
+
+    /** True per-agent penalties under the assignment. */
+    std::vector<double> penalties;
+
+    /** Mean true penalty over matched agents. */
+    double meanPenalty = 0.0;
+
+    /** Per-agent recommendations from the action recommenders. */
+    std::vector<Recommendation> recommendations;
+
+    /** Agents recommending break-away. */
+    std::size_t breakAwayAgents = 0;
+
+    /** Blocking pairs discovered through message exchange. */
+    std::size_t blockingPairs = 0;
+
+    /** Messages sent during assessment. */
+    std::size_t messagesSent = 0;
+
+    /** Preference-prediction accuracy vs ground truth (Equation 2);
+     *  1.0 in oracular mode. */
+    double predictionAccuracy = 1.0;
+
+    /** Fraction of the type matrix that was profiled. */
+    double profiledDensity = 0.0;
+
+    /** Dispatch outcome for participating pairs. */
+    DispatchReport dispatch;
+};
+
+/**
+ * End-to-end Cooper instance over a job catalog and a cluster model.
+ */
+class CooperFramework
+{
+  public:
+    /**
+     * @param catalog Job catalog.
+     * @param model Ground-truth interference model.
+     * @param config Framework settings.
+     * @param seed Seed for profiling noise, sampling, and policy
+     *        randomness.
+     */
+    CooperFramework(const Catalog &catalog, const InterferenceModel &model,
+                    FrameworkConfig config, std::uint64_t seed = 1);
+
+    const FrameworkConfig &config() const { return config_; }
+
+    /**
+     * Play one epoch of the colocation game.
+     *
+     * @param population Job type of every arriving agent.
+     */
+    EpochReport runEpoch(const std::vector<JobTypeId> &population);
+
+    /**
+     * Build the instance an epoch would play (profile + predict),
+     * without matching or dispatching. Useful for experiments that
+     * evaluate several policies on identical inputs.
+     */
+    ColocationInstance
+    buildInstance(const std::vector<JobTypeId> &population);
+
+    /** The coordinator instance serving this framework. */
+    const Coordinator &coordinator() const { return coordinator_; }
+
+  private:
+    const Catalog *catalog_;
+    const InterferenceModel *model_;
+    FrameworkConfig config_;
+    Rng rng_;
+    Coordinator coordinator_;
+    double lastAccuracy_ = 1.0;
+    double lastDensity_ = 0.0;
+};
+
+} // namespace cooper
+
+#endif // COOPER_CORE_FRAMEWORK_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Colocation with more than two co-runners (Section VIII).
+ *
+ * Stable matching for arbitrary group sizes is intractable in
+ * general; the paper proposes a hierarchical heuristic — match
+ * applications into pairs, then match pairs — and notes stability
+ * guarantees may vary. This module implements that heuristic plus
+ * greedy and random group baselines, evaluated against the
+ * interference model's multi-co-runner penalties.
+ */
+
+#ifndef COOPER_CORE_GROUPS_HH
+#define COOPER_CORE_GROUPS_HH
+
+#include <vector>
+
+#include "core/instance.hh"
+#include "util/rng.hh"
+
+namespace cooper {
+
+/** A partition of agents into CMP-sharing groups. */
+struct Grouping
+{
+    std::vector<std::vector<AgentId>> groups;
+
+    /** Total agents across all groups. */
+    std::size_t agentCount() const;
+
+    /** True when each agent appears exactly once and ids are valid. */
+    bool isPartitionOf(std::size_t agents) const;
+};
+
+/**
+ * Ground-truth penalty of agent `self` inside its group.
+ *
+ * @param instance Population and penalty matrices.
+ * @param self Agent whose penalty is evaluated.
+ * @param group The group containing `self`.
+ * @param model Interference model for multi-co-runner penalties.
+ */
+double trueGroupPenalty(const ColocationInstance &instance,
+                        const InterferenceModel &model, AgentId self,
+                        const std::vector<AgentId> &group);
+
+/** Per-agent true penalties for a grouping (zero when alone). */
+std::vector<double> trueGroupPenalties(const ColocationInstance &instance,
+                                       const InterferenceModel &model,
+                                       const Grouping &grouping);
+
+/**
+ * Hierarchical stable grouping: adapted stable roommates pairs the
+ * agents, then pairs the pairs (for group size 4) using the additive
+ * believed disutility between super-agents. Group size 3 matches
+ * pairs with leftover singles. Supported sizes: 2, 3, 4.
+ *
+ * Agents only know pairwise (believed) penalties; the quality of the
+ * additive approximation is part of what the extension benchmarks.
+ */
+Grouping hierarchicalGroups(const ColocationInstance &instance,
+                            std::size_t group_size, Rng &rng);
+
+/**
+ * Greedy baseline: tasks arrive in random order and join the
+ * non-full machine with the least combined bandwidth demand (GR
+ * generalized to larger groups).
+ */
+Grouping greedyGroups(const ColocationInstance &instance,
+                      std::size_t group_size, Rng &rng);
+
+/** Random baseline: shuffle and chop into groups. */
+Grouping randomGroups(const ColocationInstance &instance,
+                      std::size_t group_size, Rng &rng);
+
+} // namespace cooper
+
+#endif // COOPER_CORE_GROUPS_HH

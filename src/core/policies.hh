@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Colocation policies (Section IV.C).
+ *
+ * Conventional baselines:
+ *  - Greedy (GR): each task, in arrival order, goes to the processor
+ *    that minimizes contention given prior assignments.
+ *  - Complementary (CO): partition by resource demand and pair
+ *    memory-intensive tasks with compute-intensive ones.
+ *  - Threshold: colocate only when both penalties stay under a
+ *    tolerance; otherwise add a machine (Bubble-Up-style).
+ *
+ * Game-theoretic policies:
+ *  - Stable Marriage Partition (SMP): partition by memory intensity;
+ *    the resource-intensive set proposes.
+ *  - Stable Marriage Random (SMR): random partition; a random set
+ *    proposes.
+ *  - Stable Roommate (SR): unrestricted matching; greedy fallback
+ *    when no perfectly stable solution exists.
+ */
+
+#ifndef COOPER_CORE_POLICIES_HH
+#define COOPER_CORE_POLICIES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.hh"
+#include "matching/matching.hh"
+#include "util/rng.hh"
+
+namespace cooper {
+
+/**
+ * Interface every colocation policy implements.
+ */
+class ColocationPolicy
+{
+  public:
+    virtual ~ColocationPolicy() = default;
+
+    /** Short name as used in the paper's figures (GR, CO, ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Assign co-runners for an instance.
+     *
+     * @param instance Population and believed disutilities.
+     * @param rng Random stream (arrival orders, random partitions).
+     */
+    virtual Matching assign(const ColocationInstance &instance,
+                            Rng &rng) const = 0;
+};
+
+/** Greedy contention-minimizing baseline (GR). */
+class GreedyPolicy : public ColocationPolicy
+{
+  public:
+    std::string name() const override { return "GR"; }
+    Matching assign(const ColocationInstance &instance,
+                    Rng &rng) const override;
+};
+
+/** Complementary-demand pairing baseline (CO). */
+class ComplementaryPolicy : public ColocationPolicy
+{
+  public:
+    std::string name() const override { return "CO"; }
+    Matching assign(const ColocationInstance &instance,
+                    Rng &rng) const override;
+};
+
+/** Stable marriage with a memory-intensity partition (SMP). */
+class StableMarriagePartitionPolicy : public ColocationPolicy
+{
+  public:
+    std::string name() const override { return "SMP"; }
+    Matching assign(const ColocationInstance &instance,
+                    Rng &rng) const override;
+};
+
+/** Stable marriage with a random partition (SMR). */
+class StableMarriageRandomPolicy : public ColocationPolicy
+{
+  public:
+    std::string name() const override { return "SMR"; }
+    Matching assign(const ColocationInstance &instance,
+                    Rng &rng) const override;
+};
+
+/** Adapted stable roommates (SR). */
+class StableRoommatePolicy : public ColocationPolicy
+{
+  public:
+    std::string name() const override { return "SR"; }
+    Matching assign(const ColocationInstance &instance,
+                    Rng &rng) const override;
+};
+
+/**
+ * Threshold policy: colocate a pair only when both believed penalties
+ * are below the tolerance; tasks that cannot colocate run alone on an
+ * extra machine. Included for the related-work comparison; note GR
+ * dominates it when no spare machines exist (Section IV.C).
+ */
+class ThresholdPolicy : public ColocationPolicy
+{
+  public:
+    explicit ThresholdPolicy(double tolerance = 0.10);
+
+    std::string name() const override { return "TH"; }
+    Matching assign(const ColocationInstance &instance,
+                    Rng &rng) const override;
+
+    double tolerance() const { return tolerance_; }
+
+  private:
+    double tolerance_;
+};
+
+/** All five figure policies in presentation order. */
+std::vector<std::unique_ptr<ColocationPolicy>> figurePolicies();
+
+/** Instantiate a policy by its short name (GR, CO, SMP, SMR, SR, TH). */
+std::unique_ptr<ColocationPolicy> makePolicy(const std::string &name);
+
+} // namespace cooper
+
+#endif // COOPER_CORE_POLICIES_HH

@@ -1,0 +1,169 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+EpochScheduler::EpochScheduler(const Catalog &catalog,
+                               const InterferenceModel &model,
+                               SchedulerConfig config, std::uint64_t seed)
+    : catalog_(&catalog), model_(&model), config_(std::move(config)),
+      rng_(seed)
+{
+    fatalIf(config_.epochSec <= 0.0,
+            "EpochScheduler: epochSec must be positive");
+    fatalIf(config_.arrivalRatePerSec < 0.0,
+            "EpochScheduler: negative arrival rate");
+    fatalIf(config_.machines == 0,
+            "EpochScheduler: need at least one machine");
+}
+
+ScheduleTrace
+EpochScheduler::run(double horizon_sec, double drain_sec)
+{
+    fatalIf(horizon_sec <= 0.0,
+            "EpochScheduler: horizon must be positive");
+    fatalIf(drain_sec < 0.0, "EpochScheduler: negative drain");
+
+    ScheduleTrace trace;
+    const auto weights = mixWeights(*catalog_, config_.mix);
+    const auto policy = makePolicy(config_.policy);
+
+    // Pre-generate Poisson arrivals over the horizon.
+    if (config_.arrivalRatePerSec > 0.0) {
+        double t = 0.0;
+        for (;;) {
+            double u = rng_.uniform();
+            while (u == 0.0)
+                u = rng_.uniform();
+            t += -std::log(u) / config_.arrivalRatePerSec;
+            if (t >= horizon_sec)
+                break;
+            JobRecord job;
+            job.id = trace.jobs.size();
+            job.type = static_cast<JobTypeId>(rng_.discrete(weights));
+            job.arrivalSec = t;
+            trace.jobs.push_back(job);
+        }
+    }
+
+    std::vector<double> machine_free(config_.machines, 0.0);
+    std::vector<std::size_t> queue; // job ids, FIFO by arrival
+    std::size_t next_arrival = 0;
+    double busy_seconds = 0.0;
+
+    const double end_time = horizon_sec + drain_sec;
+    for (double now = config_.epochSec; now <= end_time + 1e-9;
+         now += config_.epochSec) {
+        EpochSummary epoch;
+        epoch.timeSec = now;
+
+        // Admit jobs that arrived during this period.
+        while (next_arrival < trace.jobs.size() &&
+               trace.jobs[next_arrival].arrivalSec <= now) {
+            queue.push_back(next_arrival);
+            ++next_arrival;
+            ++epoch.arrivals;
+        }
+
+        std::vector<std::size_t> free_machines;
+        for (std::size_t m = 0; m < config_.machines; ++m)
+            if (machine_free[m] <= now)
+                free_machines.push_back(m);
+        epoch.freeMachines = free_machines.size();
+
+        if (queue.size() >= 2 && !free_machines.empty()) {
+            // Match the entire queue, then dispatch pairs in order of
+            // the older member's arrival until machines run out.
+            std::vector<JobTypeId> types;
+            types.reserve(queue.size());
+            for (std::size_t id : queue)
+                types.push_back(trace.jobs[id].type);
+            const auto instance = ColocationInstance::oracular(
+                *catalog_, types, *model_);
+            const Matching matching = policy->assign(instance, rng_);
+
+            auto pairs = matching.pairs();
+            std::stable_sort(
+                pairs.begin(), pairs.end(),
+                [&](const auto &x, const auto &y) {
+                    return std::min(trace.jobs[queue[x.first]].arrivalSec,
+                                    trace.jobs[queue[x.second]]
+                                        .arrivalSec) <
+                           std::min(trace.jobs[queue[y.first]].arrivalSec,
+                                    trace.jobs[queue[y.second]]
+                                        .arrivalSec);
+                });
+
+            std::vector<std::uint8_t> dispatched(queue.size(), 0);
+            double penalty_sum = 0.0;
+            std::size_t machine_cursor = 0;
+            for (const auto &[la, lb] : pairs) {
+                if (machine_cursor >= free_machines.size())
+                    break;
+                const std::size_t machine =
+                    free_machines[machine_cursor++];
+                JobRecord &a = trace.jobs[queue[la]];
+                JobRecord &b = trace.jobs[queue[lb]];
+                const double runtime = std::max(
+                    model_->colocatedSeconds(a.type, b.type),
+                    model_->colocatedSeconds(b.type, a.type));
+                a.startSec = now;
+                b.startSec = now;
+                a.endSec = now + runtime;
+                b.endSec = now + runtime;
+                a.penalty = model_->penalty(a.type, b.type);
+                b.penalty = model_->penalty(b.type, a.type);
+                a.machine = machine;
+                b.machine = machine;
+                machine_free[machine] = now + runtime;
+                busy_seconds += runtime;
+                penalty_sum += a.penalty + b.penalty;
+                dispatched[la] = 1;
+                dispatched[lb] = 1;
+                epoch.dispatched += 2;
+            }
+            if (epoch.dispatched > 0) {
+                epoch.meanPenalty =
+                    penalty_sum / static_cast<double>(epoch.dispatched);
+            }
+            std::vector<std::size_t> still_waiting;
+            for (std::size_t k = 0; k < queue.size(); ++k)
+                if (!dispatched[k])
+                    still_waiting.push_back(queue[k]);
+            queue = std::move(still_waiting);
+        }
+        epoch.queued = queue.size();
+        trace.epochs.push_back(epoch);
+    }
+
+    // Aggregate metrics over started jobs.
+    double wait = 0.0, slowdown = 0.0;
+    std::size_t started = 0;
+    for (const JobRecord &job : trace.jobs) {
+        if (!job.started()) {
+            ++trace.unfinished;
+            continue;
+        }
+        if (job.endSec > end_time) {
+            ++trace.unfinished;
+        }
+        ++started;
+        wait += job.startSec - job.arrivalSec;
+        slowdown += (job.endSec - job.arrivalSec) /
+                    catalog_->job(job.type).standaloneSec;
+    }
+    if (started) {
+        trace.meanWaitSec = wait / static_cast<double>(started);
+        trace.meanSlowdown = slowdown / static_cast<double>(started);
+    }
+    trace.utilization =
+        busy_seconds /
+        (static_cast<double>(config_.machines) * end_time);
+    return trace;
+}
+
+} // namespace cooper

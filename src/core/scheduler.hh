@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Epoch-based scheduling of an arriving job stream (Section III.A).
+ *
+ * The colocation game batches arriving jobs and assigns them to
+ * available processors periodically; the scheduling period is
+ * comparable to job completion times (minutes), and jobs queue when
+ * the system is heavily loaded. EpochScheduler simulates that loop on
+ * top of the colocation policies: jobs arrive as a Poisson process,
+ * each epoch the queued jobs are matched, and as many pairs as there
+ * are free machines dispatch; unmatched or undispatched jobs wait for
+ * the next epoch.
+ */
+
+#ifndef COOPER_CORE_SCHEDULER_HH
+#define COOPER_CORE_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hh"
+#include "core/policies.hh"
+#include "workload/population.hh"
+
+namespace cooper {
+
+/** Scheduler configuration. */
+struct SchedulerConfig
+{
+    /** Policy short name used to match each epoch's batch. */
+    std::string policy = "SMR";
+
+    /** Scheduling period in seconds (minutes, like job runtimes). */
+    double epochSec = 300.0;
+
+    /** Mean job arrivals per second (Poisson process). */
+    double arrivalRatePerSec = 0.05;
+
+    /** Chip multiprocessors in the cluster. */
+    std::size_t machines = 10;
+
+    /** Workload mix of the arrival stream. */
+    MixKind mix = MixKind::Uniform;
+};
+
+/** Lifecycle record of one job. */
+struct JobRecord
+{
+    std::size_t id = 0;
+    JobTypeId type = 0;
+    double arrivalSec = 0.0;
+    double startSec = -1.0;   //!< -1 while still queued
+    double endSec = -1.0;     //!< -1 while queued or running
+    double penalty = 0.0;     //!< throughput penalty while colocated
+    std::size_t machine = 0;
+
+    bool started() const { return startSec >= 0.0; }
+};
+
+/** Per-epoch accounting. */
+struct EpochSummary
+{
+    double timeSec = 0.0;
+    std::size_t arrivals = 0;   //!< jobs that arrived this epoch
+    std::size_t dispatched = 0; //!< jobs sent to machines
+    std::size_t queued = 0;     //!< jobs left waiting afterwards
+    std::size_t freeMachines = 0;
+    double meanPenalty = 0.0;   //!< over jobs dispatched this epoch
+};
+
+/** Full simulation outcome. */
+struct ScheduleTrace
+{
+    std::vector<JobRecord> jobs;
+    std::vector<EpochSummary> epochs;
+
+    /** Mean queueing delay of started jobs (start - arrival). */
+    double meanWaitSec = 0.0;
+
+    /** Mean of (end - arrival) / standalone runtime. */
+    double meanSlowdown = 0.0;
+
+    /** Busy machine-seconds over machines * horizon. */
+    double utilization = 0.0;
+
+    /** Jobs still queued or running at the horizon. */
+    std::size_t unfinished = 0;
+};
+
+/**
+ * Periodic batch scheduler over the colocation game.
+ */
+class EpochScheduler
+{
+  public:
+    /**
+     * @param catalog Job catalog.
+     * @param model Interference model (runtimes and penalties).
+     * @param config Scheduler settings.
+     * @param seed Seed for arrivals and policy randomness.
+     */
+    EpochScheduler(const Catalog &catalog, const InterferenceModel &model,
+                   SchedulerConfig config, std::uint64_t seed = 1);
+
+    /**
+     * Simulate the arrival stream for `horizon_sec` seconds of
+     * simulated time, then let the queue drain (no further arrivals)
+     * for up to `drain_sec` more.
+     */
+    ScheduleTrace run(double horizon_sec, double drain_sec = 0.0);
+
+  private:
+    const Catalog *catalog_;
+    const InterferenceModel *model_;
+    SchedulerConfig config_;
+    Rng rng_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_CORE_SCHEDULER_HH

@@ -1,0 +1,51 @@
+#include "colocation_game.hh"
+
+#include <bit>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+CharacteristicFn
+colocationGame(const InterferenceModel &model, std::vector<JobTypeId> jobs)
+{
+    fatalIf(jobs.empty(), "colocationGame: no jobs");
+    fatalIf(jobs.size() > 20, "colocationGame: at most 20 jobs");
+    for (JobTypeId t : jobs)
+        fatalIf(t >= model.catalog().size(),
+                "colocationGame: unknown job type ", t);
+
+    return [&model, jobs = std::move(jobs)](CoalitionMask s) {
+        const auto members =
+            std::popcount(static_cast<std::uint32_t>(s));
+        if (members < 2)
+            return 0.0;
+        double total = 0.0;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (!(s & (CoalitionMask(1) << i)))
+                continue;
+            std::vector<JobTypeId> others;
+            others.reserve(static_cast<std::size_t>(members) - 1);
+            for (std::size_t j = 0; j < jobs.size(); ++j)
+                if (j != i && (s & (CoalitionMask(1) << j)))
+                    others.push_back(jobs[j]);
+            total += model.groupPenalty(jobs[i], others);
+        }
+        return total;
+    };
+}
+
+std::vector<double>
+shapleyAttribution(const InterferenceModel &model,
+                   std::vector<JobTypeId> jobs)
+{
+    fatalIf(jobs.size() < 2,
+            "shapleyAttribution: need at least two jobs");
+    fatalIf(jobs.size() > 16,
+            "shapleyAttribution: exact Shapley capped at 16 jobs");
+    const std::size_t n = jobs.size();
+    const auto v = colocationGame(model, std::move(jobs));
+    return shapleyExact(n, v);
+}
+
+} // namespace cooper

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The colocation game as a cooperative game (Section II).
+ *
+ * A coalition of jobs sharing one chip multiprocessor generates a
+ * total penalty; the Shapley value divides that penalty fairly among
+ * the members according to their marginal contributions. The paper
+ * uses this construction to justify its fairness goal — larger
+ * losses for more contentious jobs — and notes Shapley itself is not
+ * directly deployable (penalties are not transferable), so it serves
+ * as the benchmark that colocation outcomes are measured against.
+ */
+
+#ifndef COOPER_GAME_COLOCATION_GAME_HH
+#define COOPER_GAME_COLOCATION_GAME_HH
+
+#include <vector>
+
+#include "game/shapley.hh"
+#include "sim/interference.hh"
+
+namespace cooper {
+
+/**
+ * Characteristic function of a set of jobs sharing a CMP: v(S) is
+ * the sum of coalition members' penalties when all of S colocates
+ * (zero for singletons and the empty coalition).
+ *
+ * @param model Interference model.
+ * @param jobs Candidate job types (agent i of the game runs
+ *        jobs[i]); at most 20 jobs.
+ */
+CharacteristicFn colocationGame(const InterferenceModel &model,
+                                std::vector<JobTypeId> jobs);
+
+/**
+ * Fair (Shapley) division of the grand coalition's penalty among the
+ * jobs sharing one CMP.
+ *
+ * @param model Interference model.
+ * @param jobs Job types sharing the processor (2..16 of them).
+ * @return One share per job, summing to the coalition penalty.
+ */
+std::vector<double> shapleyAttribution(const InterferenceModel &model,
+                                       std::vector<JobTypeId> jobs);
+
+} // namespace cooper
+
+#endif // COOPER_GAME_COLOCATION_GAME_HH

@@ -1,0 +1,66 @@
+#include "fairness.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/correlation.hh"
+#include "stats/online.hh"
+#include "util/error.hh"
+
+namespace cooper {
+
+std::vector<JobPenalty>
+penaltiesByType(const Catalog &catalog,
+                const std::vector<JobTypeId> &types,
+                const Matching &matching, const DisutilityFn &disutility)
+{
+    fatalIf(types.size() != matching.size(),
+            "penaltiesByType: ", types.size(), " types vs matching over ",
+            matching.size(), " agents");
+
+    std::vector<OnlineStats> per_type(catalog.size());
+    for (AgentId i = 0; i < types.size(); ++i) {
+        if (!matching.isMatched(i))
+            continue;
+        fatalIf(types[i] >= catalog.size(),
+                "penaltiesByType: agent ", i, " has unknown type");
+        per_type[types[i]].add(disutility(i, matching.partnerOf(i)));
+    }
+
+    std::vector<JobPenalty> out;
+    for (JobTypeId t = 0; t < catalog.size(); ++t) {
+        if (per_type[t].count() == 0)
+            continue;
+        JobPenalty row;
+        row.type = t;
+        row.gbps = catalog.job(t).gbps;
+        row.meanPenalty = per_type[t].mean();
+        row.stddev = per_type[t].stddev();
+        row.count = per_type[t].count();
+        out.push_back(row);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const JobPenalty &a, const JobPenalty &b) {
+                         return a.gbps < b.gbps;
+                     });
+    return out;
+}
+
+FairnessReport
+fairness(const std::vector<JobPenalty> &penalties)
+{
+    std::vector<double> demand, penalty;
+    demand.reserve(penalties.size());
+    penalty.reserve(penalties.size());
+    for (const auto &row : penalties) {
+        demand.push_back(row.gbps);
+        penalty.push_back(row.meanPenalty);
+    }
+    FairnessReport report;
+    report.rankCorrelation = spearman(demand, penalty);
+    report.linearCorrelation = pearson(demand, penalty);
+    report.kendall = kendallTau(demand, penalty);
+    return report;
+}
+
+} // namespace cooper

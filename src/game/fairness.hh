@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fairness metrics for colocation outcomes.
+ *
+ * Following Section II, a colocation is fair when performance
+ * penalties rise with contentiousness (bandwidth demand). These
+ * helpers aggregate per-job penalties out of a population matching and
+ * score the penalty-vs-demand relationship (Figures 7, 8, and 13).
+ */
+
+#ifndef COOPER_GAME_FAIRNESS_HH
+#define COOPER_GAME_FAIRNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "matching/blocking.hh"
+#include "matching/matching.hh"
+#include "workload/catalog.hh"
+
+namespace cooper {
+
+/** Per-job-type penalty aggregate over a matched population. */
+struct JobPenalty
+{
+    JobTypeId type = 0;
+    double gbps = 0.0;        //!< bandwidth demand (contentiousness)
+    double meanPenalty = 0.0; //!< average over the type's colocations
+    double stddev = 0.0;
+    std::size_t count = 0;    //!< matched agents of this type
+};
+
+/**
+ * Average each job type's penalty over a matched population.
+ *
+ * @param catalog Job catalog (for names and bandwidth).
+ * @param types Agent -> job type.
+ * @param matching Colocations over those agents.
+ * @param disutility True disutility oracle over agents.
+ * @return One entry per type that appears matched, ordered by
+ *         increasing bandwidth demand (the paper's x-axis order).
+ */
+std::vector<JobPenalty>
+penaltiesByType(const Catalog &catalog,
+                const std::vector<JobTypeId> &types,
+                const Matching &matching, const DisutilityFn &disutility);
+
+/** Fairness summary of one colocation outcome. */
+struct FairnessReport
+{
+    /** Spearman correlation of per-type penalty vs bandwidth. */
+    double rankCorrelation = 0.0;
+
+    /** Pearson correlation of the same series. */
+    double linearCorrelation = 0.0;
+
+    /** Kendall tau of the same series. */
+    double kendall = 0.0;
+};
+
+/** Score how well penalties track contentiousness. */
+FairnessReport fairness(const std::vector<JobPenalty> &penalties);
+
+} // namespace cooper
+
+#endif // COOPER_GAME_FAIRNESS_HH

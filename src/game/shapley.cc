@@ -1,0 +1,124 @@
+#include "shapley.hh"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+/** n! for the small n used in exact computations. */
+double
+factorial(std::size_t n)
+{
+    double f = 1.0;
+    for (std::size_t i = 2; i <= n; ++i)
+        f *= static_cast<double>(i);
+    return f;
+}
+
+} // namespace
+
+std::vector<double>
+shapleyExact(std::size_t n, const CharacteristicFn &v)
+{
+    fatalIf(n == 0, "shapleyExact: no agents");
+    fatalIf(n > 20, "shapleyExact: n=", n,
+            " too large for subset enumeration; use shapleySampled");
+
+    // Cache v over all subsets so each is evaluated exactly once.
+    const std::size_t subsets = std::size_t(1) << n;
+    std::vector<double> value(subsets, 0.0);
+    for (CoalitionMask s = 1; s < subsets; ++s)
+        value[s] = v(s);
+
+    // Precompute |S|!(n-|S|-1)!/n! by coalition size.
+    const double n_fact = factorial(n);
+    std::vector<double> weight(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s)
+        weight[s] = factorial(s) * factorial(n - s - 1) / n_fact;
+
+    std::vector<double> phi(n, 0.0);
+    for (CoalitionMask s = 0; s < subsets; ++s) {
+        const auto size = static_cast<std::size_t>(
+            std::popcount(static_cast<std::uint32_t>(s)));
+        for (std::size_t i = 0; i < n; ++i) {
+            if (s & (CoalitionMask(1) << i))
+                continue;
+            const CoalitionMask with_i = s | (CoalitionMask(1) << i);
+            phi[i] += weight[size] * (value[with_i] - value[s]);
+        }
+    }
+    return phi;
+}
+
+std::vector<double>
+shapleySampled(std::size_t n, const CharacteristicFn &v,
+               std::size_t samples, Rng &rng)
+{
+    fatalIf(n == 0, "shapleySampled: no agents");
+    fatalIf(n > 32, "shapleySampled: CoalitionMask holds at most 32");
+    fatalIf(samples == 0, "shapleySampled: need at least one sample");
+
+    std::vector<double> phi(n, 0.0);
+    for (std::size_t s = 0; s < samples; ++s) {
+        const auto order = rng.permutation(n);
+        CoalitionMask mask = 0;
+        double prev = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            mask |= CoalitionMask(1) << order[k];
+            const double cur = v(mask);
+            phi[order[k]] += cur - prev;
+            prev = cur;
+        }
+    }
+    for (double &p : phi)
+        p /= static_cast<double>(samples);
+    return phi;
+}
+
+CharacteristicFn
+interferenceGame(std::vector<double> interference)
+{
+    return [interference = std::move(interference)](CoalitionMask s) {
+        double total = 0.0;
+        std::size_t members = 0;
+        for (std::size_t i = 0; i < interference.size(); ++i) {
+            if (s & (CoalitionMask(1) << i)) {
+                total += interference[i];
+                ++members;
+            }
+        }
+        // Agents running alone suffer no contention penalty.
+        return members >= 2 ? total : 0.0;
+    };
+}
+
+std::vector<std::vector<double>>
+shapleyMarginalTable(std::size_t n, const CharacteristicFn &v)
+{
+    fatalIf(n == 0 || n > 8,
+            "shapleyMarginalTable: table only sensible for tiny n");
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t(0));
+
+    std::vector<std::vector<double>> rows;
+    do {
+        std::vector<double> marginals(n, 0.0);
+        CoalitionMask mask = 0;
+        double prev = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            mask |= CoalitionMask(1) << order[k];
+            const double cur = v(mask);
+            marginals[order[k]] = cur - prev;
+            prev = cur;
+        }
+        rows.push_back(std::move(marginals));
+    } while (std::next_permutation(order.begin(), order.end()));
+    return rows;
+}
+
+} // namespace cooper

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cooperative-game foundations: characteristic functions over
+ * coalitions and the Shapley value (Equation 1 and Appendix A).
+ *
+ * Shapley assigns each agent its marginal contribution to the
+ * coalition's penalty, averaged over every order in which the
+ * coalition could have formed. The paper uses it as the theoretical
+ * justification for fair attribution: more contentious agents should
+ * absorb larger shares of the colocation penalty.
+ */
+
+#ifndef COOPER_GAME_SHAPLEY_HH
+#define COOPER_GAME_SHAPLEY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace cooper {
+
+/** Coalitions are bitmasks over at most 32 agents. */
+using CoalitionMask = std::uint32_t;
+
+/**
+ * Characteristic function v(S): the penalty a coalition S generates.
+ */
+using CharacteristicFn = std::function<double(CoalitionMask)>;
+
+/**
+ * Exact Shapley values by subset enumeration, O(2^n * n).
+ *
+ * @param n Number of agents (n <= 20 keeps this tractable).
+ * @param v Characteristic function; v(empty) is assumed 0.
+ */
+std::vector<double> shapleyExact(std::size_t n, const CharacteristicFn &v);
+
+/**
+ * Monte-Carlo Shapley by sampling agent arrival orders.
+ *
+ * @param n Number of agents.
+ * @param v Characteristic function.
+ * @param samples Number of sampled permutations.
+ * @param rng Random stream.
+ */
+std::vector<double> shapleySampled(std::size_t n, const CharacteristicFn &v,
+                                   std::size_t samples, Rng &rng);
+
+/**
+ * The appendix's interference game: each agent contributes a fixed
+ * interference amount, coalition penalty is zero for singletons and
+ * the sum of members' interference otherwise.
+ *
+ * For this game the Shapley value of agent i works out to
+ * I_i * (n-1)/n + (sum of others' interference) / (n * (n-1)) summed
+ * appropriately; the appendix instance {1, 2, 3} yields
+ * {1.5, 2.0, 2.5}.
+ */
+CharacteristicFn interferenceGame(std::vector<double> interference);
+
+/**
+ * Per-permutation marginal contributions for a small game, in the
+ * appendix's presentation order (all n! permutations, lexicographic).
+ *
+ * @return marginals[p][i] = agent i's marginal penalty in the p-th
+ *         permutation.
+ */
+std::vector<std::vector<double>>
+shapleyMarginalTable(std::size_t n, const CharacteristicFn &v);
+
+} // namespace cooper
+
+#endif // COOPER_GAME_SHAPLEY_HH

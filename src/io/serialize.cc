@@ -1,0 +1,154 @@
+#include "serialize.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+constexpr const char *kProfilesHeader = "cooper-profiles";
+constexpr const char *kMatchingHeader = "cooper-matching";
+constexpr int kFormatVersion = 1;
+
+void
+expectHeader(std::istream &is, const char *magic, std::string &line)
+{
+    fatalIf(!std::getline(is, line), "serialize: empty input");
+    std::istringstream header(line);
+    std::string word;
+    int version = 0;
+    header >> word >> version;
+    fatalIf(word != magic, "serialize: expected '", magic,
+            "' header, got '", word, "'");
+    fatalIf(version != kFormatVersion, "serialize: unsupported version ",
+            version);
+}
+
+} // namespace
+
+void
+writeProfiles(std::ostream &os, const SparseMatrix &profiles)
+{
+    os << kProfilesHeader << " " << kFormatVersion << " "
+       << profiles.rows() << " " << profiles.cols() << "\n";
+    os << std::setprecision(17);
+    for (const auto &entry : profiles.entries())
+        os << entry.row << " " << entry.col << " " << entry.value
+           << "\n";
+}
+
+SparseMatrix
+readProfiles(std::istream &is)
+{
+    std::string line;
+    expectHeader(is, kProfilesHeader, line);
+    std::istringstream header(line);
+    std::string word;
+    int version = 0;
+    std::size_t rows = 0, cols = 0;
+    header >> word >> version >> rows >> cols;
+    fatalIf(rows == 0 || cols == 0,
+            "readProfiles: bad shape ", rows, "x", cols);
+
+    SparseMatrix out(rows, cols);
+    std::size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::istringstream cells(line);
+        std::size_t r = 0, c = 0;
+        double value = 0.0;
+        fatalIf(!(cells >> r >> c >> value),
+                "readProfiles: malformed line ", lineno, ": '", line,
+                "'");
+        fatalIf(r >= rows || c >= cols,
+                "readProfiles: cell (", r, ", ", c,
+                ") outside declared shape on line ", lineno);
+        out.set(r, c, value);
+    }
+    return out;
+}
+
+void
+writeMatching(std::ostream &os, const Matching &matching)
+{
+    os << kMatchingHeader << " " << kFormatVersion << " "
+       << matching.size() << "\n";
+    for (const auto &[a, b] : matching.pairs())
+        os << a << " " << b << "\n";
+}
+
+Matching
+readMatching(std::istream &is)
+{
+    std::string line;
+    expectHeader(is, kMatchingHeader, line);
+    std::istringstream header(line);
+    std::string word;
+    int version = 0;
+    std::size_t n = 0;
+    header >> word >> version >> n;
+    fatalIf(n == 0, "readMatching: empty matching declared");
+
+    Matching out(n);
+    std::size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::istringstream cells(line);
+        std::size_t a = 0, b = 0;
+        fatalIf(!(cells >> a >> b),
+                "readMatching: malformed line ", lineno, ": '", line,
+                "'");
+        fatalIf(a >= n || b >= n,
+                "readMatching: agent out of range on line ", lineno);
+        fatalIf(out.isMatched(a) || out.isMatched(b),
+                "readMatching: agent repeated on line ", lineno);
+        out.pair(a, b);
+    }
+    return out;
+}
+
+void
+saveProfiles(const std::string &path, const SparseMatrix &profiles)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "saveProfiles: cannot open '", path, "'");
+    writeProfiles(out, profiles);
+    fatalIf(!out, "saveProfiles: write to '", path, "' failed");
+}
+
+SparseMatrix
+loadProfiles(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "loadProfiles: cannot open '", path, "'");
+    return readProfiles(in);
+}
+
+void
+saveMatching(const std::string &path, const Matching &matching)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "saveMatching: cannot open '", path, "'");
+    writeMatching(out, matching);
+    fatalIf(!out, "saveMatching: write to '", path, "' failed");
+}
+
+Matching
+loadMatching(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "loadMatching: cannot open '", path, "'");
+    return readMatching(in);
+}
+
+} // namespace cooper

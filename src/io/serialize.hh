@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Text serialization for the artifacts agents and the coordinator
+ * exchange.
+ *
+ * The paper's implementation writes co-runner assignments to files
+ * that are sent to agents, and agents communicate over files and the
+ * network (Section IV.B). This module provides the equivalent durable
+ * formats: profile matrices and matchings round-trip through simple
+ * line-oriented text with explicit versioned headers.
+ */
+
+#ifndef COOPER_IO_SERIALIZE_HH
+#define COOPER_IO_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "cf/sparse_matrix.hh"
+#include "matching/matching.hh"
+
+namespace cooper {
+
+/** Write a sparse profile matrix; format: header then "row col value"
+ *  lines for each known cell. */
+void writeProfiles(std::ostream &os, const SparseMatrix &profiles);
+
+/** Parse a profile matrix; raises FatalError on malformed input. */
+SparseMatrix readProfiles(std::istream &is);
+
+/** Write a matching; format: header then "a b" lines per pair. */
+void writeMatching(std::ostream &os, const Matching &matching);
+
+/** Parse a matching; raises FatalError on malformed input. */
+Matching readMatching(std::istream &is);
+
+/** Convenience file wrappers; raise FatalError on I/O failure. */
+void saveProfiles(const std::string &path, const SparseMatrix &profiles);
+SparseMatrix loadProfiles(const std::string &path);
+void saveMatching(const std::string &path, const Matching &matching);
+Matching loadMatching(const std::string &path);
+
+} // namespace cooper
+
+#endif // COOPER_IO_SERIALIZE_HH

@@ -1,0 +1,72 @@
+#include "blocking.hh"
+
+#include "util/error.hh"
+
+namespace cooper {
+
+std::vector<BlockingPair>
+findBlockingPairs(const Matching &matching, const DisutilityFn &disutility,
+                  double alpha)
+{
+    fatalIf(alpha < 0.0, "findBlockingPairs: negative alpha ", alpha);
+    const std::size_t n = matching.size();
+    std::vector<BlockingPair> out;
+
+    // Cache each agent's current penalty.
+    std::vector<double> current(n, 0.0);
+    for (AgentId i = 0; i < n; ++i)
+        if (matching.isMatched(i))
+            current[i] = disutility(i, matching.partnerOf(i));
+
+    for (AgentId i = 0; i < n; ++i) {
+        if (!matching.isMatched(i))
+            continue; // running alone cannot be improved upon
+        for (AgentId j = i + 1; j < n; ++j) {
+            if (!matching.isMatched(j) || matching.partnerOf(i) == j)
+                continue;
+            const double gain_i = current[i] - disutility(i, j);
+            const double gain_j = current[j] - disutility(j, i);
+            // With alpha = 0 any strict mutual improvement blocks; a
+            // positive alpha demands at least that much from both.
+            const bool blocks = alpha > 0.0
+                                    ? (gain_i >= alpha && gain_j >= alpha)
+                                    : (gain_i > 0.0 && gain_j > 0.0);
+            if (blocks)
+                out.push_back(BlockingPair{i, j, gain_i, gain_j});
+        }
+    }
+    return out;
+}
+
+std::size_t
+countBlockingPairs(const Matching &matching, const DisutilityFn &disutility,
+                   double alpha)
+{
+    return findBlockingPairs(matching, disutility, alpha).size();
+}
+
+bool
+isStableMatching(const Matching &matching, const PreferenceProfile &prefs)
+{
+    const std::size_t n = matching.size();
+    fatalIf(prefs.agents() != n, "isStableMatching: size mismatch");
+    for (AgentId i = 0; i < n; ++i) {
+        for (AgentId j = i + 1; j < n; ++j) {
+            if (matching.partnerOf(i) == j)
+                continue;
+            if (!prefs.hasCandidate(i, j) || !prefs.hasCandidate(j, i))
+                continue;
+            const bool i_wants =
+                !matching.isMatched(i) ||
+                prefs.prefers(i, j, matching.partnerOf(i));
+            const bool j_wants =
+                !matching.isMatched(j) ||
+                prefs.prefers(j, i, matching.partnerOf(j));
+            if (i_wants && j_wants)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cooper

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Blocking-pair analysis (Section III.B and Figure 10).
+ *
+ * Agents i and j block a matching when each prefers the other over its
+ * assigned co-runner; such pairs would break away to a separate
+ * subsystem. The stability analysis parameterizes this with alpha, the
+ * minimum performance benefit for which an agent bothers to break
+ * away: with alpha = 2%, agents defect only for colocations improving
+ * both penalties by at least two points.
+ */
+
+#ifndef COOPER_MATCHING_BLOCKING_HH
+#define COOPER_MATCHING_BLOCKING_HH
+
+#include <functional>
+#include <vector>
+
+#include "matching/matching.hh"
+#include "matching/preferences.hh"
+
+namespace cooper {
+
+/** Disutility oracle: d(agent, co-runner) in [0, 1]. */
+using DisutilityFn = std::function<double(AgentId, AgentId)>;
+
+/** One blocking pair with both sides' gains. */
+struct BlockingPair
+{
+    AgentId a = 0;
+    AgentId b = 0;
+    double gainA = 0.0; //!< penalty reduction a would see
+    double gainB = 0.0; //!< penalty reduction b would see
+};
+
+/**
+ * All pairs that would break away for a benefit of at least alpha.
+ *
+ * Unmatched agents run alone with zero penalty and therefore never
+ * join a blocking pair.
+ *
+ * @param matching Current colocations.
+ * @param disutility True disutility oracle.
+ * @param alpha Minimum penalty reduction for both agents.
+ */
+std::vector<BlockingPair> findBlockingPairs(const Matching &matching,
+                                            const DisutilityFn &disutility,
+                                            double alpha);
+
+/** Count of blocking pairs (same semantics as findBlockingPairs). */
+std::size_t countBlockingPairs(const Matching &matching,
+                               const DisutilityFn &disutility,
+                               double alpha);
+
+/**
+ * Preference-based stability check for roommate matchings: true when
+ * no pair of agents prefers each other over their partners (the
+ * textbook, alpha-free notion used to verify Irving's output).
+ */
+bool isStableMatching(const Matching &matching,
+                      const PreferenceProfile &prefs);
+
+} // namespace cooper
+
+#endif // COOPER_MATCHING_BLOCKING_HH

@@ -1,0 +1,74 @@
+#include "matching.hh"
+
+#include "util/error.hh"
+
+namespace cooper {
+
+void
+Matching::pair(AgentId a, AgentId b)
+{
+    fatalIf(a >= partner_.size() || b >= partner_.size(),
+            "Matching::pair: agent out of range");
+    fatalIf(a == b, "Matching::pair: cannot pair agent ", a,
+            " with itself");
+    unpair(a);
+    unpair(b);
+    partner_[a] = b;
+    partner_[b] = a;
+}
+
+void
+Matching::unpair(AgentId a)
+{
+    fatalIf(a >= partner_.size(), "Matching::unpair: agent out of range");
+    const AgentId b = partner_[a];
+    if (b != kUnmatched) {
+        partner_[a] = kUnmatched;
+        partner_[b] = kUnmatched;
+    }
+}
+
+std::size_t
+Matching::pairCount() const
+{
+    std::size_t matched = 0;
+    for (AgentId p : partner_)
+        if (p != kUnmatched)
+            ++matched;
+    return matched / 2;
+}
+
+bool
+Matching::isPerfect() const
+{
+    for (AgentId p : partner_)
+        if (p == kUnmatched)
+            return false;
+    return true;
+}
+
+std::vector<std::pair<AgentId, AgentId>>
+Matching::pairs() const
+{
+    std::vector<std::pair<AgentId, AgentId>> out;
+    out.reserve(partner_.size() / 2);
+    for (AgentId i = 0; i < partner_.size(); ++i)
+        if (partner_[i] != kUnmatched && i < partner_[i])
+            out.emplace_back(i, partner_[i]);
+    return out;
+}
+
+bool
+Matching::consistent() const
+{
+    for (AgentId i = 0; i < partner_.size(); ++i) {
+        const AgentId p = partner_[i];
+        if (p == kUnmatched)
+            continue;
+        if (p == i || p >= partner_.size() || partner_[p] != i)
+            return false;
+    }
+    return true;
+}
+
+} // namespace cooper

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Common types for pairwise matchings over agents.
+ */
+
+#ifndef COOPER_MATCHING_MATCHING_HH
+#define COOPER_MATCHING_MATCHING_HH
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace cooper {
+
+/** Index of an agent within a matching instance. */
+using AgentId = std::size_t;
+
+/** Sentinel for an unmatched agent. */
+inline constexpr AgentId kUnmatched =
+    std::numeric_limits<AgentId>::max();
+
+/**
+ * A (partial) pairing of agents: partner[i] is i's co-runner or
+ * kUnmatched.
+ */
+class Matching
+{
+  public:
+    Matching() = default;
+
+    /** All agents initially unmatched. */
+    explicit Matching(std::size_t n)
+        : partner_(n, kUnmatched)
+    {}
+
+    std::size_t size() const { return partner_.size(); }
+
+    AgentId partnerOf(AgentId i) const { return partner_[i]; }
+
+    bool isMatched(AgentId i) const { return partner_[i] != kUnmatched; }
+
+    /** Pair two distinct agents, unpairing any previous partners. */
+    void pair(AgentId a, AgentId b);
+
+    /** Remove i (and its partner) from the matching. */
+    void unpair(AgentId a);
+
+    /** Number of matched pairs. */
+    std::size_t pairCount() const;
+
+    /** True when every agent has a partner. */
+    bool isPerfect() const;
+
+    /** All pairs with first < second, in ascending order. */
+    std::vector<std::pair<AgentId, AgentId>> pairs() const;
+
+    /**
+     * Internal-consistency check: partner symmetry and no
+     * self-pairing. Returns true when consistent.
+     */
+    bool consistent() const;
+
+  private:
+    std::vector<AgentId> partner_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_MATCHING_MATCHING_HH

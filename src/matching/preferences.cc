@@ -1,0 +1,80 @@
+#include "preferences.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+constexpr std::size_t kNoRank = std::numeric_limits<std::size_t>::max();
+
+} // namespace
+
+PreferenceProfile::PreferenceProfile(
+    std::vector<std::vector<AgentId>> lists, std::size_t candidates)
+    : lists_(std::move(lists)), candidates_(candidates)
+{
+    ranks_.assign(lists_.size(),
+                  std::vector<std::size_t>(candidates_, kNoRank));
+    for (AgentId i = 0; i < lists_.size(); ++i) {
+        for (std::size_t r = 0; r < lists_[i].size(); ++r) {
+            const AgentId j = lists_[i][r];
+            fatalIf(j >= candidates_, "PreferenceProfile: agent ", i,
+                    " lists candidate ", j, " >= ", candidates_);
+            fatalIf(ranks_[i][j] != kNoRank,
+                    "PreferenceProfile: agent ", i,
+                    " lists candidate ", j, " twice");
+            ranks_[i][j] = r;
+        }
+    }
+}
+
+PreferenceProfile
+PreferenceProfile::fromDisutility(
+    std::size_t agents, std::size_t candidates,
+    const std::function<double(AgentId, AgentId)> &disutility,
+    bool exclude_self)
+{
+    std::vector<std::vector<AgentId>> lists(agents);
+    for (AgentId i = 0; i < agents; ++i) {
+        auto &list = lists[i];
+        list.reserve(candidates);
+        for (AgentId j = 0; j < candidates; ++j)
+            if (!(exclude_self && j == i))
+                list.push_back(j);
+        std::stable_sort(list.begin(), list.end(),
+                         [&](AgentId a, AgentId b) {
+                             return disutility(i, a) < disutility(i, b);
+                         });
+    }
+    return PreferenceProfile(std::move(lists), candidates);
+}
+
+std::size_t
+PreferenceProfile::rankOf(AgentId i, AgentId j) const
+{
+    fatalIf(i >= lists_.size(), "rankOf: agent ", i, " out of range");
+    fatalIf(j >= candidates_, "rankOf: candidate ", j, " out of range");
+    const std::size_t r = ranks_[i][j];
+    fatalIf(r == kNoRank, "rankOf: candidate ", j,
+            " not on agent ", i, "'s list");
+    return r;
+}
+
+bool
+PreferenceProfile::hasCandidate(AgentId i, AgentId j) const
+{
+    fatalIf(i >= lists_.size(), "hasCandidate: agent out of range");
+    fatalIf(j >= candidates_, "hasCandidate: candidate out of range");
+    return ranks_[i][j] != kNoRank;
+}
+
+bool
+PreferenceProfile::prefers(AgentId i, AgentId a, AgentId b) const
+{
+    return rankOf(i, a) < rankOf(i, b);
+}
+
+} // namespace cooper

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Preference profiles over candidate co-runners.
+ *
+ * An agent prefers co-runner x over y when its predicted disutility
+ * with x is lower (Section III.B). Profiles store each agent's strict
+ * preference order plus an O(1) rank lookup.
+ */
+
+#ifndef COOPER_MATCHING_PREFERENCES_HH
+#define COOPER_MATCHING_PREFERENCES_HH
+
+#include <functional>
+#include <vector>
+
+#include "matching/matching.hh"
+
+namespace cooper {
+
+/**
+ * Strict preference lists for a set of agents over a candidate set.
+ *
+ * For the roommates setting, candidates are the agents themselves
+ * (self excluded). For the marriage setting, the candidates of one
+ * side are the agents of the other.
+ */
+class PreferenceProfile
+{
+  public:
+    PreferenceProfile() = default;
+
+    /**
+     * @param lists lists[i] is agent i's candidate order, most
+     *        preferred first. Lists may cover any subset of candidate
+     *        ids but must not repeat entries.
+     * @param candidates Total number of candidate ids (rank table
+     *        width).
+     */
+    PreferenceProfile(std::vector<std::vector<AgentId>> lists,
+                      std::size_t candidates);
+
+    /**
+     * Build from a disutility function: agent i ranks candidate j by
+     * increasing disutility(i, j), excluding self when
+     * `exclude_self`. Ties break toward the lower candidate id.
+     *
+     * @param agents Number of agents.
+     * @param candidates Number of candidates.
+     * @param disutility d(agent, candidate).
+     * @param exclude_self Omit candidate == agent (roommates setting).
+     */
+    static PreferenceProfile
+    fromDisutility(std::size_t agents, std::size_t candidates,
+                   const std::function<double(AgentId, AgentId)> &disutility,
+                   bool exclude_self);
+
+    std::size_t agents() const { return lists_.size(); }
+    std::size_t candidates() const { return candidates_; }
+
+    /** Agent i's full order, most preferred first. */
+    const std::vector<AgentId> &list(AgentId i) const { return lists_[i]; }
+
+    /**
+     * Rank of candidate j for agent i (0 = most preferred); fatal if
+     * j is not on i's list.
+     */
+    std::size_t rankOf(AgentId i, AgentId j) const;
+
+    /** True when candidate j appears on agent i's list. */
+    bool hasCandidate(AgentId i, AgentId j) const;
+
+    /** True when agent i strictly prefers a over b (both listed). */
+    bool prefers(AgentId i, AgentId a, AgentId b) const;
+
+  private:
+    std::vector<std::vector<AgentId>> lists_;
+    std::vector<std::vector<std::size_t>> ranks_;
+    std::size_t candidates_ = 0;
+};
+
+} // namespace cooper
+
+#endif // COOPER_MATCHING_PREFERENCES_HH

@@ -1,0 +1,163 @@
+#include "stable_marriage.hh"
+
+#include <deque>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+void
+checkSides(const PreferenceProfile &proposers,
+           const PreferenceProfile &acceptors)
+{
+    fatalIf(proposers.candidates() != acceptors.agents(),
+            "stableMarriage: proposers rank ", proposers.candidates(),
+            " candidates but there are ", acceptors.agents(),
+            " acceptors");
+    fatalIf(acceptors.candidates() != proposers.agents(),
+            "stableMarriage: acceptors rank ", acceptors.candidates(),
+            " candidates but there are ", proposers.agents(),
+            " proposers");
+}
+
+} // namespace
+
+MarriageResult
+stableMarriage(const PreferenceProfile &proposers,
+               const PreferenceProfile &acceptors)
+{
+    checkSides(proposers, acceptors);
+    const std::size_t np = proposers.agents();
+    const std::size_t na = acceptors.agents();
+
+    MarriageResult result;
+    result.proposerPartner.assign(np, kUnmatched);
+    std::vector<AgentId> held(na, kUnmatched);
+    std::vector<std::size_t> next(np, 0); // next list index to try
+
+    std::deque<AgentId> free;
+    for (AgentId m = 0; m < np; ++m)
+        free.push_back(m);
+
+    while (!free.empty()) {
+        const AgentId m = free.front();
+        free.pop_front();
+        if (next[m] >= proposers.list(m).size())
+            continue; // exhausted: stays single
+        const AgentId w = proposers.list(m)[next[m]++];
+        ++result.proposals;
+        if (!acceptors.hasCandidate(w, m)) {
+            free.push_back(m); // w would never accept m
+            continue;
+        }
+        const AgentId current = held[w];
+        if (current == kUnmatched) {
+            held[w] = m;
+        } else if (acceptors.prefers(w, m, current)) {
+            held[w] = m;
+            result.proposerPartner[current] = kUnmatched;
+            free.push_back(current);
+        } else {
+            free.push_back(m);
+            continue;
+        }
+        result.proposerPartner[m] = w;
+    }
+    result.rounds = 0; // sequential formulation has no round structure
+    return result;
+}
+
+MarriageResult
+stableMarriageParallel(const PreferenceProfile &proposers,
+                       const PreferenceProfile &acceptors)
+{
+    checkSides(proposers, acceptors);
+    const std::size_t np = proposers.agents();
+    const std::size_t na = acceptors.agents();
+
+    MarriageResult result;
+    result.proposerPartner.assign(np, kUnmatched);
+    std::vector<AgentId> held(na, kUnmatched);
+    std::vector<std::size_t> next(np, 0);
+
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        // All free proposers with list remaining propose "at once".
+        std::vector<std::vector<AgentId>> inbox(na);
+        for (AgentId m = 0; m < np; ++m) {
+            if (result.proposerPartner[m] != kUnmatched)
+                continue;
+            while (next[m] < proposers.list(m).size()) {
+                const AgentId w = proposers.list(m)[next[m]];
+                if (acceptors.hasCandidate(w, m))
+                    break;
+                ++next[m]; // skip acceptors that would never accept
+            }
+            if (next[m] >= proposers.list(m).size())
+                continue;
+            const AgentId w = proposers.list(m)[next[m]++];
+            inbox[w].push_back(m);
+            ++result.proposals;
+            progressed = true;
+        }
+        if (!progressed)
+            break;
+        ++result.rounds;
+        // Each acceptor keeps the best proposal in hand.
+        for (AgentId w = 0; w < na; ++w) {
+            AgentId best = held[w];
+            for (AgentId m : inbox[w])
+                if (best == kUnmatched || acceptors.prefers(w, m, best))
+                    best = m;
+            if (best != held[w]) {
+                if (held[w] != kUnmatched)
+                    result.proposerPartner[held[w]] = kUnmatched;
+                held[w] = best;
+                result.proposerPartner[best] = w;
+            }
+        }
+    }
+    return result;
+}
+
+std::size_t
+marriageBlockingPairs(const PreferenceProfile &proposers,
+                      const PreferenceProfile &acceptors,
+                      const std::vector<AgentId> &match)
+{
+    checkSides(proposers, acceptors);
+    fatalIf(match.size() != proposers.agents(),
+            "marriageBlockingPairs: match size mismatch");
+    const std::size_t np = proposers.agents();
+    const std::size_t na = acceptors.agents();
+
+    // Invert the match for acceptor lookups.
+    std::vector<AgentId> held(na, kUnmatched);
+    for (AgentId m = 0; m < np; ++m)
+        if (match[m] != kUnmatched)
+            held[match[m]] = m;
+
+    std::size_t blocking = 0;
+    for (AgentId m = 0; m < np; ++m) {
+        for (AgentId w = 0; w < na; ++w) {
+            if (match[m] == w)
+                continue;
+            if (!proposers.hasCandidate(m, w) ||
+                !acceptors.hasCandidate(w, m)) {
+                continue;
+            }
+            const bool m_wants = match[m] == kUnmatched ||
+                                 proposers.prefers(m, w, match[m]);
+            const bool w_wants = held[w] == kUnmatched ||
+                                 acceptors.prefers(w, m, held[w]);
+            if (m_wants && w_wants)
+                ++blocking;
+        }
+    }
+    return blocking;
+}
+
+} // namespace cooper

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Gale-Shapley stable marriage for the colocation game (Algorithm 1).
+ *
+ * Two disjoint task sets; one side proposes down its preference list,
+ * the other holds its best proposal so far. The result is stable (no
+ * cross-set pair prefers each other over their partners) and optimal
+ * for the proposing side.
+ */
+
+#ifndef COOPER_MATCHING_STABLE_MARRIAGE_HH
+#define COOPER_MATCHING_STABLE_MARRIAGE_HH
+
+#include <vector>
+
+#include "matching/preferences.hh"
+
+namespace cooper {
+
+/** Result of a marriage run, in side-local indices. */
+struct MarriageResult
+{
+    /** For each proposer, the acceptor it married (or kUnmatched). */
+    std::vector<AgentId> proposerPartner;
+
+    /** Proposal rounds executed by the round-parallel formulation. */
+    std::size_t rounds = 0;
+
+    /** Total proposals issued. */
+    std::size_t proposals = 0;
+};
+
+/**
+ * Classic sequential Gale-Shapley.
+ *
+ * @param proposers Preferences of the proposing side over acceptors.
+ * @param acceptors Preferences of the accepting side over proposers.
+ */
+MarriageResult stableMarriage(const PreferenceProfile &proposers,
+                              const PreferenceProfile &acceptors);
+
+/**
+ * Round-parallel formulation (Section III.C): in each round every
+ * free proposer proposes to its best remaining acceptor and every
+ * acceptor keeps the best proposal in hand. Produces the same
+ * proposer-optimal matching as the sequential form; exposed so tests
+ * can confirm that equivalence and so `rounds` can be reported.
+ */
+MarriageResult stableMarriageParallel(const PreferenceProfile &proposers,
+                                      const PreferenceProfile &acceptors);
+
+/**
+ * Count cross-set blocking pairs of a marriage outcome (0 certifies
+ * stability).
+ */
+std::size_t marriageBlockingPairs(const PreferenceProfile &proposers,
+                                  const PreferenceProfile &acceptors,
+                                  const std::vector<AgentId> &match);
+
+} // namespace cooper
+
+#endif // COOPER_MATCHING_STABLE_MARRIAGE_HH

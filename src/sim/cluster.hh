@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cluster dispatch simulation.
+ *
+ * The paper's job dispatcher sends colocated pairs to machines; when
+ * the system has fewer multiprocessors than pairs, jobs dispatch in
+ * batches and queue. This module simulates that dispatch loop: each
+ * CMP runs one pair at a time, the shorter job is repeated until the
+ * longer completes (the paper's multiprogrammed-benchmarking method),
+ * and the machine frees when the longer job finishes.
+ */
+
+#ifndef COOPER_SIM_CLUSTER_HH
+#define COOPER_SIM_CLUSTER_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/interference.hh"
+
+namespace cooper {
+
+/** One colocated pair to dispatch, identified by catalog types. */
+struct PairAssignment
+{
+    JobTypeId first = 0;
+    JobTypeId second = 0;
+};
+
+/** Completion record for one dispatched pair. */
+struct PairCompletion
+{
+    PairAssignment pair;
+    std::size_t machine = 0;
+    double startSec = 0.0;
+    double endSec = 0.0;
+    double penaltyFirst = 0.0;
+    double penaltySecond = 0.0;
+};
+
+/** Aggregate outcome of a dispatch run. */
+struct DispatchReport
+{
+    std::vector<PairCompletion> completions;
+    double makespanSec = 0.0;
+
+    /** Busy machine-seconds divided by machines * makespan. */
+    double utilization = 0.0;
+
+    /** Mean throughput penalty across all dispatched jobs. */
+    double meanPenalty = 0.0;
+};
+
+/**
+ * Fixed pool of chip multiprocessors executing colocated pairs.
+ */
+class Cluster
+{
+  public:
+    /**
+     * @param model Interference model supplying colocated runtimes.
+     * @param machines Number of CMPs available per batch.
+     */
+    Cluster(const InterferenceModel &model, std::size_t machines);
+
+    std::size_t machines() const { return machineCount_; }
+
+    /**
+     * Dispatch pairs in order; a pair waits until a machine frees.
+     *
+     * @param pairs Colocation assignments (queue order).
+     */
+    DispatchReport dispatch(const std::vector<PairAssignment> &pairs) const;
+
+  private:
+    const InterferenceModel *model_;
+    std::size_t machineCount_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_SIM_CLUSTER_HH

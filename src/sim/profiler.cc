@@ -1,0 +1,104 @@
+#include "profiler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+void
+ProfileDatabase::record(JobTypeId self, JobTypeId other, double penalty)
+{
+    Cell &cell = samples_[{self, other}];
+    cell.sum += penalty;
+    ++cell.count;
+    ++total_;
+}
+
+std::optional<double>
+ProfileDatabase::query(JobTypeId self, JobTypeId other) const
+{
+    auto it = samples_.find({self, other});
+    if (it == samples_.end())
+        return std::nullopt;
+    return it->second.sum / static_cast<double>(it->second.count);
+}
+
+SystemProfiler::SystemProfiler(const InterferenceModel &model,
+                               NoiseConfig noise, std::uint64_t seed)
+    : model_(&model), noise_(noise), rng_(seed)
+{
+    fatalIf(noise_.sigma < 0.0, "SystemProfiler: negative noise sigma");
+}
+
+double
+SystemProfiler::measure(JobTypeId self, JobTypeId other)
+{
+    double d = model_->penalty(self, other);
+    if (noise_.sigma > 0.0)
+        d += rng_.gaussian(0.0, noise_.sigma);
+    d = std::clamp(d, noise_.floor, 1.0);
+    database_.record(self, other, d);
+    return d;
+}
+
+SparseMatrix
+SystemProfiler::sampleProfiles(double ratio, std::size_t min_per_row,
+                               std::size_t repeats)
+{
+    fatalIf(ratio <= 0.0 || ratio > 1.0,
+            "sampleProfiles: ratio ", ratio, " outside (0, 1]");
+    fatalIf(repeats == 0, "sampleProfiles: need at least one repeat");
+    const std::size_t n = model_->catalog().size();
+    SparseMatrix profiles(n, n);
+
+    const auto target = static_cast<std::size_t>(
+        std::ceil(ratio * static_cast<double>(n * n)));
+
+    // Candidate colocations (i, j); measuring one fills both (i, j)
+    // and (j, i) since one run observes both jobs.
+    std::vector<std::pair<JobTypeId, JobTypeId>> pairs;
+    pairs.reserve(n * (n + 1) / 2);
+    for (JobTypeId i = 0; i < n; ++i)
+        for (JobTypeId j = i; j < n; ++j)
+            pairs.emplace_back(i, j);
+    rng_.shuffle(pairs);
+
+    auto measure_pair = [&](JobTypeId i, JobTypeId j) {
+        double fwd = 0.0, rev = 0.0;
+        for (std::size_t r = 0; r < repeats; ++r) {
+            fwd += measure(i, j);
+            if (i != j)
+                rev += measure(j, i);
+        }
+        profiles.set(i, j, fwd / static_cast<double>(repeats));
+        if (i != j)
+            profiles.set(j, i, rev / static_cast<double>(repeats));
+    };
+
+    for (const auto &[i, j] : pairs) {
+        if (profiles.knownCount() >= target)
+            break;
+        measure_pair(i, j);
+    }
+
+    // Top up starved rows so every job has some basis for prediction.
+    for (JobTypeId i = 0; i < n; ++i) {
+        std::size_t have = 0;
+        for (std::size_t c = 0; c < n; ++c)
+            if (profiles.known(i, c))
+                ++have;
+        while (have < std::min(min_per_row, n)) {
+            const auto j =
+                static_cast<JobTypeId>(rng_.uniformInt(std::uint64_t(n)));
+            if (!profiles.known(i, j)) {
+                measure_pair(i, j);
+                ++have;
+            }
+        }
+    }
+    return profiles;
+}
+
+} // namespace cooper

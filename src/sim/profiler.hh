@@ -1,0 +1,114 @@
+/**
+ * @file
+ * System profiler: the coordinator-side measurement service.
+ *
+ * Modern datacenters profile continuously and expose the results
+ * through queryable databases (the paper cites Google-wide profiling);
+ * Cooper's coordinator answers agents' queries from such a database.
+ * Here the measurements come from the interference model plus
+ * configurable measurement noise, and the profiler supports the sparse
+ * sampling regime the paper uses (profiles for only a fraction of all
+ * colocations, 25% by default).
+ */
+
+#ifndef COOPER_SIM_PROFILER_HH
+#define COOPER_SIM_PROFILER_HH
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cf/sparse_matrix.hh"
+#include "sim/interference.hh"
+#include "util/rng.hh"
+
+namespace cooper {
+
+/**
+ * Measurement database keyed by (job type, co-runner type).
+ *
+ * Repeated measurements of the same colocation are averaged, the way
+ * a continuous profiler would aggregate samples.
+ */
+class ProfileDatabase
+{
+  public:
+    /** Record one measurement of `self` colocated with `other`. */
+    void record(JobTypeId self, JobTypeId other, double penalty);
+
+    /** Averaged measurement, or nullopt if never profiled. */
+    std::optional<double> query(JobTypeId self, JobTypeId other) const;
+
+    /** Number of distinct colocations profiled. */
+    std::size_t distinctPairs() const { return samples_.size(); }
+
+    /** Total measurements recorded. */
+    std::size_t totalSamples() const { return total_; }
+
+  private:
+    struct Cell
+    {
+        double sum = 0.0;
+        std::size_t count = 0;
+    };
+
+    std::map<std::pair<JobTypeId, JobTypeId>, Cell> samples_;
+    std::size_t total_ = 0;
+};
+
+/**
+ * Noisy profiler over an interference model.
+ */
+class SystemProfiler
+{
+  public:
+    /**
+     * @param model Ground-truth interference model.
+     * @param noise Measurement-noise parameters.
+     * @param seed Seed of the profiler's private noise stream.
+     */
+    SystemProfiler(const InterferenceModel &model, NoiseConfig noise = {},
+                   std::uint64_t seed = 1);
+
+    const InterferenceModel &model() const { return *model_; }
+
+    /**
+     * Measure `self`'s penalty when colocated with `other` once;
+     * records the sample in the database and returns it.
+     */
+    double measure(JobTypeId self, JobTypeId other);
+
+    /**
+     * Profile a uniformly random subset of type pairs.
+     *
+     * Both directions of a sampled pair are measured (one colocation
+     * run yields both jobs' throughputs). Every row is guaranteed at
+     * least `min_per_row` sampled co-runners so the predictor has
+     * something to work from.
+     *
+     * Each selected colocation is measured `repeats` times and the
+     * mean recorded, the way a continuous profiler aggregates samples
+     * over time; more repeats shrink the effective noise.
+     *
+     * @param ratio Fraction of the n*n matrix to fill (0, 1].
+     * @param min_per_row Minimum samples per row.
+     * @param repeats Measurements averaged per profiled colocation.
+     * @return Sparse matrix of measured penalties.
+     */
+    SparseMatrix sampleProfiles(double ratio, std::size_t min_per_row = 2,
+                                std::size_t repeats = 3);
+
+    /** The accumulated measurement database. */
+    const ProfileDatabase &database() const { return database_; }
+
+  private:
+    const InterferenceModel *model_;
+    NoiseConfig noise_;
+    Rng rng_;
+    ProfileDatabase database_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_SIM_PROFILER_HH

@@ -1,0 +1,79 @@
+#include "correlation.hh"
+
+#include <cmath>
+
+#include "descriptive.hh"
+#include "util/error.hh"
+
+namespace cooper {
+
+double
+pearson(std::span<const double> xs, std::span<const double> ys)
+{
+    fatalIf(xs.size() != ys.size(),
+            "pearson: size mismatch ", xs.size(), " vs ", ys.size());
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+spearman(std::span<const double> xs, std::span<const double> ys)
+{
+    fatalIf(xs.size() != ys.size(),
+            "spearman: size mismatch ", xs.size(), " vs ", ys.size());
+    const auto rx = ranks(xs);
+    const auto ry = ranks(ys);
+    return pearson(rx, ry);
+}
+
+double
+kendallTau(std::span<const double> xs, std::span<const double> ys)
+{
+    fatalIf(xs.size() != ys.size(),
+            "kendallTau: size mismatch ", xs.size(), " vs ", ys.size());
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    // O(n^2) pair walk; evaluation sizes (<= a few thousand) keep this
+    // comfortably fast and it handles ties exactly (tau-b).
+    long long concordant = 0, discordant = 0;
+    long long ties_x = 0, ties_y = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double dx = xs[i] - xs[j];
+            const double dy = ys[i] - ys[j];
+            if (dx == 0.0 && dy == 0.0)
+                continue;
+            if (dx == 0.0) {
+                ++ties_x;
+            } else if (dy == 0.0) {
+                ++ties_y;
+            } else if ((dx > 0.0) == (dy > 0.0)) {
+                ++concordant;
+            } else {
+                ++discordant;
+            }
+        }
+    }
+    const double n0 = concordant + discordant;
+    const double denom = std::sqrt((n0 + ties_x) * (n0 + ties_y));
+    if (denom == 0.0)
+        return 0.0;
+    return (static_cast<double>(concordant) -
+            static_cast<double>(discordant)) / denom;
+}
+
+} // namespace cooper

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Correlation measures for the fairness analysis.
+ *
+ * Cooper argues colocations are fair when penalty rank tracks
+ * bandwidth-demand rank (Figure 8); Spearman and Kendall coefficients
+ * quantify exactly that relationship, and Pearson supports the
+ * scalability analysis (Figure 13).
+ */
+
+#ifndef COOPER_STATS_CORRELATION_HH
+#define COOPER_STATS_CORRELATION_HH
+
+#include <span>
+
+namespace cooper {
+
+/** Pearson product-moment correlation; zero when either side is flat. */
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/** Spearman rank correlation (Pearson on average ranks). */
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Kendall tau-b rank correlation with tie correction.
+ */
+double kendallTau(std::span<const double> xs, std::span<const double> ys);
+
+} // namespace cooper
+
+#endif // COOPER_STATS_CORRELATION_HH

@@ -1,0 +1,141 @@
+#include "descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+double
+variance(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+minOf(std::span<const double> xs)
+{
+    fatalIf(xs.empty(), "minOf: empty sample");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(std::span<const double> xs)
+{
+    fatalIf(xs.empty(), "maxOf: empty sample");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+quantile(std::span<const double> xs, double q)
+{
+    fatalIf(xs.empty(), "quantile: empty sample");
+    fatalIf(q < 0.0 || q > 1.0, "quantile: q=", q, " outside [0, 1]");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double h = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double
+median(std::span<const double> xs)
+{
+    return quantile(xs, 0.5);
+}
+
+BoxStats
+boxStats(std::span<const double> xs, double whisker_iqr)
+{
+    fatalIf(xs.empty(), "boxStats: empty sample");
+    BoxStats b;
+    b.q1 = quantile(xs, 0.25);
+    b.median = quantile(xs, 0.5);
+    b.q3 = quantile(xs, 0.75);
+    const double iqr = b.q3 - b.q1;
+    const double lo_fence = b.q1 - whisker_iqr * iqr;
+    const double hi_fence = b.q3 + whisker_iqr * iqr;
+    // Whiskers reach the most extreme points inside the fences.
+    b.whiskerLow = b.q1;
+    b.whiskerHigh = b.q3;
+    for (double x : xs) {
+        if (x >= lo_fence)
+            b.whiskerLow = std::min(b.whiskerLow, x);
+        if (x <= hi_fence)
+            b.whiskerHigh = std::max(b.whiskerHigh, x);
+    }
+    return b;
+}
+
+std::vector<double>
+ranks(std::span<const double> xs)
+{
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t(0));
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+    std::vector<double> out(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]])
+            ++j;
+        // Tied block [i, j] shares the average of its 1-based ranks.
+        const double avg =
+            (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            out[order[k]] = avg;
+        i = j + 1;
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+histogram(std::span<const double> xs, double lo, double hi,
+          std::size_t bins)
+{
+    fatalIf(bins == 0, "histogram: need at least one bin");
+    fatalIf(!(lo < hi), "histogram: invalid range [", lo, ", ", hi, "]");
+    std::vector<std::size_t> counts(bins, 0);
+    for (double x : xs) {
+        if (x < lo || x > hi)
+            continue;
+        auto b = static_cast<std::size_t>((x - lo) / (hi - lo) *
+                                          static_cast<double>(bins));
+        if (b == bins)
+            b = bins - 1;
+        ++counts[b];
+    }
+    return counts;
+}
+
+} // namespace cooper

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the evaluation harnesses:
+ * means, variances, quantiles, and boxplot summaries (Figures 10, 11,
+ * and 13 present boxplot distributions).
+ */
+
+#ifndef COOPER_STATS_DESCRIPTIVE_HH
+#define COOPER_STATS_DESCRIPTIVE_HH
+
+#include <span>
+#include <vector>
+
+#include "util/chart.hh"
+
+namespace cooper {
+
+/** Arithmetic mean; zero for an empty sample. */
+double mean(std::span<const double> xs);
+
+/** Unbiased sample variance; zero for fewer than two points. */
+double variance(std::span<const double> xs);
+
+/** Sample standard deviation. */
+double stddev(std::span<const double> xs);
+
+/** Smallest element; fatal on an empty sample. */
+double minOf(std::span<const double> xs);
+
+/** Largest element; fatal on an empty sample. */
+double maxOf(std::span<const double> xs);
+
+/**
+ * Quantile with linear interpolation between order statistics
+ * (type-7, the R default, which recommenderlab-era analyses used).
+ *
+ * @param xs Sample (need not be sorted).
+ * @param q Quantile in [0, 1].
+ */
+double quantile(std::span<const double> xs, double q);
+
+/** Median (quantile 0.5). */
+double median(std::span<const double> xs);
+
+/**
+ * Boxplot summary.
+ *
+ * The paper draws whiskers at `whisker_iqr` times the inter-quartile
+ * range beyond the quartiles (3x in Figure 11's description, 1.5x is
+ * the common default), clipped to the observed data range.
+ */
+BoxStats boxStats(std::span<const double> xs, double whisker_iqr = 1.5);
+
+/**
+ * Average ranks (1-based) with ties sharing their mean rank.
+ */
+std::vector<double> ranks(std::span<const double> xs);
+
+/** Fixed-width histogram counts over [lo, hi]. */
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+} // namespace cooper
+
+#endif // COOPER_STATS_DESCRIPTIVE_HH

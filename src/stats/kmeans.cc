@@ -1,0 +1,132 @@
+#include "kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+double
+squaredDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double acc = 0.0;
+    for (std::size_t d = 0; d < a.size(); ++d)
+        acc += (a[d] - b[d]) * (a[d] - b[d]);
+    return acc;
+}
+
+} // namespace
+
+std::vector<std::vector<double>>
+normalizeFeatures(const std::vector<std::vector<double>> &points)
+{
+    if (points.empty())
+        return {};
+    const std::size_t dims = points.front().size();
+    std::vector<double> lo(dims, std::numeric_limits<double>::infinity());
+    std::vector<double> hi(dims, -std::numeric_limits<double>::infinity());
+    for (const auto &p : points) {
+        fatalIf(p.size() != dims, "normalizeFeatures: ragged points");
+        for (std::size_t d = 0; d < dims; ++d) {
+            lo[d] = std::min(lo[d], p[d]);
+            hi[d] = std::max(hi[d], p[d]);
+        }
+    }
+    std::vector<std::vector<double>> out(points.size(),
+                                         std::vector<double>(dims, 0.0));
+    for (std::size_t i = 0; i < points.size(); ++i)
+        for (std::size_t d = 0; d < dims; ++d)
+            if (hi[d] > lo[d])
+                out[i][d] = (points[i][d] - lo[d]) / (hi[d] - lo[d]);
+    return out;
+}
+
+KMeansResult
+kmeans(const std::vector<std::vector<double>> &points, std::size_t k,
+       Rng &rng, std::size_t max_iterations)
+{
+    fatalIf(points.empty(), "kmeans: no points");
+    fatalIf(k == 0 || k > points.size(),
+            "kmeans: k=", k, " invalid for ", points.size(), " points");
+    const std::size_t n = points.size();
+    const std::size_t dims = points.front().size();
+    for (const auto &p : points)
+        fatalIf(p.size() != dims, "kmeans: ragged points");
+
+    KMeansResult result;
+
+    // k-means++ seeding: each next center is drawn with probability
+    // proportional to squared distance from the chosen set.
+    result.centers.push_back(points[rng.uniformInt(std::uint64_t(n))]);
+    std::vector<double> dist2(n, 0.0);
+    while (result.centers.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = squaredDistance(points[i],
+                                          result.centers.front());
+            for (std::size_t c = 1; c < result.centers.size(); ++c)
+                best = std::min(best, squaredDistance(points[i],
+                                                      result.centers[c]));
+            dist2[i] = best;
+            total += best;
+        }
+        if (total <= 0.0) {
+            // All remaining points coincide with chosen centers.
+            result.centers.push_back(
+                points[rng.uniformInt(std::uint64_t(n))]);
+            continue;
+        }
+        result.centers.push_back(points[rng.discrete(dist2)]);
+    }
+
+    result.assignment.assign(n, 0);
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+        ++result.iterations;
+        // Assignment step.
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t best_c = 0;
+            double best = squaredDistance(points[i], result.centers[0]);
+            for (std::size_t c = 1; c < k; ++c) {
+                const double d2 =
+                    squaredDistance(points[i], result.centers[c]);
+                if (d2 < best) {
+                    best = d2;
+                    best_c = c;
+                }
+            }
+            if (result.assignment[i] != best_c) {
+                result.assignment[i] = best_c;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+        // Update step; empty clusters keep their previous center.
+        std::vector<std::vector<double>> sums(
+            k, std::vector<double>(dims, 0.0));
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t d = 0; d < dims; ++d)
+                sums[result.assignment[i]][d] += points[i][d];
+            ++counts[result.assignment[i]];
+        }
+        for (std::size_t c = 0; c < k; ++c)
+            if (counts[c] > 0)
+                for (std::size_t d = 0; d < dims; ++d)
+                    result.centers[c][d] =
+                        sums[c][d] / static_cast<double>(counts[c]);
+    }
+
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        result.inertia += squaredDistance(
+            points[i], result.centers[result.assignment[i]]);
+    return result;
+}
+
+} // namespace cooper

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small k-means clustering, the substrate for the paper's proposed
+ * "classify applications into types and then match types" heuristic
+ * (Section VIII).
+ */
+
+#ifndef COOPER_STATS_KMEANS_HH
+#define COOPER_STATS_KMEANS_HH
+
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace cooper {
+
+/** k-means result. */
+struct KMeansResult
+{
+    /** Cluster index per input point. */
+    std::vector<std::size_t> assignment;
+
+    /** Cluster centers. */
+    std::vector<std::vector<double>> centers;
+
+    /** Sum of squared distances to assigned centers. */
+    double inertia = 0.0;
+
+    /** Lloyd iterations executed. */
+    std::size_t iterations = 0;
+};
+
+/**
+ * Lloyd's algorithm with k-means++ seeding.
+ *
+ * @param points Input vectors; all must share one dimension.
+ * @param k Number of clusters (1 <= k <= points).
+ * @param rng Random stream for seeding.
+ * @param max_iterations Iteration cap.
+ */
+KMeansResult kmeans(const std::vector<std::vector<double>> &points,
+                    std::size_t k, Rng &rng,
+                    std::size_t max_iterations = 100);
+
+/**
+ * Rescale each feature to [0, 1] across points (constant features
+ * map to 0), so distances weight features comparably.
+ */
+std::vector<std::vector<double>>
+normalizeFeatures(const std::vector<std::vector<double>> &points);
+
+} // namespace cooper
+
+#endif // COOPER_STATS_KMEANS_HH

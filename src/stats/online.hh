@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Welford-style online accumulator for streaming means and variances,
+ * used when experiments aggregate over many trial populations without
+ * materializing every sample.
+ */
+
+#ifndef COOPER_STATS_ONLINE_HH
+#define COOPER_STATS_ONLINE_HH
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace cooper {
+
+/**
+ * Numerically stable running mean / variance / extrema.
+ */
+class OnlineStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void
+    add(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Merge another accumulator (Chan et al. parallel update). */
+    void
+    merge(const OnlineStats &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        const double na = static_cast<double>(count_);
+        const double nb = static_cast<double>(other.count_);
+        const double delta = other.mean_ - mean_;
+        mean_ += delta * nb / (na + nb);
+        m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+        count_ += other.count_;
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace cooper
+
+#endif // COOPER_STATS_ONLINE_HH

@@ -1,0 +1,106 @@
+#include "chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "error.hh"
+
+namespace cooper {
+
+std::string
+renderBarChart(const std::string &title, const std::vector<Bar> &bars,
+               std::size_t width)
+{
+    std::ostringstream os;
+    os << title << "\n";
+    if (bars.empty())
+        return os.str();
+
+    double max_value = 0.0;
+    std::size_t label_width = 0;
+    for (const auto &bar : bars) {
+        max_value = std::max(max_value, bar.value);
+        label_width = std::max(label_width, bar.label.size());
+    }
+    if (max_value <= 0.0)
+        max_value = 1.0;
+
+    for (const auto &bar : bars) {
+        const double clipped = std::max(0.0, bar.value);
+        const auto fill = static_cast<std::size_t>(
+            std::lround(clipped / max_value * static_cast<double>(width)));
+        os << "  " << std::left
+           << std::setw(static_cast<int>(label_width)) << bar.label << " |"
+           << std::string(fill, '#') << std::string(width - fill, ' ')
+           << "| " << std::setprecision(4) << bar.value << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderBoxplots(const std::string &title,
+               const std::vector<std::string> &labels,
+               const std::vector<BoxStats> &series, std::size_t width)
+{
+    fatalIf(labels.size() != series.size(),
+            "renderBoxplots: ", labels.size(), " labels vs ",
+            series.size(), " series");
+    std::ostringstream os;
+    os << title << "\n";
+    if (series.empty())
+        return os.str();
+
+    double lo = series.front().whiskerLow;
+    double hi = series.front().whiskerHigh;
+    std::size_t label_width = 0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        lo = std::min(lo, series[i].whiskerLow);
+        hi = std::max(hi, series[i].whiskerHigh);
+        label_width = std::max(label_width, labels[i].size());
+    }
+    if (hi <= lo)
+        hi = lo + 1.0;
+
+    auto column = [&](double v) {
+        double frac = (v - lo) / (hi - lo);
+        frac = std::clamp(frac, 0.0, 1.0);
+        return static_cast<std::size_t>(
+            std::lround(frac * static_cast<double>(width - 1)));
+    };
+
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        std::string line(width, ' ');
+        const BoxStats &b = series[i];
+        const std::size_t wl = column(b.whiskerLow);
+        const std::size_t q1 = column(b.q1);
+        const std::size_t md = column(b.median);
+        const std::size_t q3 = column(b.q3);
+        const std::size_t wh = column(b.whiskerHigh);
+        for (std::size_t c = wl; c <= wh && c < width; ++c)
+            line[c] = '-';
+        for (std::size_t c = q1; c <= q3 && c < width; ++c)
+            line[c] = '=';
+        line[wl] = '|';
+        line[wh] = '|';
+        line[md] = 'M';
+        os << "  " << std::left
+           << std::setw(static_cast<int>(label_width)) << labels[i] << " "
+           << line << "  med=" << std::setprecision(4) << b.median << "\n";
+    }
+    std::ostringstream axis;
+    axis << std::setprecision(4) << lo;
+    std::ostringstream hi_txt;
+    hi_txt << std::setprecision(4) << hi;
+    std::string axis_line = axis.str();
+    if (axis_line.size() + hi_txt.str().size() + 1 < width) {
+        axis_line += std::string(
+            width - axis_line.size() - hi_txt.str().size(), ' ');
+        axis_line += hi_txt.str();
+    }
+    os << "  " << std::string(label_width, ' ') << " " << axis_line << "\n";
+    return os.str();
+}
+
+} // namespace cooper

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII chart rendering so benchmark binaries can show the *shape* of
+ * each reproduced figure directly in the terminal.
+ */
+
+#ifndef COOPER_UTIL_CHART_HH
+#define COOPER_UTIL_CHART_HH
+
+#include <string>
+#include <vector>
+
+namespace cooper {
+
+/** One labeled value in a bar chart. */
+struct Bar
+{
+    std::string label;
+    double value = 0.0;
+};
+
+/**
+ * Render labeled horizontal bars scaled to a common maximum.
+ *
+ * @param title Chart caption.
+ * @param bars Labeled values; negative values render as empty bars.
+ * @param width Maximum bar width in characters.
+ */
+std::string renderBarChart(const std::string &title,
+                           const std::vector<Bar> &bars,
+                           std::size_t width = 50);
+
+/** Five-number summary plus whisker bounds for boxplot rendering. */
+struct BoxStats
+{
+    double whiskerLow = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double whiskerHigh = 0.0;
+};
+
+/**
+ * Render labeled horizontal boxplots on a shared axis.
+ *
+ * @param title Chart caption.
+ * @param labels Per-series labels.
+ * @param series Per-series box statistics.
+ * @param width Plot width in characters.
+ */
+std::string renderBoxplots(const std::string &title,
+                           const std::vector<std::string> &labels,
+                           const std::vector<BoxStats> &series,
+                           std::size_t width = 60);
+
+} // namespace cooper
+
+#endif // COOPER_UTIL_CHART_HH

@@ -1,0 +1,122 @@
+#include "cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "error.hh"
+
+namespace cooper {
+
+void
+CliFlags::declare(const std::string &name, const std::string &default_value,
+                  const std::string &help)
+{
+    fatalIf(flags_.count(name) != 0, "CliFlags: duplicate flag --", name);
+    flags_[name] = Flag{default_value, help};
+    order_.push_back(name);
+}
+
+bool
+CliFlags::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << usage(argv[0]);
+            return false;
+        }
+        fatalIf(arg.rfind("--", 0) != 0,
+                "CliFlags: expected --flag, got '", arg, "'");
+        arg = arg.substr(2);
+
+        std::string name, value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            auto it = flags_.find(name);
+            fatalIf(it == flags_.end(), "CliFlags: unknown flag --", name);
+            // A boolean flag may appear bare; otherwise consume the next
+            // argument as the value.
+            const bool is_bool = it->second.value == "true" ||
+                                 it->second.value == "false";
+            if (is_bool) {
+                value = "true";
+            } else {
+                fatalIf(i + 1 >= argc,
+                        "CliFlags: flag --", name, " needs a value");
+                value = argv[++i];
+            }
+        }
+        auto it = flags_.find(name);
+        fatalIf(it == flags_.end(), "CliFlags: unknown flag --", name);
+        it->second.value = value;
+    }
+    return true;
+}
+
+const CliFlags::Flag &
+CliFlags::lookup(const std::string &name) const
+{
+    auto it = flags_.find(name);
+    fatalIf(it == flags_.end(), "CliFlags: flag --", name,
+            " was never declared");
+    return it->second;
+}
+
+std::string
+CliFlags::get(const std::string &name) const
+{
+    return lookup(name).value;
+}
+
+std::int64_t
+CliFlags::getInt(const std::string &name) const
+{
+    const std::string &v = lookup(name).value;
+    char *end = nullptr;
+    long long out = std::strtoll(v.c_str(), &end, 10);
+    fatalIf(end == v.c_str() || *end != '\0',
+            "CliFlags: --", name, "='", v, "' is not an integer");
+    return out;
+}
+
+double
+CliFlags::getDouble(const std::string &name) const
+{
+    const std::string &v = lookup(name).value;
+    char *end = nullptr;
+    double out = std::strtod(v.c_str(), &end);
+    fatalIf(end == v.c_str() || *end != '\0',
+            "CliFlags: --", name, "='", v, "' is not a number");
+    return out;
+}
+
+bool
+CliFlags::getBool(const std::string &name) const
+{
+    const std::string &v = lookup(name).value;
+    if (v == "true" || v == "1")
+        return true;
+    if (v == "false" || v == "0")
+        return false;
+    fatal("CliFlags: --", name, "='", v, "' is not a boolean");
+}
+
+std::string
+CliFlags::usage(const std::string &program) const
+{
+    std::ostringstream os;
+    os << "Usage: " << program << " [flags]\n";
+    for (const auto &name : order_) {
+        const Flag &f = flags_.at(name);
+        os << "  --" << name << " (default: " << f.value << ")\n      "
+           << f.help << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cooper

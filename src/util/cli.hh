@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the bench and example binaries.
+ *
+ * Flags take the form --name=value or --name value; bare --name sets a
+ * boolean flag. Unknown flags are fatal so typos do not silently change
+ * an experiment.
+ */
+
+#ifndef COOPER_UTIL_CLI_HH
+#define COOPER_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cooper {
+
+/**
+ * Declared-flag command-line parser.
+ */
+class CliFlags
+{
+  public:
+    /** Declare a flag with a default value and help text. */
+    void declare(const std::string &name, const std::string &default_value,
+                 const std::string &help);
+
+    /**
+     * Parse argv; raises FatalError on unknown or malformed flags.
+     * Recognizes --help by printing usage and returning false.
+     *
+     * @return true if execution should continue.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string get(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Usage text generated from declarations. */
+    std::string usage(const std::string &program) const;
+
+  private:
+    struct Flag
+    {
+        std::string value;
+        std::string help;
+    };
+
+    const Flag &lookup(const std::string &name) const;
+
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> order_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_UTIL_CLI_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Error-handling helpers shared by all Cooper modules.
+ *
+ * Follows the gem5 fatal/panic distinction: fatal errors are the user's
+ * fault (bad configuration, invalid arguments) and raise FatalError;
+ * panics indicate internal invariant violations and raise LogicError.
+ */
+
+#ifndef COOPER_UTIL_ERROR_HH
+#define COOPER_UTIL_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cooper {
+
+/** Raised when the library cannot continue due to a user error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Raised when an internal invariant is violated (a Cooper bug). */
+class LogicError : public std::logic_error
+{
+  public:
+    explicit LogicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, T &&first, Rest &&...rest)
+{
+    os << std::forward<T>(first);
+    formatInto(os, std::forward<Rest>(rest)...);
+}
+
+} // namespace detail
+
+/**
+ * Concatenate arbitrary streamable arguments into a message string.
+ */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, std::forward<Args>(args)...);
+    return os.str();
+}
+
+/**
+ * Abort the current operation because of a user-level error.
+ *
+ * @param args Streamable message fragments.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(formatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort the current operation because of an internal bug.
+ *
+ * @param args Streamable message fragments.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw LogicError(formatMessage(std::forward<Args>(args)...));
+}
+
+/** Check a user-facing precondition; raise FatalError on failure. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        fatal(std::forward<Args>(args)...);
+}
+
+/** Check an internal invariant; raise LogicError on failure. */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        panic(std::forward<Args>(args)...);
+}
+
+} // namespace cooper
+
+#endif // COOPER_UTIL_ERROR_HH

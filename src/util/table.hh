@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Formatted table output used by the benchmark harnesses.
+ *
+ * Every experiment binary prints the paper's rows/series as aligned
+ * text (for the terminal) and can also emit CSV (for plotting).
+ */
+
+#ifndef COOPER_UTIL_TABLE_HH
+#define COOPER_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cooper {
+
+/**
+ * A simple column-aligned text/CSV table builder.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a fully formatted row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with the given precision. */
+    static std::string num(double value, int precision = 3);
+
+    /** Format an integer. */
+    static std::string num(long long value);
+
+    /** Render as aligned text. */
+    std::string toText() const;
+
+    /** Render as CSV. */
+    std::string toCsv() const;
+
+    /** Write the aligned-text rendering to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Write CSV to the given path; raises FatalError on I/O failure. */
+    void writeCsv(const std::string &path) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_UTIL_TABLE_HH

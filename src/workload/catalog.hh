@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The evaluation job catalog (Table I) and lookups over it.
+ */
+
+#ifndef COOPER_WORKLOAD_CATALOG_HH
+#define COOPER_WORKLOAD_CATALOG_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workload/job.hh"
+
+namespace cooper {
+
+/**
+ * Immutable collection of job types.
+ */
+class Catalog
+{
+  public:
+    /** Build a catalog from explicit job types (ids must be 0..n-1). */
+    explicit Catalog(std::vector<JobType> jobs);
+
+    /** The paper's 20-job Spark + PARSEC catalog (Table I). */
+    static Catalog paperTableI();
+
+    std::size_t size() const { return jobs_.size(); }
+
+    /** Job type by id; fatal if out of range. */
+    const JobType &job(JobTypeId id) const;
+
+    /** Job type by short name; fatal if unknown. */
+    const JobType &jobByName(const std::string &name) const;
+
+    /** All job types in id order. */
+    std::span<const JobType> jobs() const { return jobs_; }
+
+    /**
+     * Ids ordered by increasing memory intensity (GB/s), the ordering
+     * the paper uses on every fairness figure's x-axis.
+     */
+    std::vector<JobTypeId> idsByBandwidth() const;
+
+    /**
+     * The eleven jobs displayed in Figures 1, 7, and 8, in the paper's
+     * x-axis order (increasing contentiousness).
+     */
+    static std::vector<std::string> figureJobNames();
+
+  private:
+    std::vector<JobType> jobs_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_WORKLOAD_CATALOG_HH

@@ -1,0 +1,94 @@
+#include "population.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+std::string
+mixName(MixKind kind)
+{
+    switch (kind) {
+      case MixKind::Uniform:
+        return "Uniform";
+      case MixKind::BetaLow:
+        return "Beta-Low";
+      case MixKind::BetaHigh:
+        return "Beta-High";
+      case MixKind::Gaussian:
+        return "Gaussian";
+    }
+    panic("mixName: invalid MixKind");
+}
+
+std::vector<MixKind>
+allMixes()
+{
+    return {MixKind::Uniform, MixKind::BetaLow, MixKind::Gaussian,
+            MixKind::BetaHigh};
+}
+
+namespace {
+
+/** Unnormalized Beta(a, b) density. */
+double
+betaPdf(double u, double a, double b)
+{
+    return std::pow(u, a - 1.0) * std::pow(1.0 - u, b - 1.0);
+}
+
+/** Unnormalized normal density centered on moderate intensity. */
+double
+gaussPdf(double u)
+{
+    const double z = (u - 0.5) / 0.18;
+    return std::exp(-0.5 * z * z);
+}
+
+} // namespace
+
+std::vector<double>
+mixWeights(const Catalog &catalog, MixKind kind)
+{
+    const auto order = catalog.idsByBandwidth();
+    const auto n = order.size();
+    std::vector<double> weights(n, 0.0);
+    for (std::size_t rank = 0; rank < n; ++rank) {
+        // Midpoint of the job's rank interval in (0, 1).
+        const double u = (static_cast<double>(rank) + 0.5) /
+                         static_cast<double>(n);
+        double w = 1.0;
+        switch (kind) {
+          case MixKind::Uniform:
+            w = 1.0;
+            break;
+          case MixKind::BetaLow:
+            w = betaPdf(u, 2.0, 5.0);
+            break;
+          case MixKind::BetaHigh:
+            w = betaPdf(u, 5.0, 2.0);
+            break;
+          case MixKind::Gaussian:
+            w = gaussPdf(u);
+            break;
+        }
+        weights[order[rank]] = w;
+    }
+    return weights;
+}
+
+std::vector<JobTypeId>
+samplePopulation(const Catalog &catalog, std::size_t n, MixKind kind,
+                 Rng &rng)
+{
+    fatalIf(n == 0, "samplePopulation: empty population requested");
+    const auto weights = mixWeights(catalog, kind);
+    std::vector<JobTypeId> population;
+    population.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        population.push_back(static_cast<JobTypeId>(rng.discrete(weights)));
+    return population;
+}
+
+} // namespace cooper

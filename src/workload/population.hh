@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Agent-population sampling.
+ *
+ * The evaluation draws populations of jobs from the catalog under four
+ * mix densities over memory intensity (Figure 11): Uniform, Beta-Low
+ * (skewed toward low-intensity jobs), Beta-High (skewed toward
+ * high-intensity jobs), and Gaussian (moderate jobs).
+ */
+
+#ifndef COOPER_WORKLOAD_POPULATION_HH
+#define COOPER_WORKLOAD_POPULATION_HH
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+#include "workload/catalog.hh"
+
+namespace cooper {
+
+/** Probability density over the intensity-ordered catalog. */
+enum class MixKind
+{
+    Uniform,
+    BetaLow,
+    BetaHigh,
+    Gaussian,
+};
+
+/** Human-readable mix name as used in Figure 11. */
+std::string mixName(MixKind kind);
+
+/** All mixes in the paper's presentation order. */
+std::vector<MixKind> allMixes();
+
+/**
+ * Per-job-type sampling weights for a mix.
+ *
+ * Jobs are ranked by memory intensity; each job's weight is the mix
+ * density evaluated at its normalized rank, so Beta-High concentrates
+ * probability on the most contentious jobs and Gaussian on moderate
+ * ones.
+ *
+ * @return Weights indexed by JobTypeId.
+ */
+std::vector<double> mixWeights(const Catalog &catalog, MixKind kind);
+
+/**
+ * Sample a population of job-type ids with replacement.
+ *
+ * @param catalog Job catalog.
+ * @param n Population size (2N agents fill N processors).
+ * @param kind Mix density.
+ * @param rng Random stream.
+ */
+std::vector<JobTypeId> samplePopulation(const Catalog &catalog,
+                                        std::size_t n, MixKind kind,
+                                        Rng &rng);
+
+} // namespace cooper
+
+#endif // COOPER_WORKLOAD_POPULATION_HH

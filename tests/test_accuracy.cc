@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the Equation 2 preference-accuracy metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cf/accuracy.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+std::vector<std::vector<double>>
+matrix3(std::initializer_list<double> cells)
+{
+    std::vector<std::vector<double>> m(3, std::vector<double>(3, 0.0));
+    auto it = cells.begin();
+    for (auto &row : m)
+        for (double &cell : row)
+            cell = *it++;
+    return m;
+}
+
+TEST(PreferenceAccuracy, PerfectPredictionScoresOne)
+{
+    const auto truth = matrix3({0.0, 0.1, 0.2,
+                                0.3, 0.0, 0.1,
+                                0.2, 0.4, 0.0});
+    EXPECT_DOUBLE_EQ(preferenceAccuracy(truth, truth), 1.0);
+}
+
+TEST(PreferenceAccuracy, MonotoneTransformPreservesScore)
+{
+    const auto truth = matrix3({0.0, 0.1, 0.2,
+                                0.3, 0.0, 0.1,
+                                0.2, 0.4, 0.0});
+    auto scaled = truth;
+    for (auto &row : scaled)
+        for (double &cell : row)
+            cell = cell * 10.0 + 1.0;
+    EXPECT_DOUBLE_EQ(preferenceAccuracy(truth, scaled), 1.0);
+}
+
+TEST(PreferenceAccuracy, TotalInversionScoresZero)
+{
+    const auto truth = matrix3({0.0, 0.1, 0.2,
+                                0.1, 0.0, 0.2,
+                                0.1, 0.2, 0.0});
+    auto inverted = truth;
+    for (auto &row : inverted)
+        for (double &cell : row)
+            cell = -cell;
+    EXPECT_DOUBLE_EQ(preferenceAccuracy(truth, inverted), 0.0);
+}
+
+TEST(PreferenceAccuracy, OneBadPairCountsOnce)
+{
+    // Agent 0 ranks candidates {1, 2}; swap only that comparison.
+    const auto truth = matrix3({0.0, 0.1, 0.2,
+                                0.1, 0.0, 0.2,
+                                0.1, 0.2, 0.0});
+    auto pred = truth;
+    pred[0][1] = 0.2;
+    pred[0][2] = 0.1;
+    // Each of 3 agents contributes C(2,2)=1 candidate pair.
+    EXPECT_NEAR(preferenceAccuracy(truth, pred), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PreferenceAccuracy, ShapeMismatchFatal)
+{
+    const auto truth = matrix3({0, 0, 0, 0, 0, 0, 0, 0, 0});
+    std::vector<std::vector<double>> wrong(2,
+                                           std::vector<double>(3, 0.0));
+    EXPECT_THROW(preferenceAccuracy(truth, wrong), FatalError);
+    EXPECT_THROW(preferenceAccuracy({}, {}), FatalError);
+}
+
+TEST(PreferenceAccuracy, TwoAgentsDegenerate)
+{
+    // With n=2 each agent has a single candidate: no pairs to rank.
+    std::vector<std::vector<double>> truth(2,
+                                           std::vector<double>(2, 0.0));
+    EXPECT_DOUBLE_EQ(preferenceAccuracy(truth, truth), 1.0);
+}
+
+} // namespace
+} // namespace cooper

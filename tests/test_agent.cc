@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the agent's message protocol and action recommender.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/agent.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+// Figure 2's four-user example: A and B prefer each other over their
+// assigned partners under the performance-optimal pairing {AD, BC}.
+class AgentTest : public ::testing::Test
+{
+  protected:
+    static constexpr double d_[4][4] = {
+        {0.00, 0.02, 0.04, 0.09}, // A
+        {0.03, 0.00, 0.05, 0.07}, // B
+        {0.06, 0.04, 0.00, 0.10}, // C
+        {0.05, 0.08, 0.12, 0.00}, // D
+    };
+
+    static double disutility(AgentId a, AgentId b) { return d_[a][b]; }
+
+    static std::vector<AgentId>
+    prefsFor(AgentId self)
+    {
+        std::vector<AgentId> prefs;
+        for (AgentId j = 0; j < 4; ++j)
+            if (j != self)
+                prefs.push_back(j);
+        std::stable_sort(prefs.begin(), prefs.end(),
+                         [&](AgentId x, AgentId y) {
+                             return d_[self][x] < d_[self][y];
+                         });
+        return prefs;
+    }
+
+    Matching
+    performanceOptimal()
+    {
+        Matching m(4);
+        m.pair(0, 3);
+        m.pair(1, 2);
+        return m;
+    }
+};
+
+TEST_F(AgentTest, SelfOnPreferenceListFatal)
+{
+    Agent agent(1, 0);
+    EXPECT_THROW(agent.setPreferences({0, 1, 2}), FatalError);
+}
+
+TEST_F(AgentTest, MessageTargetsArePreferredOverPartner)
+{
+    Agent a(0, 0);
+    a.setPreferences(prefsFor(0));
+    const auto m = [this]() { return performanceOptimal(); }();
+    const auto targets = a.messageTargets(m, disutility, 0.0);
+    // A is with D (0.09); it prefers B (0.02) and C (0.04).
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0], 1u);
+    EXPECT_EQ(targets[1], 2u);
+}
+
+TEST_F(AgentTest, AlphaShrinksTargets)
+{
+    Agent a(0, 0);
+    a.setPreferences(prefsFor(0));
+    const auto m = performanceOptimal();
+    // Gains: B 0.07, C 0.05.
+    EXPECT_EQ(a.messageTargets(m, disutility, 0.06).size(), 1u);
+    EXPECT_EQ(a.messageTargets(m, disutility, 0.08).size(), 0u);
+}
+
+TEST_F(AgentTest, UnmatchedAgentSendsNothing)
+{
+    Agent a(0, 0);
+    a.setPreferences(prefsFor(0));
+    Matching m(4); // nobody matched
+    EXPECT_TRUE(a.messageTargets(m, disutility, 0.0).empty());
+}
+
+TEST_F(AgentTest, MutualMessagesTriggerBreakAway)
+{
+    Agent a(0, 0);
+    a.setPreferences(prefsFor(0));
+    const auto m = performanceOptimal();
+    // B messaged A (B prefers A over C).
+    const Recommendation rec = a.assess(m, {1}, disutility, 0.0);
+    EXPECT_EQ(rec.action, ActionKind::BreakAway);
+    ASSERT_EQ(rec.options.size(), 1u);
+    EXPECT_EQ(rec.options[0].partner, 1u);
+    EXPECT_NEAR(rec.options[0].myGain, 0.07, 1e-12);
+    EXPECT_NEAR(rec.options[0].partnerGain, 0.02, 1e-12);
+}
+
+TEST_F(AgentTest, NonMutualMessageIgnored)
+{
+    // D messages A (D prefers A over anything), but A does not prefer
+    // D, so no break-away.
+    Agent a(0, 0);
+    a.setPreferences(prefsFor(0));
+    const auto m = performanceOptimal();
+    const Recommendation rec = a.assess(m, {3}, disutility, 0.0);
+    EXPECT_EQ(rec.action, ActionKind::Participate);
+    EXPECT_TRUE(rec.options.empty());
+}
+
+TEST_F(AgentTest, StablePairingYieldsNoBreakAways)
+{
+    // Under the stable pairing {AB, CD} the full message exchange
+    // discovers no mutual pair: everyone participates.
+    Matching m(4);
+    m.pair(0, 1);
+    m.pair(2, 3);
+
+    std::vector<Agent> agents;
+    for (AgentId i = 0; i < 4; ++i) {
+        agents.emplace_back(i, 0);
+        agents.back().setPreferences(prefsFor(i));
+    }
+    std::vector<std::vector<AgentId>> inbox(4);
+    for (const Agent &agent : agents)
+        for (AgentId target :
+             agent.messageTargets(m, disutility, 0.0))
+            inbox[target].push_back(agent.id());
+
+    for (const Agent &agent : agents) {
+        const Recommendation rec =
+            agent.assess(m, inbox[agent.id()], disutility, 0.0);
+        EXPECT_EQ(rec.action, ActionKind::Participate)
+            << "agent " << agent.id();
+    }
+}
+
+TEST_F(AgentTest, OptionsSortedByGain)
+{
+    Agent a(0, 0);
+    a.setPreferences(prefsFor(0));
+    const auto m = performanceOptimal();
+    const Recommendation rec = a.assess(m, {2, 1}, disutility, 0.0);
+    ASSERT_EQ(rec.options.size(), 2u);
+    EXPECT_GE(rec.options[0].myGain, rec.options[1].myGain);
+    EXPECT_EQ(rec.options[0].partner, 1u);
+}
+
+TEST_F(AgentTest, AccessorsReflectConstruction)
+{
+    Agent agent(7, 3);
+    EXPECT_EQ(agent.id(), 7u);
+    EXPECT_EQ(agent.type(), 3u);
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the Table I job catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "workload/catalog.hh"
+
+namespace cooper {
+namespace {
+
+TEST(Catalog, HasTwentyJobs)
+{
+    const Catalog catalog = Catalog::paperTableI();
+    EXPECT_EQ(catalog.size(), 20u);
+}
+
+TEST(Catalog, TableIBandwidthsVerbatim)
+{
+    const Catalog catalog = Catalog::paperTableI();
+    // Spot-check the values published in Table I.
+    EXPECT_DOUBLE_EQ(catalog.jobByName("correlation").gbps, 25.05);
+    EXPECT_DOUBLE_EQ(catalog.jobByName("decision").gbps, 21.03);
+    EXPECT_DOUBLE_EQ(catalog.jobByName("fpgrowth").gbps, 10.06);
+    EXPECT_DOUBLE_EQ(catalog.jobByName("kmeans").gbps, 0.32);
+    EXPECT_DOUBLE_EQ(catalog.jobByName("swaptions").gbps, 0.07);
+    EXPECT_DOUBLE_EQ(catalog.jobByName("vips").gbps, 0.05);
+    EXPECT_DOUBLE_EQ(catalog.jobByName("streamc").gbps, 18.53);
+    EXPECT_DOUBLE_EQ(catalog.jobByName("dedup").gbps, 0.93);
+    EXPECT_DOUBLE_EQ(catalog.jobByName("x264").gbps, 4.00);
+}
+
+TEST(Catalog, SuiteSplitMatchesPaper)
+{
+    const Catalog catalog = Catalog::paperTableI();
+    std::size_t spark = 0, parsec = 0;
+    for (const auto &job : catalog.jobs())
+        (job.suite == Suite::Spark ? spark : parsec) += 1;
+    EXPECT_EQ(spark, 9u);
+    EXPECT_EQ(parsec, 11u);
+}
+
+TEST(Catalog, IdsAreDense)
+{
+    const Catalog catalog = Catalog::paperTableI();
+    for (JobTypeId i = 0; i < catalog.size(); ++i)
+        EXPECT_EQ(catalog.job(i).id, i);
+}
+
+TEST(Catalog, LookupByBadNameFatal)
+{
+    const Catalog catalog = Catalog::paperTableI();
+    EXPECT_THROW(catalog.jobByName("no-such-job"), FatalError);
+}
+
+TEST(Catalog, LookupByBadIdFatal)
+{
+    const Catalog catalog = Catalog::paperTableI();
+    EXPECT_THROW(catalog.job(1000), FatalError);
+}
+
+TEST(Catalog, BandwidthOrderingIsSorted)
+{
+    const Catalog catalog = Catalog::paperTableI();
+    const auto order = catalog.idsByBandwidth();
+    EXPECT_EQ(order.size(), catalog.size());
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_LE(catalog.job(order[i - 1]).gbps,
+                  catalog.job(order[i]).gbps);
+    // Least and most contentious match Table I.
+    EXPECT_EQ(catalog.job(order.front()).name, "vips");
+    EXPECT_EQ(catalog.job(order.back()).name, "correlation");
+}
+
+TEST(Catalog, FigureJobsExistAndAreOrdered)
+{
+    const Catalog catalog = Catalog::paperTableI();
+    const auto names = Catalog::figureJobNames();
+    EXPECT_EQ(names.size(), 11u);
+    double last = -1.0;
+    for (const auto &name : names) {
+        const JobType &job = catalog.jobByName(name);
+        EXPECT_GT(job.gbps, last) << name;
+        last = job.gbps;
+    }
+}
+
+TEST(Catalog, SensitivitiesInUnitRange)
+{
+    const Catalog catalog = Catalog::paperTableI();
+    for (const auto &job : catalog.jobs()) {
+        EXPECT_GE(job.bwSensitivity, 0.0) << job.name;
+        EXPECT_LE(job.bwSensitivity, 1.0) << job.name;
+        EXPECT_GE(job.cacheSensitivity, 0.0) << job.name;
+        EXPECT_LE(job.cacheSensitivity, 1.0) << job.name;
+        EXPECT_GT(job.standaloneSec, 0.0) << job.name;
+        EXPECT_GT(job.cacheMB, 0.0) << job.name;
+    }
+}
+
+TEST(Catalog, DedupIsCacheSensitiveOutlier)
+{
+    // The paper's headline unfairness example: dedup demands little
+    // bandwidth yet suffers heavily under greedy colocation, which our
+    // calibration encodes as high cache sensitivity.
+    const Catalog catalog = Catalog::paperTableI();
+    const JobType &dedup = catalog.jobByName("dedup");
+    EXPECT_LT(dedup.gbps, 1.0);
+    for (const auto &job : catalog.jobs())
+        EXPECT_LE(job.cacheSensitivity, dedup.cacheSensitivity)
+            << job.name;
+}
+
+TEST(Catalog, RejectsMisnumberedJobs)
+{
+    std::vector<JobType> jobs(1);
+    jobs[0].id = 5;
+    jobs[0].name = "bad";
+    EXPECT_THROW(Catalog{std::move(jobs)}, FatalError);
+}
+
+TEST(Catalog, SuiteNames)
+{
+    EXPECT_EQ(suiteName(Suite::Spark), "Spark");
+    EXPECT_EQ(suiteName(Suite::Parsec), "PARSEC");
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Failure-injection and extreme-configuration tests: the pipeline
+ * must stay well-defined (no crashes, no invariant violations) even
+ * when profiling is nearly useless, noise dwarfs the signal, or the
+ * hardware model is pushed to its edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cf/item_knn.hh"
+#include "core/framework.hh"
+#include "core/experiment.hh"
+#include "sim/profiler.hh"
+#include "workload/population.hh"
+
+namespace cooper {
+namespace {
+
+class ChaosTest : public ::testing::Test
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+    InterferenceModel model_{catalog_};
+};
+
+TEST_F(ChaosTest, HugeNoiseStillYieldsValidEpochs)
+{
+    FrameworkConfig config;
+    config.policy = "SMR";
+    config.noise.sigma = 0.5; // noise dwarfs every true penalty
+    config.noise.floor = -0.5;
+    CooperFramework framework(catalog_, model_, config, 1);
+    Rng rng(2);
+    const auto pop =
+        samplePopulation(catalog_, 60, MixKind::Uniform, rng);
+    const EpochReport report = framework.runEpoch(pop);
+    EXPECT_TRUE(report.matching.isPerfect());
+    for (double p : report.penalties) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LT(p, 1.0);
+    }
+    // Prediction should be near-useless but still a valid number.
+    EXPECT_GE(report.predictionAccuracy, 0.0);
+    EXPECT_LE(report.predictionAccuracy, 1.0);
+}
+
+TEST_F(ChaosTest, MinimalSamplingStillWorks)
+{
+    // Far below the paper's 25%: the min-per-row top-up is all the
+    // predictor gets.
+    FrameworkConfig config;
+    config.policy = "SR";
+    config.sampleRatio = 0.02;
+    CooperFramework framework(catalog_, model_, config, 3);
+    Rng rng(4);
+    const auto pop =
+        samplePopulation(catalog_, 40, MixKind::Uniform, rng);
+    const EpochReport report = framework.runEpoch(pop);
+    EXPECT_TRUE(report.matching.isPerfect());
+}
+
+TEST_F(ChaosTest, SingleTypePopulation)
+{
+    // Every agent runs the same job: all policies must still pair.
+    const JobTypeId t = catalog_.jobByName("svm").id;
+    std::vector<JobTypeId> pop(30, t);
+    auto instance = ColocationInstance::oracular(catalog_, pop, model_);
+    for (const auto &policy : figurePolicies()) {
+        Rng rng(5);
+        const Matching m = policy->assign(instance, rng);
+        EXPECT_EQ(m.pairCount(), 15u) << policy->name();
+    }
+}
+
+TEST_F(ChaosTest, TwoAgentPopulation)
+{
+    std::vector<JobTypeId> pop{0, 1};
+    auto instance = ColocationInstance::oracular(catalog_, pop, model_);
+    for (const auto &policy : figurePolicies()) {
+        Rng rng(6);
+        const Matching m = policy->assign(instance, rng);
+        EXPECT_EQ(m.pairCount(), 1u) << policy->name();
+    }
+}
+
+TEST_F(ChaosTest, SaturatedCacheModel)
+{
+    // Tiny LLC: every pair overflows completely; penalties must stay
+    // clamped inside [0, 1).
+    ServerConfig server;
+    server.llcMB = 0.5;
+    InterferenceModel cramped(catalog_, server);
+    for (JobTypeId i = 0; i < catalog_.size(); ++i) {
+        for (JobTypeId j = 0; j < catalog_.size(); ++j) {
+            const double d = cramped.penalty(i, j);
+            EXPECT_GE(d, 0.0);
+            EXPECT_LT(d, 1.0);
+        }
+    }
+}
+
+TEST_F(ChaosTest, ZeroWeightModelIsPenaltyFree)
+{
+    ServerConfig server;
+    server.weightBandwidth = 0.0;
+    server.weightCache = 0.0;
+    InterferenceModel free_model(catalog_, server);
+    for (JobTypeId i = 0; i < catalog_.size(); i += 3)
+        for (JobTypeId j = 0; j < catalog_.size(); j += 3)
+            EXPECT_DOUBLE_EQ(free_model.penalty(i, j), 0.0);
+
+    // With no contention anywhere, no blocking pair can exist.
+    std::vector<JobTypeId> pop;
+    Rng rng(7);
+    pop = samplePopulation(catalog_, 40, MixKind::Uniform, rng);
+    auto instance =
+        ColocationInstance::oracular(catalog_, pop, free_model);
+    Rng policy_rng(8);
+    const Matching m = GreedyPolicy().assign(instance, policy_rng);
+    const std::size_t blocking = countBlockingPairs(
+        m,
+        [&](AgentId a, AgentId b) {
+            return instance.trueDisutility(a, b);
+        },
+        0.01);
+    EXPECT_EQ(blocking, 0u);
+}
+
+TEST_F(ChaosTest, PredictorSurvivesConstantRatings)
+{
+    // All observed penalties identical: similarities degenerate and
+    // every prediction must fall back gracefully.
+    SparseMatrix ratings(6, 6);
+    for (std::size_t i = 0; i < 6; ++i)
+        ratings.set(i, (i + 1) % 6, 0.25);
+    ItemKnnPredictor predictor;
+    const Prediction p = predictor.predict(ratings);
+    for (const auto &row : p.dense)
+        for (double v : row)
+            EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST_F(ChaosTest, ExtremeMixesKeepPoliciesAlive)
+{
+    for (MixKind mix : allMixes()) {
+        Rng rng(9);
+        const auto instance =
+            sampleInstance(catalog_, model_, 50, mix, rng);
+        for (const auto &policy : figurePolicies()) {
+            Rng policy_rng(10);
+            const Matching m = policy->assign(instance, policy_rng);
+            EXPECT_TRUE(m.consistent())
+                << policy->name() << " on " << mixName(mix);
+        }
+    }
+}
+
+} // namespace
+} // namespace cooper

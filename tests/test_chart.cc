@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for ASCII chart rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/chart.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+TEST(Chart, BarChartContainsLabelsAndBars)
+{
+    std::vector<Bar> bars{{"small", 1.0}, {"large", 4.0}};
+    const std::string out = renderBarChart("demo", bars, 20);
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("small"), std::string::npos);
+    EXPECT_NE(out.find("large"), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Chart, BarChartScalesToMax)
+{
+    std::vector<Bar> bars{{"half", 0.5}, {"full", 1.0}};
+    const std::string out = renderBarChart("t", bars, 10);
+    // The full bar renders 10 hashes; the half bar 5.
+    EXPECT_NE(out.find("##########"), std::string::npos);
+    EXPECT_NE(out.find("#####     "), std::string::npos);
+}
+
+TEST(Chart, BarChartEmptyInput)
+{
+    const std::string out = renderBarChart("empty", {}, 10);
+    EXPECT_EQ(out, "empty\n");
+}
+
+TEST(Chart, BarChartAllZeros)
+{
+    std::vector<Bar> bars{{"a", 0.0}, {"b", 0.0}};
+    const std::string out = renderBarChart("z", bars, 10);
+    EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(Chart, BarChartNegativeRendersEmpty)
+{
+    std::vector<Bar> bars{{"neg", -1.0}, {"pos", 1.0}};
+    const std::string out = renderBarChart("n", bars, 10);
+    EXPECT_NE(out.find("pos"), std::string::npos);
+}
+
+TEST(Chart, BoxplotsRenderMedianMarker)
+{
+    std::vector<std::string> labels{"a", "b"};
+    std::vector<BoxStats> series{
+        {0.0, 1.0, 2.0, 3.0, 4.0},
+        {1.0, 2.0, 3.0, 4.0, 5.0},
+    };
+    const std::string out = renderBoxplots("box", labels, series, 40);
+    EXPECT_NE(out.find('M'), std::string::npos);
+    EXPECT_NE(out.find('='), std::string::npos);
+    EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(Chart, BoxplotsMismatchedInputFatal)
+{
+    std::vector<std::string> labels{"a"};
+    std::vector<BoxStats> series;
+    EXPECT_THROW(renderBoxplots("x", labels, series, 20), FatalError);
+}
+
+TEST(Chart, BoxplotsDegenerateRange)
+{
+    std::vector<std::string> labels{"flat"};
+    std::vector<BoxStats> series{{1.0, 1.0, 1.0, 1.0, 1.0}};
+    const std::string out = renderBoxplots("flat", labels, series, 20);
+    EXPECT_NE(out.find("flat"), std::string::npos);
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for command-line flag parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+TEST(CliFlags, DefaultsApply)
+{
+    CliFlags flags;
+    flags.declare("agents", "1000", "population size");
+    const char *argv[] = {"prog"};
+    EXPECT_TRUE(flags.parse(1, argv));
+    EXPECT_EQ(flags.getInt("agents"), 1000);
+}
+
+TEST(CliFlags, EqualsSyntax)
+{
+    CliFlags flags;
+    flags.declare("agents", "1000", "population size");
+    const char *argv[] = {"prog", "--agents=64"};
+    EXPECT_TRUE(flags.parse(2, argv));
+    EXPECT_EQ(flags.getInt("agents"), 64);
+}
+
+TEST(CliFlags, SpaceSyntax)
+{
+    CliFlags flags;
+    flags.declare("ratio", "0.25", "sampling ratio");
+    const char *argv[] = {"prog", "--ratio", "0.5"};
+    EXPECT_TRUE(flags.parse(3, argv));
+    EXPECT_DOUBLE_EQ(flags.getDouble("ratio"), 0.5);
+}
+
+TEST(CliFlags, BareBooleanFlag)
+{
+    CliFlags flags;
+    flags.declare("verbose", "false", "chatty output");
+    const char *argv[] = {"prog", "--verbose"};
+    EXPECT_TRUE(flags.parse(2, argv));
+    EXPECT_TRUE(flags.getBool("verbose"));
+}
+
+TEST(CliFlags, UnknownFlagFatal)
+{
+    CliFlags flags;
+    flags.declare("x", "1", "x");
+    const char *argv[] = {"prog", "--y=2"};
+    EXPECT_THROW(flags.parse(2, argv), FatalError);
+}
+
+TEST(CliFlags, MalformedValueFatal)
+{
+    CliFlags flags;
+    flags.declare("n", "1", "n");
+    const char *argv[] = {"prog", "--n=abc"};
+    EXPECT_TRUE(flags.parse(2, argv));
+    EXPECT_THROW(flags.getInt("n"), FatalError);
+}
+
+TEST(CliFlags, HelpShortCircuits)
+{
+    CliFlags flags;
+    flags.declare("n", "1", "n");
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, DuplicateDeclarationFatal)
+{
+    CliFlags flags;
+    flags.declare("n", "1", "n");
+    EXPECT_THROW(flags.declare("n", "2", "again"), FatalError);
+}
+
+TEST(CliFlags, MissingValueFatal)
+{
+    CliFlags flags;
+    flags.declare("n", "1", "n");
+    const char *argv[] = {"prog", "--n"};
+    EXPECT_THROW(flags.parse(2, argv), FatalError);
+}
+
+TEST(CliFlags, UsageListsFlags)
+{
+    CliFlags flags;
+    flags.declare("agents", "1000", "population size");
+    const std::string usage = flags.usage("prog");
+    EXPECT_NE(usage.find("--agents"), std::string::npos);
+    EXPECT_NE(usage.find("population size"), std::string::npos);
+}
+
+} // namespace
+} // namespace cooper

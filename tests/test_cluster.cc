@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the dispatch/cluster simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+class ClusterTest : public ::testing::Test
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+    InterferenceModel model_{catalog_};
+
+    JobTypeId id(const std::string &name) const
+    {
+        return catalog_.jobByName(name).id;
+    }
+};
+
+TEST_F(ClusterTest, ZeroMachinesFatal)
+{
+    EXPECT_THROW(Cluster(model_, 0), FatalError);
+}
+
+TEST_F(ClusterTest, EmptyDispatch)
+{
+    Cluster cluster(model_, 4);
+    const DispatchReport report = cluster.dispatch({});
+    EXPECT_EQ(report.completions.size(), 0u);
+    EXPECT_DOUBLE_EQ(report.makespanSec, 0.0);
+}
+
+TEST_F(ClusterTest, SinglePairRuntime)
+{
+    Cluster cluster(model_, 1);
+    const PairAssignment pair{id("correlation"), id("swaptions")};
+    const DispatchReport report = cluster.dispatch({pair});
+    ASSERT_EQ(report.completions.size(), 1u);
+    const double expected =
+        std::max(model_.colocatedSeconds(pair.first, pair.second),
+                 model_.colocatedSeconds(pair.second, pair.first));
+    EXPECT_DOUBLE_EQ(report.makespanSec, expected);
+    EXPECT_DOUBLE_EQ(report.completions[0].startSec, 0.0);
+}
+
+TEST_F(ClusterTest, PairsQueueWhenMachinesScarce)
+{
+    Cluster cluster(model_, 1);
+    const PairAssignment pair{id("svm"), id("kmeans")};
+    const DispatchReport report = cluster.dispatch({pair, pair});
+    ASSERT_EQ(report.completions.size(), 2u);
+    EXPECT_DOUBLE_EQ(report.completions[1].startSec,
+                     report.completions[0].endSec);
+    EXPECT_NEAR(report.makespanSec,
+                2.0 * report.completions[0].endSec, 1e-9);
+}
+
+TEST_F(ClusterTest, ParallelMachinesOverlap)
+{
+    Cluster cluster(model_, 2);
+    const PairAssignment pair{id("svm"), id("kmeans")};
+    const DispatchReport report = cluster.dispatch({pair, pair});
+    EXPECT_DOUBLE_EQ(report.completions[1].startSec, 0.0);
+    EXPECT_NEAR(report.utilization, 1.0, 1e-9);
+}
+
+TEST_F(ClusterTest, MakespanCoversLongestMachine)
+{
+    Cluster cluster(model_, 2);
+    std::vector<PairAssignment> pairs{
+        {id("correlation"), id("naive")}, // long Spark pair
+        {id("swaptions"), id("vips")},    // short PARSEC pair
+        {id("x264"), id("bodytrack")},    // another short pair
+    };
+    const DispatchReport report = cluster.dispatch(pairs);
+    double latest = 0.0;
+    for (const auto &done : report.completions)
+        latest = std::max(latest, done.endSec);
+    EXPECT_DOUBLE_EQ(report.makespanSec, latest);
+    EXPECT_GT(report.utilization, 0.0);
+    EXPECT_LE(report.utilization, 1.0);
+}
+
+TEST_F(ClusterTest, ShortJobsLandOnFreedMachineFirst)
+{
+    Cluster cluster(model_, 2);
+    std::vector<PairAssignment> pairs{
+        {id("correlation"), id("naive")}, // machine 0: long
+        {id("swaptions"), id("vips")},    // machine 1: short
+        {id("x264"), id("bodytrack")},    // should reuse machine 1
+    };
+    const DispatchReport report = cluster.dispatch(pairs);
+    EXPECT_EQ(report.completions[2].machine,
+              report.completions[1].machine);
+}
+
+TEST_F(ClusterTest, MeanPenaltyAveragesBothSides)
+{
+    Cluster cluster(model_, 1);
+    const PairAssignment pair{id("dedup"), id("correlation")};
+    const DispatchReport report = cluster.dispatch({pair});
+    const double expected =
+        (model_.penalty(pair.first, pair.second) +
+         model_.penalty(pair.second, pair.first)) / 2.0;
+    EXPECT_NEAR(report.meanPenalty, expected, 1e-12);
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the colocation game's characteristic function and
+ * Shapley attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "game/colocation_game.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+class ColocationGameTest : public ::testing::Test
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+    InterferenceModel model_{catalog_};
+
+    JobTypeId id(const std::string &name) const
+    {
+        return catalog_.jobByName(name).id;
+    }
+};
+
+TEST_F(ColocationGameTest, SingletonsAndEmptyAreFree)
+{
+    const auto v = colocationGame(
+        model_, {id("correlation"), id("svm"), id("dedup")});
+    EXPECT_DOUBLE_EQ(v(0b000), 0.0);
+    EXPECT_DOUBLE_EQ(v(0b001), 0.0);
+    EXPECT_DOUBLE_EQ(v(0b010), 0.0);
+    EXPECT_DOUBLE_EQ(v(0b100), 0.0);
+}
+
+TEST_F(ColocationGameTest, PairValueIsMutualPenalty)
+{
+    const JobTypeId a = id("correlation");
+    const JobTypeId b = id("svm");
+    const auto v = colocationGame(model_, {a, b});
+    EXPECT_NEAR(v(0b11),
+                model_.penalty(a, b) + model_.penalty(b, a), 1e-12);
+}
+
+TEST_F(ColocationGameTest, ValueGrowsWithCoalitionSize)
+{
+    const auto v = colocationGame(
+        model_,
+        {id("correlation"), id("naive"), id("decision"), id("svm")});
+    EXPECT_LT(v(0b0011), v(0b0111));
+    EXPECT_LT(v(0b0111), v(0b1111));
+}
+
+TEST_F(ColocationGameTest, AttributionIsEfficient)
+{
+    std::vector<JobTypeId> jobs{id("correlation"), id("svm"),
+                                id("dedup"), id("swaptions")};
+    const auto v = colocationGame(model_, jobs);
+    const auto phi = shapleyAttribution(model_, jobs);
+    ASSERT_EQ(phi.size(), 4u);
+    const double total = std::accumulate(phi.begin(), phi.end(), 0.0);
+    EXPECT_NEAR(total, v(0b1111), 1e-9);
+}
+
+TEST_F(ColocationGameTest, ContentiousJobsOweMore)
+{
+    // Fair attribution: correlation (25 GB/s) owes a larger share
+    // than swaptions (0.07 GB/s) in any coalition containing both.
+    const auto phi = shapleyAttribution(
+        model_, {id("swaptions"), id("kmeans"), id("svm"),
+                 id("correlation")});
+    EXPECT_LT(phi[0], phi[2]);
+    EXPECT_LT(phi[2], phi[3]);
+}
+
+TEST_F(ColocationGameTest, IdenticalJobsGetEqualShares)
+{
+    const auto phi = shapleyAttribution(
+        model_, {id("svm"), id("svm"), id("correlation")});
+    EXPECT_NEAR(phi[0], phi[1], 1e-9);
+}
+
+TEST_F(ColocationGameTest, SharesAreNonNegative)
+{
+    const auto phi = shapleyAttribution(
+        model_, {id("dedup"), id("correlation"), id("vips"),
+                 id("canneal"), id("streamc")});
+    for (double share : phi)
+        EXPECT_GE(share, 0.0);
+}
+
+TEST_F(ColocationGameTest, InputValidation)
+{
+    EXPECT_THROW(colocationGame(model_, {}), FatalError);
+    EXPECT_THROW(colocationGame(model_, {999}), FatalError);
+    EXPECT_THROW(shapleyAttribution(model_, {0}), FatalError);
+    std::vector<JobTypeId> too_many(17, 0);
+    EXPECT_THROW(shapleyAttribution(model_, too_many), FatalError);
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the system coordinator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/coordinator.hh"
+#include "core/experiment.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+class CoordinatorTest : public ::testing::Test
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+    InterferenceModel model_{catalog_};
+};
+
+TEST_F(CoordinatorTest, ProfilesAreLazyAndCached)
+{
+    CoordinatorConfig config;
+    config.sampleRatio = 0.25;
+    Coordinator coordinator(catalog_, model_, config, 1);
+    EXPECT_EQ(coordinator.database().totalSamples(), 0u);
+
+    const SparseMatrix &first = coordinator.profiles();
+    const std::size_t samples = coordinator.database().totalSamples();
+    EXPECT_GT(samples, 0u);
+
+    // Second query returns the cached matrix; no new measurements.
+    const SparseMatrix &second = coordinator.profiles();
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(coordinator.database().totalSamples(), samples);
+}
+
+TEST_F(CoordinatorTest, RefreshResamples)
+{
+    CoordinatorConfig config;
+    Coordinator coordinator(catalog_, model_, config, 2);
+    coordinator.profiles();
+    const std::size_t samples = coordinator.database().totalSamples();
+    coordinator.refreshProfiles();
+    coordinator.profiles();
+    EXPECT_GT(coordinator.database().totalSamples(), samples);
+}
+
+TEST_F(CoordinatorTest, ProfileDensityMatchesConfig)
+{
+    CoordinatorConfig config;
+    config.sampleRatio = 0.4;
+    Coordinator coordinator(catalog_, model_, config, 3);
+    EXPECT_GE(coordinator.profiles().density(), 0.4);
+}
+
+TEST_F(CoordinatorTest, RepeatsMultiplyMeasurements)
+{
+    CoordinatorConfig one;
+    one.profileRepeats = 1;
+    CoordinatorConfig five;
+    five.profileRepeats = 5;
+    Coordinator a(catalog_, model_, one, 4);
+    Coordinator b(catalog_, model_, five, 4);
+    a.profiles();
+    b.profiles();
+    EXPECT_GT(b.database().totalSamples(),
+              3 * a.database().totalSamples());
+}
+
+TEST_F(CoordinatorTest, ColocateUsesConfiguredPolicy)
+{
+    CoordinatorConfig config;
+    config.policy = "CO";
+    Coordinator coordinator(catalog_, model_, config, 5);
+    Rng rng(1);
+    const auto instance =
+        sampleInstance(catalog_, model_, 40, MixKind::Uniform, rng);
+    Rng policy_rng(2);
+    const Matching m = coordinator.colocate(instance, policy_rng);
+    EXPECT_TRUE(m.isPerfect());
+
+    // CO is deterministic: matches a directly constructed policy.
+    Rng direct_rng(2);
+    const Matching direct =
+        ComplementaryPolicy().assign(instance, direct_rng);
+    EXPECT_EQ(m.pairs(), direct.pairs());
+}
+
+TEST_F(CoordinatorTest, DispatchDefaultsToOneMachinePerPair)
+{
+    CoordinatorConfig config;
+    Coordinator coordinator(catalog_, model_, config, 6);
+    std::vector<PairAssignment> pairs(
+        4, PairAssignment{0, 1});
+    const DispatchReport report = coordinator.dispatch(pairs);
+    // Four machines -> all pairs start immediately.
+    for (const auto &done : report.completions)
+        EXPECT_DOUBLE_EQ(done.startSec, 0.0);
+}
+
+TEST_F(CoordinatorTest, DispatchHonorsMachineBudget)
+{
+    CoordinatorConfig config;
+    config.machines = 1;
+    Coordinator coordinator(catalog_, model_, config, 7);
+    std::vector<PairAssignment> pairs(3, PairAssignment{0, 1});
+    const DispatchReport report = coordinator.dispatch(pairs);
+    EXPECT_GT(report.completions[2].startSec, 0.0);
+}
+
+TEST_F(CoordinatorTest, BadConfigFatal)
+{
+    CoordinatorConfig bad_ratio;
+    bad_ratio.sampleRatio = 0.0;
+    EXPECT_THROW(Coordinator(catalog_, model_, bad_ratio, 1),
+                 FatalError);
+    CoordinatorConfig bad_repeats;
+    bad_repeats.profileRepeats = 0;
+    EXPECT_THROW(Coordinator(catalog_, model_, bad_repeats, 1),
+                 FatalError);
+    CoordinatorConfig bad_policy;
+    bad_policy.policy = "ZZ";
+    EXPECT_THROW(Coordinator(catalog_, model_, bad_policy, 1),
+                 FatalError);
+}
+
+} // namespace
+} // namespace cooper

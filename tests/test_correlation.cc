@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for correlation measures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/correlation.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace cooper {
+namespace {
+
+TEST(Correlation, PearsonPerfectPositive)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonPerfectNegative)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0};
+    std::vector<double> ys{3.0, 2.0, 1.0};
+    EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonFlatSeriesIsZero)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0};
+    std::vector<double> ys{5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Correlation, PearsonSizeMismatchFatal)
+{
+    std::vector<double> xs{1.0, 2.0};
+    std::vector<double> ys{1.0};
+    EXPECT_THROW(pearson(xs, ys), FatalError);
+}
+
+TEST(Correlation, PearsonIndependentNearZero)
+{
+    Rng rng(99);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20000; ++i) {
+        xs.push_back(rng.uniform());
+        ys.push_back(rng.uniform());
+    }
+    EXPECT_NEAR(pearson(xs, ys), 0.0, 0.02);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear)
+{
+    // Monotone but nonlinear: Spearman sees a perfect rank relation.
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+    std::vector<double> ys{1.0, 8.0, 27.0, 64.0, 125.0};
+    EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+    EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Correlation, SpearmanHandlesTies)
+{
+    std::vector<double> xs{1.0, 2.0, 2.0, 4.0};
+    std::vector<double> ys{1.0, 3.0, 3.0, 4.0};
+    EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, KendallPerfectAgreement)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> ys{10.0, 20.0, 30.0, 40.0};
+    EXPECT_NEAR(kendallTau(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, KendallPerfectDisagreement)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> ys{4.0, 3.0, 2.0, 1.0};
+    EXPECT_NEAR(kendallTau(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, KendallKnownValue)
+{
+    // One discordant pair among six: tau = (5 - 1) / 6.
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> ys{1.0, 2.0, 4.0, 3.0};
+    EXPECT_NEAR(kendallTau(xs, ys), 4.0 / 6.0, 1e-12);
+}
+
+TEST(Correlation, KendallDegenerate)
+{
+    std::vector<double> xs{1.0};
+    std::vector<double> ys{1.0};
+    EXPECT_DOUBLE_EQ(kendallTau(xs, ys), 0.0);
+    std::vector<double> flat{2.0, 2.0, 2.0};
+    std::vector<double> rise{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(kendallTau(flat, rise), 0.0);
+}
+
+} // namespace
+} // namespace cooper

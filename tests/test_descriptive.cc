@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for descriptive statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+TEST(Descriptive, MeanBasics)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Descriptive, VarianceUnbiased)
+{
+    std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Descriptive, StddevIsRootVariance)
+{
+    std::vector<double> xs{1.0, 3.0};
+    EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Descriptive, MinMax)
+{
+    std::vector<double> xs{3.0, -1.0, 7.0};
+    EXPECT_DOUBLE_EQ(minOf(xs), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 7.0);
+    EXPECT_THROW(minOf(std::vector<double>{}), FatalError);
+    EXPECT_THROW(maxOf(std::vector<double>{}), FatalError);
+}
+
+TEST(Descriptive, QuantileInterpolates)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+}
+
+TEST(Descriptive, QuantileUnsortedInput)
+{
+    std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Descriptive, QuantileSingleElement)
+{
+    std::vector<double> xs{5.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 5.0);
+}
+
+TEST(Descriptive, QuantileRejectsBadInput)
+{
+    std::vector<double> xs{1.0};
+    EXPECT_THROW(quantile(xs, -0.1), FatalError);
+    EXPECT_THROW(quantile(xs, 1.1), FatalError);
+    EXPECT_THROW(quantile(std::vector<double>{}, 0.5), FatalError);
+}
+
+TEST(Descriptive, MedianOddCount)
+{
+    std::vector<double> xs{9.0, 1.0, 5.0};
+    EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Descriptive, BoxStatsQuartiles)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i)
+        xs.push_back(static_cast<double>(i));
+    const BoxStats b = boxStats(xs);
+    EXPECT_NEAR(b.median, 50.5, 1e-12);
+    EXPECT_NEAR(b.q1, 25.75, 1e-12);
+    EXPECT_NEAR(b.q3, 75.25, 1e-12);
+    // No outliers: whiskers reach the extremes.
+    EXPECT_DOUBLE_EQ(b.whiskerLow, 1.0);
+    EXPECT_DOUBLE_EQ(b.whiskerHigh, 100.0);
+}
+
+TEST(Descriptive, BoxStatsClipsOutliers)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0, 100.0};
+    const BoxStats b = boxStats(xs, 1.5);
+    EXPECT_LT(b.whiskerHigh, 100.0);
+    EXPECT_GE(b.whiskerHigh, b.q3);
+}
+
+TEST(Descriptive, BoxStatsWiderWhiskersKeepMore)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0, 12.0};
+    const BoxStats narrow = boxStats(xs, 1.5);
+    const BoxStats wide = boxStats(xs, 3.0);
+    EXPECT_LE(narrow.whiskerHigh, wide.whiskerHigh);
+}
+
+TEST(Descriptive, RanksSimple)
+{
+    std::vector<double> xs{10.0, 30.0, 20.0};
+    const auto r = ranks(xs);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 3.0);
+    EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(Descriptive, RanksAverageTies)
+{
+    std::vector<double> xs{1.0, 2.0, 2.0, 3.0};
+    const auto r = ranks(xs);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 2.5);
+    EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Descriptive, RanksAllEqual)
+{
+    std::vector<double> xs{5.0, 5.0, 5.0};
+    const auto r = ranks(xs);
+    for (double v : r)
+        EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Descriptive, HistogramCounts)
+{
+    std::vector<double> xs{0.1, 0.2, 0.6, 0.9, 1.0, -0.5, 2.0};
+    const auto h = histogram(xs, 0.0, 1.0, 2);
+    EXPECT_EQ(h.size(), 2u);
+    EXPECT_EQ(h[0], 2u); // 0.1, 0.2
+    EXPECT_EQ(h[1], 3u); // 0.6, 0.9, 1.0 (top edge goes to last bin)
+}
+
+TEST(Descriptive, HistogramRejectsBadConfig)
+{
+    std::vector<double> xs{1.0};
+    EXPECT_THROW(histogram(xs, 0.0, 1.0, 0), FatalError);
+    EXPECT_THROW(histogram(xs, 1.0, 0.0, 4), FatalError);
+}
+
+} // namespace
+} // namespace cooper

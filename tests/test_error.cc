@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for the error-handling helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+TEST(Error, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+}
+
+TEST(Error, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("bug"), LogicError);
+}
+
+TEST(Error, MessagesConcatenateArguments)
+{
+    try {
+        fatal("value ", 42, " exceeds ", 1.5);
+        FAIL() << "fatal must throw";
+    } catch (const FatalError &err) {
+        EXPECT_STREQ(err.what(), "value 42 exceeds 1.5");
+    }
+}
+
+TEST(Error, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "never"));
+    EXPECT_THROW(fatalIf(true, "always"), FatalError);
+}
+
+TEST(Error, PanicIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "never"));
+    EXPECT_THROW(panicIf(true, "always"), LogicError);
+}
+
+TEST(Error, FatalAndLogicAreDistinctHierarchies)
+{
+    // fatal() reports user error, panic() internal bugs; callers must
+    // be able to catch them separately.
+    EXPECT_THROW(
+        {
+            try {
+                panic("internal");
+            } catch (const FatalError &) {
+                // wrong handler: LogicError is not a FatalError
+            }
+        },
+        LogicError);
+}
+
+TEST(Error, FormatMessageEmpty)
+{
+    EXPECT_EQ(formatMessage(), "");
+    EXPECT_EQ(formatMessage("x"), "x");
+}
+
+} // namespace
+} // namespace cooper

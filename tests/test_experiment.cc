@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the shared experiment plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "stats/correlation.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+class ExperimentTest : public ::testing::Test
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+    InterferenceModel model_{catalog_};
+};
+
+TEST_F(ExperimentTest, SampleInstanceIsOracular)
+{
+    Rng rng(1);
+    const auto instance =
+        sampleInstance(catalog_, model_, 30, MixKind::Uniform, rng);
+    EXPECT_EQ(instance.agents(), 30u);
+    for (JobTypeId i = 0; i < catalog_.size(); ++i)
+        for (JobTypeId j = 0; j < catalog_.size(); ++j)
+            EXPECT_DOUBLE_EQ(instance.believed()(i, j),
+                             instance.truth()(i, j));
+}
+
+TEST_F(ExperimentTest, SampleInstanceCfBelievedDiffersButCorrelates)
+{
+    Rng rng(2);
+    const auto instance = sampleInstanceCf(catalog_, model_, 30,
+                                           MixKind::Uniform, 0.25, rng);
+    EXPECT_EQ(instance.agents(), 30u);
+
+    // Believed is a prediction: not identical to the truth, but
+    // strongly ordered like it.
+    std::vector<double> truth, believed;
+    bool any_diff = false;
+    for (JobTypeId i = 0; i < catalog_.size(); ++i) {
+        for (JobTypeId j = 0; j < catalog_.size(); ++j) {
+            truth.push_back(instance.truth()(i, j));
+            believed.push_back(instance.believed()(i, j));
+            if (std::abs(truth.back() - believed.back()) > 1e-9)
+                any_diff = true;
+        }
+    }
+    EXPECT_TRUE(any_diff);
+    EXPECT_GT(spearman(truth, believed), 0.8);
+}
+
+TEST_F(ExperimentTest, RunPolicyCollectsPenalties)
+{
+    Rng rng(3);
+    const auto instance =
+        sampleInstance(catalog_, model_, 40, MixKind::Uniform, rng);
+    GreedyPolicy gr;
+    Rng policy_rng(4);
+    const PolicyRun run = runPolicy(gr, instance, policy_rng);
+    EXPECT_EQ(run.policy, "GR");
+    EXPECT_EQ(run.penalties.size(), 40u);
+    double acc = 0.0;
+    std::size_t matched = 0;
+    for (AgentId a = 0; a < 40; ++a) {
+        if (run.matching.isMatched(a)) {
+            acc += run.penalties[a];
+            ++matched;
+        }
+    }
+    EXPECT_NEAR(run.meanPenalty, acc / matched, 1e-12);
+}
+
+TEST_F(ExperimentTest, AggregateByTypeOrdersByDemand)
+{
+    Rng rng(5);
+    const auto instance =
+        sampleInstance(catalog_, model_, 200, MixKind::Uniform, rng);
+    Rng policy_rng(6);
+    const PolicyRun run =
+        runPolicy(StableMarriageRandomPolicy(), instance, policy_rng);
+    const auto rows = aggregateByType(instance, run.matching);
+    EXPECT_GT(rows.size(), 10u);
+    for (std::size_t k = 1; k < rows.size(); ++k)
+        EXPECT_LE(rows[k - 1].gbps, rows[k].gbps);
+    std::size_t covered = 0;
+    for (const auto &row : rows)
+        covered += row.count;
+    EXPECT_EQ(covered, 200u);
+}
+
+TEST_F(ExperimentTest, FigureJobRowsFollowPaperOrder)
+{
+    Rng rng(7);
+    const auto instance =
+        sampleInstance(catalog_, model_, 400, MixKind::Uniform, rng);
+    Rng policy_rng(8);
+    const PolicyRun run =
+        runPolicy(GreedyPolicy(), instance, policy_rng);
+    const auto rows = figureJobRows(
+        catalog_, aggregateByType(instance, run.matching));
+    const auto names = Catalog::figureJobNames();
+    ASSERT_EQ(rows.size(), names.size());
+    for (std::size_t k = 0; k < rows.size(); ++k)
+        EXPECT_EQ(catalog_.job(rows[k].type).name, names[k]);
+}
+
+TEST_F(ExperimentTest, FigureJobRowsSkipAbsentTypes)
+{
+    // A population containing only swaptions and correlation yields
+    // exactly those two figure rows.
+    std::vector<JobTypeId> types;
+    for (int i = 0; i < 4; ++i) {
+        types.push_back(catalog_.jobByName("swaptions").id);
+        types.push_back(catalog_.jobByName("correlation").id);
+    }
+    auto instance =
+        ColocationInstance::oracular(catalog_, types, model_);
+    Rng rng(9);
+    const PolicyRun run =
+        runPolicy(ComplementaryPolicy(), instance, rng);
+    const auto rows = figureJobRows(
+        catalog_, aggregateByType(instance, run.matching));
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(catalog_.job(rows[0].type).name, "swaptions");
+    EXPECT_EQ(catalog_.job(rows[1].type).name, "correlation");
+}
+
+} // namespace
+} // namespace cooper

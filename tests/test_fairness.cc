@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for fairness metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "game/fairness.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+class FairnessTest : public ::testing::Test
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+};
+
+TEST_F(FairnessTest, AggregatesPenaltiesPerType)
+{
+    // Four agents: two correlation, two swaptions, paired across.
+    const JobTypeId corr = catalog_.jobByName("correlation").id;
+    const JobTypeId swap = catalog_.jobByName("swaptions").id;
+    std::vector<JobTypeId> types{corr, swap, corr, swap};
+    Matching m(4);
+    m.pair(0, 1);
+    m.pair(2, 3);
+    auto d = [&](AgentId a, AgentId) {
+        return types[a] == corr ? 0.2 : 0.05;
+    };
+    const auto rows = penaltiesByType(catalog_, types, m, d);
+    ASSERT_EQ(rows.size(), 2u);
+    // Ordered by bandwidth: swaptions first.
+    EXPECT_EQ(rows[0].type, swap);
+    EXPECT_EQ(rows[0].count, 2u);
+    EXPECT_NEAR(rows[0].meanPenalty, 0.05, 1e-12);
+    EXPECT_EQ(rows[1].type, corr);
+    EXPECT_NEAR(rows[1].meanPenalty, 0.2, 1e-12);
+}
+
+TEST_F(FairnessTest, UnmatchedAgentsExcluded)
+{
+    const JobTypeId corr = catalog_.jobByName("correlation").id;
+    std::vector<JobTypeId> types{corr, corr, corr};
+    Matching m(3);
+    m.pair(0, 1);
+    auto d = [](AgentId, AgentId) { return 0.1; };
+    const auto rows = penaltiesByType(catalog_, types, m, d);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].count, 2u);
+}
+
+TEST_F(FairnessTest, SizeMismatchFatal)
+{
+    std::vector<JobTypeId> types{0};
+    Matching m(2);
+    auto d = [](AgentId, AgentId) { return 0.0; };
+    EXPECT_THROW(penaltiesByType(catalog_, types, m, d), FatalError);
+}
+
+TEST_F(FairnessTest, FairOutcomeScoresPositive)
+{
+    std::vector<JobPenalty> rows;
+    for (int i = 0; i < 10; ++i) {
+        JobPenalty row;
+        row.gbps = static_cast<double>(i);
+        row.meanPenalty = 0.01 * static_cast<double>(i);
+        rows.push_back(row);
+    }
+    const FairnessReport report = fairness(rows);
+    EXPECT_NEAR(report.rankCorrelation, 1.0, 1e-9);
+    EXPECT_NEAR(report.kendall, 1.0, 1e-9);
+    EXPECT_GT(report.linearCorrelation, 0.99);
+}
+
+TEST_F(FairnessTest, UnfairOutcomeScoresNearZero)
+{
+    // Penalties unrelated to demand.
+    std::vector<double> penalties{0.05, 0.01, 0.09, 0.02, 0.07,
+                                  0.03, 0.08, 0.01, 0.06, 0.04};
+    std::vector<JobPenalty> rows;
+    for (int i = 0; i < 10; ++i) {
+        JobPenalty row;
+        row.gbps = static_cast<double>(i);
+        row.meanPenalty = penalties[static_cast<std::size_t>(i)];
+        rows.push_back(row);
+    }
+    const FairnessReport report = fairness(rows);
+    EXPECT_LT(std::abs(report.rankCorrelation), 0.5);
+}
+
+TEST_F(FairnessTest, EmptyRowsGiveZero)
+{
+    const FairnessReport report = fairness({});
+    EXPECT_DOUBLE_EQ(report.rankCorrelation, 0.0);
+    EXPECT_DOUBLE_EQ(report.linearCorrelation, 0.0);
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for multi-co-runner colocation (Section VIII extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/experiment.hh"
+#include "core/groups.hh"
+#include "game/fairness.hh"
+#include "stats/correlation.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+class GroupsTest : public ::testing::Test
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+    InterferenceModel model_{catalog_};
+
+    JobTypeId id(const std::string &name) const
+    {
+        return catalog_.jobByName(name).id;
+    }
+
+    ColocationInstance
+    makeInstance(std::size_t n, std::uint64_t seed = 1)
+    {
+        Rng rng(seed);
+        return sampleInstance(catalog_, model_, n, MixKind::Uniform,
+                              rng);
+    }
+};
+
+TEST_F(GroupsTest, GroupPenaltyOfPairMatchesPairwiseModel)
+{
+    for (JobTypeId i = 0; i < catalog_.size(); i += 4) {
+        for (JobTypeId j = 0; j < catalog_.size(); j += 3) {
+            const std::array<JobTypeId, 1> others{j};
+            EXPECT_DOUBLE_EQ(model_.groupPenalty(i, others),
+                             model_.penalty(i, j));
+        }
+    }
+}
+
+TEST_F(GroupsTest, MoreCoRunnersMorePenalty)
+{
+    const JobTypeId victim = id("svm");
+    const std::array<JobTypeId, 1> one{id("decision")};
+    const std::array<JobTypeId, 2> two{id("decision"), id("gradient")};
+    const std::array<JobTypeId, 3> three{id("decision"), id("gradient"),
+                                         id("naive")};
+    EXPECT_LT(model_.groupPenalty(victim, one),
+              model_.groupPenalty(victim, two));
+    EXPECT_LT(model_.groupPenalty(victim, two),
+              model_.groupPenalty(victim, three));
+}
+
+TEST_F(GroupsTest, EmptyGroupFatal)
+{
+    EXPECT_THROW(model_.groupPenalty(0, {}), FatalError);
+}
+
+TEST_F(GroupsTest, GroupingPartitionChecks)
+{
+    Grouping g;
+    g.groups = {{0, 1}, {2, 3}};
+    EXPECT_TRUE(g.isPartitionOf(4));
+    EXPECT_EQ(g.agentCount(), 4u);
+    EXPECT_FALSE(g.isPartitionOf(5)); // agent 4 missing
+
+    Grouping dup;
+    dup.groups = {{0, 1}, {1, 2}};
+    EXPECT_FALSE(dup.isPartitionOf(3));
+}
+
+TEST_F(GroupsTest, TrueGroupPenaltyRequiresMembership)
+{
+    const auto instance = makeInstance(8);
+    const std::vector<AgentId> group{0, 1, 2, 3};
+    EXPECT_GT(trueGroupPenalty(instance, model_, 0, group), 0.0);
+    EXPECT_THROW(trueGroupPenalty(instance, model_, 7, group),
+                 FatalError);
+}
+
+TEST_F(GroupsTest, SingletonGroupHasZeroPenalty)
+{
+    const auto instance = makeInstance(4);
+    const std::vector<AgentId> alone{2};
+    EXPECT_DOUBLE_EQ(trueGroupPenalty(instance, model_, 2, alone), 0.0);
+}
+
+TEST_F(GroupsTest, HierarchicalPartitionsIntoRequestedSize)
+{
+    const auto instance = makeInstance(64, 3);
+    Rng rng(1);
+    for (std::size_t size : {2u, 4u, 8u}) {
+        const Grouping g = hierarchicalGroups(instance, size, rng);
+        EXPECT_TRUE(g.isPartitionOf(64)) << "size " << size;
+        for (const auto &group : g.groups)
+            EXPECT_EQ(group.size(), size) << "size " << size;
+    }
+}
+
+TEST_F(GroupsTest, HierarchicalRejectsBadSizes)
+{
+    const auto instance = makeInstance(8);
+    Rng rng(1);
+    EXPECT_THROW(hierarchicalGroups(instance, 3, rng), FatalError);
+    EXPECT_THROW(hierarchicalGroups(instance, 1, rng), FatalError);
+}
+
+TEST_F(GroupsTest, HierarchicalPairsEqualStableRoommatePolicy)
+{
+    // With group size 2 the hierarchy is exactly one roommates round.
+    const auto instance = makeInstance(40, 5);
+    Rng rng_a(1), rng_b(1);
+    const Grouping g = hierarchicalGroups(instance, 2, rng_a);
+    const Matching m = StableRoommatePolicy().assign(instance, rng_b);
+    for (const auto &group : g.groups) {
+        ASSERT_EQ(group.size(), 2u);
+        EXPECT_EQ(m.partnerOf(group[0]), group[1]);
+    }
+}
+
+TEST_F(GroupsTest, GreedyGroupsRespectCapacity)
+{
+    const auto instance = makeInstance(50, 7);
+    Rng rng(2);
+    const Grouping g = greedyGroups(instance, 4, rng);
+    EXPECT_TRUE(g.isPartitionOf(50));
+    for (const auto &group : g.groups)
+        EXPECT_LE(group.size(), 4u);
+    // ceil(50 / 4) = 13 machines.
+    EXPECT_EQ(g.groups.size(), 13u);
+}
+
+TEST_F(GroupsTest, RandomGroupsChopEvenly)
+{
+    const auto instance = makeInstance(30, 9);
+    Rng rng(3);
+    const Grouping g = randomGroups(instance, 3, rng);
+    EXPECT_TRUE(g.isPartitionOf(30));
+    EXPECT_EQ(g.groups.size(), 10u);
+}
+
+TEST_F(GroupsTest, HierarchicalFairerThanGreedyAtSizeFour)
+{
+    const auto instance = makeInstance(200, 11);
+    Rng rng_h(1), rng_g(1);
+    const Grouping hier = hierarchicalGroups(instance, 4, rng_h);
+    const Grouping greedy = greedyGroups(instance, 4, rng_g);
+
+    auto fairness_of = [&](const Grouping &g) {
+        const auto penalties =
+            trueGroupPenalties(instance, model_, g);
+        std::vector<double> demand, penalty;
+        for (AgentId a = 0; a < instance.agents(); ++a) {
+            demand.push_back(
+                catalog_.job(instance.typeOf(a)).gbps);
+            penalty.push_back(penalties[a]);
+        }
+        return spearman(demand, penalty);
+    };
+    EXPECT_GT(fairness_of(hier), fairness_of(greedy));
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * End-to-end integration tests spanning every module: profiler ->
+ * predictor -> agents -> policy -> assessment -> dispatcher, plus
+ * serialization of the artifacts exchanged along the way.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/coordinator.hh"
+#include "core/framework.hh"
+#include "game/fairness.hh"
+#include "io/serialize.hh"
+#include "workload/population.hh"
+
+namespace cooper {
+namespace {
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+    InterferenceModel model_{catalog_};
+};
+
+TEST_F(IntegrationTest, MultiEpochRunKeepsDesiderata)
+{
+    FrameworkConfig config;
+    config.policy = "SMR";
+    config.sampleRatio = 0.25;
+    config.alpha = 0.02;
+    config.machines = 20;
+    CooperFramework framework(catalog_, model_, config, 11);
+
+    Rng rng(12);
+    double fairness_acc = 0.0;
+    const int epochs = 4;
+    for (int e = 0; e < epochs; ++e) {
+        const auto pop =
+            samplePopulation(catalog_, 200, MixKind::Uniform, rng);
+        const EpochReport report = framework.runEpoch(pop);
+
+        // Performance: colocations all dispatched, machines bounded.
+        EXPECT_TRUE(report.matching.isPerfect());
+        EXPECT_EQ(report.dispatch.completions.size(), 100u);
+        EXPECT_LE(report.dispatch.utilization, 1.0);
+
+        // Stability: a minority of agents wants out at alpha = 2%
+        // (prediction error inflates perceived opportunities, so the
+        // CF-mode count sits well above the near-zero oracular one).
+        EXPECT_LT(report.breakAwayAgents, 80u) << "epoch " << e;
+
+        // Prediction: in the paper's accuracy band.
+        EXPECT_GT(report.predictionAccuracy, 0.75);
+
+        ColocationInstance instance = framework.buildInstance(pop);
+        const auto rows = penaltiesByType(
+            catalog_, pop, report.matching,
+            [&](AgentId a, AgentId b) {
+                return instance.trueDisutility(a, b);
+            });
+        fairness_acc += fairness(rows).rankCorrelation;
+    }
+    // Fairness: penalties track contentiousness on average.
+    EXPECT_GT(fairness_acc / epochs, 0.6);
+}
+
+TEST_F(IntegrationTest, AgentsQueryPredictAndAssessThroughCoordinator)
+{
+    CoordinatorConfig config;
+    config.sampleRatio = 0.3;
+    Coordinator coordinator(catalog_, model_, config, 13);
+
+    Agent agent(0, catalog_.jobByName("dedup").id);
+    const SparseMatrix &profiles = agent.queryProfiles(coordinator);
+    EXPECT_GE(profiles.density(), 0.3);
+
+    const auto row = agent.predictTypeRow(profiles);
+    ASSERT_EQ(row.size(), catalog_.size());
+    // dedup's predicted penalty against a huge-footprint co-runner
+    // should exceed its penalty against a tiny one.
+    const auto naive_id = catalog_.jobByName("naive").id;
+    const auto swap_id = catalog_.jobByName("swaptions").id;
+    EXPECT_GT(row[naive_id], row[swap_id]);
+
+    const auto prefs = agent.predictTypePreferences(profiles);
+    EXPECT_EQ(prefs.size(), catalog_.size());
+    // The preference order is the ascending sort of the row.
+    for (std::size_t k = 1; k < prefs.size(); ++k)
+        EXPECT_LE(row[prefs[k - 1]], row[prefs[k]]);
+}
+
+TEST_F(IntegrationTest, ArtifactsRoundTripThroughFiles)
+{
+    // The coordinator profiles, a policy matches, and both artifacts
+    // survive the file formats agents would consume.
+    CoordinatorConfig config;
+    config.policy = "SR";
+    Coordinator coordinator(catalog_, model_, config, 14);
+    const SparseMatrix &profiles = coordinator.profiles();
+
+    std::stringstream profile_stream;
+    writeProfiles(profile_stream, profiles);
+    const SparseMatrix restored = readProfiles(profile_stream);
+    EXPECT_EQ(restored.knownCount(), profiles.knownCount());
+
+    Rng rng(15);
+    std::vector<JobTypeId> pop =
+        samplePopulation(catalog_, 50, MixKind::Uniform, rng);
+    auto instance =
+        ColocationInstance::oracular(catalog_, pop, model_);
+    Rng policy_rng(16);
+    const Matching matching =
+        coordinator.colocate(instance, policy_rng);
+
+    std::stringstream matching_stream;
+    writeMatching(matching_stream, matching);
+    const Matching restored_matching = readMatching(matching_stream);
+    EXPECT_EQ(restored_matching.pairs(), matching.pairs());
+}
+
+TEST_F(IntegrationTest, OracularAndCfAgreeOnHeavyHitters)
+{
+    // The believed ordering of clearly separated co-runners must
+    // survive prediction: every type prefers swaptions to correlation.
+    FrameworkConfig config;
+    config.sampleRatio = 0.3;
+    CooperFramework framework(catalog_, model_, config, 17);
+    Rng rng(18);
+    const auto pop =
+        samplePopulation(catalog_, 60, MixKind::Uniform, rng);
+    ColocationInstance instance = framework.buildInstance(pop);
+
+    const auto swap_id = catalog_.jobByName("swaptions").id;
+    const auto corr_id = catalog_.jobByName("correlation").id;
+    for (JobTypeId t = 0; t < catalog_.size(); ++t) {
+        EXPECT_LT(instance.believed()(t, swap_id),
+                  instance.believed()(t, corr_id))
+            << "type " << t;
+    }
+}
+
+} // namespace
+} // namespace cooper

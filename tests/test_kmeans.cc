@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for k-means clustering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/kmeans.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+TEST(KMeans, SeparatesObviousClusters)
+{
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 10; ++i)
+        points.push_back({0.0 + 0.01 * i, 0.0});
+    for (int i = 0; i < 10; ++i)
+        points.push_back({10.0 + 0.01 * i, 10.0});
+    Rng rng(1);
+    const KMeansResult result = kmeans(points, 2, rng);
+    // Every point in the first blob shares a label, distinct from
+    // the second blob's.
+    for (int i = 1; i < 10; ++i)
+        EXPECT_EQ(result.assignment[i], result.assignment[0]);
+    for (int i = 11; i < 20; ++i)
+        EXPECT_EQ(result.assignment[static_cast<std::size_t>(i)],
+                  result.assignment[10]);
+    EXPECT_NE(result.assignment[0], result.assignment[10]);
+}
+
+TEST(KMeans, KEqualsNPutsEachPointAlone)
+{
+    std::vector<std::vector<double>> points{
+        {0.0}, {1.0}, {2.0}, {3.0}};
+    Rng rng(2);
+    const KMeansResult result = kmeans(points, 4, rng);
+    std::set<std::size_t> labels(result.assignment.begin(),
+                                 result.assignment.end());
+    EXPECT_EQ(labels.size(), 4u);
+    EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, SingleClusterCentersOnMean)
+{
+    std::vector<std::vector<double>> points{{0.0, 0.0}, {2.0, 4.0}};
+    Rng rng(3);
+    const KMeansResult result = kmeans(points, 1, rng);
+    EXPECT_NEAR(result.centers[0][0], 1.0, 1e-12);
+    EXPECT_NEAR(result.centers[0][1], 2.0, 1e-12);
+}
+
+TEST(KMeans, InertiaNonIncreasingWithMoreClusters)
+{
+    std::vector<std::vector<double>> points;
+    Rng gen(4);
+    for (int i = 0; i < 50; ++i)
+        points.push_back({gen.uniform(), gen.uniform()});
+    Rng rng(5);
+    double prev = std::numeric_limits<double>::infinity();
+    for (std::size_t k : {1u, 2u, 4u, 8u}) {
+        const KMeansResult result = kmeans(points, k, rng);
+        EXPECT_LE(result.inertia, prev * 1.05) << "k=" << k;
+        prev = result.inertia;
+    }
+}
+
+TEST(KMeans, DuplicatePointsHandled)
+{
+    std::vector<std::vector<double>> points(6, {1.0, 1.0});
+    Rng rng(6);
+    const KMeansResult result = kmeans(points, 3, rng);
+    EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, InputValidation)
+{
+    Rng rng(7);
+    std::vector<std::vector<double>> empty;
+    EXPECT_THROW(kmeans(empty, 1, rng), FatalError);
+    std::vector<std::vector<double>> one{{1.0}};
+    EXPECT_THROW(kmeans(one, 0, rng), FatalError);
+    EXPECT_THROW(kmeans(one, 2, rng), FatalError);
+    std::vector<std::vector<double>> ragged{{1.0}, {1.0, 2.0}};
+    EXPECT_THROW(kmeans(ragged, 1, rng), FatalError);
+}
+
+TEST(NormalizeFeatures, MapsToUnitRange)
+{
+    std::vector<std::vector<double>> points{{0.0, 5.0}, {10.0, 5.0},
+                                            {5.0, 5.0}};
+    const auto norm = normalizeFeatures(points);
+    EXPECT_DOUBLE_EQ(norm[0][0], 0.0);
+    EXPECT_DOUBLE_EQ(norm[1][0], 1.0);
+    EXPECT_DOUBLE_EQ(norm[2][0], 0.5);
+    // Constant feature maps to zero everywhere.
+    for (const auto &p : norm)
+        EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(NormalizeFeatures, EmptyInput)
+{
+    EXPECT_TRUE(normalizeFeatures({}).empty());
+}
+
+} // namespace
+} // namespace cooper

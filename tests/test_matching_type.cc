@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the Matching container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "matching/matching.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+TEST(Matching, StartsUnmatched)
+{
+    Matching m(4);
+    EXPECT_EQ(m.size(), 4u);
+    EXPECT_EQ(m.pairCount(), 0u);
+    EXPECT_FALSE(m.isPerfect());
+    for (AgentId i = 0; i < 4; ++i)
+        EXPECT_FALSE(m.isMatched(i));
+}
+
+TEST(Matching, PairAndLookup)
+{
+    Matching m(4);
+    m.pair(0, 2);
+    EXPECT_TRUE(m.isMatched(0));
+    EXPECT_TRUE(m.isMatched(2));
+    EXPECT_EQ(m.partnerOf(0), 2u);
+    EXPECT_EQ(m.partnerOf(2), 0u);
+    EXPECT_EQ(m.pairCount(), 1u);
+}
+
+TEST(Matching, RepairMovesPartners)
+{
+    Matching m(4);
+    m.pair(0, 1);
+    m.pair(0, 2); // 1 must be released
+    EXPECT_EQ(m.partnerOf(0), 2u);
+    EXPECT_FALSE(m.isMatched(1));
+    EXPECT_TRUE(m.consistent());
+}
+
+TEST(Matching, UnpairReleasesBoth)
+{
+    Matching m(2);
+    m.pair(0, 1);
+    m.unpair(1);
+    EXPECT_FALSE(m.isMatched(0));
+    EXPECT_FALSE(m.isMatched(1));
+}
+
+TEST(Matching, SelfPairFatal)
+{
+    Matching m(2);
+    EXPECT_THROW(m.pair(1, 1), FatalError);
+}
+
+TEST(Matching, OutOfRangeFatal)
+{
+    Matching m(2);
+    EXPECT_THROW(m.pair(0, 5), FatalError);
+    EXPECT_THROW(m.unpair(5), FatalError);
+}
+
+TEST(Matching, PerfectDetection)
+{
+    Matching m(4);
+    m.pair(0, 3);
+    m.pair(1, 2);
+    EXPECT_TRUE(m.isPerfect());
+    EXPECT_EQ(m.pairCount(), 2u);
+}
+
+TEST(Matching, PairsSortedAscending)
+{
+    Matching m(6);
+    m.pair(5, 0);
+    m.pair(3, 1);
+    const auto pairs = m.pairs();
+    ASSERT_EQ(pairs.size(), 2u);
+    EXPECT_EQ(pairs[0], std::make_pair(AgentId(0), AgentId(5)));
+    EXPECT_EQ(pairs[1], std::make_pair(AgentId(1), AgentId(3)));
+}
+
+TEST(Matching, ConsistentOnFreshAndPaired)
+{
+    Matching m(3);
+    EXPECT_TRUE(m.consistent());
+    m.pair(0, 2);
+    EXPECT_TRUE(m.consistent());
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parameterized property tests for the interference model: penalties
+ * respond monotonically to every configuration knob, across the whole
+ * catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/interference.hh"
+#include "workload/catalog.hh"
+
+namespace cooper {
+namespace {
+
+class ModelKnobs
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+};
+
+TEST_P(ModelKnobs, PenaltiesMonotoneInWeights)
+{
+    const auto &[i_step, j_step] = GetParam();
+    const auto i = static_cast<JobTypeId>(i_step);
+    const auto j = static_cast<JobTypeId>(j_step);
+
+    ServerConfig low, high;
+    low.idiosyncrasy = high.idiosyncrasy = 0.0;
+    high.weightBandwidth = low.weightBandwidth * 2.0;
+    high.weightCache = low.weightCache * 2.0;
+    InterferenceModel weak(catalog_, low);
+    InterferenceModel strong(catalog_, high);
+    EXPECT_LE(weak.penalty(i, j), strong.penalty(i, j));
+}
+
+TEST_P(ModelKnobs, PenaltiesMonotoneInCacheCapacity)
+{
+    const auto &[i_step, j_step] = GetParam();
+    const auto i = static_cast<JobTypeId>(i_step);
+    const auto j = static_cast<JobTypeId>(j_step);
+
+    ServerConfig small, big;
+    small.idiosyncrasy = big.idiosyncrasy = 0.0;
+    small.llcMB = 10.0;
+    big.llcMB = 60.0;
+    InterferenceModel cramped(catalog_, small);
+    InterferenceModel roomy(catalog_, big);
+    // A bigger cache never increases the cache term.
+    EXPECT_GE(cramped.penalty(i, j), roomy.penalty(i, j));
+}
+
+TEST_P(ModelKnobs, PenaltiesMonotoneInSaturationKnee)
+{
+    const auto &[i_step, j_step] = GetParam();
+    const auto i = static_cast<JobTypeId>(i_step);
+    const auto j = static_cast<JobTypeId>(j_step);
+
+    ServerConfig early, late;
+    early.idiosyncrasy = late.idiosyncrasy = 0.0;
+    early.bwKneeGBps = 5.0;
+    late.bwKneeGBps = 50.0;
+    InterferenceModel contended(catalog_, early);
+    InterferenceModel relaxed(catalog_, late);
+    // Saturating earlier never decreases bandwidth contention.
+    EXPECT_GE(contended.penalty(i, j), relaxed.penalty(i, j));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CatalogSweep, ModelKnobs,
+    ::testing::Combine(::testing::Values(0, 5, 8, 12, 17),
+                       ::testing::Values(1, 6, 10, 16, 19)));
+
+} // namespace
+} // namespace cooper

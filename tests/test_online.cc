@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the online statistics accumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.hh"
+#include "stats/online.hh"
+
+namespace cooper {
+namespace {
+
+TEST(OnlineStats, EmptyAccumulator)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MatchesBatchStatistics)
+{
+    std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    OnlineStats s;
+    for (double x : xs)
+        s.add(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(s.variance(), variance(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleValue)
+{
+    OnlineStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, MergeEqualsSequential)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+    OnlineStats whole;
+    for (double x : xs)
+        whole.add(x);
+
+    OnlineStats left, right;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        (i < 3 ? left : right).add(xs[i]);
+    left.merge(right);
+
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a;
+    a.add(1.0);
+    a.add(2.0);
+    OnlineStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    OnlineStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+} // namespace
+} // namespace cooper

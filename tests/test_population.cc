@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for population sampling and workload mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hh"
+#include "workload/population.hh"
+
+namespace cooper {
+namespace {
+
+class PopulationTest : public ::testing::Test
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+};
+
+TEST_F(PopulationTest, SampleHasRequestedSize)
+{
+    Rng rng(1);
+    const auto pop = samplePopulation(catalog_, 500, MixKind::Uniform, rng);
+    EXPECT_EQ(pop.size(), 500u);
+    for (JobTypeId t : pop)
+        EXPECT_LT(t, catalog_.size());
+}
+
+TEST_F(PopulationTest, EmptyRequestFatal)
+{
+    Rng rng(1);
+    EXPECT_THROW(samplePopulation(catalog_, 0, MixKind::Uniform, rng),
+                 FatalError);
+}
+
+TEST_F(PopulationTest, UniformCoversAllTypes)
+{
+    Rng rng(2);
+    const auto pop =
+        samplePopulation(catalog_, 5000, MixKind::Uniform, rng);
+    std::map<JobTypeId, int> counts;
+    for (JobTypeId t : pop)
+        ++counts[t];
+    EXPECT_EQ(counts.size(), catalog_.size());
+    // Each type expected ~250 times.
+    for (const auto &[t, c] : counts)
+        EXPECT_NEAR(c, 250, 100) << "type " << t;
+}
+
+TEST_F(PopulationTest, BetaHighSkewsContentious)
+{
+    Rng rng(3);
+    const auto high =
+        samplePopulation(catalog_, 20000, MixKind::BetaHigh, rng);
+    const auto low =
+        samplePopulation(catalog_, 20000, MixKind::BetaLow, rng);
+
+    auto mean_gbps = [&](const std::vector<JobTypeId> &pop) {
+        double acc = 0.0;
+        for (JobTypeId t : pop)
+            acc += catalog_.job(t).gbps;
+        return acc / static_cast<double>(pop.size());
+    };
+    EXPECT_GT(mean_gbps(high), mean_gbps(low) + 5.0);
+}
+
+TEST_F(PopulationTest, GaussianPrefersModerateJobs)
+{
+    Rng rng(4);
+    const auto pop =
+        samplePopulation(catalog_, 20000, MixKind::Gaussian, rng);
+    const auto order = catalog_.idsByBandwidth();
+    std::vector<int> counts(catalog_.size(), 0);
+    for (JobTypeId t : pop)
+        ++counts[t];
+    // Middle-ranked jobs should outnumber the extremes.
+    const int extremes = counts[order.front()] + counts[order.back()];
+    const int middle = counts[order[order.size() / 2]] +
+                       counts[order[order.size() / 2 - 1]];
+    EXPECT_GT(middle, extremes);
+}
+
+TEST_F(PopulationTest, WeightsArePerType)
+{
+    for (MixKind kind : allMixes()) {
+        const auto weights = mixWeights(catalog_, kind);
+        EXPECT_EQ(weights.size(), catalog_.size()) << mixName(kind);
+        for (double w : weights)
+            EXPECT_GE(w, 0.0);
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        EXPECT_GT(total, 0.0);
+    }
+}
+
+TEST_F(PopulationTest, MixNamesMatchPaper)
+{
+    EXPECT_EQ(mixName(MixKind::Uniform), "Uniform");
+    EXPECT_EQ(mixName(MixKind::BetaLow), "Beta-Low");
+    EXPECT_EQ(mixName(MixKind::BetaHigh), "Beta-High");
+    EXPECT_EQ(mixName(MixKind::Gaussian), "Gaussian");
+    EXPECT_EQ(allMixes().size(), 4u);
+}
+
+TEST_F(PopulationTest, SamplingIsDeterministicPerSeed)
+{
+    Rng rng_a(7);
+    Rng rng_b(7);
+    const auto a = samplePopulation(catalog_, 100, MixKind::BetaHigh,
+                                    rng_a);
+    const auto b = samplePopulation(catalog_, 100, MixKind::BetaHigh,
+                                    rng_b);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * System-level parameterized property tests: the scheduler, group
+ * colocation, and serialization hold their invariants across sweeps
+ * of policies, sizes, loads, and seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "core/groups.hh"
+#include "core/scheduler.hh"
+#include "io/serialize.hh"
+#include "util/rng.hh"
+#include "workload/population.hh"
+
+namespace cooper {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property: for every policy and load level, the scheduler conserves
+// jobs, respects arrival order causality, and keeps utilization in
+// [0, 1].
+// ---------------------------------------------------------------------
+
+using SchedCase = std::tuple<std::string, double, int>;
+
+class SchedulerInvariants : public ::testing::TestWithParam<SchedCase>
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+    InterferenceModel model_{catalog_};
+};
+
+TEST_P(SchedulerInvariants, ConservationAndCausality)
+{
+    const auto &[policy, rate, seed] = GetParam();
+    SchedulerConfig config;
+    config.policy = policy;
+    config.arrivalRatePerSec = rate;
+    config.machines = 8;
+    config.epochSec = 300.0;
+
+    EpochScheduler scheduler(catalog_, model_, config,
+                             static_cast<std::uint64_t>(seed));
+    // Keep the overloaded sweep cheap: the queue (and the matching
+    // cost of quadratic policies) grows with the horizon.
+    const double horizon = rate > 0.1 ? 4000.0 : 8000.0;
+    const ScheduleTrace trace = scheduler.run(horizon, 4000.0);
+
+    EXPECT_GE(trace.utilization, 0.0);
+    EXPECT_LE(trace.utilization, 1.0);
+
+    std::size_t arrivals = 0, dispatched = 0;
+    for (const auto &epoch : trace.epochs) {
+        arrivals += epoch.arrivals;
+        dispatched += epoch.dispatched;
+        EXPECT_LE(epoch.freeMachines, config.machines);
+    }
+    EXPECT_EQ(arrivals, trace.jobs.size());
+    EXPECT_EQ(dispatched + trace.epochs.back().queued,
+              trace.jobs.size());
+
+    for (const auto &job : trace.jobs) {
+        if (!job.started())
+            continue;
+        EXPECT_GE(job.startSec, job.arrivalSec);
+        EXPECT_GT(job.endSec, job.startSec);
+        EXPECT_LT(job.machine, config.machines);
+        EXPECT_GE(job.penalty, 0.0);
+        EXPECT_LT(job.penalty, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulerSweep, SchedulerInvariants,
+    ::testing::Combine(::testing::Values("GR", "CO", "SMR", "SR"),
+                       ::testing::Values(0.02, 0.15),
+                       ::testing::Values(1, 17)));
+
+// ---------------------------------------------------------------------
+// Property: grouping schemes always partition the population, and
+// every member's penalty is a valid disutility.
+// ---------------------------------------------------------------------
+
+using GroupCase = std::tuple<int, std::size_t, int>;
+
+class GroupingInvariants : public ::testing::TestWithParam<GroupCase>
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+    InterferenceModel model_{catalog_};
+};
+
+TEST_P(GroupingInvariants, PartitionAndPenaltyBounds)
+{
+    const auto &[scheme, agents, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed));
+    auto population =
+        samplePopulation(catalog_, agents, MixKind::Uniform, rng);
+    auto instance = ColocationInstance::oracular(
+        catalog_, std::move(population), model_);
+
+    Rng scheme_rng(static_cast<std::uint64_t>(seed) + 100);
+    Grouping grouping;
+    switch (scheme) {
+      case 0:
+        grouping = hierarchicalGroups(instance, 4, scheme_rng);
+        break;
+      case 1:
+        grouping = greedyGroups(instance, 4, scheme_rng);
+        break;
+      default:
+        grouping = randomGroups(instance, 4, scheme_rng);
+        break;
+    }
+    EXPECT_TRUE(grouping.isPartitionOf(agents));
+    const auto penalties =
+        trueGroupPenalties(instance, model_, grouping);
+    for (double p : penalties) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LT(p, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GroupingSweep, GroupingInvariants,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(std::size_t(16),
+                                         std::size_t(100),
+                                         std::size_t(101)),
+                       ::testing::Values(3, 7)));
+
+// ---------------------------------------------------------------------
+// Property: profiles and matchings of any shape round-trip through
+// the serialization formats bit-for-bit.
+// ---------------------------------------------------------------------
+
+class SerializationRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SerializationRoundTrip, RandomArtifactsSurvive)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const std::size_t rows = 1 + rng.uniformInt(std::uint64_t(30));
+    const std::size_t cols = 1 + rng.uniformInt(std::uint64_t(30));
+    SparseMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            if (rng.bernoulli(0.3))
+                m.set(r, c, rng.uniform(-0.05, 0.5));
+
+    std::stringstream buffer;
+    writeProfiles(buffer, m);
+    const SparseMatrix back = readProfiles(buffer);
+    ASSERT_EQ(back.rows(), rows);
+    ASSERT_EQ(back.cols(), cols);
+    ASSERT_EQ(back.knownCount(), m.knownCount());
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            ASSERT_EQ(back.known(r, c), m.known(r, c));
+            if (m.known(r, c)) {
+                ASSERT_DOUBLE_EQ(back.at(r, c), m.at(r, c));
+            }
+        }
+    }
+
+    const std::size_t n = 2 + 2 * rng.uniformInt(std::uint64_t(20));
+    Matching matching(n);
+    auto perm = rng.permutation(n);
+    for (std::size_t k = 0; k + 1 < n; k += 2)
+        if (rng.bernoulli(0.8))
+            matching.pair(perm[k], perm[k + 1]);
+
+    std::stringstream mbuf;
+    writeMatching(mbuf, matching);
+    const Matching mback = readMatching(mbuf);
+    EXPECT_EQ(mback.pairs(), matching.pairs());
+}
+
+INSTANTIATE_TEST_SUITE_P(SerializationSweep, SerializationRoundTrip,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace cooper

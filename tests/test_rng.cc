@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the deterministic random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace cooper {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a() == b())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedWorks)
+{
+    Rng rng(0);
+    EXPECT_NE(rng(), 0u); // splitmix expansion avoids the zero state
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.5, 7.5);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 7.5);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(6));
+    EXPECT_EQ(seen.size(), 6u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 5u);
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(-2, 2));
+    EXPECT_EQ(seen.size(), 5u);
+    EXPECT_EQ(*seen.begin(), -2);
+    EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, UniformIntZeroIsFatal)
+{
+    Rng rng(5);
+    EXPECT_THROW(rng.uniformInt(std::uint64_t(0)), FatalError);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng rng(17);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, GammaMeanMatchesShape)
+{
+    Rng rng(19);
+    const int n = 100000;
+    for (double shape : {0.5, 1.0, 3.0, 9.0}) {
+        double sum = 0.0;
+        for (int i = 0; i < n; ++i)
+            sum += rng.gamma(shape);
+        EXPECT_NEAR(sum / n, shape, 0.05 * shape + 0.02)
+            << "shape " << shape;
+    }
+}
+
+TEST(Rng, GammaRejectsNonPositiveShape)
+{
+    Rng rng(19);
+    EXPECT_THROW(rng.gamma(0.0), FatalError);
+    EXPECT_THROW(rng.gamma(-1.0), FatalError);
+}
+
+TEST(Rng, BetaStaysInUnitIntervalWithRightMean)
+{
+    Rng rng(23);
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.beta(2.0, 5.0);
+        EXPECT_GT(x, 0.0);
+        EXPECT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 2.0 / 7.0, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteFollowsWeights)
+{
+    Rng rng(31);
+    std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.discrete(weights)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / double(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[3] / double(n), 0.6, 0.01);
+}
+
+TEST(Rng, DiscreteRejectsBadWeights)
+{
+    Rng rng(31);
+    std::vector<double> empty;
+    EXPECT_THROW(rng.discrete(empty), FatalError);
+    std::vector<double> zeros{0.0, 0.0};
+    EXPECT_THROW(rng.discrete(zeros), FatalError);
+    std::vector<double> negative{1.0, -1.0};
+    EXPECT_THROW(rng.discrete(negative), FatalError);
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(37);
+    const auto perm = rng.permutation(100);
+    std::vector<std::size_t> sorted(perm);
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, PermutationShuffles)
+{
+    Rng rng(41);
+    const auto a = rng.permutation(50);
+    const auto b = rng.permutation(50);
+    EXPECT_NE(a, b);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(43);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (parent() == child())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ShuffleKeepsElements)
+{
+    Rng rng(47);
+    std::vector<int> xs{1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = xs;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, xs);
+}
+
+} // namespace
+} // namespace cooper

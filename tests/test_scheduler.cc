@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the epoch scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+class SchedulerTest : public ::testing::Test
+{
+  protected:
+    Catalog catalog_ = Catalog::paperTableI();
+    InterferenceModel model_{catalog_};
+
+    SchedulerConfig
+    baseConfig()
+    {
+        SchedulerConfig config;
+        config.policy = "GR";
+        config.epochSec = 300.0;
+        config.arrivalRatePerSec = 0.05;
+        config.machines = 20;
+        return config;
+    }
+};
+
+TEST_F(SchedulerTest, ArrivalCountMatchesRate)
+{
+    EpochScheduler scheduler(catalog_, model_, baseConfig(), 1);
+    const ScheduleTrace trace = scheduler.run(20000.0, 0.0);
+    // Expect ~ rate * horizon = 1000 arrivals.
+    EXPECT_NEAR(static_cast<double>(trace.jobs.size()), 1000.0, 150.0);
+    for (const auto &job : trace.jobs) {
+        EXPECT_GE(job.arrivalSec, 0.0);
+        EXPECT_LT(job.arrivalSec, 20000.0);
+    }
+}
+
+TEST_F(SchedulerTest, JobsStartOnlyAfterArrival)
+{
+    EpochScheduler scheduler(catalog_, model_, baseConfig(), 2);
+    const ScheduleTrace trace = scheduler.run(10000.0, 20000.0);
+    for (const auto &job : trace.jobs) {
+        if (job.started()) {
+            EXPECT_GE(job.startSec, job.arrivalSec);
+            EXPECT_GT(job.endSec, job.startSec);
+        }
+    }
+}
+
+TEST_F(SchedulerTest, DrainEmptiesQueueWhenUnderloaded)
+{
+    SchedulerConfig config = baseConfig();
+    config.arrivalRatePerSec = 0.02; // light load
+    EpochScheduler scheduler(catalog_, model_, config, 3);
+    const ScheduleTrace trace = scheduler.run(10000.0, 30000.0);
+    // At most one job (an odd leftover with nobody to pair with) may
+    // remain unstarted after a long drain.
+    std::size_t unstarted = 0;
+    for (const auto &job : trace.jobs)
+        if (!job.started())
+            ++unstarted;
+    EXPECT_LE(unstarted, 1u);
+}
+
+TEST_F(SchedulerTest, OverloadGrowsQueue)
+{
+    SchedulerConfig light = baseConfig();
+    light.arrivalRatePerSec = 0.01;
+    SchedulerConfig heavy = baseConfig();
+    heavy.arrivalRatePerSec = 0.5;
+    heavy.machines = 5;
+
+    EpochScheduler a(catalog_, model_, light, 4);
+    EpochScheduler b(catalog_, model_, heavy, 4);
+    const ScheduleTrace ta = a.run(10000.0);
+    const ScheduleTrace tb = b.run(10000.0);
+    EXPECT_LT(ta.epochs.back().queued + 5, tb.epochs.back().queued);
+    EXPECT_LT(ta.meanWaitSec, tb.meanWaitSec);
+}
+
+TEST_F(SchedulerTest, UtilizationBounded)
+{
+    EpochScheduler scheduler(catalog_, model_, baseConfig(), 5);
+    const ScheduleTrace trace = scheduler.run(20000.0, 5000.0);
+    EXPECT_GT(trace.utilization, 0.0);
+    EXPECT_LE(trace.utilization, 1.0);
+}
+
+TEST_F(SchedulerTest, MachinesNeverOversubscribed)
+{
+    SchedulerConfig config = baseConfig();
+    config.machines = 3;
+    config.arrivalRatePerSec = 0.2; // saturate
+    EpochScheduler scheduler(catalog_, model_, config, 6);
+    const ScheduleTrace trace = scheduler.run(10000.0, 10000.0);
+    // No two pairs may overlap on the same machine.
+    std::vector<std::pair<double, double>> busy[3];
+    for (const auto &job : trace.jobs) {
+        if (!job.started())
+            continue;
+        ASSERT_LT(job.machine, 3u);
+        busy[job.machine].emplace_back(job.startSec, job.endSec);
+    }
+    for (auto &intervals : busy) {
+        std::sort(intervals.begin(), intervals.end());
+        // Jobs come in pairs sharing identical intervals; collapse
+        // duplicates before checking overlap.
+        for (std::size_t i = 2; i < intervals.size(); i += 2)
+            EXPECT_GE(intervals[i].first, intervals[i - 1].second - 1e-9);
+    }
+}
+
+TEST_F(SchedulerTest, EpochSummariesConserveJobs)
+{
+    EpochScheduler scheduler(catalog_, model_, baseConfig(), 7);
+    const ScheduleTrace trace = scheduler.run(15000.0, 5000.0);
+    std::size_t arrivals = 0, dispatched = 0;
+    for (const auto &epoch : trace.epochs) {
+        arrivals += epoch.arrivals;
+        dispatched += epoch.dispatched;
+    }
+    EXPECT_EQ(arrivals, trace.jobs.size());
+    EXPECT_EQ(dispatched + trace.epochs.back().queued,
+              trace.jobs.size());
+}
+
+TEST_F(SchedulerTest, ZeroArrivalRateProducesNoJobs)
+{
+    SchedulerConfig config = baseConfig();
+    config.arrivalRatePerSec = 0.0;
+    EpochScheduler scheduler(catalog_, model_, config, 8);
+    const ScheduleTrace trace = scheduler.run(5000.0);
+    EXPECT_TRUE(trace.jobs.empty());
+    EXPECT_DOUBLE_EQ(trace.utilization, 0.0);
+}
+
+TEST_F(SchedulerTest, BadConfigFatal)
+{
+    SchedulerConfig config = baseConfig();
+    config.epochSec = 0.0;
+    EXPECT_THROW(EpochScheduler(catalog_, model_, config, 1),
+                 FatalError);
+    config = baseConfig();
+    config.machines = 0;
+    EXPECT_THROW(EpochScheduler(catalog_, model_, config, 1),
+                 FatalError);
+    EpochScheduler ok(catalog_, model_, baseConfig(), 1);
+    EXPECT_THROW(ok.run(-1.0), FatalError);
+    EXPECT_THROW(ok.run(10.0, -1.0), FatalError);
+}
+
+TEST_F(SchedulerTest, StablePolicyWorksInScheduler)
+{
+    SchedulerConfig config = baseConfig();
+    config.policy = "SMR";
+    EpochScheduler scheduler(catalog_, model_, config, 9);
+    const ScheduleTrace trace = scheduler.run(10000.0, 10000.0);
+    std::size_t started = 0;
+    for (const auto &job : trace.jobs)
+        if (job.started())
+            ++started;
+    EXPECT_GT(started, trace.jobs.size() / 2);
+}
+
+} // namespace
+} // namespace cooper

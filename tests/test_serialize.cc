@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for profile/matching serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "io/serialize.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+TEST(Serialize, ProfilesRoundTrip)
+{
+    SparseMatrix m(4, 5);
+    m.set(0, 0, 0.125);
+    m.set(1, 3, -0.01);
+    m.set(3, 4, 0.3333333333333333);
+
+    std::stringstream buffer;
+    writeProfiles(buffer, m);
+    const SparseMatrix back = readProfiles(buffer);
+
+    EXPECT_EQ(back.rows(), 4u);
+    EXPECT_EQ(back.cols(), 5u);
+    EXPECT_EQ(back.knownCount(), 3u);
+    EXPECT_DOUBLE_EQ(back.at(0, 0), 0.125);
+    EXPECT_DOUBLE_EQ(back.at(1, 3), -0.01);
+    EXPECT_DOUBLE_EQ(back.at(3, 4), 0.3333333333333333);
+    EXPECT_FALSE(back.known(2, 2));
+}
+
+TEST(Serialize, EmptyProfilesRoundTrip)
+{
+    SparseMatrix m(2, 2);
+    std::stringstream buffer;
+    writeProfiles(buffer, m);
+    const SparseMatrix back = readProfiles(buffer);
+    EXPECT_EQ(back.knownCount(), 0u);
+}
+
+TEST(Serialize, MatchingRoundTrip)
+{
+    Matching m(6);
+    m.pair(0, 5);
+    m.pair(2, 3);
+
+    std::stringstream buffer;
+    writeMatching(buffer, m);
+    const Matching back = readMatching(buffer);
+
+    EXPECT_EQ(back.size(), 6u);
+    EXPECT_EQ(back.partnerOf(0), 5u);
+    EXPECT_EQ(back.partnerOf(3), 2u);
+    EXPECT_FALSE(back.isMatched(1));
+    EXPECT_FALSE(back.isMatched(4));
+}
+
+TEST(Serialize, RejectsWrongHeader)
+{
+    std::stringstream buffer("cooper-matching 1 4\n0 1\n");
+    EXPECT_THROW(readProfiles(buffer), FatalError);
+    std::stringstream buffer2("cooper-profiles 1 2 2\n");
+    EXPECT_THROW(readMatching(buffer2), FatalError);
+}
+
+TEST(Serialize, RejectsUnsupportedVersion)
+{
+    std::stringstream buffer("cooper-profiles 99 2 2\n");
+    EXPECT_THROW(readProfiles(buffer), FatalError);
+}
+
+TEST(Serialize, RejectsMalformedCells)
+{
+    std::stringstream garbage("cooper-profiles 1 2 2\n0 zero 0.5\n");
+    EXPECT_THROW(readProfiles(garbage), FatalError);
+    std::stringstream outside("cooper-profiles 1 2 2\n5 0 0.5\n");
+    EXPECT_THROW(readProfiles(outside), FatalError);
+}
+
+TEST(Serialize, RejectsCorruptMatching)
+{
+    std::stringstream repeated("cooper-matching 1 4\n0 1\n1 2\n");
+    EXPECT_THROW(readMatching(repeated), FatalError);
+    std::stringstream outside("cooper-matching 1 2\n0 7\n");
+    EXPECT_THROW(readMatching(outside), FatalError);
+    std::stringstream empty("");
+    EXPECT_THROW(readMatching(empty), FatalError);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const std::string profile_path = "/tmp/cooper_test_profiles.txt";
+    const std::string matching_path = "/tmp/cooper_test_matching.txt";
+
+    SparseMatrix m(3, 3);
+    m.set(1, 2, 0.07);
+    saveProfiles(profile_path, m);
+    const SparseMatrix mp = loadProfiles(profile_path);
+    EXPECT_DOUBLE_EQ(mp.at(1, 2), 0.07);
+
+    Matching match(4);
+    match.pair(1, 2);
+    saveMatching(matching_path, match);
+    const Matching mm = loadMatching(matching_path);
+    EXPECT_EQ(mm.partnerOf(1), 2u);
+
+    std::remove(profile_path.c_str());
+    std::remove(matching_path.c_str());
+}
+
+TEST(Serialize, FileErrorsFatal)
+{
+    SparseMatrix m(2, 2);
+    EXPECT_THROW(saveProfiles("/no_such_dir_xyz/p.txt", m), FatalError);
+    EXPECT_THROW(loadProfiles("/no_such_dir_xyz/p.txt"), FatalError);
+    Matching match(2);
+    EXPECT_THROW(saveMatching("/no_such_dir_xyz/m.txt", match),
+                 FatalError);
+    EXPECT_THROW(loadMatching("/no_such_dir_xyz/m.txt"), FatalError);
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the Shapley value (Equation 1 and Appendix A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <numeric>
+
+#include "game/shapley.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+TEST(Shapley, AppendixExample)
+{
+    // Users contribute interference {1, 2, 3}; coalition penalty is
+    // the sum over members (zero for singletons). The appendix works
+    // this out to phi = {1.5, 2.0, 2.5}.
+    const auto v = interferenceGame({1.0, 2.0, 3.0});
+    const auto phi = shapleyExact(3, v);
+    ASSERT_EQ(phi.size(), 3u);
+    EXPECT_NEAR(phi[0], 1.5, 1e-12);
+    EXPECT_NEAR(phi[1], 2.0, 1e-12);
+    EXPECT_NEAR(phi[2], 2.5, 1e-12);
+}
+
+TEST(Shapley, AppendixCoalitionValues)
+{
+    // Figure 14's left table.
+    const auto v = interferenceGame({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(v(0b001), 0.0);
+    EXPECT_DOUBLE_EQ(v(0b010), 0.0);
+    EXPECT_DOUBLE_EQ(v(0b100), 0.0);
+    EXPECT_DOUBLE_EQ(v(0b011), 3.0);
+    EXPECT_DOUBLE_EQ(v(0b101), 4.0);
+    EXPECT_DOUBLE_EQ(v(0b110), 5.0);
+    EXPECT_DOUBLE_EQ(v(0b111), 6.0);
+}
+
+TEST(Shapley, MarginalTableMatchesAppendix)
+{
+    const auto v = interferenceGame({1.0, 2.0, 3.0});
+    const auto table = shapleyMarginalTable(3, v);
+    ASSERT_EQ(table.size(), 6u); // 3! permutations
+
+    // Figure 14: ordering {A, C, B} gives marginals A=0, C=4, B=2.
+    // Lexicographic permutations of {0,1,2}: index 1 is {0, 2, 1}.
+    EXPECT_DOUBLE_EQ(table[1][0], 0.0);
+    EXPECT_DOUBLE_EQ(table[1][2], 4.0);
+    EXPECT_DOUBLE_EQ(table[1][1], 2.0);
+
+    // Averaging the table recovers the Shapley values.
+    for (std::size_t i = 0; i < 3; ++i) {
+        double acc = 0.0;
+        for (const auto &row : table)
+            acc += row[i];
+        EXPECT_NEAR(acc / 6.0, 1.5 + 0.5 * static_cast<double>(i),
+                    1e-12);
+    }
+}
+
+TEST(Shapley, EfficiencyAxiom)
+{
+    // Shapley values sum to the grand coalition's value.
+    const auto v = interferenceGame({0.5, 1.5, 2.5, 4.0});
+    const auto phi = shapleyExact(4, v);
+    const double total = std::accumulate(phi.begin(), phi.end(), 0.0);
+    EXPECT_NEAR(total, v(0b1111), 1e-12);
+}
+
+TEST(Shapley, SymmetryAxiom)
+{
+    // Interchangeable agents receive equal shares.
+    const auto v = interferenceGame({2.0, 2.0, 5.0});
+    const auto phi = shapleyExact(3, v);
+    EXPECT_NEAR(phi[0], phi[1], 1e-12);
+}
+
+TEST(Shapley, DummyAxiom)
+{
+    // An agent adding nothing to any coalition gets zero.
+    const CharacteristicFn v = [](CoalitionMask s) {
+        // Only agent 0 generates value.
+        return (s & 1) ? 10.0 : 0.0;
+    };
+    const auto phi = shapleyExact(3, v);
+    EXPECT_NEAR(phi[0], 10.0, 1e-12);
+    EXPECT_NEAR(phi[1], 0.0, 1e-12);
+    EXPECT_NEAR(phi[2], 0.0, 1e-12);
+}
+
+TEST(Shapley, MonotoneInContribution)
+{
+    const auto v = interferenceGame({1.0, 2.0, 3.0, 4.0, 5.0});
+    const auto phi = shapleyExact(5, v);
+    for (std::size_t i = 1; i < phi.size(); ++i)
+        EXPECT_GT(phi[i], phi[i - 1]);
+}
+
+TEST(Shapley, SampledConvergesToExact)
+{
+    const auto v = interferenceGame({1.0, 2.0, 3.0, 4.0});
+    const auto exact = shapleyExact(4, v);
+    Rng rng(55);
+    const auto sampled = shapleySampled(4, v, 20000, rng);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(sampled[i], exact[i], 0.05) << "agent " << i;
+}
+
+TEST(Shapley, SampledEfficiencyHoldsExactly)
+{
+    // Every sampled permutation telescopes to v(grand coalition), so
+    // efficiency holds regardless of sample count.
+    const auto v = interferenceGame({3.0, 1.0, 2.0});
+    Rng rng(56);
+    const auto phi = shapleySampled(3, v, 10, rng);
+    EXPECT_NEAR(std::accumulate(phi.begin(), phi.end(), 0.0), v(0b111),
+                1e-12);
+}
+
+TEST(Shapley, InputValidation)
+{
+    const auto v = interferenceGame({1.0});
+    Rng rng(1);
+    EXPECT_THROW(shapleyExact(0, v), FatalError);
+    EXPECT_THROW(shapleyExact(21, v), FatalError);
+    EXPECT_THROW(shapleySampled(0, v, 10, rng), FatalError);
+    EXPECT_THROW(shapleySampled(2, v, 0, rng), FatalError);
+    EXPECT_THROW(shapleyMarginalTable(9, v), FatalError);
+}
+
+} // namespace
+} // namespace cooper

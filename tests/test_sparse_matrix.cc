@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the sparse ratings matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cf/sparse_matrix.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+TEST(SparseMatrix, StartsEmpty)
+{
+    SparseMatrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.knownCount(), 0u);
+    EXPECT_DOUBLE_EQ(m.density(), 0.0);
+    EXPECT_FALSE(m.known(0, 0));
+}
+
+TEST(SparseMatrix, EmptyShapeFatal)
+{
+    EXPECT_THROW(SparseMatrix(0, 3), FatalError);
+    EXPECT_THROW(SparseMatrix(3, 0), FatalError);
+}
+
+TEST(SparseMatrix, SetAndGet)
+{
+    SparseMatrix m(2, 2);
+    m.set(0, 1, 0.25);
+    EXPECT_TRUE(m.known(0, 1));
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 0.25);
+    EXPECT_EQ(m.knownCount(), 1u);
+    EXPECT_DOUBLE_EQ(m.density(), 0.25);
+}
+
+TEST(SparseMatrix, OverwriteKeepsCount)
+{
+    SparseMatrix m(2, 2);
+    m.set(0, 0, 1.0);
+    m.set(0, 0, 2.0);
+    EXPECT_EQ(m.knownCount(), 1u);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+}
+
+TEST(SparseMatrix, ClearForgets)
+{
+    SparseMatrix m(2, 2);
+    m.set(1, 1, 3.0);
+    m.clear(1, 1);
+    EXPECT_FALSE(m.known(1, 1));
+    EXPECT_EQ(m.knownCount(), 0u);
+    m.clear(1, 1); // clearing twice is harmless
+    EXPECT_EQ(m.knownCount(), 0u);
+}
+
+TEST(SparseMatrix, AtUnknownFatal)
+{
+    SparseMatrix m(2, 2);
+    EXPECT_THROW(m.at(0, 0), FatalError);
+}
+
+TEST(SparseMatrix, OutOfBoundsFatal)
+{
+    SparseMatrix m(2, 2);
+    EXPECT_THROW(m.set(2, 0, 1.0), FatalError);
+    EXPECT_THROW(m.at(0, 2), FatalError);
+}
+
+TEST(SparseMatrix, ValueOrFallsBack)
+{
+    SparseMatrix m(2, 2);
+    m.set(0, 0, 5.0);
+    EXPECT_DOUBLE_EQ(m.valueOr(0, 0, -1.0), 5.0);
+    EXPECT_DOUBLE_EQ(m.valueOr(1, 1, -1.0), -1.0);
+}
+
+TEST(SparseMatrix, EntriesRowMajor)
+{
+    SparseMatrix m(2, 2);
+    m.set(1, 0, 3.0);
+    m.set(0, 1, 2.0);
+    const auto entries = m.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].row, 0u);
+    EXPECT_EQ(entries[0].col, 1u);
+    EXPECT_DOUBLE_EQ(entries[0].value, 2.0);
+    EXPECT_EQ(entries[1].row, 1u);
+}
+
+TEST(SparseMatrix, Means)
+{
+    SparseMatrix m(2, 3);
+    m.set(0, 0, 1.0);
+    m.set(0, 2, 3.0);
+    m.set(1, 1, 5.0);
+    EXPECT_DOUBLE_EQ(m.knownMean(), 3.0);
+    EXPECT_DOUBLE_EQ(m.rowMean(0, -1.0), 2.0);
+    EXPECT_DOUBLE_EQ(m.rowMean(1, -1.0), 5.0);
+    EXPECT_DOUBLE_EQ(m.colMean(0, -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(m.colMean(1, -1.0), 5.0);
+}
+
+TEST(SparseMatrix, MeanFallbacks)
+{
+    SparseMatrix m(2, 2);
+    EXPECT_DOUBLE_EQ(m.knownMean(), 0.0);
+    EXPECT_DOUBLE_EQ(m.rowMean(0, 7.0), 7.0);
+    EXPECT_DOUBLE_EQ(m.colMean(1, 9.0), 9.0);
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for Gale-Shapley stable marriage, including the paper's
+ * Figure 5 worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "matching/stable_marriage.hh"
+#include "util/rng.hh"
+
+namespace cooper {
+namespace {
+
+/** Random complete preference profile for n agents over m candidates. */
+PreferenceProfile
+randomPrefs(std::size_t n, std::size_t m, Rng &rng)
+{
+    std::vector<std::vector<AgentId>> lists(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        lists[i].resize(m);
+        for (std::size_t j = 0; j < m; ++j)
+            lists[i][j] = j;
+        rng.shuffle(lists[i]);
+    }
+    return PreferenceProfile(std::move(lists), m);
+}
+
+TEST(StableMarriage, Figure5Example)
+{
+    // Preferences from Figure 5: m-side proposes to c-side.
+    // m1: c1 > c2 > c3     c1: m2 > m3 > m1
+    // m2: c3 > c1 > c2     c2: m3 > m1 > m2
+    // m3: c1 > c2 > c3     c3: m2 > m1 > m3
+    PreferenceProfile proposers({{0, 1, 2}, {2, 0, 1}, {0, 1, 2}}, 3);
+    PreferenceProfile acceptors({{1, 2, 0}, {2, 0, 1}, {1, 0, 2}}, 3);
+
+    const MarriageResult result = stableMarriage(proposers, acceptors);
+    // Paper's outcome: {m1c2, m2c3, m3c1}.
+    EXPECT_EQ(result.proposerPartner[0], 1u);
+    EXPECT_EQ(result.proposerPartner[1], 2u);
+    EXPECT_EQ(result.proposerPartner[2], 0u);
+    EXPECT_EQ(marriageBlockingPairs(proposers, acceptors,
+                                    result.proposerPartner),
+              0u);
+}
+
+TEST(StableMarriage, Figure5ParallelRoundsMatchPaper)
+{
+    PreferenceProfile proposers({{0, 1, 2}, {2, 0, 1}, {0, 1, 2}}, 3);
+    PreferenceProfile acceptors({{1, 2, 0}, {2, 0, 1}, {1, 0, 2}}, 3);
+    const MarriageResult result =
+        stableMarriageParallel(proposers, acceptors);
+    EXPECT_EQ(result.proposerPartner[0], 1u);
+    EXPECT_EQ(result.proposerPartner[1], 2u);
+    EXPECT_EQ(result.proposerPartner[2], 0u);
+    // Figure 5 resolves in two proposal rounds.
+    EXPECT_EQ(result.rounds, 2u);
+}
+
+TEST(StableMarriage, SingleCouple)
+{
+    PreferenceProfile proposers({{0}}, 1);
+    PreferenceProfile acceptors({{0}}, 1);
+    const MarriageResult result = stableMarriage(proposers, acceptors);
+    EXPECT_EQ(result.proposerPartner[0], 0u);
+}
+
+TEST(StableMarriage, AllSamePreferencesAssortative)
+{
+    // Every proposer ranks acceptors 0 > 1 > 2; acceptors rank
+    // proposers 0 > 1 > 2. Proposer 0 gets acceptor 0, and so on.
+    PreferenceProfile proposers(
+        {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}, 3);
+    PreferenceProfile acceptors(
+        {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}, 3);
+    const MarriageResult result = stableMarriage(proposers, acceptors);
+    EXPECT_EQ(result.proposerPartner[0], 0u);
+    EXPECT_EQ(result.proposerPartner[1], 1u);
+    EXPECT_EQ(result.proposerPartner[2], 2u);
+}
+
+TEST(StableMarriage, RandomInstancesAlwaysStable)
+{
+    Rng rng(123);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 2 + rng.uniformInt(std::uint64_t(30));
+        const PreferenceProfile proposers = randomPrefs(n, n, rng);
+        const PreferenceProfile acceptors = randomPrefs(n, n, rng);
+        const MarriageResult result =
+            stableMarriage(proposers, acceptors);
+        // Everyone is matched and no blocking pair exists.
+        for (AgentId m = 0; m < n; ++m)
+            EXPECT_NE(result.proposerPartner[m], kUnmatched);
+        EXPECT_EQ(marriageBlockingPairs(proposers, acceptors,
+                                        result.proposerPartner),
+                  0u)
+            << "trial " << trial;
+    }
+}
+
+TEST(StableMarriage, ParallelEqualsSequential)
+{
+    Rng rng(321);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 2 + rng.uniformInt(std::uint64_t(20));
+        const PreferenceProfile proposers = randomPrefs(n, n, rng);
+        const PreferenceProfile acceptors = randomPrefs(n, n, rng);
+        const auto seq = stableMarriage(proposers, acceptors);
+        const auto par = stableMarriageParallel(proposers, acceptors);
+        EXPECT_EQ(seq.proposerPartner, par.proposerPartner)
+            << "trial " << trial;
+    }
+}
+
+TEST(StableMarriage, ProposerOptimality)
+{
+    // Classic instance where proposer- and acceptor-optimal matchings
+    // differ; Gale-Shapley must return the proposer-optimal one.
+    PreferenceProfile proposers({{0, 1}, {1, 0}}, 2);
+    PreferenceProfile acceptors({{1, 0}, {0, 1}}, 2);
+    const MarriageResult result = stableMarriage(proposers, acceptors);
+    EXPECT_EQ(result.proposerPartner[0], 0u); // proposer 0's favorite
+    EXPECT_EQ(result.proposerPartner[1], 1u);
+}
+
+TEST(StableMarriage, UnbalancedSidesLeaveSomeoneSingle)
+{
+    PreferenceProfile proposers({{0}, {0}, {0}}, 1);
+    PreferenceProfile acceptors({{2, 1, 0}}, 3);
+    const MarriageResult result = stableMarriage(proposers, acceptors);
+    EXPECT_EQ(result.proposerPartner[2], 0u);
+    EXPECT_EQ(result.proposerPartner[0], kUnmatched);
+    EXPECT_EQ(result.proposerPartner[1], kUnmatched);
+}
+
+TEST(StableMarriage, CountsProposals)
+{
+    PreferenceProfile proposers({{0, 1}, {0, 1}}, 2);
+    PreferenceProfile acceptors({{0, 1}, {0, 1}}, 2);
+    const MarriageResult result = stableMarriage(proposers, acceptors);
+    EXPECT_GE(result.proposals, 2u);
+}
+
+} // namespace
+} // namespace cooper

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/table.hh"
+
+namespace cooper {
+namespace {
+
+TEST(Table, TextAlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidthRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, RejectsEmptyHeader)
+{
+    EXPECT_THROW(Table({}), FatalError);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters)
+{
+    Table t({"name", "note"});
+    t.addRow({"x,y", "say \"hi\""});
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+}
+
+TEST(Table, CountsRowsAndColumns)
+{
+    Table t({"a", "b", "c"});
+    EXPECT_EQ(t.columns(), 3u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, WriteCsvCreatesFile)
+{
+    Table t({"k", "v"});
+    t.addRow({"x", "1"});
+    const std::string path = "/tmp/cooper_test_table.csv";
+    t.writeCsv(path);
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "k,v\nx,1\n");
+    std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvBadPathFatal)
+{
+    Table t({"k"});
+    EXPECT_THROW(t.writeCsv("/nonexistent_dir_xyz/file.csv"), FatalError);
+}
+
+} // namespace
+} // namespace cooper

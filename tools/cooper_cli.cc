@@ -1,0 +1,255 @@
+/**
+ * @file
+ * cooper_cli — drive the colocation pipeline through files, the way
+ * the paper's implementation wires agents and coordinator together
+ * (Section IV.B: assignments are written to files and sent to
+ * agents).
+ *
+ * Subcommands:
+ *   profile  sample colocation profiles           -> profiles file
+ *   predict  fill a sparse profile matrix         -> profiles file
+ *   match    colocate a population                -> matching file
+ *   assess   count blocking pairs of a matching   -> report on stdout
+ *
+ * A full round trip:
+ *   cooper_cli profile --ratio 0.25 --out profiles.txt
+ *   cooper_cli predict --in profiles.txt --out dense.txt
+ *   cooper_cli match --profiles dense.txt --agents 100 --policy SMR \
+ *       --out matching.txt
+ *   cooper_cli assess --profiles dense.txt --matching matching.txt \
+ *       --alpha 0.02
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cf/item_knn.hh"
+#include "core/experiment.hh"
+#include "core/instance.hh"
+#include "core/policies.hh"
+#include "io/serialize.hh"
+#include "matching/blocking.hh"
+#include "sim/profiler.hh"
+#include "util/cli.hh"
+#include "util/error.hh"
+#include "util/table.hh"
+#include "workload/population.hh"
+
+namespace {
+
+using namespace cooper;
+
+int
+usage()
+{
+    std::cout
+        << "Usage: cooper_cli <profile|predict|match|assess> [flags]\n"
+           "  profile  --ratio R --seed S --out FILE\n"
+           "  predict  --in FILE --iterations N --out FILE\n"
+           "  match    --profiles FILE --agents N --mix M --policy P\n"
+           "           --seed S --out FILE\n"
+           "  assess   --profiles FILE --agents N --mix M --seed S\n"
+           "           --matching FILE --alpha A\n"
+           "Run a subcommand with --help for its flags.\n";
+    return 2;
+}
+
+/** Dense believed matrix from a (possibly sparse) profiles file. */
+PenaltyMatrix
+believedFromFile(const Catalog &catalog, const std::string &path)
+{
+    const SparseMatrix profiles = loadProfiles(path);
+    fatalIf(profiles.rows() != catalog.size() ||
+                profiles.cols() != catalog.size(),
+            "profiles file is ", profiles.rows(), "x", profiles.cols(),
+            ", expected ", catalog.size(), "x", catalog.size());
+    // Fill any unknowns through the predictor; a dense file passes
+    // through unchanged.
+    const Prediction prediction = ItemKnnPredictor().predict(profiles);
+    PenaltyMatrix believed(catalog.size());
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+        for (std::size_t j = 0; j < catalog.size(); ++j)
+            believed(i, j) = prediction.dense[i][j];
+    return believed;
+}
+
+/** Population sampled exactly as `match` would for these flags. */
+std::vector<JobTypeId>
+populationFromFlags(const Catalog &catalog, const CliFlags &flags)
+{
+    MixKind mix = MixKind::Uniform;
+    for (MixKind candidate : allMixes())
+        if (mixName(candidate) == flags.get("mix"))
+            mix = candidate;
+    Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+    return samplePopulation(
+        catalog, static_cast<std::size_t>(flags.getInt("agents")), mix,
+        rng);
+}
+
+int
+cmdProfile(int argc, const char *const *argv)
+{
+    CliFlags flags;
+    flags.declare("ratio", "0.25", "fraction of colocations to profile");
+    flags.declare("repeats", "3", "measurements per colocation");
+    flags.declare("seed", "1", "profiler noise seed");
+    flags.declare("out", "profiles.txt", "output profiles file");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const Catalog catalog = Catalog::paperTableI();
+    const InterferenceModel model(catalog);
+    SystemProfiler profiler(
+        model, NoiseConfig{},
+        static_cast<std::uint64_t>(flags.getInt("seed")));
+    const SparseMatrix profiles = profiler.sampleProfiles(
+        flags.getDouble("ratio"), 2,
+        static_cast<std::size_t>(flags.getInt("repeats")));
+    saveProfiles(flags.get("out"), profiles);
+    std::cout << "profiled " << profiles.knownCount() << " of "
+              << catalog.size() * catalog.size() << " colocations ("
+              << profiler.database().totalSamples()
+              << " measurements) -> " << flags.get("out") << "\n";
+    return 0;
+}
+
+int
+cmdPredict(int argc, const char *const *argv)
+{
+    CliFlags flags;
+    flags.declare("in", "profiles.txt", "sparse profiles file");
+    flags.declare("iterations", "2", "predictor iterations");
+    flags.declare("out", "dense.txt", "output dense profiles file");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const SparseMatrix sparse = loadProfiles(flags.get("in"));
+    ItemKnnConfig config;
+    config.iterations =
+        static_cast<std::size_t>(flags.getInt("iterations"));
+    const Prediction prediction =
+        ItemKnnPredictor(config).predict(sparse);
+
+    SparseMatrix dense(sparse.rows(), sparse.cols());
+    for (std::size_t r = 0; r < sparse.rows(); ++r)
+        for (std::size_t c = 0; c < sparse.cols(); ++c)
+            dense.set(r, c, prediction.dense[r][c]);
+    saveProfiles(flags.get("out"), dense);
+    std::cout << "predicted "
+              << dense.knownCount() - sparse.knownCount()
+              << " unobserved colocations in " << prediction.iterations
+              << " iteration(s) -> " << flags.get("out") << "\n";
+    return 0;
+}
+
+int
+cmdMatch(int argc, const char *const *argv)
+{
+    CliFlags flags;
+    flags.declare("profiles", "dense.txt", "believed profiles file");
+    flags.declare("agents", "100", "population size");
+    flags.declare("mix", "Uniform",
+                  "Uniform|Beta-Low|Gaussian|Beta-High");
+    flags.declare("policy", "SMR", "GR|CO|SMP|SMR|SR|TH");
+    flags.declare("seed", "1", "population / policy seed");
+    flags.declare("out", "matching.txt", "output matching file");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const Catalog catalog = Catalog::paperTableI();
+    const InterferenceModel model(catalog);
+    PenaltyMatrix believed = believedFromFile(catalog,
+                                              flags.get("profiles"));
+    ColocationInstance instance(catalog,
+                                populationFromFlags(catalog, flags),
+                                model.penaltyMatrix(),
+                                std::move(believed));
+
+    Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")) + 7);
+    const auto policy = makePolicy(flags.get("policy"));
+    const Matching matching = policy->assign(instance, rng);
+    saveMatching(flags.get("out"), matching);
+    std::cout << "matched " << matching.pairCount() << " pairs with "
+              << policy->name() << "; mean true penalty "
+              << Table::num(instance.meanTruePenalty(matching), 4)
+              << " -> " << flags.get("out") << "\n";
+    return 0;
+}
+
+int
+cmdAssess(int argc, const char *const *argv)
+{
+    CliFlags flags;
+    flags.declare("profiles", "dense.txt", "believed profiles file");
+    flags.declare("agents", "100", "population size (as for match)");
+    flags.declare("mix", "Uniform", "mix used for match");
+    flags.declare("seed", "1", "seed used for match");
+    flags.declare("matching", "matching.txt", "matching file");
+    flags.declare("alpha", "0.02", "minimum gain to break away");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const Catalog catalog = Catalog::paperTableI();
+    const InterferenceModel model(catalog);
+    PenaltyMatrix believed = believedFromFile(catalog,
+                                              flags.get("profiles"));
+    ColocationInstance instance(catalog,
+                                populationFromFlags(catalog, flags),
+                                model.penaltyMatrix(),
+                                std::move(believed));
+
+    const Matching matching = loadMatching(flags.get("matching"));
+    fatalIf(matching.size() != instance.agents(),
+            "matching covers ", matching.size(), " agents, population "
+            "has ", instance.agents());
+
+    const auto pairs = findBlockingPairs(
+        matching,
+        [&](AgentId a, AgentId b) {
+            return instance.trueDisutility(a, b);
+        },
+        flags.getDouble("alpha"));
+    std::vector<std::uint8_t> blocked(matching.size(), 0);
+    for (const auto &pair : pairs) {
+        blocked[pair.a] = 1;
+        blocked[pair.b] = 1;
+    }
+    std::size_t agents_blocked = 0;
+    for (std::uint8_t b : blocked)
+        agents_blocked += b;
+
+    std::cout << "mean true penalty: "
+              << Table::num(instance.meanTruePenalty(matching), 4)
+              << "\nblocking pairs (alpha "
+              << flags.getDouble("alpha") << "): " << pairs.size()
+              << "\nagents recommending break-away: " << agents_blocked
+              << " of " << matching.size() << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    try {
+        if (command == "profile")
+            return cmdProfile(argc - 1, argv + 1);
+        if (command == "predict")
+            return cmdPredict(argc - 1, argv + 1);
+        if (command == "match")
+            return cmdMatch(argc - 1, argv + 1);
+        if (command == "assess")
+            return cmdAssess(argc - 1, argv + 1);
+    } catch (const std::exception &err) {
+        std::cerr << "cooper_cli " << command << ": " << err.what()
+                  << "\n";
+        return 1;
+    }
+    return usage();
+}

@@ -1,0 +1,18 @@
+# Drives cooper_cli through a full profile -> predict -> match ->
+# assess round trip and fails on any non-zero exit.
+function(run_step)
+    execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORKDIR}
+                    RESULT_VARIABLE code OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT code EQUAL 0)
+        message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}${err}")
+    endif()
+    message(STATUS "${out}")
+endfunction()
+
+run_step(${CLI} profile --ratio 0.25 --seed 3 --out cli_profiles.txt)
+run_step(${CLI} predict --in cli_profiles.txt --out cli_dense.txt)
+run_step(${CLI} match --profiles cli_dense.txt --agents 60 --policy SMR
+         --seed 5 --out cli_matching.txt)
+run_step(${CLI} assess --profiles cli_dense.txt --agents 60 --seed 5
+         --matching cli_matching.txt --alpha 0.02)
