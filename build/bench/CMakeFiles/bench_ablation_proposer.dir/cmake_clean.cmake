@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_proposer.dir/bench_ablation_proposer.cc.o"
+  "CMakeFiles/bench_ablation_proposer.dir/bench_ablation_proposer.cc.o.d"
+  "bench_ablation_proposer"
+  "bench_ablation_proposer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_proposer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shapley.dir/bench_ablation_shapley.cc.o"
+  "CMakeFiles/bench_ablation_shapley.dir/bench_ablation_shapley.cc.o.d"
+  "bench_ablation_shapley"
+  "bench_ablation_shapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

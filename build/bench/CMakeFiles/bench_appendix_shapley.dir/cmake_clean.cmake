@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_shapley.dir/bench_appendix_shapley.cc.o"
+  "CMakeFiles/bench_appendix_shapley.dir/bench_appendix_shapley.cc.o.d"
+  "bench_appendix_shapley"
+  "bench_appendix_shapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_clustered.dir/bench_ext_clustered.cc.o"
+  "CMakeFiles/bench_ext_clustered.dir/bench_ext_clustered.cc.o.d"
+  "bench_ext_clustered"
+  "bench_ext_clustered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_clustered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_stream.dir/arrival_stream.cc.o"
+  "CMakeFiles/arrival_stream.dir/arrival_stream.cc.o.d"
+  "arrival_stream"
+  "arrival_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

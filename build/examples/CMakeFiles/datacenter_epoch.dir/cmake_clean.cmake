@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_epoch.dir/datacenter_epoch.cc.o"
+  "CMakeFiles/datacenter_epoch.dir/datacenter_epoch.cc.o.d"
+  "datacenter_epoch"
+  "datacenter_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_colocation.dir/group_colocation.cc.o"
+  "CMakeFiles/group_colocation.dir/group_colocation.cc.o.d"
+  "group_colocation"
+  "group_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategic_users.dir/strategic_users.cc.o"
+  "CMakeFiles/strategic_users.dir/strategic_users.cc.o.d"
+  "strategic_users"
+  "strategic_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategic_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

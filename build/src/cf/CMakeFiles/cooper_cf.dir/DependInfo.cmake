@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cf/accuracy.cc" "src/cf/CMakeFiles/cooper_cf.dir/accuracy.cc.o" "gcc" "src/cf/CMakeFiles/cooper_cf.dir/accuracy.cc.o.d"
+  "/root/repo/src/cf/item_knn.cc" "src/cf/CMakeFiles/cooper_cf.dir/item_knn.cc.o" "gcc" "src/cf/CMakeFiles/cooper_cf.dir/item_knn.cc.o.d"
+  "/root/repo/src/cf/sparse_matrix.cc" "src/cf/CMakeFiles/cooper_cf.dir/sparse_matrix.cc.o" "gcc" "src/cf/CMakeFiles/cooper_cf.dir/sparse_matrix.cc.o.d"
+  "/root/repo/src/cf/subsample.cc" "src/cf/CMakeFiles/cooper_cf.dir/subsample.cc.o" "gcc" "src/cf/CMakeFiles/cooper_cf.dir/subsample.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cooper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_cf.dir/accuracy.cc.o"
+  "CMakeFiles/cooper_cf.dir/accuracy.cc.o.d"
+  "CMakeFiles/cooper_cf.dir/item_knn.cc.o"
+  "CMakeFiles/cooper_cf.dir/item_knn.cc.o.d"
+  "CMakeFiles/cooper_cf.dir/sparse_matrix.cc.o"
+  "CMakeFiles/cooper_cf.dir/sparse_matrix.cc.o.d"
+  "CMakeFiles/cooper_cf.dir/subsample.cc.o"
+  "CMakeFiles/cooper_cf.dir/subsample.cc.o.d"
+  "libcooper_cf.a"
+  "libcooper_cf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cc" "src/core/CMakeFiles/cooper_core.dir/agent.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/agent.cc.o.d"
+  "/root/repo/src/core/approx_policies.cc" "src/core/CMakeFiles/cooper_core.dir/approx_policies.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/approx_policies.cc.o.d"
+  "/root/repo/src/core/coordinator.cc" "src/core/CMakeFiles/cooper_core.dir/coordinator.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/cooper_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/framework.cc" "src/core/CMakeFiles/cooper_core.dir/framework.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/framework.cc.o.d"
+  "/root/repo/src/core/groups.cc" "src/core/CMakeFiles/cooper_core.dir/groups.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/groups.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/core/CMakeFiles/cooper_core.dir/instance.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/instance.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/cooper_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/policies.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/cooper_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/game/CMakeFiles/cooper_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/cooper_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cooper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cf/CMakeFiles/cooper_cf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cooper_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cooper_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cooper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_core.dir/agent.cc.o"
+  "CMakeFiles/cooper_core.dir/agent.cc.o.d"
+  "CMakeFiles/cooper_core.dir/approx_policies.cc.o"
+  "CMakeFiles/cooper_core.dir/approx_policies.cc.o.d"
+  "CMakeFiles/cooper_core.dir/coordinator.cc.o"
+  "CMakeFiles/cooper_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/cooper_core.dir/experiment.cc.o"
+  "CMakeFiles/cooper_core.dir/experiment.cc.o.d"
+  "CMakeFiles/cooper_core.dir/framework.cc.o"
+  "CMakeFiles/cooper_core.dir/framework.cc.o.d"
+  "CMakeFiles/cooper_core.dir/groups.cc.o"
+  "CMakeFiles/cooper_core.dir/groups.cc.o.d"
+  "CMakeFiles/cooper_core.dir/instance.cc.o"
+  "CMakeFiles/cooper_core.dir/instance.cc.o.d"
+  "CMakeFiles/cooper_core.dir/policies.cc.o"
+  "CMakeFiles/cooper_core.dir/policies.cc.o.d"
+  "CMakeFiles/cooper_core.dir/scheduler.cc.o"
+  "CMakeFiles/cooper_core.dir/scheduler.cc.o.d"
+  "libcooper_core.a"
+  "libcooper_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_game.dir/colocation_game.cc.o"
+  "CMakeFiles/cooper_game.dir/colocation_game.cc.o.d"
+  "CMakeFiles/cooper_game.dir/fairness.cc.o"
+  "CMakeFiles/cooper_game.dir/fairness.cc.o.d"
+  "CMakeFiles/cooper_game.dir/shapley.cc.o"
+  "CMakeFiles/cooper_game.dir/shapley.cc.o.d"
+  "libcooper_game.a"
+  "libcooper_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_io.dir/serialize.cc.o"
+  "CMakeFiles/cooper_io.dir/serialize.cc.o.d"
+  "libcooper_io.a"
+  "libcooper_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/blocking.cc" "src/matching/CMakeFiles/cooper_matching.dir/blocking.cc.o" "gcc" "src/matching/CMakeFiles/cooper_matching.dir/blocking.cc.o.d"
+  "/root/repo/src/matching/matching.cc" "src/matching/CMakeFiles/cooper_matching.dir/matching.cc.o" "gcc" "src/matching/CMakeFiles/cooper_matching.dir/matching.cc.o.d"
+  "/root/repo/src/matching/preferences.cc" "src/matching/CMakeFiles/cooper_matching.dir/preferences.cc.o" "gcc" "src/matching/CMakeFiles/cooper_matching.dir/preferences.cc.o.d"
+  "/root/repo/src/matching/stable_marriage.cc" "src/matching/CMakeFiles/cooper_matching.dir/stable_marriage.cc.o" "gcc" "src/matching/CMakeFiles/cooper_matching.dir/stable_marriage.cc.o.d"
+  "/root/repo/src/matching/stable_roommates.cc" "src/matching/CMakeFiles/cooper_matching.dir/stable_roommates.cc.o" "gcc" "src/matching/CMakeFiles/cooper_matching.dir/stable_roommates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cooper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

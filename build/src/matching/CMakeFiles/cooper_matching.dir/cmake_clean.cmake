@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_matching.dir/blocking.cc.o"
+  "CMakeFiles/cooper_matching.dir/blocking.cc.o.d"
+  "CMakeFiles/cooper_matching.dir/matching.cc.o"
+  "CMakeFiles/cooper_matching.dir/matching.cc.o.d"
+  "CMakeFiles/cooper_matching.dir/preferences.cc.o"
+  "CMakeFiles/cooper_matching.dir/preferences.cc.o.d"
+  "CMakeFiles/cooper_matching.dir/stable_marriage.cc.o"
+  "CMakeFiles/cooper_matching.dir/stable_marriage.cc.o.d"
+  "CMakeFiles/cooper_matching.dir/stable_roommates.cc.o"
+  "CMakeFiles/cooper_matching.dir/stable_roommates.cc.o.d"
+  "libcooper_matching.a"
+  "libcooper_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

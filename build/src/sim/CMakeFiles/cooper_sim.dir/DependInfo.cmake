@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/cooper_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/cooper_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/interference.cc" "src/sim/CMakeFiles/cooper_sim.dir/interference.cc.o" "gcc" "src/sim/CMakeFiles/cooper_sim.dir/interference.cc.o.d"
+  "/root/repo/src/sim/profiler.cc" "src/sim/CMakeFiles/cooper_sim.dir/profiler.cc.o" "gcc" "src/sim/CMakeFiles/cooper_sim.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/cooper_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cf/CMakeFiles/cooper_cf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cooper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_sim.dir/cluster.cc.o"
+  "CMakeFiles/cooper_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/cooper_sim.dir/interference.cc.o"
+  "CMakeFiles/cooper_sim.dir/interference.cc.o.d"
+  "CMakeFiles/cooper_sim.dir/profiler.cc.o"
+  "CMakeFiles/cooper_sim.dir/profiler.cc.o.d"
+  "libcooper_sim.a"
+  "libcooper_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_stats.dir/correlation.cc.o"
+  "CMakeFiles/cooper_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/cooper_stats.dir/descriptive.cc.o"
+  "CMakeFiles/cooper_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/cooper_stats.dir/kmeans.cc.o"
+  "CMakeFiles/cooper_stats.dir/kmeans.cc.o.d"
+  "libcooper_stats.a"
+  "libcooper_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

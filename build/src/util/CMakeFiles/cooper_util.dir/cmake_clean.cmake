@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_util.dir/chart.cc.o"
+  "CMakeFiles/cooper_util.dir/chart.cc.o.d"
+  "CMakeFiles/cooper_util.dir/cli.cc.o"
+  "CMakeFiles/cooper_util.dir/cli.cc.o.d"
+  "CMakeFiles/cooper_util.dir/rng.cc.o"
+  "CMakeFiles/cooper_util.dir/rng.cc.o.d"
+  "CMakeFiles/cooper_util.dir/table.cc.o"
+  "CMakeFiles/cooper_util.dir/table.cc.o.d"
+  "libcooper_util.a"
+  "libcooper_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_workload.dir/catalog.cc.o"
+  "CMakeFiles/cooper_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/cooper_workload.dir/population.cc.o"
+  "CMakeFiles/cooper_workload.dir/population.cc.o.d"
+  "libcooper_workload.a"
+  "libcooper_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

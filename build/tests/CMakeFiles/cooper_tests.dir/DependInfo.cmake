@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accuracy.cc" "tests/CMakeFiles/cooper_tests.dir/test_accuracy.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_accuracy.cc.o.d"
+  "/root/repo/tests/test_agent.cc" "tests/CMakeFiles/cooper_tests.dir/test_agent.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_agent.cc.o.d"
+  "/root/repo/tests/test_approx_policies.cc" "tests/CMakeFiles/cooper_tests.dir/test_approx_policies.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_approx_policies.cc.o.d"
+  "/root/repo/tests/test_blocking.cc" "tests/CMakeFiles/cooper_tests.dir/test_blocking.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_blocking.cc.o.d"
+  "/root/repo/tests/test_catalog.cc" "tests/CMakeFiles/cooper_tests.dir/test_catalog.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_catalog.cc.o.d"
+  "/root/repo/tests/test_chaos.cc" "tests/CMakeFiles/cooper_tests.dir/test_chaos.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_chaos.cc.o.d"
+  "/root/repo/tests/test_chart.cc" "tests/CMakeFiles/cooper_tests.dir/test_chart.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_chart.cc.o.d"
+  "/root/repo/tests/test_cli.cc" "tests/CMakeFiles/cooper_tests.dir/test_cli.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_cli.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/cooper_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_colocation_game.cc" "tests/CMakeFiles/cooper_tests.dir/test_colocation_game.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_colocation_game.cc.o.d"
+  "/root/repo/tests/test_coordinator.cc" "tests/CMakeFiles/cooper_tests.dir/test_coordinator.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_coordinator.cc.o.d"
+  "/root/repo/tests/test_correlation.cc" "tests/CMakeFiles/cooper_tests.dir/test_correlation.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_correlation.cc.o.d"
+  "/root/repo/tests/test_descriptive.cc" "tests/CMakeFiles/cooper_tests.dir/test_descriptive.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_descriptive.cc.o.d"
+  "/root/repo/tests/test_error.cc" "tests/CMakeFiles/cooper_tests.dir/test_error.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_error.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/cooper_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_fairness.cc" "tests/CMakeFiles/cooper_tests.dir/test_fairness.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_fairness.cc.o.d"
+  "/root/repo/tests/test_framework.cc" "tests/CMakeFiles/cooper_tests.dir/test_framework.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_framework.cc.o.d"
+  "/root/repo/tests/test_groups.cc" "tests/CMakeFiles/cooper_tests.dir/test_groups.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_groups.cc.o.d"
+  "/root/repo/tests/test_instance.cc" "tests/CMakeFiles/cooper_tests.dir/test_instance.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_instance.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/cooper_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_interference.cc" "tests/CMakeFiles/cooper_tests.dir/test_interference.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_interference.cc.o.d"
+  "/root/repo/tests/test_item_knn.cc" "tests/CMakeFiles/cooper_tests.dir/test_item_knn.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_item_knn.cc.o.d"
+  "/root/repo/tests/test_kmeans.cc" "tests/CMakeFiles/cooper_tests.dir/test_kmeans.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_kmeans.cc.o.d"
+  "/root/repo/tests/test_matching_type.cc" "tests/CMakeFiles/cooper_tests.dir/test_matching_type.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_matching_type.cc.o.d"
+  "/root/repo/tests/test_model_properties.cc" "tests/CMakeFiles/cooper_tests.dir/test_model_properties.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_model_properties.cc.o.d"
+  "/root/repo/tests/test_online.cc" "tests/CMakeFiles/cooper_tests.dir/test_online.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_online.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/cooper_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_population.cc" "tests/CMakeFiles/cooper_tests.dir/test_population.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_population.cc.o.d"
+  "/root/repo/tests/test_preferences.cc" "tests/CMakeFiles/cooper_tests.dir/test_preferences.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_preferences.cc.o.d"
+  "/root/repo/tests/test_profiler.cc" "tests/CMakeFiles/cooper_tests.dir/test_profiler.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_profiler.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/cooper_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_properties_system.cc" "tests/CMakeFiles/cooper_tests.dir/test_properties_system.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_properties_system.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/cooper_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_roommates_instances.cc" "tests/CMakeFiles/cooper_tests.dir/test_roommates_instances.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_roommates_instances.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/cooper_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_serialize.cc" "tests/CMakeFiles/cooper_tests.dir/test_serialize.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_serialize.cc.o.d"
+  "/root/repo/tests/test_shapley.cc" "tests/CMakeFiles/cooper_tests.dir/test_shapley.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_shapley.cc.o.d"
+  "/root/repo/tests/test_sparse_matrix.cc" "tests/CMakeFiles/cooper_tests.dir/test_sparse_matrix.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_sparse_matrix.cc.o.d"
+  "/root/repo/tests/test_stable_marriage.cc" "tests/CMakeFiles/cooper_tests.dir/test_stable_marriage.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_stable_marriage.cc.o.d"
+  "/root/repo/tests/test_stable_roommates.cc" "tests/CMakeFiles/cooper_tests.dir/test_stable_roommates.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_stable_roommates.cc.o.d"
+  "/root/repo/tests/test_subsample.cc" "tests/CMakeFiles/cooper_tests.dir/test_subsample.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_subsample.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/cooper_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cooper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cooper_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cooper_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/cooper_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cooper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cf/CMakeFiles/cooper_cf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cooper_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cooper_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cooper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

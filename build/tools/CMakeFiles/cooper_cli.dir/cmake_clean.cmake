@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_cli.dir/cooper_cli.cc.o"
+  "CMakeFiles/cooper_cli.dir/cooper_cli.cc.o.d"
+  "cooper_cli"
+  "cooper_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

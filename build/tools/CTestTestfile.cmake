@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cooper_cli_pipeline "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/cooper_cli" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/pipeline_test.cmake")
+set_tests_properties(cooper_cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
