@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel.cc" "bench/CMakeFiles/bench_parallel.dir/bench_parallel.cc.o" "gcc" "bench/CMakeFiles/bench_parallel.dir/bench_parallel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cooper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cooper_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/cooper_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cooper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cf/CMakeFiles/cooper_cf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cooper_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cooper_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cooper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

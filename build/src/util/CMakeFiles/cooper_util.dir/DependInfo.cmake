@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/cli.cc" "src/util/CMakeFiles/cooper_util.dir/cli.cc.o" "gcc" "src/util/CMakeFiles/cooper_util.dir/cli.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/cooper_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/cooper_util.dir/rng.cc.o.d"
   "/root/repo/src/util/table.cc" "src/util/CMakeFiles/cooper_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/cooper_util.dir/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/cooper_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/cooper_util.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

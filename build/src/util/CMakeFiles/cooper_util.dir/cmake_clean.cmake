@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cooper_util.dir/rng.cc.o.d"
   "CMakeFiles/cooper_util.dir/table.cc.o"
   "CMakeFiles/cooper_util.dir/table.cc.o.d"
+  "CMakeFiles/cooper_util.dir/thread_pool.cc.o"
+  "CMakeFiles/cooper_util.dir/thread_pool.cc.o.d"
   "libcooper_util.a"
   "libcooper_util.pdb"
 )

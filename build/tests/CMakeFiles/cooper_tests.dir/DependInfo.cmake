@@ -21,6 +21,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_coordinator.cc" "tests/CMakeFiles/cooper_tests.dir/test_coordinator.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_coordinator.cc.o.d"
   "/root/repo/tests/test_correlation.cc" "tests/CMakeFiles/cooper_tests.dir/test_correlation.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_correlation.cc.o.d"
   "/root/repo/tests/test_descriptive.cc" "tests/CMakeFiles/cooper_tests.dir/test_descriptive.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_descriptive.cc.o.d"
+  "/root/repo/tests/test_determinism.cc" "tests/CMakeFiles/cooper_tests.dir/test_determinism.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_determinism.cc.o.d"
   "/root/repo/tests/test_error.cc" "tests/CMakeFiles/cooper_tests.dir/test_error.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_error.cc.o.d"
   "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/cooper_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_experiment.cc.o.d"
   "/root/repo/tests/test_fairness.cc" "tests/CMakeFiles/cooper_tests.dir/test_fairness.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_fairness.cc.o.d"
@@ -50,6 +51,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_stable_roommates.cc" "tests/CMakeFiles/cooper_tests.dir/test_stable_roommates.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_stable_roommates.cc.o.d"
   "/root/repo/tests/test_subsample.cc" "tests/CMakeFiles/cooper_tests.dir/test_subsample.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_subsample.cc.o.d"
   "/root/repo/tests/test_table.cc" "tests/CMakeFiles/cooper_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_thread_pool.cc" "tests/CMakeFiles/cooper_tests.dir/test_thread_pool.cc.o" "gcc" "tests/CMakeFiles/cooper_tests.dir/test_thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_tsan_tests.dir/test_determinism.cc.o"
+  "CMakeFiles/cooper_tsan_tests.dir/test_determinism.cc.o.d"
+  "CMakeFiles/cooper_tsan_tests.dir/test_thread_pool.cc.o"
+  "CMakeFiles/cooper_tsan_tests.dir/test_thread_pool.cc.o.d"
+  "cooper_tsan_tests"
+  "cooper_tsan_tests.pdb"
+  "cooper_tsan_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_tsan_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

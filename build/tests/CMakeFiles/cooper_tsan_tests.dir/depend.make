@@ -1,0 +1,2 @@
+# Empty dependencies file for cooper_tsan_tests.
+# This may be replaced when dependencies are built.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/error.hh"
+#include "util/thread_pool.hh"
 
 namespace cooper {
 
@@ -74,7 +75,9 @@ similarityOver(const SparseMatrix &m, const ItemKnnConfig &config)
     const std::size_t n = m.cols();
     const auto means = rowMeans(m);
     std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
-    for (std::size_t a = 0; a < n; ++a) {
+    // Row a owns cells sim[a][b] and sim[b][a] for b > a; every cell
+    // is written by exactly one iteration, so rows parallelize freely.
+    parallelFor(0, n, config.threads, [&](std::size_t a) {
         sim[a][a] = 1.0;
         for (std::size_t b = a + 1; b < n; ++b) {
             const double s = columnSimilarity(m, a, b, config.similarity,
@@ -82,7 +85,7 @@ similarityOver(const SparseMatrix &m, const ItemKnnConfig &config)
             sim[a][b] = s;
             sim[b][a] = s;
         }
-    }
+    });
     return sim;
 }
 
@@ -108,8 +111,18 @@ predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
     for (std::size_t c = 0; c < cols; ++c)
         col_mean[c] = basis.colMean(c, global);
 
-    SparseMatrix filled = observed;
-    for (std::size_t r = 0; r < rows; ++r) {
+    // Each row's predictions are staged into its own slot and applied
+    // serially afterwards: SparseMatrix::set maintains a shared
+    // known-cell counter, so the parallel phase must not mutate
+    // `filled` directly.
+    struct StagedCell
+    {
+        std::size_t col;
+        double value;
+        bool fallback;
+    };
+    std::vector<std::vector<StagedCell>> staged(rows);
+    parallelFor(0, rows, config.threads, [&](std::size_t r) {
         for (std::size_t c = 0; c < cols; ++c) {
             if (observed.known(r, c))
                 continue;
@@ -142,12 +155,23 @@ predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
                 den += s;
             }
             if (den > 0.0) {
-                filled.set(r, c, col_mean[c] + num / den);
+                staged[r].push_back(
+                    StagedCell{c, col_mean[c] + num / den, false});
             } else {
-                ++fallbacks;
-                filled.set(r, c, observed.rowMean(
-                                     r, observed.colMean(c, global)));
+                staged[r].push_back(StagedCell{
+                    c,
+                    observed.rowMean(r, observed.colMean(c, global)),
+                    true});
             }
+        }
+    });
+
+    SparseMatrix filled = observed;
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (const StagedCell &cell : staged[r]) {
+            filled.set(r, cell.col, cell.value);
+            if (cell.fallback)
+                ++fallbacks;
         }
     }
     return filled;

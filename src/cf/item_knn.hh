@@ -57,6 +57,13 @@ struct ItemKnnConfig
      * accurate. Requires a square matrix; ignored otherwise.
      */
     bool bidirectional = true;
+
+    /**
+     * Worker threads for the similarity and prediction fills; 0 uses
+     * the hardware, 1 runs serially. Every cell is computed
+     * independently, so the filled matrix is identical for any value.
+     */
+    std::size_t threads = 1;
 };
 
 /** Dense prediction result. */

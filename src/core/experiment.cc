@@ -3,6 +3,7 @@
 #include "cf/item_knn.hh"
 #include "sim/profiler.hh"
 #include "util/error.hh"
+#include "util/thread_pool.hh"
 
 namespace cooper {
 
@@ -48,6 +49,34 @@ runPolicy(const ColocationPolicy &policy,
     run.penalties = instance.truePenalties(run.matching);
     run.meanPenalty = instance.meanTruePenalty(run.matching);
     return run;
+}
+
+std::vector<PolicyRun>
+runReplications(const ColocationPolicy &policy, const Catalog &catalog,
+                const InterferenceModel &model, const ReplicationPlan &plan,
+                const Rng &root)
+{
+    fatalIf(plan.replications == 0,
+            "runReplications: need at least one replication");
+    fatalIf(!plan.oracular &&
+                (plan.sampleRatio <= 0.0 || plan.sampleRatio > 1.0),
+            "runReplications: sampleRatio outside (0, 1]");
+
+    std::vector<PolicyRun> out(plan.replications);
+    parallelFor(0, plan.replications, plan.threads, [&](std::size_t r) {
+        // All of replication r's randomness flows from substream(r):
+        // population sampling, profiling noise, and the policy's own
+        // draws. Nothing is shared, so execution order is irrelevant.
+        Rng rng = root.substream(r);
+        const ColocationInstance instance =
+            plan.oracular
+                ? sampleInstance(catalog, model, plan.agents, plan.mix,
+                                 rng)
+                : sampleInstanceCf(catalog, model, plan.agents, plan.mix,
+                                   plan.sampleRatio, rng);
+        out[r] = runPolicy(policy, instance, rng);
+    });
+    return out;
 }
 
 std::vector<JobPenalty>

@@ -55,6 +55,49 @@ PolicyRun runPolicy(const ColocationPolicy &policy,
                     const ColocationInstance &instance, Rng &rng);
 
 /**
+ * Plan for a batch of independent experiment replications.
+ */
+struct ReplicationPlan
+{
+    /** Number of independent replications. */
+    std::size_t replications = 1;
+
+    /** Agents per sampled population. */
+    std::size_t agents = 100;
+
+    /** Population mix to sample from. */
+    MixKind mix = MixKind::Uniform;
+
+    /**
+     * When true, every replication sees oracular (true) penalties;
+     * when false, believed penalties come from sparse profiles run
+     * through the preference predictor at `sampleRatio`.
+     */
+    bool oracular = true;
+
+    /** Fraction of the type matrix profiled in CF replications. */
+    double sampleRatio = 0.25;
+
+    /** Worker threads; 0 = hardware, 1 = serial. */
+    std::size_t threads = 1;
+};
+
+/**
+ * Run `plan.replications` independent (sample population, build
+ * instance, run policy) replications.
+ *
+ * Replication r derives every random decision from `root.substream(r)`
+ * — the root generator is not advanced — so the result vector is
+ * identical for any thread count and any execution order, and adding
+ * replications never perturbs earlier ones. The policy's assign() must
+ * be safe to call concurrently on distinct instances.
+ */
+std::vector<PolicyRun>
+runReplications(const ColocationPolicy &policy, const Catalog &catalog,
+                const InterferenceModel &model, const ReplicationPlan &plan,
+                const Rng &root);
+
+/**
  * Aggregate a run into per-type penalties ordered by contentiousness
  * (the figures' x-axis).
  */

@@ -53,7 +53,10 @@ CooperFramework::buildInstance(const std::vector<JobTypeId> &population)
     lastDensity_ = profiles.density();
 
     // 2. The preference predictor fills the matrix.
-    ItemKnnPredictor predictor(config_.predictor);
+    ItemKnnConfig knn_config = config_.predictor;
+    if (knn_config.threads == 1)
+        knn_config.threads = config_.execution.threads;
+    ItemKnnPredictor predictor(knn_config);
     const Prediction prediction = predictor.predict(profiles);
 
     const std::size_t n = catalog_->size();

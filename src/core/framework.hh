@@ -57,6 +57,13 @@ struct FrameworkConfig
 
     /** Tie-breaking jitter for agent-level disutilities. */
     double jitter = 1e-4;
+
+    /**
+     * Parallel-execution settings. The predictor inherits
+     * execution.threads unless the predictor config sets its own
+     * non-default value. Results never depend on the thread count.
+     */
+    ExecutionConfig execution{.threads = 1};
 };
 
 /** Everything one epoch produces. */

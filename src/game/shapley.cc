@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/error.hh"
+#include "util/thread_pool.hh"
 
 namespace cooper {
 
@@ -57,24 +58,45 @@ shapleyExact(std::size_t n, const CharacteristicFn &v)
 
 std::vector<double>
 shapleySampled(std::size_t n, const CharacteristicFn &v,
-               std::size_t samples, Rng &rng)
+               std::size_t samples, Rng &rng, std::size_t threads)
 {
     fatalIf(n == 0, "shapleySampled: no agents");
     fatalIf(n > 32, "shapleySampled: CoalitionMask holds at most 32");
     fatalIf(samples == 0, "shapleySampled: need at least one sample");
 
-    std::vector<double> phi(n, 0.0);
-    for (std::size_t s = 0; s < samples; ++s) {
-        const auto order = rng.permutation(n);
-        CoalitionMask mask = 0;
-        double prev = 0.0;
-        for (std::size_t k = 0; k < n; ++k) {
-            mask |= CoalitionMask(1) << order[k];
-            const double cur = v(mask);
-            phi[order[k]] += cur - prev;
-            prev = cur;
-        }
-    }
+    // One deterministic advance of the caller's stream seeds the
+    // per-sample substreams, so repeated calls see fresh samples while
+    // each sample's permutation stays independent of thread schedule.
+    const Rng base = rng.split();
+
+    // Chunk boundaries are a function of `samples` alone; partials are
+    // folded in chunk order, so the floating-point sum is identical
+    // for every thread count.
+    constexpr std::size_t kGrain = 32;
+    std::vector<double> phi = parallelReduce(
+        std::size_t(0), samples, threads, kGrain,
+        std::vector<double>(n, 0.0),
+        [&](std::size_t sample_begin, std::size_t sample_end) {
+            std::vector<double> local(n, 0.0);
+            for (std::size_t s = sample_begin; s < sample_end; ++s) {
+                Rng sub = base.substream(s);
+                const auto order = sub.permutation(n);
+                CoalitionMask mask = 0;
+                double prev = 0.0;
+                for (std::size_t k = 0; k < n; ++k) {
+                    mask |= CoalitionMask(1) << order[k];
+                    const double cur = v(mask);
+                    local[order[k]] += cur - prev;
+                    prev = cur;
+                }
+            }
+            return local;
+        },
+        [n](std::vector<double> &acc, std::vector<double> &&part) {
+            for (std::size_t i = 0; i < n; ++i)
+                acc[i] += part[i];
+        });
+
     for (double &p : phi)
         p /= static_cast<double>(samples);
     return phi;

@@ -40,13 +40,22 @@ std::vector<double> shapleyExact(std::size_t n, const CharacteristicFn &v);
 /**
  * Monte-Carlo Shapley by sampling agent arrival orders.
  *
+ * Sample s draws its permutation from an independent sub-stream keyed
+ * by s (derived from `rng` without draw-order coupling), and the
+ * per-sample marginals are reduced in a fixed chunk order. The
+ * estimate is therefore bit-identical for every `threads` value, and
+ * no longer depends on what else consumed `rng` between samples. The
+ * characteristic function must be safe to call concurrently.
+ *
  * @param n Number of agents.
  * @param v Characteristic function.
  * @param samples Number of sampled permutations.
- * @param rng Random stream.
+ * @param rng Random stream; advanced once to derive the sample base.
+ * @param threads Worker threads; 0 = hardware, 1 = serial.
  */
 std::vector<double> shapleySampled(std::size_t n, const CharacteristicFn &v,
-                                   std::size_t samples, Rng &rng);
+                                   std::size_t samples, Rng &rng,
+                                   std::size_t threads = 1);
 
 /**
  * The appendix's interference game: each agent contributes a fixed

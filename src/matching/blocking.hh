@@ -39,18 +39,25 @@ struct BlockingPair
  * Unmatched agents run alone with zero penalty and therefore never
  * join a blocking pair.
  *
+ * The O(n^2) scan parallelizes over the first agent's index; chunk
+ * results are concatenated in index order, so the returned pairs are
+ * in exactly the serial scan's order for any thread count. The
+ * disutility oracle must be safe to call concurrently.
+ *
  * @param matching Current colocations.
  * @param disutility True disutility oracle.
  * @param alpha Minimum penalty reduction for both agents.
+ * @param threads Worker threads; 0 = hardware, 1 = serial.
  */
 std::vector<BlockingPair> findBlockingPairs(const Matching &matching,
                                             const DisutilityFn &disutility,
-                                            double alpha);
+                                            double alpha,
+                                            std::size_t threads = 1);
 
 /** Count of blocking pairs (same semantics as findBlockingPairs). */
 std::size_t countBlockingPairs(const Matching &matching,
                                const DisutilityFn &disutility,
-                               double alpha);
+                               double alpha, std::size_t threads = 1);
 
 /**
  * Preference-based stability check for roommate matchings: true when

@@ -56,6 +56,23 @@ struct ServerConfig
 };
 
 /**
+ * Execution parameters shared by the parallel kernels.
+ *
+ * Every parallelized hot path (sampled Shapley, item-kNN fill,
+ * blocking-pair scan, experiment replications) is deterministic in the
+ * thread count: the knob trades wall-clock time only, never results.
+ */
+struct ExecutionConfig
+{
+    /**
+     * Worker threads for parallel kernels. 0 means use the hardware
+     * (std::thread::hardware_concurrency); 1 runs every kernel
+     * serially on the calling thread.
+     */
+    std::size_t threads = 0;
+};
+
+/**
  * Profiling-noise parameters.
  *
  * Real measurements vary run to run; the paper notes tasks

@@ -44,6 +44,33 @@ Rng::split()
     return Rng(s);
 }
 
+Rng
+Rng::substream(std::uint64_t stream) const
+{
+    // Hash the full current state together with the stream id through
+    // splitmix64. The parent is not advanced, so substream(i) is a
+    // pure function of (state, i): reproducible across calls and
+    // independent of which thread asks.
+    std::uint64_t acc = stream ^ 0x2545f4914f6cdd1dULL;
+    std::uint64_t mixed = splitmix64(acc);
+    for (std::uint64_t word : state_) {
+        acc ^= word;
+        mixed ^= splitmix64(acc);
+    }
+    return Rng(mixed);
+}
+
+Rng
+Rng::fromState(const std::array<std::uint64_t, 4> &state)
+{
+    fatalIf(state[0] == 0 && state[1] == 0 && state[2] == 0 &&
+                state[3] == 0,
+            "Rng::fromState: all-zero state is invalid for xoshiro256**");
+    Rng rng(0);
+    rng.state_ = state;
+    return rng;
+}
+
 Rng::result_type
 Rng::next()
 {

@@ -40,6 +40,31 @@ class Rng
     /** Derive an independent child stream (for per-trial generators). */
     Rng split();
 
+    /**
+     * Derive an independent sub-stream keyed by a task id, without
+     * advancing this generator.
+     *
+     * Substreams are the parallelism primitive: a loop that previously
+     * drew from one shared generator instead gives iteration i the
+     * generator `substream(i)`, so results are bit-identical no matter
+     * how iterations are partitioned across threads or reordered.
+     * `substream(i)` called twice on the same generator state returns
+     * the same stream; distinct ids yield streams that do not overlap
+     * in practice.
+     */
+    Rng substream(std::uint64_t stream) const;
+
+    /**
+     * Full generator state, for serialization. The cached second
+     * gaussian variate is deliberately excluded: restore points sit
+     * between complete variates, which keeps the state format a plain
+     * four-word seed.
+     */
+    std::array<std::uint64_t, 4> state() const { return state_; }
+
+    /** Rebuild a generator from a saved state (round-trips state()). */
+    static Rng fromState(const std::array<std::uint64_t, 4> &state);
+
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return ~result_type(0); }
 

@@ -1,0 +1,208 @@
+#include "thread_pool.hh"
+
+#include "error.hh"
+
+namespace cooper {
+
+namespace {
+
+/** Set while the current thread executes a region task. */
+thread_local bool tl_in_task = false;
+
+/** RAII guard for tl_in_task (exception-safe restore). */
+struct InTaskGuard
+{
+    InTaskGuard() { tl_in_task = true; }
+    ~InTaskGuard() { tl_in_task = false; }
+};
+
+std::size_t
+defaultWidth()
+{
+    // Floor of two: even single-core machines get one real worker, so
+    // the concurrent code paths (and their TSan coverage) are always
+    // exercised. Results are thread-count independent by design, so
+    // the mild oversubscription is pure scheduling.
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max<std::size_t>(2, hw);
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t width = threads == 0 ? defaultWidth() : threads;
+    workers_.reserve(width > 0 ? width - 1 : 0);
+    for (std::size_t i = 0; i + 1 < width; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+bool
+ThreadPool::inTask()
+{
+    return tl_in_task;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        if (task_ == nullptr || entered_ >= participants_)
+            continue;
+        ++entered_;
+        ++working_;
+        const auto *task = task_;
+        const std::size_t count = taskCount_;
+        lock.unlock();
+
+        std::exception_ptr err;
+        {
+            InTaskGuard guard;
+            for (;;) {
+                const std::size_t i =
+                    nextTask_.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    break;
+                try {
+                    (*task)(i);
+                } catch (...) {
+                    err = std::current_exception();
+                    break;
+                }
+            }
+        }
+
+        lock.lock();
+        if (err) {
+            if (!error_)
+                error_ = err;
+            // Cancel indices nobody has claimed yet.
+            nextTask_.store(count, std::memory_order_relaxed);
+        }
+        if (--working_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::run(std::size_t tasks, std::size_t threads,
+                const std::function<void(std::size_t)> &task)
+{
+    if (tasks == 0)
+        return;
+
+    // Inline execution: explicit serial request, no workers to help,
+    // or a nested call from inside a task (waiting on the pool from a
+    // pool thread would deadlock it).
+    if (threads <= 1 || workers_.empty() || tl_in_task) {
+        for (std::size_t i = 0; i < tasks; ++i)
+            task(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> region(runMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task_ = &task;
+        taskCount_ = tasks;
+        nextTask_.store(0, std::memory_order_relaxed);
+        participants_ = std::min(threads - 1, workers_.size());
+        entered_ = 0;
+        error_ = nullptr;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The calling thread participates alongside the workers.
+    std::exception_ptr err;
+    {
+        InTaskGuard guard;
+        for (;;) {
+            const std::size_t i =
+                nextTask_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks)
+                break;
+            try {
+                task(i);
+            } catch (...) {
+                err = std::current_exception();
+                break;
+            }
+        }
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (err) {
+        if (!error_)
+            error_ = err;
+        nextTask_.store(tasks, std::memory_order_relaxed);
+    }
+    done_.wait(lock, [&] { return working_ == 0; });
+    task_ = nullptr;
+    taskCount_ = 0;
+    const std::exception_ptr first = error_;
+    error_ = nullptr;
+    lock.unlock();
+
+    if (first)
+        std::rethrow_exception(first);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+std::size_t
+resolveThreads(std::size_t threads)
+{
+    return threads == 0 ? ThreadPool::global().threadCount() : threads;
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end, std::size_t threads,
+            const std::function<void(std::size_t)> &body)
+{
+    if (end <= begin)
+        return;
+    const std::size_t n = end - begin;
+    const std::size_t width = resolveThreads(threads);
+    if (width <= 1 || n == 1) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+    // Iterations are independent, so chunking here is purely a
+    // dispatch-overhead knob: a few chunks per thread balances load
+    // without an atomic increment per index.
+    const std::size_t grain =
+        std::max<std::size_t>(1, n / (width * 8));
+    const std::size_t chunks = (n + grain - 1) / grain;
+    ThreadPool::global().run(chunks, width, [&](std::size_t c) {
+        const std::size_t b = begin + c * grain;
+        const std::size_t e = std::min(end, b + grain);
+        for (std::size_t i = b; i < e; ++i)
+            body(i);
+    });
+}
+
+} // namespace cooper

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Fixed-size worker pool with deterministic parallel loops.
+ *
+ * Cooper's hot paths are embarrassingly parallel per-index kernels
+ * (sampled Shapley permutations, item-kNN similarity rows, blocking
+ * pair scans, experiment replications). This pool runs them with two
+ * guarantees the rest of the repo builds on:
+ *
+ *  1. *Scheduling freedom, arithmetic rigidity.* parallelReduce splits
+ *     an index range into chunks whose boundaries depend only on the
+ *     range and the grain — never on the thread count or on which
+ *     worker claims which chunk — and combines chunk partials in chunk
+ *     order on the calling thread. Floating-point results are
+ *     therefore bit-identical for any `threads`, including 1.
+ *  2. *No hidden state.* Workers are plain threads draining an atomic
+ *     index counter; there is no work stealing and no per-thread
+ *     caching, so a region leaves nothing behind that could perturb
+ *     the next one.
+ *
+ * Randomized kernels get determinism by pairing the pool with
+ * Rng::substream: iteration i draws from substream(i) instead of a
+ * shared generator, making results independent of execution order.
+ */
+
+#ifndef COOPER_UTIL_THREAD_POOL_HH
+#define COOPER_UTIL_THREAD_POOL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cooper {
+
+/**
+ * Fixed-size pool of worker threads executing indexed task regions.
+ *
+ * A region is a batch of `tasks` indices; workers and the calling
+ * thread claim indices from a shared atomic counter until the batch is
+ * drained. run() blocks until every claimed index has finished. The
+ * first exception thrown by any task cancels the remaining indices and
+ * is rethrown on the calling thread.
+ *
+ * Calling run() from inside a task executes the nested region inline
+ * on the current thread (serially); nesting therefore cannot deadlock
+ * the pool.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total execution width including the calling
+     *        thread; 0 means hardware_concurrency (with a floor of
+     *        two, so parallel paths are exercised even on single-core
+     *        machines). A pool of width w owns w - 1 workers.
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Execution width: owned workers plus the calling thread. */
+    std::size_t threadCount() const { return workers_.size() + 1; }
+
+    /**
+     * Invoke task(i) for every i in [0, tasks), using at most
+     * `threads` threads (calling thread included; values of 0 or 1, an
+     * empty pool, and calls from inside a task all run inline).
+     *
+     * @param tasks Number of task indices.
+     * @param threads Maximum execution width for this region.
+     * @param task Callable invoked once per index; must be safe to
+     *        call concurrently from different threads.
+     */
+    void run(std::size_t tasks, std::size_t threads,
+             const std::function<void(std::size_t)> &task);
+
+    /**
+     * Process-wide pool sized to the hardware, created on first use.
+     * All parallel kernels share it so the process never oversubscribes
+     * the machine with nested pools.
+     */
+    static ThreadPool &global();
+
+    /** True while the current thread is executing a pool task. */
+    static bool inTask();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+
+    /** Serializes whole regions from concurrent run() callers. */
+    std::mutex runMutex_;
+
+    /** Guards the region fields below. */
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+
+    const std::function<void(std::size_t)> *task_ = nullptr;
+    std::size_t taskCount_ = 0;
+    std::atomic<std::size_t> nextTask_{0};
+    std::size_t participants_ = 0; //!< workers allowed into the region
+    std::size_t entered_ = 0;      //!< workers that joined the region
+    std::size_t working_ = 0;      //!< workers currently executing
+    std::uint64_t generation_ = 0; //!< bumped when a region is posted
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+/**
+ * Resolve a user-facing `threads` knob: 0 means "use the hardware"
+ * (the global pool's width), anything else passes through.
+ */
+std::size_t resolveThreads(std::size_t threads);
+
+/**
+ * Run body(i) for every i in [begin, end) on up to `threads` threads.
+ *
+ * Iterations must be independent (each writes only its own slots);
+ * under that contract the result is identical to the serial loop for
+ * any thread count. threads <= 1 runs the plain serial loop.
+ */
+void parallelFor(std::size_t begin, std::size_t end, std::size_t threads,
+                 const std::function<void(std::size_t)> &body);
+
+/**
+ * Deterministic chunked reduction over [begin, end).
+ *
+ * The range is cut into ceil(n / grain) chunks; `chunk(b, e)` computes
+ * the partial result for [b, e) and `join(acc, partial)` folds the
+ * partials into `init` in ascending chunk order on the calling thread.
+ * Because the chunk boundaries depend only on (begin, end, grain) and
+ * the fold order is fixed, the result — including floating-point
+ * rounding — is bit-identical for every `threads` value. Pick the
+ * grain per call site and keep it constant; changing it changes the
+ * (still deterministic) rounding.
+ *
+ * @param threads Execution width; 0 = hardware, 1 = this thread only.
+ * @param grain Indices per chunk (>= 1).
+ */
+template <typename T, typename ChunkFn, typename JoinFn>
+T
+parallelReduce(std::size_t begin, std::size_t end, std::size_t threads,
+               std::size_t grain, T init, ChunkFn &&chunk, JoinFn &&join)
+{
+    if (end <= begin)
+        return init;
+    if (grain == 0)
+        grain = 1;
+    const std::size_t n = end - begin;
+    const std::size_t chunks = (n + grain - 1) / grain;
+
+    std::vector<T> partials(chunks, init);
+    ThreadPool::global().run(
+        chunks, resolveThreads(threads), [&](std::size_t c) {
+            const std::size_t b = begin + c * grain;
+            const std::size_t e = std::min(end, b + grain);
+            partials[c] = chunk(b, e);
+        });
+
+    T acc = std::move(init);
+    for (std::size_t c = 0; c < chunks; ++c)
+        join(acc, std::move(partials[c]));
+    return acc;
+}
+
+} // namespace cooper
+
+#endif // COOPER_UTIL_THREAD_POOL_HH

@@ -221,6 +221,107 @@ TEST(Rng, SplitProducesIndependentStream)
     EXPECT_LT(equal, 3);
 }
 
+TEST(Rng, SubstreamIsReproducible)
+{
+    const Rng rng(51);
+    for (std::uint64_t id : {0ULL, 1ULL, 42ULL, ~0ULL}) {
+        Rng a = rng.substream(id);
+        Rng b = rng.substream(id);
+        for (int i = 0; i < 100; ++i)
+            EXPECT_EQ(a(), b()) << "substream " << id;
+    }
+}
+
+TEST(Rng, SubstreamDoesNotAdvanceParent)
+{
+    Rng with(53);
+    Rng without(53);
+    (void)with.substream(9);
+    (void)with.substream(10);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(with(), without());
+}
+
+TEST(Rng, DistinctSubstreamsDoNotOverlap)
+{
+    // 10 substreams x 1000 draws: all 64-bit outputs distinct, so no
+    // stream is a shifted copy of another (a birthday collision among
+    // 10^4 uniform 64-bit values is ~1e-12).
+    const Rng rng(57);
+    std::set<std::uint64_t> seen;
+    const int streams = 10, draws = 1000;
+    for (int s = 0; s < streams; ++s) {
+        Rng sub = rng.substream(static_cast<std::uint64_t>(s));
+        for (int i = 0; i < draws; ++i)
+            seen.insert(sub());
+    }
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(streams) * draws);
+}
+
+TEST(Rng, SubstreamsAreStatisticallyIndependent)
+{
+    // Means of adjacent substreams should look like independent
+    // uniform samples, not echoes of each other.
+    const Rng rng(59);
+    const int draws = 1000;
+    for (int s = 0; s < 5; ++s) {
+        Rng a = rng.substream(static_cast<std::uint64_t>(s));
+        Rng b = rng.substream(static_cast<std::uint64_t>(s) + 1);
+        int equal = 0;
+        double cov = 0.0;
+        for (int i = 0; i < draws; ++i) {
+            const double ua = a.uniform();
+            const double ub = b.uniform();
+            cov += (ua - 0.5) * (ub - 0.5);
+            if (ua == ub)
+                ++equal;
+        }
+        EXPECT_EQ(equal, 0);
+        EXPECT_NEAR(cov / draws, 0.0, 0.01) << "streams " << s;
+    }
+}
+
+TEST(Rng, SubstreamDependsOnParentState)
+{
+    Rng early(61);
+    Rng late(61);
+    (void)late();
+    Rng a = early.substream(3);
+    Rng b = late.substream(3);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a() == b())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, StateRoundTripsThroughSerialization)
+{
+    Rng rng(67);
+    for (int i = 0; i < 17; ++i)
+        (void)rng();
+    const auto saved = rng.state();
+    std::vector<std::uint64_t> expected;
+    for (int i = 0; i < 50; ++i)
+        expected.push_back(rng());
+
+    Rng restored = Rng::fromState(saved);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(restored(), expected[static_cast<std::size_t>(i)]);
+
+    // Substreams are a pure function of state, so they round-trip too.
+    Rng sub_a = Rng::fromState(saved).substream(4);
+    Rng sub_b = Rng::fromState(saved).substream(4);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(sub_a(), sub_b());
+}
+
+TEST(Rng, FromStateRejectsAllZeroState)
+{
+    EXPECT_THROW(Rng::fromState({0, 0, 0, 0}), FatalError);
+}
+
 TEST(Rng, ShuffleKeepsElements)
 {
     Rng rng(47);

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the fixed-size worker pool and its deterministic
+ * parallel loops. These (and test_determinism) also run under
+ * ThreadSanitizer via the `tsan` ctest label.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace cooper {
+namespace {
+
+TEST(ThreadPool, EmptyRangeIsANoop)
+{
+    std::atomic<int> calls{0};
+    ThreadPool::global().run(0, 8, [&](std::size_t) { ++calls; });
+    parallelFor(0, 0, 8, [&](std::size_t) { ++calls; });
+    parallelFor(5, 5, 8, [&](std::size_t) { ++calls; });
+    const int reduced = parallelReduce(
+        std::size_t(0), std::size_t(0), 8, 4, 0,
+        [](std::size_t, std::size_t) { return 1; },
+        [](int &acc, int &&part) { acc += part; });
+    EXPECT_EQ(calls.load(), 0);
+    EXPECT_EQ(reduced, 0);
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce)
+{
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> visits(n);
+    for (auto &v : visits)
+        v = 0;
+    parallelFor(0, n, 8, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, RangeSmallerThanThreadCount)
+{
+    std::vector<std::atomic<int>> visits(3);
+    for (auto &v : visits)
+        v = 0;
+    parallelFor(0, 3, 64, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPool, RespectsOffsetRanges)
+{
+    std::vector<int> hits(20, 0);
+    parallelFor(7, 13, 4, [&](std::size_t i) { hits[i] = 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], i >= 7 && i < 13 ? 1 : 0) << "index " << i;
+}
+
+TEST(ThreadPool, ExceptionPropagatesOutOfATask)
+{
+    EXPECT_THROW(parallelFor(0, 100, 8,
+                             [](std::size_t i) {
+                                 if (i == 37)
+                                     throw std::runtime_error("task 37");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromSerialPath)
+{
+    EXPECT_THROW(parallelFor(0, 10, 1,
+                             [](std::size_t) {
+                                 throw std::runtime_error("serial");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, PoolIsUsableAfterAnException)
+{
+    try {
+        parallelFor(0, 50, 8, [](std::size_t) {
+            throw std::runtime_error("boom");
+        });
+    } catch (const std::runtime_error &) {
+    }
+    std::atomic<std::size_t> sum{0};
+    parallelFor(0, 100, 8, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, NestedParallelForIsSafe)
+{
+    const std::size_t outer = 16, inner = 32;
+    std::vector<std::atomic<int>> visits(outer * inner);
+    for (auto &v : visits)
+        v = 0;
+    parallelFor(0, outer, 8, [&](std::size_t i) {
+        // The nested region must run inline instead of deadlocking
+        // the pool's workers against each other.
+        parallelFor(0, inner, 8,
+                    [&](std::size_t j) { ++visits[i * inner + j]; });
+    });
+    for (std::size_t k = 0; k < visits.size(); ++k)
+        EXPECT_EQ(visits[k].load(), 1) << "slot " << k;
+}
+
+TEST(ThreadPool, InTaskOnlyInsideTasks)
+{
+    EXPECT_FALSE(ThreadPool::inTask());
+    std::atomic<int> inside{0};
+    parallelFor(0, 8, 4, [&](std::size_t) {
+        if (ThreadPool::inTask())
+            ++inside;
+    });
+    EXPECT_EQ(inside.load(), 8);
+    EXPECT_FALSE(ThreadPool::inTask());
+}
+
+TEST(ThreadPool, StressManySmallSubmits)
+{
+    // Many tiny regions back to back: exercises region setup/teardown
+    // and the workers' generation handshake rather than throughput.
+    std::atomic<std::size_t> total{0};
+    for (int round = 0; round < 500; ++round) {
+        const std::size_t n = 1 + (round % 7);
+        parallelFor(0, n, 4, [&](std::size_t) { ++total; });
+    }
+    std::size_t expected = 0;
+    for (int round = 0; round < 500; ++round)
+        expected += 1 + (round % 7);
+    EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPool, ReduceSumsCorrectly)
+{
+    const std::size_t n = 10000;
+    for (std::size_t threads : {std::size_t(1), std::size_t(4)}) {
+        const long sum = parallelReduce(
+            std::size_t(0), n, threads, 64, 0L,
+            [](std::size_t b, std::size_t e) {
+                long acc = 0;
+                for (std::size_t i = b; i < e; ++i)
+                    acc += static_cast<long>(i);
+                return acc;
+            },
+            [](long &acc, long &&part) { acc += part; });
+        EXPECT_EQ(sum, static_cast<long>(n * (n - 1) / 2));
+    }
+}
+
+TEST(ThreadPool, ReduceJoinsInChunkOrder)
+{
+    // Collect chunk begins through the join; the fold order is part
+    // of the determinism contract.
+    const auto begins = parallelReduce(
+        std::size_t(0), std::size_t(100), 8, 16,
+        std::vector<std::size_t>{},
+        [](std::size_t b, std::size_t) {
+            return std::vector<std::size_t>{b};
+        },
+        [](std::vector<std::size_t> &acc, std::vector<std::size_t> &&p) {
+            acc.insert(acc.end(), p.begin(), p.end());
+        });
+    const std::vector<std::size_t> expected{0, 16, 32, 48, 64, 80, 96};
+    EXPECT_EQ(begins, expected);
+}
+
+TEST(ThreadPool, ResolveThreadsMapsZeroToHardware)
+{
+    EXPECT_EQ(resolveThreads(0), ThreadPool::global().threadCount());
+    EXPECT_EQ(resolveThreads(1), 1u);
+    EXPECT_EQ(resolveThreads(5), 5u);
+}
+
+TEST(ThreadPool, DedicatedPoolRunsAllTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<std::size_t> sum{0};
+    pool.run(256, 4, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 256u * 255u / 2);
+}
+
+} // namespace
+} // namespace cooper

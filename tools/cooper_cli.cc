@@ -46,18 +46,36 @@ usage()
     std::cout
         << "Usage: cooper_cli <profile|predict|match|assess> [flags]\n"
            "  profile  --ratio R --seed S --out FILE\n"
-           "  predict  --in FILE --iterations N --out FILE\n"
+           "  predict  --in FILE --iterations N --threads T --out FILE\n"
            "  match    --profiles FILE --agents N --mix M --policy P\n"
-           "           --seed S --out FILE\n"
+           "           --seed S --threads T --out FILE\n"
            "  assess   --profiles FILE --agents N --mix M --seed S\n"
-           "           --matching FILE --alpha A\n"
+           "           --matching FILE --alpha A --threads T\n"
+           "--threads 0 uses all hardware threads, 1 runs serially;\n"
+           "results are identical either way (see DESIGN.md,\n"
+           "\"Parallelism & determinism\").\n"
            "Run a subcommand with --help for its flags.\n";
     return 2;
 }
 
+/** The --threads flag, shared by the parallel subcommands. */
+void
+declareThreads(CliFlags &flags)
+{
+    flags.declare("threads", "0",
+                  "worker threads (0 = all hardware, 1 = serial)");
+}
+
+std::size_t
+threadsFromFlags(const CliFlags &flags)
+{
+    return static_cast<std::size_t>(flags.getInt("threads"));
+}
+
 /** Dense believed matrix from a (possibly sparse) profiles file. */
 PenaltyMatrix
-believedFromFile(const Catalog &catalog, const std::string &path)
+believedFromFile(const Catalog &catalog, const std::string &path,
+                 std::size_t threads)
 {
     const SparseMatrix profiles = loadProfiles(path);
     fatalIf(profiles.rows() != catalog.size() ||
@@ -66,7 +84,10 @@ believedFromFile(const Catalog &catalog, const std::string &path)
             ", expected ", catalog.size(), "x", catalog.size());
     // Fill any unknowns through the predictor; a dense file passes
     // through unchanged.
-    const Prediction prediction = ItemKnnPredictor().predict(profiles);
+    ItemKnnConfig knn_config;
+    knn_config.threads = threads;
+    const Prediction prediction =
+        ItemKnnPredictor(knn_config).predict(profiles);
     PenaltyMatrix believed(catalog.size());
     for (std::size_t i = 0; i < catalog.size(); ++i)
         for (std::size_t j = 0; j < catalog.size(); ++j)
@@ -121,6 +142,7 @@ cmdPredict(int argc, const char *const *argv)
     CliFlags flags;
     flags.declare("in", "profiles.txt", "sparse profiles file");
     flags.declare("iterations", "2", "predictor iterations");
+    declareThreads(flags);
     flags.declare("out", "dense.txt", "output dense profiles file");
     if (!flags.parse(argc, argv))
         return 0;
@@ -129,6 +151,7 @@ cmdPredict(int argc, const char *const *argv)
     ItemKnnConfig config;
     config.iterations =
         static_cast<std::size_t>(flags.getInt("iterations"));
+    config.threads = threadsFromFlags(flags);
     const Prediction prediction =
         ItemKnnPredictor(config).predict(sparse);
 
@@ -154,14 +177,15 @@ cmdMatch(int argc, const char *const *argv)
                   "Uniform|Beta-Low|Gaussian|Beta-High");
     flags.declare("policy", "SMR", "GR|CO|SMP|SMR|SR|TH");
     flags.declare("seed", "1", "population / policy seed");
+    declareThreads(flags);
     flags.declare("out", "matching.txt", "output matching file");
     if (!flags.parse(argc, argv))
         return 0;
 
     const Catalog catalog = Catalog::paperTableI();
     const InterferenceModel model(catalog);
-    PenaltyMatrix believed = believedFromFile(catalog,
-                                              flags.get("profiles"));
+    PenaltyMatrix believed = believedFromFile(
+        catalog, flags.get("profiles"), threadsFromFlags(flags));
     ColocationInstance instance(catalog,
                                 populationFromFlags(catalog, flags),
                                 model.penaltyMatrix(),
@@ -188,13 +212,15 @@ cmdAssess(int argc, const char *const *argv)
     flags.declare("seed", "1", "seed used for match");
     flags.declare("matching", "matching.txt", "matching file");
     flags.declare("alpha", "0.02", "minimum gain to break away");
+    declareThreads(flags);
     if (!flags.parse(argc, argv))
         return 0;
 
+    const std::size_t threads = threadsFromFlags(flags);
     const Catalog catalog = Catalog::paperTableI();
     const InterferenceModel model(catalog);
-    PenaltyMatrix believed = believedFromFile(catalog,
-                                              flags.get("profiles"));
+    PenaltyMatrix believed =
+        believedFromFile(catalog, flags.get("profiles"), threads);
     ColocationInstance instance(catalog,
                                 populationFromFlags(catalog, flags),
                                 model.penaltyMatrix(),
@@ -210,7 +236,7 @@ cmdAssess(int argc, const char *const *argv)
         [&](AgentId a, AgentId b) {
             return instance.trueDisutility(a, b);
         },
-        flags.getDouble("alpha"));
+        flags.getDouble("alpha"), threads);
     std::vector<std::uint8_t> blocked(matching.size(), 0);
     for (const auto &pair : pairs) {
         blocked[pair.a] = 1;
