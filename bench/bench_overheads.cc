@@ -7,9 +7,17 @@
  * minutes, so both are negligible. These google-benchmark timings
  * verify this C++ implementation sits comfortably under those
  * budgets.
+ *
+ * After the microbenchmarks, the harness runs one fully instrumented
+ * epoch and reports the per-phase timings straight from the
+ * observability registry (src/obs) — the same histograms a production
+ * run would emit through --metrics-out.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
 
 #include "cf/item_knn.hh"
 #include "cf/subsample.hh"
@@ -19,7 +27,10 @@
 #include "matching/blocking.hh"
 #include "matching/stable_marriage.hh"
 #include "matching/stable_roommates.hh"
+#include "obs/obs.hh"
 #include "sim/profiler.hh"
+#include "util/error.hh"
+#include "util/table.hh"
 #include "workload/population.hh"
 
 namespace {
@@ -142,6 +153,45 @@ BM_ShapleySampled(benchmark::State &state)
         benchmark::DoNotOptimize(shapleySampled(n, v, 1000, rng));
 }
 
+/**
+ * One instrumented epoch; the phase timings come out of the metrics
+ * registry rather than ad-hoc stopwatches. The render checks mirror
+ * tests/test_chart.cc: before trusting the numbers, assert the table
+ * actually materialized with the histograms the phases feed.
+ */
+void
+reportPhaseTimings()
+{
+    ObsConfig obs;
+    obs.metrics = true;
+    const ObsScope scope(obs);
+
+    FrameworkConfig config;
+    config.policy = "SMR";
+    config.sampleRatio = 0.25;
+    Rng rng(29);
+    const auto population =
+        samplePopulation(catalog(), 200, MixKind::Uniform, rng);
+    CooperFramework framework(catalog(), model(), config, 31);
+    framework.runEpoch(population);
+
+    const Table table = scope.session()->metrics()->toTable();
+    const std::string text = table.toText();
+    fatalIf(table.rows() == 0 || table.columns() != 7,
+            "bench_overheads: metrics table failed to render (",
+            table.rows(), " x ", table.columns(), ")");
+    for (const char *metric :
+         {"framework.epoch_seconds", "coordinator.profile_seconds",
+          "coordinator.match_seconds", "profiler.samples",
+          "matching.proposals"})
+        fatalIf(text.find(metric) == std::string::npos,
+                "bench_overheads: metrics table is missing ", metric);
+
+    std::cout << "\nPhase timings from the metrics registry "
+                 "(one SMR epoch, 200 agents):\n"
+              << text;
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_PolicyAssign, greedy, "GR")
@@ -165,4 +215,13 @@ BENCHMARK(BM_BlockingPairCount)->Arg(256)->Arg(1024);
 BENCHMARK(BM_FullEpochOracular)->Arg(200)->Arg(1000);
 BENCHMARK(BM_ShapleySampled)->Arg(8)->Arg(16)->Arg(32);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    reportPhaseTimings();
+    return 0;
+}

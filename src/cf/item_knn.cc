@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/thread_pool.hh"
 
@@ -86,6 +87,9 @@ similarityOver(const SparseMatrix &m, const ItemKnnConfig &config)
             sim[b][a] = s;
         }
     });
+    if (MetricsRegistry *metrics = obsMetrics())
+        metrics->counter("cf.similarity_fills")
+            .add(n > 0 ? n * (n - 1) / 2 : 0);
     return sim;
 }
 
@@ -167,12 +171,20 @@ predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
     });
 
     SparseMatrix filled = observed;
+    std::size_t predicted = 0;
     for (std::size_t r = 0; r < rows; ++r) {
+        predicted += staged[r].size();
         for (const StagedCell &cell : staged[r]) {
             filled.set(r, cell.col, cell.value);
             if (cell.fallback)
                 ++fallbacks;
         }
+    }
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        metrics->counter("cf.predicted_cells").add(predicted);
+        // Observed cells short-circuit prediction: served straight
+        // from the profile "cache".
+        metrics->counter("cf.cache_hits").add(observed.knownCount());
     }
     return filled;
 }
@@ -204,6 +216,7 @@ transposeOf(const SparseMatrix &m)
 Prediction
 ItemKnnPredictor::predict(const SparseMatrix &ratings) const
 {
+    const TraceSpan span("cf.predict", "cf");
     Prediction out = predictOneView(ratings);
     if (!config_.bidirectional || ratings.rows() != ratings.cols())
         return out;
@@ -248,6 +261,8 @@ ItemKnnPredictor::predictOneView(const SparseMatrix &ratings) const
             break;
     }
     out.fallbackCells = fallbacks;
+    if (MetricsRegistry *metrics = obsMetrics())
+        metrics->counter("cf.fallback_cells").add(fallbacks);
 
     out.dense.assign(ratings.rows(),
                      std::vector<double>(ratings.cols(), 0.0));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace cooper {
@@ -23,6 +24,8 @@ const SparseMatrix &
 Coordinator::profiles()
 {
     if (!profiles_) {
+        const TraceSpan span("coordinator.profile", "coordinator");
+        const ScopedTimer timer("coordinator.profile_seconds");
         profiles_ = profiler_.sampleProfiles(config_.sampleRatio, 2,
                                              config_.profileRepeats);
     }
@@ -44,6 +47,8 @@ Coordinator::database() const
 Matching
 Coordinator::colocate(const ColocationInstance &instance, Rng &rng) const
 {
+    const TraceSpan span("coordinator.match", "coordinator");
+    const ScopedTimer timer("coordinator.match_seconds");
     Matching matching = policy_->assign(instance, rng);
     panicIf(!matching.consistent(),
             "Coordinator: policy ", policy_->name(),
@@ -55,13 +60,18 @@ DispatchReport
 Coordinator::dispatch(const std::vector<PairAssignment> &pairs,
                       std::size_t pair_count_hint) const
 {
+    const TraceSpan span("coordinator.dispatch", "coordinator");
     const std::size_t hint =
         pair_count_hint ? pair_count_hint : pairs.size();
     const std::size_t machines =
         config_.machines ? config_.machines
                          : std::max<std::size_t>(1, hint);
     Cluster cluster(*model_, machines);
-    return cluster.dispatch(pairs);
+    DispatchReport report = cluster.dispatch(pairs);
+    if (MetricsRegistry *metrics = obsMetrics())
+        metrics->counter("coordinator.dispatched_pairs")
+            .add(pairs.size());
+    return report;
 }
 
 } // namespace cooper

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cf/accuracy.hh"
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace cooper {
@@ -37,6 +38,7 @@ CooperFramework::CooperFramework(const Catalog &catalog,
 ColocationInstance
 CooperFramework::buildInstance(const std::vector<JobTypeId> &population)
 {
+    const TraceSpan span("framework.build_instance", "framework");
     PenaltyMatrix truth = model_->penaltyMatrix();
 
     if (config_.oracular) {
@@ -79,6 +81,13 @@ EpochReport
 CooperFramework::runEpoch(const std::vector<JobTypeId> &population)
 {
     fatalIf(population.empty(), "runEpoch: empty population");
+
+    // Honor the framework-level observability knob. The scope is
+    // passive when the config is off or an outer session (for
+    // example the CLI's) is already installed.
+    const ObsScope obs_scope(config_.execution.obs);
+    const TraceSpan epoch_span("framework.epoch", "framework");
+    const ScopedTimer epoch_timer("framework.epoch_seconds");
 
     // New epoch, fresh profiles (the profiler keeps accumulating its
     // measurement database across epochs).
@@ -159,6 +168,16 @@ CooperFramework::runEpoch(const std::vector<JobTypeId> &population)
     report.dispatch = coordinator_.dispatch(
         assignments, std::max<std::size_t>(1, n / 2));
 
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        metrics->gauge("framework.agents")
+            .set(static_cast<double>(n));
+        metrics->gauge("framework.mean_penalty")
+            .set(report.meanPenalty);
+        metrics->gauge("framework.prediction_accuracy")
+            .set(report.predictionAccuracy);
+        metrics->gauge("framework.profiled_density")
+            .set(report.profiledDensity);
+    }
     return report;
 }
 

@@ -63,7 +63,7 @@ struct FrameworkConfig
      * execution.threads unless the predictor config sets its own
      * non-default value. Results never depend on the thread count.
      */
-    ExecutionConfig execution{.threads = 1};
+    ExecutionConfig execution{.threads = 1, .obs = {}};
 };
 
 /** Everything one epoch produces. */

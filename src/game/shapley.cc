@@ -4,6 +4,7 @@
 #include <bit>
 #include <numeric>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/thread_pool.hh"
 
@@ -63,6 +64,14 @@ shapleySampled(std::size_t n, const CharacteristicFn &v,
     fatalIf(n == 0, "shapleySampled: no agents");
     fatalIf(n > 32, "shapleySampled: CoalitionMask holds at most 32");
     fatalIf(samples == 0, "shapleySampled: need at least one sample");
+
+    const TraceSpan span("shapley.sampled", "game");
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        // One permutation per sample, each dispatched on its own
+        // substream of the caller's generator.
+        metrics->counter("shapley.permutations").add(samples);
+        metrics->counter("shapley.substreams").add(samples);
+    }
 
     // One deterministic advance of the caller's stream seeds the
     // per-sample substreams, so repeated calls see fresh samples while

@@ -2,6 +2,7 @@
 
 #include <iterator>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/thread_pool.hh"
 
@@ -12,6 +13,7 @@ findBlockingPairs(const Matching &matching, const DisutilityFn &disutility,
                   double alpha, std::size_t threads)
 {
     fatalIf(alpha < 0.0, "findBlockingPairs: negative alpha ", alpha);
+    const TraceSpan span("matching.blocking_scan", "matching");
     const std::size_t n = matching.size();
 
     // Cache each agent's current penalty.
@@ -24,7 +26,7 @@ findBlockingPairs(const Matching &matching, const DisutilityFn &disutility,
     // Chunks of i-rows, concatenated in row order: the output matches
     // the serial (i, then j) scan exactly.
     constexpr std::size_t kGrain = 16;
-    return parallelReduce(
+    std::vector<BlockingPair> pairs = parallelReduce(
         std::size_t(0), n, threads, kGrain, std::vector<BlockingPair>{},
         [&](std::size_t row_begin, std::size_t row_end) {
             std::vector<BlockingPair> local;
@@ -57,6 +59,11 @@ findBlockingPairs(const Matching &matching, const DisutilityFn &disutility,
                        std::make_move_iterator(part.begin()),
                        std::make_move_iterator(part.end()));
         });
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        metrics->counter("matching.blocking_scans").add(1);
+        metrics->counter("matching.blocking_pairs").add(pairs.size());
+    }
+    return pairs;
 }
 
 std::size_t

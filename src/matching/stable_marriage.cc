@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace cooper {
@@ -66,6 +67,8 @@ stableMarriage(const PreferenceProfile &proposers,
         result.proposerPartner[m] = w;
     }
     result.rounds = 0; // sequential formulation has no round structure
+    if (MetricsRegistry *metrics = obsMetrics())
+        metrics->counter("matching.proposals").add(result.proposals);
     return result;
 }
 
@@ -120,6 +123,8 @@ stableMarriageParallel(const PreferenceProfile &proposers,
             }
         }
     }
+    if (MetricsRegistry *metrics = obsMetrics())
+        metrics->counter("matching.proposals").add(result.proposals);
     return result;
 }
 

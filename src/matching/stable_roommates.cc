@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace cooper {
@@ -289,7 +290,12 @@ stableRoommates(const PreferenceProfile &prefs)
 
     RoommatesResult scratch;
     RoommateEngine engine(prefs, /*strict=*/true);
-    if (!engine.run(scratch))
+    const bool solved = engine.run(scratch);
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        metrics->counter("matching.proposals").add(scratch.proposals);
+        metrics->counter("matching.rotations").add(scratch.rotations);
+    }
+    if (!solved)
         return std::nullopt;
     Matching m = engine.extract();
     if (!m.isPerfect())
@@ -306,6 +312,10 @@ adaptedRoommates(
     RoommateEngine engine(prefs, /*strict=*/false);
     engine.run(result);
     result.matching = engine.extract();
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        metrics->counter("matching.proposals").add(result.proposals);
+        metrics->counter("matching.rotations").add(result.rotations);
+    }
 
     // Pool every agent Irving could not place.
     std::vector<AgentId> pool;

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Observability knobs threaded through the framework and CLI.
+ *
+ * Kept dependency-free so configuration structs anywhere in the tree
+ * (ExecutionConfig, FrameworkConfig, the CLI) can embed an ObsConfig
+ * without pulling in the metrics or tracing machinery.
+ */
+
+#ifndef COOPER_OBS_CONFIG_HH
+#define COOPER_OBS_CONFIG_HH
+
+#include <string>
+
+namespace cooper {
+
+/**
+ * What the observability layer records and where it lands.
+ *
+ * Both collectors are off by default: with neither enabled no session
+ * is installed and every instrumentation site reduces to one untaken
+ * branch on a null pointer (the "no-op sink"), so production runs pay
+ * nothing. Enabling them never perturbs results — instrumentation
+ * reads clocks and bumps counters but touches no RNG stream and no
+ * floating-point value that flows into an output
+ * (tests/test_determinism.cc asserts this bit-for-bit).
+ */
+struct ObsConfig
+{
+    /** Collect counters, gauges, and phase histograms. */
+    bool metrics = false;
+
+    /** Collect Chrome-trace phase spans. */
+    bool tracing = false;
+
+    /** Write the metrics JSON here when non-empty (implies metrics). */
+    std::string metricsOut;
+
+    /** Write the Chrome-trace JSON here when non-empty (implies
+     *  tracing). */
+    std::string traceOut;
+
+    /** True when any collector is requested. */
+    bool
+    enabled() const
+    {
+        return metrics || tracing || !metricsOut.empty() ||
+               !traceOut.empty();
+    }
+
+    /** Metrics requested, via the flag or an output path. */
+    bool
+    metricsEnabled() const
+    {
+        return metrics || !metricsOut.empty();
+    }
+
+    /** Tracing requested, via the flag or an output path. */
+    bool
+    tracingEnabled() const
+    {
+        return tracing || !traceOut.empty();
+    }
+};
+
+} // namespace cooper
+
+#endif // COOPER_OBS_CONFIG_HH

@@ -1,0 +1,282 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    const auto it = members.find(key);
+    return it == members.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/** Recursive-descent parser over an in-memory document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text)
+        : text_(text)
+    {}
+
+    JsonValue
+    document()
+    {
+        JsonValue value = parseValue();
+        skipSpace();
+        fail(pos_ != text_.size(), "trailing characters");
+        return value;
+    }
+
+  private:
+    void
+    fail(bool condition, const char *what) const
+    {
+        fatalIf(condition, "parseJson: ", what, " at offset ", pos_);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        fail(pos_ >= text_.size(), "unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        fail(peek() != c, "unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeKeyword(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        const char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            return parseNull();
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue out;
+        out.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return out;
+        }
+        while (true) {
+            JsonValue key = parseString();
+            expect(':');
+            out.members.emplace(std::move(key.text), parseValue());
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return out;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue out;
+        out.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        while (true) {
+            out.items.push_back(parseValue());
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return out;
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue out;
+        out.kind = JsonValue::Kind::String;
+        while (true) {
+            fail(pos_ >= text_.size(), "unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.text += c;
+                continue;
+            }
+            fail(pos_ >= text_.size(), "unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out.text += esc;
+                break;
+              case 'n':
+                out.text += '\n';
+                break;
+              case 't':
+                out.text += '\t';
+                break;
+              case 'r':
+                out.text += '\r';
+                break;
+              case 'b':
+                out.text += '\b';
+                break;
+              case 'f':
+                out.text += '\f';
+                break;
+              case 'u': {
+                fail(pos_ + 4 > text_.size(), "truncated \\u escape");
+                const std::string hex = text_.substr(pos_, 4);
+                char *end = nullptr;
+                const long code = std::strtol(hex.c_str(), &end, 16);
+                fail(end != hex.c_str() + 4, "malformed \\u escape");
+                pos_ += 4;
+                // The emitters only escape control characters; decode
+                // the Latin-1 range and substitute elsewhere.
+                out.text += code < 0x100
+                                ? static_cast<char>(code)
+                                : '?';
+                break;
+              }
+              default:
+                fail(true, "unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseBool()
+    {
+        skipSpace();
+        JsonValue out;
+        out.kind = JsonValue::Kind::Bool;
+        if (consumeKeyword("true")) {
+            out.boolean = true;
+            return out;
+        }
+        if (consumeKeyword("false")) {
+            out.boolean = false;
+            return out;
+        }
+        fail(true, "expected boolean");
+        return out; // unreachable
+    }
+
+    JsonValue
+    parseNull()
+    {
+        skipSpace();
+        fail(!consumeKeyword("null"), "expected null");
+        JsonValue out;
+        out.kind = JsonValue::Kind::Null;
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c)) ||
+                c == '-' || c == '+' || c == '.' || c == 'e' ||
+                c == 'E') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        fail(pos_ == start, "expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        fail(end != token.c_str() + token.size(), "malformed number");
+        JsonValue out;
+        out.kind = JsonValue::Kind::Number;
+        out.number = value;
+        return out;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    Parser parser(text);
+    return parser.document();
+}
+
+JsonValue
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "parseJsonFile: cannot open '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseJson(buffer.str());
+}
+
+} // namespace cooper

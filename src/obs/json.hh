@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal JSON reader for validating the observability outputs.
+ *
+ * The repo deliberately has no external JSON dependency; this parser
+ * exists so the golden-trace tests and the `cooper_trace_check` CMake
+ * step can verify that emitted metrics/trace files are well-formed
+ * JSON with the expected shape, without shipping a Python validator.
+ * It supports the full JSON value grammar the emitters produce
+ * (objects, arrays, strings with basic escapes, numbers, booleans,
+ * null) and rejects trailing garbage.
+ */
+
+#ifndef COOPER_OBS_JSON_HH
+#define COOPER_OBS_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cooper {
+
+/** Parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;                //!< Array
+    std::map<std::string, JsonValue> members;    //!< Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member, or nullptr when absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/** Parse a complete JSON document; raises FatalError on malformed
+ *  input (with a byte offset in the message). */
+JsonValue parseJson(const std::string &text);
+
+/** Parse the JSON document in the file at `path`; raises FatalError
+ *  on I/O failure or malformed input. */
+JsonValue parseJsonFile(const std::string &path);
+
+} // namespace cooper
+
+#endif // COOPER_OBS_JSON_HH

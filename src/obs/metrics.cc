@@ -1,0 +1,364 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/error.hh"
+#include "util/table.hh"
+
+namespace cooper {
+
+namespace {
+
+/** Histogram ids are process-unique so thread-local shard caches can
+ *  never confuse a dead histogram with a new one at the same address. */
+std::atomic<std::uint64_t> next_histogram_id{1};
+
+/** JSON string escaping for metric names (quotes, backslash,
+ *  control characters). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Round-trippable JSON number; non-finite values become null. */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------
+
+/**
+ * One recording thread's slice of a histogram. Written by exactly one
+ * thread; read only at snapshot time, after recorders have quiesced.
+ */
+struct Histogram::Shard
+{
+    OnlineStats stats;
+
+    /** Exact sum of quantize(value) over the shard's observations.
+     *  128 bits so even nanosecond-scale values cannot overflow. */
+    __int128 scaledSum = 0;
+
+    std::vector<std::uint64_t> buckets;
+};
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)),
+      id_(next_histogram_id.fetch_add(1, std::memory_order_relaxed))
+{
+    fatalIf(edges_.empty(), "Histogram: need at least one bucket edge");
+    for (std::size_t i = 1; i < edges_.size(); ++i)
+        fatalIf(edges_[i] <= edges_[i - 1],
+                "Histogram: bucket edges must be strictly increasing (",
+                edges_[i - 1], " then ", edges_[i], ")");
+}
+
+Histogram::~Histogram() = default;
+
+std::int64_t
+Histogram::quantize(double value)
+{
+    const double scaled = value * scale();
+    // Saturate outside the int64 range; the comparison is also false
+    // for NaN, which quantizes to zero.
+    constexpr double kLimit = 9.2e18;
+    if (!(scaled > -kLimit && scaled < kLimit)) {
+        if (scaled > 0.0)
+            return std::numeric_limits<std::int64_t>::max();
+        if (scaled < 0.0)
+            return std::numeric_limits<std::int64_t>::min();
+        return 0;
+    }
+    return std::llround(scaled);
+}
+
+Histogram::Shard &
+Histogram::localShard()
+{
+    // Keyed by process-unique id: a stale entry for a destroyed
+    // histogram is never hit again, so the dangling pointer it holds
+    // is never dereferenced.
+    thread_local std::unordered_map<std::uint64_t, Shard *> cache;
+    const auto it = cache.find(id_);
+    if (it != cache.end())
+        return *it->second;
+
+    std::lock_guard<std::mutex> lock(shardMutex_);
+    shards_.push_back(std::make_unique<Shard>());
+    Shard *shard = shards_.back().get();
+    shard->buckets.assign(edges_.size() + 1, 0);
+    cache.emplace(id_, shard);
+    return *shard;
+}
+
+void
+Histogram::observe(double value)
+{
+    Shard &shard = localShard();
+    shard.stats.add(value);
+    shard.scaledSum += quantize(value);
+    // First bucket whose upper edge admits the value; everything
+    // above the last edge lands in the overflow slot.
+    const auto bucket = static_cast<std::size_t>(
+        std::lower_bound(edges_.begin(), edges_.end(), value) -
+        edges_.begin());
+    ++shard.buckets[bucket];
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(shardMutex_);
+
+    HistogramSnapshot out;
+    out.edges = edges_;
+    out.buckets.assign(edges_.size() + 1, 0);
+
+    OnlineStats folded;
+    __int128 total = 0;
+    // Shard order is registration order; every field below except the
+    // merged stddev is order-independent anyway (integers, min/max,
+    // and an exact fixed-point sum).
+    for (const auto &shard : shards_) {
+        folded.merge(shard->stats);
+        total += shard->scaledSum;
+        for (std::size_t b = 0; b < out.buckets.size(); ++b)
+            out.buckets[b] += shard->buckets[b];
+    }
+
+    out.count = folded.count();
+    if (out.count > 0) {
+        out.sum = static_cast<double>(total) / scale();
+        out.mean = out.sum / static_cast<double>(out.count);
+        out.min = folded.min();
+        out.max = folded.max();
+        out.stddev = folded.stddev();
+    }
+    return out;
+}
+
+// --------------------------------------------------------------------
+// MetricsRegistry
+// --------------------------------------------------------------------
+
+struct MetricsRegistry::Entry
+{
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    Kind kind;
+    std::unique_ptr<class Counter> counter;
+    std::unique_ptr<class Gauge> gauge;
+    std::unique_ptr<class Histogram> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = entries_[name];
+    if (!slot) {
+        slot = std::make_unique<Entry>();
+        slot->kind = Entry::Kind::Counter;
+        slot->counter = std::make_unique<Counter>();
+    }
+    fatalIf(slot->kind != Entry::Kind::Counter,
+            "MetricsRegistry: metric '", name, "' is not a counter");
+    return *slot->counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = entries_[name];
+    if (!slot) {
+        slot = std::make_unique<Entry>();
+        slot->kind = Entry::Kind::Gauge;
+        slot->gauge = std::make_unique<Gauge>();
+    }
+    fatalIf(slot->kind != Entry::Kind::Gauge,
+            "MetricsRegistry: metric '", name, "' is not a gauge");
+    return *slot->gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> edges)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = entries_[name];
+    if (!slot) {
+        slot = std::make_unique<Entry>();
+        slot->kind = Entry::Kind::Histogram;
+        slot->histogram = std::make_unique<Histogram>(
+            edges.empty() ? defaultLatencyEdges() : std::move(edges));
+        return *slot->histogram;
+    }
+    fatalIf(slot->kind != Entry::Kind::Histogram,
+            "MetricsRegistry: metric '", name, "' is not a histogram");
+    fatalIf(!edges.empty() && edges != slot->histogram->edges(),
+            "MetricsRegistry: histogram '", name,
+            "' re-registered with different bucket edges");
+    return *slot->histogram;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot out;
+    // entries_ is a std::map, so iteration (and therefore every
+    // rendered report) is name-sorted and deterministic.
+    for (const auto &[name, entry] : entries_) {
+        switch (entry->kind) {
+          case Entry::Kind::Counter:
+            out.counters.emplace_back(name, entry->counter->value());
+            break;
+          case Entry::Kind::Gauge:
+            out.gauges.emplace_back(name, entry->gauge->value());
+            break;
+          case Entry::Kind::Histogram:
+            out.histograms.emplace_back(name,
+                                        entry->histogram->snapshot());
+            break;
+        }
+    }
+    return out;
+}
+
+Table
+MetricsRegistry::toTable() const
+{
+    const MetricsSnapshot snap = snapshot();
+    Table table({"metric", "kind", "count", "value", "min", "max",
+                 "stddev"});
+    for (const auto &[name, value] : snap.counters)
+        table.addRow({name, "counter",
+                      Table::num(static_cast<long long>(value)),
+                      Table::num(static_cast<long long>(value)), "-",
+                      "-", "-"});
+    for (const auto &[name, value] : snap.gauges)
+        table.addRow({name, "gauge", "-", Table::num(value, 6), "-",
+                      "-", "-"});
+    for (const auto &[name, h] : snap.histograms)
+        table.addRow({name, "histogram",
+                      Table::num(static_cast<long long>(h.count)),
+                      Table::num(h.mean, 6), Table::num(h.min, 6),
+                      Table::num(h.max, 6), Table::num(h.stddev, 6)});
+    return table;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    const MetricsSnapshot snap = snapshot();
+    std::ostringstream os;
+    os << "{\n  \"counters\": {";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i)
+        os << (i ? "," : "") << "\n    \""
+           << jsonEscape(snap.counters[i].first)
+           << "\": " << snap.counters[i].second;
+    os << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i)
+        os << (i ? "," : "") << "\n    \""
+           << jsonEscape(snap.gauges[i].first)
+           << "\": " << jsonNumber(snap.gauges[i].second);
+    os << (snap.gauges.empty() ? "" : "\n  ")
+       << "},\n  \"histograms\": {";
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+        const auto &[name, h] = snap.histograms[i];
+        os << (i ? "," : "") << "\n    \"" << jsonEscape(name)
+           << "\": {\"count\": " << h.count
+           << ", \"sum\": " << jsonNumber(h.sum)
+           << ", \"mean\": " << jsonNumber(h.mean)
+           << ", \"min\": " << jsonNumber(h.min)
+           << ", \"max\": " << jsonNumber(h.max)
+           << ", \"stddev\": " << jsonNumber(h.stddev)
+           << ", \"buckets\": [";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            const std::string le = b < h.edges.size()
+                                       ? jsonNumber(h.edges[b])
+                                       : std::string("\"inf\"");
+            os << (b ? ", " : "") << "{\"le\": " << le
+               << ", \"count\": " << h.buckets[b] << "}";
+        }
+        os << "]}";
+    }
+    os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+    return os.str();
+}
+
+void
+MetricsRegistry::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatalIf(!out, "MetricsRegistry: cannot open '", path,
+            "' for writing");
+    out << toJson();
+    fatalIf(!out, "MetricsRegistry: write to '", path, "' failed");
+}
+
+std::vector<double>
+MetricsRegistry::defaultLatencyEdges()
+{
+    return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
+}
+
+} // namespace cooper

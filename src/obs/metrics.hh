@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Thread-safe metrics registry: counters, gauges, and fixed-bucket
+ * histograms with deterministically folded per-thread shards.
+ *
+ * The registry extends the repo's parallelism contract — "scheduling
+ * freedom, arithmetic rigidity" (util/thread_pool.hh) — to
+ * observation. Any thread may record into any metric without locking
+ * the hot path, yet a snapshot of the same multiset of observations is
+ * bit-identical no matter how many threads recorded it or how the work
+ * was interleaved:
+ *
+ *  - Counters are single relaxed atomics; integer addition is exact
+ *    and commutative.
+ *  - Histograms shard per recording thread. A shard is written by
+ *    exactly one thread (no locks, no false sharing with other
+ *    recorders) and the fold walks shards in registration order.
+ *    Every folded field is order-independent by construction: bucket
+ *    tallies and counts are integers, min/max commute, and the value
+ *    sum is accumulated in 2^-21 fixed point (quantize once per
+ *    observation, then exact integer addition), so the reported sum
+ *    and mean round identically for every thread count. Only the
+ *    folded stddev — merged through stats/online.hh — carries the
+ *    usual last-bit sensitivity to partitioning.
+ *
+ * Snapshots require quiescence: take them after the parallel region
+ * that recorded (ThreadPool::run joins before returning, which
+ * establishes the necessary happens-before). Recording concurrently
+ * with snapshot() is a race, the same rule as every other reduction in
+ * the repo.
+ */
+
+#ifndef COOPER_OBS_METRICS_HH
+#define COOPER_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/online.hh"
+
+namespace cooper {
+
+class Table;
+
+/** Monotonic event count; exact under any concurrency. */
+class Counter
+{
+  public:
+    /** Add `delta` events (relaxed; ordering comes from the caller's
+     *  region join). */
+    void
+    add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written instantaneous value (population size, density, ...). */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Folded view of one histogram. */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;  //!< fixed-point-exact over quantized values
+    double mean = 0.0; //!< sum / count; bit-deterministic
+    double min = 0.0;  //!< 0 when count == 0
+    double max = 0.0;  //!< 0 when count == 0
+    double stddev = 0.0; //!< via OnlineStats merges; last-bit advisory
+
+    /** Upper bucket edges; buckets[i] counts values <= edges[i].
+     *  buckets.back() (one slot past the last edge) is the overflow
+     *  bucket. */
+    std::vector<double> edges;
+    std::vector<std::uint64_t> buckets;
+};
+
+/**
+ * Fixed-bucket histogram with lock-free per-thread shards.
+ *
+ * observe() touches only the calling thread's shard (acquired once
+ * and cached thread-locally), so concurrent recorders never contend.
+ * snapshot() folds shards in registration order; see the file comment
+ * for which fields are bit-deterministic.
+ */
+class Histogram
+{
+  public:
+    /** @param edges Strictly increasing upper bucket edges; at least
+     *         one. Values above the last edge land in the overflow
+     *         bucket. */
+    explicit Histogram(std::vector<double> edges);
+
+    ~Histogram();
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Record one observation into the calling thread's shard. */
+    void observe(double value);
+
+    /** Fold all shards; callers must be quiesced (see file comment). */
+    HistogramSnapshot snapshot() const;
+
+    const std::vector<double> &edges() const { return edges_; }
+
+    /**
+     * Fixed-point quantization applied to each observation before the
+     * exact integer sum: round-to-nearest at 2^-21 (about 5e-7)
+     * resolution. Exposed so tests can assert the exact contract.
+     */
+    static std::int64_t quantize(double value);
+
+    /** Inverse scale of quantize(). */
+    static double scale() { return 2097152.0; } // 2^21
+
+  private:
+    struct Shard;
+
+    /** The calling thread's shard, registering one on first use. */
+    Shard &localShard();
+
+    const std::vector<double> edges_;
+
+    /** Distinguishes this histogram in thread-local shard caches even
+     *  after address reuse. */
+    const std::uint64_t id_;
+
+    /** Guards shard registration and snapshot, never observe(). */
+    mutable std::mutex shardMutex_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/** Point-in-time view of every metric, ordered by name. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/**
+ * Named metric registry.
+ *
+ * Lookup is a mutex-guarded map access — hoist the returned reference
+ * out of hot loops — and the returned references stay valid for the
+ * registry's lifetime. Metric kinds share a namespace: registering
+ * "x" as a counter and again as a gauge is a user error.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The counter named `name`, created on first use. */
+    Counter &counter(const std::string &name);
+
+    /** The gauge named `name`, created on first use. */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * The histogram named `name`, created on first use with `edges`
+     * (defaultLatencyEdges() when omitted). Later calls return the
+     * existing histogram; passing different non-empty edges for an
+     * existing name is fatal.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> edges = {});
+
+    /** Snapshot every metric, each kind sorted by name. */
+    MetricsSnapshot snapshot() const;
+
+    /** Flat metrics table (metric, kind, count, value, min, max,
+     *  stddev) for terminal reporting. */
+    Table toTable() const;
+
+    /** JSON object {"counters": {...}, "gauges": {...},
+     *  "histograms": {...}}. */
+    std::string toJson() const;
+
+    /** Write toJson() to `path`; raises FatalError on I/O failure. */
+    void writeJson(const std::string &path) const;
+
+    /**
+     * Log-spaced duration edges in seconds (1 us .. 10 s), the default
+     * for phase-timing histograms.
+     */
+    static std::vector<double> defaultLatencyEdges();
+
+  private:
+    struct Entry;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_OBS_METRICS_HH

@@ -1,0 +1,129 @@
+#include "obs.hh"
+
+#include <atomic>
+
+namespace cooper {
+
+namespace {
+
+/** The process's installed session; nullptr = observability off. */
+std::atomic<ObsSession *> g_session{nullptr};
+
+/** Per-thread span nesting depth (one session at a time, so a single
+ *  counter per thread suffices). */
+thread_local int tl_span_depth = 0;
+
+} // namespace
+
+ObsSession::ObsSession(ObsConfig config)
+    : config_(std::move(config))
+{
+    if (config_.metricsEnabled())
+        metrics_.emplace();
+    if (config_.tracingEnabled())
+        tracer_.emplace();
+}
+
+MetricsRegistry *
+ObsSession::metrics()
+{
+    return metrics_ ? &*metrics_ : nullptr;
+}
+
+Tracer *
+ObsSession::tracer()
+{
+    return tracer_ ? &*tracer_ : nullptr;
+}
+
+void
+ObsSession::writeOutputs() const
+{
+    if (!config_.metricsOut.empty() && metrics_)
+        metrics_->writeJson(config_.metricsOut);
+    if (!config_.traceOut.empty() && tracer_)
+        tracer_->writeJson(config_.traceOut);
+}
+
+MetricsRegistry *
+obsMetrics()
+{
+    ObsSession *session = g_session.load(std::memory_order_acquire);
+    return session ? session->metrics() : nullptr;
+}
+
+Tracer *
+obsTracer()
+{
+    ObsSession *session = g_session.load(std::memory_order_acquire);
+    return session ? session->tracer() : nullptr;
+}
+
+ObsScope::ObsScope(const ObsConfig &config)
+{
+    if (!config.enabled())
+        return;
+    // An outer scope wins: nested components feed its collectors
+    // rather than shadowing them with a second session.
+    if (g_session.load(std::memory_order_acquire) != nullptr)
+        return;
+    owned_ = std::make_unique<ObsSession>(config);
+    g_session.store(owned_.get(), std::memory_order_release);
+}
+
+ObsScope::~ObsScope()
+{
+    if (!owned_)
+        return;
+    owned_->writeOutputs();
+    g_session.store(nullptr, std::memory_order_release);
+}
+
+ObsSession *
+ObsScope::session() const
+{
+    return g_session.load(std::memory_order_acquire);
+}
+
+TraceSpan::TraceSpan(const char *name, const char *category)
+{
+    Tracer *tracer = obsTracer();
+    if (tracer == nullptr)
+        return;
+    tracer_ = tracer;
+    name_ = name;
+    category_ = category;
+    depth_ = ++tl_span_depth;
+    beginMicros_ = tracer->nowMicros();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (tracer_ == nullptr)
+        return;
+    const double end = tracer_->nowMicros();
+    tracer_->complete(name_, category_, beginMicros_,
+                      end - beginMicros_, depth_);
+    --tl_span_depth;
+}
+
+ScopedTimer::ScopedTimer(const char *metric)
+{
+    MetricsRegistry *registry = obsMetrics();
+    if (registry == nullptr)
+        return;
+    registry_ = registry;
+    metric_ = metric;
+    begin_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (registry_ == nullptr)
+        return;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - begin_;
+    registry_->histogram(metric_).observe(elapsed.count());
+}
+
+} // namespace cooper

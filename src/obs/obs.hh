@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The observability session: wiring between instrumentation sites and
+ * the metrics/tracing collectors.
+ *
+ * Instrumented code never owns a collector. It asks for the process's
+ * installed session through obsMetrics()/obsTracer(), which return
+ * nullptr when observability is off — the entire cost of a disabled
+ * site is one null check, and RAII helpers (TraceSpan, ScopedTimer)
+ * fold that check into their constructors so call sites stay
+ * one-liners. A session is installed for a scope with ObsScope,
+ * typically by the CLI or a bench harness; library code (for example
+ * CooperFramework::runEpoch, honoring ExecutionConfig::obs) installs
+ * one only when none is active, so an outer scope always wins and
+ * nested components feed the same collectors.
+ *
+ * Recording is thread-safe (see metrics.hh for the shard discipline);
+ * installing/uninstalling sessions is not meant to race with recording
+ * and follows the repo's phase structure: install, run, fold, write.
+ */
+
+#ifndef COOPER_OBS_OBS_HH
+#define COOPER_OBS_OBS_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/config.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace cooper {
+
+/**
+ * One observability run: the collectors requested by an ObsConfig.
+ */
+class ObsSession
+{
+  public:
+    explicit ObsSession(ObsConfig config);
+
+    const ObsConfig &config() const { return config_; }
+
+    /** The session's registry, or nullptr when metrics are off. */
+    MetricsRegistry *metrics();
+
+    /** The session's tracer, or nullptr when tracing is off. */
+    Tracer *tracer();
+
+    /** Write metricsOut / traceOut if configured. */
+    void writeOutputs() const;
+
+  private:
+    ObsConfig config_;
+    std::optional<MetricsRegistry> metrics_;
+    std::optional<Tracer> tracer_;
+};
+
+/** The installed session's registry; nullptr when observability is
+ *  off (the no-op sink). */
+MetricsRegistry *obsMetrics();
+
+/** The installed session's tracer; nullptr when observability is
+ *  off. */
+Tracer *obsTracer();
+
+/**
+ * RAII installation of an ObsSession for the current scope.
+ *
+ * A scope built from a disabled config, or while another session is
+ * already installed, is passive: it installs nothing, owns nothing,
+ * and session() reports the active session (if any) so callers can
+ * still render tables. An active scope uninstalls on destruction
+ * after writing the configured outputs.
+ */
+class ObsScope
+{
+  public:
+    explicit ObsScope(const ObsConfig &config);
+    ~ObsScope();
+
+    ObsScope(const ObsScope &) = delete;
+    ObsScope &operator=(const ObsScope &) = delete;
+
+    /** The session observable inside this scope; may be an outer
+     *  scope's, or nullptr when observability is off everywhere. */
+    ObsSession *session() const;
+
+    /** True when this scope owns the installed session. */
+    bool active() const { return owned_ != nullptr; }
+
+  private:
+    std::unique_ptr<ObsSession> owned_;
+};
+
+/**
+ * RAII Chrome-trace span. No-op (no clock read) when tracing is off.
+ *
+ * Spans on one thread nest: each records its depth so the emitted
+ * trace preserves the call structure.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name, const char *category = "cooper");
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    Tracer *tracer_ = nullptr;
+    const char *name_ = nullptr;
+    const char *category_ = nullptr;
+    double beginMicros_ = 0.0;
+    int depth_ = 0;
+};
+
+/**
+ * RAII phase timer feeding `<metric>` as a duration histogram (in
+ * seconds, defaultLatencyEdges buckets). No-op when metrics are off.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const char *metric);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    MetricsRegistry *registry_ = nullptr;
+    const char *metric_ = nullptr;
+    std::chrono::steady_clock::time_point begin_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_OBS_OBS_HH

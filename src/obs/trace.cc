@@ -1,0 +1,118 @@
+#include "trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+std::string
+traceNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+/** Escape a span name for embedding in a JSON string. */
+std::string
+traceEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            out += ' ';
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+Tracer::Tracer()
+    : start_(std::chrono::steady_clock::now())
+{}
+
+double
+Tracer::nowMicros() const
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+int
+Tracer::threadIdLocked()
+{
+    const std::uint64_t self = std::hash<std::thread::id>{}(
+        std::this_thread::get_id());
+    for (const auto &[hash, id] : threadIds_)
+        if (hash == self)
+            return id;
+    const int id = static_cast<int>(threadIds_.size());
+    threadIds_.emplace_back(self, id);
+    return id;
+}
+
+void
+Tracer::complete(std::string name, std::string category,
+                 double ts_micros, double dur_micros, int depth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent event;
+    event.name = std::move(name);
+    event.category = std::move(category);
+    event.tsMicros = ts_micros;
+    event.durMicros = dur_micros;
+    event.tid = threadIdLocked();
+    event.depth = depth;
+    events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+std::string
+Tracer::toJson() const
+{
+    const auto events = this->events();
+    std::ostringstream os;
+    os << "{\"traceEvents\": [";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        os << (i ? ",\n" : "\n") << "  {\"name\": \""
+           << traceEscape(e.name) << "\", \"cat\": \""
+           << traceEscape(e.category) << "\", \"ph\": \"X\", \"ts\": "
+           << traceNumber(e.tsMicros)
+           << ", \"dur\": " << traceNumber(e.durMicros)
+           << ", \"pid\": 1, \"tid\": " << e.tid
+           << ", \"args\": {\"depth\": " << e.depth << "}}";
+    }
+    os << (events.empty() ? "" : "\n")
+       << "], \"displayTimeUnit\": \"ms\"}\n";
+    return os.str();
+}
+
+void
+Tracer::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatalIf(!out, "Tracer: cannot open '", path, "' for writing");
+    out << toJson();
+    fatalIf(!out, "Tracer: write to '", path, "' failed");
+}
+
+} // namespace cooper

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Phase tracing in Chrome trace format.
+ *
+ * The tracer collects complete ("ph": "X") events — one per finished
+ * span — and renders the standard {"traceEvents": [...]} JSON object
+ * that chrome://tracing and Perfetto load directly. Events carry the
+ * span's nesting depth (args.depth) so tests can assert structural
+ * properties without depending on wall-clock values, which are the one
+ * deliberately nondeterministic output in the repo.
+ */
+
+#ifndef COOPER_OBS_TRACE_HH
+#define COOPER_OBS_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cooper {
+
+/** One finished span. */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    double tsMicros = 0.0;  //!< start, microseconds since session start
+    double durMicros = 0.0; //!< duration in microseconds
+    int tid = 0;            //!< tracer-assigned small thread id
+    int depth = 0;          //!< 1 = outermost span on its thread
+};
+
+/**
+ * Thread-safe collector of trace events.
+ *
+ * Recording appends under a mutex; spans are phase-grained (dozens per
+ * epoch, not per-iteration), so contention is irrelevant. Thread ids
+ * are assigned densely in first-record order.
+ */
+class Tracer
+{
+  public:
+    Tracer();
+
+    /** Microseconds elapsed since the tracer was constructed. */
+    double nowMicros() const;
+
+    /** Record a finished span. */
+    void complete(std::string name, std::string category,
+                  double ts_micros, double dur_micros, int depth);
+
+    /** Events recorded so far, in completion order. */
+    std::vector<TraceEvent> events() const;
+
+    /** Chrome trace format: {"traceEvents": [...],
+     *  "displayTimeUnit": "ms"}. */
+    std::string toJson() const;
+
+    /** Write toJson() to `path`; raises FatalError on I/O failure. */
+    void writeJson(const std::string &path) const;
+
+  private:
+    /** Dense id for the calling thread; callers hold `mutex_`. */
+    int threadIdLocked();
+
+    const std::chrono::steady_clock::time_point start_;
+
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::vector<std::pair<std::uint64_t, int>> threadIds_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_OBS_TRACE_HH

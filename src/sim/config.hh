@@ -15,6 +15,8 @@
 
 #include <cstddef>
 
+#include "obs/config.hh"
+
 namespace cooper {
 
 /**
@@ -70,6 +72,13 @@ struct ExecutionConfig
      * serially on the calling thread.
      */
     std::size_t threads = 0;
+
+    /**
+     * Observability knobs (metrics registry + phase tracing). Off by
+     * default; like `threads`, flipping them never changes results,
+     * only what gets recorded about the run.
+     */
+    ObsConfig obs;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace cooper {
@@ -50,6 +51,8 @@ SystemProfiler::sampleProfiles(double ratio, std::size_t min_per_row,
     fatalIf(ratio <= 0.0 || ratio > 1.0,
             "sampleProfiles: ratio ", ratio, " outside (0, 1]");
     fatalIf(repeats == 0, "sampleProfiles: need at least one repeat");
+    const TraceSpan span("profiler.sample_profiles", "profiler");
+    const std::size_t samples_before = database_.totalSamples();
     const std::size_t n = model_->catalog().size();
     SparseMatrix profiles(n, n);
 
@@ -97,6 +100,22 @@ SystemProfiler::sampleProfiles(double ratio, std::size_t min_per_row,
                 ++have;
             }
         }
+    }
+
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        const std::size_t taken =
+            database_.totalSamples() - samples_before;
+        metrics->counter("profiler.samples").add(taken);
+        // Every measurement draws one Gaussian when noise is on.
+        if (noise_.sigma > 0.0)
+            metrics->counter("profiler.noise_draws").add(taken);
+        Histogram &penalties = metrics->histogram(
+            "profiler.penalty",
+            {0.0, 0.05, 0.1, 0.2, 0.4, 0.8});
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                if (profiles.known(r, c))
+                    penalties.observe(profiles.at(r, c));
     }
     return profiles;
 }

@@ -20,6 +20,7 @@
 #include "game/shapley.hh"
 #include "matching/blocking.hh"
 #include "matching/matching.hh"
+#include "obs/obs.hh"
 #include "sim/interference.hh"
 #include "util/rng.hh"
 #include "workload/catalog.hh"
@@ -226,6 +227,61 @@ TEST(Determinism, ReplicationsIndependentOfBatchSize)
         EXPECT_TRUE(
             sameBits(few[r].meanPenalty, many[r].meanPenalty))
             << "replication " << r;
+}
+
+TEST(Determinism, ObservabilityDoesNotPerturbResults)
+{
+    // The observability layer reads clocks and bumps counters but must
+    // never touch an RNG stream or a floating-point value that flows
+    // into an output: the same replications with collectors on are
+    // bit-identical to runs with the no-op sink, at every thread
+    // count.
+    const Catalog catalog = Catalog::paperTableI();
+    const InterferenceModel model(catalog);
+    const auto policy = makePolicy("SMR");
+    const Rng root(41);
+
+    ReplicationPlan plan;
+    plan.replications = 3;
+    plan.agents = 24;
+    plan.oracular = false;
+    plan.sampleRatio = 0.4;
+
+    for (std::size_t threads : kThreadCounts) {
+        plan.threads = threads;
+        const auto quiet =
+            runReplications(*policy, catalog, model, plan, root);
+
+        ObsConfig obs;
+        obs.metrics = true;
+        obs.tracing = true;
+        const ObsScope scope(obs);
+        ASSERT_TRUE(scope.active());
+        const auto observed =
+            runReplications(*policy, catalog, model, plan, root);
+
+        // The collectors saw traffic...
+        EXPECT_GT(
+            scope.session()->metrics()->snapshot().counters.size(),
+            0u);
+        // ...and the results did not move by a single bit.
+        ASSERT_EQ(observed.size(), quiet.size());
+        for (std::size_t r = 0; r < plan.replications; ++r) {
+            EXPECT_TRUE(sameBits(quiet[r].meanPenalty,
+                                 observed[r].meanPenalty))
+                << "replication " << r << " threads " << threads;
+            ASSERT_EQ(quiet[r].penalties.size(),
+                      observed[r].penalties.size());
+            for (std::size_t i = 0; i < quiet[r].penalties.size(); ++i)
+                EXPECT_TRUE(sameBits(quiet[r].penalties[i],
+                                     observed[r].penalties[i]));
+            ASSERT_EQ(quiet[r].matching.size(),
+                      observed[r].matching.size());
+            for (AgentId i = 0; i < quiet[r].matching.size(); ++i)
+                EXPECT_EQ(quiet[r].matching.partnerOf(i),
+                          observed[r].matching.partnerOf(i));
+        }
+    }
 }
 
 TEST(Determinism, CfReplicationsIdenticalAcrossThreadCounts)

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit and property tests for the metrics registry: counter/gauge
+ * semantics, histogram bucket edges and the fixed-point sum contract,
+ * rendering (table + JSON), and the shard-fold determinism property —
+ * the same multiset of observations folds to bit-identical snapshots
+ * no matter how many threads recorded it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+namespace cooper {
+namespace {
+
+/** Bitwise double equality (0.0 vs -0.0 and NaN patterns included). */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, LastWriteWins)
+{
+    Gauge g;
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(2.5);
+    g.set(-1.25);
+    EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameMetric)
+{
+    MetricsRegistry registry;
+    registry.counter("events").add(3);
+    registry.counter("events").add(4);
+    EXPECT_EQ(registry.counter("events").value(), 7u);
+
+    registry.gauge("level").set(1.0);
+    registry.gauge("level").set(2.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("level").value(), 2.0);
+}
+
+TEST(MetricsRegistry, KindMismatchIsFatal)
+{
+    MetricsRegistry registry;
+    registry.counter("x");
+    EXPECT_THROW(registry.gauge("x"), FatalError);
+    EXPECT_THROW(registry.histogram("x"), FatalError);
+    registry.histogram("h");
+    EXPECT_THROW(registry.counter("h"), FatalError);
+}
+
+TEST(MetricsRegistry, HistogramEdgeReRegistration)
+{
+    MetricsRegistry registry;
+    Histogram &h = registry.histogram("h", {1.0, 2.0});
+    // Same edges, or omitted edges, return the existing histogram.
+    EXPECT_EQ(&registry.histogram("h", {1.0, 2.0}), &h);
+    EXPECT_EQ(&registry.histogram("h"), &h);
+    // Different edges are a contract violation.
+    EXPECT_THROW(registry.histogram("h", {1.0, 3.0}), FatalError);
+}
+
+TEST(MetricsRegistry, HistogramDefaultsToLatencyEdges)
+{
+    MetricsRegistry registry;
+    EXPECT_EQ(registry.histogram("t").edges(),
+              MetricsRegistry::defaultLatencyEdges());
+}
+
+TEST(Histogram, RejectsBadEdges)
+{
+    EXPECT_THROW(Histogram({}), FatalError);
+    EXPECT_THROW(Histogram({1.0, 1.0}), FatalError);
+    EXPECT_THROW(Histogram({2.0, 1.0}), FatalError);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds)
+{
+    Histogram h({1.0, 2.0, 4.0});
+    for (double v : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0})
+        h.observe(v);
+
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 7u);
+    // A value equal to an edge belongs to that edge's bucket ("le"
+    // semantics); 5.0 exceeds every edge and lands in the overflow
+    // slot.
+    ASSERT_EQ(snap.buckets.size(), 4u);
+    EXPECT_EQ(snap.buckets[0], 2u); // 0.5, 1.0
+    EXPECT_EQ(snap.buckets[1], 2u); // 1.5, 2.0
+    EXPECT_EQ(snap.buckets[2], 2u); // 3.0, 4.0
+    EXPECT_EQ(snap.buckets[3], 1u); // 5.0
+    EXPECT_DOUBLE_EQ(snap.min, 0.5);
+    EXPECT_DOUBLE_EQ(snap.max, 5.0);
+}
+
+TEST(Histogram, EmptySnapshot)
+{
+    Histogram h({1.0});
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+    EXPECT_DOUBLE_EQ(snap.mean, 0.0);
+    EXPECT_DOUBLE_EQ(snap.min, 0.0);
+    EXPECT_DOUBLE_EQ(snap.max, 0.0);
+    ASSERT_EQ(snap.buckets.size(), 2u);
+    EXPECT_EQ(snap.buckets[0] + snap.buckets[1], 0u);
+}
+
+TEST(Histogram, QuantizeContract)
+{
+    EXPECT_EQ(Histogram::quantize(0.0), 0);
+    EXPECT_EQ(Histogram::quantize(1.0),
+              static_cast<std::int64_t>(Histogram::scale()));
+    // Round to nearest at 2^-21 resolution.
+    EXPECT_EQ(Histogram::quantize(0.4 / Histogram::scale()), 0);
+    EXPECT_EQ(Histogram::quantize(0.6 / Histogram::scale()), 1);
+    EXPECT_EQ(Histogram::quantize(-1.5), -3145728);
+    // NaN quantizes to zero; infinities saturate.
+    EXPECT_EQ(Histogram::quantize(
+                  std::numeric_limits<double>::quiet_NaN()),
+              0);
+    EXPECT_EQ(Histogram::quantize(
+                  std::numeric_limits<double>::infinity()),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(Histogram::quantize(
+                  -std::numeric_limits<double>::infinity()),
+              std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Histogram, SumIsFixedPointExact)
+{
+    Histogram h({1.0});
+    std::int64_t scaled = 0;
+    for (double v : {0.1, 0.2, 0.3, 0.7}) {
+        h.observe(v);
+        scaled += Histogram::quantize(v);
+    }
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_TRUE(sameBits(snap.sum,
+                         static_cast<double>(scaled) /
+                             Histogram::scale()));
+    EXPECT_TRUE(sameBits(snap.mean, snap.sum / 4.0));
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted)
+{
+    MetricsRegistry registry;
+    registry.counter("zeta").add(1);
+    registry.counter("alpha").add(2);
+    registry.gauge("mid").set(0.5);
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].first, "alpha");
+    EXPECT_EQ(snap.counters[1].first, "zeta");
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].first, "mid");
+}
+
+TEST(MetricsRegistry, TableRenders)
+{
+    MetricsRegistry registry;
+    registry.counter("epoch.events").add(12);
+    registry.gauge("epoch.density").set(0.25);
+    registry.histogram("epoch.seconds").observe(0.005);
+
+    const Table table = registry.toTable();
+    EXPECT_EQ(table.columns(), 7u);
+    EXPECT_EQ(table.rows(), 3u);
+
+    const std::string text = table.toText();
+    EXPECT_NE(text.find("epoch.events"), std::string::npos);
+    EXPECT_NE(text.find("epoch.density"), std::string::npos);
+    EXPECT_NE(text.find("epoch.seconds"), std::string::npos);
+    EXPECT_NE(text.find("histogram"), std::string::npos);
+    // CSV renders the same rows (header + 3).
+    const std::string csv = table.toCsv();
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(MetricsRegistry, JsonParsesWithTheInTreeReader)
+{
+    MetricsRegistry registry;
+    registry.counter("c\"quoted\"").add(3);
+    registry.gauge("g").set(1.5);
+    Histogram &h = registry.histogram("h", {0.5, 1.0});
+    h.observe(0.25);
+    h.observe(2.0);
+
+    const JsonValue root = parseJson(registry.toJson());
+    ASSERT_TRUE(root.isObject());
+
+    const JsonValue *counters = root.find("counters");
+    ASSERT_NE(counters, nullptr);
+    const JsonValue *c = counters->find("c\"quoted\"");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->number, 3.0);
+
+    const JsonValue *g = root.find("gauges")->find("g");
+    ASSERT_NE(g, nullptr);
+    EXPECT_DOUBLE_EQ(g->number, 1.5);
+
+    const JsonValue *hist = root.find("histograms")->find("h");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->find("count")->number, 2.0);
+    const JsonValue *buckets = hist->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_EQ(buckets->items.size(), 3u);
+    EXPECT_DOUBLE_EQ(buckets->items[0].find("le")->number, 0.5);
+    EXPECT_DOUBLE_EQ(buckets->items[0].find("count")->number, 1.0);
+    // The overflow bucket's upper edge is the string "inf".
+    EXPECT_TRUE(buckets->items[2].find("le")->isString());
+    EXPECT_EQ(buckets->items[2].find("le")->text, "inf");
+    EXPECT_DOUBLE_EQ(buckets->items[2].find("count")->number, 1.0);
+}
+
+TEST(MetricsRegistry, EmptyJsonIsValid)
+{
+    MetricsRegistry registry;
+    const JsonValue root = parseJson(registry.toJson());
+    ASSERT_TRUE(root.isObject());
+    EXPECT_TRUE(root.find("counters")->members.empty());
+    EXPECT_TRUE(root.find("gauges")->members.empty());
+    EXPECT_TRUE(root.find("histograms")->members.empty());
+}
+
+/**
+ * The shard-fold determinism property (the registry's analogue of the
+ * repo's parallelReduce contract): drive one registry from
+ * ThreadPool::parallelFor at 1, 2, and 8 threads over the same
+ * observation multiset, and require the folded snapshots to match the
+ * serial fold bit for bit — count, buckets, min, max, sum, and mean.
+ * Only the merged stddev is advisory (OnlineStats merge order follows
+ * shard registration, which is scheduling-dependent).
+ */
+TEST(MetricsDeterminism, FoldIdenticalAcrossThreadCounts)
+{
+    const std::size_t kObservations = 20000;
+    const std::vector<double> edges{0.25, 0.5, 0.75, 1.0};
+
+    // A fixed multiset of values, including edge-exact and negative
+    // entries so every bucket and the quantizer see traffic.
+    Rng rng(2026);
+    std::vector<double> values(kObservations, 0.0);
+    for (std::size_t i = 0; i < kObservations; ++i) {
+        values[i] = rng.uniform() * 1.3 - 0.05;
+        if (i % 97 == 0)
+            values[i] = edges[i % edges.size()];
+    }
+
+    HistogramSnapshot base;
+    std::uint64_t base_events = 0;
+    const std::vector<std::size_t> thread_counts{1, 2, 8};
+    for (std::size_t threads : thread_counts) {
+        MetricsRegistry registry;
+        Histogram &h = registry.histogram("values", edges);
+        Counter &events = registry.counter("events");
+        parallelFor(0, kObservations, threads, [&](std::size_t i) {
+            h.observe(values[i]);
+            events.add();
+        });
+
+        const HistogramSnapshot snap = h.snapshot();
+        if (threads == 1) {
+            base = snap;
+            base_events = events.value();
+            EXPECT_EQ(base.count, kObservations);
+            continue;
+        }
+        EXPECT_EQ(events.value(), base_events)
+            << "threads " << threads;
+        EXPECT_EQ(snap.count, base.count) << "threads " << threads;
+        ASSERT_EQ(snap.buckets.size(), base.buckets.size());
+        for (std::size_t b = 0; b < snap.buckets.size(); ++b)
+            EXPECT_EQ(snap.buckets[b], base.buckets[b])
+                << "bucket " << b << " at threads " << threads;
+        EXPECT_TRUE(sameBits(snap.sum, base.sum))
+            << "sum at threads " << threads;
+        EXPECT_TRUE(sameBits(snap.mean, base.mean))
+            << "mean at threads " << threads;
+        EXPECT_TRUE(sameBits(snap.min, base.min))
+            << "min at threads " << threads;
+        EXPECT_TRUE(sameBits(snap.max, base.max))
+            << "max at threads " << threads;
+        EXPECT_NEAR(snap.stddev, base.stddev, 1e-9)
+            << "stddev at threads " << threads;
+    }
+}
+
+/** Concurrent counters from many threads stay exact. */
+TEST(MetricsDeterminism, CountersExactUnderContention)
+{
+    MetricsRegistry registry;
+    Counter &c = registry.counter("hits");
+    const std::size_t n = 50000;
+    parallelFor(0, n, 8, [&](std::size_t i) { c.add(i % 3); });
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        expected += i % 3;
+    EXPECT_EQ(c.value(), expected);
+}
+
+} // namespace
+} // namespace cooper

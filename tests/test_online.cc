@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "stats/descriptive.hh"
 #include "stats/online.hh"
+#include "util/rng.hh"
 
 namespace cooper {
 namespace {
@@ -61,6 +63,50 @@ TEST(OnlineStats, MergeEqualsSequential)
     EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
     EXPECT_DOUBLE_EQ(left.min(), whole.min());
     EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergePropertyOverRandomPartitions)
+{
+    // Property: scattering a value stream across N accumulators and
+    // merging them is equivalent to one accumulator over the whole
+    // stream — count/min/max exactly, the moments to tight tolerance.
+    // This is the contract the metrics histograms lean on when folding
+    // per-thread shards (src/obs/metrics.hh).
+    Rng rng(2025);
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::size_t n =
+            2 + static_cast<std::size_t>(
+                    rng.uniformInt(std::uint64_t(300)));
+        const std::size_t parts =
+            1 + static_cast<std::size_t>(
+                    rng.uniformInt(std::uint64_t(8)));
+
+        OnlineStats whole;
+        std::vector<OnlineStats> shards(parts);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double x = (rng.uniform() - 0.5) * 20.0;
+            whole.add(x);
+            const auto shard = static_cast<std::size_t>(
+                rng.uniformInt(static_cast<std::uint64_t>(parts)));
+            shards[shard].add(x);
+        }
+
+        OnlineStats merged;
+        for (const OnlineStats &shard : shards)
+            merged.merge(shard);
+
+        ASSERT_EQ(merged.count(), whole.count()) << "trial " << trial;
+        EXPECT_DOUBLE_EQ(merged.min(), whole.min())
+            << "trial " << trial;
+        EXPECT_DOUBLE_EQ(merged.max(), whole.max())
+            << "trial " << trial;
+        EXPECT_NEAR(merged.mean(), whole.mean(),
+                    1e-12 * (1.0 + std::fabs(whole.mean())))
+            << "trial " << trial;
+        EXPECT_NEAR(merged.variance(), whole.variance(),
+                    1e-10 * (1.0 + whole.variance()))
+            << "trial " << trial;
+    }
 }
 
 TEST(OnlineStats, MergeWithEmpty)

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for phase tracing and the observability session: span
+ * nesting, the zero-overhead no-op sink, the exact Chrome-trace JSON
+ * emitted by the tracer (golden format), and an end-to-end golden
+ * schema check over the trace an instrumented epoch writes through
+ * the FrameworkConfig observability knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/framework.hh"
+#include "obs/json.hh"
+#include "obs/obs.hh"
+#include "sim/interference.hh"
+#include "util/rng.hh"
+#include "workload/catalog.hh"
+#include "workload/population.hh"
+
+namespace cooper {
+namespace {
+
+TEST(Tracer, RecordsEventsInCompletionOrder)
+{
+    Tracer tracer;
+    tracer.complete("a", "x", 1.0, 2.0, 1);
+    tracer.complete("b", "y", 3.0, 1.5, 2);
+    const std::vector<TraceEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].name, "a");
+    EXPECT_EQ(events[0].category, "x");
+    EXPECT_DOUBLE_EQ(events[0].tsMicros, 1.0);
+    EXPECT_DOUBLE_EQ(events[0].durMicros, 2.0);
+    EXPECT_EQ(events[0].depth, 1);
+    EXPECT_EQ(events[1].name, "b");
+    EXPECT_EQ(events[1].depth, 2);
+    // Both events came from this thread: one dense tid.
+    EXPECT_EQ(events[0].tid, events[1].tid);
+    EXPECT_EQ(events[0].tid, 0);
+}
+
+TEST(Tracer, GoldenChromeTraceJson)
+{
+    Tracer tracer;
+    tracer.complete("span \"q\"", "cat", 1.5, 2.25, 1);
+    tracer.complete("b", "c", 10.0, 0.125, 2);
+    const std::string expected =
+        "{\"traceEvents\": [\n"
+        "  {\"name\": \"span \\\"q\\\"\", \"cat\": \"cat\", "
+        "\"ph\": \"X\", \"ts\": 1.500, \"dur\": 2.250, \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"depth\": 1}},\n"
+        "  {\"name\": \"b\", \"cat\": \"c\", \"ph\": \"X\", "
+        "\"ts\": 10.000, \"dur\": 0.125, \"pid\": 1, \"tid\": 0, "
+        "\"args\": {\"depth\": 2}}\n"
+        "], \"displayTimeUnit\": \"ms\"}\n";
+    EXPECT_EQ(tracer.toJson(), expected);
+
+    // And the golden string is valid JSON by the in-tree reader.
+    const JsonValue root = parseJson(expected);
+    ASSERT_TRUE(root.isObject());
+    EXPECT_EQ(root.find("traceEvents")->items.size(), 2u);
+}
+
+TEST(Tracer, EmptyTraceIsValidJson)
+{
+    Tracer tracer;
+    const JsonValue root = parseJson(tracer.toJson());
+    ASSERT_TRUE(root.isObject());
+    const JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_TRUE(events->isArray());
+    EXPECT_TRUE(events->items.empty());
+}
+
+TEST(ObsScope, DisabledConfigInstallsNothing)
+{
+    ASSERT_EQ(obsMetrics(), nullptr);
+    ASSERT_EQ(obsTracer(), nullptr);
+
+    const ObsConfig off;
+    const ObsScope scope(off);
+    EXPECT_FALSE(scope.active());
+    EXPECT_EQ(scope.session(), nullptr);
+    EXPECT_EQ(obsMetrics(), nullptr);
+    EXPECT_EQ(obsTracer(), nullptr);
+
+    // The RAII helpers are no-ops against the no-op sink.
+    {
+        const TraceSpan span("untraced");
+        const ScopedTimer timer("untimed");
+    }
+    EXPECT_EQ(obsMetrics(), nullptr);
+}
+
+TEST(ObsScope, InstallsAndUninstalls)
+{
+    ObsConfig on;
+    on.metrics = true;
+    on.tracing = true;
+    {
+        const ObsScope scope(on);
+        EXPECT_TRUE(scope.active());
+        ASSERT_NE(scope.session(), nullptr);
+        EXPECT_NE(obsMetrics(), nullptr);
+        EXPECT_NE(obsTracer(), nullptr);
+    }
+    EXPECT_EQ(obsMetrics(), nullptr);
+    EXPECT_EQ(obsTracer(), nullptr);
+}
+
+TEST(ObsScope, MetricsOnlySessionHasNoTracer)
+{
+    ObsConfig on;
+    on.metrics = true;
+    const ObsScope scope(on);
+    EXPECT_NE(obsMetrics(), nullptr);
+    EXPECT_EQ(obsTracer(), nullptr);
+    // Spans are no-ops; timers still record.
+    {
+        const TraceSpan span("untraced");
+        const ScopedTimer timer("phase_seconds");
+    }
+    const MetricsSnapshot snap = obsMetrics()->snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].first, "phase_seconds");
+    EXPECT_EQ(snap.histograms[0].second.count, 1u);
+    EXPECT_EQ(snap.histograms[0].second.edges,
+              MetricsRegistry::defaultLatencyEdges());
+}
+
+TEST(ObsScope, OuterScopeWins)
+{
+    ObsConfig on;
+    on.metrics = true;
+    on.tracing = true;
+    const ObsScope outer(on);
+    ASSERT_TRUE(outer.active());
+    ObsSession *outer_session = outer.session();
+    {
+        // The nested scope (a framework under an instrumented CLI, for
+        // example) is passive and reports the outer session.
+        const ObsScope inner(on);
+        EXPECT_FALSE(inner.active());
+        EXPECT_EQ(inner.session(), outer_session);
+    }
+    // The inner scope's destruction left the outer session installed.
+    EXPECT_NE(obsMetrics(), nullptr);
+    EXPECT_EQ(outer.session(), outer_session);
+}
+
+TEST(TraceSpan, RecordsNestingDepthAndContainment)
+{
+    ObsConfig on;
+    on.tracing = true;
+    const ObsScope scope(on);
+    {
+        const TraceSpan outer_span("outer", "test");
+        {
+            const TraceSpan inner_span("inner", "test");
+        }
+    }
+    const std::vector<TraceEvent> events =
+        scope.session()->tracer()->events();
+    ASSERT_EQ(events.size(), 2u);
+    // Spans complete inside out.
+    const TraceEvent &inner = events[0];
+    const TraceEvent &outer = events[1];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(inner.depth, 2);
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(outer.depth, 1);
+    // The inner span starts and ends within the outer one.
+    EXPECT_GE(inner.tsMicros, outer.tsMicros);
+    EXPECT_LE(inner.tsMicros + inner.durMicros,
+              outer.tsMicros + outer.durMicros);
+}
+
+TEST(TraceSpan, SequentialSpansShareDepthOne)
+{
+    ObsConfig on;
+    on.tracing = true;
+    const ObsScope scope(on);
+    {
+        const TraceSpan a("first");
+    }
+    {
+        const TraceSpan b("second");
+    }
+    const std::vector<TraceEvent> events =
+        scope.session()->tracer()->events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].depth, 1);
+    EXPECT_EQ(events[1].depth, 1);
+    EXPECT_GE(events[1].tsMicros,
+              events[0].tsMicros + events[0].durMicros);
+}
+
+/**
+ * Golden end-to-end check: an epoch run with the FrameworkConfig
+ * observability knob writes a Chrome-trace JSON and a metrics JSON
+ * whose schema and span inventory match what the instrumentation
+ * promises.
+ */
+TEST(GoldenTrace, InstrumentedEpochEmitsValidChromeTrace)
+{
+    const std::string trace_path =
+        testing::TempDir() + "cooper_golden_trace.json";
+    const std::string metrics_path =
+        testing::TempDir() + "cooper_golden_metrics.json";
+
+    const Catalog catalog = Catalog::paperTableI();
+    const InterferenceModel model(catalog);
+    FrameworkConfig config;
+    config.execution.threads = 2;
+    config.execution.obs.traceOut = trace_path;
+    config.execution.obs.metricsOut = metrics_path;
+
+    CooperFramework framework(catalog, model, config, 3);
+    Rng rng(17);
+    const std::vector<JobTypeId> population =
+        samplePopulation(catalog, 24, MixKind::Uniform, rng);
+    framework.runEpoch(population);
+    // runEpoch's ObsScope closed: the outputs are on disk and the
+    // process-wide sink is back to no-op.
+    ASSERT_EQ(obsMetrics(), nullptr);
+
+    const JsonValue trace = parseJsonFile(trace_path);
+    ASSERT_TRUE(trace.isObject());
+    const JsonValue *events = trace.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_FALSE(events->items.empty());
+
+    std::set<std::string> names;
+    for (const JsonValue &event : events->items) {
+        ASSERT_TRUE(event.isObject());
+        const JsonValue *name = event.find("name");
+        ASSERT_NE(name, nullptr);
+        ASSERT_TRUE(name->isString());
+        EXPECT_FALSE(name->text.empty());
+        EXPECT_TRUE(event.find("cat")->isString());
+        EXPECT_EQ(event.find("ph")->text, "X");
+        EXPECT_GE(event.find("ts")->number, 0.0);
+        EXPECT_GE(event.find("dur")->number, 0.0);
+        EXPECT_DOUBLE_EQ(event.find("pid")->number, 1.0);
+        ASSERT_NE(event.find("tid"), nullptr);
+        const JsonValue *args = event.find("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_GE(args->find("depth")->number, 1.0);
+        names.insert(name->text);
+    }
+    // Every instrumented phase inside an epoch shows up.
+    for (const char *expected :
+         {"framework.epoch", "framework.build_instance",
+          "coordinator.profile", "profiler.sample_profiles",
+          "cf.predict", "coordinator.match", "coordinator.dispatch"})
+        EXPECT_EQ(names.count(expected), 1u)
+            << "missing span " << expected;
+
+    const JsonValue metrics = parseJsonFile(metrics_path);
+    ASSERT_TRUE(metrics.isObject());
+    const JsonValue *counters = metrics.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_GT(counters->find("profiler.samples")->number, 0.0);
+    EXPECT_GT(counters->find("cf.predicted_cells")->number, 0.0);
+    EXPECT_GT(counters->find("matching.proposals")->number, 0.0);
+    EXPECT_DOUBLE_EQ(
+        metrics.find("gauges")->find("framework.agents")->number,
+        24.0);
+    const JsonValue *epoch_seconds =
+        metrics.find("histograms")->find("framework.epoch_seconds");
+    ASSERT_NE(epoch_seconds, nullptr);
+    EXPECT_DOUBLE_EQ(epoch_seconds->find("count")->number, 1.0);
+
+    std::remove(trace_path.c_str());
+    std::remove(metrics_path.c_str());
+}
+
+} // namespace
+} // namespace cooper

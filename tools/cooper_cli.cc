@@ -10,6 +10,16 @@
  *   predict  fill a sparse profile matrix         -> profiles file
  *   match    colocate a population                -> matching file
  *   assess   count blocking pairs of a matching   -> report on stdout
+ *   epoch    run one full in-memory epoch         -> report on stdout
+ *
+ * `epoch` drives profile -> predict -> match -> assess -> dispatch in
+ * one process (plus a sampled-Shapley attribution step) and is the
+ * entry point for the observability layer: --metrics-out and
+ * --trace-out install a collector session around the whole pipeline.
+ * Bare flags route to it, so
+ *   cooper_cli --policy SMR --metrics-out m.json --trace-out t.json
+ * emits a metrics JSON and a Chrome-trace JSON (load the latter in
+ * chrome://tracing or https://ui.perfetto.dev).
  *
  * A full round trip:
  *   cooper_cli profile --ratio 0.25 --out profiles.txt
@@ -20,16 +30,21 @@
  *       --alpha 0.02
  */
 
+#include <algorithm>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cf/item_knn.hh"
 #include "core/experiment.hh"
+#include "core/framework.hh"
 #include "core/instance.hh"
 #include "core/policies.hh"
+#include "game/shapley.hh"
 #include "io/serialize.hh"
 #include "matching/blocking.hh"
+#include "obs/obs.hh"
 #include "sim/profiler.hh"
 #include "util/cli.hh"
 #include "util/error.hh"
@@ -44,13 +59,20 @@ int
 usage()
 {
     std::cout
-        << "Usage: cooper_cli <profile|predict|match|assess> [flags]\n"
+        << "Usage: cooper_cli <profile|predict|match|assess|epoch> "
+           "[flags]\n"
            "  profile  --ratio R --seed S --out FILE\n"
            "  predict  --in FILE --iterations N --threads T --out FILE\n"
            "  match    --profiles FILE --agents N --mix M --policy P\n"
            "           --seed S --threads T --out FILE\n"
            "  assess   --profiles FILE --agents N --mix M --seed S\n"
            "           --matching FILE --alpha A --threads T\n"
+           "  epoch    --agents N --mix M --policy P --ratio R --seed S\n"
+           "           --alpha A --threads T --shapley-samples K\n"
+           "           --metrics-out FILE --trace-out FILE\n"
+           "Bare flags (cooper_cli --policy SMR ...) route to epoch.\n"
+           "--metrics-out / --trace-out enable the observability layer\n"
+           "(off by default; see DESIGN.md, \"Observability\").\n"
            "--threads 0 uses all hardware threads, 1 runs serially;\n"
            "results are identical either way (see DESIGN.md,\n"
            "\"Parallelism & determinism\").\n"
@@ -255,6 +277,118 @@ cmdAssess(int argc, const char *const *argv)
     return 0;
 }
 
+int
+cmdEpoch(int argc, const char *const *argv)
+{
+    CliFlags flags;
+    flags.declare("agents", "60", "population size");
+    flags.declare("mix", "Uniform",
+                  "Uniform|Beta-Low|Gaussian|Beta-High");
+    flags.declare("policy", "SMR", "GR|CO|SMP|SMR|SR|TH");
+    flags.declare("ratio", "0.25", "fraction of colocations to profile");
+    flags.declare("alpha", "0.02", "minimum gain to break away");
+    flags.declare("seed", "1", "population / noise / policy seed");
+    flags.declare("shapley-samples", "64",
+                  "permutations for the attribution step (0 = skip)");
+    declareThreads(flags);
+    flags.declare("metrics-out", "",
+                  "write metrics JSON here (enables metrics)");
+    flags.declare("trace-out", "",
+                  "write Chrome-trace JSON here (enables tracing)");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const std::size_t threads = threadsFromFlags(flags);
+    const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+
+    ObsConfig obs;
+    obs.metricsOut = flags.get("metrics-out");
+    obs.traceOut = flags.get("trace-out");
+    obs.metrics = !obs.metricsOut.empty();
+    obs.tracing = !obs.traceOut.empty();
+
+    FrameworkConfig config;
+    config.policy = flags.get("policy");
+    config.sampleRatio = flags.getDouble("ratio");
+    config.alpha = flags.getDouble("alpha");
+    config.execution.threads = threads;
+
+    const Catalog catalog = Catalog::paperTableI();
+    const InterferenceModel model(catalog);
+
+    // The CLI owns the session so the epoch and the post-matching
+    // attribution step feed one registry and one trace; the
+    // framework's own ObsScope then stays passive.
+    const ObsScope scope(obs);
+    CooperFramework framework(catalog, model, config, seed);
+    const std::vector<JobTypeId> population =
+        populationFromFlags(catalog, flags);
+    EpochReport report;
+    {
+        const TraceSpan span("cli.epoch", "cli");
+        report = framework.runEpoch(population);
+    }
+
+    // Cross-check the agents' message-exchange discovery with a
+    // direct blocking-pair scan over true disutilities.
+    ColocationInstance instance = framework.buildInstance(population);
+    const auto blocking = findBlockingPairs(
+        report.matching,
+        [&](AgentId a, AgentId b) {
+            return instance.trueDisutility(a, b);
+        },
+        config.alpha, threads);
+
+    std::cout << "epoch with " << config.policy << ": mean true penalty "
+              << Table::num(report.meanPenalty, 4) << ", "
+              << report.blockingPairs << " blocking pair(s) via "
+              "messages (" << blocking.size() << " by direct scan), "
+              << report.breakAwayAgents
+              << " break-away recommendation(s), dispatched "
+              << report.dispatch.completions.size() << " pair(s)\n";
+
+    // Attribute the matched agents' total interference with a sampled
+    // Shapley value (the game tier's hot path). CoalitionMask bounds
+    // the coalition, so attribute across the most-penalized agents.
+    const auto samples =
+        static_cast<std::size_t>(flags.getInt("shapley-samples"));
+    if (samples > 0) {
+        std::vector<double> penalties = report.penalties;
+        std::sort(penalties.begin(), penalties.end(),
+                  std::greater<double>());
+        constexpr std::size_t kMaxCoalition = 12;
+        if (penalties.size() > kMaxCoalition)
+            penalties.resize(kMaxCoalition);
+        if (penalties.size() >= 2) {
+            Rng rng(seed + 11);
+            const std::vector<double> phi = shapleySampled(
+                penalties.size(), interferenceGame(penalties), samples,
+                rng, threads);
+            double attributed = 0.0;
+            for (double p : phi)
+                attributed += p;
+            std::cout << "shapley attribution over the "
+                      << penalties.size() << " most penalized agents ("
+                      << samples << " permutations): total "
+                      << Table::num(attributed, 4) << ", max share "
+                      << Table::num(
+                             *std::max_element(phi.begin(), phi.end()),
+                             4)
+                      << "\n";
+        }
+    }
+
+    if (ObsSession *session = scope.session()) {
+        if (MetricsRegistry *metrics = session->metrics())
+            std::cout << "\n" << metrics->toTable().toText();
+    }
+    if (!obs.metricsOut.empty())
+        std::cout << "metrics -> " << obs.metricsOut << "\n";
+    if (!obs.traceOut.empty())
+        std::cout << "trace -> " << obs.traceOut << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -262,16 +396,26 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
-    const std::string command = argv[1];
+    // Bare flags route to the full-pipeline subcommand, so
+    // `cooper_cli --policy SMR --metrics-out m.json` just works.
+    const bool bare_flags =
+        std::string(argv[1]).rfind("--", 0) == 0;
+    const std::string command = bare_flags ? "epoch" : argv[1];
+    const int sub_argc = bare_flags ? argc : argc - 1;
+    const char *const *sub_argv =
+        bare_flags ? const_cast<const char *const *>(argv)
+                   : const_cast<const char *const *>(argv + 1);
     try {
         if (command == "profile")
-            return cmdProfile(argc - 1, argv + 1);
+            return cmdProfile(sub_argc, sub_argv);
         if (command == "predict")
-            return cmdPredict(argc - 1, argv + 1);
+            return cmdPredict(sub_argc, sub_argv);
         if (command == "match")
-            return cmdMatch(argc - 1, argv + 1);
+            return cmdMatch(sub_argc, sub_argv);
         if (command == "assess")
-            return cmdAssess(argc - 1, argv + 1);
+            return cmdAssess(sub_argc, sub_argv);
+        if (command == "epoch")
+            return cmdEpoch(sub_argc, sub_argv);
     } catch (const std::exception &err) {
         std::cerr << "cooper_cli " << command << ": " << err.what()
                   << "\n";

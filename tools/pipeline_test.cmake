@@ -16,3 +16,12 @@ run_step(${CLI} match --profiles cli_dense.txt --agents 60 --policy SMR
          --seed 5 --out cli_matching.txt)
 run_step(${CLI} assess --profiles cli_dense.txt --agents 60 --seed 5
          --matching cli_matching.txt --alpha 0.02)
+
+# Full in-memory epoch with observability on (bare flags route to the
+# epoch subcommand), then validate the emitted JSON without python:
+# every instrumented phase must have produced a span.
+run_step(${CLI} --policy SMR --agents 60 --seed 5
+         --metrics-out cli_metrics.json --trace-out cli_trace.json)
+run_step(${TRACE_CHECK} --trace cli_trace.json
+         --metrics cli_metrics.json
+         --require framework.epoch,framework.build_instance,profiler.sample_profiles,cf.predict,matching.blocking_scan,shapley.sampled,coordinator.profile,coordinator.match,coordinator.dispatch)

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * trace_check — python-free validation of the observability outputs.
+ *
+ * Parses a Chrome-trace JSON file (and optionally a metrics JSON file)
+ * with the in-tree JSON reader and asserts the schema the emitters
+ * promise: a traceEvents array of complete ("ph": "X") events carrying
+ * name/cat/ts/dur/pid/tid and a nesting depth, and a metrics document
+ * with counters/gauges/histograms sections. --require takes a
+ * comma-separated list of span names that must appear, so the pipeline
+ * test can prove every instrumented phase actually emitted.
+ *
+ *   trace_check --trace t.json --metrics m.json \
+ *       --require framework.epoch,cf.predict
+ */
+
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "util/cli.hh"
+#include "util/error.hh"
+
+namespace {
+
+using namespace cooper;
+
+/** Split a comma-separated flag value; empty input gives no entries. */
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > start)
+            out.push_back(csv.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+const JsonValue &
+member(const JsonValue &object, const std::string &key,
+       const std::string &where)
+{
+    const JsonValue *value = object.find(key);
+    fatalIf(value == nullptr, "trace_check: ", where, " lacks \"", key,
+            "\"");
+    return *value;
+}
+
+/** Validate one traceEvents entry; returns its name. */
+std::string
+checkEvent(const JsonValue &event, std::size_t index)
+{
+    const std::string where =
+        "traceEvents[" + std::to_string(index) + "]";
+    fatalIf(!event.isObject(), "trace_check: ", where,
+            " is not an object");
+
+    const JsonValue &name = member(event, "name", where);
+    fatalIf(!name.isString() || name.text.empty(), "trace_check: ",
+            where, " has a non-string or empty name");
+    fatalIf(!member(event, "cat", where).isString(), "trace_check: ",
+            where, " has a non-string cat");
+    fatalIf(!member(event, "pid", where).isNumber(), "trace_check: ",
+            where, " has a non-number pid");
+    fatalIf(!member(event, "tid", where).isNumber(), "trace_check: ",
+            where, " has a non-number tid");
+
+    const JsonValue &ts = member(event, "ts", where);
+    fatalIf(!ts.isNumber() || ts.number < 0.0, "trace_check: ", where,
+            " has a bad ts");
+
+    const JsonValue &ph = member(event, "ph", where);
+    fatalIf(!ph.isString(), "trace_check: ", where,
+            " has a non-string ph");
+    if (ph.text == "X") {
+        const JsonValue &dur = member(event, "dur", where);
+        fatalIf(!dur.isNumber() || dur.number < 0.0, "trace_check: ",
+                where, " has a bad dur");
+        const JsonValue &args = member(event, "args", where);
+        const JsonValue &depth = member(args, "depth", where + ".args");
+        fatalIf(!depth.isNumber() || depth.number < 1.0,
+                "trace_check: ", where, " has a bad span depth");
+    }
+    return name.text;
+}
+
+/** Validate the trace document; returns the set of event names. */
+std::set<std::string>
+checkTrace(const std::string &path)
+{
+    const JsonValue root = parseJsonFile(path);
+    fatalIf(!root.isObject(), "trace_check: ", path,
+            " is not a JSON object");
+    const JsonValue &events = member(root, "traceEvents", path);
+    fatalIf(!events.isArray(), "trace_check: traceEvents is not an "
+            "array in ", path);
+    fatalIf(events.items.empty(), "trace_check: ", path,
+            " holds no trace events");
+
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < events.items.size(); ++i)
+        names.insert(checkEvent(events.items[i], i));
+    std::cout << "trace " << path << ": " << events.items.size()
+              << " event(s), " << names.size() << " span name(s)\n";
+    return names;
+}
+
+void
+checkMetrics(const std::string &path)
+{
+    const JsonValue root = parseJsonFile(path);
+    fatalIf(!root.isObject(), "trace_check: ", path,
+            " is not a JSON object");
+    for (const char *section : {"counters", "gauges", "histograms"})
+        fatalIf(!member(root, section, path).isObject(),
+                "trace_check: \"", section, "\" is not an object in ",
+                path);
+
+    const JsonValue &histograms = *root.find("histograms");
+    for (const auto &[name, histogram] : histograms.members) {
+        for (const char *field :
+             {"count", "sum", "mean", "min", "max", "stddev"})
+            member(histogram, field, "histogram " + name);
+        const JsonValue &buckets =
+            member(histogram, "buckets", "histogram " + name);
+        fatalIf(!buckets.isArray(), "trace_check: histogram ", name,
+                " buckets is not an array");
+        for (const JsonValue &bucket : buckets.items) {
+            member(bucket, "le", "histogram " + name + " bucket");
+            fatalIf(!member(bucket, "count",
+                            "histogram " + name + " bucket")
+                         .isNumber(),
+                    "trace_check: histogram ", name,
+                    " bucket count is not a number");
+        }
+    }
+    const std::size_t series = root.find("counters")->members.size() +
+                               root.find("gauges")->members.size() +
+                               histograms.members.size();
+    fatalIf(series == 0, "trace_check: ", path, " holds no metrics");
+    std::cout << "metrics " << path << ": " << series << " series\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliFlags flags;
+    flags.declare("trace", "", "Chrome-trace JSON file to validate");
+    flags.declare("metrics", "", "metrics JSON file to validate");
+    flags.declare("require", "",
+                  "comma-separated span names that must appear");
+    try {
+        if (!flags.parse(argc, argv))
+            return 0;
+        const std::string trace = flags.get("trace");
+        const std::string metrics = flags.get("metrics");
+        fatalIf(trace.empty() && metrics.empty(),
+                "trace_check: nothing to check; pass --trace and/or "
+                "--metrics");
+
+        std::set<std::string> names;
+        if (!trace.empty())
+            names = checkTrace(trace);
+        if (!metrics.empty())
+            checkMetrics(metrics);
+        for (const std::string &name : splitList(flags.get("require")))
+            fatalIf(names.count(name) == 0, "trace_check: required "
+                    "span \"", name, "\" missing from ", trace);
+    } catch (const std::exception &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+    std::cout << "trace_check: OK\n";
+    return 0;
+}
