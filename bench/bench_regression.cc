@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Kernel regression harness: times the seed ("baseline") hot-path
+ * kernels against the packed/memoized rewrites on a Table-I-derived
+ * workload, cross-checks exact equality of their outputs, and emits a
+ * schema-stable BENCH_kernels.json (schema "cooper.bench_kernels.v1")
+ * that tools/bench_json validates.
+ *
+ * Five phases are reported:
+ *
+ *  - similarity: baselineSimilarityMatrix vs. the packed bitmask fill
+ *  - predict:    baselinePredict vs. the neighbor-list predictor
+ *  - matching:   believedPreferences + oracle roommates vs. the
+ *                DisutilityTable-backed path (conservative baseline:
+ *                it already shares the rank-key preference sort)
+ *  - blocking:   the std::function scan vs. the table scan with row
+ *                pruning (count mode, no pair vector)
+ *  - shapley:    sampled Shapley, timed for trend tracking only
+ *
+ * Optimized phases run under an ObsScope, so the JSON also carries the
+ * MetricsRegistry histograms behind each phase timer
+ * (cf.similarity_seconds, cf.predict_pass_seconds,
+ * matching.roommates_seconds, matching.blocking_seconds,
+ * shapley.sampled_seconds).
+ *
+ * --tiny shrinks every dimension for the `ctest -L bench-smoke` run;
+ * the speedup acceptance numbers (>= 3x similarity, >= 2x blocking)
+ * are meant to be checked at the default sizes:
+ *
+ *   bench_regression && bench_json --file BENCH_kernels.json \
+ *       --min-speedup similarity=3,blocking=2
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "cf/item_knn.hh"
+#include "cf/knn_baseline.hh"
+#include "cf/subsample.hh"
+#include "core/instance.hh"
+#include "game/shapley.hh"
+#include "matching/blocking.hh"
+#include "matching/blocking_baseline.hh"
+#include "matching/stable_roommates.hh"
+#include "obs/obs.hh"
+#include "sim/interference.hh"
+#include "util/cli.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "workload/catalog.hh"
+
+namespace {
+
+using namespace cooper;
+
+using Clock = std::chrono::steady_clock;
+
+/** Wall-clock seconds of the best of `reps` runs. */
+template <typename Fn>
+double
+bestSeconds(int reps, Fn &&fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = Clock::now();
+        fn();
+        const std::chrono::duration<double> elapsed =
+            Clock::now() - start;
+        best = std::min(best, elapsed.count());
+    }
+    return best;
+}
+
+bool
+sameBits(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return a.empty() ||
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(double)) == 0;
+}
+
+bool
+sameDense(const std::vector<std::vector<double>> &a,
+          const std::vector<std::vector<double>> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t r = 0; r < a.size(); ++r)
+        if (!sameBits(a[r], b[r]))
+            return false;
+    return true;
+}
+
+/** One phase row of the JSON document. */
+struct PhaseResult
+{
+    std::string name;
+    std::string mode; //!< "baseline_vs_optimized" or "optimized_only"
+    double baselineSeconds = 0.0;
+    double optimizedSeconds = 0.0;
+    double speedup = 0.0; //!< 0 in optimized_only mode
+    bool identical = true;
+    std::string metric; //!< backing MetricsRegistry histogram
+    std::uint64_t metricCount = 0;
+    double metricSum = 0.0;
+};
+
+/** Full-precision JSON number. */
+std::string
+jsonNum(double value)
+{
+    std::ostringstream out;
+    out << std::setprecision(17) << value;
+    return out.str();
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<std::pair<std::string, std::string>> &workload,
+          const std::vector<PhaseResult> &phases)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write " + path);
+    out << "{\n  \"schema\": \"cooper.bench_kernels.v1\",\n";
+    out << "  \"workload\": {";
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        out << (i ? ", " : "") << "\"" << workload[i].first
+            << "\": " << workload[i].second;
+    }
+    out << "},\n  \"phases\": {\n";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const PhaseResult &p = phases[i];
+        out << "    \"" << p.name << "\": {"
+            << "\"mode\": \"" << p.mode << "\", "
+            << "\"baseline_seconds\": " << jsonNum(p.baselineSeconds)
+            << ", \"optimized_seconds\": " << jsonNum(p.optimizedSeconds)
+            << ", \"speedup\": " << jsonNum(p.speedup)
+            << ", \"identical\": " << (p.identical ? "true" : "false")
+            << ", \"metric\": \"" << p.metric << "\""
+            << ", \"metric_count\": " << p.metricCount
+            << ", \"metric_sum\": " << jsonNum(p.metricSum) << "}"
+            << (i + 1 < phases.size() ? "," : "") << "\n";
+    }
+    out << "  }\n}\n";
+    if (!out.flush())
+        throw std::runtime_error("failed writing " + path);
+}
+
+/** Fill metric/metricCount/metricSum from the registry snapshot. */
+void
+attachMetric(PhaseResult &phase, const MetricsSnapshot &snapshot,
+             const std::string &metric)
+{
+    phase.metric = metric;
+    for (const auto &[name, histogram] : snapshot.histograms) {
+        if (name == metric) {
+            phase.metricCount = histogram.count;
+            phase.metricSum = histogram.sum;
+            return;
+        }
+    }
+}
+
+void
+printPhases(const std::vector<PhaseResult> &phases)
+{
+    Table table({"phase", "baseline", "optimized", "speedup",
+                 "identical"});
+    for (const PhaseResult &p : phases) {
+        const bool compared = p.mode == "baseline_vs_optimized";
+        table.addRow(
+            {p.name,
+             compared ? Table::num(p.baselineSeconds * 1e3, 2) + " ms"
+                      : std::string("-"),
+             Table::num(p.optimizedSeconds * 1e3, 2) + " ms",
+             compared ? Table::num(p.speedup, 2) : std::string("-"),
+             p.identical ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliFlags flags;
+    flags.declare("matrix", "192", "CF ratings-matrix dimension");
+    flags.declare("population", "640", "matching/blocking population");
+    flags.declare("samples", "20000", "Shapley permutation samples");
+    flags.declare("shapley-agents", "24", "Shapley game size (<= 32)");
+    flags.declare("alpha", "0.0", "blocking-scan break-away threshold");
+    flags.declare("density", "0.25", "observed fraction of the matrix");
+    flags.declare("reps", "3", "timing repetitions (best-of)");
+    flags.declare("tiny", "false",
+                  "smoke-test sizes (matrix 24, population 48, ...)");
+    flags.declare("out", "BENCH_kernels.json", "JSON output path");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return cooper::bench::runHarness(
+        "Kernel regression: seed baselines vs. packed/memoized rewrites",
+        [&] {
+            const bool tiny = flags.getBool("tiny");
+            const auto matrix_n = static_cast<std::size_t>(
+                tiny ? 24 : flags.getInt("matrix"));
+            const auto population = static_cast<std::size_t>(
+                tiny ? 48 : flags.getInt("population"));
+            const auto samples = static_cast<std::size_t>(
+                tiny ? 500 : flags.getInt("samples"));
+            const auto shapley_n = static_cast<std::size_t>(
+                flags.getInt("shapley-agents"));
+            const double alpha = flags.getDouble("alpha");
+            const double density = flags.getDouble("density");
+            const int reps =
+                tiny ? 1 : static_cast<int>(flags.getInt("reps"));
+
+            // Everything below runs serially: the wins being measured
+            // are algorithmic (packed layouts, memo tables, pruning),
+            // not parallel scaling — bench_parallel covers that.
+            constexpr std::size_t kThreads = 1;
+
+            // Table-I-derived workload: type-level penalties from the
+            // paper's catalog, tiled to the requested sizes with a
+            // small continuous perturbation so similarities have no
+            // ties (the capped-neighbor gather order is only specified
+            // for distinct similarities).
+            const Catalog catalog = Catalog::paperTableI();
+            const InterferenceModel model(catalog);
+            const PenaltyMatrix penalties = model.penaltyMatrix();
+            const std::size_t types = catalog.size();
+
+            Rng rng(2017);
+            SparseMatrix full(matrix_n, matrix_n);
+            for (std::size_t i = 0; i < matrix_n; ++i)
+                for (std::size_t j = 0; j < matrix_n; ++j)
+                    full.set(i, j,
+                             penalties(i % types, j % types) +
+                                 rng.uniform() * 0.05);
+            const SparseMatrix sparse =
+                subsampleSymmetric(full, density, 2, rng);
+
+            std::vector<JobTypeId> pop_types(population);
+            for (std::size_t i = 0; i < population; ++i)
+                pop_types[i] = i % types;
+            const ColocationInstance instance =
+                ColocationInstance::oracular(catalog, pop_types, model);
+
+            ItemKnnConfig knn;
+            knn.threads = kThreads;
+
+            std::vector<PhaseResult> phases;
+
+            ObsConfig obs_config;
+            obs_config.metrics = true;
+            const ObsScope obs(obs_config);
+
+            // --- similarity fill --------------------------------------
+            {
+                PhaseResult p;
+                p.name = "similarity";
+                p.mode = "baseline_vs_optimized";
+                std::vector<std::vector<double>> base;
+                p.baselineSeconds = bestSeconds(reps, [&] {
+                    base = baselineSimilarityMatrix(sparse, knn);
+                });
+                SimilarityTriangle tri(0);
+                p.optimizedSeconds = bestSeconds(reps, [&] {
+                    tri = ItemKnnPredictor(knn).similarityTriangle(
+                        sparse);
+                });
+                p.identical = sameDense(base, tri.toNested());
+                p.speedup = p.baselineSeconds / p.optimizedSeconds;
+                phases.push_back(std::move(p));
+            }
+
+            // --- predict ---------------------------------------------
+            {
+                PhaseResult p;
+                p.name = "predict";
+                p.mode = "baseline_vs_optimized";
+                Prediction base, opt;
+                p.baselineSeconds = bestSeconds(reps, [&] {
+                    base = baselinePredict(sparse, knn);
+                });
+                p.optimizedSeconds = bestSeconds(reps, [&] {
+                    opt = ItemKnnPredictor(knn).predict(sparse);
+                });
+                p.identical = sameDense(base.dense, opt.dense) &&
+                              base.iterations == opt.iterations &&
+                              base.fallbackCells == opt.fallbackCells;
+                p.speedup = p.baselineSeconds / p.optimizedSeconds;
+                phases.push_back(std::move(p));
+            }
+
+            // --- matching --------------------------------------------
+            // Baseline is the pre-table call path (believedPreferences
+            // + oracle-backed roommates). It already benefits from the
+            // rank-key preference sort, so the reported speedup is the
+            // memo table's marginal win and deliberately conservative.
+            Matching matched(population);
+            {
+                PhaseResult p;
+                p.name = "matching";
+                p.mode = "baseline_vs_optimized";
+                Matching base_m(population);
+                p.baselineSeconds = bestSeconds(reps, [&] {
+                    const PreferenceProfile prefs =
+                        instance.believedPreferences();
+                    base_m = adaptedRoommates(
+                                 prefs,
+                                 [&](AgentId a, AgentId b) {
+                                     return instance.believedDisutility(
+                                         a, b);
+                                 })
+                                 .matching;
+                });
+                p.optimizedSeconds = bestSeconds(reps, [&] {
+                    const DisutilityTable table =
+                        instance.believedTable(kThreads);
+                    const PreferenceProfile prefs =
+                        PreferenceProfile::fromTable(
+                            table, /*exclude_self=*/true);
+                    matched = adaptedRoommates(prefs, table).matching;
+                });
+                p.identical = true;
+                for (AgentId a = 0; a < population; ++a)
+                    p.identical &=
+                        base_m.partnerOf(a) == matched.partnerOf(a);
+                p.speedup = p.baselineSeconds / p.optimizedSeconds;
+                phases.push_back(std::move(p));
+            }
+
+            // --- blocking scan ---------------------------------------
+            // The table is built once per epoch for the phases above,
+            // so the optimized scan reuses it; the baseline pays the
+            // std::function oracle per cell, as the seed did.
+            {
+                PhaseResult p;
+                p.name = "blocking";
+                p.mode = "baseline_vs_optimized";
+                const DisutilityFn oracle = [&](AgentId a, AgentId b) {
+                    return instance.believedDisutility(a, b);
+                };
+                const DisutilityTable table =
+                    instance.believedTable(kThreads);
+                std::size_t base_count = 0, opt_count = 0;
+                p.baselineSeconds = bestSeconds(reps, [&] {
+                    base_count = baselineCountBlockingPairs(
+                        matched, oracle, alpha, kThreads);
+                });
+                p.optimizedSeconds = bestSeconds(reps, [&] {
+                    opt_count = countBlockingPairs(matched, table,
+                                                   alpha, kThreads);
+                });
+                const auto base_pairs = baselineFindBlockingPairs(
+                    matched, oracle, alpha, kThreads);
+                const auto opt_pairs = findBlockingPairs(
+                    matched, table, alpha, kThreads);
+                p.identical = base_count == opt_count &&
+                              base_pairs.size() == opt_pairs.size();
+                for (std::size_t i = 0;
+                     p.identical && i < base_pairs.size(); ++i) {
+                    p.identical =
+                        base_pairs[i].a == opt_pairs[i].a &&
+                        base_pairs[i].b == opt_pairs[i].b &&
+                        base_pairs[i].gainA == opt_pairs[i].gainA &&
+                        base_pairs[i].gainB == opt_pairs[i].gainB;
+                }
+                p.speedup = p.baselineSeconds / p.optimizedSeconds;
+                phases.push_back(std::move(p));
+            }
+
+            // --- sampled Shapley -------------------------------------
+            {
+                PhaseResult p;
+                p.name = "shapley";
+                p.mode = "optimized_only";
+                std::vector<double> interference(shapley_n, 1.0);
+                for (std::size_t i = 0; i < shapley_n; ++i)
+                    interference[i] += 0.1 * static_cast<double>(i);
+                const auto v = interferenceGame(interference);
+                p.optimizedSeconds = bestSeconds(reps, [&] {
+                    Rng shapley_rng(42);
+                    shapleySampled(shapley_n, v, samples, shapley_rng,
+                                   kThreads);
+                });
+                phases.push_back(std::move(p));
+            }
+
+            // Attach the registry histograms behind each phase timer.
+            MetricsRegistry *metrics = obsMetrics();
+            if (metrics == nullptr)
+                throw std::runtime_error("metrics session missing");
+            const MetricsSnapshot snapshot = metrics->snapshot();
+            const char *backing[] = {
+                "cf.similarity_seconds", "cf.predict_pass_seconds",
+                "matching.roommates_seconds",
+                "matching.blocking_seconds", "shapley.sampled_seconds"};
+            for (std::size_t i = 0; i < phases.size(); ++i)
+                attachMetric(phases[i], snapshot, backing[i]);
+
+            printPhases(phases);
+
+            for (const PhaseResult &p : phases)
+                if (!p.identical)
+                    throw std::runtime_error(
+                        "equivalence violation in phase " + p.name);
+
+            const std::vector<std::pair<std::string, std::string>>
+                workload{
+                    {"matrix", std::to_string(matrix_n)},
+                    {"population", std::to_string(population)},
+                    {"samples", std::to_string(samples)},
+                    {"shapley_agents", std::to_string(shapley_n)},
+                    {"alpha", jsonNum(alpha)},
+                    {"density", jsonNum(density)},
+                    {"reps", std::to_string(reps)},
+                    {"threads", std::to_string(kThreads)},
+                    {"tiny", tiny ? "true" : "false"},
+                };
+            writeJson(flags.get("out"), workload, phases);
+            std::cout << "\nwrote " << flags.get("out")
+                      << " (schema cooper.bench_kernels.v1)\n";
+        });
+}

@@ -1,6 +1,7 @@
 #include "item_knn.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 
@@ -17,32 +18,60 @@ ItemKnnPredictor::ItemKnnPredictor(ItemKnnConfig config)
             "ItemKnnPredictor: need at least one iteration");
 }
 
+std::vector<std::vector<double>>
+SimilarityTriangle::toNested() const
+{
+    std::vector<std::vector<double>> out(
+        items_, std::vector<double>(items_, 0.0));
+    for (std::size_t a = 0; a < items_; ++a) {
+        out[a][a] = 1.0;
+        for (std::size_t b = a + 1; b < items_; ++b) {
+            const double s = at(a, b);
+            out[a][b] = s;
+            out[b][a] = s;
+        }
+    }
+    return out;
+}
+
 namespace {
 
-/** Column-pair similarity over rows where both cells are known. */
+/**
+ * Column-pair similarity over co-rated rows, fused over the packed
+ * view: one bitmask AND per word selects the co-rated rows, and the
+ * accumulators then read two contiguous columns. Rows are visited in
+ * ascending order with the identical per-row arithmetic of the old
+ * row-major scan, so the result is bit-identical to it.
+ *
+ * For the adjusted-cosine measure the columns are pre-centered on row
+ * means (PackedColumns::subtractRowOffsets), which hoists the
+ * subtraction out of the pair loop entirely.
+ */
 double
-columnSimilarity(const SparseMatrix &m, std::size_t a, std::size_t b,
-                 Similarity kind, std::size_t min_overlap,
-                 const std::vector<double> &row_means)
+packedSimilarity(const double *va, const double *vb,
+                 const std::uint64_t *ma, const std::uint64_t *mb,
+                 std::size_t words, Similarity kind,
+                 std::size_t min_overlap)
 {
     double dot = 0.0, na = 0.0, nb = 0.0;
     double sum_a = 0.0, sum_b = 0.0;
     std::size_t overlap = 0;
-    for (std::size_t r = 0; r < m.rows(); ++r) {
-        if (!m.known(r, a) || !m.known(r, b))
-            continue;
-        double va = m.at(r, a);
-        double vb = m.at(r, b);
-        if (kind == Similarity::AdjustedCosine) {
-            va -= row_means[r];
-            vb -= row_means[r];
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t bits = ma[w] & mb[w];
+        overlap += static_cast<std::size_t>(std::popcount(bits));
+        const std::size_t base = w * 64;
+        while (bits) {
+            const std::size_t r =
+                base + static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const double x = va[r];
+            const double y = vb[r];
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+            sum_a += x;
+            sum_b += y;
         }
-        dot += va * vb;
-        na += va * va;
-        nb += vb * vb;
-        sum_a += va;
-        sum_b += vb;
-        ++overlap;
     }
     if (overlap < min_overlap)
         return 0.0;
@@ -70,22 +99,27 @@ rowMeans(const SparseMatrix &m)
     return means;
 }
 
-std::vector<std::vector<double>>
+SimilarityTriangle
 similarityOver(const SparseMatrix &m, const ItemKnnConfig &config)
 {
+    const ScopedTimer timer("cf.similarity_seconds");
     const std::size_t n = m.cols();
-    const auto means = rowMeans(m);
-    std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
-    // Row a owns cells sim[a][b] and sim[b][a] for b > a; every cell
-    // is written by exactly one iteration, so rows parallelize freely.
+    PackedColumns packed = m.packedColumns();
+    if (config.similarity == Similarity::AdjustedCosine)
+        packed.subtractRowOffsets(rowMeans(m));
+
+    SimilarityTriangle sim(n);
+    // Row a owns cells sim(a, b) for b > a; every cell is written by
+    // exactly one iteration, so rows parallelize freely.
     parallelFor(0, n, config.threads, [&](std::size_t a) {
-        sim[a][a] = 1.0;
-        for (std::size_t b = a + 1; b < n; ++b) {
-            const double s = columnSimilarity(m, a, b, config.similarity,
-                                              config.minOverlap, means);
-            sim[a][b] = s;
-            sim[b][a] = s;
-        }
+        const double *va = packed.column(a);
+        const std::uint64_t *ma = packed.mask(a);
+        for (std::size_t b = a + 1; b < n; ++b)
+            sim.set(a, b,
+                    packedSimilarity(va, packed.column(b), ma,
+                                     packed.mask(b), packed.words(),
+                                     config.similarity,
+                                     config.minOverlap));
     });
     if (MetricsRegistry *metrics = obsMetrics())
         metrics->counter("cf.similarity_fills")
@@ -96,6 +130,18 @@ similarityOver(const SparseMatrix &m, const ItemKnnConfig &config)
 /**
  * One prediction pass: fill every unknown cell of `observed` using
  * similarities computed over `basis`.
+ *
+ * Per-cell work is allocation-free: a row intersects its known-column
+ * bitmask with the target column's positive-similarity bitmask, and
+ * when the neighbor cap kicks in it walks the column's sorted
+ * neighbor list (built once per pass) instead of re-sorting per cell.
+ *
+ * Accumulation order mirrors the old per-cell scan exactly —
+ * ascending column order when every usable neighbor contributes,
+ * descending-similarity order when the cap truncates (ties broken
+ * toward the lower column id, the canonical order the old
+ * partial_sort left unspecified) — so uncapped and tie-free capped
+ * predictions are bit-identical to it.
  */
 SparseMatrix
 predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
@@ -103,7 +149,8 @@ predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
 {
     const std::size_t rows = observed.rows();
     const std::size_t cols = observed.cols();
-    const auto sim = similarityOver(basis, config);
+    const ScopedTimer timer("cf.predict_pass_seconds");
+    const SimilarityTriangle sim = similarityOver(basis, config);
     const double global = observed.knownMean();
 
     // Item (column) means anchor each prediction; the neighbors then
@@ -115,57 +162,119 @@ predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
     for (std::size_t c = 0; c < cols; ++c)
         col_mean[c] = basis.colMean(c, global);
 
-    // Each row's predictions are staged into its own slot and applied
+    // Deviation of every known basis cell from its column mean,
+    // row-major; unknown cells stay zero and are masked out below.
+    const std::size_t cwords = (cols + 63) / 64;
+    const std::vector<std::uint64_t> row_mask = basis.rowMasks();
+    std::vector<double> dev(rows * cols, 0.0);
+    {
+        const double *values = basis.rawValues();
+        for (std::size_t r = 0; r < rows; ++r)
+            for (std::size_t c = 0; c < cols; ++c)
+                if (basis.known(r, c))
+                    dev[r * cols + c] = values[r * cols + c] - col_mean[c];
+    }
+
+    // Per-column neighbor structure, built once and reused by every
+    // row: a bitmask of the columns with positive similarity, plus —
+    // only when the neighbor cap is active — the same columns sorted
+    // by descending similarity.
+    std::vector<std::uint64_t> pos_mask(cols * cwords, 0);
+    std::vector<std::vector<std::pair<double, std::uint32_t>>> ranked(
+        config.neighbors > 0 ? cols : 0);
+    parallelFor(0, cols, config.threads, [&](std::size_t c) {
+        std::uint64_t *mask = pos_mask.data() + c * cwords;
+        for (std::size_t c2 = 0; c2 < cols; ++c2) {
+            if (c2 == c || !(sim.at(c, c2) > 0.0))
+                continue;
+            mask[c2 / 64] |= std::uint64_t(1) << (c2 % 64);
+            if (config.neighbors > 0)
+                ranked[c].emplace_back(
+                    sim.at(c, c2), static_cast<std::uint32_t>(c2));
+        }
+        if (config.neighbors > 0)
+            std::sort(ranked[c].begin(), ranked[c].end(),
+                      [](const auto &x, const auto &y) {
+                          return x.first > y.first ||
+                                 (x.first == y.first &&
+                                  x.second < y.second);
+                      });
+    });
+
+    // Fallback ingredients, precomputed so the cell loop stays O(1):
+    // a cell with no usable neighbor takes its row's observed mean,
+    // or the column's (or global) when the row has none.
+    std::vector<double> fallback_row(rows, 0.0);
+    std::vector<std::uint8_t> row_has_known(rows, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols && !row_has_known[r]; ++c)
+            row_has_known[r] = observed.known(r, c);
+        fallback_row[r] = observed.rowMean(r, global);
+    }
+    std::vector<double> fallback_col(cols, 0.0);
+    for (std::size_t c = 0; c < cols; ++c)
+        fallback_col[c] = observed.colMean(c, global);
+
+    // Each cell's prediction is staged into its own slot and applied
     // serially afterwards: SparseMatrix::set maintains a shared
     // known-cell counter, so the parallel phase must not mutate
     // `filled` directly.
-    struct StagedCell
-    {
-        std::size_t col;
-        double value;
-        bool fallback;
-    };
-    std::vector<std::vector<StagedCell>> staged(rows);
+    enum : std::uint8_t { kSkip = 0, kPredicted = 1, kFallback = 2 };
+    std::vector<double> staged_value(rows * cols, 0.0);
+    std::vector<std::uint8_t> staged_kind(rows * cols, kSkip);
     parallelFor(0, rows, config.threads, [&](std::size_t r) {
+        const std::uint64_t *rmask = row_mask.data() + r * cwords;
+        const double *rdev = dev.data() + r * cols;
         for (std::size_t c = 0; c < cols; ++c) {
             if (observed.known(r, c))
                 continue;
-            // Gather the row's usable neighbors of item c as
-            // (similarity, deviation from the neighbor's item mean).
-            std::vector<std::pair<double, double>> sims_and_devs;
-            for (std::size_t c2 = 0; c2 < cols; ++c2) {
-                if (c2 == c || !basis.known(r, c2))
-                    continue;
-                const double s = sim[c][c2];
-                if (s > 0.0)
-                    sims_and_devs.emplace_back(
-                        s, basis.at(r, c2) - col_mean[c2]);
-            }
-            if (config.neighbors > 0 &&
-                sims_and_devs.size() > config.neighbors) {
-                std::partial_sort(
-                    sims_and_devs.begin(),
-                    sims_and_devs.begin() +
-                        static_cast<std::ptrdiff_t>(config.neighbors),
-                    sims_and_devs.end(),
-                    [](const auto &x, const auto &y) {
-                        return x.first > y.first;
-                    });
-                sims_and_devs.resize(config.neighbors);
-            }
+            const std::uint64_t *cmask = pos_mask.data() + c * cwords;
             double num = 0.0, den = 0.0;
-            for (const auto &[s, dev] : sims_and_devs) {
-                num += s * dev;
-                den += s;
+            bool truncated = false;
+            if (config.neighbors > 0) {
+                std::size_t usable = 0;
+                for (std::size_t w = 0; w < cwords; ++w)
+                    usable += static_cast<std::size_t>(
+                        std::popcount(rmask[w] & cmask[w]));
+                truncated = usable > config.neighbors;
             }
-            if (den > 0.0) {
-                staged[r].push_back(
-                    StagedCell{c, col_mean[c] + num / den, false});
+            if (truncated) {
+                // Capped cell: strongest neighbors first, exactly the
+                // order the old partial_sort accumulated in.
+                std::size_t taken = 0;
+                for (const auto &[s, c2] : ranked[c]) {
+                    if (!(rmask[c2 / 64] >> (c2 % 64) & 1))
+                        continue;
+                    num += s * rdev[c2];
+                    den += s;
+                    if (++taken == config.neighbors)
+                        break;
+                }
             } else {
-                staged[r].push_back(StagedCell{
-                    c,
-                    observed.rowMean(r, observed.colMean(c, global)),
-                    true});
+                // Every usable neighbor contributes, in ascending
+                // column order like the old gather loop.
+                for (std::size_t w = 0; w < cwords; ++w) {
+                    std::uint64_t bits = rmask[w] & cmask[w];
+                    const std::size_t base = w * 64;
+                    while (bits) {
+                        const std::size_t c2 =
+                            base + static_cast<std::size_t>(
+                                       std::countr_zero(bits));
+                        bits &= bits - 1;
+                        const double s = sim.at(c, c2);
+                        num += s * rdev[c2];
+                        den += s;
+                    }
+                }
+            }
+            const std::size_t idx = r * cols + c;
+            if (den > 0.0) {
+                staged_value[idx] = col_mean[c] + num / den;
+                staged_kind[idx] = kPredicted;
+            } else {
+                staged_value[idx] = row_has_known[r] ? fallback_row[r]
+                                                     : fallback_col[c];
+                staged_kind[idx] = kFallback;
             }
         }
     });
@@ -173,10 +282,13 @@ predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
     SparseMatrix filled = observed;
     std::size_t predicted = 0;
     for (std::size_t r = 0; r < rows; ++r) {
-        predicted += staged[r].size();
-        for (const StagedCell &cell : staged[r]) {
-            filled.set(r, cell.col, cell.value);
-            if (cell.fallback)
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::size_t idx = r * cols + c;
+            if (staged_kind[idx] == kSkip)
+                continue;
+            ++predicted;
+            filled.set(r, c, staged_value[idx]);
+            if (staged_kind[idx] == kFallback)
                 ++fallbacks;
         }
     }
@@ -191,10 +303,16 @@ predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
 
 } // namespace
 
+SimilarityTriangle
+ItemKnnPredictor::similarityTriangle(const SparseMatrix &ratings) const
+{
+    return similarityOver(ratings, config_);
+}
+
 std::vector<std::vector<double>>
 ItemKnnPredictor::similarityMatrix(const SparseMatrix &ratings) const
 {
-    return similarityOver(ratings, config_);
+    return similarityTriangle(ratings).toNested();
 }
 
 namespace {

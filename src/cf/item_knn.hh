@@ -66,6 +66,52 @@ struct ItemKnnConfig
     std::size_t threads = 1;
 };
 
+/**
+ * Symmetric item-item similarity matrix in a flat upper-triangular
+ * buffer: n*(n-1)/2 doubles for the pairs a < b, unit diagonal
+ * implicit. Half the memory of the old nested-vector square and one
+ * contiguous allocation, so the similarity fill writes (and the
+ * predictor reads) without pointer chasing.
+ */
+class SimilarityTriangle
+{
+  public:
+    explicit SimilarityTriangle(std::size_t items)
+        : items_(items),
+          data_(items > 1 ? items * (items - 1) / 2 : 0, 0.0)
+    {}
+
+    std::size_t items() const { return items_; }
+
+    /** sim(a, b); 1 on the diagonal. */
+    double at(std::size_t a, std::size_t b) const
+    {
+        return a == b ? 1.0 : data_[index(a, b)];
+    }
+
+    void set(std::size_t a, std::size_t b, double value)
+    {
+        data_[index(a, b)] = value;
+    }
+
+    /** Expand to the nested-vector square (tests, accuracy study). */
+    std::vector<std::vector<double>> toNested() const;
+
+  private:
+    /** Offset of the unordered pair {a, b}, a != b. */
+    std::size_t index(std::size_t a, std::size_t b) const
+    {
+        if (a > b)
+            std::swap(a, b);
+        // Pairs ordered by (a, b): row a starts after the
+        // sum_{i<a} (n-1-i) pairs of earlier rows.
+        return a * (items_ - 1) - a * (a - 1) / 2 + (b - a - 1);
+    }
+
+    std::size_t items_;
+    std::vector<double> data_;
+};
+
 /** Dense prediction result. */
 struct Prediction
 {
@@ -98,10 +144,15 @@ class ItemKnnPredictor
 
     /**
      * Item-item similarity matrix over the known cells (exposed for
-     * tests and the accuracy study).
+     * tests and the accuracy study). Nested-vector convenience view
+     * of similarityTriangle().
      */
     std::vector<std::vector<double>>
     similarityMatrix(const SparseMatrix &ratings) const;
+
+    /** The similarity matrix in its native flat triangular form. */
+    SimilarityTriangle
+    similarityTriangle(const SparseMatrix &ratings) const;
 
   private:
     /** Item-based prediction of one orientation (no blending). */

@@ -1,0 +1,226 @@
+#include "knn_baseline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/thread_pool.hh"
+
+namespace cooper {
+
+namespace {
+
+/** Column-pair similarity over rows where both cells are known. */
+double
+columnSimilarity(const SparseMatrix &m, std::size_t a, std::size_t b,
+                 Similarity kind, std::size_t min_overlap,
+                 const std::vector<double> &row_means)
+{
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    double sum_a = 0.0, sum_b = 0.0;
+    std::size_t overlap = 0;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        if (!m.known(r, a) || !m.known(r, b))
+            continue;
+        double va = m.at(r, a);
+        double vb = m.at(r, b);
+        if (kind == Similarity::AdjustedCosine) {
+            va -= row_means[r];
+            vb -= row_means[r];
+        }
+        dot += va * vb;
+        na += va * va;
+        nb += vb * vb;
+        sum_a += va;
+        sum_b += vb;
+        ++overlap;
+    }
+    if (overlap < min_overlap)
+        return 0.0;
+    if (kind == Similarity::Pearson) {
+        const double n = static_cast<double>(overlap);
+        const double cov = dot - sum_a * sum_b / n;
+        const double var_a = na - sum_a * sum_a / n;
+        const double var_b = nb - sum_b * sum_b / n;
+        if (var_a <= 0.0 || var_b <= 0.0)
+            return 0.0;
+        return cov / std::sqrt(var_a * var_b);
+    }
+    if (na == 0.0 || nb == 0.0)
+        return 0.0;
+    return dot / std::sqrt(na * nb);
+}
+
+std::vector<double>
+rowMeans(const SparseMatrix &m)
+{
+    std::vector<double> means(m.rows(), 0.0);
+    const double global = m.knownMean();
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        means[r] = m.rowMean(r, global);
+    return means;
+}
+
+std::vector<std::vector<double>>
+similarityOver(const SparseMatrix &m, const ItemKnnConfig &config)
+{
+    const std::size_t n = m.cols();
+    const auto means = rowMeans(m);
+    std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+    parallelFor(0, n, config.threads, [&](std::size_t a) {
+        sim[a][a] = 1.0;
+        for (std::size_t b = a + 1; b < n; ++b) {
+            const double s = columnSimilarity(m, a, b, config.similarity,
+                                              config.minOverlap, means);
+            sim[a][b] = s;
+            sim[b][a] = s;
+        }
+    });
+    return sim;
+}
+
+/** One seed prediction pass over `observed` with basis `basis`. */
+SparseMatrix
+predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
+            const ItemKnnConfig &config, std::size_t &fallbacks)
+{
+    const std::size_t rows = observed.rows();
+    const std::size_t cols = observed.cols();
+    const auto sim = similarityOver(basis, config);
+    const double global = observed.knownMean();
+
+    std::vector<double> col_mean(cols, 0.0);
+    for (std::size_t c = 0; c < cols; ++c)
+        col_mean[c] = basis.colMean(c, global);
+
+    struct StagedCell
+    {
+        std::size_t col;
+        double value;
+        bool fallback;
+    };
+    std::vector<std::vector<StagedCell>> staged(rows);
+    parallelFor(0, rows, config.threads, [&](std::size_t r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (observed.known(r, c))
+                continue;
+            std::vector<std::pair<double, double>> sims_and_devs;
+            for (std::size_t c2 = 0; c2 < cols; ++c2) {
+                if (c2 == c || !basis.known(r, c2))
+                    continue;
+                const double s = sim[c][c2];
+                if (s > 0.0)
+                    sims_and_devs.emplace_back(
+                        s, basis.at(r, c2) - col_mean[c2]);
+            }
+            if (config.neighbors > 0 &&
+                sims_and_devs.size() > config.neighbors) {
+                std::partial_sort(
+                    sims_and_devs.begin(),
+                    sims_and_devs.begin() +
+                        static_cast<std::ptrdiff_t>(config.neighbors),
+                    sims_and_devs.end(),
+                    [](const auto &x, const auto &y) {
+                        return x.first > y.first;
+                    });
+                sims_and_devs.resize(config.neighbors);
+            }
+            double num = 0.0, den = 0.0;
+            for (const auto &[s, dev] : sims_and_devs) {
+                num += s * dev;
+                den += s;
+            }
+            if (den > 0.0) {
+                staged[r].push_back(
+                    StagedCell{c, col_mean[c] + num / den, false});
+            } else {
+                staged[r].push_back(StagedCell{
+                    c,
+                    observed.rowMean(r, observed.colMean(c, global)),
+                    true});
+            }
+        }
+    });
+
+    SparseMatrix filled = observed;
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (const StagedCell &cell : staged[r]) {
+            filled.set(r, cell.col, cell.value);
+            if (cell.fallback)
+                ++fallbacks;
+        }
+    }
+    return filled;
+}
+
+/** Transpose a sparse matrix, preserving the known mask. */
+SparseMatrix
+transposeOf(const SparseMatrix &m)
+{
+    SparseMatrix t(m.cols(), m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            if (m.known(r, c))
+                t.set(c, r, m.at(r, c));
+    return t;
+}
+
+Prediction
+predictOneView(const SparseMatrix &ratings, const ItemKnnConfig &config)
+{
+    fatalIf(ratings.knownCount() == 0,
+            "baselinePredict: no observations to learn from");
+
+    Prediction out;
+    std::size_t fallbacks = 0;
+    SparseMatrix basis = ratings;
+    SparseMatrix filled = ratings;
+    for (std::size_t it = 0; it < config.iterations; ++it) {
+        fallbacks = 0;
+        filled = predictPass(ratings, basis, config, fallbacks);
+        ++out.iterations;
+        basis = filled;
+        if (ratings.knownCount() == ratings.rows() * ratings.cols())
+            break;
+    }
+    out.fallbackCells = fallbacks;
+
+    out.dense.assign(ratings.rows(),
+                     std::vector<double>(ratings.cols(), 0.0));
+    for (std::size_t r = 0; r < ratings.rows(); ++r)
+        for (std::size_t c = 0; c < ratings.cols(); ++c)
+            out.dense[r][c] = filled.at(r, c);
+    return out;
+}
+
+} // namespace
+
+std::vector<std::vector<double>>
+baselineSimilarityMatrix(const SparseMatrix &ratings,
+                         const ItemKnnConfig &config)
+{
+    return similarityOver(ratings, config);
+}
+
+Prediction
+baselinePredict(const SparseMatrix &ratings, const ItemKnnConfig &config)
+{
+    fatalIf(config.iterations == 0,
+            "baselinePredict: need at least one iteration");
+    Prediction out = predictOneView(ratings, config);
+    if (!config.bidirectional || ratings.rows() != ratings.cols())
+        return out;
+
+    ItemKnnConfig transposed_config = config;
+    transposed_config.bidirectional = false;
+    const Prediction other =
+        predictOneView(transposeOf(ratings), transposed_config);
+    for (std::size_t r = 0; r < ratings.rows(); ++r)
+        for (std::size_t c = 0; c < ratings.cols(); ++c)
+            out.dense[r][c] =
+                0.5 * (out.dense[r][c] + other.dense[c][r]);
+    out.fallbackCells += other.fallbackCells;
+    return out;
+}
+
+} // namespace cooper

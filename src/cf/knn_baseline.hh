@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The pre-optimization item-kNN kernels, verbatim.
+ *
+ * These are the seed implementations the packed/bitmask kernels in
+ * item_knn.cc replaced: a row-major branchy column-pair similarity
+ * scan and a per-cell gather + partial_sort prediction loop. They are
+ * kept (unused by production code) for two reasons:
+ *
+ *  - the kernel-equivalence property tests prove the optimized paths
+ *    produce bit-identical similarities and predictions against them;
+ *  - bench_regression times old vs. new on the same workload so the
+ *    speedup is measured, not asserted.
+ *
+ * Baselines record no metrics and emit no trace spans, so comparisons
+ * measure kernel cost only.
+ */
+
+#ifndef COOPER_CF_KNN_BASELINE_HH
+#define COOPER_CF_KNN_BASELINE_HH
+
+#include "cf/item_knn.hh"
+#include "cf/sparse_matrix.hh"
+
+namespace cooper {
+
+/** Seed similarity fill: nested-vector square, row-major scans. */
+std::vector<std::vector<double>>
+baselineSimilarityMatrix(const SparseMatrix &ratings,
+                         const ItemKnnConfig &config);
+
+/** Seed predictor: per-cell rescans, fresh scratch per cell. */
+Prediction baselinePredict(const SparseMatrix &ratings,
+                           const ItemKnnConfig &config);
+
+} // namespace cooper
+
+#endif // COOPER_CF_KNN_BASELINE_HH

@@ -98,6 +98,47 @@ SparseMatrix::rowMean(std::size_t r, double fallback) const
     return count ? acc / static_cast<double>(count) : fallback;
 }
 
+PackedColumns::PackedColumns(const SparseMatrix &m)
+    : rows_(m.rows()), cols_(m.cols()), words_((m.rows() + 63) / 64),
+      values_(m.rows() * m.cols(), 0.0), masks_(m.cols() * words_, 0)
+{
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            if (!m.known(r, c))
+                continue;
+            values_[c * rows_ + r] = m.valueOr(r, c, 0.0);
+            masks_[c * words_ + r / 64] |= std::uint64_t(1) << (r % 64);
+        }
+    }
+}
+
+void
+PackedColumns::subtractRowOffsets(const std::vector<double> &offsets)
+{
+    fatalIf(offsets.size() != rows_,
+            "PackedColumns: ", offsets.size(), " offsets for ", rows_,
+            " rows");
+    for (std::size_t c = 0; c < cols_; ++c) {
+        double *column = values_.data() + c * rows_;
+        const std::uint64_t *mask = masks_.data() + c * words_;
+        for (std::size_t r = 0; r < rows_; ++r)
+            if (mask[r / 64] >> (r % 64) & 1)
+                column[r] -= offsets[r];
+    }
+}
+
+std::vector<std::uint64_t>
+SparseMatrix::rowMasks() const
+{
+    const std::size_t words = (cols_ + 63) / 64;
+    std::vector<std::uint64_t> out(rows_ * words, 0);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            if (mask_[r * cols_ + c])
+                out[r * words + c / 64] |= std::uint64_t(1) << (c % 64);
+    return out;
+}
+
 double
 SparseMatrix::colMean(std::size_t c, double fallback) const
 {

@@ -15,6 +15,55 @@
 
 namespace cooper {
 
+class SparseMatrix;
+
+/**
+ * Column-major packed snapshot of a SparseMatrix.
+ *
+ * Each column is a contiguous run of values (zero where unknown) plus
+ * a known-row bitmask, so column-pair kernels can intersect two
+ * columns with word-wide ANDs and touch only co-rated rows — the
+ * similarity fill's inner loop — instead of probing the row-major
+ * mask cell by cell. The view is a snapshot: mutating the source
+ * matrix does not update it; rebuild after set()/clear().
+ */
+class PackedColumns
+{
+  public:
+    explicit PackedColumns(const SparseMatrix &m);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** 64-bit mask words per column. */
+    std::size_t words() const { return words_; }
+
+    /** Column c's values, indexed by row; zero where unknown. */
+    const double *column(std::size_t c) const
+    {
+        return values_.data() + c * rows_;
+    }
+
+    /** Column c's known-row bitmask (words() words, LSB = row 0). */
+    const std::uint64_t *mask(std::size_t c) const
+    {
+        return masks_.data() + c * words_;
+    }
+
+    /**
+     * Subtract per-row offsets from every known value (used to center
+     * on row means for the adjusted-cosine similarity).
+     */
+    void subtractRowOffsets(const std::vector<double> &offsets);
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::size_t words_;
+    std::vector<double> values_;
+    std::vector<std::uint64_t> masks_;
+};
+
 /**
  * Dense-backed matrix with a known/unknown mask.
  *
@@ -74,6 +123,22 @@ class SparseMatrix
 
     /** Mean of known values in a column; fallback when empty. */
     double colMean(std::size_t c, double fallback) const;
+
+    /** Column-major packed snapshot (see PackedColumns). */
+    PackedColumns packedColumns() const { return PackedColumns(*this); }
+
+    /**
+     * Known-cell bitmasks, one row per `words` 64-bit words (LSB of
+     * word 0 = column 0). Row r's mask starts at r * words where
+     * words = (cols() + 63) / 64. The row-major complement of
+     * packedColumns(), used by the predictor to intersect "columns
+     * known in this row" with per-column neighbor sets.
+     */
+    std::vector<std::uint64_t> rowMasks() const;
+
+    /** Raw row-major values (zero where unknown); row r starts at
+     *  r * cols(). */
+    const double *rawValues() const { return values_.data(); }
 
   private:
     void checkBounds(std::size_t r, std::size_t c) const;

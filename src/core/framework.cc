@@ -107,13 +107,22 @@ CooperFramework::runEpoch(const std::vector<JobTypeId> &population)
 
     // 4. Agents assess assignments via message exchange. Candidates
     // are judged with believed penalties; the current co-runner with
-    // the observed (true) penalty.
+    // the observed (true) penalty. Both oracles are memoized for the
+    // epoch: the believed table once per instance, the assessed table
+    // after the matching is fixed (its answers depend on who ended up
+    // paired with whom).
     const std::size_t n = population.size();
-    DisutilityFn assessed = [&](AgentId a, AgentId b) {
-        if (report.matching.partnerOf(a) == b)
-            return instance.trueDisutility(a, b);
-        return instance.believedDisutility(a, b);
-    };
+    const DisutilityTable believed =
+        instance.believedTable(config_.execution.threads);
+    const DisutilityTable assessed_table(
+        n, n,
+        [&](AgentId a, AgentId b) {
+            if (report.matching.partnerOf(a) == b)
+                return instance.trueDisutility(a, b);
+            return believed(a, b);
+        },
+        config_.execution.threads);
+    const DisutilityFn assessed = assessed_table.fn();
 
     std::vector<Agent> agents;
     agents.reserve(n);
@@ -124,10 +133,10 @@ CooperFramework::runEpoch(const std::vector<JobTypeId> &population)
         for (AgentId j = 0; j < n; ++j)
             if (j != i)
                 prefs.push_back(j);
+        const double *keys = believed.row(i);
         std::stable_sort(prefs.begin(), prefs.end(),
-                         [&](AgentId a, AgentId b) {
-                             return instance.believedDisutility(i, a) <
-                                    instance.believedDisutility(i, b);
+                         [keys](AgentId a, AgentId b) {
+                             return keys[a] < keys[b];
                          });
         agents.back().setPreferences(std::move(prefs));
     }

@@ -71,6 +71,15 @@ ColocationInstance::believedPreferences() const
         /*exclude_self=*/true);
 }
 
+DisutilityTable
+ColocationInstance::believedTable(std::size_t threads) const
+{
+    return DisutilityTable(
+        agents(), agents(),
+        [this](AgentId a, AgentId b) { return believedDisutility(a, b); },
+        threads);
+}
+
 double
 ColocationInstance::meanTruePenalty(const Matching &matching) const
 {

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "matching/disutility.hh"
 #include "matching/matching.hh"
 #include "matching/preferences.hh"
 #include "sim/interference.hh"
@@ -67,6 +68,13 @@ class ColocationInstance
      * Full roommates preference profile from believed disutilities.
      */
     PreferenceProfile believedPreferences() const;
+
+    /**
+     * Memoized believed disutilities over all ordered agent pairs.
+     * Valid for as long as this instance's believed penalties are —
+     * i.e. for the epoch that built the instance.
+     */
+    DisutilityTable believedTable(std::size_t threads = 1) const;
 
     /** Mean true penalty across matched agents. */
     double meanTruePenalty(const Matching &matching) const;

@@ -166,11 +166,13 @@ StableRoommatePolicy::assign(const ColocationInstance &instance,
                              Rng &rng) const
 {
     (void)rng;
-    const PreferenceProfile prefs = instance.believedPreferences();
-    const RoommatesResult result = adaptedRoommates(
-        prefs, [&](AgentId a, AgentId b) {
-            return instance.believedDisutility(a, b);
-        });
+    // One table serves both preference construction and the greedy
+    // fallback pairing; each believed disutility (penalty lookup +
+    // jitter hash) is evaluated exactly once.
+    const DisutilityTable believed = instance.believedTable();
+    const PreferenceProfile prefs =
+        PreferenceProfile::fromTable(believed, /*exclude_self=*/true);
+    const RoommatesResult result = adaptedRoommates(prefs, believed);
     return result.matching;
 }
 

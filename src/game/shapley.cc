@@ -66,6 +66,7 @@ shapleySampled(std::size_t n, const CharacteristicFn &v,
     fatalIf(samples == 0, "shapleySampled: need at least one sample");
 
     const TraceSpan span("shapley.sampled", "game");
+    const ScopedTimer timer("shapley.sampled_seconds");
     if (MetricsRegistry *metrics = obsMetrics()) {
         // One permutation per sample, each dispatched on its own
         // substream of the caller's generator.

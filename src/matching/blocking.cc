@@ -8,45 +8,72 @@
 
 namespace cooper {
 
-std::vector<BlockingPair>
-findBlockingPairs(const Matching &matching, const DisutilityFn &disutility,
-                  double alpha, std::size_t threads)
-{
-    fatalIf(alpha < 0.0, "findBlockingPairs: negative alpha ", alpha);
-    const TraceSpan span("matching.blocking_scan", "matching");
-    const std::size_t n = matching.size();
+namespace {
 
-    // Cache each agent's current penalty.
+/**
+ * The shared scan skeleton. `d(i, j)` answers disutility queries and
+ * `rowCanBlock(i, current_i)` prunes first-agent rows that provably
+ * cannot reach the required gain (always-true for oracle scans; a
+ * rowMin bound for table scans). Pruning is sound because fl(c - d)
+ * is monotone in d: if even the row's smallest disutility cannot
+ * clear the threshold, no candidate in the row can.
+ */
+
+/** Per-agent current penalties (zero when running alone). */
+template <typename D>
+std::vector<double>
+currentPenalties(const Matching &matching, const D &d,
+                 std::size_t threads)
+{
+    const std::size_t n = matching.size();
     std::vector<double> current(n, 0.0);
     parallelFor(0, n, threads, [&](std::size_t i) {
         if (matching.isMatched(i))
-            current[i] = disutility(i, matching.partnerOf(i));
+            current[i] = d(i, matching.partnerOf(i));
     });
+    return current;
+}
+
+/** Does (gain_i, gain_j) clear the alpha threshold? */
+inline bool
+clears(double gain_i, double gain_j, double alpha)
+{
+    // With alpha = 0 any strict mutual improvement blocks; a positive
+    // alpha demands at least that much from both.
+    return alpha > 0.0 ? (gain_i >= alpha && gain_j >= alpha)
+                       : (gain_i > 0.0 && gain_j > 0.0);
+}
+
+constexpr std::size_t kGrain = 16;
+
+template <typename D, typename RowBound>
+std::vector<BlockingPair>
+collectScan(const Matching &matching, const D &d, double alpha,
+            std::size_t threads, const RowBound &rowCanBlock)
+{
+    const std::size_t n = matching.size();
+    const std::vector<double> current =
+        currentPenalties(matching, d, threads);
 
     // Chunks of i-rows, concatenated in row order: the output matches
     // the serial (i, then j) scan exactly.
-    constexpr std::size_t kGrain = 16;
-    std::vector<BlockingPair> pairs = parallelReduce(
+    return parallelReduce(
         std::size_t(0), n, threads, kGrain, std::vector<BlockingPair>{},
         [&](std::size_t row_begin, std::size_t row_end) {
             std::vector<BlockingPair> local;
             for (AgentId i = row_begin; i < row_end; ++i) {
                 if (!matching.isMatched(i))
                     continue; // running alone cannot be improved upon
+                if (!rowCanBlock(i, current[i]))
+                    continue;
                 for (AgentId j = i + 1; j < n; ++j) {
                     if (!matching.isMatched(j) ||
                         matching.partnerOf(i) == j) {
                         continue;
                     }
-                    const double gain_i = current[i] - disutility(i, j);
-                    const double gain_j = current[j] - disutility(j, i);
-                    // With alpha = 0 any strict mutual improvement
-                    // blocks; a positive alpha demands at least that
-                    // much from both.
-                    const bool blocks =
-                        alpha > 0.0 ? (gain_i >= alpha && gain_j >= alpha)
-                                    : (gain_i > 0.0 && gain_j > 0.0);
-                    if (blocks)
+                    const double gain_i = current[i] - d(i, j);
+                    const double gain_j = current[j] - d(j, i);
+                    if (clears(gain_i, gain_j, alpha))
                         local.push_back(
                             BlockingPair{i, j, gain_i, gain_j});
                 }
@@ -59,10 +86,135 @@ findBlockingPairs(const Matching &matching, const DisutilityFn &disutility,
                        std::make_move_iterator(part.begin()),
                        std::make_move_iterator(part.end()));
         });
+}
+
+template <typename D, typename RowBound>
+std::size_t
+countScan(const Matching &matching, const D &d, double alpha,
+          std::size_t threads, const RowBound &rowCanBlock)
+{
+    const std::size_t n = matching.size();
+    const std::vector<double> current =
+        currentPenalties(matching, d, threads);
+
+    // Integer tallies summed in chunk order: exact for any thread
+    // count, and nothing is materialized just to be counted.
+    return parallelReduce(
+        std::size_t(0), n, threads, kGrain, std::size_t(0),
+        [&](std::size_t row_begin, std::size_t row_end) {
+            std::size_t local = 0;
+            for (AgentId i = row_begin; i < row_end; ++i) {
+                if (!matching.isMatched(i))
+                    continue;
+                if (!rowCanBlock(i, current[i]))
+                    continue;
+                for (AgentId j = i + 1; j < n; ++j) {
+                    if (!matching.isMatched(j) ||
+                        matching.partnerOf(i) == j) {
+                        continue;
+                    }
+                    const double gain_i = current[i] - d(i, j);
+                    const double gain_j = current[j] - d(j, i);
+                    if (clears(gain_i, gain_j, alpha))
+                        ++local;
+                }
+            }
+            return local;
+        },
+        [](std::size_t &acc, std::size_t &&part) { acc += part; });
+}
+
+template <typename D, typename RowBound>
+std::optional<BlockingPair>
+firstScan(const Matching &matching, const D &d, double alpha,
+          const RowBound &rowCanBlock)
+{
+    const std::size_t n = matching.size();
+    const std::vector<double> current =
+        currentPenalties(matching, d, /*threads=*/1);
+    for (AgentId i = 0; i < n; ++i) {
+        if (!matching.isMatched(i))
+            continue;
+        if (!rowCanBlock(i, current[i]))
+            continue;
+        for (AgentId j = i + 1; j < n; ++j) {
+            if (!matching.isMatched(j) || matching.partnerOf(i) == j)
+                continue;
+            const double gain_i = current[i] - d(i, j);
+            const double gain_j = current[j] - d(j, i);
+            if (clears(gain_i, gain_j, alpha))
+                return BlockingPair{i, j, gain_i, gain_j};
+        }
+    }
+    return std::nullopt;
+}
+
+/** Row bound for oracle scans: no information, never prune. */
+struct NoRowBound
+{
+    bool operator()(AgentId, double) const { return true; }
+};
+
+/**
+ * Row bound from the memo table: the largest gain agent i can see is
+ * fl(current_i - rowMin_i); if even that misses the threshold, row i
+ * holds no blocking pair.
+ */
+struct TableRowBound
+{
+    const DisutilityTable *table;
+    double alpha;
+
+    bool operator()(AgentId i, double current_i) const
+    {
+        const double best_gain = current_i - table->rowMin(i);
+        return alpha > 0.0 ? best_gain >= alpha : best_gain > 0.0;
+    }
+};
+
+void
+checkAlpha(double alpha)
+{
+    fatalIf(alpha < 0.0, "findBlockingPairs: negative alpha ", alpha);
+}
+
+void
+recordScan(std::size_t pairs)
+{
     if (MetricsRegistry *metrics = obsMetrics()) {
         metrics->counter("matching.blocking_scans").add(1);
-        metrics->counter("matching.blocking_pairs").add(pairs.size());
+        metrics->counter("matching.blocking_pairs").add(pairs);
     }
+}
+
+} // namespace
+
+std::vector<BlockingPair>
+findBlockingPairs(const Matching &matching, const DisutilityFn &disutility,
+                  double alpha, std::size_t threads)
+{
+    checkAlpha(alpha);
+    const TraceSpan span("matching.blocking_scan", "matching");
+    const ScopedTimer timer("matching.blocking_seconds");
+    auto pairs =
+        collectScan(matching, disutility, alpha, threads, NoRowBound{});
+    recordScan(pairs.size());
+    return pairs;
+}
+
+std::vector<BlockingPair>
+findBlockingPairs(const Matching &matching,
+                  const DisutilityTable &disutility, double alpha,
+                  std::size_t threads)
+{
+    checkAlpha(alpha);
+    const TraceSpan span("matching.blocking_scan", "matching");
+    const ScopedTimer timer("matching.blocking_seconds");
+    auto pairs = collectScan(
+        matching,
+        [&](AgentId a, AgentId b) { return disutility(a, b); }, alpha,
+        threads, TableRowBound{&disutility, alpha});
+    recordScan(pairs.size());
     return pairs;
 }
 
@@ -70,7 +222,56 @@ std::size_t
 countBlockingPairs(const Matching &matching, const DisutilityFn &disutility,
                    double alpha, std::size_t threads)
 {
-    return findBlockingPairs(matching, disutility, alpha, threads).size();
+    checkAlpha(alpha);
+    const TraceSpan span("matching.blocking_scan", "matching");
+    const ScopedTimer timer("matching.blocking_seconds");
+    const std::size_t count =
+        countScan(matching, disutility, alpha, threads, NoRowBound{});
+    recordScan(count);
+    return count;
+}
+
+std::size_t
+countBlockingPairs(const Matching &matching,
+                   const DisutilityTable &disutility, double alpha,
+                   std::size_t threads)
+{
+    checkAlpha(alpha);
+    const TraceSpan span("matching.blocking_scan", "matching");
+    const ScopedTimer timer("matching.blocking_seconds");
+    const std::size_t count = countScan(
+        matching,
+        [&](AgentId a, AgentId b) { return disutility(a, b); }, alpha,
+        threads, TableRowBound{&disutility, alpha});
+    recordScan(count);
+    return count;
+}
+
+std::optional<BlockingPair>
+firstBlockingPair(const Matching &matching, const DisutilityFn &disutility,
+                  double alpha)
+{
+    checkAlpha(alpha);
+    const TraceSpan span("matching.blocking_scan", "matching");
+    auto pair = firstScan(matching, disutility, alpha, NoRowBound{});
+    if (MetricsRegistry *metrics = obsMetrics())
+        metrics->counter("matching.blocking_scans").add(1);
+    return pair;
+}
+
+std::optional<BlockingPair>
+firstBlockingPair(const Matching &matching,
+                  const DisutilityTable &disutility, double alpha)
+{
+    checkAlpha(alpha);
+    const TraceSpan span("matching.blocking_scan", "matching");
+    auto pair = firstScan(
+        matching,
+        [&](AgentId a, AgentId b) { return disutility(a, b); }, alpha,
+        TableRowBound{&disutility, alpha});
+    if (MetricsRegistry *metrics = obsMetrics())
+        metrics->counter("matching.blocking_scans").add(1);
+    return pair;
 }
 
 bool

@@ -14,15 +14,14 @@
 #define COOPER_MATCHING_BLOCKING_HH
 
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "matching/disutility.hh"
 #include "matching/matching.hh"
 #include "matching/preferences.hh"
 
 namespace cooper {
-
-/** Disutility oracle: d(agent, co-runner) in [0, 1]. */
-using DisutilityFn = std::function<double(AgentId, AgentId)>;
 
 /** One blocking pair with both sides' gains. */
 struct BlockingPair
@@ -54,10 +53,46 @@ std::vector<BlockingPair> findBlockingPairs(const Matching &matching,
                                             double alpha,
                                             std::size_t threads = 1);
 
-/** Count of blocking pairs (same semantics as findBlockingPairs). */
+/**
+ * Memoized-table variant: identical pairs in the identical order, but
+ * every lookup is one flat-array load and rows whose best possible
+ * gain (via DisutilityTable::rowMin) cannot reach alpha are skipped
+ * without touching their candidates.
+ */
+std::vector<BlockingPair> findBlockingPairs(const Matching &matching,
+                                            const DisutilityTable &disutility,
+                                            double alpha,
+                                            std::size_t threads = 1);
+
+/**
+ * Count of blocking pairs (same semantics as findBlockingPairs).
+ *
+ * Runs the scan in count-only mode: per-chunk integer tallies are
+ * summed in chunk order, so no pair vector is ever materialized and
+ * the count is exact for any thread count.
+ */
 std::size_t countBlockingPairs(const Matching &matching,
                                const DisutilityFn &disutility,
                                double alpha, std::size_t threads = 1);
+
+/** Table-backed count; same count, O(1) lookups, row early exit. */
+std::size_t countBlockingPairs(const Matching &matching,
+                               const DisutilityTable &disutility,
+                               double alpha, std::size_t threads = 1);
+
+/**
+ * First blocking pair in scan order, or nullopt when the matching is
+ * alpha-stable. Serial with early exit: stops at the first hit, so a
+ * very unstable matching answers in O(1) pairs instead of O(n^2).
+ */
+std::optional<BlockingPair> firstBlockingPair(const Matching &matching,
+                                              const DisutilityFn &disutility,
+                                              double alpha);
+
+/** Table-backed first-pair probe. */
+std::optional<BlockingPair> firstBlockingPair(const Matching &matching,
+                                              const DisutilityTable &disutility,
+                                              double alpha);
 
 /**
  * Preference-based stability check for roommate matchings: true when

@@ -1,0 +1,69 @@
+#include "blocking_baseline.hh"
+
+#include <iterator>
+
+#include "util/error.hh"
+#include "util/thread_pool.hh"
+
+namespace cooper {
+
+std::vector<BlockingPair>
+baselineFindBlockingPairs(const Matching &matching,
+                          const DisutilityFn &disutility, double alpha,
+                          std::size_t threads)
+{
+    fatalIf(alpha < 0.0, "findBlockingPairs: negative alpha ", alpha);
+    const std::size_t n = matching.size();
+
+    // Cache each agent's current penalty.
+    std::vector<double> current(n, 0.0);
+    parallelFor(0, n, threads, [&](std::size_t i) {
+        if (matching.isMatched(i))
+            current[i] = disutility(i, matching.partnerOf(i));
+    });
+
+    // Chunks of i-rows, concatenated in row order: the output matches
+    // the serial (i, then j) scan exactly.
+    constexpr std::size_t kGrain = 16;
+    return parallelReduce(
+        std::size_t(0), n, threads, kGrain, std::vector<BlockingPair>{},
+        [&](std::size_t row_begin, std::size_t row_end) {
+            std::vector<BlockingPair> local;
+            for (AgentId i = row_begin; i < row_end; ++i) {
+                if (!matching.isMatched(i))
+                    continue;
+                for (AgentId j = i + 1; j < n; ++j) {
+                    if (!matching.isMatched(j) ||
+                        matching.partnerOf(i) == j) {
+                        continue;
+                    }
+                    const double gain_i = current[i] - disutility(i, j);
+                    const double gain_j = current[j] - disutility(j, i);
+                    const bool blocks =
+                        alpha > 0.0 ? (gain_i >= alpha && gain_j >= alpha)
+                                    : (gain_i > 0.0 && gain_j > 0.0);
+                    if (blocks)
+                        local.push_back(
+                            BlockingPair{i, j, gain_i, gain_j});
+                }
+            }
+            return local;
+        },
+        [](std::vector<BlockingPair> &acc,
+           std::vector<BlockingPair> &&part) {
+            acc.insert(acc.end(),
+                       std::make_move_iterator(part.begin()),
+                       std::make_move_iterator(part.end()));
+        });
+}
+
+std::size_t
+baselineCountBlockingPairs(const Matching &matching,
+                           const DisutilityFn &disutility, double alpha,
+                           std::size_t threads)
+{
+    return baselineFindBlockingPairs(matching, disutility, alpha, threads)
+        .size();
+}
+
+} // namespace cooper

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The pre-optimization blocking-pair scan, verbatim.
+ *
+ * Seed implementation kept (unused by production code) so the
+ * kernel-equivalence tests can prove the mode-aware table-backed scan
+ * in blocking.cc returns the identical pair sequence, and so
+ * bench_regression can measure old vs. new instead of asserting a
+ * speedup. Records no metrics and emits no spans.
+ */
+
+#ifndef COOPER_MATCHING_BLOCKING_BASELINE_HH
+#define COOPER_MATCHING_BLOCKING_BASELINE_HH
+
+#include "matching/blocking.hh"
+
+namespace cooper {
+
+/** Seed scan: std::function oracle per cell, full vector always. */
+std::vector<BlockingPair>
+baselineFindBlockingPairs(const Matching &matching,
+                          const DisutilityFn &disutility, double alpha,
+                          std::size_t threads = 1);
+
+/** Seed count: materializes the vector just to take .size(). */
+std::size_t baselineCountBlockingPairs(const Matching &matching,
+                                       const DisutilityFn &disutility,
+                                       double alpha,
+                                       std::size_t threads = 1);
+
+} // namespace cooper
+
+#endif // COOPER_MATCHING_BLOCKING_BASELINE_HH

@@ -1,0 +1,34 @@
+#include "disutility.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+#include "util/thread_pool.hh"
+
+namespace cooper {
+
+DisutilityTable::DisutilityTable(std::size_t agents,
+                                 std::size_t candidates,
+                                 const DisutilityFn &fn,
+                                 std::size_t threads)
+    : agents_(agents), candidates_(candidates),
+      data_(agents * candidates, 0.0), rowMin_(agents, 0.0)
+{
+    fatalIf(agents == 0 || candidates == 0,
+            "DisutilityTable: empty shape ", agents, "x", candidates);
+    // Row r is written by exactly one iteration.
+    parallelFor(0, agents_, threads, [&](std::size_t a) {
+        double *row = data_.data() + a * candidates_;
+        for (std::size_t b = 0; b < candidates_; ++b)
+            row[b] = fn(a, b);
+        rowMin_[a] = *std::min_element(row, row + candidates_);
+    });
+}
+
+DisutilityFn
+DisutilityTable::fn() const
+{
+    return [this](AgentId a, AgentId b) { return (*this)(a, b); };
+}
+
+} // namespace cooper

@@ -7,6 +7,7 @@
 #define COOPER_MATCHING_MATCHING_HH
 
 #include <cstddef>
+#include <functional>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -15,6 +16,9 @@ namespace cooper {
 
 /** Index of an agent within a matching instance. */
 using AgentId = std::size_t;
+
+/** Disutility oracle: d(agent, co-runner) in [0, 1]. */
+using DisutilityFn = std::function<double(AgentId, AgentId)>;
 
 /** Sentinel for an unmatched agent. */
 inline constexpr AgentId kUnmatched =

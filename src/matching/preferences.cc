@@ -1,6 +1,7 @@
 #include "preferences.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/error.hh"
 
@@ -10,23 +11,44 @@ namespace {
 
 constexpr std::size_t kNoRank = std::numeric_limits<std::size_t>::max();
 
+/**
+ * Sort one agent's candidate list by precomputed keys. The comparator
+ * reads two doubles instead of calling the disutility oracle twice per
+ * comparison, turning O(n log n) oracle calls per agent into O(n);
+ * stable_sort on identical key values yields the identical order.
+ */
+std::vector<AgentId>
+orderByKeys(AgentId self, std::size_t candidates,
+            const double *keys, bool exclude_self)
+{
+    std::vector<AgentId> list;
+    list.reserve(candidates);
+    for (AgentId j = 0; j < candidates; ++j)
+        if (!(exclude_self && j == self))
+            list.push_back(j);
+    std::stable_sort(list.begin(), list.end(),
+                     [&](AgentId a, AgentId b) {
+                         return keys[a] < keys[b];
+                     });
+    return list;
+}
+
 } // namespace
 
 PreferenceProfile::PreferenceProfile(
     std::vector<std::vector<AgentId>> lists, std::size_t candidates)
     : lists_(std::move(lists)), candidates_(candidates)
 {
-    ranks_.assign(lists_.size(),
-                  std::vector<std::size_t>(candidates_, kNoRank));
+    ranks_.assign(lists_.size() * candidates_, kNoRank);
     for (AgentId i = 0; i < lists_.size(); ++i) {
         for (std::size_t r = 0; r < lists_[i].size(); ++r) {
             const AgentId j = lists_[i][r];
             fatalIf(j >= candidates_, "PreferenceProfile: agent ", i,
                     " lists candidate ", j, " >= ", candidates_);
-            fatalIf(ranks_[i][j] != kNoRank,
+            fatalIf(ranks_[i * candidates_ + j] != kNoRank,
                     "PreferenceProfile: agent ", i,
                     " lists candidate ", j, " twice");
-            ranks_[i][j] = r;
+            ranks_[i * candidates_ + j] = r;
         }
     }
 }
@@ -38,18 +60,24 @@ PreferenceProfile::fromDisutility(
     bool exclude_self)
 {
     std::vector<std::vector<AgentId>> lists(agents);
+    std::vector<double> keys(candidates, 0.0);
     for (AgentId i = 0; i < agents; ++i) {
-        auto &list = lists[i];
-        list.reserve(candidates);
         for (AgentId j = 0; j < candidates; ++j)
-            if (!(exclude_self && j == i))
-                list.push_back(j);
-        std::stable_sort(list.begin(), list.end(),
-                         [&](AgentId a, AgentId b) {
-                             return disutility(i, a) < disutility(i, b);
-                         });
+            keys[j] = disutility(i, j);
+        lists[i] = orderByKeys(i, candidates, keys.data(), exclude_self);
     }
     return PreferenceProfile(std::move(lists), candidates);
+}
+
+PreferenceProfile
+PreferenceProfile::fromTable(const DisutilityTable &table,
+                             bool exclude_self)
+{
+    std::vector<std::vector<AgentId>> lists(table.agents());
+    for (AgentId i = 0; i < table.agents(); ++i)
+        lists[i] = orderByKeys(i, table.candidates(), table.row(i),
+                               exclude_self);
+    return PreferenceProfile(std::move(lists), table.candidates());
 }
 
 std::size_t
@@ -57,7 +85,7 @@ PreferenceProfile::rankOf(AgentId i, AgentId j) const
 {
     fatalIf(i >= lists_.size(), "rankOf: agent ", i, " out of range");
     fatalIf(j >= candidates_, "rankOf: candidate ", j, " out of range");
-    const std::size_t r = ranks_[i][j];
+    const std::size_t r = ranks_[i * candidates_ + j];
     fatalIf(r == kNoRank, "rankOf: candidate ", j,
             " not on agent ", i, "'s list");
     return r;
@@ -68,7 +96,7 @@ PreferenceProfile::hasCandidate(AgentId i, AgentId j) const
 {
     fatalIf(i >= lists_.size(), "hasCandidate: agent out of range");
     fatalIf(j >= candidates_, "hasCandidate: candidate out of range");
-    return ranks_[i][j] != kNoRank;
+    return ranks_[i * candidates_ + j] != kNoRank;
 }
 
 bool

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "matching/disutility.hh"
 #include "matching/matching.hh"
 
 namespace cooper {
@@ -54,6 +55,14 @@ class PreferenceProfile
                    const std::function<double(AgentId, AgentId)> &disutility,
                    bool exclude_self);
 
+    /**
+     * Build from a memoized disutility table: same ordering contract
+     * as fromDisutility, but the sort keys come straight from the
+     * table's rows instead of per-comparison oracle calls.
+     */
+    static PreferenceProfile fromTable(const DisutilityTable &table,
+                                       bool exclude_self);
+
     std::size_t agents() const { return lists_.size(); }
     std::size_t candidates() const { return candidates_; }
 
@@ -74,7 +83,14 @@ class PreferenceProfile
 
   private:
     std::vector<std::vector<AgentId>> lists_;
-    std::vector<std::vector<std::size_t>> ranks_;
+
+    /**
+     * Rank table in one flat row-major block (agent i's row starts at
+     * i * candidates_): the matching inner loops hammer rankOf, and a
+     * single contiguous allocation keeps those lookups on hot cache
+     * lines instead of chasing per-agent vectors.
+     */
+    std::vector<std::size_t> ranks_;
     std::size_t candidates_ = 0;
 };
 

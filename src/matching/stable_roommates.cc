@@ -273,41 +273,15 @@ class RoommateEngine
     bool failed_ = false;
 };
 
-} // namespace
-
-std::optional<Matching>
-stableRoommates(const PreferenceProfile &prefs)
-{
-    const std::size_t n = prefs.agents();
-    if (n == 0)
-        return Matching(0);
-    fatalIf(n % 2 != 0,
-            "stableRoommates: odd population (", n, ") cannot pair up");
-    for (AgentId i = 0; i < n; ++i)
-        fatalIf(prefs.list(i).size() != n - 1,
-                "stableRoommates: agent ", i,
-                " has an incomplete preference list");
-
-    RoommatesResult scratch;
-    RoommateEngine engine(prefs, /*strict=*/true);
-    const bool solved = engine.run(scratch);
-    if (MetricsRegistry *metrics = obsMetrics()) {
-        metrics->counter("matching.proposals").add(scratch.proposals);
-        metrics->counter("matching.rotations").add(scratch.rotations);
-    }
-    if (!solved)
-        return std::nullopt;
-    Matching m = engine.extract();
-    if (!m.isPerfect())
-        return std::nullopt;
-    return m;
-}
-
+/**
+ * Shared adapted-roommates body; D is any pure d(a, b) callable (the
+ * std::function oracle or the memoized table).
+ */
+template <typename D>
 RoommatesResult
-adaptedRoommates(
-    const PreferenceProfile &prefs,
-    const std::function<double(AgentId, AgentId)> &disutility)
+adaptedRoommatesImpl(const PreferenceProfile &prefs, const D &disutility)
 {
+    const ScopedTimer timer("matching.roommates_seconds");
     RoommatesResult result;
     RoommateEngine engine(prefs, /*strict=*/false);
     engine.run(result);
@@ -352,6 +326,52 @@ adaptedRoommates(
         used[best_b] = 1;
     }
     return result;
+}
+
+} // namespace
+
+std::optional<Matching>
+stableRoommates(const PreferenceProfile &prefs)
+{
+    const std::size_t n = prefs.agents();
+    if (n == 0)
+        return Matching(0);
+    fatalIf(n % 2 != 0,
+            "stableRoommates: odd population (", n, ") cannot pair up");
+    for (AgentId i = 0; i < n; ++i)
+        fatalIf(prefs.list(i).size() != n - 1,
+                "stableRoommates: agent ", i,
+                " has an incomplete preference list");
+
+    RoommatesResult scratch;
+    RoommateEngine engine(prefs, /*strict=*/true);
+    const bool solved = engine.run(scratch);
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        metrics->counter("matching.proposals").add(scratch.proposals);
+        metrics->counter("matching.rotations").add(scratch.rotations);
+    }
+    if (!solved)
+        return std::nullopt;
+    Matching m = engine.extract();
+    if (!m.isPerfect())
+        return std::nullopt;
+    return m;
+}
+
+RoommatesResult
+adaptedRoommates(
+    const PreferenceProfile &prefs,
+    const std::function<double(AgentId, AgentId)> &disutility)
+{
+    return adaptedRoommatesImpl(prefs, disutility);
+}
+
+RoommatesResult
+adaptedRoommates(const PreferenceProfile &prefs,
+                 const DisutilityTable &disutility)
+{
+    return adaptedRoommatesImpl(
+        prefs, [&](AgentId a, AgentId b) { return disutility(a, b); });
 }
 
 } // namespace cooper

@@ -18,6 +18,7 @@
 #include <functional>
 #include <optional>
 
+#include "matching/disutility.hh"
 #include "matching/matching.hh"
 #include "matching/preferences.hh"
 
@@ -60,6 +61,10 @@ std::optional<Matching> stableRoommates(const PreferenceProfile &prefs);
 RoommatesResult
 adaptedRoommates(const PreferenceProfile &prefs,
                  const std::function<double(AgentId, AgentId)> &disutility);
+
+/** Memoized variant: greedy fallback reads the table directly. */
+RoommatesResult adaptedRoommates(const PreferenceProfile &prefs,
+                                 const DisutilityTable &disutility);
 
 } // namespace cooper
 

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Property tests proving the packed/memoized kernel rewrites are
+ * byte-identical to the seed implementations they replaced.
+ *
+ * The optimized similarity fill, predictor, and blocking scans promise
+ * *exact* equality with the baselines in cf/knn_baseline and
+ * matching/blocking_baseline — not tolerance-based closeness — across
+ * random instances and at every thread count (1, 2, 8). Random values
+ * are continuous, so similarity ties (where the seed's capped-neighbor
+ * gather order was unspecified) occur with probability zero.
+ *
+ * This file is also part of the `tsan` suite: at 8 threads the packed
+ * fills, the staged prediction writes, and the table-backed scans are
+ * exactly the code ThreadSanitizer should vet.
+ */
+
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cf/item_knn.hh"
+#include "cf/knn_baseline.hh"
+#include "matching/blocking.hh"
+#include "matching/blocking_baseline.hh"
+#include "matching/disutility.hh"
+#include "matching/preferences.hh"
+#include "matching/stable_roommates.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace cooper;
+
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+bool
+sameBits(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return a.empty() ||
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(double)) == 0;
+}
+
+bool
+sameDense(const std::vector<std::vector<double>> &a,
+          const std::vector<std::vector<double>> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t r = 0; r < a.size(); ++r)
+        if (!sameBits(a[r], b[r]))
+            return false;
+    return true;
+}
+
+/** Random sparse matrix with continuous values; rows or columns may
+ *  end up empty, exercising the fallback paths. */
+SparseMatrix
+randomSparse(std::size_t rows, std::size_t cols, double density,
+             Rng &rng)
+{
+    SparseMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            if (rng.uniform() < density)
+                m.set(r, c, rng.uniform() * 0.5);
+    return m;
+}
+
+TEST(KernelEquivalence, SimilarityMatchesBaselineAcrossKindsAndThreads)
+{
+    Rng rng(101);
+    const Similarity kinds[] = {Similarity::Cosine,
+                                Similarity::AdjustedCosine,
+                                Similarity::Pearson};
+    for (int round = 0; round < 8; ++round) {
+        const std::size_t rows = 4 + (round * 5) % 29;
+        const std::size_t cols = 4 + (round * 7) % 23;
+        const double density = 0.2 + 0.1 * (round % 5);
+        const SparseMatrix m = randomSparse(rows, cols, density, rng);
+        for (Similarity kind : kinds) {
+            for (std::size_t min_overlap : {1, 2, 3}) {
+                ItemKnnConfig config;
+                config.similarity = kind;
+                config.minOverlap = min_overlap;
+                const auto baseline =
+                    baselineSimilarityMatrix(m, config);
+                for (std::size_t threads : kThreadCounts) {
+                    config.threads = threads;
+                    const auto optimized =
+                        ItemKnnPredictor(config).similarityMatrix(m);
+                    EXPECT_TRUE(sameDense(baseline, optimized))
+                        << "round " << round << " kind "
+                        << static_cast<int>(kind) << " overlap "
+                        << min_overlap << " threads " << threads;
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelEquivalence, TriangleViewAgreesWithNestedView)
+{
+    Rng rng(555);
+    const SparseMatrix m = randomSparse(17, 13, 0.4, rng);
+    ItemKnnConfig config;
+    const ItemKnnPredictor predictor(config);
+    const SimilarityTriangle tri = predictor.similarityTriangle(m);
+    const auto nested = predictor.similarityMatrix(m);
+    ASSERT_EQ(tri.items(), nested.size());
+    for (std::size_t a = 0; a < nested.size(); ++a)
+        for (std::size_t b = 0; b < nested.size(); ++b)
+            EXPECT_EQ(tri.at(a, b), nested[a][b]) << a << "," << b;
+}
+
+TEST(KernelEquivalence, PredictMatchesBaselineAcrossConfigsAndThreads)
+{
+    Rng rng(202);
+    for (int round = 0; round < 5; ++round) {
+        const std::size_t n = 6 + (round * 9) % 26;
+        const SparseMatrix m =
+            randomSparse(n, n, 0.25 + 0.1 * (round % 4), rng);
+        for (std::size_t neighbors : {0, 4}) {
+            for (bool bidirectional : {false, true}) {
+                ItemKnnConfig config;
+                config.neighbors = neighbors;
+                config.bidirectional = bidirectional;
+                config.iterations = 1 + (round % 2);
+                const Prediction baseline =
+                    baselinePredict(m, config);
+                for (std::size_t threads : kThreadCounts) {
+                    config.threads = threads;
+                    const Prediction optimized =
+                        ItemKnnPredictor(config).predict(m);
+                    EXPECT_TRUE(
+                        sameDense(baseline.dense, optimized.dense))
+                        << "round " << round << " k " << neighbors
+                        << " bidir " << bidirectional << " threads "
+                        << threads;
+                    EXPECT_EQ(baseline.iterations,
+                              optimized.iterations);
+                    EXPECT_EQ(baseline.fallbackCells,
+                              optimized.fallbackCells);
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelEquivalence, PredictHandlesNonSquareMatrices)
+{
+    Rng rng(303);
+    const SparseMatrix m = randomSparse(14, 9, 0.4, rng);
+    ItemKnnConfig config;
+    config.bidirectional = true; // ignored: matrix is not square
+    const Prediction baseline = baselinePredict(m, config);
+    for (std::size_t threads : kThreadCounts) {
+        config.threads = threads;
+        const Prediction optimized =
+            ItemKnnPredictor(config).predict(m);
+        EXPECT_TRUE(sameDense(baseline.dense, optimized.dense))
+            << "threads " << threads;
+    }
+}
+
+/** Random even matching plus a continuous penalty table. */
+struct BlockingInstance
+{
+    Matching matching{0};
+    std::vector<std::vector<double>> penalty;
+    DisutilityFn fn;
+    DisutilityTable table;
+};
+
+BlockingInstance
+randomBlockingInstance(std::size_t n, Rng &rng)
+{
+    BlockingInstance out;
+    out.penalty.assign(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            out.penalty[i][j] = rng.uniform() * 0.3;
+    out.fn = [penalty = out.penalty](AgentId a, AgentId b) {
+        return penalty[a][b];
+    };
+    out.matching = Matching(n);
+    const auto order = rng.permutation(n);
+    // Leave a few agents unmatched to exercise that branch.
+    for (std::size_t i = 0; i + 1 < n - n / 8; i += 2)
+        out.matching.pair(order[i], order[i + 1]);
+    out.table = DisutilityTable(n, n, out.fn);
+    return out;
+}
+
+TEST(KernelEquivalence, BlockingScanMatchesBaselineAcrossThreads)
+{
+    Rng rng(404);
+    for (int round = 0; round < 6; ++round) {
+        const std::size_t n = 12 + (round * 17) % 53;
+        const BlockingInstance inst = randomBlockingInstance(n, rng);
+        // Alpha sweep includes values high enough for the rowMin
+        // pruning bound to skip most rows; the counts must not move.
+        for (double alpha : {0.0, 0.02, 0.2}) {
+            const auto baseline = baselineFindBlockingPairs(
+                inst.matching, inst.fn, alpha);
+            for (std::size_t threads : kThreadCounts) {
+                const auto via_fn = findBlockingPairs(
+                    inst.matching, inst.fn, alpha, threads);
+                const auto via_table = findBlockingPairs(
+                    inst.matching, inst.table, alpha, threads);
+                ASSERT_EQ(baseline.size(), via_fn.size());
+                ASSERT_EQ(baseline.size(), via_table.size());
+                for (std::size_t i = 0; i < baseline.size(); ++i) {
+                    EXPECT_EQ(baseline[i].a, via_table[i].a);
+                    EXPECT_EQ(baseline[i].b, via_table[i].b);
+                    EXPECT_EQ(baseline[i].gainA, via_table[i].gainA);
+                    EXPECT_EQ(baseline[i].gainB, via_table[i].gainB);
+                    EXPECT_EQ(baseline[i].a, via_fn[i].a);
+                    EXPECT_EQ(baseline[i].b, via_fn[i].b);
+                }
+                EXPECT_EQ(baseline.size(),
+                          countBlockingPairs(inst.matching, inst.fn,
+                                             alpha, threads));
+                EXPECT_EQ(baseline.size(),
+                          countBlockingPairs(inst.matching, inst.table,
+                                             alpha, threads));
+            }
+            const auto first_fn =
+                firstBlockingPair(inst.matching, inst.fn, alpha);
+            const auto first_table =
+                firstBlockingPair(inst.matching, inst.table, alpha);
+            ASSERT_EQ(baseline.empty(), !first_fn.has_value());
+            ASSERT_EQ(baseline.empty(), !first_table.has_value());
+            if (!baseline.empty()) {
+                EXPECT_EQ(baseline.front().a, first_fn->a);
+                EXPECT_EQ(baseline.front().b, first_fn->b);
+                EXPECT_EQ(baseline.front().a, first_table->a);
+                EXPECT_EQ(baseline.front().b, first_table->b);
+                EXPECT_EQ(baseline.front().gainA, first_table->gainA);
+                EXPECT_EQ(baseline.front().gainB, first_table->gainB);
+            }
+        }
+    }
+}
+
+TEST(KernelEquivalence, PreferenceProfileFromTableMatchesFromOracle)
+{
+    Rng rng(505);
+    for (int round = 0; round < 4; ++round) {
+        const std::size_t n = 5 + (round * 11) % 37;
+        std::vector<std::vector<double>> penalty(
+            n, std::vector<double>(n, 0.0));
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                penalty[i][j] = rng.uniform();
+        const DisutilityFn fn = [&](AgentId a, AgentId b) {
+            return penalty[a][b];
+        };
+        const DisutilityTable table(n, n, fn);
+        for (bool exclude_self : {false, true}) {
+            const PreferenceProfile via_fn =
+                PreferenceProfile::fromDisutility(n, n, fn,
+                                                  exclude_self);
+            const PreferenceProfile via_table =
+                PreferenceProfile::fromTable(table, exclude_self);
+            ASSERT_EQ(via_fn.agents(), via_table.agents());
+            for (AgentId i = 0; i < n; ++i)
+                EXPECT_EQ(via_fn.list(i), via_table.list(i))
+                    << "agent " << i << " exclude_self "
+                    << exclude_self;
+        }
+    }
+}
+
+TEST(KernelEquivalence, DisutilityTableRowMinIsExact)
+{
+    Rng rng(606);
+    const std::size_t n = 23;
+    std::vector<std::vector<double>> penalty(
+        n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            penalty[i][j] = rng.uniform();
+    for (std::size_t threads : kThreadCounts) {
+        const DisutilityTable table(
+            n, n,
+            [&](AgentId a, AgentId b) { return penalty[a][b]; },
+            threads);
+        for (AgentId a = 0; a < n; ++a) {
+            double expect = penalty[a][0];
+            for (std::size_t b = 1; b < n; ++b)
+                expect = std::min(expect, penalty[a][b]);
+            EXPECT_EQ(expect, table.rowMin(a)) << "agent " << a;
+            for (AgentId b = 0; b < n; ++b)
+                EXPECT_EQ(penalty[a][b], table(a, b));
+        }
+    }
+}
+
+TEST(KernelEquivalence, RoommatesTableOverloadMatchesOracleOverload)
+{
+    Rng rng(707);
+    const std::size_t n = 16;
+    std::vector<std::vector<double>> penalty(
+        n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            penalty[i][j] = rng.uniform();
+    const DisutilityFn fn = [&](AgentId a, AgentId b) {
+        return penalty[a][b];
+    };
+    const DisutilityTable table(n, n, fn);
+    const PreferenceProfile prefs =
+        PreferenceProfile::fromTable(table, /*exclude_self=*/true);
+    const RoommatesResult via_fn = adaptedRoommates(prefs, fn);
+    const RoommatesResult via_table = adaptedRoommates(prefs, table);
+    for (AgentId a = 0; a < n; ++a)
+        EXPECT_EQ(via_fn.matching.partnerOf(a),
+                  via_table.matching.partnerOf(a));
+    EXPECT_EQ(via_fn.perfectlyStable, via_table.perfectlyStable);
+    EXPECT_EQ(via_fn.fallbackAgents, via_table.fallbackAgents);
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * bench_json — python-free validation of BENCH_kernels.json.
+ *
+ * Parses the document bench_regression emits with the in-tree JSON
+ * reader and asserts the "cooper.bench_kernels.v1" schema: a workload
+ * object with the run's dimensions, and a phases object holding the
+ * five kernel phases, each with mode / baseline_seconds /
+ * optimized_seconds / speedup / identical / metric fields. Phases in
+ * baseline_vs_optimized mode must report identical == true (the
+ * equivalence gate) and a positive speedup.
+ *
+ * --min-speedup takes phase=value pairs so a perf run can enforce the
+ * acceptance numbers:
+ *
+ *   bench_json --file BENCH_kernels.json \
+ *       --min-speedup similarity=3,blocking=2
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "util/cli.hh"
+#include "util/error.hh"
+
+namespace {
+
+using namespace cooper;
+
+constexpr const char *kSchema = "cooper.bench_kernels.v1";
+
+const char *const kPhases[] = {"similarity", "predict", "matching",
+                               "blocking", "shapley"};
+
+const char *const kWorkloadFields[] = {
+    "matrix",        "population", "samples", "shapley_agents",
+    "alpha",         "density",    "reps",    "threads"};
+
+const JsonValue &
+member(const JsonValue &object, const std::string &key,
+       const std::string &where)
+{
+    const JsonValue *value = object.find(key);
+    fatalIf(value == nullptr, "bench_json: ", where, " lacks \"", key,
+            "\"");
+    return *value;
+}
+
+double
+numberField(const JsonValue &object, const std::string &key,
+            const std::string &where)
+{
+    const JsonValue &value = member(object, key, where);
+    fatalIf(!value.isNumber(), "bench_json: ", where, ".", key,
+            " is not a number");
+    return value.number;
+}
+
+/** Split "phase=value,phase=value" into pairs. */
+std::vector<std::pair<std::string, double>>
+parseMinSpeedups(const std::string &csv)
+{
+    std::vector<std::pair<std::string, double>> out;
+    std::size_t start = 0;
+    while (start < csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        const std::string item = csv.substr(start, end - start);
+        const std::size_t eq = item.find('=');
+        fatalIf(eq == std::string::npos || eq == 0 ||
+                    eq + 1 >= item.size(),
+                "bench_json: bad --min-speedup entry \"", item,
+                "\"; want phase=value");
+        out.emplace_back(item.substr(0, eq),
+                         std::stod(item.substr(eq + 1)));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+void
+checkPhase(const JsonValue &phase, const std::string &name)
+{
+    const std::string where = "phases." + name;
+    fatalIf(!phase.isObject(), "bench_json: ", where,
+            " is not an object");
+
+    const JsonValue &mode = member(phase, "mode", where);
+    fatalIf(!mode.isString() ||
+                (mode.text != "baseline_vs_optimized" &&
+                 mode.text != "optimized_only"),
+            "bench_json: ", where, ".mode is not a known mode");
+
+    const double baseline =
+        numberField(phase, "baseline_seconds", where);
+    const double optimized =
+        numberField(phase, "optimized_seconds", where);
+    const double speedup = numberField(phase, "speedup", where);
+    fatalIf(baseline < 0.0 || optimized < 0.0,
+            "bench_json: ", where, " has negative seconds");
+
+    const JsonValue &identical = member(phase, "identical", where);
+    fatalIf(identical.kind != JsonValue::Kind::Bool,
+            "bench_json: ", where, ".identical is not a boolean");
+
+    fatalIf(!member(phase, "metric", where).isString(),
+            "bench_json: ", where, ".metric is not a string");
+    numberField(phase, "metric_count", where);
+    numberField(phase, "metric_sum", where);
+
+    if (mode.text == "baseline_vs_optimized") {
+        fatalIf(!identical.boolean, "bench_json: ", where,
+                " compared kernels whose outputs differ");
+        fatalIf(speedup <= 0.0, "bench_json: ", where,
+                " has a non-positive speedup");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliFlags flags;
+    flags.declare("file", "BENCH_kernels.json",
+                  "bench_regression JSON document to validate");
+    flags.declare("min-speedup", "",
+                  "comma-separated phase=value floors to enforce");
+    try {
+        if (!flags.parse(argc, argv))
+            return 0;
+        const std::string path = flags.get("file");
+        const JsonValue root = parseJsonFile(path);
+        fatalIf(!root.isObject(), "bench_json: ", path,
+                " is not a JSON object");
+
+        const JsonValue &schema = member(root, "schema", path);
+        fatalIf(!schema.isString() || schema.text != kSchema,
+                "bench_json: ", path, " schema is not \"", kSchema,
+                "\"");
+
+        const JsonValue &workload = member(root, "workload", path);
+        fatalIf(!workload.isObject(),
+                "bench_json: workload is not an object");
+        for (const char *field : kWorkloadFields)
+            numberField(workload, field, "workload");
+        fatalIf(member(workload, "tiny", "workload").kind !=
+                    JsonValue::Kind::Bool,
+                "bench_json: workload.tiny is not a boolean");
+
+        const JsonValue &phases = member(root, "phases", path);
+        fatalIf(!phases.isObject(),
+                "bench_json: phases is not an object");
+        for (const char *name : kPhases)
+            checkPhase(member(phases, name, "phases"), name);
+
+        for (const auto &[name, floor] :
+             parseMinSpeedups(flags.get("min-speedup"))) {
+            const JsonValue &phase = member(phases, name, "phases");
+            const double speedup =
+                numberField(phase, "speedup", "phases." + name);
+            fatalIf(speedup < floor, "bench_json: phase ", name,
+                    " speedup ", speedup, " is below the required ",
+                    floor, "x");
+            std::cout << "phase " << name << ": speedup " << speedup
+                      << " >= " << floor << "x\n";
+        }
+        std::cout << "bench_json: " << path << " OK\n";
+    } catch (const std::exception &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

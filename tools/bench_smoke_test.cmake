@@ -1,0 +1,17 @@
+# Runs bench_regression at smoke-test sizes and validates the emitted
+# BENCH_kernels.json against the cooper.bench_kernels.v1 schema. Only
+# the schema and the exact-equivalence bits are checked here — speedup
+# floors are timing-sensitive and belong to manual full-size runs
+# (bench_json --min-speedup similarity=3,blocking=2).
+function(run_step)
+    execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORKDIR}
+                    RESULT_VARIABLE code OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT code EQUAL 0)
+        message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}${err}")
+    endif()
+    message(STATUS "${out}")
+endfunction()
+
+run_step(${BENCH} --tiny --out bench_smoke_kernels.json)
+run_step(${BENCH_JSON} --file bench_smoke_kernels.json)
