@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Online-service regression harness: replays the same churn trace
+ * through the OnlineDriver twice — once with the warm-started
+ * incremental predictor, once forcing a from-scratch re-predict every
+ * epoch — cross-checks byte-identical summaries, and emits a
+ * schema-stable BENCH_online.json (schema "cooper.bench_online.v1")
+ * that tools/bench_json validates.
+ *
+ * Two phases are reported:
+ *
+ *  - predict: per-epoch prediction time, full re-predict (baseline)
+ *             vs. incremental warm start (optimized). Both modes feed
+ *             the same online.predict_seconds histogram, so the phase
+ *             seconds are that histogram's per-run sum — exactly the
+ *             time spent inside the prediction step, excluding the
+ *             trace replay around it.
+ *  - epoch:   whole-run wall clock of the incremental service, timed
+ *             for trend tracking only (optimized_only).
+ *
+ * The document also carries the incremental run's online counters
+ * (migrations, pairs broken, full rematches, predict cache hits,
+ * recomputed similarity pairs) so a perf run can see *why* the
+ * predict phase was cheap or expensive.
+ *
+ * --tiny shrinks the trace for the `ctest -L bench-smoke` run; the
+ * speedup acceptance number (incremental >= 1.5x full) is meant to be
+ * checked at the default sizes:
+ *
+ *   bench_online && bench_json --file BENCH_online.json \
+ *       --min-speedup predict=1.5
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "obs/obs.hh"
+#include "online/churn.hh"
+#include "online/driver.hh"
+#include "sim/interference.hh"
+#include "util/cli.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "workload/catalog.hh"
+
+namespace {
+
+using namespace cooper;
+
+using Clock = std::chrono::steady_clock;
+
+/** One phase row of the JSON document. */
+struct PhaseResult
+{
+    std::string name;
+    std::string mode; //!< "baseline_vs_optimized" or "optimized_only"
+    double baselineSeconds = 0.0;
+    double optimizedSeconds = 0.0;
+    double speedup = 0.0; //!< 0 in optimized_only mode
+    bool identical = true;
+    std::string metric; //!< backing MetricsRegistry histogram
+    std::uint64_t metricCount = 0;
+    double metricSum = 0.0;
+};
+
+/** One replay of the trace: everything the phases need. */
+struct RunResult
+{
+    OnlineReport report;
+    std::string summary;        //!< writeOnlineSummary bytes
+    double predictSeconds = 0.0; //!< online.predict_seconds sum
+    std::uint64_t predictCount = 0;
+    double wallSeconds = 0.0;
+};
+
+/** Full-precision JSON number. */
+std::string
+jsonNum(double value)
+{
+    std::ostringstream out;
+    out << std::setprecision(17) << value;
+    return out.str();
+}
+
+/** Replay `trace` once; fresh driver, fresh metrics registry. */
+RunResult
+replay(const Catalog &catalog, const InterferenceModel &model,
+       FrameworkConfig config, std::uint64_t seed,
+       const ChurnTrace &trace, bool incremental)
+{
+    config.execution.online.incremental = incremental;
+
+    ObsConfig obs_config;
+    obs_config.metrics = true;
+    const ObsScope obs(obs_config);
+
+    OnlineDriver driver(catalog, model, config, seed);
+    const auto start = Clock::now();
+    RunResult out;
+    out.report = driver.run(trace);
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    out.wallSeconds = elapsed.count();
+
+    std::ostringstream summary;
+    writeOnlineSummary(summary, out.report);
+    out.summary = summary.str();
+
+    MetricsRegistry *metrics = obsMetrics();
+    if (metrics == nullptr)
+        throw std::runtime_error("metrics session missing");
+    for (const auto &[name, histogram] : metrics->snapshot().histograms) {
+        if (name == "online.predict_seconds") {
+            out.predictSeconds = histogram.sum;
+            out.predictCount = histogram.count;
+        }
+    }
+    return out;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<std::pair<std::string, std::string>> &workload,
+          const std::vector<PhaseResult> &phases,
+          const std::vector<std::pair<std::string, std::size_t>> &counters)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write " + path);
+    out << "{\n  \"schema\": \"cooper.bench_online.v1\",\n";
+    out << "  \"workload\": {";
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        out << (i ? ", " : "") << "\"" << workload[i].first
+            << "\": " << workload[i].second;
+    }
+    out << "},\n  \"phases\": {\n";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const PhaseResult &p = phases[i];
+        out << "    \"" << p.name << "\": {"
+            << "\"mode\": \"" << p.mode << "\", "
+            << "\"baseline_seconds\": " << jsonNum(p.baselineSeconds)
+            << ", \"optimized_seconds\": " << jsonNum(p.optimizedSeconds)
+            << ", \"speedup\": " << jsonNum(p.speedup)
+            << ", \"identical\": " << (p.identical ? "true" : "false")
+            << ", \"metric\": \"" << p.metric << "\""
+            << ", \"metric_count\": " << p.metricCount
+            << ", \"metric_sum\": " << jsonNum(p.metricSum) << "}"
+            << (i + 1 < phases.size() ? "," : "") << "\n";
+    }
+    out << "  },\n  \"online\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        out << (i ? ", " : "") << "\"" << counters[i].first
+            << "\": " << counters[i].second;
+    }
+    out << "}\n}\n";
+    if (!out.flush())
+        throw std::runtime_error("failed writing " + path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliFlags flags;
+    flags.declare("arrivals", "400", "churn-trace arrivals");
+    flags.declare("initial", "24", "jobs present at tick 0");
+    flags.declare("mean-gap", "6.0", "mean interarrival gap, ticks");
+    flags.declare("mean-life", "900.0", "mean job lifetime, ticks");
+    flags.declare("epoch-ticks", "50", "virtual-clock ticks per epoch");
+    flags.declare("probes", "4", "probe colocations per admission");
+    flags.declare("seed", "2017", "trace and service seed");
+    flags.declare("reps", "3", "timing repetitions (best-of)");
+    flags.declare("tiny", "false",
+                  "smoke-test sizes (arrivals 60, initial 8, ...)");
+    flags.declare("out", "BENCH_online.json", "JSON output path");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return cooper::bench::runHarness(
+        "Online service: incremental warm-start vs. full re-predict",
+        [&] {
+            const bool tiny = flags.getBool("tiny");
+            const auto seed =
+                static_cast<std::uint64_t>(flags.getInt("seed"));
+            const int reps =
+                tiny ? 1 : static_cast<int>(flags.getInt("reps"));
+
+            ChurnConfig churn;
+            churn.arrivals = static_cast<std::size_t>(
+                tiny ? 60 : flags.getInt("arrivals"));
+            churn.initialJobs = static_cast<std::size_t>(
+                tiny ? 8 : flags.getInt("initial"));
+            churn.meanInterarrivalTicks = flags.getDouble("mean-gap");
+            churn.meanLifetimeTicks = flags.getDouble("mean-life");
+
+            // The service decisions never depend on the thread count
+            // (held by cooper_cli_serve and test_online_driver), so
+            // the bench runs serially: the win being measured is the
+            // warm start, not parallel scaling.
+            FrameworkConfig config;
+            config.execution.threads = 1;
+            config.execution.online.epochTicks = static_cast<std::uint64_t>(
+                flags.getInt("epoch-ticks"));
+            config.execution.online.probesPerArrival =
+                static_cast<std::size_t>(flags.getInt("probes"));
+
+            const Catalog catalog = Catalog::paperTableI();
+            const InterferenceModel model(catalog);
+            Rng trace_rng(seed);
+            const ChurnTrace trace =
+                generateChurnTrace(catalog, churn, trace_rng);
+
+            // Best-of-reps on both modes; the two runs' summaries must
+            // not differ by a byte (every rep is checked).
+            RunResult incremental, full;
+            bool identical = true;
+            for (int r = 0; r < reps; ++r) {
+                RunResult inc = replay(catalog, model, config, seed,
+                                       trace, /*incremental=*/true);
+                RunResult col = replay(catalog, model, config, seed,
+                                       trace, /*incremental=*/false);
+                identical = identical && inc.summary == col.summary;
+                if (r == 0 ||
+                    inc.predictSeconds < incremental.predictSeconds)
+                    incremental = std::move(inc);
+                if (r == 0 || col.predictSeconds < full.predictSeconds)
+                    full = std::move(col);
+            }
+
+            std::vector<PhaseResult> phases;
+            {
+                PhaseResult p;
+                p.name = "predict";
+                p.mode = "baseline_vs_optimized";
+                p.baselineSeconds = full.predictSeconds;
+                p.optimizedSeconds = incremental.predictSeconds;
+                p.speedup = p.baselineSeconds / p.optimizedSeconds;
+                p.identical = identical;
+                p.metric = "online.predict_seconds";
+                p.metricCount = incremental.predictCount;
+                p.metricSum = incremental.predictSeconds;
+                phases.push_back(std::move(p));
+            }
+            {
+                PhaseResult p;
+                p.name = "epoch";
+                p.mode = "optimized_only";
+                p.optimizedSeconds = incremental.wallSeconds;
+                p.metric = "online.epoch_seconds";
+                p.metricCount = incremental.report.epochs.size();
+                p.metricSum = incremental.wallSeconds;
+                phases.push_back(std::move(p));
+            }
+
+            const OnlineReport &report = incremental.report;
+            std::size_t cache_hits = 0, recomputed = 0;
+            for (const OnlineEpochStats &e : report.epochs) {
+                cache_hits += e.predictCacheHit ? 1 : 0;
+                recomputed += e.recomputedPairs;
+            }
+
+            Table table({"phase", "baseline", "optimized", "speedup",
+                         "identical"});
+            for (const PhaseResult &p : phases) {
+                const bool compared = p.mode == "baseline_vs_optimized";
+                table.addRow(
+                    {p.name,
+                     compared
+                         ? Table::num(p.baselineSeconds * 1e3, 2) + " ms"
+                         : std::string("-"),
+                     Table::num(p.optimizedSeconds * 1e3, 2) + " ms",
+                     compared ? Table::num(p.speedup, 2)
+                              : std::string("-"),
+                     p.identical ? "yes" : "NO"});
+            }
+            table.print(std::cout);
+            std::cout << "epochs " << report.epochs.size()
+                      << ", cache hits " << cache_hits
+                      << ", recomputed pairs " << recomputed << "\n";
+
+            if (!identical)
+                throw std::runtime_error(
+                    "incremental and full-predict summaries differ");
+
+            const std::vector<std::pair<std::string, std::string>>
+                workload{
+                    {"events", std::to_string(trace.size())},
+                    {"epochs", std::to_string(report.epochs.size())},
+                    {"types", std::to_string(catalog.size())},
+                    {"arrivals", std::to_string(report.totalArrivals)},
+                    {"threads", "1"},
+                    {"tiny", tiny ? "true" : "false"},
+                };
+            const std::vector<std::pair<std::string, std::size_t>>
+                counters{
+                    {"migrations", report.totalMigrations},
+                    {"pairs_broken", report.totalPairsBroken},
+                    {"full_rematches", report.totalFullRematches},
+                    {"predict_cache_hits", cache_hits},
+                    {"recomputed_pairs", recomputed},
+                };
+            writeJson(flags.get("out"), workload, phases, counters);
+            std::cout << "\nwrote " << flags.get("out")
+                      << " (schema cooper.bench_online.v1)\n";
+        });
+}

@@ -127,6 +127,14 @@ similarityOver(const SparseMatrix &m, const ItemKnnConfig &config)
     return sim;
 }
 
+/** True when bit `i` is set in a 64-bit word mask. */
+bool
+maskBit(const std::vector<std::uint64_t> &mask, std::size_t i)
+{
+    const std::size_t w = i / 64;
+    return w < mask.size() && (mask[w] >> (i % 64) & 1) != 0;
+}
+
 /**
  * One prediction pass: fill every unknown cell of `observed` using
  * similarities computed over `basis`.
@@ -145,12 +153,14 @@ similarityOver(const SparseMatrix &m, const ItemKnnConfig &config)
  */
 SparseMatrix
 predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
-            const ItemKnnConfig &config, std::size_t &fallbacks)
+            const ItemKnnConfig &config, std::size_t &fallbacks,
+            const SimilarityTriangle *seed = nullptr)
 {
     const std::size_t rows = observed.rows();
     const std::size_t cols = observed.cols();
     const ScopedTimer timer("cf.predict_pass_seconds");
-    const SimilarityTriangle sim = similarityOver(basis, config);
+    const SimilarityTriangle sim =
+        seed != nullptr ? *seed : similarityOver(basis, config);
     const double global = observed.knownMean();
 
     // Item (column) means anchor each prediction; the neighbors then
@@ -309,6 +319,62 @@ ItemKnnPredictor::similarityTriangle(const SparseMatrix &ratings) const
     return similarityOver(ratings, config_);
 }
 
+std::size_t
+updateSimilarityTriangle(const SparseMatrix &ratings,
+                         const ItemKnnConfig &config,
+                         SimilarityTriangle &sim,
+                         const std::vector<std::uint64_t> &dirty_cols,
+                         const std::vector<std::uint64_t> &dirty_rows)
+{
+    const ScopedTimer timer("cf.similarity_update_seconds");
+    const std::size_t n = ratings.cols();
+    panicIf(sim.items() != n,
+            "updateSimilarityTriangle: triangle/ratings size mismatch");
+
+    PackedColumns packed = ratings.packedColumns();
+    if (config.similarity == Similarity::AdjustedCosine)
+        packed.subtractRowOffsets(rowMeans(ratings));
+
+    // A dirty row only matters when its mean feeds the centering; the
+    // raw cosine and Pearson kernels read cell values alone, and any
+    // changed cell already dirties its column.
+    const bool centered = config.similarity == Similarity::AdjustedCosine;
+    const std::size_t words = packed.words();
+    std::vector<std::uint64_t> dirty_row_words(words, 0);
+    if (centered)
+        for (std::size_t w = 0; w < words && w < dirty_rows.size(); ++w)
+            dirty_row_words[w] = dirty_rows[w];
+
+    std::vector<std::size_t> recomputed(n, 0);
+    parallelFor(0, n, config.threads, [&](std::size_t a) {
+        const bool a_dirty = maskBit(dirty_cols, a);
+        const double *va = packed.column(a);
+        const std::uint64_t *ma = packed.mask(a);
+        for (std::size_t b = a + 1; b < n; ++b) {
+            bool affected = a_dirty || maskBit(dirty_cols, b);
+            if (!affected && centered) {
+                const std::uint64_t *mb = packed.mask(b);
+                for (std::size_t w = 0; w < words && !affected; ++w)
+                    affected = (ma[w] & mb[w] & dirty_row_words[w]) != 0;
+            }
+            if (!affected)
+                continue;
+            sim.set(a, b,
+                    packedSimilarity(va, packed.column(b), ma,
+                                     packed.mask(b), words,
+                                     config.similarity,
+                                     config.minOverlap));
+            ++recomputed[a];
+        }
+    });
+    std::size_t total = 0;
+    for (std::size_t count : recomputed)
+        total += count;
+    if (MetricsRegistry *metrics = obsMetrics())
+        metrics->counter("cf.similarity_incremental_fills").add(total);
+    return total;
+}
+
 std::vector<std::vector<double>>
 ItemKnnPredictor::similarityMatrix(const SparseMatrix &ratings) const
 {
@@ -334,8 +400,16 @@ transposeOf(const SparseMatrix &m)
 Prediction
 ItemKnnPredictor::predict(const SparseMatrix &ratings) const
 {
+    return predictSeeded(ratings, nullptr, nullptr);
+}
+
+Prediction
+ItemKnnPredictor::predictSeeded(
+    const SparseMatrix &ratings, const SimilarityTriangle *pass1,
+    const SimilarityTriangle *pass1_transpose) const
+{
     const TraceSpan span("cf.predict", "cf");
-    Prediction out = predictOneView(ratings);
+    Prediction out = predictOneView(ratings, pass1);
     if (!config_.bidirectional || ratings.rows() != ratings.cols())
         return out;
 
@@ -344,8 +418,9 @@ ItemKnnPredictor::predict(const SparseMatrix &ratings) const
     ItemKnnConfig transposed_config = config_;
     transposed_config.bidirectional = false;
     const Prediction other =
-        ItemKnnPredictor(transposed_config).predict(
-            transposeOf(ratings));
+        ItemKnnPredictor(transposed_config)
+            .predictSeeded(transposeOf(ratings), pass1_transpose,
+                           nullptr);
     for (std::size_t r = 0; r < ratings.rows(); ++r)
         for (std::size_t c = 0; c < ratings.cols(); ++c)
             out.dense[r][c] =
@@ -355,7 +430,8 @@ ItemKnnPredictor::predict(const SparseMatrix &ratings) const
 }
 
 Prediction
-ItemKnnPredictor::predictOneView(const SparseMatrix &ratings) const
+ItemKnnPredictor::predictOneView(const SparseMatrix &ratings,
+                                 const SimilarityTriangle *pass1) const
 {
     fatalIf(ratings.knownCount() == 0,
             "ItemKnnPredictor: no observations to learn from");
@@ -370,7 +446,8 @@ ItemKnnPredictor::predictOneView(const SparseMatrix &ratings) const
     SparseMatrix filled = ratings;
     for (std::size_t it = 0; it < config_.iterations; ++it) {
         fallbacks = 0;
-        filled = predictPass(ratings, basis, config_, fallbacks);
+        filled = predictPass(ratings, basis, config_, fallbacks,
+                             it == 0 ? pass1 : nullptr);
         ++out.iterations;
         basis = filled;
         // All cells are known after the first pass; later passes only

@@ -143,6 +143,23 @@ class ItemKnnPredictor
     Prediction predict(const SparseMatrix &ratings) const;
 
     /**
+     * predict() with warm-started first-pass similarities.
+     *
+     * `pass1` (and, for the bidirectional blend, `pass1_transpose`)
+     * replace the similarity triangle the first prediction pass would
+     * otherwise compute from `ratings` (resp. its transpose). Both are
+     * optional; passing nullptr recomputes as usual. Callers such as
+     * the online IncrementalPredictor maintain these triangles across
+     * sparse profile updates; a seed must be bit-identical to what
+     * similarityTriangle(ratings) would return, in which case the
+     * result is bit-identical to predict().
+     */
+    Prediction
+    predictSeeded(const SparseMatrix &ratings,
+                  const SimilarityTriangle *pass1,
+                  const SimilarityTriangle *pass1_transpose) const;
+
+    /**
      * Item-item similarity matrix over the known cells (exposed for
      * tests and the accuracy study). Nested-vector convenience view
      * of similarityTriangle().
@@ -156,10 +173,35 @@ class ItemKnnPredictor
 
   private:
     /** Item-based prediction of one orientation (no blending). */
-    Prediction predictOneView(const SparseMatrix &ratings) const;
+    Prediction predictOneView(const SparseMatrix &ratings,
+                              const SimilarityTriangle *pass1) const;
 
     ItemKnnConfig config_;
 };
+
+/**
+ * Recompute, in place, the entries of `sim` that a batch of ratings
+ * edits may have changed, leaving every provably unaffected pair
+ * untouched.
+ *
+ * `dirty_cols` / `dirty_rows` are 64-bit bitmasks (LSB of word 0 =
+ * index 0) over the columns / rows of `ratings` that gained, lost, or
+ * changed a cell since `sim` was last consistent with it. A pair
+ * (a, b) is recomputed when either column is dirty, or — for the
+ * adjusted-cosine measure, which centers on row means — when the two
+ * columns are co-rated on a dirty row. The recomputation reuses the
+ * exact packed kernel of the full fill, so after the call `sim` is
+ * bit-identical to ItemKnnPredictor(config).similarityTriangle(
+ * ratings).
+ *
+ * @return Number of pairs recomputed.
+ */
+std::size_t
+updateSimilarityTriangle(const SparseMatrix &ratings,
+                         const ItemKnnConfig &config,
+                         SimilarityTriangle &sim,
+                         const std::vector<std::uint64_t> &dirty_cols,
+                         const std::vector<std::uint64_t> &dirty_rows);
 
 /**
  * Extract a preference order from one row of a dense penalty matrix:

@@ -63,7 +63,7 @@ struct FrameworkConfig
      * execution.threads unless the predictor config sets its own
      * non-default value. Results never depend on the thread count.
      */
-    ExecutionConfig execution{.threads = 1, .obs = {}};
+    ExecutionConfig execution{.threads = 1, .obs = {}, .online = {}};
 };
 
 /** Everything one epoch produces. */

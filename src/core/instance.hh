@@ -64,6 +64,10 @@ class ColocationInstance
     /** Type-level believed penalties (no jitter). */
     const PenaltyMatrix &believed() const { return believed_; }
 
+    /** Amplitude of the tie-breaking jitter (sub-instances built from
+     *  this one, e.g. by the online repairing policy, reuse it). */
+    double jitter() const { return jitter_; }
+
     /**
      * Full roommates preference profile from believed disutilities.
      */

@@ -14,6 +14,7 @@ namespace {
 
 constexpr const char *kProfilesHeader = "cooper-profiles";
 constexpr const char *kMatchingHeader = "cooper-matching";
+constexpr const char *kOnlineStateHeader = "cooper-online-state";
 constexpr int kFormatVersion = 1;
 
 void
@@ -118,6 +119,171 @@ readMatching(std::istream &is)
 }
 
 void
+writeOnlineState(std::ostream &os, const OnlineState &state)
+{
+    os << kOnlineStateHeader << " " << kFormatVersion << "\n";
+    os << "seed " << state.seed << "\n";
+    os << "epoch " << state.epoch << "\n";
+    os << "tick " << state.clockTick << "\n";
+    os << "totals " << state.totalArrivals << " " << state.totalDepartures
+       << " " << state.totalAdmitted << " " << state.totalProbes << " "
+       << state.totalMigrations << " " << state.totalPairsBroken << " "
+       << state.totalFullRematches << "\n";
+    os << std::setprecision(17);
+    os << "penalty " << state.lastMeanPenalty << "\n";
+    os << "live " << state.live.size() << "\n";
+    for (const LiveJob &job : state.live)
+        os << job.uid << " " << job.type << "\n";
+    os << "pairs " << state.pairs.size() << "\n";
+    for (const auto &[a, b] : state.pairs)
+        os << a << " " << b << "\n";
+    os << "queue " << state.pending.size() << " " << state.rejected << " "
+       << state.queueHighWater << "\n";
+    for (const PendingArrival &arrival : state.pending)
+        os << arrival.uid << " " << arrival.type << " "
+           << arrival.arrivalTick << "\n";
+    os << "ratings " << state.ratings.rows() << " " << state.ratings.cols()
+       << " " << state.ratings.knownCount() << "\n";
+    for (const auto &entry : state.ratings.entries())
+        os << entry.row << " " << entry.col << " " << entry.value << "\n";
+}
+
+namespace {
+
+/** Read one line and parse it under a required leading keyword. */
+std::istringstream
+sectionLine(std::istream &is, const char *keyword)
+{
+    std::string line;
+    fatalIf(!std::getline(is, line),
+            "readOnlineState: truncated input, expected '", keyword,
+            "' section");
+    std::istringstream fields(line);
+    std::string word;
+    fatalIf(!(fields >> word) || word != keyword,
+            "readOnlineState: expected '", keyword, "' section, got '",
+            line, "'");
+    return fields;
+}
+
+/** Read one body line of `section` and parse its fields. */
+std::istringstream
+bodyLine(std::istream &is, const char *section)
+{
+    std::string line;
+    fatalIf(!std::getline(is, line),
+            "readOnlineState: truncated '", section, "' section");
+    return std::istringstream(line);
+}
+
+} // namespace
+
+OnlineState
+readOnlineState(std::istream &is)
+{
+    std::string line;
+    expectHeader(is, kOnlineStateHeader, line);
+
+    OnlineState state;
+    {
+        auto fields = sectionLine(is, "seed");
+        fatalIf(!(fields >> state.seed),
+                "readOnlineState: malformed seed");
+    }
+    {
+        auto fields = sectionLine(is, "epoch");
+        fatalIf(!(fields >> state.epoch),
+                "readOnlineState: malformed epoch");
+    }
+    {
+        auto fields = sectionLine(is, "tick");
+        fatalIf(!(fields >> state.clockTick),
+                "readOnlineState: malformed tick");
+    }
+    {
+        auto fields = sectionLine(is, "totals");
+        fatalIf(!(fields >> state.totalArrivals >> state.totalDepartures >>
+                  state.totalAdmitted >> state.totalProbes >>
+                  state.totalMigrations >> state.totalPairsBroken >>
+                  state.totalFullRematches),
+                "readOnlineState: malformed totals");
+    }
+    {
+        auto fields = sectionLine(is, "penalty");
+        fatalIf(!(fields >> state.lastMeanPenalty),
+                "readOnlineState: malformed penalty");
+    }
+
+    std::size_t count = 0;
+    {
+        auto fields = sectionLine(is, "live");
+        fatalIf(!(fields >> count),
+                "readOnlineState: malformed live count");
+    }
+    state.live.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto fields = bodyLine(is, "live");
+        LiveJob job;
+        fatalIf(!(fields >> job.uid >> job.type),
+                "readOnlineState: malformed live entry ", i);
+        state.live.push_back(job);
+    }
+
+    {
+        auto fields = sectionLine(is, "pairs");
+        fatalIf(!(fields >> count),
+                "readOnlineState: malformed pairs count");
+    }
+    state.pairs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto fields = bodyLine(is, "pairs");
+        JobUid a = 0, b = 0;
+        fatalIf(!(fields >> a >> b),
+                "readOnlineState: malformed pair ", i);
+        fatalIf(a >= b, "readOnlineState: pair ", i,
+                " not strictly ordered");
+        state.pairs.emplace_back(a, b);
+    }
+
+    {
+        auto fields = sectionLine(is, "queue");
+        fatalIf(!(fields >> count >> state.rejected >>
+                  state.queueHighWater),
+                "readOnlineState: malformed queue counts");
+    }
+    state.pending.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto fields = bodyLine(is, "queue");
+        PendingArrival arrival;
+        fatalIf(!(fields >> arrival.uid >> arrival.type >>
+                  arrival.arrivalTick),
+                "readOnlineState: malformed queue entry ", i);
+        state.pending.push_back(arrival);
+    }
+
+    std::size_t rows = 0, cols = 0, known = 0;
+    {
+        auto fields = sectionLine(is, "ratings");
+        fatalIf(!(fields >> rows >> cols >> known),
+                "readOnlineState: malformed ratings shape");
+    }
+    state.ratings = SparseMatrix(rows, cols);
+    for (std::size_t i = 0; i < known; ++i) {
+        auto fields = bodyLine(is, "ratings");
+        std::size_t r = 0, c = 0;
+        double value = 0.0;
+        fatalIf(!(fields >> r >> c >> value),
+                "readOnlineState: malformed ratings entry ", i);
+        fatalIf(r >= rows || c >= cols, "readOnlineState: ratings cell (",
+                r, ", ", c, ") outside declared shape");
+        state.ratings.set(r, c, value);
+    }
+    fatalIf(state.ratings.knownCount() != known,
+            "readOnlineState: duplicate ratings cells");
+    return state;
+}
+
+void
 saveProfiles(const std::string &path, const SparseMatrix &profiles)
 {
     std::ofstream out(path);
@@ -149,6 +315,23 @@ loadMatching(const std::string &path)
     std::ifstream in(path);
     fatalIf(!in, "loadMatching: cannot open '", path, "'");
     return readMatching(in);
+}
+
+void
+saveOnlineState(const std::string &path, const OnlineState &state)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "saveOnlineState: cannot open '", path, "'");
+    writeOnlineState(out, state);
+    fatalIf(!out, "saveOnlineState: write to '", path, "' failed");
+}
+
+OnlineState
+loadOnlineState(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "loadOnlineState: cannot open '", path, "'");
+    return readOnlineState(in);
 }
 
 } // namespace cooper

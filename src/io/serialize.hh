@@ -18,6 +18,7 @@
 
 #include "cf/sparse_matrix.hh"
 #include "matching/matching.hh"
+#include "online/state.hh"
 
 namespace cooper {
 
@@ -34,11 +35,24 @@ void writeMatching(std::ostream &os, const Matching &matching);
 /** Parse a matching; raises FatalError on malformed input. */
 Matching readMatching(std::istream &is);
 
+/**
+ * Write an online-service checkpoint (see OnlineState); format:
+ * "cooper-online-state 1" header, then keyword-tagged sections for the
+ * clock, totals, live population, uid-level pairs, admission queue,
+ * and the warm-start profile matrix.
+ */
+void writeOnlineState(std::ostream &os, const OnlineState &state);
+
+/** Parse a checkpoint; raises FatalError on malformed input. */
+OnlineState readOnlineState(std::istream &is);
+
 /** Convenience file wrappers; raise FatalError on I/O failure. */
 void saveProfiles(const std::string &path, const SparseMatrix &profiles);
 SparseMatrix loadProfiles(const std::string &path);
 void saveMatching(const std::string &path, const Matching &matching);
 Matching loadMatching(const std::string &path);
+void saveOnlineState(const std::string &path, const OnlineState &state);
+OnlineState loadOnlineState(const std::string &path);
 
 } // namespace cooper
 

@@ -1,0 +1,57 @@
+#include "admission.hh"
+
+#include <algorithm>
+
+namespace cooper {
+
+bool
+AdmissionQueue::offer(const PendingArrival &arrival)
+{
+    if (maxDepth_ > 0 && queue_.size() >= maxDepth_) {
+        ++rejected_;
+        return false;
+    }
+    queue_.push_back(arrival);
+    highWater_ = std::max(highWater_, queue_.size());
+    return true;
+}
+
+std::vector<PendingArrival>
+AdmissionQueue::admit(std::size_t capacity)
+{
+    std::vector<PendingArrival> admitted;
+    while (!queue_.empty() && admitted.size() < capacity) {
+        admitted.push_back(queue_.front());
+        queue_.pop_front();
+    }
+    return admitted;
+}
+
+bool
+AdmissionQueue::withdraw(JobUid uid)
+{
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->uid == uid) {
+            queue_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<PendingArrival>
+AdmissionQueue::snapshot() const
+{
+    return std::vector<PendingArrival>(queue_.begin(), queue_.end());
+}
+
+void
+AdmissionQueue::restore(const std::vector<PendingArrival> &pending,
+                        std::size_t rejected, std::size_t high_water)
+{
+    queue_.assign(pending.begin(), pending.end());
+    rejected_ = rejected;
+    highWater_ = std::max(high_water, queue_.size());
+}
+
+} // namespace cooper

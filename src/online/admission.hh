@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Admission control for arrivals that outpace profiling capacity.
+ *
+ * Every admitted arrival costs probe measurements, and the profiler
+ * can only characterize so many new jobs per epoch. Arrivals wait in
+ * a FIFO queue; the driver drains up to its per-epoch capacity at
+ * each epoch boundary. A bounded queue applies backpressure: arrivals
+ * past the bound are rejected and counted, never silently dropped.
+ */
+
+#ifndef COOPER_ONLINE_ADMISSION_HH
+#define COOPER_ONLINE_ADMISSION_HH
+
+#include <deque>
+#include <vector>
+
+#include "online/events.hh"
+
+namespace cooper {
+
+/** One queued arrival. */
+struct PendingArrival
+{
+    JobUid uid = 0;
+    JobTypeId type = 0;
+    Tick arrivalTick = 0;
+};
+
+/**
+ * FIFO admission queue with a backpressure bound.
+ */
+class AdmissionQueue
+{
+  public:
+    /** @param max_depth Reject arrivals past this depth; 0 =
+     *      unbounded. */
+    explicit AdmissionQueue(std::size_t max_depth = 0)
+        : maxDepth_(max_depth)
+    {}
+
+    std::size_t depth() const { return queue_.size(); }
+    std::size_t maxDepth() const { return maxDepth_; }
+
+    /** Deepest the queue has ever been. */
+    std::size_t highWater() const { return highWater_; }
+
+    /** Arrivals rejected by backpressure so far. */
+    std::size_t rejected() const { return rejected_; }
+
+    /** Enqueue an arrival; false when backpressure rejects it. */
+    bool offer(const PendingArrival &arrival);
+
+    /** Dequeue up to `capacity` arrivals in FIFO order. */
+    std::vector<PendingArrival> admit(std::size_t capacity);
+
+    /**
+     * Drop a queued arrival whose departure fired before it was ever
+     * admitted (the job gave up waiting). True when found.
+     */
+    bool withdraw(JobUid uid);
+
+    /** Queue contents in FIFO order (checkpointing). */
+    std::vector<PendingArrival> snapshot() const;
+
+    /** Restore queue contents and counters (checkpoint restore). */
+    void restore(const std::vector<PendingArrival> &pending,
+                 std::size_t rejected, std::size_t high_water);
+
+  private:
+    std::deque<PendingArrival> queue_;
+    std::size_t maxDepth_ = 0;
+    std::size_t highWater_ = 0;
+    std::size_t rejected_ = 0;
+};
+
+} // namespace cooper
+
+#endif // COOPER_ONLINE_ADMISSION_HH

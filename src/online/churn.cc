@@ -1,0 +1,73 @@
+#include "churn.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+/** Exponential variate rounded up to at least one tick. */
+Tick
+exponentialTicks(Rng &rng, double mean)
+{
+    const double u = rng.uniform();
+    const double gap = -std::log1p(-u) * mean;
+    const double clamped = std::max(1.0, std::floor(gap + 0.5));
+    return static_cast<Tick>(clamped);
+}
+
+} // namespace
+
+ChurnTrace
+generateChurnTrace(const Catalog &catalog, const ChurnConfig &config,
+                   Rng &rng)
+{
+    fatalIf(config.meanInterarrivalTicks <= 0.0 ||
+                config.meanLifetimeTicks <= 0.0,
+            "generateChurnTrace: means must be positive");
+    const std::vector<double> weights =
+        mixWeights(catalog, config.mix);
+
+    std::vector<ChurnEvent> events;
+    events.reserve(2 * (config.initialJobs + config.arrivals));
+
+    JobUid next_uid = 1;
+    Tick clock = 0;
+    const std::size_t total = config.initialJobs + config.arrivals;
+    for (std::size_t k = 0; k < total; ++k) {
+        if (k >= config.initialJobs)
+            clock += exponentialTicks(rng, config.meanInterarrivalTicks);
+
+        ChurnEvent arrive;
+        arrive.kind = EventKind::Arrival;
+        arrive.tick = clock;
+        arrive.uid = next_uid++;
+        arrive.type = static_cast<JobTypeId>(rng.discrete(weights));
+        events.push_back(arrive);
+
+        ChurnEvent depart;
+        depart.kind = EventKind::Departure;
+        depart.tick =
+            clock + exponentialTicks(rng, config.meanLifetimeTicks);
+        depart.uid = arrive.uid;
+        events.push_back(depart);
+    }
+
+    if (config.openEnded && !events.empty()) {
+        // Drop departures past the last arrival's tick: those jobs
+        // outlive the trace.
+        const Tick horizon = clock;
+        std::vector<ChurnEvent> kept;
+        kept.reserve(events.size());
+        for (const ChurnEvent &event : events)
+            if (event.kind == EventKind::Arrival ||
+                event.tick <= horizon)
+                kept.push_back(event);
+        events = std::move(kept);
+    }
+    return ChurnTrace(std::move(events));
+}
+
+} // namespace cooper

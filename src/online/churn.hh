@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic churn-trace generation.
+ *
+ * The online service replays timestamped arrival/departure traces; a
+ * private datacenter would record these, the simulator synthesizes
+ * them: memoryless interarrival gaps, memoryless job lifetimes, and
+ * job types drawn from the Figure 11 mix densities. Everything flows
+ * through Rng, so a (config, seed) pair fully determines the trace.
+ */
+
+#ifndef COOPER_ONLINE_CHURN_HH
+#define COOPER_ONLINE_CHURN_HH
+
+#include "online/events.hh"
+#include "util/rng.hh"
+#include "workload/population.hh"
+
+namespace cooper {
+
+/** Shape of a synthetic churn trace. */
+struct ChurnConfig
+{
+    /** Arrivals to generate (departures are added per lifetime). */
+    std::size_t arrivals = 200;
+
+    /** Jobs present at tick 0 (a warm initial population). */
+    std::size_t initialJobs = 24;
+
+    /** Mean gap between arrivals, in ticks. */
+    double meanInterarrivalTicks = 12.0;
+
+    /** Mean job lifetime, in ticks. */
+    double meanLifetimeTicks = 600.0;
+
+    /** Job-type mix density. */
+    MixKind mix = MixKind::Uniform;
+
+    /** Jobs still running at the end keep running: drop their
+     *  departure events instead of truncating their lifetimes. */
+    bool openEnded = false;
+};
+
+/**
+ * Generate a churn trace over `catalog`'s job types.
+ *
+ * Initial jobs arrive at tick 0; later arrivals follow exponential
+ * gaps; every job departs after an exponential lifetime (unless
+ * openEnded keeps the tail running). Uids are assigned in arrival
+ * order starting at 1.
+ */
+ChurnTrace generateChurnTrace(const Catalog &catalog,
+                              const ChurnConfig &config, Rng &rng);
+
+} // namespace cooper
+
+#endif // COOPER_ONLINE_CHURN_HH

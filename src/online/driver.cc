@@ -1,0 +1,507 @@
+#include "driver.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/obs.hh"
+#include "sim/profiler.hh"
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+// Substream purposes. Every random decision is drawn from
+// base.substream(tag).substream(key), so nothing depends on how many
+// draws earlier epochs made.
+constexpr std::uint64_t kPolicyStream = 0xA1;
+constexpr std::uint64_t kProbeStream = 0xA2;
+constexpr std::uint64_t kRefreshStream = 0xA3;
+
+ItemKnnConfig
+effectivePredictorConfig(const FrameworkConfig &config)
+{
+    // Same inheritance rule as CooperFramework: the predictor uses
+    // the execution-wide thread knob unless it sets its own.
+    ItemKnnConfig out = config.predictor;
+    if (out.threads == 1)
+        out.threads = config.execution.threads;
+    return out;
+}
+
+/** Mean of `repeats` measurements of `self` colocated with `other`. */
+double
+meanMeasurement(SystemProfiler &profiler, JobTypeId self, JobTypeId other,
+                std::size_t repeats)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < repeats; ++i)
+        sum += profiler.measure(self, other);
+    return sum / static_cast<double>(repeats);
+}
+
+std::string
+jsonNum(double value)
+{
+    std::ostringstream os;
+    os << std::setprecision(17) << value;
+    return os.str();
+}
+
+} // namespace
+
+OnlineDriver::OnlineDriver(const Catalog &catalog,
+                           const InterferenceModel &model,
+                           FrameworkConfig config, std::uint64_t seed)
+    : catalog_(&catalog), model_(&model), config_(std::move(config)),
+      seed_(seed), base_(seed),
+      predictor_(catalog.size(), effectivePredictorConfig(config_)),
+      repairer_(config_.policy, config_.alpha,
+                config_.execution.online.migrationBudget,
+                config_.execution.online.fullRematchBlockingPairs),
+      admission_(config_.execution.online.maxQueueDepth)
+{
+    const OnlineConfig &online = config_.execution.online;
+    fatalIf(online.epochTicks == 0,
+            "OnlineDriver: epochTicks must be positive");
+    fatalIf(online.admitPerEpoch == 0,
+            "OnlineDriver: admitPerEpoch must be positive (the queue "
+            "could never drain)");
+    fatalIf(online.profileRepeats == 0,
+            "OnlineDriver: profileRepeats must be positive");
+}
+
+Tick
+OnlineDriver::clockTick() const
+{
+    return epoch_ * config_.execution.online.epochTicks;
+}
+
+std::size_t
+OnlineDriver::probeArrival(JobUid uid, JobTypeId type)
+{
+    const OnlineConfig &online = config_.execution.online;
+    Rng pick = base_.substream(kProbeStream).substream(uid);
+    SystemProfiler profiler(*model_, config_.noise, pick());
+
+    // The self colocation is always measured: it anchors the row even
+    // when the population is empty (the very first admissions).
+    predictor_.observe(type, type,
+                       meanMeasurement(profiler, type, type,
+                                       online.profileRepeats));
+    std::size_t probes = 1;
+
+    // Probe against up to probesPerArrival distinct types present in
+    // the running population, chosen by the arrival's substream. One
+    // colocation run yields both directions' penalties.
+    std::vector<JobTypeId> candidates;
+    for (const LiveJob &job : live_)
+        if (job.type != type)
+            candidates.push_back(job.type);
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    pick.shuffle(candidates);
+    if (candidates.size() > online.probesPerArrival)
+        candidates.resize(online.probesPerArrival);
+
+    for (JobTypeId other : candidates) {
+        predictor_.observe(type, other,
+                           meanMeasurement(profiler, type, other,
+                                           online.profileRepeats));
+        predictor_.observe(other, type,
+                           meanMeasurement(profiler, other, type,
+                                           online.profileRepeats));
+        ++probes;
+    }
+    return probes;
+}
+
+std::size_t
+OnlineDriver::refreshProfiles()
+{
+    const OnlineConfig &online = config_.execution.online;
+    if (online.refreshProbesPerEpoch == 0)
+        return 0;
+    const auto entries = predictor_.ratings().entries();
+    if (entries.empty())
+        return 0;
+
+    Rng pick = base_.substream(kRefreshStream).substream(epoch_);
+    SystemProfiler profiler(*model_, config_.noise, pick());
+    for (std::size_t i = 0; i < online.refreshProbesPerEpoch; ++i) {
+        const auto &cell = entries[pick.uniformInt(entries.size())];
+        predictor_.observe(cell.row, cell.col,
+                           meanMeasurement(profiler, cell.row, cell.col,
+                                           online.profileRepeats));
+    }
+    return online.refreshProbesPerEpoch;
+}
+
+bool
+OnlineDriver::departLive(JobUid uid)
+{
+    const auto it =
+        std::find_if(live_.begin(), live_.end(),
+                     [uid](const LiveJob &job) { return job.uid == uid; });
+    if (it == live_.end())
+        return false;
+    const auto link = partner_.find(uid);
+    if (link != partner_.end()) {
+        const JobUid other = link->second;
+        partner_.erase(link);
+        partner_.erase(other);
+    }
+    live_.erase(it);
+    return true;
+}
+
+Matching
+OnlineDriver::carriedMatching() const
+{
+    std::map<JobUid, AgentId> index;
+    for (AgentId i = 0; i < live_.size(); ++i)
+        index.emplace(live_[i].uid, i);
+
+    Matching prev(live_.size());
+    for (const auto &[uid, other] : partner_) {
+        if (uid >= other)
+            continue;
+        const auto a = index.find(uid);
+        const auto b = index.find(other);
+        panicIf(a == index.end() || b == index.end(),
+                "OnlineDriver: matched uid not live");
+        prev.pair(a->second, b->second);
+    }
+    return prev;
+}
+
+std::vector<std::pair<JobUid, JobUid>>
+OnlineDriver::pairsSnapshot() const
+{
+    std::vector<std::pair<JobUid, JobUid>> pairs;
+    for (const auto &[uid, other] : partner_)
+        if (uid < other)
+            pairs.emplace_back(uid, other);
+    return pairs; // map iteration order: already ascending
+}
+
+void
+OnlineDriver::runOneEpoch(EventQueue &queue, OnlineReport &report)
+{
+    const TraceSpan span("online.epoch", "online");
+    const ScopedTimer timer("online.epoch_seconds");
+    const OnlineConfig &online = config_.execution.online;
+    const Tick boundary = (epoch_ + 1) * online.epochTicks;
+
+    OnlineEpochStats stats;
+    stats.epoch = epoch_;
+    stats.tick = boundary;
+
+    // 1. Drain this epoch's events. Arrivals wait for admission;
+    // departures take effect immediately (the job is gone whether or
+    // not the coordinator has re-matched yet).
+    while (!queue.empty() && queue.nextTick() < boundary) {
+        const ChurnEvent event = queue.pop();
+        if (event.kind == EventKind::Arrival) {
+            fatalIf(event.type >= catalog_->size(),
+                    "OnlineDriver: trace type ", event.type,
+                    " outside the catalog (", catalog_->size(),
+                    " types)");
+            ++stats.arrivals;
+            ++totalArrivals_;
+            admission_.offer(PendingArrival{event.uid, event.type,
+                                            event.tick});
+        } else {
+            ++stats.departures;
+            ++totalDepartures_;
+            if (admission_.withdraw(event.uid))
+                continue; // gave up waiting in the queue
+            departLive(event.uid); // false: its arrival was rejected
+        }
+    }
+    stats.rejectedTotal = admission_.rejected();
+
+    // 2. Admit up to the profiling capacity; probe each admission
+    // before it joins the population.
+    const auto admitted = admission_.admit(online.admitPerEpoch);
+    stats.admitted = admitted.size();
+    totalAdmitted_ += admitted.size();
+    for (const PendingArrival &arrival : admitted) {
+        stats.probes += probeArrival(arrival.uid, arrival.type);
+        live_.push_back(LiveJob{arrival.uid, arrival.type});
+    }
+    stats.probes += refreshProfiles();
+    totalProbes_ += stats.probes;
+    stats.queueDepth = admission_.depth();
+
+    // 3. Predict, build the epoch's instance, repair the carried-over
+    // matching.
+    if (live_.size() >= 2) {
+        const Prediction *prediction = nullptr;
+        Prediction full;
+        {
+            // Both modes feed the same histogram so bench_online can
+            // compare warm-started against from-scratch prediction.
+            const ScopedTimer predict_timer("online.predict_seconds");
+            if (online.incremental) {
+                prediction = &predictor_.predict();
+                const IncrementalStats &ps = predictor_.lastStats();
+                stats.dirtyCells = ps.dirtyCells;
+                stats.recomputedPairs = ps.recomputedPairs;
+                stats.predictCacheHit = ps.cacheHit;
+                stats.predictIncremental = ps.incremental;
+            } else {
+                const ItemKnnPredictor cold(
+                    effectivePredictorConfig(config_));
+                full = cold.predict(predictor_.ratings());
+                prediction = &full;
+            }
+        }
+
+        const std::size_t n = catalog_->size();
+        PenaltyMatrix truth = model_->penaltyMatrix();
+        PenaltyMatrix believed(n);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                believed(i, j) = prediction->dense[i][j];
+
+        std::vector<JobTypeId> types;
+        types.reserve(live_.size());
+        for (const LiveJob &job : live_)
+            types.push_back(job.type);
+        const ColocationInstance instance(*catalog_, std::move(types),
+                                          std::move(truth),
+                                          std::move(believed),
+                                          config_.jitter);
+
+        const Matching prev = carriedMatching();
+        Rng rng = base_.substream(kPolicyStream).substream(epoch_);
+        const RepairOutcome out = repairer_.repair(
+            instance, prev, rng, config_.execution.threads);
+
+        stats.blockingBefore = out.blockingBefore;
+        stats.pairsBroken = out.pairsBroken;
+        stats.fullRematch = out.fullRematch;
+        for (const auto &[a, b] : prev.pairs())
+            if (out.matching.partnerOf(a) != b)
+                stats.migrations += 2;
+
+        partner_.clear();
+        for (const auto &[a, b] : out.matching.pairs()) {
+            partner_[live_[a].uid] = live_[b].uid;
+            partner_[live_[b].uid] = live_[a].uid;
+        }
+        stats.meanPenalty = instance.meanTruePenalty(out.matching);
+
+        totalMigrations_ += stats.migrations;
+        totalPairsBroken_ += stats.pairsBroken;
+        if (out.fullRematch)
+            ++totalFullRematches_;
+    } else {
+        // Nobody to pair. A lone survivor of a departed pair was
+        // already widowed by departLive.
+        partner_.clear();
+    }
+
+    stats.population = live_.size();
+    lastMeanPenalty_ = stats.meanPenalty;
+
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        metrics->counter("online.epochs").add(1);
+        metrics->counter("online.arrivals").add(stats.arrivals);
+        metrics->counter("online.departures").add(stats.departures);
+        metrics->counter("online.admitted").add(stats.admitted);
+        metrics->counter("online.probes").add(stats.probes);
+        metrics->counter("online.migrations").add(stats.migrations);
+        metrics->gauge("online.population")
+            .set(static_cast<double>(stats.population));
+        metrics->gauge("online.queue_depth")
+            .set(static_cast<double>(stats.queueDepth));
+        metrics->gauge("online.mean_penalty").set(stats.meanPenalty);
+    }
+
+    report.epochs.push_back(stats);
+    ++epoch_;
+}
+
+OnlineReport
+OnlineDriver::run(const ChurnTrace &trace)
+{
+    // Honor the framework-level observability knob (passive when an
+    // outer session, e.g. the CLI's, is already installed).
+    const ObsScope obs_scope(config_.execution.obs);
+    const TraceSpan span("online.run", "online");
+
+    EventQueue queue;
+    queue.push(trace);
+    if (!queue.empty() && queue.nextTick() < clockTick())
+        fatal("OnlineDriver::run: trace begins at tick ",
+              queue.nextTick(), ", before the clock (", clockTick(),
+              "); resume with trace.suffix(clockTick())");
+
+    OnlineReport report;
+    report.policy = config_.policy;
+    report.seed = seed_;
+    report.startEpoch = epoch_;
+
+    while (!queue.empty() || admission_.depth() > 0)
+        runOneEpoch(queue, report);
+
+    report.totalArrivals = totalArrivals_;
+    report.totalDepartures = totalDepartures_;
+    report.totalAdmitted = totalAdmitted_;
+    report.totalRejected = admission_.rejected();
+    report.totalProbes = totalProbes_;
+    report.totalMigrations = totalMigrations_;
+    report.totalPairsBroken = totalPairsBroken_;
+    report.totalFullRematches = totalFullRematches_;
+    report.finalPopulation = live_.size();
+    report.finalMeanPenalty = lastMeanPenalty_;
+    report.finalPairs = pairsSnapshot();
+    return report;
+}
+
+OnlineState
+OnlineDriver::snapshot() const
+{
+    OnlineState state;
+    state.seed = seed_;
+    state.epoch = epoch_;
+    state.clockTick = clockTick();
+    state.live = live_;
+    state.pairs = pairsSnapshot();
+    state.pending = admission_.snapshot();
+    state.rejected = admission_.rejected();
+    state.queueHighWater = admission_.highWater();
+    state.totalArrivals = totalArrivals_;
+    state.totalDepartures = totalDepartures_;
+    state.totalAdmitted = totalAdmitted_;
+    state.totalProbes = totalProbes_;
+    state.totalMigrations = totalMigrations_;
+    state.totalPairsBroken = totalPairsBroken_;
+    state.totalFullRematches = totalFullRematches_;
+    state.lastMeanPenalty = lastMeanPenalty_;
+    state.ratings = predictor_.ratings();
+    return state;
+}
+
+void
+OnlineDriver::restore(const OnlineState &state)
+{
+    fatalIf(state.seed != seed_,
+            "OnlineDriver::restore: checkpoint seed ", state.seed,
+            " does not match the driver seed ", seed_);
+    fatalIf(state.ratings.rows() != catalog_->size() ||
+                state.ratings.cols() != catalog_->size(),
+            "OnlineDriver::restore: ratings matrix is ",
+            state.ratings.rows(), "x", state.ratings.cols(),
+            ", catalog has ", catalog_->size(), " types");
+
+    live_ = state.live;
+    partner_.clear();
+    for (const auto &[a, b] : state.pairs) {
+        fatalIf(a >= b, "OnlineDriver::restore: unordered pair");
+        const auto isLive = [this](JobUid uid) {
+            return std::find_if(live_.begin(), live_.end(),
+                                [uid](const LiveJob &job) {
+                                    return job.uid == uid;
+                                }) != live_.end();
+        };
+        fatalIf(!isLive(a) || !isLive(b),
+                "OnlineDriver::restore: matched uid not in the live "
+                "population");
+        fatalIf(partner_.count(a) != 0 || partner_.count(b) != 0,
+                "OnlineDriver::restore: uid matched twice");
+        partner_[a] = b;
+        partner_[b] = a;
+    }
+    admission_.restore(state.pending, state.rejected,
+                       state.queueHighWater);
+    epoch_ = state.epoch;
+    fatalIf(state.clockTick != clockTick(),
+            "OnlineDriver::restore: checkpoint tick ", state.clockTick,
+            " does not match epoch ", epoch_, " * epochTicks");
+    totalArrivals_ = state.totalArrivals;
+    totalDepartures_ = state.totalDepartures;
+    totalAdmitted_ = state.totalAdmitted;
+    totalProbes_ = state.totalProbes;
+    totalMigrations_ = state.totalMigrations;
+    totalPairsBroken_ = state.totalPairsBroken;
+    totalFullRematches_ = state.totalFullRematches;
+    lastMeanPenalty_ = state.lastMeanPenalty;
+    predictor_.reset(state.ratings);
+}
+
+void
+writeOnlineSummary(std::ostream &os, const OnlineReport &report)
+{
+    // Only decision-path quantities go here. Predictor diagnostics
+    // (dirty cells, recomputed pairs, cache hits) describe execution
+    // strategy and legitimately differ between incremental and
+    // full-predict runs whose decisions are identical; they are
+    // exposed through obs metrics and BENCH_online.json instead.
+    os << "{\n";
+    os << "  \"schema\": \"cooper.online.v1\",\n";
+    os << "  \"policy\": \"" << report.policy << "\",\n";
+    os << "  \"seed\": " << report.seed << ",\n";
+    os << "  \"start_epoch\": " << report.startEpoch << ",\n";
+    os << "  \"epochs\": [";
+    for (std::size_t i = 0; i < report.epochs.size(); ++i) {
+        const OnlineEpochStats &e = report.epochs[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    {\"epoch\": " << e.epoch
+           << ", \"tick\": " << e.tick
+           << ", \"population\": " << e.population
+           << ", \"arrivals\": " << e.arrivals
+           << ", \"departures\": " << e.departures
+           << ", \"admitted\": " << e.admitted
+           << ", \"queue_depth\": " << e.queueDepth
+           << ", \"rejected_total\": " << e.rejectedTotal
+           << ", \"probes\": " << e.probes
+           << ", \"blocking_before\": " << e.blockingBefore
+           << ", \"pairs_broken\": " << e.pairsBroken
+           << ", \"full_rematch\": " << (e.fullRematch ? "true" : "false")
+           << ", \"migrations\": " << e.migrations
+           << ", \"mean_penalty\": " << jsonNum(e.meanPenalty) << "}";
+    }
+    os << "\n  ],\n";
+    os << "  \"totals\": {\n";
+    os << "    \"arrivals\": " << report.totalArrivals << ",\n";
+    os << "    \"departures\": " << report.totalDepartures << ",\n";
+    os << "    \"admitted\": " << report.totalAdmitted << ",\n";
+    os << "    \"rejected\": " << report.totalRejected << ",\n";
+    os << "    \"probes\": " << report.totalProbes << ",\n";
+    os << "    \"migrations\": " << report.totalMigrations << ",\n";
+    os << "    \"pairs_broken\": " << report.totalPairsBroken << ",\n";
+    os << "    \"full_rematches\": " << report.totalFullRematches << "\n";
+    os << "  },\n";
+    os << "  \"final\": {\n";
+    os << "    \"population\": " << report.finalPopulation << ",\n";
+    os << "    \"mean_penalty\": " << jsonNum(report.finalMeanPenalty)
+       << ",\n";
+    os << "    \"pairs\": [";
+    for (std::size_t i = 0; i < report.finalPairs.size(); ++i) {
+        os << (i == 0 ? "" : ", ");
+        os << "[" << report.finalPairs[i].first << ", "
+           << report.finalPairs[i].second << "]";
+    }
+    os << "]\n";
+    os << "  }\n";
+    os << "}\n";
+}
+
+void
+saveOnlineSummary(const std::string &path, const OnlineReport &report)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "saveOnlineSummary: cannot open ", path);
+    writeOnlineSummary(out, report);
+    fatalIf(!out, "saveOnlineSummary: write to ", path, " failed");
+}
+
+} // namespace cooper

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Event-driven online colocation service.
+ *
+ * The offline framework plays one epoch over a fixed population; the
+ * OnlineDriver replays a churn trace on a virtual clock and runs
+ * Cooper continuously. Each epoch it drains the epoch's events
+ * (arrivals queue up for admission, departures free their partners),
+ * admits up to the profiling capacity, probes admitted jobs against
+ * the current population, re-predicts preferences with the
+ * warm-started IncrementalPredictor, and repairs the carried-over
+ * matching under a migration budget.
+ *
+ * Determinism contract: a (trace, seed, config) triple fully
+ * determines every pairing, penalty, and counter, for any thread
+ * count. No wall clock enters the decision path, and all randomness
+ * is drawn from Rng::substream keyed by (purpose, epoch or uid) — no
+ * generator state survives an epoch, which is also what makes
+ * checkpoint/restore exact (see OnlineState).
+ */
+
+#ifndef COOPER_ONLINE_DRIVER_HH
+#define COOPER_ONLINE_DRIVER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/framework.hh"
+#include "online/admission.hh"
+#include "online/events.hh"
+#include "online/incremental.hh"
+#include "online/repair.hh"
+#include "online/state.hh"
+
+namespace cooper {
+
+/** What one online epoch did. */
+struct OnlineEpochStats
+{
+    std::uint64_t epoch = 0;
+
+    /** Epoch-boundary tick at which the matching was decided. */
+    Tick tick = 0;
+
+    /** Live jobs after this epoch's admissions and departures. */
+    std::size_t population = 0;
+
+    std::size_t arrivals = 0;
+    std::size_t departures = 0;
+    std::size_t admitted = 0;
+
+    /** Admission-queue depth after admitting. */
+    std::size_t queueDepth = 0;
+
+    /** Cumulative backpressure rejections up to this epoch. */
+    std::size_t rejectedTotal = 0;
+
+    /** Probe colocations measured this epoch (admissions + refresh). */
+    std::size_t probes = 0;
+
+    /** Predictor diagnostics (see IncrementalStats). */
+    std::size_t dirtyCells = 0;
+    std::size_t recomputedPairs = 0;
+    bool predictCacheHit = false;
+    bool predictIncremental = false;
+
+    /** Repair diagnostics (see RepairOutcome). */
+    std::size_t blockingBefore = 0;
+    std::size_t pairsBroken = 0;
+    bool fullRematch = false;
+
+    /** Running jobs whose co-runner changed this epoch. */
+    std::size_t migrations = 0;
+
+    /** Mean true penalty over matched agents after repair. */
+    double meanPenalty = 0.0;
+};
+
+/** Everything one run() produced. */
+struct OnlineReport
+{
+    std::string policy;
+    std::uint64_t seed = 0;
+
+    /** First epoch this run played (non-zero after a restore). */
+    std::uint64_t startEpoch = 0;
+
+    std::vector<OnlineEpochStats> epochs;
+
+    /** Lifetime totals (across restores, not just this run). */
+    std::size_t totalArrivals = 0;
+    std::size_t totalDepartures = 0;
+    std::size_t totalAdmitted = 0;
+    std::size_t totalRejected = 0;
+    std::size_t totalProbes = 0;
+    std::size_t totalMigrations = 0;
+    std::size_t totalPairsBroken = 0;
+    std::size_t totalFullRematches = 0;
+
+    /** Final population and uid-level matching. */
+    std::size_t finalPopulation = 0;
+    double finalMeanPenalty = 0.0;
+    std::vector<std::pair<JobUid, JobUid>> finalPairs;
+};
+
+/**
+ * The online service: virtual clock, admission, probing, incremental
+ * prediction, budgeted repair.
+ */
+class OnlineDriver
+{
+  public:
+    /**
+     * @param catalog Job catalog (trace types index into it).
+     * @param model Ground-truth interference model the probes measure.
+     * @param config Framework settings; policy, alpha, noise,
+     *        predictor, jitter, and execution.online are honored
+     *        (sampleRatio/oracular/machines are offline-only).
+     * @param seed Root seed; all substreams derive from it.
+     */
+    OnlineDriver(const Catalog &catalog, const InterferenceModel &model,
+                 FrameworkConfig config, std::uint64_t seed = 1);
+
+    const FrameworkConfig &config() const { return config_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Epochs completed so far. */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** Virtual-clock position: every event with tick < clockTick()
+     *  has been processed. */
+    Tick clockTick() const;
+
+    /** Current live population in admission order. */
+    const std::vector<LiveJob> &live() const { return live_; }
+
+    /**
+     * Replay a trace to completion: epochs advance until the trace is
+     * drained and the admission queue is empty. On a restored driver,
+     * pass `trace.suffix(clockTick())`; a trace starting before the
+     * clock is fatal.
+     */
+    OnlineReport run(const ChurnTrace &trace);
+
+    /** Checkpoint the driver between epochs. */
+    OnlineState snapshot() const;
+
+    /** Resume from a checkpoint taken with the same seed/config. */
+    void restore(const OnlineState &state);
+
+  private:
+    void runOneEpoch(EventQueue &queue, OnlineReport &report);
+
+    /** Probe one admitted arrival; returns colocations measured. */
+    std::size_t probeArrival(JobUid uid, JobTypeId type);
+
+    /** Re-measure known cells to keep profiles fresh. */
+    std::size_t refreshProfiles();
+
+    /** Departure bookkeeping; false when the uid is not live (its
+     *  arrival was rejected, or predates a resumed suffix). */
+    bool departLive(JobUid uid);
+
+    /** Previous matching mapped onto current agent indices. */
+    Matching carriedMatching() const;
+
+    /** Uid-level pairs, first < second, ascending. */
+    std::vector<std::pair<JobUid, JobUid>> pairsSnapshot() const;
+
+    const Catalog *catalog_;
+    const InterferenceModel *model_;
+    FrameworkConfig config_;
+    std::uint64_t seed_;
+
+    /** Root generator; never advanced, only substream()'d. */
+    Rng base_;
+
+    IncrementalPredictor predictor_;
+    RepairingPolicy repairer_;
+    AdmissionQueue admission_;
+
+    std::vector<LiveJob> live_;
+    std::map<JobUid, JobUid> partner_;
+
+    std::uint64_t epoch_ = 0;
+    std::size_t totalArrivals_ = 0;
+    std::size_t totalDepartures_ = 0;
+    std::size_t totalAdmitted_ = 0;
+    std::size_t totalProbes_ = 0;
+    std::size_t totalMigrations_ = 0;
+    std::size_t totalPairsBroken_ = 0;
+    std::size_t totalFullRematches_ = 0;
+    double lastMeanPenalty_ = 0.0;
+};
+
+/**
+ * Deterministic run summary (schema cooper.online.v1). Contains only
+ * decision-path quantities — no timings — so two replays of the same
+ * (trace, seed, config) emit byte-identical files at any thread
+ * count; `cooper_cli serve` relies on this for its replay check.
+ */
+void writeOnlineSummary(std::ostream &os, const OnlineReport &report);
+
+/** File wrapper; raises FatalError on I/O failure. */
+void saveOnlineSummary(const std::string &path,
+                       const OnlineReport &report);
+
+} // namespace cooper
+
+#endif // COOPER_ONLINE_DRIVER_HH

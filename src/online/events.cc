@@ -1,0 +1,197 @@
+#include "events.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+constexpr const char *kTraceHeader = "cooper-trace";
+constexpr int kTraceVersion = 1;
+
+/** Sort events by (tick, input order) and check uid discipline. */
+std::vector<ChurnEvent>
+canonicalize(std::vector<ChurnEvent> events, bool allow_orphan_departs)
+{
+    std::vector<std::size_t> order(events.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return events[a].tick < events[b].tick;
+                     });
+    std::vector<ChurnEvent> sorted;
+    sorted.reserve(events.size());
+    for (std::size_t i : order)
+        sorted.push_back(events[i]);
+
+    std::unordered_set<JobUid> live, seen;
+    for (const ChurnEvent &event : sorted) {
+        if (event.kind == EventKind::Arrival) {
+            fatalIf(!seen.insert(event.uid).second,
+                    "ChurnTrace: arrival uid ", event.uid, " re-used");
+            live.insert(event.uid);
+        } else if (live.erase(event.uid) == 0) {
+            fatalIf(!allow_orphan_departs,
+                    "ChurnTrace: departure of unknown uid ", event.uid);
+        }
+    }
+    return sorted;
+}
+
+} // namespace
+
+ChurnTrace::ChurnTrace(std::vector<ChurnEvent> events)
+    : events_(canonicalize(std::move(events),
+                           /*allow_orphan_departs=*/false))
+{}
+
+Tick
+ChurnTrace::lastTick() const
+{
+    return events_.empty() ? 0 : events_.back().tick;
+}
+
+ChurnTrace
+ChurnTrace::suffix(Tick from) const
+{
+    std::vector<ChurnEvent> tail;
+    for (const ChurnEvent &event : events_)
+        if (event.tick >= from)
+            tail.push_back(event);
+    // Departures whose arrivals happened before the cut are legal
+    // here: the resumed driver looks them up in its restored
+    // population.
+    ChurnTrace out;
+    out.events_ = canonicalize(std::move(tail),
+                               /*allow_orphan_departs=*/true);
+    return out;
+}
+
+bool
+EventQueue::laterThan(const Node &a, const Node &b)
+{
+    // std::push_heap builds a max-heap; invert for a min-heap keyed
+    // on (tick, push sequence).
+    if (a.event.tick != b.event.tick)
+        return a.event.tick > b.event.tick;
+    return a.seq > b.seq;
+}
+
+void
+EventQueue::push(const ChurnEvent &event)
+{
+    heap_.push_back(Node{event, nextSeq_++});
+    std::push_heap(heap_.begin(), heap_.end(), laterThan);
+}
+
+void
+EventQueue::push(const ChurnTrace &trace)
+{
+    for (const ChurnEvent &event : trace.events())
+        push(event);
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    fatalIf(heap_.empty(), "EventQueue: nextTick on empty queue");
+    return heap_.front().event.tick;
+}
+
+ChurnEvent
+EventQueue::pop()
+{
+    fatalIf(heap_.empty(), "EventQueue: pop on empty queue");
+    std::pop_heap(heap_.begin(), heap_.end(), laterThan);
+    const ChurnEvent event = heap_.back().event;
+    heap_.pop_back();
+    return event;
+}
+
+void
+writeTrace(std::ostream &os, const ChurnTrace &trace)
+{
+    os << kTraceHeader << " " << kTraceVersion << " " << trace.size()
+       << "\n";
+    for (const ChurnEvent &event : trace.events()) {
+        if (event.kind == EventKind::Arrival)
+            os << "arrive " << event.tick << " " << event.uid << " "
+               << event.type << "\n";
+        else
+            os << "depart " << event.tick << " " << event.uid << "\n";
+    }
+}
+
+ChurnTrace
+readTrace(std::istream &is)
+{
+    std::string line;
+    fatalIf(!std::getline(is, line), "readTrace: empty input");
+    std::istringstream header(line);
+    std::string word;
+    int version = 0;
+    std::size_t count = 0;
+    header >> word >> version >> count;
+    fatalIf(word != kTraceHeader, "readTrace: expected '", kTraceHeader,
+            "' header, got '", word, "'");
+    fatalIf(version != kTraceVersion,
+            "readTrace: unsupported version ", version);
+
+    std::vector<ChurnEvent> events;
+    events.reserve(count);
+    std::size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::istringstream cells(line);
+        std::string verb;
+        ChurnEvent event;
+        cells >> verb;
+        if (verb == "arrive") {
+            event.kind = EventKind::Arrival;
+            fatalIf(!(cells >> event.tick >> event.uid >> event.type),
+                    "readTrace: malformed arrival on line ", lineno,
+                    ": '", line, "'");
+        } else if (verb == "depart") {
+            event.kind = EventKind::Departure;
+            fatalIf(!(cells >> event.tick >> event.uid),
+                    "readTrace: malformed departure on line ", lineno,
+                    ": '", line, "'");
+        } else {
+            fatal("readTrace: unknown verb '", verb, "' on line ",
+                  lineno);
+        }
+        events.push_back(event);
+    }
+    fatalIf(events.size() != count, "readTrace: header declares ",
+            count, " events, found ", events.size());
+    return ChurnTrace(std::move(events));
+}
+
+void
+saveTrace(const std::string &path, const ChurnTrace &trace)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "saveTrace: cannot open '", path, "'");
+    writeTrace(out, trace);
+    fatalIf(!out.flush(), "saveTrace: write to '", path, "' failed");
+}
+
+ChurnTrace
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "loadTrace: cannot open '", path, "'");
+    return readTrace(in);
+}
+
+} // namespace cooper

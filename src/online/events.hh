@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Timestamped job churn events and the deterministic event queue.
+ *
+ * The online service is driven by arrival/departure events on a
+ * virtual clock measured in integer ticks — no wall-clock ever enters
+ * the decision path, so replaying a trace is exact. Events carry a
+ * trace-scoped job id assigned at arrival; a departure names the id
+ * of the arrival it ends.
+ */
+
+#ifndef COOPER_ONLINE_EVENTS_HH
+#define COOPER_ONLINE_EVENTS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.hh"
+
+namespace cooper {
+
+/** Virtual time, in ticks. */
+using Tick = std::uint64_t;
+
+/** Trace-scoped job identity, stable across population reshuffles. */
+using JobUid = std::uint64_t;
+
+/** What happens at an event's tick. */
+enum class EventKind
+{
+    Arrival,   //!< a job of `type` enters, identified by `uid`
+    Departure, //!< the job `uid` leaves
+};
+
+/** One churn event. */
+struct ChurnEvent
+{
+    Tick tick = 0;
+    EventKind kind = EventKind::Arrival;
+    JobUid uid = 0;
+
+    /** Job type; meaningful for arrivals only. */
+    JobTypeId type = 0;
+};
+
+/**
+ * A validated sequence of churn events.
+ *
+ * Construction sorts by (tick, sequence) — ties keep input order, so
+ * a trace file replays in exactly its line order — and rejects
+ * malformed traces: departures of unknown or already-departed uids,
+ * and re-used arrival uids.
+ */
+class ChurnTrace
+{
+  public:
+    ChurnTrace() = default;
+
+    /** Validate and adopt events; raises FatalError when invalid. */
+    explicit ChurnTrace(std::vector<ChurnEvent> events);
+
+    const std::vector<ChurnEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /** Tick of the last event; 0 for an empty trace. */
+    Tick lastTick() const;
+
+    /** Events with tick >= `from`, re-validated as a standalone trace
+     *  (arrivals before the cut are dropped along with their
+     *  departures' pairing check relaxed — used to resume a
+     *  checkpointed run against the tail of its trace). */
+    ChurnTrace suffix(Tick from) const;
+
+  private:
+    std::vector<ChurnEvent> events_;
+};
+
+/**
+ * Min-heap of churn events ordered by (tick, push sequence): two
+ * events at the same tick pop in push order, so draining the queue is
+ * deterministic no matter how it was filled.
+ */
+class EventQueue
+{
+  public:
+    void push(const ChurnEvent &event);
+
+    /** Enqueue a whole trace (in its canonical order). */
+    void push(const ChurnTrace &trace);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event; fatal when empty. */
+    Tick nextTick() const;
+
+    /** Pop the earliest event; fatal when empty. */
+    ChurnEvent pop();
+
+  private:
+    struct Node
+    {
+        ChurnEvent event;
+        std::uint64_t seq = 0;
+    };
+
+    static bool laterThan(const Node &a, const Node &b);
+
+    std::vector<Node> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+/** Write a trace; format: "cooper-trace 1 <n>" header, then one
+ *  "arrive <tick> <uid> <type>" or "depart <tick> <uid>" line per
+ *  event. */
+void writeTrace(std::ostream &os, const ChurnTrace &trace);
+
+/** Parse a trace; raises FatalError on malformed input. */
+ChurnTrace readTrace(std::istream &is);
+
+/** Convenience file wrappers; raise FatalError on I/O failure. */
+void saveTrace(const std::string &path, const ChurnTrace &trace);
+ChurnTrace loadTrace(const std::string &path);
+
+} // namespace cooper
+
+#endif // COOPER_ONLINE_EVENTS_HH

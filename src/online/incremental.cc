@@ -1,0 +1,136 @@
+#include "incremental.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/obs.hh"
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+std::size_t
+wordsFor(std::size_t bits)
+{
+    return (bits + 63) / 64;
+}
+
+void
+setBit(std::vector<std::uint64_t> &mask, std::size_t i)
+{
+    mask[i / 64] |= std::uint64_t(1) << (i % 64);
+}
+
+} // namespace
+
+IncrementalPredictor::IncrementalPredictor(std::size_t items,
+                                           ItemKnnConfig config)
+    : config_(config), ratings_(items, items), transposed_(items, items),
+      sim_(items), simT_(items), dirtyRows_(wordsFor(items), 0),
+      dirtyCols_(wordsFor(items), 0)
+{
+    fatalIf(items == 0, "IncrementalPredictor: empty matrix");
+}
+
+void
+IncrementalPredictor::setThreads(std::size_t threads)
+{
+    // Thread count never changes results (see DESIGN.md,
+    // "Parallelism & determinism"), so the caches stay valid.
+    config_.threads = threads;
+}
+
+void
+IncrementalPredictor::markDirty(std::size_t r, std::size_t c)
+{
+    setBit(dirtyRows_, r);
+    setBit(dirtyCols_, c);
+    dirty_ = true;
+}
+
+void
+IncrementalPredictor::observe(std::size_t r, std::size_t c, double value)
+{
+    fatalIf(r >= ratings_.rows() || c >= ratings_.cols(),
+            "IncrementalPredictor: cell (", r, ", ", c,
+            ") outside ", ratings_.rows(), "x", ratings_.cols());
+    if (ratings_.known(r, c) && ratings_.at(r, c) == value)
+        return;
+    ratings_.set(r, c, value);
+    transposed_.set(c, r, value);
+    markDirty(r, c);
+}
+
+void
+IncrementalPredictor::reset(const SparseMatrix &ratings)
+{
+    fatalIf(ratings.rows() != ratings_.rows() ||
+                ratings.cols() != ratings_.cols(),
+            "IncrementalPredictor: reset shape ", ratings.rows(), "x",
+            ratings.cols(), " does not match ", ratings_.rows(), "x",
+            ratings_.cols());
+    ratings_ = ratings;
+    SparseMatrix transposed(ratings.cols(), ratings.rows());
+    for (const auto &entry : ratings.entries())
+        transposed.set(entry.col, entry.row, entry.value);
+    transposed_ = transposed;
+    simValid_ = false;
+    dirty_ = true;
+    cached_.reset();
+}
+
+const Prediction &
+IncrementalPredictor::predict()
+{
+    const TraceSpan span("online.predict", "online");
+    stats_ = IncrementalStats{};
+    if (cached_ && !dirty_) {
+        stats_.cacheHit = true;
+        if (MetricsRegistry *metrics = obsMetrics())
+            metrics->counter("online.predict_cache_hits").add(1);
+        return *cached_;
+    }
+
+    const std::size_t n = ratings_.cols();
+    std::size_t dirty_cells = 0;
+    for (std::uint64_t word : dirtyCols_)
+        dirty_cells += static_cast<std::size_t>(std::popcount(word));
+    stats_.dirtyCells = dirty_cells;
+
+    // The bidirectional blend and its transpose view share the
+    // predictor's similarity semantics; both first-pass triangles are
+    // maintained. Transposing swaps the roles of the dirty masks.
+    const bool seeded = config_.bidirectional;
+    if (!simValid_) {
+        const ItemKnnPredictor predictor(config_);
+        sim_ = predictor.similarityTriangle(ratings_);
+        if (seeded)
+            simT_ = predictor.similarityTriangle(transposed_);
+        simValid_ = true;
+        stats_.recomputedPairs =
+            (seeded ? 2 : 1) * (n > 1 ? n * (n - 1) / 2 : 0);
+    } else if (dirty_) {
+        stats_.incremental = true;
+        stats_.recomputedPairs += updateSimilarityTriangle(
+            ratings_, config_, sim_, dirtyCols_, dirtyRows_);
+        if (seeded)
+            stats_.recomputedPairs += updateSimilarityTriangle(
+                transposed_, config_, simT_, dirtyRows_, dirtyCols_);
+    }
+
+    const ItemKnnPredictor predictor(config_);
+    cached_ = predictor.predictSeeded(ratings_, &sim_,
+                                      seeded ? &simT_ : nullptr);
+    std::fill(dirtyRows_.begin(), dirtyRows_.end(), 0);
+    std::fill(dirtyCols_.begin(), dirtyCols_.end(), 0);
+    dirty_ = false;
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        metrics->counter("online.predict_refills").add(1);
+        metrics->counter("online.similarity_pairs_recomputed")
+            .add(stats_.recomputedPairs);
+    }
+    return *cached_;
+}
+
+} // namespace cooper

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Warm-started preference prediction for the online service.
+ *
+ * The offline pipeline re-learns the whole preference predictor from
+ * scratch every epoch. Online, profile updates are sparse — a few
+ * probe measurements per admitted arrival — so most of the learned
+ * state is still valid. IncrementalPredictor keeps the ratings matrix
+ * and the first-pass similarity triangles (primary and transpose
+ * view) alive across epochs:
+ *
+ *  - an epoch with no new measurements returns the cached Prediction
+ *    without touching a single cell;
+ *  - an epoch with updates recomputes only the similarity pairs the
+ *    dirty rows/columns can have affected (updateSimilarityTriangle)
+ *    and re-runs the remaining prediction passes on top.
+ *
+ * Either way the result is bit-identical to a from-scratch
+ * ItemKnnPredictor::predict on the same ratings — incrementality is
+ * a pure wall-clock optimization, never a semantic one
+ * (tests/test_incremental.cc holds this property over random churn).
+ */
+
+#ifndef COOPER_ONLINE_INCREMENTAL_HH
+#define COOPER_ONLINE_INCREMENTAL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cf/item_knn.hh"
+#include "cf/sparse_matrix.hh"
+
+namespace cooper {
+
+/** What one predict() call actually did. */
+struct IncrementalStats
+{
+    /** Cached result served with no recompute at all. */
+    bool cacheHit = false;
+
+    /** Warm-started: only dirty similarity pairs recomputed. */
+    bool incremental = false;
+
+    /** Similarity pairs recomputed across both views (0 on a cache
+     *  hit; the full n*(n-1) on a cold start). */
+    std::size_t recomputedPairs = 0;
+
+    /** Cells whose value changed since the previous predict. */
+    std::size_t dirtyCells = 0;
+};
+
+/**
+ * Incrementally maintained item-kNN predictor over a ratings matrix.
+ */
+class IncrementalPredictor
+{
+  public:
+    /**
+     * @param items Side of the square ratings matrix (job types).
+     * @param config Predictor settings; threads may be adjusted later
+     *        via setThreads (results are thread-count independent).
+     */
+    explicit IncrementalPredictor(std::size_t items,
+                                  ItemKnnConfig config = {});
+
+    const SparseMatrix &ratings() const { return ratings_; }
+    const ItemKnnConfig &config() const { return config_; }
+
+    /** Retune the parallel fill width without invalidating state. */
+    void setThreads(std::size_t threads);
+
+    /**
+     * Record (or overwrite) a measurement. A no-op value equal to the
+     * current cell keeps the cache clean; anything else marks row `r`
+     * and column `c` dirty.
+     */
+    void observe(std::size_t r, std::size_t c, double value);
+
+    /** Replace the whole ratings matrix (checkpoint restore). */
+    void reset(const SparseMatrix &ratings);
+
+    /**
+     * The filled matrix for the current ratings; cached between
+     * calls. Bit-identical to
+     * ItemKnnPredictor(config).predict(ratings()).
+     */
+    const Prediction &predict();
+
+    /** Diagnostics of the most recent predict(). */
+    const IncrementalStats &lastStats() const { return stats_; }
+
+  private:
+    void markDirty(std::size_t r, std::size_t c);
+
+    ItemKnnConfig config_;
+    SparseMatrix ratings_;
+    SparseMatrix transposed_;
+
+    /** First-pass similarity triangles, primary and transpose view;
+     *  valid when simValid_ and no cell is dirty beyond the masks. */
+    SimilarityTriangle sim_;
+    SimilarityTriangle simT_;
+    bool simValid_ = false;
+
+    std::vector<std::uint64_t> dirtyRows_;
+    std::vector<std::uint64_t> dirtyCols_;
+    bool dirty_ = false;
+
+    std::optional<Prediction> cached_;
+    IncrementalStats stats_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_ONLINE_INCREMENTAL_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Configuration for the online colocation service.
+ *
+ * Kept dependency-free (like obs/config.hh) so ExecutionConfig can
+ * embed an OnlineConfig without pulling the online machinery into
+ * every translation unit that only wants the threads knob.
+ */
+
+#ifndef COOPER_ONLINE_ONLINE_CONFIG_HH
+#define COOPER_ONLINE_ONLINE_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cooper {
+
+/**
+ * Knobs of the event-driven online driver.
+ *
+ * All of them are semantic: they change which decisions the service
+ * makes, never whether a run is reproducible. A (trace, seed, config)
+ * triple fully determines every pairing, penalty, and counter the
+ * driver reports, for any thread count.
+ */
+struct OnlineConfig
+{
+    /** Virtual-clock ticks per epoch; the coordinator re-pairs at
+     *  every epoch boundary. */
+    std::uint64_t epochTicks = 100;
+
+    /**
+     * Profiling capacity: arrivals admitted from the queue per epoch.
+     * Each admission costs probe measurements, so this models how many
+     * new jobs the profiler can characterize per epoch.
+     */
+    std::size_t admitPerEpoch = 8;
+
+    /**
+     * Backpressure bound on the admission queue. Arrivals past this
+     * depth are rejected (counted, never silently dropped); 0 means
+     * unbounded.
+     */
+    std::size_t maxQueueDepth = 64;
+
+    /**
+     * Type-level probe colocations measured per admitted arrival,
+     * against co-runner types present in the current population. The
+     * sparse-probing counterpart of the offline profiler's
+     * sampleRatio.
+     */
+    std::size_t probesPerArrival = 4;
+
+    /** Measurements averaged per probe (as CoordinatorConfig's
+     *  profileRepeats). */
+    std::size_t profileRepeats = 3;
+
+    /**
+     * Cells re-measured per epoch to keep old profiles fresh; 0
+     * disables refresh. Refreshed cells overwrite the warm-start
+     * ratings and dirty the incremental predictor's similarity state.
+     */
+    std::size_t refreshProbesPerEpoch = 0;
+
+    /**
+     * Migration budget: kept pairs the repairing policy may break per
+     * epoch (beyond pairs already widowed by departures). Bounds
+     * churn imposed on running jobs.
+     */
+    std::size_t migrationBudget = 8;
+
+    /**
+     * When a repair epoch finds more blocking pairs than this among
+     * the kept pairs, the policy gives up on local repair and re-runs
+     * the full matching. 0 re-matches whenever any blocking pair
+     * exists.
+     */
+    std::size_t fullRematchBlockingPairs = 32;
+
+    /**
+     * Use the warm-started incremental predictor. Off forces a full
+     * re-prediction every epoch (the bench's baseline); results are
+     * bit-identical either way.
+     */
+    bool incremental = true;
+};
+
+} // namespace cooper
+
+#endif // COOPER_ONLINE_ONLINE_CONFIG_HH

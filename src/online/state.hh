@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Checkpointable state of the online colocation service.
+ *
+ * Everything the driver needs to resume a run is here: the virtual
+ * clock, the live population with its uid-level matching, the
+ * admission queue, the lifetime counters, and the warm-start profile
+ * matrix. Nothing else is required because all randomness is derived
+ * from (seed, epoch, uid) substreams — no generator ever advances
+ * across epochs — and pending trace events are reconstructed from the
+ * trace itself via ChurnTrace::suffix(clockTick).
+ */
+
+#ifndef COOPER_ONLINE_STATE_HH
+#define COOPER_ONLINE_STATE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cf/sparse_matrix.hh"
+#include "online/admission.hh"
+#include "online/events.hh"
+
+namespace cooper {
+
+/** One running job: trace identity plus its catalog type. */
+struct LiveJob
+{
+    JobUid uid = 0;
+    JobTypeId type = 0;
+};
+
+/**
+ * Snapshot of an OnlineDriver between epochs.
+ */
+struct OnlineState
+{
+    /** Seed the run was started with; restore refuses a mismatch. */
+    std::uint64_t seed = 0;
+
+    /** Epochs completed. */
+    std::uint64_t epoch = 0;
+
+    /** Virtual-clock position: every event with tick < clockTick has
+     *  been processed. Resume with trace.suffix(clockTick). */
+    Tick clockTick = 0;
+
+    /** Running jobs in admission order (agent ids are indices). */
+    std::vector<LiveJob> live;
+
+    /** Uid-level matching, first < second, ascending. */
+    std::vector<std::pair<JobUid, JobUid>> pairs;
+
+    /** Admission queue contents in FIFO order. */
+    std::vector<PendingArrival> pending;
+
+    /** Arrivals rejected by backpressure so far. */
+    std::size_t rejected = 0;
+
+    /** Deepest the admission queue has been. */
+    std::size_t queueHighWater = 0;
+
+    /** Lifetime counters (mirrored into OnlineReport totals). */
+    std::size_t totalArrivals = 0;
+    std::size_t totalDepartures = 0;
+    std::size_t totalAdmitted = 0;
+    std::size_t totalProbes = 0;
+    std::size_t totalMigrations = 0;
+    std::size_t totalPairsBroken = 0;
+    std::size_t totalFullRematches = 0;
+
+    /** Mean true penalty of the most recent epoch's matching. */
+    double lastMeanPenalty = 0.0;
+
+    /** Warm-start profile matrix (type-level measured penalties).
+     *  The 1x1 default is a placeholder (SparseMatrix rejects empty
+     *  shapes); snapshot() and readOnlineState() always replace it. */
+    SparseMatrix ratings{1, 1};
+};
+
+} // namespace cooper
+
+#endif // COOPER_ONLINE_STATE_HH

@@ -16,6 +16,7 @@
 #include <cstddef>
 
 #include "obs/config.hh"
+#include "online/online_config.hh"
 
 namespace cooper {
 
@@ -79,6 +80,15 @@ struct ExecutionConfig
      * only what gets recorded about the run.
      */
     ObsConfig obs;
+
+    /**
+     * Online-service knobs (epoch cadence, admission capacity,
+     * migration budget), read by the OnlineDriver when the framework
+     * runs event-driven instead of one-shot. Unlike `threads` and
+     * `obs`, these are semantic: they change which decisions the
+     * service makes — but never break reproducibility.
+     */
+    OnlineConfig online;
 };
 
 /**

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Equivalence tests for the incremental predictor: after any churn of
+ * observations, IncrementalPredictor::predict() must be bit-identical
+ * to a from-scratch ItemKnnPredictor over the same ratings matrix —
+ * the warm start is a wall-clock optimization, never a result change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "cf/item_knn.hh"
+#include "online/incremental.hh"
+#include "util/rng.hh"
+
+namespace cooper {
+namespace {
+
+bool
+sameDense(const std::vector<std::vector<double>> &a,
+          const std::vector<std::vector<double>> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t r = 0; r < a.size(); ++r) {
+        if (a[r].size() != b[r].size())
+            return false;
+        if (!a[r].empty() &&
+            std::memcmp(a[r].data(), b[r].data(),
+                        a[r].size() * sizeof(double)) != 0)
+            return false;
+    }
+    return true;
+}
+
+/** predict() == from-scratch predict of the same ratings, bitwise. */
+void
+expectMatchesColdStart(IncrementalPredictor &warm)
+{
+    const Prediction &inc = warm.predict();
+    const ItemKnnPredictor cold(warm.config());
+    const Prediction full = cold.predict(warm.ratings());
+    EXPECT_TRUE(sameDense(inc.dense, full.dense));
+    EXPECT_EQ(inc.iterations, full.iterations);
+    EXPECT_EQ(inc.fallbackCells, full.fallbackCells);
+}
+
+/** Random churn: sparse batches of observes, checking after each. */
+void
+churnAndCheck(const ItemKnnConfig &config, std::uint64_t seed)
+{
+    constexpr std::size_t kItems = 12;
+    constexpr std::size_t kBatches = 6;
+    IncrementalPredictor warm(kItems, config);
+    Rng rng(seed);
+
+    // Seed enough cells that similarities have support.
+    for (std::size_t i = 0; i < kItems; ++i)
+        for (std::size_t j = 0; j < kItems; ++j)
+            if (i == j || rng.uniform() < 0.4)
+                warm.observe(i, j, rng.uniform());
+    expectMatchesColdStart(warm);
+
+    for (std::size_t batch = 0; batch < kBatches; ++batch) {
+        const std::size_t writes = 1 + rng.uniformInt(4);
+        for (std::size_t w = 0; w < writes; ++w)
+            warm.observe(rng.uniformInt(kItems), rng.uniformInt(kItems),
+                         rng.uniform());
+        expectMatchesColdStart(warm);
+    }
+}
+
+TEST(IncrementalPredictor, MatchesColdStartDefaultConfig)
+{
+    churnAndCheck(ItemKnnConfig{}, 1);
+}
+
+TEST(IncrementalPredictor, MatchesColdStartAcrossSimilarities)
+{
+    for (const Similarity sim :
+         {Similarity::Cosine, Similarity::AdjustedCosine,
+          Similarity::Pearson}) {
+        ItemKnnConfig config;
+        config.similarity = sim;
+        churnAndCheck(config, 2);
+    }
+}
+
+TEST(IncrementalPredictor, MatchesColdStartAcrossNeighborCaps)
+{
+    for (const std::size_t neighbors : {0u, 4u}) {
+        ItemKnnConfig config;
+        config.neighbors = neighbors;
+        churnAndCheck(config, 3);
+    }
+}
+
+TEST(IncrementalPredictor, MatchesColdStartAcrossIterations)
+{
+    for (const std::size_t iterations : {1u, 2u}) {
+        ItemKnnConfig config;
+        config.iterations = iterations;
+        churnAndCheck(config, 4);
+    }
+}
+
+TEST(IncrementalPredictor, MatchesColdStartWithoutBidirectional)
+{
+    ItemKnnConfig config;
+    config.bidirectional = false;
+    churnAndCheck(config, 5);
+}
+
+TEST(IncrementalPredictor, MatchesColdStartAcrossThreadCounts)
+{
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        ItemKnnConfig config;
+        config.threads = threads;
+        churnAndCheck(config, 6);
+    }
+}
+
+TEST(IncrementalPredictor, SecondPredictIsACacheHit)
+{
+    IncrementalPredictor warm(6);
+    Rng rng(7);
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            warm.observe(i, j, rng.uniform());
+
+    warm.predict();
+    EXPECT_FALSE(warm.lastStats().cacheHit);
+
+    warm.predict();
+    EXPECT_TRUE(warm.lastStats().cacheHit);
+    EXPECT_EQ(warm.lastStats().recomputedPairs, 0u);
+}
+
+TEST(IncrementalPredictor, RewritingTheSameValueKeepsTheCache)
+{
+    IncrementalPredictor warm(6);
+    Rng rng(8);
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            warm.observe(i, j, rng.uniform());
+    warm.predict();
+
+    warm.observe(2, 3, warm.ratings().at(2, 3));
+    warm.predict();
+    EXPECT_TRUE(warm.lastStats().cacheHit);
+}
+
+TEST(IncrementalPredictor, NewValueInvalidatesTheCache)
+{
+    IncrementalPredictor warm(6);
+    Rng rng(9);
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            warm.observe(i, j, rng.uniform());
+    warm.predict();
+
+    warm.observe(2, 3, warm.ratings().at(2, 3) + 0.25);
+    warm.predict();
+    EXPECT_FALSE(warm.lastStats().cacheHit);
+    EXPECT_TRUE(warm.lastStats().incremental);
+    EXPECT_GT(warm.lastStats().recomputedPairs, 0u);
+    expectMatchesColdStart(warm);
+}
+
+TEST(IncrementalPredictor, IncrementalRecomputesFewerPairsThanCold)
+{
+    // Raw cosine: only pairs touching a dirty column recompute. (The
+    // adjusted-cosine centering also dirties every pair co-rated in a
+    // dirty row, which on a dense matrix is all of them.)
+    constexpr std::size_t kItems = 16;
+    ItemKnnConfig config;
+    config.similarity = Similarity::Cosine;
+    IncrementalPredictor warm(kItems, config);
+    Rng rng(10);
+    for (std::size_t i = 0; i < kItems; ++i)
+        for (std::size_t j = 0; j < kItems; ++j)
+            warm.observe(i, j, rng.uniform());
+
+    warm.predict();
+    const std::size_t cold_pairs = warm.lastStats().recomputedPairs;
+
+    warm.observe(3, 5, rng.uniform());
+    warm.predict();
+    EXPECT_TRUE(warm.lastStats().incremental);
+    EXPECT_LT(warm.lastStats().recomputedPairs, cold_pairs);
+    expectMatchesColdStart(warm);
+}
+
+TEST(IncrementalPredictor, ResetMatchesColdStart)
+{
+    IncrementalPredictor warm(8);
+    Rng rng(11);
+    for (std::size_t i = 0; i < 8; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            warm.observe(i, j, rng.uniform());
+    warm.predict();
+
+    SparseMatrix replacement(8, 8);
+    for (std::size_t i = 0; i < 8; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            if (i == j || rng.uniform() < 0.5)
+                replacement.set(i, j, rng.uniform());
+
+    warm.reset(replacement);
+    EXPECT_FALSE(warm.predict().dense.empty());
+    EXPECT_FALSE(warm.lastStats().cacheHit);
+    expectMatchesColdStart(warm);
+}
+
+} // namespace
+} // namespace cooper

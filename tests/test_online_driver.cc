@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Property tests for the online colocation service: trace replay is
+ * deterministic at any thread count, backpressure counts every
+ * rejection, the repairing policy honors its migration budget, and a
+ * mid-run checkpoint/restore replays into exactly the state a
+ * straight-through run reaches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/serialize.hh"
+#include "online/churn.hh"
+#include "online/driver.hh"
+#include "online/events.hh"
+#include "sim/interference.hh"
+#include "util/error.hh"
+#include "workload/catalog.hh"
+
+namespace cooper {
+namespace {
+
+struct Fixture
+{
+    Catalog catalog = Catalog::paperTableI();
+    InterferenceModel model{catalog};
+};
+
+ChurnTrace
+makeTrace(const Catalog &catalog, std::size_t arrivals,
+          std::uint64_t seed, double mean_gap = 6.0,
+          double mean_life = 400.0, bool open_ended = false)
+{
+    ChurnConfig churn;
+    churn.arrivals = arrivals;
+    churn.initialJobs = 12;
+    churn.meanInterarrivalTicks = mean_gap;
+    churn.meanLifetimeTicks = mean_life;
+    churn.openEnded = open_ended;
+    Rng rng(seed);
+    return generateChurnTrace(catalog, churn, rng);
+}
+
+std::string
+summaryOf(const OnlineReport &report)
+{
+    std::ostringstream out;
+    writeOnlineSummary(out, report);
+    return out.str();
+}
+
+TEST(ChurnTrace, RoundTripsThroughStreams)
+{
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 40, 1);
+    ASSERT_FALSE(trace.empty());
+
+    std::stringstream buffer;
+    writeTrace(buffer, trace);
+    const ChurnTrace back = readTrace(buffer);
+
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(back.events()[i].tick, trace.events()[i].tick);
+        EXPECT_EQ(back.events()[i].kind, trace.events()[i].kind);
+        EXPECT_EQ(back.events()[i].uid, trace.events()[i].uid);
+        EXPECT_EQ(back.events()[i].type, trace.events()[i].type);
+    }
+}
+
+TEST(EventQueue, PopsByTickThenPushOrder)
+{
+    EventQueue queue;
+    queue.push(ChurnEvent{30, EventKind::Arrival, 3, 0});
+    queue.push(ChurnEvent{10, EventKind::Arrival, 1, 0});
+    queue.push(ChurnEvent{10, EventKind::Arrival, 2, 0});
+    queue.push(ChurnEvent{10, EventKind::Departure, 1, 0});
+
+    EXPECT_EQ(queue.pop().uid, 1u);
+    const ChurnEvent second = queue.pop();
+    EXPECT_EQ(second.uid, 2u);
+    EXPECT_EQ(second.kind, EventKind::Arrival);
+    EXPECT_EQ(queue.pop().kind, EventKind::Departure);
+    EXPECT_EQ(queue.pop().tick, 30u);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(OnlineDriver, SameTraceSameSummaryAtAnyThreadCount)
+{
+    const Fixture fx;
+    // ~1k events: every arrival pairs with a departure.
+    const ChurnTrace trace = makeTrace(fx.catalog, 500, 2);
+    EXPECT_GE(trace.size(), 900u);
+
+    std::vector<std::string> summaries;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        FrameworkConfig config;
+        config.execution.threads = threads;
+        OnlineDriver driver(fx.catalog, fx.model, config, 17);
+        summaries.push_back(summaryOf(driver.run(trace)));
+    }
+    EXPECT_EQ(summaries[0], summaries[1]);
+    EXPECT_EQ(summaries[0], summaries[2]);
+}
+
+TEST(OnlineDriver, ReplayingTwiceIsBitIdentical)
+{
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 80, 3);
+    const FrameworkConfig config;
+
+    OnlineDriver first(fx.catalog, fx.model, config, 5);
+    OnlineDriver second(fx.catalog, fx.model, config, 5);
+    EXPECT_EQ(summaryOf(first.run(trace)), summaryOf(second.run(trace)));
+}
+
+TEST(OnlineDriver, BackpressureRejectsBeyondTheQueueBound)
+{
+    const Fixture fx;
+    // A tight burst against a tiny queue and slow admission.
+    const ChurnTrace trace =
+        makeTrace(fx.catalog, 120, 4, /*mean_gap=*/0.5);
+    FrameworkConfig config;
+    config.execution.online.admitPerEpoch = 2;
+    config.execution.online.maxQueueDepth = 4;
+
+    OnlineDriver driver(fx.catalog, fx.model, config, 6);
+    const OnlineReport report = driver.run(trace);
+
+    EXPECT_GT(report.totalRejected, 0u);
+    // Every arrival is admitted, rejected, or withdrawn (it departed
+    // while still waiting in the queue) — never lost.
+    EXPECT_LE(report.totalAdmitted + report.totalRejected,
+              report.totalArrivals);
+    for (const OnlineEpochStats &e : report.epochs)
+        EXPECT_LE(e.queueDepth, 4u);
+}
+
+TEST(OnlineDriver, UnboundedQueueAdmitsEverything)
+{
+    const Fixture fx;
+    // Open-ended, near-immortal jobs: nothing departs, so no arrival
+    // can be withdrawn while waiting — the queue must drain fully.
+    const ChurnTrace trace =
+        makeTrace(fx.catalog, 120, 4, /*mean_gap=*/0.5,
+                  /*mean_life=*/1e6, /*open_ended=*/true);
+    FrameworkConfig config;
+    config.execution.online.admitPerEpoch = 2;
+    config.execution.online.maxQueueDepth = 0; // unbounded
+
+    OnlineDriver driver(fx.catalog, fx.model, config, 6);
+    const OnlineReport report = driver.run(trace);
+    EXPECT_EQ(report.totalRejected, 0u);
+    EXPECT_EQ(report.totalAdmitted, report.totalArrivals);
+}
+
+/** Churned beliefs (refresh probes under noise) force repairs. */
+FrameworkConfig
+repairHappyConfig()
+{
+    FrameworkConfig config;
+    config.alpha = 0.0;
+    config.noise.sigma = 0.02;
+    config.execution.online.refreshProbesPerEpoch = 8;
+    return config;
+}
+
+TEST(OnlineDriver, RepairsRespectTheMigrationBudget)
+{
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 150, 7);
+    FrameworkConfig config = repairHappyConfig();
+    config.execution.online.migrationBudget = 2;
+    // Effectively never fall back to a full re-match.
+    config.execution.online.fullRematchBlockingPairs = 100000;
+
+    OnlineDriver driver(fx.catalog, fx.model, config, 8);
+    const OnlineReport report = driver.run(trace);
+
+    EXPECT_GT(report.totalPairsBroken, 0u); // the budget was exercised
+    EXPECT_EQ(report.totalFullRematches, 0u);
+    for (const OnlineEpochStats &e : report.epochs)
+        EXPECT_LE(e.pairsBroken, 2u);
+}
+
+TEST(OnlineDriver, BlockingFloodTriggersAFullRematch)
+{
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 150, 7);
+    FrameworkConfig config = repairHappyConfig();
+    config.execution.online.fullRematchBlockingPairs = 1;
+
+    OnlineDriver driver(fx.catalog, fx.model, config, 8);
+    const OnlineReport report = driver.run(trace);
+    EXPECT_GT(report.totalFullRematches, 0u);
+}
+
+TEST(OnlineDriver, MidRunCheckpointResumesExactly)
+{
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 200, 9);
+    FrameworkConfig config;
+    // Unbounded queue + generous admission: the prefix run drains
+    // without running epochs past the cut, so its final clock lands
+    // at or before the cut tick.
+    config.execution.online.admitPerEpoch = 64;
+    config.execution.online.maxQueueDepth = 0;
+
+    // Straight through.
+    OnlineDriver whole(fx.catalog, fx.model, config, 10);
+    const OnlineReport whole_report = whole.run(trace);
+
+    // Cut at an epoch boundary mid-trace; replay the prefix.
+    const Tick cut = 10 * config.execution.online.epochTicks;
+    std::vector<ChurnEvent> head;
+    for (const ChurnEvent &event : trace.events())
+        if (event.tick < cut)
+            head.push_back(event);
+    ASSERT_FALSE(head.empty());
+    ASSERT_LT(head.size(), trace.size());
+
+    OnlineDriver prefix(fx.catalog, fx.model, config, 10);
+    const OnlineReport prefix_report =
+        prefix.run(ChurnTrace(std::move(head)));
+    ASSERT_LE(prefix.clockTick(), cut);
+
+    // Resume a fresh driver from the checkpoint over the tail.
+    OnlineDriver resumed(fx.catalog, fx.model, config, 10);
+    resumed.restore(prefix.snapshot());
+    const OnlineReport tail_report =
+        resumed.run(trace.suffix(resumed.clockTick()));
+
+    // The stitched run must equal the straight-through run: same
+    // lifetime totals, same epoch sequence, same final state.
+    EXPECT_EQ(tail_report.totalArrivals, whole_report.totalArrivals);
+    EXPECT_EQ(tail_report.totalMigrations, whole_report.totalMigrations);
+    EXPECT_EQ(tail_report.totalProbes, whole_report.totalProbes);
+    ASSERT_EQ(prefix_report.epochs.size() + tail_report.epochs.size(),
+              whole_report.epochs.size());
+    for (std::size_t i = 0; i < whole_report.epochs.size(); ++i) {
+        const OnlineEpochStats &expect = whole_report.epochs[i];
+        const OnlineEpochStats &got =
+            i < prefix_report.epochs.size()
+                ? prefix_report.epochs[i]
+                : tail_report.epochs[i - prefix_report.epochs.size()];
+        EXPECT_EQ(got.epoch, expect.epoch);
+        EXPECT_EQ(got.population, expect.population);
+        EXPECT_EQ(got.migrations, expect.migrations);
+        EXPECT_EQ(got.meanPenalty, expect.meanPenalty);
+    }
+
+    std::ostringstream whole_state, resumed_state;
+    writeOnlineState(whole_state, whole.snapshot());
+    writeOnlineState(resumed_state, resumed.snapshot());
+    EXPECT_EQ(whole_state.str(), resumed_state.str());
+}
+
+TEST(OnlineDriver, RestoreRejectsForeignCheckpoints)
+{
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 30, 11);
+    const FrameworkConfig config;
+
+    OnlineDriver source(fx.catalog, fx.model, config, 12);
+    source.run(trace);
+    const OnlineState state = source.snapshot();
+
+    OnlineDriver wrong_seed(fx.catalog, fx.model, config, 13);
+    EXPECT_THROW(wrong_seed.restore(state), FatalError);
+
+    OnlineState wrong_shape = state;
+    wrong_shape.ratings = SparseMatrix(3, 3);
+    OnlineDriver shape_check(fx.catalog, fx.model, config, 12);
+    EXPECT_THROW(shape_check.restore(wrong_shape), FatalError);
+
+    OnlineState bad_pair = state;
+    bad_pair.pairs.assign({{999999, 1000000}});
+    OnlineDriver pair_check(fx.catalog, fx.model, config, 12);
+    EXPECT_THROW(pair_check.restore(bad_pair), FatalError);
+}
+
+TEST(OnlineDriver, RejectsDegenerateConfigs)
+{
+    const Fixture fx;
+    FrameworkConfig config;
+    config.execution.online.admitPerEpoch = 0;
+    EXPECT_THROW(OnlineDriver(fx.catalog, fx.model, config, 1),
+                 FatalError);
+
+    FrameworkConfig zero_ticks;
+    zero_ticks.execution.online.epochTicks = 0;
+    EXPECT_THROW(OnlineDriver(fx.catalog, fx.model, zero_ticks, 1),
+                 FatalError);
+}
+
+TEST(OnlineDriver, TraceBeforeTheClockIsFatal)
+{
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 40, 14);
+    const FrameworkConfig config;
+
+    OnlineDriver driver(fx.catalog, fx.model, config, 15);
+    driver.run(trace);
+    ASSERT_GT(driver.clockTick(), 0u);
+    EXPECT_THROW(driver.run(trace), FatalError);
+}
+
+} // namespace
+} // namespace cooper

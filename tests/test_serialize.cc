@@ -113,6 +113,157 @@ TEST(Serialize, FileRoundTrip)
     std::remove(matching_path.c_str());
 }
 
+OnlineState
+sampleOnlineState()
+{
+    OnlineState state;
+    state.seed = 42;
+    state.epoch = 3;
+    state.clockTick = 300;
+    state.live = {{1, 0}, {2, 4}, {5, 2}};
+    state.pairs = {{1, 5}};
+    state.pending = {{7, 1, 250}, {8, 3, 260}};
+    state.rejected = 2;
+    state.queueHighWater = 5;
+    state.totalArrivals = 9;
+    state.totalDepartures = 4;
+    state.totalAdmitted = 6;
+    state.totalProbes = 21;
+    state.totalMigrations = 8;
+    state.totalPairsBroken = 3;
+    state.totalFullRematches = 1;
+    state.lastMeanPenalty = 0.03125;
+    SparseMatrix ratings(6, 6);
+    ratings.set(0, 0, 0.125);
+    ratings.set(2, 4, -0.01);
+    ratings.set(4, 2, 0.3333333333333333);
+    state.ratings = ratings;
+    return state;
+}
+
+TEST(Serialize, OnlineStateRoundTrip)
+{
+    const OnlineState state = sampleOnlineState();
+    std::stringstream buffer;
+    writeOnlineState(buffer, state);
+    const OnlineState back = readOnlineState(buffer);
+
+    EXPECT_EQ(back.seed, 42u);
+    EXPECT_EQ(back.epoch, 3u);
+    EXPECT_EQ(back.clockTick, 300u);
+    ASSERT_EQ(back.live.size(), 3u);
+    EXPECT_EQ(back.live[1].uid, 2u);
+    EXPECT_EQ(back.live[1].type, 4u);
+    ASSERT_EQ(back.pairs.size(), 1u);
+    EXPECT_EQ(back.pairs[0].first, 1u);
+    EXPECT_EQ(back.pairs[0].second, 5u);
+    ASSERT_EQ(back.pending.size(), 2u);
+    EXPECT_EQ(back.pending[1].uid, 8u);
+    EXPECT_EQ(back.pending[1].arrivalTick, 260u);
+    EXPECT_EQ(back.rejected, 2u);
+    EXPECT_EQ(back.queueHighWater, 5u);
+    EXPECT_EQ(back.totalProbes, 21u);
+    EXPECT_EQ(back.totalFullRematches, 1u);
+    EXPECT_DOUBLE_EQ(back.lastMeanPenalty, 0.03125);
+    EXPECT_EQ(back.ratings.rows(), 6u);
+    EXPECT_EQ(back.ratings.knownCount(), 3u);
+    EXPECT_DOUBLE_EQ(back.ratings.at(4, 2), 0.3333333333333333);
+
+    // The round trip must be byte-stable, not just value-stable: a
+    // checkpoint written from a restored state is the same file.
+    std::stringstream first, second;
+    writeOnlineState(first, state);
+    writeOnlineState(second, back);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Serialize, OnlineStateRejectsWrongHeader)
+{
+    std::stringstream wrong("cooper-matching 1 4\n0 1\n");
+    EXPECT_THROW(readOnlineState(wrong), FatalError);
+    std::stringstream version("cooper-online-state 99\nseed 1\n");
+    EXPECT_THROW(readOnlineState(version), FatalError);
+}
+
+TEST(Serialize, OnlineStateRejectsTruncation)
+{
+    std::stringstream full;
+    writeOnlineState(full, sampleOnlineState());
+    const std::string text = full.str();
+
+    // Cut the document off after each of the first few lines; every
+    // prefix must be rejected, never half-read.
+    std::size_t pos = 0;
+    for (int lines = 0; lines < 6; ++lines) {
+        pos = text.find('\n', pos) + 1;
+        std::stringstream cut(text.substr(0, pos));
+        EXPECT_THROW(readOnlineState(cut), FatalError);
+    }
+}
+
+TEST(Serialize, OnlineStateRejectsBadKeyword)
+{
+    std::stringstream full;
+    writeOnlineState(full, sampleOnlineState());
+    std::string text = full.str();
+    const std::size_t at = text.find("penalty");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 7, "penalti");
+    std::stringstream corrupt(text);
+    EXPECT_THROW(readOnlineState(corrupt), FatalError);
+}
+
+TEST(Serialize, OnlineStateRejectsUnorderedPair)
+{
+    std::stringstream full;
+    writeOnlineState(full, sampleOnlineState());
+    std::string text = full.str();
+    const std::size_t at = text.find("pairs 1\n1 5\n");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 12, "pairs 1\n5 1\n");
+    std::stringstream corrupt(text);
+    EXPECT_THROW(readOnlineState(corrupt), FatalError);
+}
+
+TEST(Serialize, OnlineStateRejectsRatingsOutsideShape)
+{
+    std::stringstream full;
+    writeOnlineState(full, sampleOnlineState());
+    std::string text = full.str();
+    const std::size_t at = text.find("2 4 -0.01");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 9, "2 9 -0.01");
+    std::stringstream corrupt(text);
+    EXPECT_THROW(readOnlineState(corrupt), FatalError);
+}
+
+TEST(Serialize, OnlineStateRejectsDuplicateRatingsCell)
+{
+    std::stringstream full;
+    writeOnlineState(full, sampleOnlineState());
+    std::string text = full.str();
+    const std::size_t at = text.find("2 4 -0.01");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 9, "0 0 -0.01");
+    std::stringstream corrupt(text);
+    EXPECT_THROW(readOnlineState(corrupt), FatalError);
+}
+
+TEST(Serialize, OnlineStateFileRoundTrip)
+{
+    const std::string path = "/tmp/cooper_test_online_state.txt";
+    saveOnlineState(path, sampleOnlineState());
+    const OnlineState back = loadOnlineState(path);
+    EXPECT_EQ(back.seed, 42u);
+    EXPECT_EQ(back.ratings.knownCount(), 3u);
+    std::remove(path.c_str());
+
+    EXPECT_THROW(
+        saveOnlineState("/no_such_dir_xyz/s.txt", sampleOnlineState()),
+        FatalError);
+    EXPECT_THROW(loadOnlineState("/no_such_dir_xyz/s.txt"), FatalError);
+}
+
 TEST(Serialize, FileErrorsFatal)
 {
     SparseMatrix m(2, 2);

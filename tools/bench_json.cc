@@ -1,20 +1,29 @@
 /**
  * @file
- * bench_json — python-free validation of BENCH_kernels.json.
+ * bench_json — python-free validation of the bench JSON documents.
  *
- * Parses the document bench_regression emits with the in-tree JSON
- * reader and asserts the "cooper.bench_kernels.v1" schema: a workload
- * object with the run's dimensions, and a phases object holding the
- * five kernel phases, each with mode / baseline_seconds /
- * optimized_seconds / speedup / identical / metric fields. Phases in
- * baseline_vs_optimized mode must report identical == true (the
- * equivalence gate) and a positive speedup.
+ * Parses a document with the in-tree JSON reader and dispatches on its
+ * "schema" field:
+ *
+ *  - "cooper.bench_kernels.v1" (bench_regression): a workload object
+ *    with the run's dimensions, and a phases object holding the five
+ *    kernel phases;
+ *  - "cooper.bench_online.v1" (bench_online): the online-service
+ *    workload shape, a phases object with the warm-started `predict`
+ *    comparison and the `epoch` throughput, and an online counters
+ *    object.
+ *
+ * Every phase carries mode / baseline_seconds / optimized_seconds /
+ * speedup / identical / metric fields; phases in baseline_vs_optimized
+ * mode must report identical == true (the equivalence gate) and a
+ * positive speedup.
  *
  * --min-speedup takes phase=value pairs so a perf run can enforce the
  * acceptance numbers:
  *
  *   bench_json --file BENCH_kernels.json \
  *       --min-speedup similarity=3,blocking=2
+ *   bench_json --file BENCH_online.json --min-speedup predict=1.5
  */
 
 #include <iostream>
@@ -29,14 +38,24 @@ namespace {
 
 using namespace cooper;
 
-constexpr const char *kSchema = "cooper.bench_kernels.v1";
+constexpr const char *kKernelsSchema = "cooper.bench_kernels.v1";
+constexpr const char *kOnlineSchema = "cooper.bench_online.v1";
 
-const char *const kPhases[] = {"similarity", "predict", "matching",
-                               "blocking", "shapley"};
+const char *const kKernelPhases[] = {"similarity", "predict", "matching",
+                                     "blocking", "shapley"};
 
-const char *const kWorkloadFields[] = {
+const char *const kKernelWorkloadFields[] = {
     "matrix",        "population", "samples", "shapley_agents",
     "alpha",         "density",    "reps",    "threads"};
+
+const char *const kOnlinePhases[] = {"predict", "epoch"};
+
+const char *const kOnlineWorkloadFields[] = {"events", "epochs", "types",
+                                             "arrivals", "threads"};
+
+const char *const kOnlineCounterFields[] = {
+    "migrations", "pairs_broken", "full_rematches", "predict_cache_hits",
+    "recomputed_pairs"};
 
 const JsonValue &
 member(const JsonValue &object, const std::string &key,
@@ -121,6 +140,53 @@ checkPhase(const JsonValue &phase, const std::string &name)
     }
 }
 
+void
+checkTinyFlag(const JsonValue &workload)
+{
+    fatalIf(member(workload, "tiny", "workload").kind !=
+                JsonValue::Kind::Bool,
+            "bench_json: workload.tiny is not a boolean");
+}
+
+void
+validateKernels(const JsonValue &root, const std::string &path)
+{
+    const JsonValue &workload = member(root, "workload", path);
+    fatalIf(!workload.isObject(),
+            "bench_json: workload is not an object");
+    for (const char *field : kKernelWorkloadFields)
+        numberField(workload, field, "workload");
+    checkTinyFlag(workload);
+
+    const JsonValue &phases = member(root, "phases", path);
+    fatalIf(!phases.isObject(), "bench_json: phases is not an object");
+    for (const char *name : kKernelPhases)
+        checkPhase(member(phases, name, "phases"), name);
+}
+
+void
+validateOnline(const JsonValue &root, const std::string &path)
+{
+    const JsonValue &workload = member(root, "workload", path);
+    fatalIf(!workload.isObject(),
+            "bench_json: workload is not an object");
+    for (const char *field : kOnlineWorkloadFields)
+        numberField(workload, field, "workload");
+    checkTinyFlag(workload);
+
+    const JsonValue &phases = member(root, "phases", path);
+    fatalIf(!phases.isObject(), "bench_json: phases is not an object");
+    for (const char *name : kOnlinePhases)
+        checkPhase(member(phases, name, "phases"), name);
+
+    const JsonValue &counters = member(root, "online", path);
+    fatalIf(!counters.isObject(),
+            "bench_json: online is not an object");
+    for (const char *field : kOnlineCounterFields)
+        fatalIf(numberField(counters, field, "online") < 0.0,
+                "bench_json: online.", field, " is negative");
+}
+
 } // namespace
 
 int
@@ -140,25 +206,17 @@ main(int argc, char **argv)
                 " is not a JSON object");
 
         const JsonValue &schema = member(root, "schema", path);
-        fatalIf(!schema.isString() || schema.text != kSchema,
-                "bench_json: ", path, " schema is not \"", kSchema,
-                "\"");
-
-        const JsonValue &workload = member(root, "workload", path);
-        fatalIf(!workload.isObject(),
-                "bench_json: workload is not an object");
-        for (const char *field : kWorkloadFields)
-            numberField(workload, field, "workload");
-        fatalIf(member(workload, "tiny", "workload").kind !=
-                    JsonValue::Kind::Bool,
-                "bench_json: workload.tiny is not a boolean");
+        fatalIf(!schema.isString(), "bench_json: ", path,
+                " schema is not a string");
+        if (schema.text == kKernelsSchema)
+            validateKernels(root, path);
+        else if (schema.text == kOnlineSchema)
+            validateOnline(root, path);
+        else
+            fatal("bench_json: ", path, " has unknown schema \"",
+                  schema.text, "\"");
 
         const JsonValue &phases = member(root, "phases", path);
-        fatalIf(!phases.isObject(),
-                "bench_json: phases is not an object");
-        for (const char *name : kPhases)
-            checkPhase(member(phases, name, "phases"), name);
-
         for (const auto &[name, floor] :
              parseMinSpeedups(flags.get("min-speedup"))) {
             const JsonValue &phase = member(phases, name, "phases");

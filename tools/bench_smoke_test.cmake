@@ -1,8 +1,10 @@
-# Runs bench_regression at smoke-test sizes and validates the emitted
-# BENCH_kernels.json against the cooper.bench_kernels.v1 schema. Only
-# the schema and the exact-equivalence bits are checked here — speedup
-# floors are timing-sensitive and belong to manual full-size runs
-# (bench_json --min-speedup similarity=3,blocking=2).
+# Runs bench_regression and bench_online at smoke-test sizes and
+# validates the emitted JSON against the cooper.bench_kernels.v1 /
+# cooper.bench_online.v1 schemas. Only the schema and the
+# exact-equivalence bits are checked here — speedup floors are
+# timing-sensitive and belong to manual full-size runs
+# (bench_json --min-speedup similarity=3,blocking=2 and
+#  bench_json --file BENCH_online.json --min-speedup predict=1.5).
 function(run_step)
     execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORKDIR}
                     RESULT_VARIABLE code OUTPUT_VARIABLE out
@@ -15,3 +17,6 @@ endfunction()
 
 run_step(${BENCH} --tiny --out bench_smoke_kernels.json)
 run_step(${BENCH_JSON} --file bench_smoke_kernels.json)
+
+run_step(${BENCH_ONLINE} --tiny --out bench_smoke_online.json)
+run_step(${BENCH_JSON} --file bench_smoke_online.json)

@@ -11,6 +11,15 @@
  *   match    colocate a population                -> matching file
  *   assess   count blocking pairs of a matching   -> report on stdout
  *   epoch    run one full in-memory epoch         -> report on stdout
+ *   serve    replay a churn trace online          -> summary JSON
+ *
+ * `serve` runs the event-driven online service (src/online) over a
+ * trace from tools/trace_gen: admission, probing, warm-started
+ * incremental prediction, and budgeted re-matching, epoch by epoch on
+ * a virtual clock. Its --out summary contains only decision-path
+ * quantities, so replaying the same (trace, seed, config) emits a
+ * byte-identical file at any --threads value; --checkpoint/--restore
+ * round-trip the driver state through io/serialize.
  *
  * `epoch` drives profile -> predict -> match -> assess -> dispatch in
  * one process (plus a sampled-Shapley attribution step) and is the
@@ -45,6 +54,7 @@
 #include "io/serialize.hh"
 #include "matching/blocking.hh"
 #include "obs/obs.hh"
+#include "online/driver.hh"
 #include "sim/profiler.hh"
 #include "util/cli.hh"
 #include "util/error.hh"
@@ -59,7 +69,7 @@ int
 usage()
 {
     std::cout
-        << "Usage: cooper_cli <profile|predict|match|assess|epoch> "
+        << "Usage: cooper_cli <profile|predict|match|assess|epoch|serve> "
            "[flags]\n"
            "  profile  --ratio R --seed S --out FILE\n"
            "  predict  --in FILE --iterations N --threads T --out FILE\n"
@@ -70,6 +80,11 @@ usage()
            "  epoch    --agents N --mix M --policy P --ratio R --seed S\n"
            "           --alpha A --threads T --shapley-samples K\n"
            "           --metrics-out FILE --trace-out FILE\n"
+           "  serve    --trace FILE --policy P --alpha A --seed S\n"
+           "           --epoch-ticks T --admit N --queue-depth N\n"
+           "           --probes N --budget N --rematch-threshold N\n"
+           "           --threads T --out FILE\n"
+           "           --checkpoint FILE --restore FILE\n"
            "Bare flags (cooper_cli --policy SMR ...) route to epoch.\n"
            "--metrics-out / --trace-out enable the observability layer\n"
            "(off by default; see DESIGN.md, \"Observability\").\n"
@@ -393,6 +408,106 @@ cmdEpoch(int argc, const char *const *argv)
     return 0;
 }
 
+int
+cmdServe(int argc, const char *const *argv)
+{
+    CliFlags flags;
+    flags.declare("trace", "trace.txt", "churn trace file (see trace_gen)");
+    flags.declare("policy", "SMR", "GR|CO|SMP|SMR|SR|TH");
+    flags.declare("alpha", "0.02", "minimum gain to break away");
+    flags.declare("seed", "1", "probe-noise / policy seed");
+    flags.declare("epoch-ticks", "100", "virtual-clock ticks per epoch");
+    flags.declare("admit", "8", "arrivals admitted per epoch");
+    flags.declare("queue-depth", "64",
+                  "admission backpressure bound (0 = unbounded)");
+    flags.declare("probes", "4",
+                  "probe colocations per admitted arrival");
+    flags.declare("repeats", "3", "measurements averaged per probe");
+    flags.declare("refresh", "0", "profile refresh probes per epoch");
+    flags.declare("budget", "8", "kept pairs breakable per epoch");
+    flags.declare("rematch-threshold", "32",
+                  "blocking pairs that force a full re-match");
+    flags.declare("full-predict", "0",
+                  "1 = re-predict from scratch every epoch (results "
+                  "are identical, only slower)");
+    declareThreads(flags);
+    flags.declare("out", "online.json",
+                  "deterministic run-summary JSON");
+    flags.declare("checkpoint", "",
+                  "write the final driver state here");
+    flags.declare("restore", "", "resume from this checkpoint file");
+    flags.declare("metrics-out", "",
+                  "write metrics JSON here (enables metrics)");
+    flags.declare("trace-out", "",
+                  "write Chrome-trace JSON here (enables tracing)");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    ObsConfig obs;
+    obs.metricsOut = flags.get("metrics-out");
+    obs.traceOut = flags.get("trace-out");
+    obs.metrics = !obs.metricsOut.empty();
+    obs.tracing = !obs.traceOut.empty();
+
+    FrameworkConfig config;
+    config.policy = flags.get("policy");
+    config.alpha = flags.getDouble("alpha");
+    config.execution.threads = threadsFromFlags(flags);
+    OnlineConfig &online = config.execution.online;
+    online.epochTicks =
+        static_cast<std::uint64_t>(flags.getInt("epoch-ticks"));
+    online.admitPerEpoch =
+        static_cast<std::size_t>(flags.getInt("admit"));
+    online.maxQueueDepth =
+        static_cast<std::size_t>(flags.getInt("queue-depth"));
+    online.probesPerArrival =
+        static_cast<std::size_t>(flags.getInt("probes"));
+    online.profileRepeats =
+        static_cast<std::size_t>(flags.getInt("repeats"));
+    online.refreshProbesPerEpoch =
+        static_cast<std::size_t>(flags.getInt("refresh"));
+    online.migrationBudget =
+        static_cast<std::size_t>(flags.getInt("budget"));
+    online.fullRematchBlockingPairs =
+        static_cast<std::size_t>(flags.getInt("rematch-threshold"));
+    online.incremental = flags.getInt("full-predict") == 0;
+
+    const Catalog catalog = Catalog::paperTableI();
+    const InterferenceModel model(catalog);
+
+    // The CLI owns the session so every epoch feeds one registry and
+    // one trace; the driver's own ObsScope then stays passive.
+    const ObsScope scope(obs);
+    OnlineDriver driver(catalog, model, config,
+                        static_cast<std::uint64_t>(flags.getInt("seed")));
+    ChurnTrace trace = loadTrace(flags.get("trace"));
+    if (!flags.get("restore").empty()) {
+        driver.restore(loadOnlineState(flags.get("restore")));
+        trace = trace.suffix(driver.clockTick());
+    }
+    const OnlineReport report = driver.run(trace);
+    saveOnlineSummary(flags.get("out"), report);
+    if (!flags.get("checkpoint").empty())
+        saveOnlineState(flags.get("checkpoint"), driver.snapshot());
+
+    std::cout << "served " << report.epochs.size() << " epoch(s) with "
+              << report.policy << ": " << report.totalAdmitted
+              << " admitted, " << report.totalRejected << " rejected, "
+              << report.totalMigrations << " migration(s), "
+              << report.totalFullRematches
+              << " full re-match(es); final population "
+              << report.finalPopulation << ", mean true penalty "
+              << Table::num(report.finalMeanPenalty, 4) << " -> "
+              << flags.get("out") << "\n";
+    if (!flags.get("checkpoint").empty())
+        std::cout << "checkpoint -> " << flags.get("checkpoint") << "\n";
+    if (!obs.metricsOut.empty())
+        std::cout << "metrics -> " << obs.metricsOut << "\n";
+    if (!obs.traceOut.empty())
+        std::cout << "trace -> " << obs.traceOut << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -420,6 +535,8 @@ main(int argc, char **argv)
             return cmdAssess(sub_argc, sub_argv);
         if (command == "epoch")
             return cmdEpoch(sub_argc, sub_argv);
+        if (command == "serve")
+            return cmdServe(sub_argc, sub_argv);
     } catch (const std::exception &err) {
         std::cerr << "cooper_cli " << command << ": " << err.what()
                   << "\n";

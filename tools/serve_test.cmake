@@ -1,0 +1,65 @@
+# Smoke-tests the online service end to end and holds its determinism
+# contract: the same (trace, seed, config) must emit byte-identical
+# summary JSON at any thread count, with or without the incremental
+# predictor, and across a checkpoint/restore split.
+function(run_step)
+    execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORKDIR}
+                    RESULT_VARIABLE code OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT code EQUAL 0)
+        message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}${err}")
+    endif()
+    message(STATUS "${out}")
+endfunction()
+
+function(require_identical a b what)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${WORKDIR}/${a} ${WORKDIR}/${b}
+                    RESULT_VARIABLE code)
+    if(NOT code EQUAL 0)
+        message(FATAL_ERROR "${what}: ${a} and ${b} differ")
+    endif()
+endfunction()
+
+run_step(${TRACE_GEN} --arrivals 120 --initial 16 --mean-gap 8
+         --mean-life 400 --seed 7 --out serve_trace.txt)
+
+# Same trace, three thread counts: summaries must be byte-identical.
+run_step(${CLI} serve --trace serve_trace.txt --seed 11 --threads 1
+         --out serve_t1.json)
+run_step(${CLI} serve --trace serve_trace.txt --seed 11 --threads 2
+         --out serve_t2.json)
+run_step(${CLI} serve --trace serve_trace.txt --seed 11 --threads 0
+         --out serve_t0.json)
+require_identical(serve_t1.json serve_t2.json
+                  "serve is not thread-count deterministic")
+require_identical(serve_t1.json serve_t0.json
+                  "serve is not thread-count deterministic")
+
+# Incremental prediction is a pure wall-clock optimization: forcing a
+# from-scratch re-predict every epoch must not change a byte.
+run_step(${CLI} serve --trace serve_trace.txt --seed 11 --threads 2
+         --full-predict 1 --out serve_full.json)
+require_identical(serve_t1.json serve_full.json
+                  "incremental prediction changed results")
+
+# Checkpoint/restore round-trip through io/serialize: resuming from a
+# final checkpoint (the remaining trace suffix is empty) must leave
+# the driver state byte-for-byte unchanged. Mid-run splits are held by
+# tests/test_online_driver.cc, which can cut the trace at any epoch.
+run_step(${CLI} serve --trace serve_trace.txt --seed 11 --threads 2
+         --out serve_whole.json --checkpoint serve_whole.state)
+run_step(${CLI} serve --trace serve_trace.txt --seed 11 --threads 2
+         --restore serve_whole.state --out serve_resumed.json
+         --checkpoint serve_resumed.state)
+require_identical(serve_whole.state serve_resumed.state
+                  "restore drifted the driver state")
+
+# The emitted summary must validate against the JSON reader used by
+# the bench validator (well-formedness is asserted by the parser).
+run_step(${CLI} serve --trace serve_trace.txt --seed 11 --threads 2
+         --out serve_obs.json --metrics-out serve_metrics.json
+         --trace-out serve_spans.json)
+run_step(${TRACE_CHECK} --trace serve_spans.json
+         --metrics serve_metrics.json
+         --require online.run,online.epoch,online.predict,online.repair)
