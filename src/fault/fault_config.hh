@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fault-injection rates for the online service.
+ *
+ * Kept dependency-free (like online_config.hh) so configuration
+ * plumbing can carry a FaultSpec without pulling the fault plane into
+ * every translation unit. The spec describes *how often* each fault
+ * class fires; FaultPlan (plan.hh) turns it into a deterministic
+ * per-epoch schedule.
+ */
+
+#ifndef COOPER_FAULT_FAULT_CONFIG_HH
+#define COOPER_FAULT_FAULT_CONFIG_HH
+
+#include <cstdint>
+
+namespace cooper {
+
+/**
+ * Rates of the injectable fault classes.
+ *
+ * Every decision derived from a FaultSpec flows through
+ * Rng::substream keyed by (fault class, epoch, uid, attempt), so the
+ * schedule is a pure function of (spec, keys): no generator state is
+ * carried across epochs, which keeps fault injection compatible with
+ * checkpoint/restore and bit-identical at any thread count.
+ */
+struct FaultSpec
+{
+    /** Substream root for every rate-based draw. */
+    std::uint64_t seed = 0;
+
+    /** Probability one probe measurement attempt times out (the
+     *  driver retries with exponential backoff, see OnlineConfig). */
+    double probeTimeoutRate = 0.0;
+
+    /** Probability a completed measurement is lost before it reaches
+     *  the profile database (no retry: the coordinator never learns
+     *  the measurement happened). */
+    double measurementDropRate = 0.0;
+
+    /** Probability a measurement lands corrupted. */
+    double measurementCorruptRate = 0.0;
+
+    /** Std. deviation of the additive corruption applied to a
+     *  corrupted measurement. */
+    double corruptSigma = 0.1;
+
+    /** Probability some node crashes at an epoch boundary, evicting
+     *  both jobs of the colocated pair running on it. */
+    double crashRatePerEpoch = 0.0;
+
+    /** Probability a scheduled checkpoint write fails. */
+    double checkpointFailRate = 0.0;
+
+    /** True when any rate is positive. */
+    bool
+    anyRate() const
+    {
+        return probeTimeoutRate > 0.0 || measurementDropRate > 0.0 ||
+               measurementCorruptRate > 0.0 || crashRatePerEpoch > 0.0 ||
+               checkpointFailRate > 0.0;
+    }
+};
+
+} // namespace cooper
+
+#endif // COOPER_FAULT_FAULT_CONFIG_HH

@@ -1,0 +1,294 @@
+#include "plan.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "obs/json.hh"
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+// Substream class tags; mirrors the driver's kPolicyStream /
+// kProbeStream discipline so fault draws never collide with decision
+// draws even under a shared root seed.
+constexpr std::uint64_t kTimeoutClass = 0xF1;
+constexpr std::uint64_t kDropClass = 0xF2;
+constexpr std::uint64_t kCorruptClass = 0xF3;
+constexpr std::uint64_t kCrashClass = 0xF4;
+constexpr std::uint64_t kCheckpointClass = 0xF5;
+
+constexpr const char *kScriptSchema = "cooper.faultplan.v1";
+
+bool
+scriptOrder(const ScriptedFault &a, const ScriptedFault &b)
+{
+    return std::tie(a.epoch, a.kind, a.uid) <
+           std::tie(b.epoch, b.kind, b.uid);
+}
+
+void
+checkRate(double rate, const char *name)
+{
+    fatalIf(rate < 0.0 || rate > 1.0, "FaultPlan: ", name, " rate ",
+            rate, " outside [0, 1]");
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::ProbeTimeout:
+        return "probe_timeout";
+      case FaultKind::MeasurementDrop:
+        return "measurement_drop";
+      case FaultKind::MeasurementCorrupt:
+        return "measurement_corrupt";
+      case FaultKind::NodeCrash:
+        return "crash";
+      case FaultKind::CheckpointFail:
+        return "checkpoint_fail";
+    }
+    panic("faultKindName: unknown kind");
+}
+
+FaultKind
+faultKindFromName(const std::string &name)
+{
+    for (FaultKind kind :
+         {FaultKind::ProbeTimeout, FaultKind::MeasurementDrop,
+          FaultKind::MeasurementCorrupt, FaultKind::NodeCrash,
+          FaultKind::CheckpointFail})
+        if (name == faultKindName(kind))
+            return kind;
+    fatal("FaultPlan: unknown fault kind \"", name, "\"");
+}
+
+FaultPlan::FaultPlan(FaultSpec spec, std::vector<ScriptedFault> script)
+    : spec_(spec), script_(std::move(script))
+{
+    checkRate(spec_.probeTimeoutRate, "probe_timeout");
+    checkRate(spec_.measurementDropRate, "measurement_drop");
+    checkRate(spec_.measurementCorruptRate, "measurement_corrupt");
+    checkRate(spec_.crashRatePerEpoch, "crash_per_epoch");
+    checkRate(spec_.checkpointFailRate, "checkpoint_fail");
+    fatalIf(spec_.corruptSigma < 0.0,
+            "FaultPlan: negative corrupt_sigma");
+    std::stable_sort(script_.begin(), script_.end(), scriptOrder);
+}
+
+Rng
+FaultPlan::draw(std::uint64_t klass, std::uint64_t epoch,
+                std::uint64_t uid, std::uint64_t attempt) const
+{
+    return Rng(spec_.seed)
+        .substream(klass)
+        .substream(epoch)
+        .substream(uid)
+        .substream(attempt);
+}
+
+std::vector<const ScriptedFault *>
+FaultPlan::scripted(std::uint64_t epoch, FaultKind kind) const
+{
+    std::vector<const ScriptedFault *> out;
+    // script_ is sorted by (epoch, kind, uid): binary-search the
+    // epoch run, then filter by kind.
+    const auto lo = std::lower_bound(
+        script_.begin(), script_.end(), epoch,
+        [](const ScriptedFault &s, std::uint64_t e) {
+            return s.epoch < e;
+        });
+    for (auto it = lo; it != script_.end() && it->epoch == epoch; ++it)
+        if (it->kind == kind)
+            out.push_back(&*it);
+    return out;
+}
+
+bool
+FaultPlan::probeTimesOut(std::uint64_t epoch, std::uint64_t uid,
+                         std::uint64_t attempt) const
+{
+    for (const ScriptedFault *s :
+         scripted(epoch, FaultKind::ProbeTimeout))
+        if (!s->hasUid || s->uid == uid)
+            return true;
+    if (spec_.probeTimeoutRate <= 0.0)
+        return false;
+    Rng rng = draw(kTimeoutClass, epoch, uid, attempt);
+    return rng.bernoulli(spec_.probeTimeoutRate);
+}
+
+bool
+FaultPlan::measurementDrops(std::uint64_t epoch, std::uint64_t uid,
+                            std::uint64_t seq) const
+{
+    for (const ScriptedFault *s :
+         scripted(epoch, FaultKind::MeasurementDrop))
+        if (!s->hasUid || s->uid == uid)
+            return true;
+    if (spec_.measurementDropRate <= 0.0)
+        return false;
+    Rng rng = draw(kDropClass, epoch, uid, seq);
+    return rng.bernoulli(spec_.measurementDropRate);
+}
+
+double
+FaultPlan::corruption(std::uint64_t epoch, std::uint64_t uid,
+                      std::uint64_t seq) const
+{
+    for (const ScriptedFault *s :
+         scripted(epoch, FaultKind::MeasurementCorrupt))
+        if (!s->hasUid || s->uid == uid)
+            return s->magnitude;
+    if (spec_.measurementCorruptRate <= 0.0)
+        return 0.0;
+    Rng rng = draw(kCorruptClass, epoch, uid, seq);
+    if (!rng.bernoulli(spec_.measurementCorruptRate))
+        return 0.0;
+    return rng.gaussian(0.0, spec_.corruptSigma);
+}
+
+std::vector<std::uint64_t>
+FaultPlan::crashVictims(std::uint64_t epoch,
+                        const std::vector<std::uint64_t> &live) const
+{
+    std::vector<std::uint64_t> victims;
+    if (live.empty())
+        return victims;
+    for (const ScriptedFault *s : scripted(epoch, FaultKind::NodeCrash)) {
+        if (s->hasUid) {
+            if (std::find(live.begin(), live.end(), s->uid) !=
+                live.end())
+                victims.push_back(s->uid);
+        } else {
+            // Untargeted scripted crash: deterministic victim drawn
+            // from the crash substream, like a rate-based firing.
+            Rng rng = draw(kCrashClass, epoch, /*uid=*/0, /*attempt=*/1);
+            victims.push_back(live[rng.uniformInt(live.size())]);
+        }
+    }
+    if (spec_.crashRatePerEpoch > 0.0) {
+        Rng rng = draw(kCrashClass, epoch, /*uid=*/0, /*attempt=*/0);
+        if (rng.bernoulli(spec_.crashRatePerEpoch))
+            victims.push_back(live[rng.uniformInt(live.size())]);
+    }
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    return victims;
+}
+
+bool
+FaultPlan::checkpointFails(std::uint64_t epoch) const
+{
+    if (!scripted(epoch, FaultKind::CheckpointFail).empty())
+        return true;
+    if (spec_.checkpointFailRate <= 0.0)
+        return false;
+    Rng rng = draw(kCheckpointClass, epoch, /*uid=*/0, /*attempt=*/0);
+    return rng.bernoulli(spec_.checkpointFailRate);
+}
+
+namespace {
+
+double
+rateField(const JsonValue &rates, const char *name, double fallback)
+{
+    const JsonValue *value = rates.find(name);
+    if (value == nullptr)
+        return fallback;
+    fatalIf(!value->isNumber(), "FaultPlan: rates.", name,
+            " is not a number");
+    return value->number;
+}
+
+} // namespace
+
+FaultPlan
+parseFaultPlan(const std::string &text, std::uint64_t default_seed)
+{
+    const JsonValue root = parseJson(text);
+    fatalIf(!root.isObject(), "FaultPlan: script is not a JSON object");
+
+    const JsonValue *schema = root.find("schema");
+    fatalIf(schema == nullptr || !schema->isString() ||
+                schema->text != kScriptSchema,
+            "FaultPlan: script schema must be \"", kScriptSchema, "\"");
+
+    FaultSpec spec;
+    spec.seed = default_seed;
+    if (const JsonValue *seed = root.find("seed")) {
+        fatalIf(!seed->isNumber() || seed->number < 0.0,
+                "FaultPlan: seed is not a non-negative number");
+        spec.seed = static_cast<std::uint64_t>(seed->number);
+    }
+    if (const JsonValue *rates = root.find("rates")) {
+        fatalIf(!rates->isObject(), "FaultPlan: rates is not an object");
+        spec.probeTimeoutRate = rateField(*rates, "probe_timeout", 0.0);
+        spec.measurementDropRate =
+            rateField(*rates, "measurement_drop", 0.0);
+        spec.measurementCorruptRate =
+            rateField(*rates, "measurement_corrupt", 0.0);
+        spec.corruptSigma =
+            rateField(*rates, "corrupt_sigma", spec.corruptSigma);
+        spec.crashRatePerEpoch =
+            rateField(*rates, "crash_per_epoch", 0.0);
+        spec.checkpointFailRate =
+            rateField(*rates, "checkpoint_fail", 0.0);
+    }
+
+    std::vector<ScriptedFault> script;
+    if (const JsonValue *events = root.find("events")) {
+        fatalIf(!events->isArray(),
+                "FaultPlan: events is not an array");
+        for (std::size_t i = 0; i < events->items.size(); ++i) {
+            const JsonValue &event = events->items[i];
+            fatalIf(!event.isObject(), "FaultPlan: events[", i,
+                    "] is not an object");
+            ScriptedFault fault;
+            const JsonValue *epoch = event.find("epoch");
+            fatalIf(epoch == nullptr || !epoch->isNumber() ||
+                        epoch->number < 0.0,
+                    "FaultPlan: events[", i,
+                    "].epoch is not a non-negative number");
+            fault.epoch = static_cast<std::uint64_t>(epoch->number);
+            const JsonValue *kind = event.find("kind");
+            fatalIf(kind == nullptr || !kind->isString(),
+                    "FaultPlan: events[", i, "].kind is not a string");
+            fault.kind = faultKindFromName(kind->text);
+            if (const JsonValue *uid = event.find("uid")) {
+                fatalIf(!uid->isNumber() || uid->number < 0.0,
+                        "FaultPlan: events[", i,
+                        "].uid is not a non-negative number");
+                fault.hasUid = true;
+                fault.uid = static_cast<std::uint64_t>(uid->number);
+            }
+            if (const JsonValue *mag = event.find("magnitude")) {
+                fatalIf(!mag->isNumber(), "FaultPlan: events[", i,
+                        "].magnitude is not a number");
+                fault.magnitude = mag->number;
+            }
+            script.push_back(fault);
+        }
+    }
+    return FaultPlan(spec, std::move(script));
+}
+
+FaultPlan
+loadFaultPlan(const std::string &path, std::uint64_t default_seed)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "loadFaultPlan: cannot open '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    fatalIf(in.bad(), "loadFaultPlan: read from '", path, "' failed");
+    return parseFaultPlan(buffer.str(), default_seed);
+}
+
+} // namespace cooper

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Deterministic fault-injection plan for the online service.
+ *
+ * A FaultPlan answers "does fault X fire at key K?" for the five
+ * injectable fault classes: probe timeouts, dropped measurements,
+ * corrupted measurements, node crashes, and checkpoint-write
+ * failures. Answers come from two composable sources:
+ *
+ *  - a rate-based FaultSpec, sampled through Rng::substream keyed by
+ *    (fault class, epoch, uid, attempt) — a pure function of the
+ *    keys, so the schedule replays exactly across thread counts and
+ *    checkpoint/restore splits;
+ *  - a scripted event list (optionally loaded from a JSON file, see
+ *    readFaultPlan) that forces specific faults at specific epochs,
+ *    for tests that need an exact failure at an exact moment.
+ *
+ * The plan itself is immutable and stateless; all degradation state
+ * (retry counters, quarantine, budgets) lives in the OnlineDriver and
+ * its checkpoint, where it can round-trip through io/serialize.
+ */
+
+#ifndef COOPER_FAULT_PLAN_HH
+#define COOPER_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fault/fault_config.hh"
+#include "util/rng.hh"
+
+namespace cooper {
+
+/** Injectable fault classes. */
+enum class FaultKind
+{
+    ProbeTimeout,     //!< a probe measurement attempt never returns
+    MeasurementDrop,  //!< a finished measurement is lost in transit
+    MeasurementCorrupt, //!< a measurement lands with an offset
+    NodeCrash,        //!< a node dies, evicting its colocated pair
+    CheckpointFail,   //!< a scheduled checkpoint write fails
+};
+
+/** Stable script name of a fault kind (JSON `kind` field). */
+const char *faultKindName(FaultKind kind);
+
+/** Parse a script name; raises FatalError on an unknown name. */
+FaultKind faultKindFromName(const std::string &name);
+
+/**
+ * One scripted fault: fire `kind` at `epoch`, targeting `uid` where
+ * the kind is per-job (timeout/drop/corrupt hit every attempt of that
+ * job's probes that epoch; a crash evicts that uid's node). Kinds
+ * without a target (checkpoint_fail, untargeted crash) leave
+ * `hasUid` false.
+ */
+struct ScriptedFault
+{
+    std::uint64_t epoch = 0;
+    FaultKind kind = FaultKind::ProbeTimeout;
+    bool hasUid = false;
+    std::uint64_t uid = 0;
+
+    /** Corruption offset for scripted measurement_corrupt events. */
+    double magnitude = 0.0;
+
+    friend bool
+    operator==(const ScriptedFault &a, const ScriptedFault &b)
+    {
+        return a.epoch == b.epoch && a.kind == b.kind &&
+               a.hasUid == b.hasUid && a.uid == b.uid &&
+               a.magnitude == b.magnitude;
+    }
+};
+
+/**
+ * Immutable, deterministic per-epoch fault schedule.
+ */
+class FaultPlan
+{
+  public:
+    /** The inert plan: nothing ever fires. */
+    FaultPlan() = default;
+
+    /** Rate-based plan, optionally overlaid with scripted events
+     *  (script entries are sorted by (epoch, kind, uid) so equal
+     *  plans serialize identically). */
+    explicit FaultPlan(FaultSpec spec,
+                       std::vector<ScriptedFault> script = {});
+
+    /** True when any fault can ever fire. */
+    bool enabled() const { return spec_.anyRate() || !script_.empty(); }
+
+    const FaultSpec &spec() const { return spec_; }
+    const std::vector<ScriptedFault> &script() const { return script_; }
+
+    /** Does attempt `attempt` of a probe for job `uid` time out? */
+    bool probeTimesOut(std::uint64_t epoch, std::uint64_t uid,
+                       std::uint64_t attempt) const;
+
+    /** Is measurement `seq` of job `uid`'s probes lost in transit? */
+    bool measurementDrops(std::uint64_t epoch, std::uint64_t uid,
+                          std::uint64_t seq) const;
+
+    /** Additive corruption applied to measurement `seq` of job
+     *  `uid`'s probes; 0.0 when the measurement lands clean. */
+    double corruption(std::uint64_t epoch, std::uint64_t uid,
+                      std::uint64_t seq) const;
+
+    /**
+     * Uids whose node crashes at the boundary of `epoch`, drawn from
+     * `live` (ascending uid order). Rate-based crashes pick one
+     * victim per firing epoch; scripted crashes name their victim
+     * (ignored when not live). The driver evicts each victim's whole
+     * pair.
+     */
+    std::vector<std::uint64_t>
+    crashVictims(std::uint64_t epoch,
+                 const std::vector<std::uint64_t> &live) const;
+
+    /** Does the checkpoint write scheduled at `epoch` fail? */
+    bool checkpointFails(std::uint64_t epoch) const;
+
+    friend bool
+    operator==(const FaultPlan &a, const FaultPlan &b)
+    {
+        const FaultSpec &x = a.spec_, &y = b.spec_;
+        return x.seed == y.seed &&
+               x.probeTimeoutRate == y.probeTimeoutRate &&
+               x.measurementDropRate == y.measurementDropRate &&
+               x.measurementCorruptRate == y.measurementCorruptRate &&
+               x.corruptSigma == y.corruptSigma &&
+               x.crashRatePerEpoch == y.crashRatePerEpoch &&
+               x.checkpointFailRate == y.checkpointFailRate &&
+               a.script_ == b.script_;
+    }
+
+  private:
+    /** The substream for one (class, epoch, uid, attempt) key. */
+    Rng draw(std::uint64_t klass, std::uint64_t epoch, std::uint64_t uid,
+             std::uint64_t attempt) const;
+
+    /** Scripted events of `kind` at `epoch`. */
+    std::vector<const ScriptedFault *>
+    scripted(std::uint64_t epoch, FaultKind kind) const;
+
+    FaultSpec spec_;
+    std::vector<ScriptedFault> script_; //!< sorted by (epoch, kind, uid)
+};
+
+/**
+ * Parse a fault-plan script (schema "cooper.faultplan.v1"):
+ *
+ *   { "schema": "cooper.faultplan.v1",
+ *     "seed": 7,
+ *     "rates": { "probe_timeout": 0.2, "measurement_drop": 0.0,
+ *                "measurement_corrupt": 0.0, "corrupt_sigma": 0.1,
+ *                "crash_per_epoch": 0.0, "checkpoint_fail": 0.0 },
+ *     "events": [ { "epoch": 3, "kind": "crash", "uid": 7 },
+ *                 { "epoch": 2, "kind": "probe_timeout", "uid": 5 },
+ *                 { "epoch": 4, "kind": "checkpoint_fail" } ] }
+ *
+ * Everything but "schema" is optional; an absent "seed" falls back to
+ * `default_seed` (the driver passes its own seed, so a script that
+ * omits the field still replays exactly). Raises FatalError on
+ * malformed input, unknown kinds, or rates outside [0, 1].
+ */
+FaultPlan parseFaultPlan(const std::string &text,
+                         std::uint64_t default_seed = 0);
+
+/** File wrapper; raises FatalError on I/O failure. */
+FaultPlan loadFaultPlan(const std::string &path,
+                        std::uint64_t default_seed = 0);
+
+} // namespace cooper
+
+#endif // COOPER_FAULT_PLAN_HH

@@ -1,0 +1,50 @@
+#include "quarantine.hh"
+
+namespace cooper {
+
+void
+QuarantineTable::add(const QuarantinedJob &job)
+{
+    jobs_[job.uid] = job;
+}
+
+bool
+QuarantineTable::remove(std::uint64_t uid)
+{
+    return jobs_.erase(uid) != 0;
+}
+
+std::vector<QuarantinedJob>
+QuarantineTable::releaseDue(std::uint64_t epoch)
+{
+    std::vector<QuarantinedJob> due;
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+        if (it->second.untilEpoch <= epoch) {
+            due.push_back(it->second);
+            it = jobs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return due; // map order: ascending uid
+}
+
+std::vector<QuarantinedJob>
+QuarantineTable::snapshot() const
+{
+    std::vector<QuarantinedJob> out;
+    out.reserve(jobs_.size());
+    for (const auto &[uid, job] : jobs_)
+        out.push_back(job);
+    return out;
+}
+
+void
+QuarantineTable::restore(const std::vector<QuarantinedJob> &jobs)
+{
+    jobs_.clear();
+    for (const QuarantinedJob &job : jobs)
+        jobs_[job.uid] = job;
+}
+
+} // namespace cooper

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quarantine of jobs whose probes fail repeatedly.
+ *
+ * A job whose arrival probes keep timing out cannot be characterized,
+ * so pairing it would be guesswork; the driver parks it here instead
+ * of admitting it. Quarantined jobs sit out a configured number of
+ * epochs, then re-enter through the normal admission queue for a
+ * fresh probe round. A job that keeps failing across too many rounds
+ * is abandoned (counted, never silently dropped) so a permanently
+ * unreachable node cannot wedge the service.
+ *
+ * The table is plain deterministic state: entries are keyed by uid in
+ * a sorted map, releases happen in ascending uid order, and the whole
+ * table round-trips through the online checkpoint (io/serialize).
+ */
+
+#ifndef COOPER_FAULT_QUARANTINE_HH
+#define COOPER_FAULT_QUARANTINE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace cooper {
+
+/** One quarantined job. */
+struct QuarantinedJob
+{
+    std::uint64_t uid = 0;
+    std::uint64_t type = 0; //!< catalog type, needed to re-admit
+
+    /** Probe cells that failed in the round that quarantined it. */
+    std::uint64_t failures = 0;
+
+    /** First epoch the job may be re-admitted. */
+    std::uint64_t untilEpoch = 0;
+
+    /** Quarantine rounds served so far (for the abandonment cap). */
+    std::uint64_t rounds = 0;
+
+    friend bool
+    operator==(const QuarantinedJob &a, const QuarantinedJob &b)
+    {
+        return a.uid == b.uid && a.type == b.type &&
+               a.failures == b.failures &&
+               a.untilEpoch == b.untilEpoch && a.rounds == b.rounds;
+    }
+};
+
+/**
+ * Deterministic quarantine table.
+ */
+class QuarantineTable
+{
+  public:
+    std::size_t size() const { return jobs_.size(); }
+    bool empty() const { return jobs_.empty(); }
+
+    bool
+    contains(std::uint64_t uid) const
+    {
+        return jobs_.count(uid) != 0;
+    }
+
+    /** Park a job; replaces any previous entry for the uid. */
+    void add(const QuarantinedJob &job);
+
+    /** Remove a quarantined job (it departed); false when absent. */
+    bool remove(std::uint64_t uid);
+
+    /** Pop every job whose untilEpoch <= `epoch`, ascending by uid. */
+    std::vector<QuarantinedJob> releaseDue(std::uint64_t epoch);
+
+    /** All entries, ascending by uid (checkpointing). */
+    std::vector<QuarantinedJob> snapshot() const;
+
+    /** Replace the table's contents (checkpoint restore). */
+    void restore(const std::vector<QuarantinedJob> &jobs);
+
+  private:
+    std::map<std::uint64_t, QuarantinedJob> jobs_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_FAULT_QUARANTINE_HH

@@ -15,10 +15,17 @@ namespace {
 constexpr const char *kProfilesHeader = "cooper-profiles";
 constexpr const char *kMatchingHeader = "cooper-matching";
 constexpr const char *kOnlineStateHeader = "cooper-online-state";
-constexpr int kFormatVersion = 1;
+
+// Formats version independently: v2 of the online state added the
+// fault-plane sections (quarantine, probe rounds, fault counters, and
+// the fault plan) without touching the other two formats.
+constexpr int kProfilesVersion = 1;
+constexpr int kMatchingVersion = 1;
+constexpr int kOnlineStateVersion = 2;
 
 void
-expectHeader(std::istream &is, const char *magic, std::string &line)
+expectHeader(std::istream &is, const char *magic, int expected_version,
+             std::string &line)
 {
     fatalIf(!std::getline(is, line), "serialize: empty input");
     std::istringstream header(line);
@@ -27,8 +34,9 @@ expectHeader(std::istream &is, const char *magic, std::string &line)
     header >> word >> version;
     fatalIf(word != magic, "serialize: expected '", magic,
             "' header, got '", word, "'");
-    fatalIf(version != kFormatVersion, "serialize: unsupported version ",
-            version);
+    fatalIf(version != expected_version,
+            "serialize: unsupported '", magic, "' version ", version,
+            " (expected ", expected_version, ")");
 }
 
 } // namespace
@@ -36,7 +44,7 @@ expectHeader(std::istream &is, const char *magic, std::string &line)
 void
 writeProfiles(std::ostream &os, const SparseMatrix &profiles)
 {
-    os << kProfilesHeader << " " << kFormatVersion << " "
+    os << kProfilesHeader << " " << kProfilesVersion << " "
        << profiles.rows() << " " << profiles.cols() << "\n";
     os << std::setprecision(17);
     for (const auto &entry : profiles.entries())
@@ -48,7 +56,7 @@ SparseMatrix
 readProfiles(std::istream &is)
 {
     std::string line;
-    expectHeader(is, kProfilesHeader, line);
+    expectHeader(is, kProfilesHeader, kProfilesVersion, line);
     std::istringstream header(line);
     std::string word;
     int version = 0;
@@ -80,7 +88,7 @@ readProfiles(std::istream &is)
 void
 writeMatching(std::ostream &os, const Matching &matching)
 {
-    os << kMatchingHeader << " " << kFormatVersion << " "
+    os << kMatchingHeader << " " << kMatchingVersion << " "
        << matching.size() << "\n";
     for (const auto &[a, b] : matching.pairs())
         os << a << " " << b << "\n";
@@ -90,7 +98,7 @@ Matching
 readMatching(std::istream &is)
 {
     std::string line;
-    expectHeader(is, kMatchingHeader, line);
+    expectHeader(is, kMatchingHeader, kMatchingVersion, line);
     std::istringstream header(line);
     std::string word;
     int version = 0;
@@ -121,7 +129,7 @@ readMatching(std::istream &is)
 void
 writeOnlineState(std::ostream &os, const OnlineState &state)
 {
-    os << kOnlineStateHeader << " " << kFormatVersion << "\n";
+    os << kOnlineStateHeader << " " << kOnlineStateVersion << "\n";
     os << "seed " << state.seed << "\n";
     os << "epoch " << state.epoch << "\n";
     os << "tick " << state.clockTick << "\n";
@@ -146,6 +154,27 @@ writeOnlineState(std::ostream &os, const OnlineState &state)
        << " " << state.ratings.knownCount() << "\n";
     for (const auto &entry : state.ratings.entries())
         os << entry.row << " " << entry.col << " " << entry.value << "\n";
+    os << "faults " << state.faultsInjected << " " << state.retries
+       << " " << state.quarantined << " " << state.quarantineReleased
+       << " " << state.abandoned << " " << state.crashes << " "
+       << state.cfFallbacks << " " << state.checkpointFailures << "\n";
+    os << "quarantine " << state.quarantine.size() << "\n";
+    for (const QuarantinedJob &job : state.quarantine)
+        os << job.uid << " " << job.type << " " << job.failures << " "
+           << job.untilEpoch << " " << job.rounds << "\n";
+    os << "rounds " << state.probeRounds.size() << "\n";
+    for (const auto &[uid, served] : state.probeRounds)
+        os << uid << " " << served << "\n";
+    const FaultSpec &spec = state.faultPlan.spec();
+    os << "plan " << spec.seed << " " << spec.probeTimeoutRate << " "
+       << spec.measurementDropRate << " " << spec.measurementCorruptRate
+       << " " << spec.corruptSigma << " " << spec.crashRatePerEpoch
+       << " " << spec.checkpointFailRate << " "
+       << state.faultPlan.script().size() << "\n";
+    for (const ScriptedFault &event : state.faultPlan.script())
+        os << event.epoch << " " << faultKindName(event.kind) << " "
+           << (event.hasUid ? 1 : 0) << " " << event.uid << " "
+           << event.magnitude << "\n";
 }
 
 namespace {
@@ -182,7 +211,7 @@ OnlineState
 readOnlineState(std::istream &is)
 {
     std::string line;
-    expectHeader(is, kOnlineStateHeader, line);
+    expectHeader(is, kOnlineStateHeader, kOnlineStateVersion, line);
 
     OnlineState state;
     {
@@ -280,6 +309,74 @@ readOnlineState(std::istream &is)
     }
     fatalIf(state.ratings.knownCount() != known,
             "readOnlineState: duplicate ratings cells");
+
+    {
+        auto fields = sectionLine(is, "faults");
+        fatalIf(!(fields >> state.faultsInjected >> state.retries >>
+                  state.quarantined >> state.quarantineReleased >>
+                  state.abandoned >> state.crashes >>
+                  state.cfFallbacks >> state.checkpointFailures),
+                "readOnlineState: malformed faults counters");
+    }
+
+    {
+        auto fields = sectionLine(is, "quarantine");
+        fatalIf(!(fields >> count),
+                "readOnlineState: malformed quarantine count");
+    }
+    state.quarantine.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto fields = bodyLine(is, "quarantine");
+        QuarantinedJob job;
+        fatalIf(!(fields >> job.uid >> job.type >> job.failures >>
+                  job.untilEpoch >> job.rounds),
+                "readOnlineState: malformed quarantine entry ", i);
+        fatalIf(!state.quarantine.empty() &&
+                    state.quarantine.back().uid >= job.uid,
+                "readOnlineState: quarantine entries not ascending");
+        state.quarantine.push_back(job);
+    }
+
+    {
+        auto fields = sectionLine(is, "rounds");
+        fatalIf(!(fields >> count),
+                "readOnlineState: malformed rounds count");
+    }
+    state.probeRounds.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto fields = bodyLine(is, "rounds");
+        std::uint64_t uid = 0, served = 0;
+        fatalIf(!(fields >> uid >> served),
+                "readOnlineState: malformed rounds entry ", i);
+        state.probeRounds.emplace_back(uid, served);
+    }
+
+    FaultSpec spec;
+    std::size_t script_count = 0;
+    {
+        auto fields = sectionLine(is, "plan");
+        fatalIf(!(fields >> spec.seed >> spec.probeTimeoutRate >>
+                  spec.measurementDropRate >>
+                  spec.measurementCorruptRate >> spec.corruptSigma >>
+                  spec.crashRatePerEpoch >> spec.checkpointFailRate >>
+                  script_count),
+                "readOnlineState: malformed plan section");
+    }
+    std::vector<ScriptedFault> script;
+    script.reserve(script_count);
+    for (std::size_t i = 0; i < script_count; ++i) {
+        auto fields = bodyLine(is, "plan");
+        ScriptedFault event;
+        std::string kind;
+        int has_uid = 0;
+        fatalIf(!(fields >> event.epoch >> kind >> has_uid >>
+                  event.uid >> event.magnitude),
+                "readOnlineState: malformed plan event ", i);
+        event.kind = faultKindFromName(kind);
+        event.hasUid = has_uid != 0;
+        script.push_back(event);
+    }
+    state.faultPlan = FaultPlan(spec, std::move(script));
     return state;
 }
 

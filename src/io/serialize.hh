@@ -37,9 +37,12 @@ Matching readMatching(std::istream &is);
 
 /**
  * Write an online-service checkpoint (see OnlineState); format:
- * "cooper-online-state 1" header, then keyword-tagged sections for the
+ * "cooper-online-state 2" header, then keyword-tagged sections for the
  * clock, totals, live population, uid-level pairs, admission queue,
- * and the warm-start profile matrix.
+ * the warm-start profile matrix, and (since v2) the fault plane: the
+ * lifetime fault counters, quarantine table, pending probe rounds,
+ * and the fault plan itself, so a restore refuses to resume under a
+ * different fault schedule.
  */
 void writeOnlineState(std::ostream &os, const OnlineState &state);
 

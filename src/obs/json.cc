@@ -276,7 +276,11 @@ parseJsonFile(const std::string &path)
     fatalIf(!in, "parseJsonFile: cannot open '", path, "'");
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return parseJson(buffer.str());
+    fatalIf(in.bad(), "parseJsonFile: read failure on '", path, "'");
+    const std::string text = buffer.str();
+    fatalIf(text.find_first_not_of(" \t\r\n") == std::string::npos,
+            "parseJsonFile: '", path, "' is empty");
+    return parseJson(text);
 }
 
 } // namespace cooper

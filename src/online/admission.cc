@@ -16,6 +16,18 @@ AdmissionQueue::offer(const PendingArrival &arrival)
     return true;
 }
 
+bool
+AdmissionQueue::offerUrgent(const PendingArrival &arrival)
+{
+    if (maxDepth_ > 0 && queue_.size() >= maxDepth_) {
+        ++rejected_;
+        return false;
+    }
+    queue_.push_front(arrival);
+    highWater_ = std::max(highWater_, queue_.size());
+    return true;
+}
+
 std::vector<PendingArrival>
 AdmissionQueue::admit(std::size_t capacity)
 {

@@ -51,6 +51,14 @@ class AdmissionQueue
     /** Enqueue an arrival; false when backpressure rejects it. */
     bool offer(const PendingArrival &arrival);
 
+    /**
+     * Enqueue at the *front* of the queue: re-admissions (crash
+     * evictees, released quarantine jobs) were already running or
+     * waiting once and must not be starved by newer arrivals. Subject
+     * to the same backpressure bound as offer().
+     */
+    bool offerUrgent(const PendingArrival &arrival);
+
     /** Dequeue up to `capacity` arrivals in FIFO order. */
     std::vector<PendingArrival> admit(std::size_t capacity);
 

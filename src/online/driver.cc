@@ -81,23 +81,81 @@ OnlineDriver::clockTick() const
     return epoch_ * config_.execution.online.epochTicks;
 }
 
-std::size_t
-OnlineDriver::probeArrival(JobUid uid, JobTypeId type)
+OnlineDriver::ProbeRound
+OnlineDriver::probeArrival(JobUid uid, JobTypeId type,
+                           ProbeBudget &budget)
 {
     const OnlineConfig &online = config_.execution.online;
     Rng pick = base_.substream(kProbeStream).substream(uid);
     SystemProfiler profiler(*model_, config_.noise, pick());
+    ProbeRound round;
 
-    // The self colocation is always measured: it anchors the row even
-    // when the population is empty (the very first admissions).
-    predictor_.observe(type, type,
-                       meanMeasurement(profiler, type, type,
-                                       online.profileRepeats));
-    std::size_t probes = 1;
+    // How one directed cell fared.
+    enum class Cell { Landed, Failed, Skipped };
+
+    // Attempt ladder for one directed cell: the first try plus up to
+    // probeMaxRetries retries, each waiting probeBackoffTicks << (k-1)
+    // virtual ticks, until the cumulative wait passes the deadline.
+    // Pure integer arithmetic keyed by (epoch, uid, cell, attempt), so
+    // the schedule replays bit-identically at any thread count and
+    // across a checkpoint/restore split.
+    std::uint64_t cell_seq = 0;
+    const auto attemptCell = [&](JobTypeId self, JobTypeId other,
+                                 double &value) -> Cell {
+        const std::uint64_t cell = cell_seq++;
+        std::uint64_t waited = 0;
+        for (std::uint64_t k = 0;; ++k) {
+            if (k > 0) {
+                waited += online.probeBackoffTicks << (k - 1);
+                if (k > online.probeMaxRetries ||
+                    waited > online.probeDeadlineTicks) {
+                    ++round.failedCells;
+                    return Cell::Failed;
+                }
+                ++round.retries;
+            }
+            if (budget.exhausted()) {
+                ++round.cfFallbacks;
+                return Cell::Skipped; // predictor's CF fill covers it
+            }
+            budget.spend();
+
+            const std::uint64_t key =
+                cell * (online.probeMaxRetries + 1) + k;
+            ProbeFault fault = ProbeFault::None;
+            if (plan_.probeTimesOut(epoch_, uid, key))
+                fault = ProbeFault::Timeout;
+            else if (plan_.measurementDrops(epoch_, uid, key))
+                fault = ProbeFault::Drop;
+            const double delta = fault == ProbeFault::None
+                                     ? plan_.corruption(epoch_, uid, key)
+                                     : 0.0;
+            if (fault != ProbeFault::None || delta != 0.0)
+                ++round.faults;
+
+            const ProbeResult got = profiler.probe(
+                self, other, online.profileRepeats, fault, delta);
+            if (got.ok) {
+                value = got.value;
+                return Cell::Landed;
+            }
+            // Timed out or lost in transit: the coordinator saw no
+            // result either way, so both back off and retry.
+        }
+    };
+
+    // The self colocation is always attempted first: it anchors the
+    // row even when the population is empty (the first admissions).
+    double measured = 0.0;
+    if (attemptCell(type, type, measured) == Cell::Landed) {
+        predictor_.observe(type, type, measured);
+        ++round.probes;
+    }
 
     // Probe against up to probesPerArrival distinct types present in
     // the running population, chosen by the arrival's substream. One
-    // colocation run yields both directions' penalties.
+    // colocation run yields both directions' penalties, but each
+    // direction's delivery can fail independently.
     std::vector<JobTypeId> candidates;
     for (const LiveJob &job : live_)
         if (job.type != type)
@@ -110,19 +168,30 @@ OnlineDriver::probeArrival(JobUid uid, JobTypeId type)
         candidates.resize(online.probesPerArrival);
 
     for (JobTypeId other : candidates) {
-        predictor_.observe(type, other,
-                           meanMeasurement(profiler, type, other,
-                                           online.profileRepeats));
-        predictor_.observe(other, type,
-                           meanMeasurement(profiler, other, type,
-                                           online.profileRepeats));
-        ++probes;
+        const std::size_t failed_before = round.failedCells;
+        bool landed = false;
+        if (attemptCell(type, other, measured) == Cell::Landed) {
+            predictor_.observe(type, other, measured);
+            landed = true;
+        }
+        if (attemptCell(other, type, measured) == Cell::Landed) {
+            predictor_.observe(other, type, measured);
+            landed = true;
+        }
+        if (landed)
+            ++round.probes;
+        // Quarantine counts whole colocations lost, not directions:
+        // a half-landed probe still characterized the pair.
+        if (round.failedCells == failed_before + 2)
+            round.failedCells -= 1;
+        else if (round.failedCells > failed_before && landed)
+            round.failedCells = failed_before;
     }
-    return probes;
+    return round;
 }
 
 std::size_t
-OnlineDriver::refreshProfiles()
+OnlineDriver::refreshProfiles(ProbeBudget &budget)
 {
     const OnlineConfig &online = config_.execution.online;
     if (online.refreshProbesPerEpoch == 0)
@@ -133,13 +202,18 @@ OnlineDriver::refreshProfiles()
 
     Rng pick = base_.substream(kRefreshStream).substream(epoch_);
     SystemProfiler profiler(*model_, config_.noise, pick());
+    std::size_t refreshed = 0;
     for (std::size_t i = 0; i < online.refreshProbesPerEpoch; ++i) {
+        if (budget.exhausted())
+            break; // arrival probing drained the epoch's budget
+        budget.spend();
         const auto &cell = entries[pick.uniformInt(entries.size())];
         predictor_.observe(cell.row, cell.col,
                            meanMeasurement(profiler, cell.row, cell.col,
                                            online.profileRepeats));
+        ++refreshed;
     }
-    return online.refreshProbesPerEpoch;
+    return refreshed;
 }
 
 bool
@@ -191,6 +265,110 @@ OnlineDriver::pairsSnapshot() const
 }
 
 void
+OnlineDriver::faultBoundary(OnlineEpochStats &stats)
+{
+    // Re-admissions in offer order: crash evictees first (they were
+    // running), then released quarantine jobs, both ascending by uid.
+    std::vector<PendingArrival> urgent;
+
+    // 1. Node crashes. A node hosts one colocated pair, so a crash
+    // evicts the victim and its partner; both re-enter through the
+    // admission FIFO and are re-probed when admitted. Victims are
+    // drawn from the post-departure population, before this epoch's
+    // admissions.
+    if (plan_.enabled() && !live_.empty()) {
+        std::vector<std::uint64_t> uids;
+        uids.reserve(live_.size());
+        for (const LiveJob &job : live_)
+            uids.push_back(job.uid);
+        std::sort(uids.begin(), uids.end());
+        const auto victims = plan_.crashVictims(epoch_, uids);
+        if (!victims.empty()) {
+            const TraceSpan span("fault.crash", "fault");
+            for (const std::uint64_t victim : victims) {
+                const auto it = std::find_if(
+                    live_.begin(), live_.end(),
+                    [victim](const LiveJob &job) {
+                        return job.uid == victim;
+                    });
+                if (it == live_.end())
+                    continue; // already evicted as a partner
+                std::vector<LiveJob> evicted{*it};
+                const auto link = partner_.find(victim);
+                if (link != partner_.end()) {
+                    const JobUid other = link->second;
+                    const auto po = std::find_if(
+                        live_.begin(), live_.end(),
+                        [other](const LiveJob &job) {
+                            return job.uid == other;
+                        });
+                    panicIf(po == live_.end(),
+                            "OnlineDriver: matched uid not live");
+                    evicted.push_back(*po);
+                }
+                departLive(victim);
+                if (evicted.size() > 1)
+                    departLive(evicted[1].uid);
+                ++stats.crashes;
+                ++crashes_;
+                ++stats.faultsInjected;
+                ++faultsInjected_;
+                for (const LiveJob &job : evicted)
+                    urgent.push_back(PendingArrival{job.uid, job.type,
+                                                    clockTick()});
+            }
+        }
+    }
+
+    // 2. Quarantine releases: jobs whose sit-out ended re-enter the
+    // FIFO for a fresh probe round; their round count survives in
+    // rounds_ so abandonment still triggers across the gap.
+    const auto released = quarantine_.releaseDue(epoch_);
+    if (!released.empty()) {
+        const TraceSpan span("fault.release", "fault");
+        for (const QuarantinedJob &job : released) {
+            rounds_[job.uid] = job.rounds;
+            ++stats.quarantineReleased;
+            ++quarantineReleased_;
+            urgent.push_back(PendingArrival{
+                job.uid, static_cast<JobTypeId>(job.type), clockTick()});
+        }
+    }
+
+    // Push in reverse so the queue front ends up in `urgent` order.
+    // Backpressure still applies: a rejected re-admission is counted
+    // like any other rejection and forgotten.
+    for (auto it = urgent.rbegin(); it != urgent.rend(); ++it)
+        if (!admission_.offerUrgent(*it))
+            rounds_.erase(it->uid);
+}
+
+void
+OnlineDriver::maybeCheckpoint(OnlineEpochStats &stats)
+{
+    const OnlineConfig &online = config_.execution.online;
+    if (online.checkpointEveryEpochs == 0 || !sink_ ||
+        epoch_ % online.checkpointEveryEpochs != 0)
+        return;
+    const TraceSpan span("fault.checkpoint", "fault");
+    bool failed = false;
+    if (plan_.checkpointFails(epoch_)) {
+        // The write never starts; the last good checkpoint stands and
+        // the epoch has already committed.
+        ++stats.faultsInjected;
+        ++faultsInjected_;
+        failed = true;
+    } else if (!sink_(snapshot())) {
+        failed = true; // real write failure, same degradation
+    }
+    if (failed) {
+        ++checkpointFailures_;
+        if (MetricsRegistry *metrics = obsMetrics())
+            metrics->counter("online.checkpoint_failures").add(1);
+    }
+}
+
+void
 OnlineDriver::runOneEpoch(EventQueue &queue, OnlineReport &report)
 {
     const TraceSpan span("online.epoch", "online");
@@ -219,56 +397,111 @@ OnlineDriver::runOneEpoch(EventQueue &queue, OnlineReport &report)
         } else {
             ++stats.departures;
             ++totalDepartures_;
-            if (admission_.withdraw(event.uid))
+            if (admission_.withdraw(event.uid)) {
+                rounds_.erase(event.uid);
                 continue; // gave up waiting in the queue
+            }
+            if (quarantine_.remove(event.uid)) {
+                rounds_.erase(event.uid);
+                continue; // departed while sitting out
+            }
             departLive(event.uid); // false: its arrival was rejected
         }
     }
+    // 1b. Epoch-boundary faults: node crashes evict colocated pairs,
+    // due quarantine entries re-enter the FIFO.
+    faultBoundary(stats);
     stats.rejectedTotal = admission_.rejected();
 
     // 2. Admit up to the profiling capacity; probe each admission
-    // before it joins the population.
+    // before it joins the population. An arrival whose probes fail
+    // outright on enough cells is quarantined instead of admitted —
+    // pairing an uncharacterized job would be guesswork.
+    ProbeBudget budget{online.probeBudgetPerEpoch > 0,
+                       online.probeBudgetPerEpoch};
     const auto admitted = admission_.admit(online.admitPerEpoch);
-    stats.admitted = admitted.size();
-    totalAdmitted_ += admitted.size();
     for (const PendingArrival &arrival : admitted) {
-        stats.probes += probeArrival(arrival.uid, arrival.type);
+        const ProbeRound round =
+            probeArrival(arrival.uid, arrival.type, budget);
+        stats.probes += round.probes;
+        stats.retries += round.retries;
+        stats.cfFallbacks += round.cfFallbacks;
+        stats.faultsInjected += round.faults;
+        retries_ += round.retries;
+        cfFallbacks_ += round.cfFallbacks;
+        faultsInjected_ += round.faults;
+
+        if (online.quarantineAfterFailures > 0 &&
+            round.failedCells >= online.quarantineAfterFailures) {
+            const auto it = rounds_.find(arrival.uid);
+            const std::uint64_t served =
+                it == rounds_.end() ? 0 : it->second;
+            if (served + 1 > online.maxQuarantineRounds) {
+                // Permanently unreachable: give up for good (counted,
+                // never silently dropped).
+                ++stats.abandoned;
+                ++abandoned_;
+                rounds_.erase(arrival.uid);
+            } else {
+                // The table keeps the round count while the job sits
+                // out; rounds_ only tracks jobs back in the FIFO.
+                rounds_.erase(arrival.uid);
+                quarantine_.add(QuarantinedJob{
+                    arrival.uid, arrival.type, round.failedCells,
+                    epoch_ + 1 + online.quarantineEpochs, served + 1});
+                ++stats.quarantined;
+                ++quarantined_;
+            }
+            continue;
+        }
+        ++stats.admitted;
+        ++totalAdmitted_;
+        rounds_.erase(arrival.uid); // recovered: a clean round resets
         live_.push_back(LiveJob{arrival.uid, arrival.type});
     }
-    stats.probes += refreshProfiles();
+    stats.probes += refreshProfiles(budget);
     totalProbes_ += stats.probes;
     stats.queueDepth = admission_.depth();
 
     // 3. Predict, build the epoch's instance, repair the carried-over
     // matching.
     if (live_.size() >= 2) {
-        const Prediction *prediction = nullptr;
-        Prediction full;
-        {
-            // Both modes feed the same histogram so bench_online can
-            // compare warm-started against from-scratch prediction.
-            const ScopedTimer predict_timer("online.predict_seconds");
-            if (online.incremental) {
-                prediction = &predictor_.predict();
-                const IncrementalStats &ps = predictor_.lastStats();
-                stats.dirtyCells = ps.dirtyCells;
-                stats.recomputedPairs = ps.recomputedPairs;
-                stats.predictCacheHit = ps.cacheHit;
-                stats.predictIncremental = ps.incremental;
-            } else {
-                const ItemKnnPredictor cold(
-                    effectivePredictorConfig(config_));
-                full = cold.predict(predictor_.ratings());
-                prediction = &full;
-            }
-        }
-
         const std::size_t n = catalog_->size();
         PenaltyMatrix truth = model_->penaltyMatrix();
         PenaltyMatrix believed(n);
-        for (std::size_t i = 0; i < n; ++i)
-            for (std::size_t j = 0; j < n; ++j)
-                believed(i, j) = prediction->dense[i][j];
+        if (predictor_.ratings().knownCount() == 0) {
+            // Bottom rung of the degradation ladder: every probe so
+            // far failed, so there is nothing to learn from. Pair on
+            // an all-zero believed matrix (pure guesswork, but the
+            // epoch still commits) rather than crash the service.
+            stats.cfFallbacks += n * n;
+            cfFallbacks_ += n * n;
+        } else {
+            const Prediction *prediction = nullptr;
+            Prediction full;
+            {
+                // Both modes feed the same histogram so bench_online
+                // can compare warm-started against from-scratch
+                // prediction.
+                const ScopedTimer predict_timer("online.predict_seconds");
+                if (online.incremental) {
+                    prediction = &predictor_.predict();
+                    const IncrementalStats &ps = predictor_.lastStats();
+                    stats.dirtyCells = ps.dirtyCells;
+                    stats.recomputedPairs = ps.recomputedPairs;
+                    stats.predictCacheHit = ps.cacheHit;
+                    stats.predictIncremental = ps.incremental;
+                } else {
+                    const ItemKnnPredictor cold(
+                        effectivePredictorConfig(config_));
+                    full = cold.predict(predictor_.ratings());
+                    prediction = &full;
+                }
+            }
+            for (std::size_t i = 0; i < n; ++i)
+                for (std::size_t j = 0; j < n; ++j)
+                    believed(i, j) = prediction->dense[i][j];
+        }
 
         std::vector<JobTypeId> types;
         types.reserve(live_.size());
@@ -285,6 +518,7 @@ OnlineDriver::runOneEpoch(EventQueue &queue, OnlineReport &report)
             instance, prev, rng, config_.execution.threads);
 
         stats.blockingBefore = out.blockingBefore;
+        stats.blockingAfter = out.blockingAfter;
         stats.pairsBroken = out.pairsBroken;
         stats.fullRematch = out.fullRematch;
         for (const auto &[a, b] : prev.pairs())
@@ -311,6 +545,13 @@ OnlineDriver::runOneEpoch(EventQueue &queue, OnlineReport &report)
     stats.population = live_.size();
     lastMeanPenalty_ = stats.meanPenalty;
 
+    // The epoch commits now — whatever probing failed above, the
+    // matching shipped. The periodic checkpoint (and its injected
+    // failures) happens on the committed state.
+    ++epoch_;
+    maybeCheckpoint(stats);
+    stats.quarantineSize = quarantine_.size();
+
     if (MetricsRegistry *metrics = obsMetrics()) {
         metrics->counter("online.epochs").add(1);
         metrics->counter("online.arrivals").add(stats.arrivals);
@@ -318,15 +559,25 @@ OnlineDriver::runOneEpoch(EventQueue &queue, OnlineReport &report)
         metrics->counter("online.admitted").add(stats.admitted);
         metrics->counter("online.probes").add(stats.probes);
         metrics->counter("online.migrations").add(stats.migrations);
+        metrics->counter("online.faults_injected")
+            .add(stats.faultsInjected);
+        metrics->counter("online.retries").add(stats.retries);
+        metrics->counter("online.crashes").add(stats.crashes);
+        metrics->counter("online.quarantined").add(stats.quarantined);
+        metrics->counter("online.quarantine_released")
+            .add(stats.quarantineReleased);
+        metrics->counter("online.abandoned").add(stats.abandoned);
+        metrics->counter("online.cf_fallbacks").add(stats.cfFallbacks);
         metrics->gauge("online.population")
             .set(static_cast<double>(stats.population));
         metrics->gauge("online.queue_depth")
             .set(static_cast<double>(stats.queueDepth));
+        metrics->gauge("online.quarantine_size")
+            .set(static_cast<double>(stats.quarantineSize));
         metrics->gauge("online.mean_penalty").set(stats.meanPenalty);
     }
 
     report.epochs.push_back(stats);
-    ++epoch_;
 }
 
 OnlineReport
@@ -349,7 +600,11 @@ OnlineDriver::run(const ChurnTrace &trace)
     report.seed = seed_;
     report.startEpoch = epoch_;
 
-    while (!queue.empty() || admission_.depth() > 0)
+    // Quarantined jobs keep the clock running: they still owe a
+    // re-probe round (ending in admission or abandonment), so the
+    // service is not done while any are parked.
+    while (!queue.empty() || admission_.depth() > 0 ||
+           !quarantine_.empty())
         runOneEpoch(queue, report);
 
     report.totalArrivals = totalArrivals_;
@@ -360,7 +615,16 @@ OnlineDriver::run(const ChurnTrace &trace)
     report.totalMigrations = totalMigrations_;
     report.totalPairsBroken = totalPairsBroken_;
     report.totalFullRematches = totalFullRematches_;
+    report.totalFaultsInjected = faultsInjected_;
+    report.totalRetries = retries_;
+    report.totalQuarantined = quarantined_;
+    report.totalQuarantineReleased = quarantineReleased_;
+    report.totalAbandoned = abandoned_;
+    report.totalCrashes = crashes_;
+    report.totalCfFallbacks = cfFallbacks_;
+    report.totalCheckpointFailures = checkpointFailures_;
     report.finalPopulation = live_.size();
+    report.finalQuarantine = quarantine_.size();
     report.finalMeanPenalty = lastMeanPenalty_;
     report.finalPairs = pairsSnapshot();
     return report;
@@ -386,6 +650,18 @@ OnlineDriver::snapshot() const
     state.totalPairsBroken = totalPairsBroken_;
     state.totalFullRematches = totalFullRematches_;
     state.lastMeanPenalty = lastMeanPenalty_;
+    state.quarantine = quarantine_.snapshot();
+    for (const auto &[uid, served] : rounds_)
+        state.probeRounds.emplace_back(uid, served);
+    state.faultsInjected = faultsInjected_;
+    state.retries = retries_;
+    state.quarantined = quarantined_;
+    state.quarantineReleased = quarantineReleased_;
+    state.abandoned = abandoned_;
+    state.crashes = crashes_;
+    state.cfFallbacks = cfFallbacks_;
+    state.checkpointFailures = checkpointFailures_;
+    state.faultPlan = plan_;
     state.ratings = predictor_.ratings();
     return state;
 }
@@ -434,6 +710,28 @@ OnlineDriver::restore(const OnlineState &state)
     totalPairsBroken_ = state.totalPairsBroken;
     totalFullRematches_ = state.totalFullRematches;
     lastMeanPenalty_ = state.lastMeanPenalty;
+
+    fatalIf(!(state.faultPlan == plan_),
+            "OnlineDriver::restore: checkpoint fault plan does not "
+            "match the driver's (a checkpoint only replays under its "
+            "own fault schedule)");
+    quarantine_.restore(state.quarantine);
+    rounds_.clear();
+    for (const auto &[uid, served] : state.probeRounds) {
+        fatalIf(quarantine_.contains(uid),
+                "OnlineDriver::restore: uid ", uid,
+                " both quarantined and round-tracked");
+        rounds_[uid] = served;
+    }
+    faultsInjected_ = state.faultsInjected;
+    retries_ = state.retries;
+    quarantined_ = state.quarantined;
+    quarantineReleased_ = state.quarantineReleased;
+    abandoned_ = state.abandoned;
+    crashes_ = state.crashes;
+    cfFallbacks_ = state.cfFallbacks;
+    checkpointFailures_ = state.checkpointFailures;
+
     predictor_.reset(state.ratings);
 }
 
@@ -446,7 +744,7 @@ writeOnlineSummary(std::ostream &os, const OnlineReport &report)
     // full-predict runs whose decisions are identical; they are
     // exposed through obs metrics and BENCH_online.json instead.
     os << "{\n";
-    os << "  \"schema\": \"cooper.online.v1\",\n";
+    os << "  \"schema\": \"cooper.online.v2\",\n";
     os << "  \"policy\": \"" << report.policy << "\",\n";
     os << "  \"seed\": " << report.seed << ",\n";
     os << "  \"start_epoch\": " << report.startEpoch << ",\n";
@@ -464,9 +762,16 @@ writeOnlineSummary(std::ostream &os, const OnlineReport &report)
            << ", \"rejected_total\": " << e.rejectedTotal
            << ", \"probes\": " << e.probes
            << ", \"blocking_before\": " << e.blockingBefore
+           << ", \"blocking_after\": " << e.blockingAfter
            << ", \"pairs_broken\": " << e.pairsBroken
            << ", \"full_rematch\": " << (e.fullRematch ? "true" : "false")
            << ", \"migrations\": " << e.migrations
+           << ", \"faults\": " << e.faultsInjected
+           << ", \"retries\": " << e.retries
+           << ", \"crashes\": " << e.crashes
+           << ", \"quarantined\": " << e.quarantined
+           << ", \"quarantine_size\": " << e.quarantineSize
+           << ", \"cf_fallbacks\": " << e.cfFallbacks
            << ", \"mean_penalty\": " << jsonNum(e.meanPenalty) << "}";
     }
     os << "\n  ],\n";
@@ -478,10 +783,22 @@ writeOnlineSummary(std::ostream &os, const OnlineReport &report)
     os << "    \"probes\": " << report.totalProbes << ",\n";
     os << "    \"migrations\": " << report.totalMigrations << ",\n";
     os << "    \"pairs_broken\": " << report.totalPairsBroken << ",\n";
-    os << "    \"full_rematches\": " << report.totalFullRematches << "\n";
+    os << "    \"full_rematches\": " << report.totalFullRematches << ",\n";
+    os << "    \"faults_injected\": " << report.totalFaultsInjected
+       << ",\n";
+    os << "    \"retries\": " << report.totalRetries << ",\n";
+    os << "    \"quarantined\": " << report.totalQuarantined << ",\n";
+    os << "    \"quarantine_released\": "
+       << report.totalQuarantineReleased << ",\n";
+    os << "    \"abandoned\": " << report.totalAbandoned << ",\n";
+    os << "    \"crashes\": " << report.totalCrashes << ",\n";
+    os << "    \"cf_fallbacks\": " << report.totalCfFallbacks << ",\n";
+    os << "    \"checkpoint_failures\": "
+       << report.totalCheckpointFailures << "\n";
     os << "  },\n";
     os << "  \"final\": {\n";
     os << "    \"population\": " << report.finalPopulation << ",\n";
+    os << "    \"quarantine\": " << report.finalQuarantine << ",\n";
     os << "    \"mean_penalty\": " << jsonNum(report.finalMeanPenalty)
        << ",\n";
     os << "    \"pairs\": [";

@@ -17,18 +17,32 @@
  * is drawn from Rng::substream keyed by (purpose, epoch or uid) — no
  * generator state survives an epoch, which is also what makes
  * checkpoint/restore exact (see OnlineState).
+ *
+ * Fault plane: an installed FaultPlan injects probe timeouts, lost or
+ * corrupted measurements, node crashes, and checkpoint-write failures
+ * on the same substream discipline, so a faulty run is exactly as
+ * reproducible as a clean one. The driver degrades instead of
+ * failing: probes retry with exponential backoff on the virtual
+ * clock, uncharacterizable jobs are quarantined and later re-offered
+ * through the admission FIFO, cells past the probe budget fall back
+ * to CF prediction, crash evictees re-enter admission, and a failed
+ * checkpoint write is counted while the epoch still commits (see
+ * DESIGN.md "Fault plane & degradation ladder").
  */
 
 #ifndef COOPER_ONLINE_DRIVER_HH
 #define COOPER_ONLINE_DRIVER_HH
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/framework.hh"
+#include "fault/plan.hh"
+#include "fault/quarantine.hh"
 #include "online/admission.hh"
 #include "online/events.hh"
 #include "online/incremental.hh"
@@ -69,6 +83,7 @@ struct OnlineEpochStats
 
     /** Repair diagnostics (see RepairOutcome). */
     std::size_t blockingBefore = 0;
+    std::size_t blockingAfter = 0;
     std::size_t pairsBroken = 0;
     bool fullRematch = false;
 
@@ -77,6 +92,16 @@ struct OnlineEpochStats
 
     /** Mean true penalty over matched agents after repair. */
     double meanPenalty = 0.0;
+
+    /** Fault-plane diagnostics (all zero with the inert plan). */
+    std::size_t faultsInjected = 0;  //!< faults fired this epoch
+    std::size_t retries = 0;         //!< probe retry attempts
+    std::size_t crashes = 0;         //!< nodes crashed (victims)
+    std::size_t quarantined = 0;     //!< jobs parked this epoch
+    std::size_t quarantineReleased = 0;
+    std::size_t abandoned = 0;       //!< jobs given up on for good
+    std::size_t cfFallbacks = 0;     //!< cells skipped on probe budget
+    std::size_t quarantineSize = 0;  //!< table size after the epoch
 };
 
 /** Everything one run() produced. */
@@ -100,8 +125,19 @@ struct OnlineReport
     std::size_t totalPairsBroken = 0;
     std::size_t totalFullRematches = 0;
 
+    /** Lifetime fault-plane totals (zero with the inert plan). */
+    std::size_t totalFaultsInjected = 0;
+    std::size_t totalRetries = 0;
+    std::size_t totalQuarantined = 0;
+    std::size_t totalQuarantineReleased = 0;
+    std::size_t totalAbandoned = 0;
+    std::size_t totalCrashes = 0;
+    std::size_t totalCfFallbacks = 0;
+    std::size_t totalCheckpointFailures = 0;
+
     /** Final population and uid-level matching. */
     std::size_t finalPopulation = 0;
+    std::size_t finalQuarantine = 0;
     double finalMeanPenalty = 0.0;
     std::vector<std::pair<JobUid, JobUid>> finalPairs;
 };
@@ -124,8 +160,32 @@ class OnlineDriver
     OnlineDriver(const Catalog &catalog, const InterferenceModel &model,
                  FrameworkConfig config, std::uint64_t seed = 1);
 
+    /**
+     * Writes one checkpoint; returns false when the write failed (the
+     * driver counts the failure and carries on — the last good
+     * checkpoint stands). Invoked every checkpointEveryEpochs epochs.
+     */
+    using CheckpointSink = std::function<bool(const OnlineState &)>;
+
     const FrameworkConfig &config() const { return config_; }
     std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Install a fault-injection plan. Must be called before run() and
+     * match the plan of any checkpoint later restored; the default is
+     * the inert plan (nothing ever fires).
+     */
+    void setFaultPlan(FaultPlan plan) { plan_ = std::move(plan); }
+    const FaultPlan &faultPlan() const { return plan_; }
+
+    /** Install the periodic checkpoint writer (see CheckpointSink). */
+    void setCheckpointSink(CheckpointSink sink)
+    {
+        sink_ = std::move(sink);
+    }
+
+    /** Jobs currently sitting out in quarantine. */
+    std::size_t quarantineSize() const { return quarantine_.size(); }
 
     /** Epochs completed so far. */
     std::uint64_t epoch() const { return epoch_; }
@@ -152,13 +212,48 @@ class OnlineDriver
     void restore(const OnlineState &state);
 
   private:
+    /** Remaining measurement attempts this epoch (budget ladder). */
+    struct ProbeBudget
+    {
+        bool bounded = false;
+        std::size_t left = 0;
+
+        bool exhausted() const { return bounded && left == 0; }
+
+        void
+        spend()
+        {
+            if (bounded)
+                --left;
+        }
+    };
+
+    /** What probing one admitted arrival produced. */
+    struct ProbeRound
+    {
+        std::size_t probes = 0;      //!< colocations that landed
+        std::size_t retries = 0;     //!< retry attempts spent
+        std::size_t failedCells = 0; //!< colocations that failed outright
+        std::size_t cfFallbacks = 0; //!< cells skipped on budget
+        std::size_t faults = 0;      //!< injected fault events
+    };
+
     void runOneEpoch(EventQueue &queue, OnlineReport &report);
 
-    /** Probe one admitted arrival; returns colocations measured. */
-    std::size_t probeArrival(JobUid uid, JobTypeId type);
+    /** Probe one admitted arrival under the plan and budget. */
+    ProbeRound probeArrival(JobUid uid, JobTypeId type,
+                            ProbeBudget &budget);
 
     /** Re-measure known cells to keep profiles fresh. */
-    std::size_t refreshProfiles();
+    std::size_t refreshProfiles(ProbeBudget &budget);
+
+    /** Release due quarantine entries and inject this epoch's node
+     *  crashes; both re-enter through the admission queue's urgent
+     *  path. */
+    void faultBoundary(OnlineEpochStats &stats);
+
+    /** Periodic checkpoint (cadence, injected write failures). */
+    void maybeCheckpoint(OnlineEpochStats &stats);
 
     /** Departure bookkeeping; false when the uid is not live (its
      *  arrival was rejected, or predates a resumed suffix). */
@@ -182,6 +277,15 @@ class OnlineDriver
     RepairingPolicy repairer_;
     AdmissionQueue admission_;
 
+    FaultPlan plan_;
+    QuarantineTable quarantine_;
+    CheckpointSink sink_;
+
+    /** Failed-probe rounds per uid for jobs outside the quarantine
+     *  table (waiting in the FIFO after a release); see
+     *  OnlineState::probeRounds. */
+    std::map<JobUid, std::uint64_t> rounds_;
+
     std::vector<LiveJob> live_;
     std::map<JobUid, JobUid> partner_;
 
@@ -193,14 +297,24 @@ class OnlineDriver
     std::size_t totalMigrations_ = 0;
     std::size_t totalPairsBroken_ = 0;
     std::size_t totalFullRematches_ = 0;
+    std::size_t faultsInjected_ = 0;
+    std::size_t retries_ = 0;
+    std::size_t quarantined_ = 0;
+    std::size_t quarantineReleased_ = 0;
+    std::size_t abandoned_ = 0;
+    std::size_t crashes_ = 0;
+    std::size_t cfFallbacks_ = 0;
+    std::size_t checkpointFailures_ = 0;
     double lastMeanPenalty_ = 0.0;
 };
 
 /**
- * Deterministic run summary (schema cooper.online.v1). Contains only
+ * Deterministic run summary (schema cooper.online.v2). Contains only
  * decision-path quantities — no timings — so two replays of the same
- * (trace, seed, config) emit byte-identical files at any thread
- * count; `cooper_cli serve` relies on this for its replay check.
+ * (trace, seed, config, fault plan) emit byte-identical files at any
+ * thread count; `cooper_cli serve` relies on this for its replay
+ * check. v2 adds the fault-plane fields (all zero under the inert
+ * plan).
  */
 void writeOnlineSummary(std::ostream &os, const OnlineReport &report);
 

@@ -83,6 +83,64 @@ struct OnlineConfig
      * bit-identical either way.
      */
     bool incremental = true;
+
+    // -- Degradation ladder (see DESIGN.md, "Fault plane & degradation
+    // ladder"). These knobs only matter when a FaultPlan is active or
+    // a probe budget is set; with the inert default plan the service
+    // behaves exactly as before.
+
+    /**
+     * Probe attempts per cell when attempts time out: the first try
+     * plus up to probeMaxRetries retries, backed off exponentially on
+     * the virtual clock (retry k waits probeBackoffTicks << (k-1)
+     * ticks). All integer arithmetic, so retry schedules replay
+     * bit-identically at any thread count.
+     */
+    std::size_t probeMaxRetries = 3;
+
+    /** Base backoff before the first retry, in virtual ticks. */
+    std::uint64_t probeBackoffTicks = 1;
+
+    /**
+     * A cell's retry ladder is abandoned once its cumulative backoff
+     * exceeds this many virtual ticks (the epoch boundary cannot wait
+     * forever for one probe).
+     */
+    std::uint64_t probeDeadlineTicks = 16;
+
+    /**
+     * Measurement attempts the profiler may spend per epoch across
+     * all probing (admission + refresh); 0 = unbounded. When the
+     * budget is exhausted, remaining cells are skipped and their
+     * penalties fall back to CF prediction.
+     */
+    std::size_t probeBudgetPerEpoch = 0;
+
+    /**
+     * Quarantine an arrival when at least this many of its probe
+     * cells fail outright (every attempt timed out); 0 disables
+     * quarantine (the job is admitted on whatever probes landed).
+     */
+    std::size_t quarantineAfterFailures = 2;
+
+    /** Epochs a quarantined job sits out before re-admission. */
+    std::uint64_t quarantineEpochs = 2;
+
+    /**
+     * Quarantine rounds before a job is abandoned for good (counted
+     * in the abandoned total, never silently dropped). Bounds the
+     * retry loop so a permanently unreachable node cannot wedge the
+     * service.
+     */
+    std::size_t maxQuarantineRounds = 3;
+
+    /**
+     * Checkpoint cadence: invoke the driver's checkpoint sink every
+     * this many epochs; 0 disables periodic checkpoints. A failed or
+     * fault-injected write is counted and skipped — the last good
+     * checkpoint stands and the epoch still commits.
+     */
+    std::uint64_t checkpointEveryEpochs = 0;
 };
 
 } // namespace cooper

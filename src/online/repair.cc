@@ -49,6 +49,8 @@ RepairingPolicy::repair(const ColocationInstance &instance,
         out.fullRematch = true;
         out.repairedAgents = n;
         out.matching = policy->assign(instance, rng);
+        out.blockingAfter =
+            countBlockingPairs(out.matching, believed, alpha_, threads);
         if (MetricsRegistry *metrics = obsMetrics())
             metrics->counter("online.full_rematches").add(1);
         return out;
@@ -99,6 +101,8 @@ RepairingPolicy::repair(const ColocationInstance &instance,
             free_agents.push_back(a);
     out.repairedAgents = free_agents.size();
     if (free_agents.size() < 2) {
+        out.blockingAfter =
+            countBlockingPairs(out.matching, believed, alpha_, threads);
         if (MetricsRegistry *metrics = obsMetrics())
             metrics->counter("online.repair_noops").add(1);
         return out;
@@ -117,6 +121,8 @@ RepairingPolicy::repair(const ColocationInstance &instance,
     const Matching delta_matching = policy->assign(delta, rng);
     for (const auto &[i, j] : delta_matching.pairs())
         out.matching.pair(free_agents[i], free_agents[j]);
+    out.blockingAfter =
+        countBlockingPairs(out.matching, believed, alpha_, threads);
 
     if (MetricsRegistry *metrics = obsMetrics()) {
         metrics->counter("online.repaired_agents")

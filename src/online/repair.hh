@@ -37,6 +37,10 @@ struct RepairOutcome
      *  disutilities, the policy's view). */
     std::size_t blockingBefore = 0;
 
+    /** Blocking pairs of the repaired matching (same believed view);
+     *  what the service actually ships this epoch. */
+    std::size_t blockingAfter = 0;
+
     /** Kept pairs broken under the migration budget. */
     std::size_t pairsBroken = 0;
 

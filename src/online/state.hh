@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "cf/sparse_matrix.hh"
+#include "fault/plan.hh"
+#include "fault/quarantine.hh"
 #include "online/admission.hh"
 #include "online/events.hh"
 
@@ -72,6 +74,32 @@ struct OnlineState
 
     /** Mean true penalty of the most recent epoch's matching. */
     double lastMeanPenalty = 0.0;
+
+    /** Quarantined jobs, ascending by uid. */
+    std::vector<QuarantinedJob> quarantine;
+
+    /**
+     * Failed-probe rounds per uid for jobs currently *outside* the
+     * quarantine table (released back into the admission queue but
+     * not yet cleanly re-probed), ascending by uid. Without this a
+     * checkpoint taken while a released job waits in the FIFO would
+     * forget how close it is to abandonment.
+     */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> probeRounds;
+
+    /** Lifetime fault-plane counters. */
+    std::size_t faultsInjected = 0;
+    std::size_t retries = 0;
+    std::size_t quarantined = 0;
+    std::size_t quarantineReleased = 0;
+    std::size_t abandoned = 0;
+    std::size_t crashes = 0;
+    std::size_t cfFallbacks = 0;
+    std::size_t checkpointFailures = 0;
+
+    /** The fault plan the run was started with; restore refuses a
+     *  mismatch (a checkpoint only replays under its own schedule). */
+    FaultPlan faultPlan;
 
     /** Warm-start profile matrix (type-level measured penalties).
      *  The 1x1 default is a placeholder (SparseMatrix rejects empty

@@ -44,6 +44,38 @@ SystemProfiler::measure(JobTypeId self, JobTypeId other)
     return d;
 }
 
+ProbeResult
+SystemProfiler::probe(JobTypeId self, JobTypeId other,
+                      std::size_t repeats, ProbeFault fault,
+                      double corrupt_delta)
+{
+    fatalIf(repeats == 0, "SystemProfiler::probe: need at least one "
+                          "repeat");
+    if (fault == ProbeFault::Timeout)
+        return {};
+
+    // The colocation run happens: draw every sample (so a dropped
+    // probe consumes exactly the noise a delivered one would).
+    double sum = 0.0;
+    for (std::size_t i = 0; i < repeats; ++i) {
+        double d = model_->penalty(self, other);
+        if (noise_.sigma > 0.0)
+            d += rng_.gaussian(0.0, noise_.sigma);
+        sum += std::clamp(d, noise_.floor, 1.0);
+    }
+    if (fault == ProbeFault::Drop)
+        return {};
+
+    // The mean of clamped samples is already in range; only a corrupt
+    // probe needs the offset-and-reclamp (keeping the clean path
+    // bit-identical to averaging measure() calls).
+    double mean = sum / static_cast<double>(repeats);
+    if (corrupt_delta != 0.0)
+        mean = std::clamp(mean + corrupt_delta, noise_.floor, 1.0);
+    database_.record(self, other, mean);
+    return {true, mean};
+}
+
 SparseMatrix
 SystemProfiler::sampleProfiles(double ratio, std::size_t min_per_row,
                                std::size_t repeats)

@@ -57,6 +57,25 @@ class ProfileDatabase
     std::size_t total_ = 0;
 };
 
+/** Fault applied to one probe colocation run (see FaultPlan). */
+enum class ProbeFault
+{
+    None,    //!< the probe completes and its result lands
+    Timeout, //!< the probe never returns; nothing is measured
+    Drop,    //!< the probe completes but the result is lost in transit
+};
+
+/** What one fault-aware probe produced. */
+struct ProbeResult
+{
+    /** The measurement reached the database. False on Timeout (no
+     *  measurement happened) and Drop (it happened but was lost). */
+    bool ok = false;
+
+    /** Mean measured penalty; meaningful only when ok. */
+    double value = 0.0;
+};
+
 /**
  * Noisy profiler over an interference model.
  */
@@ -78,6 +97,26 @@ class SystemProfiler
      * records the sample in the database and returns it.
      */
     double measure(JobTypeId self, JobTypeId other);
+
+    /**
+     * Fault-aware probe: one colocation run measured `repeats` times
+     * and averaged (the way the online service characterizes a cell),
+     * with `fault` applied to the run as a whole.
+     *
+     * Timeout: the run never happens — no noise is drawn, nothing is
+     * recorded. Drop: the run happens (noise is consumed) but the
+     * result never reaches the database. Otherwise the mean, offset
+     * by `corrupt_delta` and re-clamped, is recorded once.
+     *
+     * @param repeats Measurements averaged; must be positive.
+     * @param fault Injected failure mode for this probe.
+     * @param corrupt_delta Additive corruption on the recorded mean
+     *        (0.0 for a clean probe).
+     */
+    ProbeResult probe(JobTypeId self, JobTypeId other,
+                      std::size_t repeats,
+                      ProbeFault fault = ProbeFault::None,
+                      double corrupt_delta = 0.0);
 
     /**
      * Profile a uniformly random subset of type pairs.

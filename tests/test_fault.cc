@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for the fault plane: FaultPlan decisions are pure
+ * functions of their keys (the determinism the online service's
+ * degraded paths are built on), the script parser accepts the
+ * documented schema and rejects everything else, and the quarantine
+ * table is plain deterministic state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/plan.hh"
+#include "fault/quarantine.hh"
+#include "util/error.hh"
+
+namespace cooper {
+namespace {
+
+TEST(FaultKind, NamesRoundTrip)
+{
+    const FaultKind kinds[] = {
+        FaultKind::ProbeTimeout,   FaultKind::MeasurementDrop,
+        FaultKind::MeasurementCorrupt, FaultKind::NodeCrash,
+        FaultKind::CheckpointFail};
+    for (FaultKind kind : kinds)
+        EXPECT_EQ(faultKindFromName(faultKindName(kind)), kind);
+    EXPECT_THROW(faultKindFromName("meteor_strike"), FatalError);
+}
+
+TEST(FaultPlan, InertByDefault)
+{
+    const FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    for (std::uint64_t epoch = 0; epoch < 8; ++epoch) {
+        EXPECT_FALSE(plan.probeTimesOut(epoch, 3, 0));
+        EXPECT_FALSE(plan.measurementDrops(epoch, 3, 0));
+        EXPECT_DOUBLE_EQ(plan.corruption(epoch, 3, 0), 0.0);
+        EXPECT_FALSE(plan.checkpointFails(epoch));
+        EXPECT_TRUE(plan.crashVictims(epoch, {1, 2, 3}).empty());
+    }
+}
+
+TEST(FaultPlan, DecisionsArePureFunctionsOfTheirKeys)
+{
+    FaultSpec spec;
+    spec.seed = 77;
+    spec.probeTimeoutRate = 0.3;
+    spec.measurementDropRate = 0.2;
+    spec.measurementCorruptRate = 0.2;
+    spec.crashRatePerEpoch = 0.5;
+    spec.checkpointFailRate = 0.4;
+    const FaultPlan a(spec), b(spec);
+    EXPECT_TRUE(a == b);
+
+    const std::vector<std::uint64_t> live{2, 5, 9, 11};
+    for (std::uint64_t epoch = 0; epoch < 16; ++epoch) {
+        for (std::uint64_t uid = 0; uid < 6; ++uid) {
+            for (std::uint64_t attempt = 0; attempt < 4; ++attempt) {
+                // Same key, same answer — across plans and across
+                // repeated asks of the same plan (statelessness).
+                EXPECT_EQ(a.probeTimesOut(epoch, uid, attempt),
+                          b.probeTimesOut(epoch, uid, attempt));
+                EXPECT_EQ(a.probeTimesOut(epoch, uid, attempt),
+                          a.probeTimesOut(epoch, uid, attempt));
+                EXPECT_EQ(a.measurementDrops(epoch, uid, attempt),
+                          b.measurementDrops(epoch, uid, attempt));
+                EXPECT_DOUBLE_EQ(a.corruption(epoch, uid, attempt),
+                                 b.corruption(epoch, uid, attempt));
+            }
+        }
+        EXPECT_EQ(a.checkpointFails(epoch), b.checkpointFails(epoch));
+        EXPECT_EQ(a.crashVictims(epoch, live), b.crashVictims(epoch, live));
+    }
+}
+
+TEST(FaultPlan, DifferentSeedsGiveDifferentSchedules)
+{
+    FaultSpec one;
+    one.seed = 1;
+    one.probeTimeoutRate = 0.5;
+    FaultSpec two = one;
+    two.seed = 2;
+    const FaultPlan a(one), b(two);
+
+    bool differs = false;
+    for (std::uint64_t key = 0; key < 64 && !differs; ++key)
+        differs = a.probeTimesOut(0, key, 0) != b.probeTimesOut(0, key, 0);
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, ExtremeRatesAlwaysAndNeverFire)
+{
+    FaultSpec always;
+    always.seed = 3;
+    always.probeTimeoutRate = 1.0;
+    always.measurementDropRate = 1.0;
+    always.checkpointFailRate = 1.0;
+    always.crashRatePerEpoch = 1.0;
+    const FaultPlan hot(always);
+    const FaultPlan cold; // all rates zero
+
+    const std::vector<std::uint64_t> live{4, 8};
+    for (std::uint64_t epoch = 0; epoch < 8; ++epoch) {
+        EXPECT_TRUE(hot.probeTimesOut(epoch, epoch, 0));
+        EXPECT_TRUE(hot.measurementDrops(epoch, epoch, 1));
+        EXPECT_TRUE(hot.checkpointFails(epoch));
+        EXPECT_EQ(hot.crashVictims(epoch, live).size(), 1u);
+        EXPECT_FALSE(cold.probeTimesOut(epoch, epoch, 0));
+        EXPECT_FALSE(cold.checkpointFails(epoch));
+    }
+    EXPECT_TRUE(hot.crashVictims(0, {}).empty());
+}
+
+TEST(FaultPlan, ScriptedEventsOverlayZeroRates)
+{
+    std::vector<ScriptedFault> script;
+    ScriptedFault timeout;
+    timeout.epoch = 4;
+    timeout.kind = FaultKind::ProbeTimeout;
+    timeout.hasUid = true;
+    timeout.uid = 9;
+    script.push_back(timeout);
+
+    ScriptedFault corrupt;
+    corrupt.epoch = 5;
+    corrupt.kind = FaultKind::MeasurementCorrupt;
+    corrupt.hasUid = false; // every uid that epoch
+    corrupt.magnitude = 0.25;
+    script.push_back(corrupt);
+
+    ScriptedFault checkpoint;
+    checkpoint.epoch = 6;
+    checkpoint.kind = FaultKind::CheckpointFail;
+    script.push_back(checkpoint);
+
+    const FaultPlan plan(FaultSpec{}, script);
+    EXPECT_TRUE(plan.enabled());
+
+    // The scripted timeout hits every attempt of uid 9 at epoch 4 and
+    // nothing else.
+    EXPECT_TRUE(plan.probeTimesOut(4, 9, 0));
+    EXPECT_TRUE(plan.probeTimesOut(4, 9, 3));
+    EXPECT_FALSE(plan.probeTimesOut(4, 8, 0));
+    EXPECT_FALSE(plan.probeTimesOut(3, 9, 0));
+
+    // The untargeted corruption applies to all uids at epoch 5.
+    EXPECT_DOUBLE_EQ(plan.corruption(5, 1, 0), 0.25);
+    EXPECT_DOUBLE_EQ(plan.corruption(5, 40, 2), 0.25);
+    EXPECT_DOUBLE_EQ(plan.corruption(4, 1, 0), 0.0);
+
+    EXPECT_TRUE(plan.checkpointFails(6));
+    EXPECT_FALSE(plan.checkpointFails(5));
+}
+
+TEST(FaultPlan, ScriptedCrashesNameTheirVictim)
+{
+    std::vector<ScriptedFault> script;
+    ScriptedFault crash;
+    crash.epoch = 2;
+    crash.kind = FaultKind::NodeCrash;
+    crash.hasUid = true;
+    crash.uid = 7;
+    script.push_back(crash);
+    const FaultPlan plan(FaultSpec{}, script);
+
+    const std::vector<std::uint64_t> with{3, 7, 11};
+    const std::vector<std::uint64_t> without{3, 11};
+    EXPECT_EQ(plan.crashVictims(2, with),
+              std::vector<std::uint64_t>{7});
+    // A scripted victim that already departed is ignored.
+    EXPECT_TRUE(plan.crashVictims(2, without).empty());
+    EXPECT_TRUE(plan.crashVictims(1, with).empty());
+}
+
+TEST(FaultPlan, ParsesTheDocumentedSchema)
+{
+    const std::string text = R"({
+        "schema": "cooper.faultplan.v1",
+        "seed": 42,
+        "rates": { "probe_timeout": 0.2, "measurement_drop": 0.1,
+                   "measurement_corrupt": 0.05, "corrupt_sigma": 0.3,
+                   "crash_per_epoch": 0.01, "checkpoint_fail": 0.5 },
+        "events": [ { "epoch": 3, "kind": "crash", "uid": 7 },
+                    { "epoch": 2, "kind": "probe_timeout", "uid": 5 },
+                    { "epoch": 4, "kind": "checkpoint_fail" } ] })";
+    const FaultPlan plan = parseFaultPlan(text, /*default_seed=*/1);
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_EQ(plan.spec().seed, 42u);
+    EXPECT_DOUBLE_EQ(plan.spec().probeTimeoutRate, 0.2);
+    EXPECT_DOUBLE_EQ(plan.spec().corruptSigma, 0.3);
+    EXPECT_DOUBLE_EQ(plan.spec().checkpointFailRate, 0.5);
+
+    // Script entries come back sorted by (epoch, kind, uid).
+    ASSERT_EQ(plan.script().size(), 3u);
+    EXPECT_EQ(plan.script()[0].epoch, 2u);
+    EXPECT_EQ(plan.script()[0].kind, FaultKind::ProbeTimeout);
+    EXPECT_EQ(plan.script()[1].epoch, 3u);
+    EXPECT_EQ(plan.script()[1].kind, FaultKind::NodeCrash);
+    EXPECT_TRUE(plan.script()[1].hasUid);
+    EXPECT_EQ(plan.script()[1].uid, 7u);
+    EXPECT_EQ(plan.script()[2].kind, FaultKind::CheckpointFail);
+    EXPECT_FALSE(plan.script()[2].hasUid);
+}
+
+TEST(FaultPlan, ParseDefaultsSeedAndOmittedSections)
+{
+    const FaultPlan plan =
+        parseFaultPlan(R"({ "schema": "cooper.faultplan.v1" })", 99);
+    EXPECT_FALSE(plan.enabled());
+    EXPECT_EQ(plan.spec().seed, 99u);
+    EXPECT_TRUE(plan.script().empty());
+}
+
+TEST(FaultPlan, ParseRejectsMalformedDocuments)
+{
+    EXPECT_THROW(parseFaultPlan("not json"), FatalError);
+    EXPECT_THROW(parseFaultPlan(R"({ "schema": "wrong.v1" })"),
+                 FatalError);
+    EXPECT_THROW(
+        parseFaultPlan(R"({ "schema": "cooper.faultplan.v1",
+                            "rates": { "probe_timeout": 1.5 } })"),
+        FatalError);
+    EXPECT_THROW(
+        parseFaultPlan(R"({ "schema": "cooper.faultplan.v1",
+                            "events": [ { "epoch": 0,
+                                          "kind": "meteor" } ] })"),
+        FatalError);
+}
+
+TEST(QuarantineTable, AddRemoveRelease)
+{
+    QuarantineTable table;
+    EXPECT_TRUE(table.empty());
+
+    QuarantinedJob a;
+    a.uid = 9;
+    a.type = 2;
+    a.failures = 3;
+    a.untilEpoch = 5;
+    a.rounds = 1;
+    QuarantinedJob b = a;
+    b.uid = 4;
+    b.untilEpoch = 7;
+    table.add(a);
+    table.add(b);
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_TRUE(table.contains(9));
+    EXPECT_FALSE(table.contains(1));
+
+    // Nothing due before the earliest untilEpoch.
+    EXPECT_TRUE(table.releaseDue(4).empty());
+
+    // Due entries pop in ascending-uid order and leave the table.
+    const std::vector<QuarantinedJob> due = table.releaseDue(7);
+    ASSERT_EQ(due.size(), 2u);
+    EXPECT_EQ(due[0].uid, 4u);
+    EXPECT_EQ(due[1].uid, 9u);
+    EXPECT_TRUE(table.empty());
+
+    // Remove reports presence.
+    table.add(a);
+    EXPECT_TRUE(table.remove(9));
+    EXPECT_FALSE(table.remove(9));
+}
+
+TEST(QuarantineTable, SnapshotRoundTrips)
+{
+    QuarantineTable table;
+    for (std::uint64_t uid : {11, 3, 7}) {
+        QuarantinedJob job;
+        job.uid = uid;
+        job.type = uid % 4;
+        job.failures = uid + 1;
+        job.untilEpoch = uid * 2;
+        job.rounds = uid % 3;
+        table.add(job);
+    }
+    const std::vector<QuarantinedJob> snap = table.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].uid, 3u); // ascending by uid
+    EXPECT_EQ(snap[1].uid, 7u);
+    EXPECT_EQ(snap[2].uid, 11u);
+
+    QuarantineTable restored;
+    restored.restore(snap);
+    EXPECT_EQ(restored.snapshot(), snap);
+}
+
+} // namespace
+} // namespace cooper

@@ -11,7 +11,14 @@
  *  - "cooper.bench_online.v1" (bench_online): the online-service
  *    workload shape, a phases object with the warm-started `predict`
  *    comparison and the `epoch` throughput, and an online counters
- *    object.
+ *    object;
+ *  - "cooper.bench_faults.v1" (bench_faults): the online workload
+ *    shape, `clean` and `degraded` throughput phases, and a faults
+ *    object with the injected-fault counters and the degradation
+ *    ratios (blocking_ratio, throughput_ratio).
+ *
+ * Empty, truncated, or otherwise corrupt documents are hard failures
+ * (exit 1) — a bench run that crashed mid-write must not validate.
  *
  * Every phase carries mode / baseline_seconds / optimized_seconds /
  * speedup / identical / metric fields; phases in baseline_vs_optimized
@@ -40,6 +47,7 @@ using namespace cooper;
 
 constexpr const char *kKernelsSchema = "cooper.bench_kernels.v1";
 constexpr const char *kOnlineSchema = "cooper.bench_online.v1";
+constexpr const char *kFaultsSchema = "cooper.bench_faults.v1";
 
 const char *const kKernelPhases[] = {"similarity", "predict", "matching",
                                      "blocking", "shapley"};
@@ -56,6 +64,14 @@ const char *const kOnlineWorkloadFields[] = {"events", "epochs", "types",
 const char *const kOnlineCounterFields[] = {
     "migrations", "pairs_broken", "full_rematches", "predict_cache_hits",
     "recomputed_pairs"};
+
+const char *const kFaultsPhases[] = {"clean", "degraded"};
+
+const char *const kFaultsCounterFields[] = {
+    "injected",          "retries",           "quarantined",
+    "quarantine_released", "abandoned",       "crashes",
+    "cf_fallbacks",      "checkpoint_failures", "clean_blocking",
+    "degraded_blocking", "blocking_ratio",    "throughput_ratio"};
 
 const JsonValue &
 member(const JsonValue &object, const std::string &key,
@@ -187,6 +203,37 @@ validateOnline(const JsonValue &root, const std::string &path)
                 "bench_json: online.", field, " is negative");
 }
 
+void
+validateFaults(const JsonValue &root, const std::string &path)
+{
+    const JsonValue &workload = member(root, "workload", path);
+    fatalIf(!workload.isObject(),
+            "bench_json: workload is not an object");
+    for (const char *field : kOnlineWorkloadFields)
+        numberField(workload, field, "workload");
+    checkTinyFlag(workload);
+
+    const JsonValue &phases = member(root, "phases", path);
+    fatalIf(!phases.isObject(), "bench_json: phases is not an object");
+    for (const char *name : kFaultsPhases)
+        checkPhase(member(phases, name, "phases"), name);
+
+    const JsonValue &faults = member(root, "faults", path);
+    fatalIf(!faults.isObject(),
+            "bench_json: faults is not an object");
+    for (const char *field : kFaultsCounterFields)
+        fatalIf(numberField(faults, field, "faults") < 0.0,
+                "bench_json: faults.", field, " is negative");
+
+    // A faults document that injected nothing measured nothing: the
+    // degraded phase would silently equal the clean one.
+    fatalIf(numberField(faults, "injected", "faults") <= 0.0,
+            "bench_json: faults.injected is zero — the degraded run "
+            "exercised no faults");
+    fatalIf(numberField(faults, "throughput_ratio", "faults") <= 0.0,
+            "bench_json: faults.throughput_ratio is not positive");
+}
+
 } // namespace
 
 int
@@ -212,6 +259,8 @@ main(int argc, char **argv)
             validateKernels(root, path);
         else if (schema.text == kOnlineSchema)
             validateOnline(root, path);
+        else if (schema.text == kFaultsSchema)
+            validateFaults(root, path);
         else
             fatal("bench_json: ", path, " has unknown schema \"",
                   schema.text, "\"");

@@ -1,10 +1,13 @@
-# Runs bench_regression and bench_online at smoke-test sizes and
-# validates the emitted JSON against the cooper.bench_kernels.v1 /
-# cooper.bench_online.v1 schemas. Only the schema and the
+# Runs bench_regression, bench_online, and bench_faults at smoke-test
+# sizes and validates the emitted JSON against the
+# cooper.bench_kernels.v1 / cooper.bench_online.v1 /
+# cooper.bench_faults.v1 schemas. Only the schema and the
 # exact-equivalence bits are checked here — speedup floors are
 # timing-sensitive and belong to manual full-size runs
 # (bench_json --min-speedup similarity=3,blocking=2 and
 #  bench_json --file BENCH_online.json --min-speedup predict=1.5).
+# Corrupt documents (empty file, truncated write) must be rejected:
+# a bench run that crashed mid-write must not validate.
 function(run_step)
     execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORKDIR}
                     RESULT_VARIABLE code OUTPUT_VARIABLE out
@@ -15,8 +18,37 @@ function(run_step)
     message(STATUS "${out}")
 endfunction()
 
+function(expect_failure)
+    execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORKDIR}
+                    RESULT_VARIABLE code OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(code EQUAL 0)
+        message(FATAL_ERROR
+                "step was expected to fail but passed: ${ARGV}\n${out}")
+    endif()
+    message(STATUS "rejected as expected: ${err}")
+endfunction()
+
 run_step(${BENCH} --tiny --out bench_smoke_kernels.json)
 run_step(${BENCH_JSON} --file bench_smoke_kernels.json)
 
 run_step(${BENCH_ONLINE} --tiny --out bench_smoke_online.json)
 run_step(${BENCH_JSON} --file bench_smoke_online.json)
+
+run_step(${BENCH_FAULTS} --tiny --out bench_smoke_faults.json)
+run_step(${BENCH_JSON} --file bench_smoke_faults.json)
+
+# Corruption regressions: empty document, truncated document, and a
+# whitespace-only document must all exit nonzero.
+file(WRITE ${WORKDIR}/bench_smoke_empty.json "")
+expect_failure(${BENCH_JSON} --file bench_smoke_empty.json)
+
+file(READ ${WORKDIR}/bench_smoke_faults.json whole_doc)
+string(LENGTH "${whole_doc}" whole_len)
+math(EXPR half_len "${whole_len} / 2")
+string(SUBSTRING "${whole_doc}" 0 ${half_len} half_doc)
+file(WRITE ${WORKDIR}/bench_smoke_truncated.json "${half_doc}")
+expect_failure(${BENCH_JSON} --file bench_smoke_truncated.json)
+
+file(WRITE ${WORKDIR}/bench_smoke_blank.json "  \n\t\n")
+expect_failure(${BENCH_JSON} --file bench_smoke_blank.json)

@@ -19,7 +19,10 @@
  * a virtual clock. Its --out summary contains only decision-path
  * quantities, so replaying the same (trace, seed, config) emits a
  * byte-identical file at any --threads value; --checkpoint/--restore
- * round-trip the driver state through io/serialize.
+ * round-trip the driver state through io/serialize. --fault-plan
+ * loads a deterministic fault-injection script (src/fault): probe
+ * timeouts, lost/corrupted measurements, node crashes, and
+ * checkpoint-write failures, all replayed bit-identically too.
  *
  * `epoch` drives profile -> predict -> match -> assess -> dispatch in
  * one process (plus a sampled-Shapley attribution step) and is the
@@ -50,6 +53,7 @@
 #include "core/framework.hh"
 #include "core/instance.hh"
 #include "core/policies.hh"
+#include "fault/plan.hh"
 #include "game/shapley.hh"
 #include "io/serialize.hh"
 #include "matching/blocking.hh"
@@ -85,6 +89,9 @@ usage()
            "           --probes N --budget N --rematch-threshold N\n"
            "           --threads T --out FILE\n"
            "           --checkpoint FILE --restore FILE\n"
+           "           --fault-plan FILE --probe-retries N\n"
+           "           --probe-budget N --quarantine-after N\n"
+           "           --quarantine-epochs N --checkpoint-every N\n"
            "Bare flags (cooper_cli --policy SMR ...) route to epoch.\n"
            "--metrics-out / --trace-out enable the observability layer\n"
            "(off by default; see DESIGN.md, \"Observability\").\n"
@@ -430,6 +437,22 @@ cmdServe(int argc, const char *const *argv)
     flags.declare("full-predict", "0",
                   "1 = re-predict from scratch every epoch (results "
                   "are identical, only slower)");
+    flags.declare("fault-plan", "",
+                  "JSON fault-injection script (cooper.faultplan.v1); "
+                  "empty = no faults");
+    flags.declare("probe-retries", "3",
+                  "probe retries per cell before it fails");
+    flags.declare("probe-budget", "0",
+                  "probe attempts per epoch (0 = unbounded; exhausted "
+                  "cells fall back to CF prediction)");
+    flags.declare("quarantine-after", "2",
+                  "failed probe cells that quarantine an arrival "
+                  "(0 = never quarantine)");
+    flags.declare("quarantine-epochs", "2",
+                  "epochs a quarantined job sits out");
+    flags.declare("checkpoint-every", "0",
+                  "write --checkpoint every N epochs too (0 = only at "
+                  "the end)");
     declareThreads(flags);
     flags.declare("out", "online.json",
                   "deterministic run-summary JSON");
@@ -471,6 +494,16 @@ cmdServe(int argc, const char *const *argv)
     online.fullRematchBlockingPairs =
         static_cast<std::size_t>(flags.getInt("rematch-threshold"));
     online.incremental = flags.getInt("full-predict") == 0;
+    online.probeMaxRetries =
+        static_cast<std::size_t>(flags.getInt("probe-retries"));
+    online.probeBudgetPerEpoch =
+        static_cast<std::size_t>(flags.getInt("probe-budget"));
+    online.quarantineAfterFailures =
+        static_cast<std::size_t>(flags.getInt("quarantine-after"));
+    online.quarantineEpochs =
+        static_cast<std::uint64_t>(flags.getInt("quarantine-epochs"));
+    online.checkpointEveryEpochs =
+        static_cast<std::uint64_t>(flags.getInt("checkpoint-every"));
 
     const Catalog catalog = Catalog::paperTableI();
     const InterferenceModel model(catalog);
@@ -478,8 +511,18 @@ cmdServe(int argc, const char *const *argv)
     // The CLI owns the session so every epoch feeds one registry and
     // one trace; the driver's own ObsScope then stays passive.
     const ObsScope scope(obs);
-    OnlineDriver driver(catalog, model, config,
-                        static_cast<std::uint64_t>(flags.getInt("seed")));
+    const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    OnlineDriver driver(catalog, model, config, seed);
+    if (!flags.get("fault-plan").empty())
+        driver.setFaultPlan(loadFaultPlan(flags.get("fault-plan"), seed));
+    if (online.checkpointEveryEpochs > 0 &&
+        !flags.get("checkpoint").empty()) {
+        const std::string path = flags.get("checkpoint");
+        driver.setCheckpointSink([path](const OnlineState &state) {
+            saveOnlineState(path, state);
+            return true;
+        });
+    }
     ChurnTrace trace = loadTrace(flags.get("trace"));
     if (!flags.get("restore").empty()) {
         driver.restore(loadOnlineState(flags.get("restore")));
@@ -499,6 +542,16 @@ cmdServe(int argc, const char *const *argv)
               << report.finalPopulation << ", mean true penalty "
               << Table::num(report.finalMeanPenalty, 4) << " -> "
               << flags.get("out") << "\n";
+    if (driver.faultPlan().enabled())
+        std::cout << "faults: " << report.totalFaultsInjected
+                  << " injected, " << report.totalRetries
+                  << " retry(ies), " << report.totalQuarantined
+                  << " quarantined (" << report.totalQuarantineReleased
+                  << " released, " << report.totalAbandoned
+                  << " abandoned), " << report.totalCrashes
+                  << " crash(es), " << report.totalCfFallbacks
+                  << " CF fallback(s), " << report.totalCheckpointFailures
+                  << " checkpoint failure(s)\n";
     if (!flags.get("checkpoint").empty())
         std::cout << "checkpoint -> " << flags.get("checkpoint") << "\n";
     if (!obs.metricsOut.empty())
