@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Sharded-fleet scaling harness: replays one churn trace through the
+ * ShardedDriver at each shard count in --shard-list, cross-checks
+ * that the K = 1 run matches the flat OnlineDriver byte-for-byte
+ * (the same differential the test suite holds), and emits a
+ * schema-stable BENCH_shard.json (schema "cooper.bench_shard.v1")
+ * that tools/bench_json validates.
+ *
+ * What scales: epoch repair cost is O(population^2) per matching
+ * domain, so K shards each holding ~n/K jobs do ~n^2/K work per epoch
+ * in total. The speedup column is wall-clock t(K=1) / t(K) — on a
+ * single core that ratio is pure work reduction; with threads it
+ * compounds with concurrent shard stepping. Efficiency is
+ * speedup / K, the per-shard scaling figure the CI floor guards:
+ *
+ *   bench_shard && bench_json --file BENCH_shard.json \
+ *       --min-efficiency k2=0.5
+ *
+ * Each K > 1 run also reports the egalitarian (worst-off-agent)
+ * objective the cross-shard rebalancer optimizes — final and
+ * per-epoch mean — so a regression in rebalance quality shows up next
+ * to the timing numbers.
+ *
+ * --tiny shrinks the trace for the `ctest -L bench-smoke` run.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "online/churn.hh"
+#include "online/driver.hh"
+#include "shard/sharded_driver.hh"
+#include "sim/interference.hh"
+#include "util/cli.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "workload/catalog.hh"
+
+namespace {
+
+using namespace cooper;
+
+using Clock = std::chrono::steady_clock;
+
+/** One shard-count replay of the trace. */
+struct ScaleResult
+{
+    std::size_t requestedShards = 0;
+    std::size_t effectiveShards = 0;
+    double wallSeconds = 0.0;
+    double egalitarianFinal = 0.0;
+    double egalitarianMean = 0.0; //!< mean post-rebalance objective
+    std::size_t migrations = 0;
+    std::size_t epochs = 0;
+    std::string summary; //!< writeShardedSummary bytes (determinism)
+    std::string flatEquivalent; //!< K = 1 only: shard 0 as a flat summary
+};
+
+/** Full-precision JSON number. */
+std::string
+jsonNum(double value)
+{
+    std::ostringstream out;
+    out << std::setprecision(17) << value;
+    return out.str();
+}
+
+/** Parse "1,2,4" into shard counts. */
+std::vector<std::size_t>
+parseShardList(const std::string &text)
+{
+    std::vector<std::size_t> out;
+    std::istringstream in(text);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (item.empty())
+            continue;
+        out.push_back(static_cast<std::size_t>(std::stoul(item)));
+    }
+    if (out.empty())
+        throw std::runtime_error("empty --shard-list");
+    return out;
+}
+
+/** Replay `trace` once at shard count `k`; best wall time over reps. */
+ScaleResult
+replay(const Catalog &catalog, const InterferenceModel &model,
+       FrameworkConfig config, std::uint64_t seed,
+       const ChurnTrace &trace, std::size_t k, int reps)
+{
+    config.execution.online.shards = k;
+
+    ScaleResult out;
+    out.requestedShards = k;
+    for (int r = 0; r < reps; ++r) {
+        ShardedDriver driver(catalog, model, config, seed);
+        const auto start = Clock::now();
+        const ShardedReport report = driver.run(trace);
+        const std::chrono::duration<double> elapsed =
+            Clock::now() - start;
+
+        std::ostringstream summary;
+        writeShardedSummary(summary, report);
+        if (r == 0) {
+            out.summary = summary.str();
+            out.effectiveShards = report.shards;
+            out.wallSeconds = elapsed.count();
+            out.egalitarianFinal = report.finalObjective;
+            out.migrations = report.totalCrossMigrations;
+            out.epochs = report.epochs.size();
+            double sum = 0.0;
+            for (const ShardEpochStats &e : report.epochs)
+                sum += e.objectiveAfter;
+            out.egalitarianMean =
+                report.epochs.empty()
+                    ? 0.0
+                    : sum / static_cast<double>(report.epochs.size());
+            if (report.shards == 1) {
+                std::ostringstream flat;
+                writeOnlineSummary(flat, report.perShard[0]);
+                out.flatEquivalent = flat.str();
+            }
+        } else {
+            if (summary.str() != out.summary)
+                throw std::runtime_error(
+                    "sharded replay diverged across repetitions at K=" +
+                    std::to_string(k));
+            out.wallSeconds = std::min(out.wallSeconds, elapsed.count());
+        }
+    }
+    return out;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<std::pair<std::string, std::string>> &workload,
+          const std::vector<ScaleResult> &runs, double baselineSeconds)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write " + path);
+    out << "{\n  \"schema\": \"cooper.bench_shard.v1\",\n";
+    out << "  \"workload\": {";
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        out << (i ? ", " : "") << "\"" << workload[i].first
+            << "\": " << workload[i].second;
+    }
+    out << "},\n  \"phases\": {\n";
+    bool first = true;
+    for (const ScaleResult &run : runs) {
+        if (run.requestedShards <= 1)
+            continue;
+        if (!first)
+            out << ",\n";
+        first = false;
+        const double speedup = baselineSeconds / run.wallSeconds;
+        out << "    \"scale" << run.requestedShards << "\": {"
+            << "\"mode\": \"optimized_only\", "
+            << "\"baseline_seconds\": " << jsonNum(baselineSeconds)
+            << ", \"optimized_seconds\": " << jsonNum(run.wallSeconds)
+            << ", \"speedup\": " << jsonNum(speedup)
+            << ", \"identical\": true"
+            << ", \"metric\": \"shard.epoch_seconds\""
+            << ", \"metric_count\": " << run.epochs
+            << ", \"metric_sum\": " << jsonNum(run.wallSeconds) << "}";
+    }
+    out << "\n  },\n  \"shards\": {\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const ScaleResult &run = runs[i];
+        const double speedup = baselineSeconds / run.wallSeconds;
+        const double efficiency =
+            speedup / static_cast<double>(run.requestedShards);
+        out << "    \"k" << run.requestedShards << "\": {"
+            << "\"shards\": " << run.effectiveShards
+            << ", \"wall_seconds\": " << jsonNum(run.wallSeconds)
+            << ", \"speedup\": " << jsonNum(speedup)
+            << ", \"efficiency\": " << jsonNum(efficiency)
+            << ", \"egalitarian_final\": "
+            << jsonNum(run.egalitarianFinal)
+            << ", \"egalitarian_mean\": " << jsonNum(run.egalitarianMean)
+            << ", \"migrations\": " << run.migrations
+            << ", \"epochs\": " << run.epochs << "}"
+            << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  }\n}\n";
+    if (!out.flush())
+        throw std::runtime_error("failed writing " + path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliFlags flags;
+    flags.declare("arrivals", "400", "churn-trace arrivals");
+    flags.declare("initial", "32", "jobs present at tick 0");
+    flags.declare("mean-gap", "3.0", "mean interarrival gap, ticks");
+    flags.declare("mean-life", "1200.0", "mean job lifetime, ticks");
+    flags.declare("epoch-ticks", "50", "virtual-clock ticks per epoch");
+    flags.declare("admit", "16", "arrivals admitted per epoch");
+    flags.declare("shard-list", "1,2,4",
+                  "comma-separated shard counts (must include 1)");
+    flags.declare("rebalance-budget", "4",
+                  "cross-shard migrations per epoch");
+    flags.declare("threads", "1",
+                  "worker threads (0 = all hardware, 1 = serial)");
+    flags.declare("seed", "2017", "trace and service seed");
+    flags.declare("reps", "3", "timing repetitions (best-of)");
+    flags.declare("tiny", "false",
+                  "smoke-test sizes (arrivals 80, shard-list 1,2)");
+    flags.declare("out", "BENCH_shard.json", "JSON output path");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return cooper::bench::runHarness(
+        "Sharded fleet: per-shard scaling of the online service",
+        [&] {
+            const bool tiny = flags.getBool("tiny");
+            const auto seed =
+                static_cast<std::uint64_t>(flags.getInt("seed"));
+            const int reps =
+                tiny ? 1 : static_cast<int>(flags.getInt("reps"));
+            const std::vector<std::size_t> shard_list = parseShardList(
+                tiny ? "1,2" : flags.get("shard-list"));
+            if (shard_list.front() != 1)
+                throw std::runtime_error(
+                    "--shard-list must start with 1 (the baseline)");
+
+            ChurnConfig churn;
+            churn.arrivals = static_cast<std::size_t>(
+                tiny ? 80 : flags.getInt("arrivals"));
+            churn.initialJobs = static_cast<std::size_t>(
+                tiny ? 12 : flags.getInt("initial"));
+            churn.meanInterarrivalTicks = flags.getDouble("mean-gap");
+            churn.meanLifetimeTicks = flags.getDouble("mean-life");
+
+            FrameworkConfig config;
+            config.execution.threads = static_cast<std::size_t>(
+                flags.getInt("threads"));
+            config.execution.online.epochTicks =
+                static_cast<std::uint64_t>(flags.getInt("epoch-ticks"));
+            config.execution.online.admitPerEpoch =
+                static_cast<std::size_t>(flags.getInt("admit"));
+            config.execution.online.rebalanceBudgetPerEpoch =
+                static_cast<std::size_t>(
+                    flags.getInt("rebalance-budget"));
+
+            const Catalog catalog = Catalog::paperTableI();
+            const InterferenceModel model(catalog);
+            Rng trace_rng(seed);
+            const ChurnTrace trace =
+                generateChurnTrace(catalog, churn, trace_rng);
+
+            std::vector<ScaleResult> runs;
+            for (const std::size_t k : shard_list)
+                runs.push_back(replay(catalog, model, config, seed,
+                                      trace, k, reps));
+
+            // Differential guard: the K = 1 sharded run must match the
+            // flat driver byte-for-byte, or every speedup below is
+            // measured against the wrong baseline.
+            {
+                FrameworkConfig flat_config = config;
+                flat_config.execution.online.shards = 1;
+                OnlineDriver flat(catalog, model, flat_config, seed);
+                const OnlineReport report = flat.run(trace);
+                std::ostringstream summary;
+                writeOnlineSummary(summary, report);
+                if (summary.str() != runs.front().flatEquivalent)
+                    throw std::runtime_error(
+                        "K=1 sharded summary differs from the flat "
+                        "OnlineDriver");
+            }
+
+            const double baseline = runs.front().wallSeconds;
+            Table table({"shards", "wall", "speedup", "efficiency",
+                         "egal(final)", "migrations"});
+            for (const ScaleResult &run : runs) {
+                const double speedup = baseline / run.wallSeconds;
+                table.addRow(
+                    {std::to_string(run.requestedShards),
+                     Table::num(run.wallSeconds * 1e3, 2) + " ms",
+                     Table::num(speedup, 2),
+                     Table::num(speedup / static_cast<double>(
+                                              run.requestedShards),
+                                2),
+                     Table::num(run.egalitarianFinal, 4),
+                     std::to_string(run.migrations)});
+            }
+            table.print(std::cout);
+
+            const std::vector<std::pair<std::string, std::string>>
+                workload{
+                    {"events", std::to_string(trace.size())},
+                    {"arrivals", std::to_string(churn.arrivals)},
+                    {"types", std::to_string(catalog.size())},
+                    {"threads",
+                     std::to_string(config.execution.threads)},
+                    {"rebalance_budget",
+                     std::to_string(config.execution.online
+                                        .rebalanceBudgetPerEpoch)},
+                    {"tiny", tiny ? "true" : "false"},
+                };
+            writeJson(flags.get("out"), workload, runs, baseline);
+            std::cout << "\nwrote " << flags.get("out")
+                      << " (schema cooper.bench_shard.v1)\n";
+        });
+}

@@ -18,10 +18,13 @@ constexpr const char *kOnlineStateHeader = "cooper-online-state";
 
 // Formats version independently: v2 of the online state added the
 // fault-plane sections (quarantine, probe rounds, fault counters, and
-// the fault plan) without touching the other two formats.
+// the fault plan) without touching the other two formats. v3 is the
+// *sharded* container — same magic, one embedded v2 block per shard —
+// so a flat reader fails fast on a sharded file and vice versa.
 constexpr int kProfilesVersion = 1;
 constexpr int kMatchingVersion = 1;
 constexpr int kOnlineStateVersion = 2;
+constexpr int kShardedStateVersion = 3;
 
 void
 expectHeader(std::istream &is, const char *magic, int expected_version,
@@ -381,6 +384,108 @@ readOnlineState(std::istream &is)
 }
 
 void
+writeShardedState(std::ostream &os, const ShardedState &state)
+{
+    os << kOnlineStateHeader << " " << kShardedStateVersion << "\n";
+    os << "sharded " << state.perShard.size() << " " << state.seed
+       << " " << state.epoch << "\n";
+    os << "router " << state.typeShard.size() << "\n";
+    for (std::size_t t = 0; t < state.typeShard.size(); ++t)
+        os << t << " " << state.typeShard[t] << "\n";
+    os << "uids " << state.uidShard.size() << "\n";
+    for (const auto &[uid, shard] : state.uidShard)
+        os << uid << " " << shard << "\n";
+    os << std::setprecision(17);
+    os << "rebalance " << state.totalCrossMigrations << " "
+       << state.totalRebalanceEpochs << " " << state.lastObjective
+       << "\n";
+    for (std::size_t s = 0; s < state.perShard.size(); ++s) {
+        os << "shard " << s << "\n";
+        writeOnlineState(os, state.perShard[s]);
+    }
+}
+
+ShardedState
+readShardedState(std::istream &is)
+{
+    std::string line;
+    expectHeader(is, kOnlineStateHeader, kShardedStateVersion, line);
+
+    ShardedState state;
+    std::size_t shards = 0;
+    {
+        auto fields = sectionLine(is, "sharded");
+        fatalIf(!(fields >> shards >> state.seed >> state.epoch),
+                "readShardedState: malformed sharded section");
+        fatalIf(shards == 0, "readShardedState: zero shards declared");
+    }
+
+    std::size_t count = 0;
+    {
+        auto fields = sectionLine(is, "router");
+        fatalIf(!(fields >> count),
+                "readShardedState: malformed router count");
+    }
+    state.typeShard.assign(count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto fields = bodyLine(is, "router");
+        std::size_t type = 0, shard = 0;
+        fatalIf(!(fields >> type >> shard),
+                "readShardedState: malformed router entry ", i);
+        fatalIf(type != i, "readShardedState: router entry ", i,
+                " names type ", type);
+        fatalIf(shard >= shards, "readShardedState: type ", type,
+                " maps to shard ", shard, ", only ", shards,
+                " declared");
+        state.typeShard[i] = shard;
+    }
+
+    {
+        auto fields = sectionLine(is, "uids");
+        fatalIf(!(fields >> count),
+                "readShardedState: malformed uids count");
+    }
+    state.uidShard.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto fields = bodyLine(is, "uids");
+        JobUid uid = 0;
+        std::size_t shard = 0;
+        fatalIf(!(fields >> uid >> shard),
+                "readShardedState: malformed uid entry ", i);
+        fatalIf(shard >= shards, "readShardedState: uid ", uid,
+                " maps to shard ", shard, ", only ", shards,
+                " declared");
+        fatalIf(!state.uidShard.empty() &&
+                    state.uidShard.back().first >= uid,
+                "readShardedState: uid entries not ascending");
+        state.uidShard.emplace_back(uid, shard);
+    }
+
+    {
+        auto fields = sectionLine(is, "rebalance");
+        fatalIf(!(fields >> state.totalCrossMigrations >>
+                  state.totalRebalanceEpochs >> state.lastObjective),
+                "readShardedState: malformed rebalance section");
+    }
+
+    state.perShard.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+        auto fields = sectionLine(is, "shard");
+        std::size_t index = 0;
+        fatalIf(!(fields >> index) || index != s,
+                "readShardedState: expected shard ", s,
+                " block (a truncated or shard-count-mismatched "
+                "checkpoint)");
+        state.perShard.push_back(readOnlineState(is));
+        fatalIf(state.perShard.back().epoch != state.epoch,
+                "readShardedState: shard ", s, " is at epoch ",
+                state.perShard.back().epoch, ", fleet epoch is ",
+                state.epoch);
+    }
+    return state;
+}
+
+void
 saveProfiles(const std::string &path, const SparseMatrix &profiles)
 {
     std::ofstream out(path);
@@ -429,6 +534,23 @@ loadOnlineState(const std::string &path)
     std::ifstream in(path);
     fatalIf(!in, "loadOnlineState: cannot open '", path, "'");
     return readOnlineState(in);
+}
+
+void
+saveShardedState(const std::string &path, const ShardedState &state)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "saveShardedState: cannot open '", path, "'");
+    writeShardedState(out, state);
+    fatalIf(!out, "saveShardedState: write to '", path, "' failed");
+}
+
+ShardedState
+loadShardedState(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "loadShardedState: cannot open '", path, "'");
+    return readShardedState(in);
 }
 
 } // namespace cooper

@@ -19,6 +19,7 @@
 #include "cf/sparse_matrix.hh"
 #include "matching/matching.hh"
 #include "online/state.hh"
+#include "shard/sharded_state.hh"
 
 namespace cooper {
 
@@ -49,6 +50,22 @@ void writeOnlineState(std::ostream &os, const OnlineState &state);
 /** Parse a checkpoint; raises FatalError on malformed input. */
 OnlineState readOnlineState(std::istream &is);
 
+/**
+ * Write a sharded fleet checkpoint (see ShardedState); format:
+ * "cooper-online-state 3" header — v3 of the checkpoint family is
+ * the sharded container — then the router's type partition and uid
+ * map, the fleet rebalance counters, and one embedded v2 per-shard
+ * block per shard, each introduced by a "shard <index>" line.
+ * readOnlineState() consumes exactly its counted sections, so the v2
+ * blocks nest without delimiters.
+ */
+void writeShardedState(std::ostream &os, const ShardedState &state);
+
+/** Parse a sharded checkpoint; raises FatalError on malformed input,
+ *  including a declared shard count the per-shard blocks do not
+ *  match. */
+ShardedState readShardedState(std::istream &is);
+
 /** Convenience file wrappers; raise FatalError on I/O failure. */
 void saveProfiles(const std::string &path, const SparseMatrix &profiles);
 SparseMatrix loadProfiles(const std::string &path);
@@ -56,6 +73,8 @@ void saveMatching(const std::string &path, const Matching &matching);
 Matching loadMatching(const std::string &path);
 void saveOnlineState(const std::string &path, const OnlineState &state);
 OnlineState loadOnlineState(const std::string &path);
+void saveShardedState(const std::string &path, const ShardedState &state);
+ShardedState loadShardedState(const std::string &path);
 
 } // namespace cooper
 

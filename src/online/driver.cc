@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -369,7 +370,7 @@ OnlineDriver::maybeCheckpoint(OnlineEpochStats &stats)
 }
 
 void
-OnlineDriver::runOneEpoch(EventQueue &queue, OnlineReport &report)
+OnlineDriver::stepEpoch(EventQueue &queue, OnlineReport &report)
 {
     const TraceSpan span("online.epoch", "online");
     const ScopedTimer timer("online.epoch_seconds");
@@ -595,18 +596,33 @@ OnlineDriver::run(const ChurnTrace &trace)
               queue.nextTick(), ", before the clock (", clockTick(),
               "); resume with trace.suffix(clockTick())");
 
+    OnlineReport report = beginReport();
+    while (!idle(queue))
+        stepEpoch(queue, report);
+    finalizeReport(report);
+    return report;
+}
+
+OnlineReport
+OnlineDriver::beginReport() const
+{
     OnlineReport report;
     report.policy = config_.policy;
     report.seed = seed_;
     report.startEpoch = epoch_;
+    return report;
+}
 
-    // Quarantined jobs keep the clock running: they still owe a
-    // re-probe round (ending in admission or abandonment), so the
-    // service is not done while any are parked.
-    while (!queue.empty() || admission_.depth() > 0 ||
-           !quarantine_.empty())
-        runOneEpoch(queue, report);
+bool
+OnlineDriver::idle(const EventQueue &queue) const
+{
+    return queue.empty() && admission_.depth() == 0 &&
+           quarantine_.empty();
+}
 
+void
+OnlineDriver::finalizeReport(OnlineReport &report) const
+{
     report.totalArrivals = totalArrivals_;
     report.totalDepartures = totalDepartures_;
     report.totalAdmitted = totalAdmitted_;
@@ -627,7 +643,36 @@ OnlineDriver::run(const ChurnTrace &trace)
     report.finalQuarantine = quarantine_.size();
     report.finalMeanPenalty = lastMeanPenalty_;
     report.finalPairs = pairsSnapshot();
-    return report;
+}
+
+std::optional<LiveJob>
+OnlineDriver::extractLive(JobUid uid)
+{
+    const auto it =
+        std::find_if(live_.begin(), live_.end(),
+                     [uid](const LiveJob &job) { return job.uid == uid; });
+    if (it == live_.end())
+        return std::nullopt;
+    const LiveJob job = *it;
+    departLive(uid);
+    return job;
+}
+
+bool
+OnlineDriver::acceptMigrant(const LiveJob &job)
+{
+    return admission_.offerUrgent(
+        PendingArrival{job.uid, job.type, clockTick()});
+}
+
+std::size_t
+OnlineDriver::admissionRoom() const
+{
+    if (admission_.maxDepth() == 0)
+        return std::numeric_limits<std::size_t>::max();
+    return admission_.maxDepth() > admission_.depth()
+               ? admission_.maxDepth() - admission_.depth()
+               : 0;
 }
 
 OnlineState

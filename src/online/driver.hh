@@ -37,6 +37,7 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -205,6 +206,62 @@ class OnlineDriver
      */
     OnlineReport run(const ChurnTrace &trace);
 
+    // -- Stepwise interface. run() is exactly beginReport(), then
+    // stepEpoch() until idle(), then finalizeReport(); an external
+    // epoch loop (the sharded driver) drives many drivers in lockstep
+    // through the same calls, so one shard reproduces run()
+    // bit-for-bit.
+
+    /** Report skeleton (policy, seed, start epoch) for a stepwise run. */
+    OnlineReport beginReport() const;
+
+    /** Play exactly one epoch against `queue` and append its stats. */
+    void stepEpoch(EventQueue &queue, OnlineReport &report);
+
+    /**
+     * Nothing left to do: no pending events, an empty admission
+     * queue, and an empty quarantine table. Quarantined jobs keep the
+     * clock running — they still owe a re-probe round ending in
+     * admission or abandonment.
+     */
+    bool idle(const EventQueue &queue) const;
+
+    /** Fill in the lifetime totals and final-state fields. */
+    void finalizeReport(OnlineReport &report) const;
+
+    /** Uid-level pairs, first < second, ascending. */
+    std::vector<std::pair<JobUid, JobUid>> pairsSnapshot() const;
+
+    /** Probe measurements accumulated so far (types x types). */
+    const SparseMatrix &profileRatings() const
+    {
+        return predictor_.ratings();
+    }
+
+    /** Mean true penalty of the last committed matching. */
+    double lastMeanPenalty() const { return lastMeanPenalty_; }
+
+    // -- Cross-shard migration hooks (see src/shard/rebalance.hh).
+
+    /**
+     * Remove a live job so it can migrate to another shard: its pair
+     * (if any) dissolves, and no departure is counted — the job is
+     * moving, not leaving. Nullopt when the uid is not live.
+     */
+    std::optional<LiveJob> extractLive(JobUid uid);
+
+    /**
+     * Queue a migrated-in job at the admission FIFO's front; it is
+     * re-probed against this shard's population when admitted. False
+     * under backpressure — the job would be lost, so callers must
+     * check admissionRoom() before extracting.
+     */
+    bool acceptMigrant(const LiveJob &job);
+
+    /** Admission offers accepted before backpressure rejects;
+     *  SIZE_MAX when the queue is unbounded. */
+    std::size_t admissionRoom() const;
+
     /** Checkpoint the driver between epochs. */
     OnlineState snapshot() const;
 
@@ -238,8 +295,6 @@ class OnlineDriver
         std::size_t faults = 0;      //!< injected fault events
     };
 
-    void runOneEpoch(EventQueue &queue, OnlineReport &report);
-
     /** Probe one admitted arrival under the plan and budget. */
     ProbeRound probeArrival(JobUid uid, JobTypeId type,
                             ProbeBudget &budget);
@@ -261,9 +316,6 @@ class OnlineDriver
 
     /** Previous matching mapped onto current agent indices. */
     Matching carriedMatching() const;
-
-    /** Uid-level pairs, first < second, ascending. */
-    std::vector<std::pair<JobUid, JobUid>> pairsSnapshot() const;
 
     const Catalog *catalog_;
     const InterferenceModel *model_;

@@ -141,6 +141,25 @@ struct OnlineConfig
      * checkpoint stands and the epoch still commits.
      */
     std::uint64_t checkpointEveryEpochs = 0;
+
+    // -- Sharding (see src/shard). Read by the ShardedDriver and the
+    // CLI only; the flat OnlineDriver ignores both knobs.
+
+    /**
+     * Matching domains the sharded driver partitions arrivals into,
+     * clamped to the catalog size (more shards than job types would
+     * leave empty domains). The CLI treats 0 as "run the flat,
+     * unsharded driver".
+     */
+    std::size_t shards = 1;
+
+    /**
+     * Cross-shard migrations the epoch-boundary rebalancer may apply
+     * per epoch; 0 disables rebalancing. Each migrant re-enters its
+     * target shard through the urgent admission path, so migration
+     * has a real cost (a probe round) and respects backpressure.
+     */
+    std::size_t rebalanceBudgetPerEpoch = 4;
 };
 
 } // namespace cooper

@@ -1,0 +1,264 @@
+#include "rebalance.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+/** Mutable working copy of the fleet the planner moves jobs in. */
+struct Fleet
+{
+    struct Shard
+    {
+        std::vector<LiveJob> live;
+        std::map<JobUid, JobUid> partner; // both directions
+        std::map<JobUid, JobTypeId> type;
+        std::size_t room = 0;
+    };
+
+    std::vector<Shard> shards;
+    const SparseMatrix *profiles = nullptr;
+    double fallback = 0.0;
+
+    /** Directed penalty estimate from the merged profiles. */
+    double
+    estimate(JobTypeId self, JobTypeId other) const
+    {
+        return profiles->valueOr(self, other, fallback);
+    }
+
+    /** A pair hurts both members; its cost is the worse direction. */
+    double
+    pairCost(JobTypeId a, JobTypeId b) const
+    {
+        return std::max(estimate(a, b), estimate(b, a));
+    }
+
+    /** Predicted cost of one job: its pair's cost, or 0 unmatched. */
+    double
+    costOf(const Shard &shard, const LiveJob &job) const
+    {
+        const auto link = shard.partner.find(job.uid);
+        if (link == shard.partner.end())
+            return 0.0;
+        const auto other = shard.type.find(link->second);
+        panicIf(other == shard.type.end(),
+                "Rebalancer: partner uid without a type");
+        return pairCost(job.type, other->second);
+    }
+
+    /** Worst-off job of one shard (first live slot wins ties). */
+    std::pair<double, const LiveJob *>
+    worstOf(const Shard &shard) const
+    {
+        double worst = 0.0;
+        const LiveJob *job = nullptr;
+        for (const LiveJob &candidate : shard.live) {
+            const double cost = costOf(shard, candidate);
+            if (job == nullptr || cost > worst) {
+                worst = cost;
+                job = &candidate;
+            }
+        }
+        return {job == nullptr ? 0.0 : worst, job};
+    }
+
+    /** Fleet-wide egalitarian objective and the shard attaining it. */
+    std::pair<double, std::size_t>
+    objective() const
+    {
+        double worst = 0.0;
+        std::size_t at = 0;
+        for (std::size_t s = 0; s < shards.size(); ++s) {
+            const double cost = worstOf(shards[s]).first;
+            if (cost > worst) {
+                worst = cost;
+                at = s;
+            }
+        }
+        return {worst, at};
+    }
+
+    /** Cheapest predicted co-runner for `type` in `shard`; an empty
+     *  shard promises a solo slot (zero). */
+    double
+    entryCost(const Shard &shard, JobTypeId type) const
+    {
+        if (shard.live.empty())
+            return 0.0;
+        double best = std::numeric_limits<double>::infinity();
+        for (const LiveJob &host : shard.live)
+            best = std::min(best, pairCost(type, host.type));
+        return best;
+    }
+
+    /** Worst-off cost of `shard` once `uid` leaves: the departing
+     *  job drops out and its partner is widowed (cost 0). */
+    double
+    worstWithout(const Shard &shard, JobUid uid) const
+    {
+        const auto link = shard.partner.find(uid);
+        const bool widows = link != shard.partner.end();
+        const JobUid widowed = widows ? link->second : 0;
+        double worst = 0.0;
+        for (const LiveJob &candidate : shard.live) {
+            if (candidate.uid == uid)
+                continue;
+            const double cost = widows && candidate.uid == widowed
+                                    ? 0.0
+                                    : costOf(shard, candidate);
+            worst = std::max(worst, cost);
+        }
+        return worst;
+    }
+
+    /** Move `uid` from shard `from` to shard `to`, dissolving its
+     *  pair; the migrant lands unmatched. */
+    void
+    move(JobUid uid, std::size_t from, std::size_t to)
+    {
+        Shard &src = shards[from];
+        const auto it = std::find_if(
+            src.live.begin(), src.live.end(),
+            [uid](const LiveJob &job) { return job.uid == uid; });
+        panicIf(it == src.live.end(),
+                "Rebalancer: moving a job that is not live");
+        const LiveJob job = *it;
+        const auto link = src.partner.find(uid);
+        if (link != src.partner.end()) {
+            const JobUid other = link->second;
+            src.partner.erase(link);
+            src.partner.erase(other);
+        }
+        src.live.erase(it);
+        src.type.erase(uid);
+
+        Shard &dst = shards[to];
+        panicIf(dst.room == 0, "Rebalancer: target shard has no room");
+        --dst.room;
+        dst.live.push_back(job);
+        dst.type.emplace(job.uid, job.type);
+    }
+};
+
+} // namespace
+
+RebalanceOutcome
+Rebalancer::plan(const std::vector<ShardView> &shards,
+                 const SparseMatrix &profiles) const
+{
+    fatalIf(shards.empty(), "Rebalancer: no shards");
+
+    Fleet fleet;
+    fleet.profiles = &profiles;
+    fleet.fallback = profiles.knownCount() > 0 ? profiles.knownMean()
+                                               : 0.0;
+    fleet.shards.reserve(shards.size());
+    for (const ShardView &view : shards) {
+        Fleet::Shard shard;
+        shard.live = view.live;
+        shard.room = view.admissionRoom;
+        for (const LiveJob &job : view.live)
+            shard.type.emplace(job.uid, job.type);
+        for (const auto &[a, b] : view.pairs) {
+            fatalIf(shard.type.find(a) == shard.type.end() ||
+                        shard.type.find(b) == shard.type.end(),
+                    "Rebalancer: paired uid not in its shard's live "
+                    "set");
+            shard.partner[a] = b;
+            shard.partner[b] = a;
+        }
+        fleet.shards.push_back(std::move(shard));
+    }
+
+    RebalanceOutcome outcome;
+    auto [phi, worstShard] = fleet.objective();
+    outcome.objectiveBefore = phi;
+    outcome.objectiveAfter = phi;
+    outcome.worstShard = worstShard;
+
+    while (outcome.moves.size() < budget_) {
+        const auto [before, source] = fleet.objective();
+        if (before <= 0.0)
+            break; // nobody is suffering
+        const auto worst = fleet.worstOf(fleet.shards[source]);
+        panicIf(worst.second == nullptr,
+                "Rebalancer: positive objective with no worst job");
+        const LiveJob job = *worst.second;
+
+        // Candidate objective for a target t: the source without the
+        // victim, the victim's entry estimate at t, and every other
+        // shard unchanged. The non-source worsts do not depend on t,
+        // so they fold into one precomputed bound.
+        const double sourceAfter =
+            fleet.worstWithout(fleet.shards[source], job.uid);
+        double othersWorst = 0.0;
+        for (std::size_t s = 0; s < fleet.shards.size(); ++s)
+            if (s != source)
+                othersWorst = std::max(
+                    othersWorst, fleet.worstOf(fleet.shards[s]).first);
+        const double floor = std::max(sourceAfter, othersWorst);
+
+        std::size_t target = fleet.shards.size();
+        double bestPhi = before;
+        for (std::size_t t = 0; t < fleet.shards.size(); ++t) {
+            if (t == source || fleet.shards[t].room == 0)
+                continue;
+            const double candidate = std::max(
+                floor, fleet.entryCost(fleet.shards[t], job.type));
+            if (candidate < bestPhi) {
+                bestPhi = candidate;
+                target = t;
+            }
+        }
+        if (target == fleet.shards.size())
+            break; // no strictly improving move exists
+
+        fleet.move(job.uid, source, target);
+        MigrationMove moved;
+        moved.uid = job.uid;
+        moved.fromShard = source;
+        moved.toShard = target;
+        moved.objectiveBefore = before;
+        moved.objectiveAfter = bestPhi;
+        outcome.moves.push_back(moved);
+    }
+
+    const auto [finalPhi, finalWorst] = fleet.objective();
+    outcome.objectiveAfter = finalPhi;
+    outcome.worstShard = finalWorst;
+    return outcome;
+}
+
+SparseMatrix
+mergeProfiles(const std::vector<const SparseMatrix *> &profiles)
+{
+    fatalIf(profiles.empty(), "mergeProfiles: no shards");
+    const std::size_t rows = profiles.front()->rows();
+    const std::size_t cols = profiles.front()->cols();
+    for (const SparseMatrix *matrix : profiles)
+        fatalIf(matrix->rows() != rows || matrix->cols() != cols,
+                "mergeProfiles: shard profile shapes differ");
+
+    SparseMatrix out(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c) {
+            double sum = 0.0;
+            std::size_t count = 0;
+            for (const SparseMatrix *matrix : profiles)
+                if (matrix->known(r, c)) {
+                    sum += matrix->at(r, c);
+                    ++count;
+                }
+            if (count > 0)
+                out.set(r, c, sum / static_cast<double>(count));
+        }
+    return out;
+}
+
+} // namespace cooper

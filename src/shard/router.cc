@@ -1,0 +1,145 @@
+#include "router.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/kmeans.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace cooper {
+
+namespace {
+
+// Substream purpose tag for the k-means++ seeding draws; keyed off
+// the *root* seed so every shard count partitions the same catalog
+// the same way under the same seed.
+constexpr std::uint64_t kRouterStream = 0xD1;
+
+double
+squaredDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double acc = 0.0;
+    for (std::size_t d = 0; d < a.size(); ++d)
+        acc += (a[d] - b[d]) * (a[d] - b[d]);
+    return acc;
+}
+
+} // namespace
+
+ShardRouter::ShardRouter(const Catalog &catalog, std::size_t shards,
+                         std::uint64_t seed)
+{
+    fatalIf(shards == 0, "ShardRouter: shard count must be positive");
+    const std::size_t n = catalog.size();
+    fatalIf(n == 0, "ShardRouter: empty catalog");
+    shards_ = std::min(shards, n);
+    typeShard_.assign(n, 0);
+    if (shards_ == 1)
+        return;
+
+    std::vector<std::vector<double>> features;
+    features.reserve(n);
+    for (const JobType &job : catalog.jobs())
+        features.push_back({job.gbps, job.cacheMB, job.bwSensitivity,
+                            job.cacheSensitivity});
+    const auto points = normalizeFeatures(features);
+
+    Rng rng = Rng(seed).substream(kRouterStream);
+    const KMeansResult clusters = kmeans(points, shards_, rng);
+
+    // Balance the raw clustering: nearest centroid with remaining
+    // capacity, types in id order. Duplicate feature vectors and
+    // empty k-means clusters are both fine here — only the centers
+    // matter, and the capacity bound guarantees every shard ends up
+    // populated.
+    const std::size_t cap = (n + shards_ - 1) / shards_;
+    std::vector<std::size_t> load(shards_, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+        std::size_t best = shards_;
+        double bestDist = std::numeric_limits<double>::infinity();
+        for (std::size_t s = 0; s < shards_; ++s) {
+            if (load[s] >= cap)
+                continue;
+            const double d2 =
+                squaredDistance(points[t], clusters.centers[s]);
+            if (d2 < bestDist) {
+                bestDist = d2;
+                best = s;
+            }
+        }
+        panicIf(best == shards_,
+                "ShardRouter: no shard has capacity left");
+        typeShard_[t] = best;
+        ++load[best];
+    }
+}
+
+std::size_t
+ShardRouter::shardOfType(JobTypeId type) const
+{
+    fatalIf(type >= typeShard_.size(), "ShardRouter: type ", type,
+            " outside the catalog (", typeShard_.size(), " types)");
+    return typeShard_[type];
+}
+
+std::size_t
+ShardRouter::route(const ChurnEvent &event)
+{
+    if (event.kind == EventKind::Arrival) {
+        const std::size_t shard = shardOfType(event.type);
+        uidShard_[event.uid] = shard;
+        return shard;
+    }
+    const auto it = uidShard_.find(event.uid);
+    fatalIf(it == uidShard_.end(),
+            "ShardRouter: departure for unrouted uid ", event.uid);
+    const std::size_t shard = it->second;
+    uidShard_.erase(it);
+    return shard;
+}
+
+std::size_t
+ShardRouter::shardOfUid(JobUid uid) const
+{
+    const auto it = uidShard_.find(uid);
+    fatalIf(it == uidShard_.end(), "ShardRouter: unrouted uid ", uid);
+    return it->second;
+}
+
+void
+ShardRouter::recordMigration(JobUid uid, std::size_t shard)
+{
+    fatalIf(shard >= shards_, "ShardRouter: shard ", shard,
+            " out of range (", shards_, " shards)");
+    const auto it = uidShard_.find(uid);
+    fatalIf(it == uidShard_.end(),
+            "ShardRouter: migrating unrouted uid ", uid);
+    it->second = shard;
+}
+
+std::vector<std::pair<JobUid, std::size_t>>
+ShardRouter::uidSnapshot() const
+{
+    std::vector<std::pair<JobUid, std::size_t>> out;
+    out.reserve(uidShard_.size());
+    for (const auto &[uid, shard] : uidShard_)
+        out.emplace_back(uid, shard); // map order: ascending by uid
+    return out;
+}
+
+void
+ShardRouter::restoreUids(
+    const std::vector<std::pair<JobUid, std::size_t>> &uids)
+{
+    uidShard_.clear();
+    for (const auto &[uid, shard] : uids) {
+        fatalIf(shard >= shards_, "ShardRouter: restored uid ", uid,
+                " maps to shard ", shard, " out of range (", shards_,
+                " shards)");
+        fatalIf(!uidShard_.emplace(uid, shard).second,
+                "ShardRouter: restored uid ", uid, " repeated");
+    }
+}
+
+} // namespace cooper

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic arrival partitioner for the sharded online service.
+ *
+ * Job *types* are clustered once, at construction, with k-means over
+ * their normalized (bandwidth, cache footprint, bandwidth
+ * sensitivity, cache sensitivity) features — jobs with similar
+ * contention behavior land in the same matching domain, so each
+ * shard's predictor learns a coherent neighborhood. The raw
+ * clustering is then balanced: types are assigned in id order to the
+ * nearest centroid with remaining capacity ceil(n/k), so no shard
+ * starts with more than its share of the catalog (one hot cluster
+ * must not serialize the fleet).
+ *
+ * Every arrival of a type is routed to the type's shard; departures
+ * follow the job wherever it currently lives through the uid map,
+ * which cross-shard migration updates — a job migrated out of its
+ * type's home shard still receives its departure in the right place.
+ */
+
+#ifndef COOPER_SHARD_ROUTER_HH
+#define COOPER_SHARD_ROUTER_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "online/events.hh"
+#include "workload/catalog.hh"
+
+namespace cooper {
+
+/**
+ * Type -> shard partition plus the uid -> shard routing map.
+ *
+ * The effective shard count is min(requested, catalog size): more
+ * shards than types would leave empty domains (and kmeans rejects
+ * k > n points). Requesting zero shards is fatal. The partition is a
+ * pure function of (catalog, shards, seed), so a restored run
+ * recomputes exactly the table its checkpoint carries.
+ */
+class ShardRouter
+{
+  public:
+    ShardRouter(const Catalog &catalog, std::size_t shards,
+                std::uint64_t seed);
+
+    /** Effective shard count (requested, clamped to the catalog). */
+    std::size_t shards() const { return shards_; }
+
+    /** Home shard of a job type; fatal outside the catalog. */
+    std::size_t shardOfType(JobTypeId type) const;
+
+    /** Catalog-indexed type -> shard table. */
+    const std::vector<std::size_t> &typeAssignment() const
+    {
+        return typeShard_;
+    }
+
+    /**
+     * Route one event. Arrivals go to their type's home shard and
+     * are remembered; departures go wherever the uid lives now and
+     * are forgotten. A departure for an unknown uid is fatal — the
+     * trace was validated, so its arrival must have been routed.
+     */
+    std::size_t route(const ChurnEvent &event);
+
+    /** Current shard of a routed uid; fatal when unknown. */
+    std::size_t shardOfUid(JobUid uid) const;
+
+    /** Point a migrated uid at its new home shard. */
+    void recordMigration(JobUid uid, std::size_t shard);
+
+    /** Uid map, ascending by uid (checkpointing). */
+    std::vector<std::pair<JobUid, std::size_t>> uidSnapshot() const;
+
+    /** Replace the uid map (checkpoint restore). */
+    void restoreUids(
+        const std::vector<std::pair<JobUid, std::size_t>> &uids);
+
+  private:
+    std::size_t shards_ = 1;
+    std::vector<std::size_t> typeShard_;
+    std::map<JobUid, std::size_t> uidShard_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_SHARD_ROUTER_HH

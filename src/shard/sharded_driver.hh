@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Cluster-scale sharded online service.
+ *
+ * One flat OnlineDriver repairs an O(population^2) instance every
+ * epoch; a cluster's worth of jobs cannot flow through it. The
+ * ShardedDriver partitions arrivals into K matching domains with the
+ * ShardRouter, steps all K domains through each epoch concurrently on
+ * the shared ThreadPool, and then runs one cross-shard Rebalancer
+ * pass per epoch that migrates the worst-off jobs between shards
+ * under a migration budget (the egalitarian objective; see
+ * rebalance.hh).
+ *
+ * Determinism contract, inherited and extended: a (trace, seed,
+ * config) triple fully determines every pairing and counter at any
+ * thread count AND any shard count's own replay. Each shard is a
+ * complete OnlineDriver on its own root seed — shard s of K > 1 runs
+ * on a substream of (seed, s); K = 1 keeps the root seed itself, so a
+ * single-shard run reproduces the flat driver bit-for-bit (summary,
+ * metrics, and checkpoint bytes — the differential suite in
+ * tests/test_shard.cc holds the layer to this). No randomness crosses
+ * the shard boundary: the rebalancer is deterministic, and shards
+ * never share generator state.
+ */
+
+#ifndef COOPER_SHARD_SHARDED_DRIVER_HH
+#define COOPER_SHARD_SHARDED_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "online/driver.hh"
+#include "shard/rebalance.hh"
+#include "shard/router.hh"
+#include "shard/sharded_state.hh"
+
+namespace cooper {
+
+/** What one fleet-wide epoch did. */
+struct ShardEpochStats
+{
+    std::uint64_t epoch = 0;
+
+    /** Epoch-boundary tick the fleet committed at. */
+    Tick tick = 0;
+
+    /** Live jobs across all shards after the epoch. */
+    std::size_t population = 0;
+
+    /** Cross-shard migrations applied at this boundary. */
+    std::size_t migrations = 0;
+
+    /** Egalitarian (worst-off-agent) objective around the rebalance
+     *  pass, on predicted penalties. */
+    double objectiveBefore = 0.0;
+    double objectiveAfter = 0.0;
+
+    /** Shard holding the worst-off job after the pass. */
+    std::size_t worstShard = 0;
+};
+
+/** Everything one sharded run produced. */
+struct ShardedReport
+{
+    std::string policy;
+    std::uint64_t seed = 0;
+    std::size_t shards = 1;
+    std::size_t rebalanceBudget = 0;
+
+    /** One full per-shard report, indexed by shard. */
+    std::vector<OnlineReport> perShard;
+
+    /** Fleet-wide per-epoch stats. */
+    std::vector<ShardEpochStats> epochs;
+
+    /** Lifetime fleet totals (across restores). */
+    std::size_t totalCrossMigrations = 0;
+    std::size_t totalRebalanceEpochs = 0; //!< epochs with >= 1 move
+
+    double finalObjective = 0.0;
+    std::size_t finalPopulation = 0;
+};
+
+/**
+ * K OnlineDrivers in lockstep plus per-epoch cross-shard rebalancing.
+ */
+class ShardedDriver
+{
+  public:
+    /** Writes one fleet checkpoint; false = write failed (counted,
+     *  the run carries on). */
+    using CheckpointSink = std::function<bool(const ShardedState &)>;
+
+    /**
+     * @param catalog Job catalog (shared by every shard).
+     * @param model Ground-truth interference model.
+     * @param config Framework settings; execution.online.shards picks
+     *        the domain count (clamped to the catalog size) and
+     *        execution.online.rebalanceBudgetPerEpoch bounds
+     *        cross-shard moves.
+     * @param seed Root seed; shard seeds derive from it.
+     */
+    ShardedDriver(const Catalog &catalog, const InterferenceModel &model,
+                  FrameworkConfig config, std::uint64_t seed = 1);
+
+    const FrameworkConfig &config() const { return config_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Effective shard count (requested, clamped to the catalog). */
+    std::size_t shards() const { return drivers_.size(); }
+
+    /** One shard's driver (tests and the CLI's inspection paths). */
+    const OnlineDriver &shard(std::size_t index) const;
+
+    const ShardRouter &router() const { return router_; }
+
+    /** Fleet epochs completed. */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** Virtual-clock position (every shard agrees by construction). */
+    Tick clockTick() const;
+
+    /** Install a fault plan on every shard; must precede run(). */
+    void setFaultPlan(const FaultPlan &plan);
+
+    /** Install the periodic fleet checkpoint writer. */
+    void setCheckpointSink(CheckpointSink sink);
+
+    /**
+     * Replay a trace to completion. On a restored driver, pass
+     * `trace.suffix(clockTick())`; a trace starting before the clock
+     * is fatal.
+     */
+    ShardedReport run(const ChurnTrace &trace);
+
+    /** Checkpoint the fleet between epochs. */
+    ShardedState snapshot() const;
+
+    /** Resume from a checkpoint taken with the same seed/config/shard
+     *  count; a shard-count or partition mismatch is fatal. */
+    void restore(const ShardedState &state);
+
+  private:
+    void routeEpoch(EventQueue &global);
+    void rebalance(ShardEpochStats &stats);
+    void maybeCheckpoint();
+    bool idle(const EventQueue &global) const;
+
+    const Catalog *catalog_;
+    FrameworkConfig config_;
+    std::uint64_t seed_;
+
+    ShardRouter router_;
+    Rebalancer rebalancer_;
+    std::vector<std::unique_ptr<OnlineDriver>> drivers_;
+    std::vector<EventQueue> queues_;
+    CheckpointSink sink_;
+
+    std::uint64_t epoch_ = 0;
+    std::size_t totalCrossMigrations_ = 0;
+    std::size_t totalRebalanceEpochs_ = 0;
+    double lastObjective_ = 0.0;
+};
+
+/**
+ * Deterministic sharded run summary (schema cooper.sharded.v1).
+ * Decision-path quantities only — no timings — so two replays of the
+ * same (trace, seed, config) emit byte-identical files at any thread
+ * count.
+ */
+void writeShardedSummary(std::ostream &os, const ShardedReport &report);
+
+/** File wrapper; raises FatalError on I/O failure. */
+void saveShardedSummary(const std::string &path,
+                        const ShardedReport &report);
+
+} // namespace cooper
+
+#endif // COOPER_SHARD_SHARDED_DRIVER_HH

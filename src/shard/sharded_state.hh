@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Checkpointable state of the sharded online service.
+ *
+ * A sharded checkpoint is the router's routing state, the fleet-level
+ * rebalance counters, and one full OnlineState per shard. The type ->
+ * shard partition is recomputable from (catalog, shards, seed), but
+ * it is carried anyway so a restore can refuse a checkpoint taken
+ * under a different partition instead of silently misrouting
+ * departures. Serialized as checkpoint format v3 (see io/serialize),
+ * which embeds each shard's v2 block verbatim.
+ */
+
+#ifndef COOPER_SHARD_SHARDED_STATE_HH
+#define COOPER_SHARD_SHARDED_STATE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "online/state.hh"
+
+namespace cooper {
+
+/** Snapshot of a ShardedDriver between epochs. */
+struct ShardedState
+{
+    /** Root seed; restore refuses a mismatch. */
+    std::uint64_t seed = 0;
+
+    /** Fleet epochs completed; every shard block must agree. */
+    std::uint64_t epoch = 0;
+
+    /** Catalog-indexed type -> shard table the router was using. */
+    std::vector<std::size_t> typeShard;
+
+    /** uid -> current shard, ascending by uid. */
+    std::vector<std::pair<JobUid, std::size_t>> uidShard;
+
+    /** Lifetime rebalance counters. */
+    std::size_t totalCrossMigrations = 0;
+    std::size_t totalRebalanceEpochs = 0;
+
+    /** Egalitarian objective after the last rebalance pass. */
+    double lastObjective = 0.0;
+
+    /** Per-shard driver state; the size is the shard count. */
+    std::vector<OnlineState> perShard;
+};
+
+} // namespace cooper
+
+#endif // COOPER_SHARD_SHARDED_STATE_HH

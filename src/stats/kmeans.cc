@@ -83,10 +83,9 @@ kmeans(const std::vector<std::vector<double>> &points, std::size_t k,
         result.centers.push_back(points[rng.discrete(dist2)]);
     }
 
-    result.assignment.assign(n, 0);
-    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
-        ++result.iterations;
-        // Assignment step.
+    // Nearest-center assignment of every point under the current
+    // centers; true when any point moved.
+    const auto assignPoints = [&]() {
         bool changed = false;
         for (std::size_t i = 0; i < n; ++i) {
             std::size_t best_c = 0;
@@ -104,6 +103,17 @@ kmeans(const std::vector<std::vector<double>> &points, std::size_t k,
                 changed = true;
             }
         }
+        return changed;
+    };
+
+    result.assignment.assign(n, 0);
+    // Always assign at least once: with max_iterations == 0 the loop
+    // below never runs, and the all-zero placeholder (every point in
+    // cluster 0) must not leak out as a real assignment.
+    assignPoints();
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+        ++result.iterations;
+        const bool changed = assignPoints();
         if (!changed && iter > 0)
             break;
         // Update step; empty clusters keep their previous center.

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "stats/kmeans.hh"
@@ -74,6 +75,73 @@ TEST(KMeans, DuplicatePointsHandled)
     Rng rng(6);
     const KMeansResult result = kmeans(points, 3, rng);
     EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, ZeroIterationsStillAssignsToTheSeededCenters)
+{
+    // Regression: with max_iterations == 0 the Lloyd loop never runs,
+    // and the assignment must still be nearest-seeded-center — not
+    // the all-zero placeholder, which would silently dump every point
+    // into cluster 0 (and every job type into shard 0).
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 8; ++i)
+        points.push_back({0.0 + 0.01 * i});
+    for (int i = 0; i < 8; ++i)
+        points.push_back({100.0 + 0.01 * i});
+
+    Rng rng(11);
+    const KMeansResult result = kmeans(points, 2, rng, 0);
+    EXPECT_EQ(result.iterations, 0u);
+
+    std::set<std::size_t> labels(result.assignment.begin(),
+                                 result.assignment.end());
+    EXPECT_EQ(labels.size(), 2u);
+    for (std::size_t i = 0; i < result.assignment.size(); ++i) {
+        EXPECT_LT(result.assignment[i], 2u);
+        // Blob membership must match: k-means++ cannot seed both
+        // centers in one blob when the other is 100 units away.
+        EXPECT_EQ(result.assignment[i], result.assignment[i < 8 ? 0 : 8]);
+    }
+    EXPECT_NE(result.assignment[0], result.assignment[8]);
+}
+
+TEST(KMeans, DuplicateFeatureVectorsAssignDeterministically)
+{
+    // All-duplicate inputs leave every center identical; ties must
+    // break the same way on every run with the same seed.
+    std::vector<std::vector<double>> points(6, {2.5, 2.5});
+    Rng first_rng(12);
+    Rng second_rng(12);
+    const KMeansResult first = kmeans(points, 3, first_rng);
+    const KMeansResult second = kmeans(points, 3, second_rng);
+    EXPECT_EQ(first.assignment, second.assignment);
+    EXPECT_NEAR(first.inertia, 0.0, 1e-12);
+    for (const std::size_t label : first.assignment)
+        EXPECT_LT(label, 3u);
+}
+
+TEST(KMeans, SurvivesEmptyClusters)
+{
+    // Five coincident points and one outlier with k = 3: at most two
+    // centers can own points, so at least one cluster is empty. The
+    // result must stay well-formed (valid labels, finite centers) and
+    // deterministic.
+    std::vector<std::vector<double>> points(5, {0.0, 0.0});
+    points.push_back({10.0, 10.0});
+
+    Rng rng(13);
+    const KMeansResult result = kmeans(points, 3, rng, 50);
+    ASSERT_EQ(result.assignment.size(), points.size());
+    for (const std::size_t label : result.assignment)
+        EXPECT_LT(label, 3u);
+    ASSERT_EQ(result.centers.size(), 3u);
+    for (const auto &center : result.centers)
+        for (const double coordinate : center)
+            EXPECT_TRUE(std::isfinite(coordinate));
+
+    Rng replay(13);
+    EXPECT_EQ(kmeans(points, 3, replay, 50).assignment,
+              result.assignment);
 }
 
 TEST(KMeans, InputValidation)

@@ -264,6 +264,120 @@ TEST(Serialize, OnlineStateFileRoundTrip)
     EXPECT_THROW(loadOnlineState("/no_such_dir_xyz/s.txt"), FatalError);
 }
 
+ShardedState
+sampleShardedState()
+{
+    ShardedState state;
+    state.seed = 42;
+    state.epoch = 3;
+    state.typeShard = {0, 1, 1, 0};
+    state.uidShard = {{1, 0}, {2, 1}, {5, 1}};
+    state.totalCrossMigrations = 7;
+    state.totalRebalanceEpochs = 2;
+    state.lastObjective = 0.5;
+    state.perShard = {sampleOnlineState(), sampleOnlineState()};
+    state.perShard[1].live = {{2, 1}};
+    state.perShard[1].pairs = {};
+    return state;
+}
+
+TEST(Serialize, ShardedStateRoundTrip)
+{
+    const ShardedState state = sampleShardedState();
+    std::stringstream buffer;
+    writeShardedState(buffer, state);
+    const ShardedState back = readShardedState(buffer);
+
+    EXPECT_EQ(back.seed, 42u);
+    EXPECT_EQ(back.epoch, 3u);
+    EXPECT_EQ(back.typeShard, state.typeShard);
+    EXPECT_EQ(back.uidShard, state.uidShard);
+    EXPECT_EQ(back.totalCrossMigrations, 7u);
+    EXPECT_EQ(back.totalRebalanceEpochs, 2u);
+    EXPECT_DOUBLE_EQ(back.lastObjective, 0.5);
+    ASSERT_EQ(back.perShard.size(), 2u);
+    EXPECT_EQ(back.perShard[0].live.size(), 3u);
+    EXPECT_EQ(back.perShard[1].live.size(), 1u);
+
+    // Byte-stable, like the flat format: a checkpoint written from a
+    // restored state is the same file.
+    std::stringstream first, second;
+    writeShardedState(first, state);
+    writeShardedState(second, back);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Serialize, ShardedStateRejectsShardCountMismatch)
+{
+    std::stringstream full;
+    writeShardedState(full, sampleShardedState());
+    std::string text = full.str();
+
+    // Declare three shards over a two-shard body: the reader must
+    // notice the missing block, not return a half-fleet.
+    const std::size_t at = text.find("sharded 2 ");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 10, "sharded 3 ");
+    std::stringstream corrupt(text);
+    EXPECT_THROW(readShardedState(corrupt), FatalError);
+}
+
+TEST(Serialize, ShardedStateRejectsTruncatedShardBlock)
+{
+    std::stringstream full;
+    writeShardedState(full, sampleShardedState());
+    const std::string text = full.str();
+
+    // Cut inside the last per-shard block; the embedded v2 reader
+    // must fail on its own truncation, never half-read.
+    const std::size_t at = text.rfind("penalty");
+    ASSERT_NE(at, std::string::npos);
+    std::stringstream cut(text.substr(0, at));
+    EXPECT_THROW(readShardedState(cut), FatalError);
+
+    // And cut right before the second block's header line.
+    const std::size_t shard1 = text.find("shard 1\n");
+    ASSERT_NE(shard1, std::string::npos);
+    std::stringstream missing(text.substr(0, shard1));
+    EXPECT_THROW(readShardedState(missing), FatalError);
+}
+
+TEST(Serialize, ShardedStateRejectsUidOutsideDeclaredShards)
+{
+    std::stringstream full;
+    writeShardedState(full, sampleShardedState());
+    std::string text = full.str();
+    const std::size_t at = text.find("uids 3\n1 0\n");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 11, "uids 3\n1 9\n");
+    std::stringstream corrupt(text);
+    EXPECT_THROW(readShardedState(corrupt), FatalError);
+}
+
+TEST(Serialize, ShardedStateRejectsDisagreeingShardEpochs)
+{
+    ShardedState state = sampleShardedState();
+    state.perShard[1].epoch = 4; // fleet committed epoch 3
+    std::stringstream buffer;
+    writeShardedState(buffer, state);
+    EXPECT_THROW(readShardedState(buffer), FatalError);
+}
+
+TEST(Serialize, ShardedStateFileRoundTrip)
+{
+    const std::string path = "/tmp/cooper_test_sharded_state.txt";
+    saveShardedState(path, sampleShardedState());
+    const ShardedState back = loadShardedState(path);
+    EXPECT_EQ(back.perShard.size(), 2u);
+    std::remove(path.c_str());
+
+    EXPECT_THROW(saveShardedState("/no_such_dir_xyz/s.txt",
+                                  sampleShardedState()),
+                 FatalError);
+    EXPECT_THROW(loadShardedState("/no_such_dir_xyz/s.txt"),
+                 FatalError);
+}
+
 TEST(Serialize, FileErrorsFatal)
 {
     SparseMatrix m(2, 2);

@@ -15,7 +15,12 @@
  *  - "cooper.bench_faults.v1" (bench_faults): the online workload
  *    shape, `clean` and `degraded` throughput phases, and a faults
  *    object with the injected-fault counters and the degradation
- *    ratios (blocking_ratio, throughput_ratio).
+ *    ratios (blocking_ratio, throughput_ratio);
+ *  - "cooper.bench_shard.v1" (bench_shard): the sharded workload
+ *    shape, one `scale<K>` phase per shard count above one, and a
+ *    shards object with at least two per-shard-count rows (wall
+ *    clock, speedup, efficiency = speedup/K, egalitarian objective,
+ *    migrations).
  *
  * Empty, truncated, or otherwise corrupt documents are hard failures
  * (exit 1) — a bench run that crashed mid-write must not validate.
@@ -31,6 +36,11 @@
  *   bench_json --file BENCH_kernels.json \
  *       --min-speedup similarity=3,blocking=2
  *   bench_json --file BENCH_online.json --min-speedup predict=1.5
+ *
+ * --min-efficiency does the same for the shard document's per-count
+ * scaling efficiency:
+ *
+ *   bench_json --file BENCH_shard.json --min-efficiency k2=0.5
  */
 
 #include <iostream>
@@ -48,6 +58,7 @@ using namespace cooper;
 constexpr const char *kKernelsSchema = "cooper.bench_kernels.v1";
 constexpr const char *kOnlineSchema = "cooper.bench_online.v1";
 constexpr const char *kFaultsSchema = "cooper.bench_faults.v1";
+constexpr const char *kShardSchema = "cooper.bench_shard.v1";
 
 const char *const kKernelPhases[] = {"similarity", "predict", "matching",
                                      "blocking", "shapley"};
@@ -66,6 +77,13 @@ const char *const kOnlineCounterFields[] = {
     "recomputed_pairs"};
 
 const char *const kFaultsPhases[] = {"clean", "degraded"};
+
+const char *const kShardWorkloadFields[] = {
+    "events", "arrivals", "types", "threads", "rebalance_budget"};
+
+const char *const kShardRowFields[] = {
+    "shards",          "wall_seconds",     "speedup",   "efficiency",
+    "egalitarian_final", "egalitarian_mean", "migrations", "epochs"};
 
 const char *const kFaultsCounterFields[] = {
     "injected",          "retries",           "quarantined",
@@ -234,6 +252,42 @@ validateFaults(const JsonValue &root, const std::string &path)
             "bench_json: faults.throughput_ratio is not positive");
 }
 
+void
+validateShard(const JsonValue &root, const std::string &path)
+{
+    const JsonValue &workload = member(root, "workload", path);
+    fatalIf(!workload.isObject(),
+            "bench_json: workload is not an object");
+    for (const char *field : kShardWorkloadFields)
+        numberField(workload, field, "workload");
+    checkTinyFlag(workload);
+
+    // Phase names are data ("scale2", "scale4", ...): check whatever
+    // the document carries rather than a fixed list.
+    const JsonValue &phases = member(root, "phases", path);
+    fatalIf(!phases.isObject(), "bench_json: phases is not an object");
+    for (const auto &[name, phase] : phases.members)
+        checkPhase(phase, name);
+
+    const JsonValue &shards = member(root, "shards", path);
+    fatalIf(!shards.isObject(), "bench_json: shards is not an object");
+    fatalIf(shards.members.size() < 2,
+            "bench_json: shards has fewer than two shard counts — no "
+            "scaling was measured");
+    for (const auto &[name, row] : shards.members) {
+        const std::string where = "shards." + name;
+        fatalIf(!row.isObject(), "bench_json: ", where,
+                " is not an object");
+        for (const char *field : kShardRowFields)
+            fatalIf(numberField(row, field, where) < 0.0,
+                    "bench_json: ", where, ".", field, " is negative");
+        fatalIf(numberField(row, "shards", where) < 1.0,
+                "bench_json: ", where, " ran zero shards");
+        fatalIf(numberField(row, "efficiency", where) <= 0.0,
+                "bench_json: ", where, ".efficiency is not positive");
+    }
+}
+
 } // namespace
 
 int
@@ -244,6 +298,9 @@ main(int argc, char **argv)
                   "bench_regression JSON document to validate");
     flags.declare("min-speedup", "",
                   "comma-separated phase=value floors to enforce");
+    flags.declare("min-efficiency", "",
+                  "comma-separated shard-row=value efficiency floors "
+                  "(cooper.bench_shard.v1 only), e.g. k2=0.5");
     try {
         if (!flags.parse(argc, argv))
             return 0;
@@ -261,6 +318,8 @@ main(int argc, char **argv)
             validateOnline(root, path);
         else if (schema.text == kFaultsSchema)
             validateFaults(root, path);
+        else if (schema.text == kShardSchema)
+            validateShard(root, path);
         else
             fatal("bench_json: ", path, " has unknown schema \"",
                   schema.text, "\"");
@@ -276,6 +335,23 @@ main(int argc, char **argv)
                     floor, "x");
             std::cout << "phase " << name << ": speedup " << speedup
                       << " >= " << floor << "x\n";
+        }
+        if (!flags.get("min-efficiency").empty()) {
+            fatalIf(schema.text != kShardSchema,
+                    "bench_json: --min-efficiency only applies to ",
+                    kShardSchema, " documents");
+            const JsonValue &shards = member(root, "shards", path);
+            for (const auto &[name, floor] :
+                 parseMinSpeedups(flags.get("min-efficiency"))) {
+                const JsonValue &row = member(shards, name, "shards");
+                const double efficiency =
+                    numberField(row, "efficiency", "shards." + name);
+                fatalIf(efficiency < floor, "bench_json: shard row ",
+                        name, " efficiency ", efficiency,
+                        " is below the required ", floor);
+                std::cout << "shards " << name << ": efficiency "
+                          << efficiency << " >= " << floor << "\n";
+            }
         }
         std::cout << "bench_json: " << path << " OK\n";
     } catch (const std::exception &err) {

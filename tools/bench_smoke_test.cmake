@@ -1,11 +1,13 @@
-# Runs bench_regression, bench_online, and bench_faults at smoke-test
-# sizes and validates the emitted JSON against the
+# Runs bench_regression, bench_online, bench_faults, and bench_shard
+# at smoke-test sizes and validates the emitted JSON against the
 # cooper.bench_kernels.v1 / cooper.bench_online.v1 /
-# cooper.bench_faults.v1 schemas. Only the schema and the
-# exact-equivalence bits are checked here — speedup floors are
-# timing-sensitive and belong to manual full-size runs
-# (bench_json --min-speedup similarity=3,blocking=2 and
-#  bench_json --file BENCH_online.json --min-speedup predict=1.5).
+# cooper.bench_faults.v1 / cooper.bench_shard.v1 schemas. Only the
+# schema and the exact-equivalence bits are checked here — speedup and
+# efficiency floors are timing-sensitive and belong to manual
+# full-size runs
+# (bench_json --min-speedup similarity=3,blocking=2,
+#  bench_json --file BENCH_online.json --min-speedup predict=1.5, and
+#  bench_json --file BENCH_shard.json --min-efficiency k2=0.5).
 # Corrupt documents (empty file, truncated write) must be rejected:
 # a bench run that crashed mid-write must not validate.
 function(run_step)
@@ -37,6 +39,9 @@ run_step(${BENCH_JSON} --file bench_smoke_online.json)
 
 run_step(${BENCH_FAULTS} --tiny --out bench_smoke_faults.json)
 run_step(${BENCH_JSON} --file bench_smoke_faults.json)
+
+run_step(${BENCH_SHARD} --tiny --out bench_smoke_shard.json)
+run_step(${BENCH_JSON} --file bench_smoke_shard.json)
 
 # Corruption regressions: empty document, truncated document, and a
 # whitespace-only document must all exit nonzero.

@@ -23,6 +23,10 @@
  * loads a deterministic fault-injection script (src/fault): probe
  * timeouts, lost/corrupted measurements, node crashes, and
  * checkpoint-write failures, all replayed bit-identically too.
+ * --shards K >= 1 routes the trace through the sharded fleet driver
+ * (src/shard): K matching domains stepped concurrently plus a
+ * budgeted cross-shard rebalance pass per epoch; --shards 1
+ * reproduces the flat driver bit-for-bit.
  *
  * `epoch` drives profile -> predict -> match -> assess -> dispatch in
  * one process (plus a sampled-Shapley attribution step) and is the
@@ -59,6 +63,7 @@
 #include "matching/blocking.hh"
 #include "obs/obs.hh"
 #include "online/driver.hh"
+#include "shard/sharded_driver.hh"
 #include "sim/profiler.hh"
 #include "util/cli.hh"
 #include "util/error.hh"
@@ -92,6 +97,7 @@ usage()
            "           --fault-plan FILE --probe-retries N\n"
            "           --probe-budget N --quarantine-after N\n"
            "           --quarantine-epochs N --checkpoint-every N\n"
+           "           --shards K --rebalance-budget N\n"
            "Bare flags (cooper_cli --policy SMR ...) route to epoch.\n"
            "--metrics-out / --trace-out enable the observability layer\n"
            "(off by default; see DESIGN.md, \"Observability\").\n"
@@ -453,6 +459,12 @@ cmdServe(int argc, const char *const *argv)
     flags.declare("checkpoint-every", "0",
                   "write --checkpoint every N epochs too (0 = only at "
                   "the end)");
+    flags.declare("shards", "0",
+                  "matching domains for the sharded fleet driver "
+                  "(0 = flat unsharded driver; clamped to the catalog)");
+    flags.declare("rebalance-budget", "4",
+                  "cross-shard migrations per epoch when sharded "
+                  "(0 = no rebalancing)");
     declareThreads(flags);
     flags.declare("out", "online.json",
                   "deterministic run-summary JSON");
@@ -504,6 +516,12 @@ cmdServe(int argc, const char *const *argv)
         static_cast<std::uint64_t>(flags.getInt("quarantine-epochs"));
     online.checkpointEveryEpochs =
         static_cast<std::uint64_t>(flags.getInt("checkpoint-every"));
+    const auto shardCount =
+        static_cast<std::size_t>(flags.getInt("shards"));
+    if (shardCount > 0)
+        online.shards = shardCount;
+    online.rebalanceBudgetPerEpoch =
+        static_cast<std::size_t>(flags.getInt("rebalance-budget"));
 
     const Catalog catalog = Catalog::paperTableI();
     const InterferenceModel model(catalog);
@@ -512,6 +530,58 @@ cmdServe(int argc, const char *const *argv)
     // one trace; the driver's own ObsScope then stays passive.
     const ObsScope scope(obs);
     const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+
+    if (shardCount > 0) {
+        ShardedDriver driver(catalog, model, config, seed);
+        if (!flags.get("fault-plan").empty())
+            driver.setFaultPlan(
+                loadFaultPlan(flags.get("fault-plan"), seed));
+        if (online.checkpointEveryEpochs > 0 &&
+            !flags.get("checkpoint").empty()) {
+            const std::string path = flags.get("checkpoint");
+            driver.setCheckpointSink([path](const ShardedState &state) {
+                saveShardedState(path, state);
+                return true;
+            });
+        }
+        ChurnTrace trace = loadTrace(flags.get("trace"));
+        if (!flags.get("restore").empty()) {
+            driver.restore(loadShardedState(flags.get("restore")));
+            trace = trace.suffix(driver.clockTick());
+        }
+        const ShardedReport report = driver.run(trace);
+        saveShardedSummary(flags.get("out"), report);
+        if (!flags.get("checkpoint").empty())
+            saveShardedState(flags.get("checkpoint"), driver.snapshot());
+
+        std::size_t admitted = 0;
+        std::size_t rejected = 0;
+        for (const OnlineReport &shard : report.perShard) {
+            admitted += shard.totalAdmitted;
+            rejected += shard.totalRejected;
+        }
+        std::cout << "served " << report.epochs.size()
+                  << " epoch(s) on " << report.shards
+                  << " shard(s) with " << report.policy << ": "
+                  << admitted << " admitted, " << rejected
+                  << " rejected, " << report.totalCrossMigrations
+                  << " cross-shard migration(s) over "
+                  << report.totalRebalanceEpochs
+                  << " epoch(s); final population "
+                  << report.finalPopulation
+                  << ", egalitarian objective "
+                  << Table::num(report.finalObjective, 4) << " -> "
+                  << flags.get("out") << "\n";
+        if (!flags.get("checkpoint").empty())
+            std::cout << "checkpoint -> " << flags.get("checkpoint")
+                      << "\n";
+        if (!obs.metricsOut.empty())
+            std::cout << "metrics -> " << obs.metricsOut << "\n";
+        if (!obs.traceOut.empty())
+            std::cout << "trace -> " << obs.traceOut << "\n";
+        return 0;
+    }
+
     OnlineDriver driver(catalog, model, config, seed);
     if (!flags.get("fault-plan").empty())
         driver.setFaultPlan(loadFaultPlan(flags.get("fault-plan"), seed));
