@@ -6,29 +6,38 @@
  * schema-stable BENCH_kernels.json (schema "cooper.bench_kernels.v1")
  * that tools/bench_json validates.
  *
- * Five phases are reported:
+ * Seven phases are reported:
  *
- *  - similarity: baselineSimilarityMatrix vs. the packed bitmask fill
- *  - predict:    baselinePredict vs. the neighbor-list predictor
- *  - matching:   believedPreferences + oracle roommates vs. the
- *                DisutilityTable-backed path (conservative baseline:
- *                it already shares the rank-key preference sort)
- *  - blocking:   the std::function scan vs. the table scan with row
- *                pruning (count mode, no pair vector)
- *  - shapley:    sampled Shapley, timed for trend tracking only
+ *  - similarity:      baselineSimilarityMatrix vs. the packed bitmask
+ *                     fill
+ *  - simd_similarity: the packed fill pinned to the scalar tier vs.
+ *                     the widest SIMD tier this machine offers (equal
+ *                     tiers on non-AVX machines: speedup ~1)
+ *  - predict:         baselinePredict vs. the neighbor-list predictor
+ *  - matching:        believedPreferences + oracle roommates vs. the
+ *                     DisutilityTable-backed path (conservative
+ *                     baseline: it already shares the rank-key
+ *                     preference sort)
+ *  - blocking:        the std::function scan vs. the table scan with
+ *                     row pruning (count mode, no pair vector)
+ *  - blocking_incremental: the full O(n^2) table scan vs. a
+ *                     quiet-epoch BlockingBounds::update (nothing
+ *                     dirty, the online service's steady state)
+ *  - shapley:         sampled Shapley, timed for trend tracking only
  *
  * Optimized phases run under an ObsScope, so the JSON also carries the
  * MetricsRegistry histograms behind each phase timer
  * (cf.similarity_seconds, cf.predict_pass_seconds,
  * matching.roommates_seconds, matching.blocking_seconds,
- * shapley.sampled_seconds).
+ * matching.blocking_bound_seconds, shapley.sampled_seconds).
  *
  * --tiny shrinks every dimension for the `ctest -L bench-smoke` run;
- * the speedup acceptance numbers (>= 3x similarity, >= 2x blocking)
- * are meant to be checked at the default sizes:
+ * the speedup acceptance numbers (>= 3x similarity, >= 1.5x
+ * simd_similarity, >= 2x blocking, >= 3x blocking_incremental) are
+ * meant to be checked at the default sizes:
  *
  *   bench_regression && bench_json --file BENCH_kernels.json \
- *       --min-speedup similarity=3,blocking=2
+ *       --min-speedup similarity=3,simd_similarity=1.5,blocking=2,blocking_incremental=3
  */
 
 #include <chrono>
@@ -48,11 +57,13 @@
 #include "game/shapley.hh"
 #include "matching/blocking.hh"
 #include "matching/blocking_baseline.hh"
+#include "matching/blocking_incremental.hh"
 #include "matching/stable_roommates.hh"
 #include "obs/obs.hh"
 #include "sim/interference.hh"
 #include "util/cli.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/table.hh"
 #include "workload/catalog.hh"
 
@@ -284,6 +295,53 @@ main(int argc, char **argv)
                 phases.push_back(std::move(p));
             }
 
+            // --- simd similarity fill --------------------------------
+            // Same packed fill both sides; only the dispatched tier
+            // differs, so this isolates the vector win from the
+            // packed-layout win the phase above measures. The predictor
+            // fills similarities twice per predict (iterations = 2):
+            // pass 1 over the sparse observations, pass 2 over the
+            // filled dense matrix, where every lane runs full — the
+            // phase times both, exactly the per-predict similarity
+            // work.
+            {
+                PhaseResult p;
+                p.name = "simd_similarity";
+                p.mode = "baseline_vs_optimized";
+                const Prediction filled =
+                    ItemKnnPredictor(knn).predict(sparse);
+                SparseMatrix dense_m(matrix_n, matrix_n);
+                for (std::size_t i = 0; i < matrix_n; ++i)
+                    for (std::size_t j = 0; j < matrix_n; ++j)
+                        dense_m.set(i, j, filled.dense[i][j]);
+                SimilarityTriangle s1(0), s2(0), v1(0), v2(0);
+                setSimdOverrideForTesting(SimdLevel::Scalar);
+                p.baselineSeconds = bestSeconds(reps, [&] {
+                    s1 = ItemKnnPredictor(knn).similarityTriangle(
+                        sparse);
+                    s2 = ItemKnnPredictor(knn).similarityTriangle(
+                        dense_m);
+                });
+                setSimdOverrideForTesting(detectedSimdLevel());
+                p.optimizedSeconds = bestSeconds(reps, [&] {
+                    v1 = ItemKnnPredictor(knn).similarityTriangle(
+                        sparse);
+                    v2 = ItemKnnPredictor(knn).similarityTriangle(
+                        dense_m);
+                });
+                setSimdOverrideForTesting(std::nullopt);
+                const std::size_t cells =
+                    matrix_n > 1 ? matrix_n * (matrix_n - 1) / 2 : 0;
+                p.identical =
+                    cells == 0 ||
+                    (std::memcmp(s1.data(), v1.data(),
+                                 cells * sizeof(double)) == 0 &&
+                     std::memcmp(s2.data(), v2.data(),
+                                 cells * sizeof(double)) == 0);
+                p.speedup = p.baselineSeconds / p.optimizedSeconds;
+                phases.push_back(std::move(p));
+            }
+
             // --- predict ---------------------------------------------
             {
                 PhaseResult p;
@@ -381,6 +439,45 @@ main(int argc, char **argv)
                 phases.push_back(std::move(p));
             }
 
+            // --- incremental blocking bounds -------------------------
+            // The online service's steady state: the matching and the
+            // table both held, so a maintained BlockingBounds answers
+            // the epoch's blocking questions from its bitset while the
+            // scan re-derives all O(n^2) pairs.
+            {
+                PhaseResult p;
+                p.name = "blocking_incremental";
+                p.mode = "baseline_vs_optimized";
+                const DisutilityTable table =
+                    instance.believedTable(kThreads);
+                BlockingBounds bounds;
+                bounds.rebuild(matched, table, alpha, kThreads);
+                std::size_t base_count = 0, opt_count = 0;
+                p.baselineSeconds = bestSeconds(reps, [&] {
+                    base_count = countBlockingPairs(matched, table,
+                                                    alpha, kThreads);
+                });
+                p.optimizedSeconds = bestSeconds(reps, [&] {
+                    bounds.update(matched, table, alpha, {}, kThreads);
+                    opt_count = bounds.count();
+                });
+                p.identical = base_count == opt_count;
+                const auto scan_pairs = findBlockingPairs(
+                    matched, table, alpha, kThreads);
+                const auto bound_pairs = bounds.pairs(table);
+                p.identical &= scan_pairs.size() == bound_pairs.size();
+                for (std::size_t i = 0;
+                     p.identical && i < scan_pairs.size(); ++i) {
+                    p.identical =
+                        scan_pairs[i].a == bound_pairs[i].a &&
+                        scan_pairs[i].b == bound_pairs[i].b &&
+                        scan_pairs[i].gainA == bound_pairs[i].gainA &&
+                        scan_pairs[i].gainB == bound_pairs[i].gainB;
+                }
+                p.speedup = p.baselineSeconds / p.optimizedSeconds;
+                phases.push_back(std::move(p));
+            }
+
             // --- sampled Shapley -------------------------------------
             {
                 PhaseResult p;
@@ -404,9 +501,12 @@ main(int argc, char **argv)
                 throw std::runtime_error("metrics session missing");
             const MetricsSnapshot snapshot = metrics->snapshot();
             const char *backing[] = {
-                "cf.similarity_seconds", "cf.predict_pass_seconds",
+                "cf.similarity_seconds", "cf.similarity_seconds",
+                "cf.predict_pass_seconds",
                 "matching.roommates_seconds",
-                "matching.blocking_seconds", "shapley.sampled_seconds"};
+                "matching.blocking_seconds",
+                "matching.blocking_bound_seconds",
+                "shapley.sampled_seconds"};
             for (std::size_t i = 0; i < phases.size(); ++i)
                 attachMetric(phases[i], snapshot, backing[i]);
 

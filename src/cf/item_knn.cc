@@ -5,8 +5,10 @@
 #include <cmath>
 #include <numeric>
 
+#include "cf/simd_kernels.hh"
 #include "obs/obs.hh"
 #include "util/error.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace cooper {
@@ -36,58 +38,10 @@ SimilarityTriangle::toNested() const
 
 namespace {
 
-/**
- * Column-pair similarity over co-rated rows, fused over the packed
- * view: one bitmask AND per word selects the co-rated rows, and the
- * accumulators then read two contiguous columns. Rows are visited in
- * ascending order with the identical per-row arithmetic of the old
- * row-major scan, so the result is bit-identical to it.
- *
- * For the adjusted-cosine measure the columns are pre-centered on row
- * means (PackedColumns::subtractRowOffsets), which hoists the
- * subtraction out of the pair loop entirely.
- */
-double
-packedSimilarity(const double *va, const double *vb,
-                 const std::uint64_t *ma, const std::uint64_t *mb,
-                 std::size_t words, Similarity kind,
-                 std::size_t min_overlap)
-{
-    double dot = 0.0, na = 0.0, nb = 0.0;
-    double sum_a = 0.0, sum_b = 0.0;
-    std::size_t overlap = 0;
-    for (std::size_t w = 0; w < words; ++w) {
-        std::uint64_t bits = ma[w] & mb[w];
-        overlap += static_cast<std::size_t>(std::popcount(bits));
-        const std::size_t base = w * 64;
-        while (bits) {
-            const std::size_t r =
-                base + static_cast<std::size_t>(std::countr_zero(bits));
-            bits &= bits - 1;
-            const double x = va[r];
-            const double y = vb[r];
-            dot += x * y;
-            na += x * x;
-            nb += y * y;
-            sum_a += x;
-            sum_b += y;
-        }
-    }
-    if (overlap < min_overlap)
-        return 0.0;
-    if (kind == Similarity::Pearson) {
-        const double n = static_cast<double>(overlap);
-        const double cov = dot - sum_a * sum_b / n;
-        const double var_a = na - sum_a * sum_a / n;
-        const double var_b = nb - sum_b * sum_b / n;
-        if (var_a <= 0.0 || var_b <= 0.0)
-            return 0.0;
-        return cov / std::sqrt(var_a * var_b);
-    }
-    if (na == 0.0 || nb == 0.0)
-        return 0.0;
-    return dot / std::sqrt(na * nb);
-}
+// The column-pair similarity kernel lives in cf/simd_kernels.cc now:
+// simd::scalarPackedSimilarity is PR 3's packed scan verbatim, and
+// simd::similarityBlock dispatches blocks of pairs to the bit-
+// identical AVX2/AVX-512 tiers (one pair per vector lane).
 
 std::vector<double>
 rowMeans(const SparseMatrix &m)
@@ -109,17 +63,35 @@ similarityOver(const SparseMatrix &m, const ItemKnnConfig &config)
         packed.subtractRowOffsets(rowMeans(m));
 
     SimilarityTriangle sim(n);
-    // Row a owns cells sim(a, b) for b > a; every cell is written by
-    // exactly one iteration, so rows parallelize freely.
-    parallelFor(0, n, config.threads, [&](std::size_t a) {
-        const double *va = packed.column(a);
-        const std::uint64_t *ma = packed.mask(a);
-        for (std::size_t b = a + 1; b < n; ++b)
-            sim.set(a, b,
-                    packedSimilarity(va, packed.column(b), ma,
-                                     packed.mask(b), packed.words(),
-                                     config.similarity,
-                                     config.minOverlap));
+    const SimdLevel level = activeSimdLevel();
+
+    // Row a owns cells sim(a, b) for b > a — contiguous in the packed
+    // triangle, so the block kernel writes row segments in place.
+    // Rows are tiled and the b-columns chunked so a tile's worth of
+    // a-rows re-reads the same column chunk while it is cache-
+    // resident; tile boundaries never change values (lanes are
+    // independent pairs), so any tiling is bit-identical to the
+    // serial fill.
+    constexpr std::size_t kTileRows = 32;
+    constexpr std::size_t kTileCols = 128;
+    std::vector<std::size_t> ids(n);
+    std::iota(ids.begin(), ids.end(), std::size_t(0));
+    const std::size_t tiles = (n + kTileRows - 1) / kTileRows;
+    parallelFor(0, tiles, config.threads, [&](std::size_t t) {
+        const std::size_t a_begin = t * kTileRows;
+        const std::size_t a_end = std::min(n, a_begin + kTileRows);
+        for (std::size_t b0 = a_begin + 1; b0 < n; b0 += kTileCols) {
+            const std::size_t b1 = std::min(n, b0 + kTileCols);
+            for (std::size_t a = a_begin; a < a_end; ++a) {
+                const std::size_t lo = std::max(b0, a + 1);
+                if (lo >= b1)
+                    continue;
+                simd::similarityBlock(
+                    packed, a, ids.data() + lo, b1 - lo,
+                    config.similarity, config.minOverlap, level,
+                    sim.data() + sim.rowOffset(a) + (lo - a - 1));
+            }
+        }
     });
     if (MetricsRegistry *metrics = obsMetrics())
         metrics->counter("cf.similarity_fills")
@@ -232,51 +204,11 @@ predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
     enum : std::uint8_t { kSkip = 0, kPredicted = 1, kFallback = 2 };
     std::vector<double> staged_value(rows * cols, 0.0);
     std::vector<std::uint8_t> staged_kind(rows * cols, kSkip);
+    const SimdLevel level = activeSimdLevel();
     parallelFor(0, rows, config.threads, [&](std::size_t r) {
         const std::uint64_t *rmask = row_mask.data() + r * cwords;
         const double *rdev = dev.data() + r * cols;
-        for (std::size_t c = 0; c < cols; ++c) {
-            if (observed.known(r, c))
-                continue;
-            const std::uint64_t *cmask = pos_mask.data() + c * cwords;
-            double num = 0.0, den = 0.0;
-            bool truncated = false;
-            if (config.neighbors > 0) {
-                std::size_t usable = 0;
-                for (std::size_t w = 0; w < cwords; ++w)
-                    usable += static_cast<std::size_t>(
-                        std::popcount(rmask[w] & cmask[w]));
-                truncated = usable > config.neighbors;
-            }
-            if (truncated) {
-                // Capped cell: strongest neighbors first, exactly the
-                // order the old partial_sort accumulated in.
-                std::size_t taken = 0;
-                for (const auto &[s, c2] : ranked[c]) {
-                    if (!(rmask[c2 / 64] >> (c2 % 64) & 1))
-                        continue;
-                    num += s * rdev[c2];
-                    den += s;
-                    if (++taken == config.neighbors)
-                        break;
-                }
-            } else {
-                // Every usable neighbor contributes, in ascending
-                // column order like the old gather loop.
-                for (std::size_t w = 0; w < cwords; ++w) {
-                    std::uint64_t bits = rmask[w] & cmask[w];
-                    const std::size_t base = w * 64;
-                    while (bits) {
-                        const std::size_t c2 =
-                            base + static_cast<std::size_t>(
-                                       std::countr_zero(bits));
-                        bits &= bits - 1;
-                        const double s = sim.at(c, c2);
-                        num += s * rdev[c2];
-                        den += s;
-                    }
-                }
-            }
+        const auto stage = [&](std::size_t c, double num, double den) {
             const std::size_t idx = r * cols + c;
             if (den > 0.0) {
                 staged_value[idx] = col_mean[c] + num / den;
@@ -286,7 +218,63 @@ predictPass(const SparseMatrix &observed, const SparseMatrix &basis,
                                                      : fallback_col[c];
                 staged_kind[idx] = kFallback;
             }
+        };
+        // Uncapped cells batch into the block kernel (one target
+        // column per vector lane, each accumulating in the scalar
+        // ascending-column order); capped cells keep the scalar
+        // ranked walk, which has no fixed ascending structure.
+        std::vector<std::size_t> targets;
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (observed.known(r, c))
+                continue;
+            const std::uint64_t *cmask = pos_mask.data() + c * cwords;
+            bool truncated = false;
+            if (config.neighbors > 0) {
+                std::size_t usable = 0;
+                for (std::size_t w = 0; w < cwords; ++w)
+                    usable += static_cast<std::size_t>(
+                        std::popcount(rmask[w] & cmask[w]));
+                truncated = usable > config.neighbors;
+            }
+            if (!truncated) {
+                targets.push_back(c);
+                continue;
+            }
+            // Capped cell: strongest neighbors first, exactly the
+            // order the old partial_sort accumulated in.
+            double num = 0.0, den = 0.0;
+            std::size_t taken = 0;
+            for (const auto &[s, c2] : ranked[c]) {
+                if (!(rmask[c2 / 64] >> (c2 % 64) & 1))
+                    continue;
+                num += s * rdev[c2];
+                den += s;
+                if (++taken == config.neighbors)
+                    break;
+            }
+            stage(c, num, den);
         }
+        if (targets.empty())
+            return;
+        // Usable-neighbor masks (row-known AND positive-similarity),
+        // materialized per target for the kernel's masked gather.
+        std::vector<std::uint64_t> act(targets.size() * cwords);
+        std::vector<const std::uint64_t *> act_ptrs(targets.size());
+        for (std::size_t k = 0; k < targets.size(); ++k) {
+            const std::uint64_t *cmask =
+                pos_mask.data() + targets[k] * cwords;
+            std::uint64_t *dst = act.data() + k * cwords;
+            for (std::size_t w = 0; w < cwords; ++w)
+                dst[w] = rmask[w] & cmask[w];
+            act_ptrs[k] = dst;
+        }
+        std::vector<double> nums(targets.size());
+        std::vector<double> dens(targets.size());
+        simd::knnAccumulateBlock(sim.data(), cols, targets.data(),
+                                 targets.size(), act_ptrs.data(), cwords,
+                                 rdev, level, nums.data(), dens.data());
+        for (std::size_t k = 0; k < targets.size(); ++k)
+            stage(targets[k], nums[k], dens[k]);
     });
 
     SparseMatrix filled = observed;
@@ -345,11 +333,15 @@ updateSimilarityTriangle(const SparseMatrix &ratings,
         for (std::size_t w = 0; w < words && w < dirty_rows.size(); ++w)
             dirty_row_words[w] = dirty_rows[w];
 
+    const SimdLevel level = activeSimdLevel();
     std::vector<std::size_t> recomputed(n, 0);
     parallelFor(0, n, config.threads, [&](std::size_t a) {
         const bool a_dirty = maskBit(dirty_cols, a);
-        const double *va = packed.column(a);
         const std::uint64_t *ma = packed.mask(a);
+        // Affected cells batch into one block-kernel call per row;
+        // values land exactly where the per-pair scan wrote them.
+        std::vector<std::size_t> affected_bs;
+        std::vector<double> values;
         for (std::size_t b = a + 1; b < n; ++b) {
             bool affected = a_dirty || maskBit(dirty_cols, b);
             if (!affected && centered) {
@@ -357,15 +349,18 @@ updateSimilarityTriangle(const SparseMatrix &ratings,
                 for (std::size_t w = 0; w < words && !affected; ++w)
                     affected = (ma[w] & mb[w] & dirty_row_words[w]) != 0;
             }
-            if (!affected)
-                continue;
-            sim.set(a, b,
-                    packedSimilarity(va, packed.column(b), ma,
-                                     packed.mask(b), words,
-                                     config.similarity,
-                                     config.minOverlap));
-            ++recomputed[a];
+            if (affected)
+                affected_bs.push_back(b);
         }
+        if (affected_bs.empty())
+            return;
+        values.resize(affected_bs.size());
+        simd::similarityBlock(packed, a, affected_bs.data(),
+                              affected_bs.size(), config.similarity,
+                              config.minOverlap, level, values.data());
+        for (std::size_t k = 0; k < affected_bs.size(); ++k)
+            sim.set(a, affected_bs[k], values[k]);
+        recomputed[a] = affected_bs.size();
     });
     std::size_t total = 0;
     for (std::size_t count : recomputed)

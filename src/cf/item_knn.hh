@@ -97,6 +97,18 @@ class SimilarityTriangle
     /** Expand to the nested-vector square (tests, accuracy study). */
     std::vector<std::vector<double>> toNested() const;
 
+    /** Packed upper-triangle storage: row a's cells (a, b) for b > a
+     *  sit contiguously at rowOffset(a) (the SIMD kernels read and
+     *  fill it directly). */
+    const double *data() const { return data_.data(); }
+    double *data() { return data_.data(); }
+
+    /** Flat offset of cell (a, a + 1). */
+    std::size_t rowOffset(std::size_t a) const
+    {
+        return a * (items_ - 1) - a * (a - 1) / 2;
+    }
+
   private:
     /** Offset of the unordered pair {a, b}, a != b. */
     std::size_t index(std::size_t a, std::size_t b) const

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * AVX2 tier of the CF kernels: 4 double lanes, each owning one whole
+ * work item (a column pair, or a kNN target column).
+ *
+ * Compiled with -mavx2 -ffp-contract=off and WITHOUT -mfma (see
+ * src/cf/CMakeLists.txt): the scalar reference is built at the x86-64
+ * baseline where mul+add cannot fuse, so this unit must not fuse
+ * either. Inactive lanes accumulate zero-masked values, which is a
+ * bitwise no-op (simd_kernels.hh states the -0.0 argument).
+ */
+
+#if defined(COOPER_SIMD_X86)
+
+#include <algorithm>
+#include <bit>
+#include <immintrin.h>
+
+#include "cf/item_knn.hh"
+#include "cf/simd_kernels.hh"
+
+namespace cooper {
+
+namespace simd {
+
+namespace {
+
+constexpr std::size_t kLanes = 4;
+
+/** All-ones where the lane's mask word holds `bitv`'s row bit. */
+inline __m256d
+laneMask(__m256i mvec, __m256i bitv)
+{
+    return _mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(_mm256_and_si256(mvec, bitv), bitv));
+}
+
+/** Row offset of the packed upper triangle (see SimilarityTriangle). */
+inline std::size_t
+triRowOffset(std::size_t a, std::size_t items)
+{
+    return a * (items - 1) - a * (a - 1) / 2;
+}
+
+} // namespace
+
+void
+similarityBlockAvx2(const PackedColumns &packed, std::size_t a,
+                    const std::size_t *bs, std::size_t count,
+                    Similarity kind, std::size_t min_overlap,
+                    double *out)
+{
+    const double *va = packed.column(a);
+    const std::uint64_t *ma = packed.mask(a);
+    const std::size_t words = packed.words();
+
+    for (std::size_t k0 = 0; k0 < count; k0 += kLanes) {
+        const std::size_t lanes = std::min(kLanes, count - k0);
+
+        // Pad short blocks with the first column; the padded lanes'
+        // masks are forced to zero, so they only ever add +0.0 and
+        // their outputs are never read.
+        const double *vb[kLanes];
+        const std::uint64_t *mb[kLanes];
+        std::uint64_t keep[kLanes];
+        for (std::size_t l = 0; l < kLanes; ++l) {
+            const std::size_t b = bs[k0 + (l < lanes ? l : 0)];
+            vb[l] = packed.column(b);
+            mb[l] = packed.mask(b);
+            keep[l] = l < lanes ? ~std::uint64_t(0) : 0;
+        }
+
+        __m256d dot = _mm256_setzero_pd();
+        __m256d na = _mm256_setzero_pd();
+        __m256d nb = _mm256_setzero_pd();
+        __m256d sum_a = _mm256_setzero_pd();
+        __m256d sum_b = _mm256_setzero_pd();
+        std::size_t overlap[kLanes] = {0, 0, 0, 0};
+
+        for (std::size_t w = 0; w < words; ++w) {
+            const std::uint64_t aw = ma[w];
+            if (aw == 0)
+                continue;
+            const std::uint64_t m0 = aw & mb[0][w] & keep[0];
+            const std::uint64_t m1 = aw & mb[1][w] & keep[1];
+            const std::uint64_t m2 = aw & mb[2][w] & keep[2];
+            const std::uint64_t m3 = aw & mb[3][w] & keep[3];
+            std::uint64_t uni = m0 | m1 | m2 | m3;
+            if (uni == 0)
+                continue;
+            overlap[0] += static_cast<std::size_t>(std::popcount(m0));
+            overlap[1] += static_cast<std::size_t>(std::popcount(m1));
+            overlap[2] += static_cast<std::size_t>(std::popcount(m2));
+            overlap[3] += static_cast<std::size_t>(std::popcount(m3));
+            const std::size_t base = w * 64;
+
+            if (m0 == uni && m1 == uni && m2 == uni && m3 == uni) {
+                // Every lane co-rates every union row (the dense case,
+                // e.g. pass-2 fills): no masking needed.
+                while (uni) {
+                    const std::size_t r =
+                        base + static_cast<std::size_t>(
+                                   std::countr_zero(uni));
+                    uni &= uni - 1;
+                    const __m256d x = _mm256_set1_pd(va[r]);
+                    const __m256d y = _mm256_set_pd(vb[3][r], vb[2][r],
+                                                    vb[1][r], vb[0][r]);
+                    dot = _mm256_add_pd(dot, _mm256_mul_pd(x, y));
+                    na = _mm256_add_pd(na, _mm256_mul_pd(x, x));
+                    nb = _mm256_add_pd(nb, _mm256_mul_pd(y, y));
+                    sum_a = _mm256_add_pd(sum_a, x);
+                    sum_b = _mm256_add_pd(sum_b, y);
+                }
+                continue;
+            }
+
+            const __m256i mvec = _mm256_set_epi64x(
+                static_cast<long long>(m3), static_cast<long long>(m2),
+                static_cast<long long>(m1), static_cast<long long>(m0));
+            while (uni) {
+                const int bit = std::countr_zero(uni);
+                uni &= uni - 1;
+                const std::size_t r =
+                    base + static_cast<std::size_t>(bit);
+                const __m256i bitv = _mm256_set1_epi64x(
+                    static_cast<long long>(std::uint64_t(1) << bit));
+                const __m256d lane = laneMask(mvec, bitv);
+                const __m256d x =
+                    _mm256_and_pd(_mm256_set1_pd(va[r]), lane);
+                const __m256d y = _mm256_and_pd(
+                    _mm256_set_pd(vb[3][r], vb[2][r], vb[1][r],
+                                  vb[0][r]),
+                    lane);
+                dot = _mm256_add_pd(dot, _mm256_mul_pd(x, y));
+                na = _mm256_add_pd(na, _mm256_mul_pd(x, x));
+                nb = _mm256_add_pd(nb, _mm256_mul_pd(y, y));
+                sum_a = _mm256_add_pd(sum_a, x);
+                sum_b = _mm256_add_pd(sum_b, y);
+            }
+        }
+
+        double dotv[kLanes], nav[kLanes], nbv[kLanes];
+        double sav[kLanes], sbv[kLanes];
+        _mm256_storeu_pd(dotv, dot);
+        _mm256_storeu_pd(nav, na);
+        _mm256_storeu_pd(nbv, nb);
+        _mm256_storeu_pd(sav, sum_a);
+        _mm256_storeu_pd(sbv, sum_b);
+        for (std::size_t l = 0; l < lanes; ++l)
+            out[k0 + l] =
+                finishSimilarity(kind, min_overlap, overlap[l], dotv[l],
+                                 nav[l], nbv[l], sav[l], sbv[l]);
+    }
+}
+
+void
+knnAccumulateBlockAvx2(const double *tri, std::size_t items,
+                       const std::size_t *cs, std::size_t count,
+                       const std::uint64_t *const *active,
+                       std::size_t words, const double *dev, double *num,
+                       double *den)
+{
+    for (std::size_t k0 = 0; k0 < count; k0 += kLanes) {
+        const std::size_t lanes = std::min(kLanes, count - k0);
+
+        std::size_t c[kLanes];
+        const std::uint64_t *mask[kLanes];
+        std::uint64_t keep[kLanes];
+        // base[l] + c2 is the flat index of sim(c[l], c2) when
+        // c2 > c[l]; the c2 < c[l] side shares a per-row base instead.
+        std::size_t base[kLanes];
+        std::size_t cmin = items, cmax = 0;
+        for (std::size_t l = 0; l < kLanes; ++l) {
+            c[l] = cs[k0 + (l < lanes ? l : 0)];
+            mask[l] = active[k0 + (l < lanes ? l : 0)];
+            keep[l] = l < lanes ? ~std::uint64_t(0) : 0;
+            base[l] = triRowOffset(c[l], items) - c[l] - 1;
+            cmin = std::min(cmin, c[l]);
+            cmax = std::max(cmax, c[l]);
+        }
+
+        __m256d vnum = _mm256_setzero_pd();
+        __m256d vden = _mm256_setzero_pd();
+
+        for (std::size_t w = 0; w < words; ++w) {
+            const std::uint64_t m0 = mask[0][w] & keep[0];
+            const std::uint64_t m1 = mask[1][w] & keep[1];
+            const std::uint64_t m2 = mask[2][w] & keep[2];
+            const std::uint64_t m3 = mask[3][w] & keep[3];
+            std::uint64_t uni = m0 | m1 | m2 | m3;
+            if (uni == 0)
+                continue;
+            const __m256i mvec = _mm256_set_epi64x(
+                static_cast<long long>(m3), static_cast<long long>(m2),
+                static_cast<long long>(m1), static_cast<long long>(m0));
+            const std::size_t wbase = w * 64;
+            while (uni) {
+                const int bit = std::countr_zero(uni);
+                uni &= uni - 1;
+                const std::size_t c2 =
+                    wbase + static_cast<std::size_t>(bit);
+
+                // Gather sim(c[l], c2) per lane. Neighbors entirely
+                // above or below the whole target block share simple
+                // address forms; targets interleaved with c2 (rare)
+                // take the general per-lane path, with self cells
+                // loading a harmless 0 (their lanes are inactive —
+                // active masks never contain the target itself).
+                __m256d s;
+                if (c2 > cmax) {
+                    s = _mm256_set_pd(
+                        tri[base[3] + c2], tri[base[2] + c2],
+                        tri[base[1] + c2], tri[base[0] + c2]);
+                } else if (c2 < cmin) {
+                    const std::size_t row =
+                        triRowOffset(c2, items) - c2 - 1;
+                    s = _mm256_set_pd(tri[row + c[3]], tri[row + c[2]],
+                                      tri[row + c[1]], tri[row + c[0]]);
+                } else {
+                    const std::size_t row =
+                        triRowOffset(c2, items) - c2 - 1;
+                    double sv[kLanes];
+                    for (std::size_t l = 0; l < kLanes; ++l) {
+                        if (c2 == c[l])
+                            sv[l] = 0.0;
+                        else
+                            sv[l] = c2 > c[l] ? tri[base[l] + c2]
+                                              : tri[row + c[l]];
+                    }
+                    s = _mm256_set_pd(sv[3], sv[2], sv[1], sv[0]);
+                }
+
+                const __m256i bitv = _mm256_set1_epi64x(
+                    static_cast<long long>(std::uint64_t(1) << bit));
+                s = _mm256_and_pd(s, laneMask(mvec, bitv));
+                vnum = _mm256_add_pd(
+                    vnum, _mm256_mul_pd(s, _mm256_set1_pd(dev[c2])));
+                vden = _mm256_add_pd(vden, s);
+            }
+        }
+
+        double numv[kLanes], denv[kLanes];
+        _mm256_storeu_pd(numv, vnum);
+        _mm256_storeu_pd(denv, vden);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            num[k0 + l] = numv[l];
+            den[k0 + l] = denv[l];
+        }
+    }
+}
+
+} // namespace simd
+
+} // namespace cooper
+
+#endif // COOPER_SIMD_X86

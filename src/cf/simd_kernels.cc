@@ -1,0 +1,181 @@
+#include "simd_kernels.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "cf/item_knn.hh"
+
+namespace cooper {
+
+namespace simd {
+
+double
+finishSimilarity(Similarity kind, std::size_t min_overlap,
+                 std::size_t overlap, double dot, double na, double nb,
+                 double sum_a, double sum_b)
+{
+    if (overlap < min_overlap)
+        return 0.0;
+    if (kind == Similarity::Pearson) {
+        const double n = static_cast<double>(overlap);
+        const double cov = dot - sum_a * sum_b / n;
+        const double var_a = na - sum_a * sum_a / n;
+        const double var_b = nb - sum_b * sum_b / n;
+        if (var_a <= 0.0 || var_b <= 0.0)
+            return 0.0;
+        return cov / std::sqrt(var_a * var_b);
+    }
+    if (na == 0.0 || nb == 0.0)
+        return 0.0;
+    return dot / std::sqrt(na * nb);
+}
+
+double
+scalarPackedSimilarity(const double *va, const double *vb,
+                       const std::uint64_t *ma, const std::uint64_t *mb,
+                       std::size_t words, Similarity kind,
+                       std::size_t min_overlap)
+{
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    double sum_a = 0.0, sum_b = 0.0;
+    std::size_t overlap = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t bits = ma[w] & mb[w];
+        overlap += static_cast<std::size_t>(std::popcount(bits));
+        const std::size_t base = w * 64;
+        while (bits) {
+            const std::size_t r =
+                base + static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const double x = va[r];
+            const double y = vb[r];
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+            sum_a += x;
+            sum_b += y;
+        }
+    }
+    return finishSimilarity(kind, min_overlap, overlap, dot, na, nb,
+                            sum_a, sum_b);
+}
+
+void
+similarityBlockScalar(const PackedColumns &packed, std::size_t a,
+                      const std::size_t *bs, std::size_t count,
+                      Similarity kind, std::size_t min_overlap,
+                      double *out)
+{
+    const double *va = packed.column(a);
+    const std::uint64_t *ma = packed.mask(a);
+    for (std::size_t k = 0; k < count; ++k)
+        out[k] = scalarPackedSimilarity(va, packed.column(bs[k]), ma,
+                                        packed.mask(bs[k]),
+                                        packed.words(), kind,
+                                        min_overlap);
+}
+
+void
+knnAccumulateBlockScalar(const double *tri, std::size_t items,
+                         const std::size_t *cs, std::size_t count,
+                         const std::uint64_t *const *active,
+                         std::size_t words, const double *dev,
+                         double *num, double *den)
+{
+    // Exactly predictPass's uncapped gather, one target at a time.
+    const auto at = [&](std::size_t a, std::size_t b) {
+        if (a > b)
+            std::swap(a, b);
+        return tri[a * (items - 1) - a * (a - 1) / 2 + (b - a - 1)];
+    };
+    for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t c = cs[k];
+        const std::uint64_t *mask = active[k];
+        double n = 0.0, d = 0.0;
+        for (std::size_t w = 0; w < words; ++w) {
+            std::uint64_t bits = mask[w];
+            const std::size_t base = w * 64;
+            while (bits) {
+                const std::size_t c2 =
+                    base +
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                const double s = at(c, c2);
+                n += s * dev[c2];
+                d += s;
+            }
+        }
+        num[k] = n;
+        den[k] = d;
+    }
+}
+
+namespace {
+
+/** Clamp a requested tier to what this binary and CPU can run. */
+SimdLevel
+usableLevel(SimdLevel level)
+{
+    return std::min(level, detectedSimdLevel());
+}
+
+} // namespace
+
+void
+similarityBlock(const PackedColumns &packed, std::size_t a,
+                const std::size_t *bs, std::size_t count,
+                Similarity kind, std::size_t min_overlap,
+                SimdLevel level, double *out)
+{
+    switch (usableLevel(level)) {
+#if defined(COOPER_SIMD_X86)
+    case SimdLevel::Avx512:
+        similarityBlockAvx512(packed, a, bs, count, kind, min_overlap,
+                              out);
+        return;
+    case SimdLevel::Avx2:
+        similarityBlockAvx2(packed, a, bs, count, kind, min_overlap,
+                            out);
+        return;
+#else
+    case SimdLevel::Avx512:
+    case SimdLevel::Avx2:
+#endif
+    case SimdLevel::Scalar:
+        break;
+    }
+    similarityBlockScalar(packed, a, bs, count, kind, min_overlap, out);
+}
+
+void
+knnAccumulateBlock(const double *tri, std::size_t items,
+                   const std::size_t *cs, std::size_t count,
+                   const std::uint64_t *const *active, std::size_t words,
+                   const double *dev, SimdLevel level, double *num,
+                   double *den)
+{
+    switch (usableLevel(level)) {
+#if defined(COOPER_SIMD_X86)
+    case SimdLevel::Avx512:
+        knnAccumulateBlockAvx512(tri, items, cs, count, active, words,
+                                 dev, num, den);
+        return;
+    case SimdLevel::Avx2:
+        knnAccumulateBlockAvx2(tri, items, cs, count, active, words,
+                               dev, num, den);
+        return;
+#else
+    case SimdLevel::Avx512:
+    case SimdLevel::Avx2:
+#endif
+    case SimdLevel::Scalar:
+        break;
+    }
+    knnAccumulateBlockScalar(tri, items, cs, count, active, words, dev,
+                             num, den);
+}
+
+} // namespace simd
+
+} // namespace cooper

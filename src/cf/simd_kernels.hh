@@ -1,0 +1,151 @@
+/**
+ * @file
+ * SIMD-dispatched CF kernels: packed-column similarity and the kNN
+ * deviation accumulation.
+ *
+ * Bit-identity contract. The scalar similarity kernel (PR 3's packed
+ * rewrite, kept verbatim as scalarPackedSimilarity) is the reference;
+ * goldens, the incremental predictor, and the online summaries all
+ * pin its exact floating-point results. The vector tiers therefore do
+ * NOT vectorize a single pair's reduction — reassociating the adds
+ * would change the rounding. Instead each vector lane owns one whole
+ * work item (one (a,b) column pair, or one target column of a kNN
+ * row) and performs its own accumulation in the scalar order:
+ *
+ *  - Rows are visited in ascending index order, walking the set bits
+ *    of the union of the lanes' co-rated masks.
+ *  - A lane whose mask lacks the row contributes exactly +0.0 to each
+ *    of its accumulators (values are zero-masked before the add).
+ *    This is bitwise a no-op: an IEEE-754 accumulator that starts at
+ *    +0.0 and only ever adds values can never become -0.0 under
+ *    round-to-nearest, and x + (+0.0) == x for every x != -0.0.
+ *  - The vector translation units are compiled with -ffp-contract=off
+ *    and without -mfma, so the scalar mul+add pairs are never fused.
+ *
+ * Every entry point takes an explicit SimdLevel; a level above what
+ * the binary or CPU provides falls back tier by tier (the dispatchers
+ * re-check availability), so callers can pass activeSimdLevel()
+ * unconditionally and tests can force any tier.
+ */
+
+#ifndef COOPER_CF_SIMD_KERNELS_HH
+#define COOPER_CF_SIMD_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cf/sparse_matrix.hh"
+#include "util/simd.hh"
+
+namespace cooper {
+
+enum class Similarity; // cf/item_knn.hh
+
+namespace simd {
+
+/** Widest lane count any tier uses (AVX-512: 8 doubles). */
+constexpr std::size_t kMaxLanes = 8;
+
+/** Column pairs (or kNN targets) the given tier packs per block. */
+constexpr std::size_t
+laneCount(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::Avx512:
+        return 8;
+    case SimdLevel::Avx2:
+        return 4;
+    case SimdLevel::Scalar:
+        break;
+    }
+    return 1;
+}
+
+/**
+ * PR 3's scalar packed-column similarity, verbatim: the reference
+ * every vector tier must reproduce bit-for-bit.
+ */
+double scalarPackedSimilarity(const double *va, const double *vb,
+                              const std::uint64_t *ma,
+                              const std::uint64_t *mb, std::size_t words,
+                              Similarity kind, std::size_t min_overlap);
+
+/**
+ * Shared epilogue: one pair's accumulators to the similarity value.
+ * Exactly the scalar kernel's tail, factored so every tier finishes
+ * identically.
+ */
+double finishSimilarity(Similarity kind, std::size_t min_overlap,
+                        std::size_t overlap, double dot, double na,
+                        double nb, double sum_a, double sum_b);
+
+/**
+ * Similarity of column `a` against `count` columns `bs[0..count)`:
+ * out[k] = sim(a, bs[k]), each bit-identical to the scalar kernel.
+ * `count` may exceed one vector block; the tiers loop internally.
+ */
+void similarityBlock(const PackedColumns &packed, std::size_t a,
+                     const std::size_t *bs, std::size_t count,
+                     Similarity kind, std::size_t min_overlap,
+                     SimdLevel level, double *out);
+
+/**
+ * Uncapped kNN accumulation for `count` target columns of one row.
+ * `tri` is SimilarityTriangle's packed upper-triangle storage over
+ * `items` columns (flat index a*(items-1) - a*(a-1)/2 + (b-a-1) for
+ * a < b). For each target c = cs[k], over neighbor columns c2 with
+ * bit c2 set in active[k] (ascending c2, c2 == c never set),
+ * accumulate
+ *   num[k] += sim(c, c2) * dev[c2];  den[k] += sim(c, c2);
+ * bit-identical to the scalar per-cell gather in predictPass.
+ *
+ * @param active Per-target masks of usable neighbors (`words` 64-bit
+ *        words each): row-known AND positive-similarity.
+ * @param dev The row's deviation vector (rdev in predictPass).
+ */
+void knnAccumulateBlock(const double *tri, std::size_t items,
+                        const std::size_t *cs, std::size_t count,
+                        const std::uint64_t *const *active,
+                        std::size_t words, const double *dev,
+                        SimdLevel level, double *num, double *den);
+
+// Per-tier entry points, used by the dispatchers above and directly
+// by the differential tests. The AVX2/AVX-512 symbols exist only when
+// the vector translation units are compiled in (COOPER_SIMD_X86).
+
+void similarityBlockScalar(const PackedColumns &packed, std::size_t a,
+                           const std::size_t *bs, std::size_t count,
+                           Similarity kind, std::size_t min_overlap,
+                           double *out);
+void knnAccumulateBlockScalar(const double *tri, std::size_t items,
+                              const std::size_t *cs, std::size_t count,
+                              const std::uint64_t *const *active,
+                              std::size_t words, const double *dev,
+                              double *num, double *den);
+
+#if defined(COOPER_SIMD_X86)
+void similarityBlockAvx2(const PackedColumns &packed, std::size_t a,
+                         const std::size_t *bs, std::size_t count,
+                         Similarity kind, std::size_t min_overlap,
+                         double *out);
+void knnAccumulateBlockAvx2(const double *tri, std::size_t items,
+                            const std::size_t *cs, std::size_t count,
+                            const std::uint64_t *const *active,
+                            std::size_t words, const double *dev,
+                            double *num, double *den);
+void similarityBlockAvx512(const PackedColumns &packed, std::size_t a,
+                           const std::size_t *bs, std::size_t count,
+                           Similarity kind, std::size_t min_overlap,
+                           double *out);
+void knnAccumulateBlockAvx512(const double *tri, std::size_t items,
+                              const std::size_t *cs, std::size_t count,
+                              const std::uint64_t *const *active,
+                              std::size_t words, const double *dev,
+                              double *num, double *den);
+#endif
+
+} // namespace simd
+
+} // namespace cooper
+
+#endif // COOPER_CF_SIMD_KERNELS_HH

@@ -25,6 +25,28 @@ DisutilityTable::DisutilityTable(std::size_t agents,
     });
 }
 
+void
+DisutilityTable::refreshRows(const std::vector<AgentId> &rows,
+                             const DisutilityFn &fn,
+                             std::size_t threads)
+{
+    fatalIf(empty(), "DisutilityTable::refreshRows: table not built");
+    // Deduplicate so a row is written by exactly one iteration.
+    std::vector<AgentId> todo(rows);
+    std::sort(todo.begin(), todo.end());
+    todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+    fatalIf(!todo.empty() && todo.back() >= agents_,
+            "DisutilityTable::refreshRows: row ", todo.back(),
+            " out of range (", agents_, " agents)");
+    parallelFor(0, todo.size(), threads, [&](std::size_t k) {
+        const AgentId a = todo[k];
+        double *row = data_.data() + a * candidates_;
+        for (std::size_t b = 0; b < candidates_; ++b)
+            row[b] = fn(a, b);
+        rowMin_[a] = *std::min_element(row, row + candidates_);
+    });
+}
+
 DisutilityFn
 DisutilityTable::fn() const
 {

@@ -73,6 +73,17 @@ class DisutilityTable
      */
     double rowMin(AgentId a) const { return rowMin_[a]; }
 
+    /**
+     * Re-evaluate `fn` over just the listed rows (duplicates fine),
+     * refreshing their rowMin bounds; all other rows keep their
+     * snapshot. After the call the refreshed rows are exactly what a
+     * full rebuild against `fn` would hold, so a caller that lists
+     * every row whose answers changed ends with a table bit-identical
+     * to a from-scratch build — at O(rows * candidates) cost.
+     */
+    void refreshRows(const std::vector<AgentId> &rows,
+                     const DisutilityFn &fn, std::size_t threads = 1);
+
     /** Adapter to the functional interface; the table must outlive
      *  the returned closure. */
     DisutilityFn fn() const;

@@ -235,6 +235,69 @@ OnlineDriver::departLive(JobUid uid)
     return true;
 }
 
+RepairOutcome
+OnlineDriver::repairIncremental(const ColocationInstance &instance,
+                                const Matching &previous, Rng &rng)
+{
+    const std::size_t threads = config_.execution.threads;
+    const std::size_t n = live_.size();
+    const std::size_t ntypes = catalog_->size();
+    const PenaltyMatrix &believed = instance.believed();
+
+    // Diff against the previous epoch. A believed-disutility entry
+    // d(a, b) is believed(type_a, type_b) plus a jitter that depends
+    // only on the indices (a, b), so row a of the table changes only
+    // when slot a holds a different job or the believed row of a's
+    // type was re-predicted. A changed slot b also perturbs every
+    // other row's b-th column — the pairs touching b, which the
+    // bounds rescan via b's own dirtiness — so the cached table can
+    // only be refreshed row-wise when no slot moved.
+    const bool same_population = lastUids_.size() == n &&
+                                 believedTable_.agents() == n &&
+                                 lastBelieved_.size() == ntypes;
+    std::vector<AgentId> dirty;
+    bool any_slot_changed = false;
+    if (same_population) {
+        std::vector<std::uint8_t> type_row_changed(ntypes, 0);
+        for (std::size_t t1 = 0; t1 < ntypes; ++t1)
+            for (std::size_t t2 = 0; t2 < ntypes; ++t2)
+                if (believed(t1, t2) != lastBelieved_(t1, t2)) {
+                    type_row_changed[t1] = 1;
+                    break;
+                }
+        for (AgentId i = 0; i < n; ++i) {
+            if (live_[i].uid != lastUids_[i]) {
+                dirty.push_back(i);
+                any_slot_changed = true;
+            } else if (type_row_changed[live_[i].type]) {
+                dirty.push_back(i);
+            }
+        }
+    }
+
+    if (!same_population || any_slot_changed) {
+        believedTable_ = instance.believedTable(threads);
+    } else if (!dirty.empty()) {
+        believedTable_.refreshRows(
+            dirty,
+            [&instance](AgentId a, AgentId b) {
+                return instance.believedDisutility(a, b);
+            },
+            threads);
+    }
+
+    RepairOutcome out =
+        repairer_.repair(instance, previous, rng, threads,
+                         believedTable_, bounds_, dirty,
+                         /*rebuild_bounds=*/!same_population);
+
+    lastUids_.resize(n);
+    for (AgentId i = 0; i < n; ++i)
+        lastUids_[i] = live_[i].uid;
+    lastBelieved_ = believed;
+    return out;
+}
+
 Matching
 OnlineDriver::carriedMatching() const
 {
@@ -515,8 +578,11 @@ OnlineDriver::stepEpoch(EventQueue &queue, OnlineReport &report)
 
         const Matching prev = carriedMatching();
         Rng rng = base_.substream(kPolicyStream).substream(epoch_);
-        const RepairOutcome out = repairer_.repair(
-            instance, prev, rng, config_.execution.threads);
+        const RepairOutcome out =
+            online.incrementalBlocking
+                ? repairIncremental(instance, prev, rng)
+                : repairer_.repair(instance, prev, rng,
+                                   config_.execution.threads);
 
         stats.blockingBefore = out.blockingBefore;
         stats.blockingAfter = out.blockingAfter;
@@ -541,6 +607,10 @@ OnlineDriver::stepEpoch(EventQueue &queue, OnlineReport &report)
         // Nobody to pair. A lone survivor of a departed pair was
         // already widowed by departLive.
         partner_.clear();
+        // The population collapsed; any cached blocking state is for
+        // a vanished agent set.
+        lastUids_.clear();
+        bounds_.invalidate();
     }
 
     stats.population = live_.size();
@@ -778,6 +848,13 @@ OnlineDriver::restore(const OnlineState &state)
     checkpointFailures_ = state.checkpointFailures;
 
     predictor_.reset(state.ratings);
+
+    // The cached blocking state belongs to the pre-restore timeline;
+    // the first epoch after a restore rebuilds it.
+    lastUids_.clear();
+    lastBelieved_ = PenaltyMatrix(0);
+    believedTable_ = DisutilityTable();
+    bounds_.invalidate();
 }
 
 void

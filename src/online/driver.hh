@@ -43,6 +43,8 @@
 
 #include "core/framework.hh"
 #include "fault/plan.hh"
+#include "matching/blocking_incremental.hh"
+#include "matching/disutility.hh"
 #include "fault/quarantine.hh"
 #include "online/admission.hh"
 #include "online/events.hh"
@@ -317,6 +319,17 @@ class OnlineDriver
     /** Previous matching mapped onto current agent indices. */
     Matching carriedMatching() const;
 
+    /**
+     * Repair with incrementally maintained blocking bounds
+     * (online.incrementalBlocking): diffs the believed matrix and the
+     * live-slot sequence against the previous epoch to find the
+     * disutility rows that changed, refreshes the cached table and
+     * bounds accordingly, and hands both to the repairing policy.
+     * Decisions are bit-identical to the plain repair() path.
+     */
+    RepairOutcome repairIncremental(const ColocationInstance &instance,
+                                    const Matching &previous, Rng &rng);
+
     const Catalog *catalog_;
     const InterferenceModel *model_;
     FrameworkConfig config_;
@@ -340,6 +353,16 @@ class OnlineDriver
 
     std::vector<LiveJob> live_;
     std::map<JobUid, JobUid> partner_;
+
+    /** Incremental-blocking caches (see repairIncremental): the
+     *  previous epoch's uid-per-slot sequence and believed matrix
+     *  diff into the dirty-row set; the believed table and pair
+     *  bounds survive across epochs and refresh row-wise. Cleared by
+     *  restore() and population collapse — the next epoch rebuilds. */
+    std::vector<JobUid> lastUids_;
+    PenaltyMatrix lastBelieved_{0};
+    DisutilityTable believedTable_;
+    BlockingBounds bounds_;
 
     std::uint64_t epoch_ = 0;
     std::size_t totalArrivals_ = 0;

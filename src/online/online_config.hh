@@ -84,6 +84,14 @@ struct OnlineConfig
      */
     bool incremental = true;
 
+    /**
+     * Maintain blocking-pair status incrementally across epochs
+     * (BlockingBounds) instead of re-scanning all O(n^2) pairs every
+     * repair. Off forces the full scans (the bench's baseline);
+     * decisions — and the run summary — are bit-identical either way.
+     */
+    bool incrementalBlocking = true;
+
     // -- Degradation ladder (see DESIGN.md, "Fault plane & degradation
     // ladder"). These knobs only matter when a FaultPlan is active or
     // a probe budget is set; with the inert default plan the service

@@ -31,16 +31,64 @@ RepairingPolicy::repair(const ColocationInstance &instance,
 {
     const TraceSpan span("online.repair", "online");
     const ScopedTimer timer("online.repair_seconds");
-    const std::size_t n = instance.agents();
-    panicIf(previous.size() != n,
+    panicIf(previous.size() != instance.agents(),
             "RepairingPolicy: previous matching covers ",
-            previous.size(), " agents, instance has ", n);
+            previous.size(), " agents, instance has ",
+            instance.agents());
+    const DisutilityTable believed = instance.believedTable(threads);
+    return repairImpl(instance, previous, rng, threads, believed,
+                      nullptr);
+}
+
+RepairOutcome
+RepairingPolicy::repair(const ColocationInstance &instance,
+                        const Matching &previous, Rng &rng,
+                        std::size_t threads,
+                        const DisutilityTable &believed,
+                        BlockingBounds &bounds,
+                        const std::vector<AgentId> &dirty_rows,
+                        bool rebuild_bounds) const
+{
+    const TraceSpan span("online.repair", "online");
+    const ScopedTimer timer("online.repair_seconds");
+    panicIf(previous.size() != instance.agents(),
+            "RepairingPolicy: previous matching covers ",
+            previous.size(), " agents, instance has ",
+            instance.agents());
+    if (rebuild_bounds)
+        bounds.rebuild(previous, believed, alpha_, threads);
+    else
+        bounds.update(previous, believed, alpha_, dirty_rows, threads);
+    return repairImpl(instance, previous, rng, threads, believed,
+                      &bounds);
+}
+
+RepairOutcome
+RepairingPolicy::repairImpl(const ColocationInstance &instance,
+                            const Matching &previous, Rng &rng,
+                            std::size_t threads,
+                            const DisutilityTable &believed,
+                            BlockingBounds *bounds) const
+{
+    const std::size_t n = instance.agents();
 
     RepairOutcome out;
     const auto policy = makePolicy(policy_);
-    const DisutilityTable believed = instance.believedTable(threads);
+    // The bounds hold exactly the pairs (and gains) the scan would
+    // find; both branches feed identical data downstream.
     const auto blocking =
-        findBlockingPairs(previous, believed, alpha_, threads);
+        bounds != nullptr
+            ? bounds->pairs(believed)
+            : findBlockingPairs(previous, believed, alpha_, threads);
+    const auto countAfter = [&](const Matching &matching) {
+        if (bounds == nullptr)
+            return countBlockingPairs(matching, believed, alpha_,
+                                      threads);
+        // Partner churn from the repair is detected internally; the
+        // table did not change, so no rows are dirty.
+        bounds->update(matching, believed, alpha_, {}, threads);
+        return bounds->count();
+    };
     out.blockingBefore = blocking.size();
 
     // Degraded past the threshold: local patching would chase its own
@@ -49,8 +97,7 @@ RepairingPolicy::repair(const ColocationInstance &instance,
         out.fullRematch = true;
         out.repairedAgents = n;
         out.matching = policy->assign(instance, rng);
-        out.blockingAfter =
-            countBlockingPairs(out.matching, believed, alpha_, threads);
+        out.blockingAfter = countAfter(out.matching);
         if (MetricsRegistry *metrics = obsMetrics())
             metrics->counter("online.full_rematches").add(1);
         return out;
@@ -101,8 +148,7 @@ RepairingPolicy::repair(const ColocationInstance &instance,
             free_agents.push_back(a);
     out.repairedAgents = free_agents.size();
     if (free_agents.size() < 2) {
-        out.blockingAfter =
-            countBlockingPairs(out.matching, believed, alpha_, threads);
+        out.blockingAfter = countAfter(out.matching);
         if (MetricsRegistry *metrics = obsMetrics())
             metrics->counter("online.repair_noops").add(1);
         return out;
@@ -121,8 +167,7 @@ RepairingPolicy::repair(const ColocationInstance &instance,
     const Matching delta_matching = policy->assign(delta, rng);
     for (const auto &[i, j] : delta_matching.pairs())
         out.matching.pair(free_agents[i], free_agents[j]);
-    out.blockingAfter =
-        countBlockingPairs(out.matching, believed, alpha_, threads);
+    out.blockingAfter = countAfter(out.matching);
 
     if (MetricsRegistry *metrics = obsMetrics()) {
         metrics->counter("online.repaired_agents")

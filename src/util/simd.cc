@@ -1,0 +1,113 @@
+#include "simd.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+namespace {
+
+// Which tiers this binary carries. The vector translation units are
+// only compiled on x86-64 toolchains that accept the target flags
+// (see src/cf/CMakeLists.txt); everywhere else the dispatchers fall
+// through to scalar and detection must agree.
+constexpr bool kHasVectorTiers =
+#if defined(COOPER_SIMD_X86)
+    true;
+#else
+    false;
+#endif
+
+SimdLevel
+probeCpu()
+{
+    if (!kHasVectorTiers)
+        return SimdLevel::Scalar;
+#if defined(COOPER_SIMD_X86)
+    if (__builtin_cpu_supports("avx512f"))
+        return SimdLevel::Avx512;
+    if (__builtin_cpu_supports("avx2"))
+        return SimdLevel::Avx2;
+#endif
+    return SimdLevel::Scalar;
+}
+
+SimdLevel
+resolveActive()
+{
+    const SimdLevel detected = detectedSimdLevel();
+    const char *env = std::getenv("COOPER_SIMD");
+    if (env == nullptr || *env == '\0')
+        return detected;
+    const auto requested = parseSimdLevel(env);
+    fatalIf(!requested.has_value(),
+            "COOPER_SIMD=", env,
+            " is not a tier (expected scalar, avx2, or avx512)");
+    return std::min(detected, *requested);
+}
+
+// -1 = unresolved, otherwise a SimdLevel. The resolve is idempotent,
+// so a racing first call is harmless.
+std::atomic<int> g_active{-1};
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::Scalar:
+        return "scalar";
+    case SimdLevel::Avx2:
+        return "avx2";
+    case SimdLevel::Avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+std::optional<SimdLevel>
+parseSimdLevel(const std::string &name)
+{
+    if (name == "scalar")
+        return SimdLevel::Scalar;
+    if (name == "avx2")
+        return SimdLevel::Avx2;
+    if (name == "avx512")
+        return SimdLevel::Avx512;
+    return std::nullopt;
+}
+
+SimdLevel
+detectedSimdLevel()
+{
+    static const SimdLevel detected = probeCpu();
+    return detected;
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    int cached = g_active.load(std::memory_order_relaxed);
+    if (cached < 0) {
+        cached = static_cast<int>(resolveActive());
+        g_active.store(cached, std::memory_order_relaxed);
+    }
+    return static_cast<SimdLevel>(cached);
+}
+
+void
+setSimdOverrideForTesting(std::optional<SimdLevel> level)
+{
+    if (!level.has_value()) {
+        g_active.store(-1, std::memory_order_relaxed);
+        return;
+    }
+    const SimdLevel clamped = std::min(detectedSimdLevel(), *level);
+    g_active.store(static_cast<int>(clamped), std::memory_order_relaxed);
+}
+
+} // namespace cooper

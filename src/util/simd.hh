@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Runtime SIMD level detection and selection.
+ *
+ * Kernels that carry a vectorized variant take an explicit SimdLevel
+ * so tests can force every tier; production call sites pass
+ * activeSimdLevel(), which is the highest tier this binary compiled
+ * in AND this CPU supports, optionally lowered by the COOPER_SIMD
+ * environment override (`scalar`, `avx2`, or `avx512`).
+ *
+ * Contract: every tier of every dispatched kernel is bit-identical to
+ * the scalar tier — vector lanes hold independent work items, each
+ * accumulated in the scalar order (see DESIGN.md "SIMD dispatch &
+ * incremental blocking bounds"). Selecting a tier is therefore purely
+ * a performance decision; overrides can never change results.
+ */
+
+#ifndef COOPER_UTIL_SIMD_HH
+#define COOPER_UTIL_SIMD_HH
+
+#include <optional>
+#include <string>
+
+namespace cooper {
+
+/** Vector instruction tiers, ordered by capability. */
+enum class SimdLevel
+{
+    Scalar = 0,
+    Avx2 = 1,
+    Avx512 = 2,
+};
+
+/** Human-readable tier name ("scalar", "avx2", "avx512"). */
+const char *simdLevelName(SimdLevel level);
+
+/** Parse a tier name; nullopt for anything unrecognized. */
+std::optional<SimdLevel> parseSimdLevel(const std::string &name);
+
+/** Highest tier both compiled into this binary and supported by the
+ *  running CPU. Detected once, then cached. */
+SimdLevel detectedSimdLevel();
+
+/**
+ * The tier production call sites should use: detectedSimdLevel(),
+ * lowered to the COOPER_SIMD override when one is set. An override
+ * above the detected tier clamps down to it (so COOPER_SIMD=avx2 is
+ * safe on any machine); an unrecognized value is fatal (a CI leg with
+ * a typo must not silently run the wrong tier). Read once, then
+ * cached; setSimdOverrideForTesting replaces the cache.
+ */
+SimdLevel activeSimdLevel();
+
+/**
+ * Test hook: force activeSimdLevel() to min(level, detected), or
+ * restore the COOPER_SIMD/default behavior with nullopt. Not
+ * thread-safe against concurrent activeSimdLevel() callers; call it
+ * only between parallel regions (tests do).
+ */
+void setSimdOverrideForTesting(std::optional<SimdLevel> level);
+
+} // namespace cooper
+
+#endif // COOPER_UTIL_SIMD_HH

@@ -168,6 +168,75 @@ TEST(KernelEquivalence, PredictHandlesNonSquareMatrices)
     }
 }
 
+TEST(KernelEquivalence, EdgeShapesMatchBaseline)
+{
+    // Degenerate shapes the random rounds above hit rarely or never:
+    // a 1x1 catalog, columns with no known cells, masks shorter than
+    // one 64-bit word, and duplicate columns (zero variance, so the
+    // Pearson/adjusted-cosine denominators vanish). SparseMatrix
+    // rejects 0x0, so n = 1 is the smallest buildable catalog.
+    std::vector<SparseMatrix> shapes;
+
+    SparseMatrix one(1, 1);
+    one.set(0, 0, 0.3);
+    shapes.push_back(one);
+
+    // Columns 3..5 entirely unknown; rows 4+ entirely unknown too.
+    SparseMatrix sparse_cols(12, 6);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            sparse_cols.set(r, c, 0.1 * double(r + 1) + 0.01 * double(c));
+    shapes.push_back(sparse_cols);
+
+    // Two rows: every column mask fits far inside one word.
+    SparseMatrix tiny_rows(2, 5);
+    tiny_rows.set(0, 0, 0.4);
+    tiny_rows.set(0, 2, 0.2);
+    tiny_rows.set(1, 0, 0.6);
+    tiny_rows.set(1, 3, 0.5);
+    shapes.push_back(tiny_rows);
+
+    // Columns 1 and 2 duplicate column 0 exactly; column 3 is
+    // constant (zero variance after centering).
+    SparseMatrix duplicates(6, 4);
+    for (std::size_t r = 0; r < 6; ++r) {
+        const double v = 0.05 * double(r + 1);
+        duplicates.set(r, 0, v);
+        duplicates.set(r, 1, v);
+        duplicates.set(r, 2, v);
+        duplicates.set(r, 3, 0.25);
+    }
+    shapes.push_back(duplicates);
+
+    const Similarity kinds[] = {Similarity::Cosine,
+                                Similarity::AdjustedCosine,
+                                Similarity::Pearson};
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+        const SparseMatrix &m = shapes[s];
+        for (Similarity kind : kinds) {
+            ItemKnnConfig config;
+            config.similarity = kind;
+            config.minOverlap = 1;
+            const auto sim_baseline = baselineSimilarityMatrix(m, config);
+            const Prediction baseline = baselinePredict(m, config);
+            for (std::size_t threads : kThreadCounts) {
+                config.threads = threads;
+                const ItemKnnPredictor predictor(config);
+                EXPECT_TRUE(
+                    sameDense(sim_baseline, predictor.similarityMatrix(m)))
+                    << "shape " << s << " kind "
+                    << static_cast<int>(kind) << " threads " << threads;
+                const Prediction optimized = predictor.predict(m);
+                EXPECT_TRUE(sameDense(baseline.dense, optimized.dense))
+                    << "shape " << s << " kind "
+                    << static_cast<int>(kind) << " threads " << threads;
+                EXPECT_EQ(baseline.fallbackCells,
+                          optimized.fallbackCells);
+            }
+        }
+    }
+}
+
 /** Random even matching plus a continuous penalty table. */
 struct BlockingInstance
 {

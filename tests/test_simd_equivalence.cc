@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Differential tests for the SIMD-dispatched CF kernels.
+ *
+ * The bit-identity contract (cf/simd_kernels.hh) says every vector
+ * tier reproduces the scalar reference exactly — same accumulation
+ * order, same rounding, same tie-breaks — so a tier is purely a
+ * performance choice. This file enforces that at three layers:
+ *
+ *  1. the raw block kernels (similarityBlock / knnAccumulateBlock),
+ *     calling each tier's entry point directly and memcmp-ing doubles;
+ *  2. the full predictor (similarityTriangle, updateSimilarityTriangle,
+ *     predict) under setSimdOverrideForTesting, at threads 1/2/8;
+ *  3. the dispatch plumbing itself (parse, clamp, override).
+ *
+ * Tiers the running CPU lacks are skipped (the dispatcher clamps), so
+ * the file passes — vacuously thinner — on any machine. It is part of
+ * the asan and tsan suites: the masked gathers and tiled fills are
+ * exactly the code those sanitizers should vet.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cf/item_knn.hh"
+#include "cf/simd_kernels.hh"
+#include "cf/sparse_matrix.hh"
+#include "util/rng.hh"
+#include "util/simd.hh"
+
+namespace {
+
+using namespace cooper;
+
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+/** Tiers this binary can actually run, scalar first. */
+std::vector<SimdLevel>
+availableTiers()
+{
+    std::vector<SimdLevel> tiers{SimdLevel::Scalar};
+#if defined(COOPER_SIMD_X86)
+    if (detectedSimdLevel() >= SimdLevel::Avx2)
+        tiers.push_back(SimdLevel::Avx2);
+    if (detectedSimdLevel() >= SimdLevel::Avx512)
+        tiers.push_back(SimdLevel::Avx512);
+#endif
+    return tiers;
+}
+
+/** Pins activeSimdLevel() for a scope, then restores the env-derived
+ *  default so later tests (and the COOPER_SIMD CI legs) see it. */
+struct SimdOverrideGuard
+{
+    explicit SimdOverrideGuard(SimdLevel level)
+    {
+        setSimdOverrideForTesting(level);
+    }
+    ~SimdOverrideGuard() { setSimdOverrideForTesting(std::nullopt); }
+};
+
+bool
+sameBits(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return a.empty() ||
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(double)) == 0;
+}
+
+bool
+sameDense(const std::vector<std::vector<double>> &a,
+          const std::vector<std::vector<double>> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t r = 0; r < a.size(); ++r)
+        if (!sameBits(a[r], b[r]))
+            return false;
+    return true;
+}
+
+SparseMatrix
+randomSparse(std::size_t rows, std::size_t cols, double density,
+             Rng &rng)
+{
+    SparseMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            if (rng.uniform() < density)
+                m.set(r, c, rng.uniform() * 0.5);
+    return m;
+}
+
+/** similarityBlock at one tier, or the tier's direct entry point. */
+void
+runSimilarityTier(const PackedColumns &packed, std::size_t a,
+                  const std::vector<std::size_t> &bs, Similarity kind,
+                  std::size_t min_overlap, SimdLevel level, double *out)
+{
+    switch (level) {
+    case SimdLevel::Scalar:
+        simd::similarityBlockScalar(packed, a, bs.data(), bs.size(),
+                                    kind, min_overlap, out);
+        return;
+#if defined(COOPER_SIMD_X86)
+    case SimdLevel::Avx2:
+        simd::similarityBlockAvx2(packed, a, bs.data(), bs.size(), kind,
+                                  min_overlap, out);
+        return;
+    case SimdLevel::Avx512:
+        simd::similarityBlockAvx512(packed, a, bs.data(), bs.size(),
+                                    kind, min_overlap, out);
+        return;
+#endif
+    default:
+        FAIL() << "tier not compiled in";
+    }
+}
+
+void
+runKnnTier(const double *tri, std::size_t items,
+           const std::vector<std::size_t> &cs,
+           const std::uint64_t *const *active, std::size_t words,
+           const double *dev, SimdLevel level, double *num, double *den)
+{
+    switch (level) {
+    case SimdLevel::Scalar:
+        simd::knnAccumulateBlockScalar(tri, items, cs.data(), cs.size(),
+                                       active, words, dev, num, den);
+        return;
+#if defined(COOPER_SIMD_X86)
+    case SimdLevel::Avx2:
+        simd::knnAccumulateBlockAvx2(tri, items, cs.data(), cs.size(),
+                                     active, words, dev, num, den);
+        return;
+    case SimdLevel::Avx512:
+        simd::knnAccumulateBlockAvx512(tri, items, cs.data(), cs.size(),
+                                       active, words, dev, num, den);
+        return;
+#endif
+    default:
+        FAIL() << "tier not compiled in";
+    }
+}
+
+TEST(SimdDispatch, ParseRoundTripsAndRejectsJunk)
+{
+    EXPECT_EQ(parseSimdLevel("scalar"), SimdLevel::Scalar);
+    EXPECT_EQ(parseSimdLevel("avx2"), SimdLevel::Avx2);
+    EXPECT_EQ(parseSimdLevel("avx512"), SimdLevel::Avx512);
+    EXPECT_FALSE(parseSimdLevel("").has_value());
+    EXPECT_FALSE(parseSimdLevel("AVX2").has_value());
+    EXPECT_FALSE(parseSimdLevel("avx-512").has_value());
+    EXPECT_FALSE(parseSimdLevel("sse42").has_value());
+    for (SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2,
+                            SimdLevel::Avx512})
+        EXPECT_EQ(parseSimdLevel(simdLevelName(level)), level);
+}
+
+TEST(SimdDispatch, OverrideClampsToDetectedTier)
+{
+    const SimdLevel detected = detectedSimdLevel();
+    {
+        SimdOverrideGuard guard(SimdLevel::Scalar);
+        EXPECT_EQ(activeSimdLevel(), SimdLevel::Scalar);
+    }
+    {
+        // Requesting more than the CPU has clamps, never faults.
+        SimdOverrideGuard guard(SimdLevel::Avx512);
+        EXPECT_EQ(activeSimdLevel(), std::min(detected,
+                                              SimdLevel::Avx512));
+        EXPECT_LE(activeSimdLevel(), detected);
+    }
+    // After the guards, the cache re-resolves from the environment —
+    // honoring a COOPER_SIMD the CI legs may have set.
+    const char *env = std::getenv("COOPER_SIMD");
+    SimdLevel expected = detected;
+    if (env != nullptr && *env != '\0') {
+        const auto requested = parseSimdLevel(env);
+        ASSERT_TRUE(requested.has_value()) << "COOPER_SIMD=" << env;
+        expected = std::min(detected, *requested);
+    }
+    EXPECT_EQ(activeSimdLevel(), expected);
+}
+
+TEST(SimdKernels, SimilarityBlockMatchesScalarBitForBit)
+{
+    Rng rng(811);
+    const Similarity kinds[] = {Similarity::Cosine,
+                                Similarity::AdjustedCosine,
+                                Similarity::Pearson};
+    const auto tiers = availableTiers();
+    for (int round = 0; round < 10; ++round) {
+        // Rows sweep across the one-word boundary (masks shorter and
+        // longer than 64 bits); cols are deliberately not multiples of
+        // any lane width.
+        const std::size_t rows = 3 + (round * 23) % 97;
+        const std::size_t cols = 2 + (round * 13) % 31;
+        const double density = 0.15 + 0.12 * (round % 6);
+        const SparseMatrix m = randomSparse(rows, cols, density, rng);
+        const PackedColumns packed = m.packedColumns();
+        for (Similarity kind : kinds) {
+            for (std::size_t min_overlap : {1, 2, 3}) {
+                for (std::size_t a = 0; a < cols; ++a) {
+                    std::vector<std::size_t> bs;
+                    for (std::size_t b = 0; b < cols; ++b)
+                        if (b != a)
+                            bs.push_back(b);
+                    std::vector<double> expect(bs.size());
+                    // Per-pair scalar kernel is the ground truth the
+                    // block entry points must agree with.
+                    for (std::size_t k = 0; k < bs.size(); ++k)
+                        expect[k] = simd::scalarPackedSimilarity(
+                            packed.column(a), packed.column(bs[k]),
+                            packed.mask(a), packed.mask(bs[k]),
+                            packed.words(), kind, min_overlap);
+                    for (SimdLevel tier : tiers) {
+                        std::vector<double> out(bs.size(), -7.0);
+                        runSimilarityTier(packed, a, bs, kind,
+                                          min_overlap, tier,
+                                          out.data());
+                        EXPECT_TRUE(sameBits(expect, out))
+                            << "round " << round << " kind "
+                            << static_cast<int>(kind) << " overlap "
+                            << min_overlap << " a " << a << " tier "
+                            << simdLevelName(tier);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, SimilarityBlockHandlesDegenerateShapes)
+{
+    Rng rng(822);
+    const auto tiers = availableTiers();
+    // count == 0 must be a no-op at every tier.
+    {
+        const SparseMatrix m = randomSparse(8, 4, 0.5, rng);
+        const PackedColumns packed = m.packedColumns();
+        const std::vector<std::size_t> none;
+        for (SimdLevel tier : tiers) {
+            double sentinel = 42.0;
+            runSimilarityTier(packed, 1, none, Similarity::Cosine, 1,
+                              tier, &sentinel);
+            EXPECT_EQ(sentinel, 42.0) << simdLevelName(tier);
+        }
+    }
+    // Block sizes 1..2*kMaxLanes+1 cover every partial-tail shape,
+    // including blocks narrower than one vector.
+    const SparseMatrix m = randomSparse(50, 2 * simd::kMaxLanes + 2,
+                                        0.4, rng);
+    const PackedColumns packed = m.packedColumns();
+    for (std::size_t count = 1; count <= 2 * simd::kMaxLanes + 1;
+         ++count) {
+        std::vector<std::size_t> bs;
+        for (std::size_t b = 1; b <= count; ++b)
+            bs.push_back(b);
+        std::vector<double> expect(count, -7.0);
+        runSimilarityTier(packed, 0, bs, Similarity::Pearson, 2,
+                          SimdLevel::Scalar, expect.data());
+        for (SimdLevel tier : tiers) {
+            std::vector<double> out(count, -9.0);
+            runSimilarityTier(packed, 0, bs, Similarity::Pearson, 2,
+                              tier, out.data());
+            EXPECT_TRUE(sameBits(expect, out))
+                << "count " << count << " tier "
+                << simdLevelName(tier);
+        }
+    }
+    // All-unknown columns: overlap is zero everywhere, every tier
+    // must agree on the min-overlap rejection value.
+    SparseMatrix empty_cols(20, 6);
+    empty_cols.set(3, 0, 0.25); // one known cell in column 0 only
+    const PackedColumns packed_empty = empty_cols.packedColumns();
+    const std::vector<std::size_t> bs{1, 2, 3, 4, 5};
+    std::vector<double> expect(bs.size(), -7.0);
+    runSimilarityTier(packed_empty, 0, bs, Similarity::Cosine, 1,
+                      SimdLevel::Scalar, expect.data());
+    for (SimdLevel tier : tiers) {
+        std::vector<double> out(bs.size(), -9.0);
+        runSimilarityTier(packed_empty, 0, bs, Similarity::Cosine, 1,
+                          tier, out.data());
+        EXPECT_TRUE(sameBits(expect, out)) << simdLevelName(tier);
+    }
+}
+
+TEST(SimdKernels, KnnAccumulateBlockMatchesScalarBitForBit)
+{
+    Rng rng(833);
+    const auto tiers = availableTiers();
+    // Item counts straddle the 64-neighbor word boundary.
+    for (std::size_t items : {2u, 5u, 17u, 63u, 64u, 65u, 130u}) {
+        SimilarityTriangle tri(items);
+        for (std::size_t a = 0; a < items; ++a)
+            for (std::size_t b = a + 1; b < items; ++b)
+                tri.set(a, b, rng.uniform() * 2.0 - 1.0);
+        std::vector<double> dev(items);
+        for (double &d : dev)
+            d = rng.uniform() - 0.5;
+        const std::size_t words = (items + 63) / 64;
+        for (int round = 0; round < 6; ++round) {
+            // Random target set, random active-neighbor masks; a
+            // target is never its own neighbor.
+            std::vector<std::size_t> cs;
+            for (std::size_t c = 0; c < items; ++c)
+                if (rng.uniform() < 0.6)
+                    cs.push_back(c);
+            if (cs.empty())
+                cs.push_back(round % items);
+            std::vector<std::uint64_t> masks(cs.size() * words, 0);
+            std::vector<const std::uint64_t *> active(cs.size());
+            for (std::size_t k = 0; k < cs.size(); ++k) {
+                std::uint64_t *mask = masks.data() + k * words;
+                for (std::size_t c2 = 0; c2 < items; ++c2)
+                    if (c2 != cs[k] && rng.uniform() < 0.5)
+                        mask[c2 / 64] |= std::uint64_t(1) << (c2 % 64);
+                active[k] = mask;
+            }
+            std::vector<double> num0(cs.size(), -7.0);
+            std::vector<double> den0(cs.size(), -7.0);
+            runKnnTier(tri.data(), items, cs, active.data(), words,
+                       dev.data(), SimdLevel::Scalar, num0.data(),
+                       den0.data());
+            for (SimdLevel tier : tiers) {
+                std::vector<double> num(cs.size(), -9.0);
+                std::vector<double> den(cs.size(), -9.0);
+                runKnnTier(tri.data(), items, cs, active.data(), words,
+                           dev.data(), tier, num.data(), den.data());
+                EXPECT_TRUE(sameBits(num0, num))
+                    << "items " << items << " round " << round
+                    << " tier " << simdLevelName(tier);
+                EXPECT_TRUE(sameBits(den0, den))
+                    << "items " << items << " round " << round
+                    << " tier " << simdLevelName(tier);
+            }
+        }
+    }
+}
+
+TEST(SimdEquivalence, SimilarityTriangleIdenticalAcrossTiers)
+{
+    Rng rng(844);
+    const Similarity kinds[] = {Similarity::Cosine,
+                                Similarity::AdjustedCosine,
+                                Similarity::Pearson};
+    for (int round = 0; round < 4; ++round) {
+        const std::size_t rows = 6 + (round * 19) % 41;
+        const std::size_t cols = 5 + (round * 11) % 37;
+        const SparseMatrix m =
+            randomSparse(rows, cols, 0.2 + 0.15 * round, rng);
+        for (Similarity kind : kinds) {
+            ItemKnnConfig config;
+            config.similarity = kind;
+            std::optional<SimilarityTriangle> reference;
+            for (SimdLevel tier : availableTiers()) {
+                for (std::size_t threads : kThreadCounts) {
+                    config.threads = threads;
+                    SimdOverrideGuard guard(tier);
+                    const SimilarityTriangle tri =
+                        ItemKnnPredictor(config).similarityTriangle(m);
+                    if (!reference.has_value()) {
+                        reference = tri;
+                        continue;
+                    }
+                    ASSERT_EQ(reference->items(), tri.items());
+                    const std::size_t cells =
+                        cols > 1 ? cols * (cols - 1) / 2 : 0;
+                    EXPECT_TRUE(cells == 0 ||
+                                std::memcmp(reference->data(),
+                                            tri.data(),
+                                            cells * sizeof(double)) ==
+                                    0)
+                        << "round " << round << " kind "
+                        << static_cast<int>(kind) << " tier "
+                        << simdLevelName(tier) << " threads "
+                        << threads;
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdEquivalence, PredictIdenticalAcrossTiersAndThreads)
+{
+    Rng rng(855);
+    for (int round = 0; round < 3; ++round) {
+        const std::size_t n = 8 + (round * 9) % 22;
+        const SparseMatrix m =
+            randomSparse(n, n, 0.3 + 0.1 * round, rng);
+        for (std::size_t neighbors : {0, 4}) {
+            ItemKnnConfig config;
+            config.neighbors = neighbors;
+            config.bidirectional = true;
+            config.iterations = 2;
+            std::optional<Prediction> reference;
+            for (SimdLevel tier : availableTiers()) {
+                for (std::size_t threads : kThreadCounts) {
+                    config.threads = threads;
+                    SimdOverrideGuard guard(tier);
+                    const Prediction p =
+                        ItemKnnPredictor(config).predict(m);
+                    if (!reference.has_value()) {
+                        reference = p;
+                        continue;
+                    }
+                    EXPECT_TRUE(sameDense(reference->dense, p.dense))
+                        << "round " << round << " k " << neighbors
+                        << " tier " << simdLevelName(tier)
+                        << " threads " << threads;
+                    EXPECT_EQ(reference->iterations, p.iterations);
+                    EXPECT_EQ(reference->fallbackCells,
+                              p.fallbackCells);
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdEquivalence, PredictHandlesTinyCatalogsAtEveryTier)
+{
+    // A 1-column catalog has no column pairs at all (SparseMatrix
+    // rejects 0x0 outright); the tiled fill and the dispatchers must
+    // cope without touching the (empty) triangle.
+    for (SimdLevel tier : availableTiers()) {
+        SimdOverrideGuard guard(tier);
+        ItemKnnConfig config;
+
+        SparseMatrix one(1, 1);
+        one.set(0, 0, 0.125);
+        const Prediction p1 = ItemKnnPredictor(config).predict(one);
+        ASSERT_EQ(p1.dense.size(), 1u) << simdLevelName(tier);
+        EXPECT_EQ(p1.dense[0][0], 0.125) << simdLevelName(tier);
+
+        // One column pair, mask shorter than a word.
+        SparseMatrix two(3, 2);
+        two.set(0, 0, 0.5);
+        two.set(0, 1, 0.25);
+        two.set(1, 0, 0.75);
+        const Prediction p2 = ItemKnnPredictor(config).predict(two);
+        ASSERT_EQ(p2.dense.size(), 3u) << simdLevelName(tier);
+        EXPECT_EQ(p2.dense[0][0], 0.5) << simdLevelName(tier);
+        EXPECT_EQ(p2.dense[0][1], 0.25) << simdLevelName(tier);
+    }
+}
+
+TEST(SimdEquivalence, UpdateTriangleIdenticalAcrossTiers)
+{
+    Rng rng(866);
+    const std::size_t rows = 40;
+    const std::size_t cols = 23;
+    SparseMatrix m = randomSparse(rows, cols, 0.35, rng);
+    ItemKnnConfig config;
+    config.similarity = Similarity::AdjustedCosine;
+
+    // Base triangle at the scalar tier, then a batch of edits.
+    SimilarityTriangle base(0);
+    {
+        SimdOverrideGuard guard(SimdLevel::Scalar);
+        base = ItemKnnPredictor(config).similarityTriangle(m);
+    }
+    const std::size_t col_words = (cols + 63) / 64;
+    const std::size_t row_words = (rows + 63) / 64;
+    std::vector<std::uint64_t> dirty_cols(col_words, 0);
+    std::vector<std::uint64_t> dirty_rows(row_words, 0);
+    for (int edit = 0; edit < 12; ++edit) {
+        const std::size_t r = (edit * 7) % rows;
+        const std::size_t c = (edit * 5) % cols;
+        if (m.known(r, c) && edit % 3 == 0)
+            m.clear(r, c);
+        else
+            m.set(r, c, rng.uniform());
+        dirty_cols[c / 64] |= std::uint64_t(1) << (c % 64);
+        dirty_rows[r / 64] |= std::uint64_t(1) << (r % 64);
+    }
+    SimilarityTriangle expect(0);
+    {
+        SimdOverrideGuard guard(SimdLevel::Scalar);
+        expect = ItemKnnPredictor(config).similarityTriangle(m);
+    }
+    const std::size_t cells = cols * (cols - 1) / 2;
+    for (SimdLevel tier : availableTiers()) {
+        for (std::size_t threads : kThreadCounts) {
+            config.threads = threads;
+            SimdOverrideGuard guard(tier);
+            SimilarityTriangle sim = base;
+            const std::size_t recomputed = updateSimilarityTriangle(
+                m, config, sim, dirty_cols, dirty_rows);
+            EXPECT_GT(recomputed, 0u);
+            EXPECT_TRUE(std::memcmp(expect.data(), sim.data(),
+                                    cells * sizeof(double)) == 0)
+                << "tier " << simdLevelName(tier) << " threads "
+                << threads;
+        }
+    }
+}
+
+} // namespace

@@ -6,7 +6,7 @@
  * "schema" field:
  *
  *  - "cooper.bench_kernels.v1" (bench_regression): a workload object
- *    with the run's dimensions, and a phases object holding the five
+ *    with the run's dimensions, and a phases object holding the seven
  *    kernel phases;
  *  - "cooper.bench_online.v1" (bench_online): the online-service
  *    workload shape, a phases object with the warm-started `predict`
@@ -60,8 +60,9 @@ constexpr const char *kOnlineSchema = "cooper.bench_online.v1";
 constexpr const char *kFaultsSchema = "cooper.bench_faults.v1";
 constexpr const char *kShardSchema = "cooper.bench_shard.v1";
 
-const char *const kKernelPhases[] = {"similarity", "predict", "matching",
-                                     "blocking", "shapley"};
+const char *const kKernelPhases[] = {
+    "similarity", "simd_similarity",      "predict", "matching",
+    "blocking",   "blocking_incremental", "shapley"};
 
 const char *const kKernelWorkloadFields[] = {
     "matrix",        "population", "samples", "shapley_agents",

@@ -5,7 +5,8 @@
 # schema and the exact-equivalence bits are checked here — speedup and
 # efficiency floors are timing-sensitive and belong to manual
 # full-size runs
-# (bench_json --min-speedup similarity=3,blocking=2,
+# (bench_json --min-speedup
+#      similarity=3,simd_similarity=1.5,blocking=2,blocking_incremental=3,
 #  bench_json --file BENCH_online.json --min-speedup predict=1.5, and
 #  bench_json --file BENCH_shard.json --min-efficiency k2=0.5).
 # Corrupt documents (empty file, truncated write) must be rejected:
