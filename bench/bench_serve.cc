@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Service-plane throughput harness: serves one churn trace over real
+ * loopback TCP — the in-process load generator replaying it from N
+ * concurrent connections — and emits a schema-stable BENCH_serve.json
+ * (schema "cooper.bench_serve.v1") that tools/bench_json validates.
+ *
+ * Two phases are reported:
+ *
+ *  - serve:          whole-run client wall clock of the batched
+ *                    server, timed for trend tracking
+ *                    (optimized_only). The document's latency object
+ *                    carries this run's sustained arrivals/sec and
+ *                    the p50/p99/p999 of per-message RTT and
+ *                    per-epoch completion latency.
+ *  - batched_decode: the same trace served by the per-message-syscall
+ *                    baseline (one epoll wakeup, two reads, and one
+ *                    write per frame) vs. the batched server
+ *                    (drain-until-EAGAIN, single decode pass, writev
+ *                    coalescing). `identical` holds both served
+ *                    summaries byte-equal to the in-process
+ *                    OnlineDriver replay — the net plane must never
+ *                    change a decision, only its transport cost.
+ *
+ * The trace shape is deliberately decode-heavy (many events per
+ * epoch, small population) so the phase measures the framing hot
+ * path, not the matching work behind it.
+ *
+ * --tiny shrinks the trace for the `ctest -L bench-smoke` run; the
+ * speedup acceptance number (batched >= 1.1x per-message) is enforced
+ * there and meant to be re-checked at the default sizes:
+ *
+ *   bench_serve && bench_json --file BENCH_serve.json \
+ *       --min-speedup batched_decode=1.1
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+#include "net/service_plane.hh"
+#include "obs/obs.hh"
+#include "online/churn.hh"
+#include "online/driver.hh"
+#include "sim/interference.hh"
+#include "util/cli.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "workload/catalog.hh"
+
+namespace {
+
+using namespace cooper;
+
+/** One phase row of the JSON document. */
+struct PhaseResult
+{
+    std::string name;
+    std::string mode; //!< "baseline_vs_optimized" or "optimized_only"
+    double baselineSeconds = 0.0;
+    double optimizedSeconds = 0.0;
+    double speedup = 0.0; //!< 0 in optimized_only mode
+    bool identical = true;
+    std::string metric; //!< backing MetricsRegistry counter
+    std::uint64_t metricCount = 0;
+    double metricSum = 0.0;
+};
+
+/** One served replay: client-side stats plus server-side counters. */
+struct ServedRun
+{
+    std::string summary; //!< the Summary bytes every client received
+    net::LoadGenStats stats;
+    std::uint64_t readSyscalls = 0;
+    std::uint64_t writeSyscalls = 0;
+    std::uint64_t framesIn = 0;
+    std::uint64_t epochsServed = 0;
+};
+
+/** Full-precision JSON number. */
+std::string
+jsonNum(double value)
+{
+    std::ostringstream out;
+    out << std::setprecision(17) << value;
+    return out.str();
+}
+
+std::uint64_t
+counterValue(const MetricsSnapshot &snapshot, const std::string &name)
+{
+    for (const auto &[counter, value] : snapshot.counters)
+        if (counter == name)
+            return value;
+    return 0;
+}
+
+/**
+ * Serve `trace` over loopback TCP: an EpollServer on its own thread,
+ * the load generator replaying from `connections` client sockets.
+ */
+ServedRun
+serveOnce(const Catalog &catalog, const InterferenceModel &model,
+          const FrameworkConfig &config, std::uint64_t seed,
+          const ChurnTrace &trace, std::size_t connections,
+          bool batched)
+{
+    ObsConfig obs_config;
+    obs_config.metrics = true;
+    const ObsScope obs(obs_config);
+
+    OnlineDriver driver(catalog, model, config, seed);
+    net::ServicePlane plane(catalog, driver);
+
+    net::ServerConfig server_config;
+    server_config.batched = batched;
+    net::EpollServer server(plane, server_config);
+
+    bool served = false;
+    std::thread serving([&] { served = server.runUntilServed(); });
+
+    net::LoadGenConfig client_config;
+    client_config.port = server.port();
+    client_config.connections = connections;
+    const net::LoadGenResult result = net::runLoadGen(trace, client_config);
+    serving.join();
+
+    if (!served)
+        throw std::runtime_error("serve run aborted: " +
+                                 server.lastError());
+    if (!result.ok)
+        throw std::runtime_error("load generator failed: " +
+                                 result.error);
+
+    MetricsRegistry *metrics = obsMetrics();
+    if (metrics == nullptr)
+        throw std::runtime_error("metrics session missing");
+    const MetricsSnapshot snapshot = metrics->snapshot();
+
+    ServedRun out;
+    out.summary = result.summary;
+    out.stats = result.stats;
+    out.readSyscalls = counterValue(snapshot, "net.read_syscalls");
+    out.writeSyscalls = counterValue(snapshot, "net.write_syscalls");
+    out.framesIn = counterValue(snapshot, "net.frames_in");
+    out.epochsServed = counterValue(snapshot, "net.epochs_served");
+    return out;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<std::pair<std::string, std::string>> &workload,
+          const std::vector<PhaseResult> &phases,
+          const std::vector<std::pair<std::string, double>> &latency)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write " + path);
+    out << "{\n  \"schema\": \"cooper.bench_serve.v1\",\n";
+    out << "  \"workload\": {";
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        out << (i ? ", " : "") << "\"" << workload[i].first
+            << "\": " << workload[i].second;
+    }
+    out << "},\n  \"phases\": {\n";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const PhaseResult &p = phases[i];
+        out << "    \"" << p.name << "\": {"
+            << "\"mode\": \"" << p.mode << "\", "
+            << "\"baseline_seconds\": " << jsonNum(p.baselineSeconds)
+            << ", \"optimized_seconds\": " << jsonNum(p.optimizedSeconds)
+            << ", \"speedup\": " << jsonNum(p.speedup)
+            << ", \"identical\": " << (p.identical ? "true" : "false")
+            << ", \"metric\": \"" << p.metric << "\""
+            << ", \"metric_count\": " << p.metricCount
+            << ", \"metric_sum\": " << jsonNum(p.metricSum) << "}"
+            << (i + 1 < phases.size() ? "," : "") << "\n";
+    }
+    out << "  },\n  \"latency\": {";
+    for (std::size_t i = 0; i < latency.size(); ++i) {
+        out << (i ? ", " : "") << "\"" << latency[i].first
+            << "\": " << jsonNum(latency[i].second);
+    }
+    out << "}\n}\n";
+    if (!out.flush())
+        throw std::runtime_error("failed writing " + path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliFlags flags;
+    flags.declare("arrivals", "2000", "churn-trace arrivals");
+    flags.declare("initial", "8", "jobs present at tick 0");
+    flags.declare("mean-gap", "2.0", "mean interarrival gap, ticks");
+    flags.declare("mean-life", "40.0", "mean job lifetime, ticks");
+    flags.declare("epoch-ticks", "400", "virtual-clock ticks per epoch");
+    flags.declare("connections", "4", "load-generator connections");
+    flags.declare("seed", "2017", "trace and service seed");
+    flags.declare("reps", "3", "timing repetitions (best-of)");
+    flags.declare("tiny", "false",
+                  "smoke-test sizes (arrivals 300, 1 rep)");
+    flags.declare("out", "BENCH_serve.json", "JSON output path");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    return cooper::bench::runHarness(
+        "Service plane: batched decode vs. per-message syscalls",
+        [&] {
+            const bool tiny = flags.getBool("tiny");
+            const auto seed =
+                static_cast<std::uint64_t>(flags.getInt("seed"));
+            const int reps =
+                tiny ? 1 : static_cast<int>(flags.getInt("reps"));
+            const auto connections = static_cast<std::size_t>(
+                flags.getInt("connections"));
+
+            ChurnConfig churn;
+            churn.arrivals = static_cast<std::size_t>(
+                tiny ? 300 : flags.getInt("arrivals"));
+            churn.initialJobs =
+                static_cast<std::size_t>(flags.getInt("initial"));
+            churn.meanInterarrivalTicks = flags.getDouble("mean-gap");
+            churn.meanLifetimeTicks = flags.getDouble("mean-life");
+
+            // Transport cost is what is being measured; the service
+            // itself runs serially so the decode path dominates.
+            FrameworkConfig config;
+            config.execution.threads = 1;
+            config.execution.online.epochTicks =
+                static_cast<std::uint64_t>(flags.getInt("epoch-ticks"));
+
+            const Catalog catalog = Catalog::paperTableI();
+            const InterferenceModel model(catalog);
+            Rng trace_rng(seed);
+            const ChurnTrace trace =
+                generateChurnTrace(catalog, churn, trace_rng);
+
+            // The determinism reference: the same trace replayed
+            // in-process, no sockets anywhere.
+            OnlineDriver reference(catalog, model, config, seed);
+            std::ostringstream reference_summary;
+            writeOnlineSummary(reference_summary,
+                               reference.run(trace));
+
+            // Best-of-reps on both transports; every rep's served
+            // summary must match the in-process bytes.
+            ServedRun batched, permsg;
+            bool identical = true;
+            for (int r = 0; r < reps; ++r) {
+                ServedRun fast =
+                    serveOnce(catalog, model, config, seed, trace,
+                              connections, /*batched=*/true);
+                ServedRun slow =
+                    serveOnce(catalog, model, config, seed, trace,
+                              connections, /*batched=*/false);
+                identical = identical &&
+                            fast.summary == reference_summary.str() &&
+                            slow.summary == reference_summary.str();
+                if (r == 0 ||
+                    fast.stats.wallSeconds < batched.stats.wallSeconds)
+                    batched = std::move(fast);
+                if (r == 0 ||
+                    slow.stats.wallSeconds < permsg.stats.wallSeconds)
+                    permsg = std::move(slow);
+            }
+
+            std::vector<PhaseResult> phases;
+            {
+                PhaseResult p;
+                p.name = "serve";
+                p.mode = "optimized_only";
+                p.optimizedSeconds = batched.stats.wallSeconds;
+                p.identical = identical;
+                p.metric = "net.frames_in";
+                p.metricCount = batched.framesIn;
+                p.metricSum = static_cast<double>(batched.framesIn);
+                phases.push_back(std::move(p));
+            }
+            {
+                PhaseResult p;
+                p.name = "batched_decode";
+                p.mode = "baseline_vs_optimized";
+                p.baselineSeconds = permsg.stats.wallSeconds;
+                p.optimizedSeconds = batched.stats.wallSeconds;
+                p.speedup = p.baselineSeconds / p.optimizedSeconds;
+                p.identical = identical;
+                p.metric = "net.read_syscalls";
+                p.metricCount = batched.readSyscalls;
+                p.metricSum =
+                    static_cast<double>(batched.readSyscalls);
+                phases.push_back(std::move(p));
+            }
+
+            Table table({"transport", "wall", "events/s", "reads",
+                         "writes", "identical"});
+            table.addRow(
+                {"batched",
+                 Table::num(batched.stats.wallSeconds * 1e3, 2) + " ms",
+                 Table::num(batched.stats.arrivalsPerSecond, 0),
+                 std::to_string(batched.readSyscalls),
+                 std::to_string(batched.writeSyscalls),
+                 identical ? "yes" : "NO"});
+            table.addRow(
+                {"per-message",
+                 Table::num(permsg.stats.wallSeconds * 1e3, 2) + " ms",
+                 Table::num(permsg.stats.arrivalsPerSecond, 0),
+                 std::to_string(permsg.readSyscalls),
+                 std::to_string(permsg.writeSyscalls),
+                 identical ? "yes" : "NO"});
+            table.print(std::cout);
+            std::cout << "batched_decode speedup "
+                      << Table::num(phases[1].speedup, 2) << "x over "
+                      << trace.size() << " event(s), "
+                      << batched.epochsServed << " epoch(s); rtt p99 "
+                      << Table::num(batched.stats.rttP99Ms, 3)
+                      << " ms, epoch p99 "
+                      << Table::num(batched.stats.epochP99Ms, 3)
+                      << " ms\n";
+
+            if (!identical)
+                throw std::runtime_error(
+                    "served summaries differ from the in-process "
+                    "replay");
+
+            const std::vector<std::pair<std::string, std::string>>
+                workload{
+                    {"events", std::to_string(trace.size())},
+                    {"epochs", std::to_string(batched.epochsServed)},
+                    {"types", std::to_string(catalog.size())},
+                    {"arrivals",
+                     std::to_string(batched.stats.eventsSent)},
+                    {"connections", std::to_string(connections)},
+                    {"threads", "1"},
+                    {"tiny", tiny ? "true" : "false"},
+                };
+            const std::vector<std::pair<std::string, double>> latency{
+                {"arrivals_per_sec",
+                 batched.stats.arrivalsPerSecond},
+                {"rtt_p50_ms", batched.stats.rttP50Ms},
+                {"rtt_p99_ms", batched.stats.rttP99Ms},
+                {"rtt_p999_ms", batched.stats.rttP999Ms},
+                {"epoch_p50_ms", batched.stats.epochP50Ms},
+                {"epoch_p99_ms", batched.stats.epochP99Ms},
+                {"epoch_p999_ms", batched.stats.epochP999Ms},
+            };
+            writeJson(flags.get("out"), workload, phases, latency);
+            std::cout << "\nwrote " << flags.get("out")
+                      << " (schema cooper.bench_serve.v1)\n";
+        });
+}

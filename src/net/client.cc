@@ -1,0 +1,564 @@
+#include "net/client.hh"
+
+#include "net/frame.hh"
+#include "util/error.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <cerrno>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace cooper::net {
+
+#ifdef __linux__
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Frames coalesced per client-side send when unpaced. */
+constexpr std::size_t kSendBatch = 64;
+
+/** Stop encoding ahead once this much is waiting on the socket. */
+constexpr std::size_t kSendHighWater = 1u << 20;
+
+/** Poll timeout guard so a dead server fails a run instead of
+ *  hanging it. */
+constexpr int kIdlePollMs = 60 * 1000;
+
+double
+toMs(Clock::duration d)
+{
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/** Nearest-rank percentile of an unsorted sample set. */
+double
+percentile(std::vector<double> &samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double rank = p / 100.0 * static_cast<double>(samples.size());
+    std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+    if (index > 0)
+        --index;
+    if (index >= samples.size())
+        index = samples.size() - 1;
+    return samples[index];
+}
+
+/** One connection's share of the replay and its measurements. */
+struct Worker
+{
+    std::size_t id = 0;
+    const LoadGenConfig *config = nullptr;
+
+    /** (global seq, event) pairs owned by this connection, in seq
+     *  order (so ticks are non-decreasing). */
+    std::vector<std::pair<std::uint64_t, ChurnEvent>> events;
+
+    int fd = -1;
+    std::vector<std::uint8_t> rbuf;
+    std::vector<std::uint8_t> wbuf;
+    std::size_t wpos = 0;
+
+    std::size_t nextSend = 0; //!< next events[] index to encode
+    std::vector<Clock::time_point> sendTimes;
+    std::size_t epochPtr = 0; //!< two-pointer for epoch latency
+    bool finishedQueued = false;
+
+    Clock::time_point start;
+    Clock::time_point lastDone;
+
+    std::vector<double> rttMs;
+    std::vector<double> epochMs;
+    std::size_t acks = 0;
+    std::size_t epochs = 0;
+    std::string summary;
+    bool byeSeen = false;
+    std::string error;
+
+    bool
+    fail(std::string why)
+    {
+        error = std::move(why);
+        return false;
+    }
+
+    bool connect();
+    bool handshake();
+    bool pump();
+    bool handle(const FrameView &frame);
+    void queueDueEvents(Clock::time_point now);
+    bool flushSends();
+    int pollTimeoutMs(Clock::time_point now) const;
+};
+
+bool
+Worker::connect()
+{
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return fail(formatMessage("socket: ", std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config->port);
+    if (::inet_pton(AF_INET, config->host.c_str(), &addr.sin_addr) !=
+        1)
+        return fail(formatMessage("bad host '", config->host, "'"));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        return fail(formatMessage("connect ", config->host, ":",
+                                  config->port, ": ",
+                                  std::strerror(errno)));
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+}
+
+bool
+Worker::handshake()
+{
+    HelloMsg hello;
+    hello.clientId = static_cast<std::uint32_t>(id);
+    hello.subscriptions = config->subscriptions;
+    std::vector<std::uint8_t> payload;
+    hello.encode(payload);
+    std::vector<std::uint8_t> frame;
+    encodeFrame(frame, MsgType::Hello, 0, payload.data(),
+                payload.size());
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t w =
+            ::write(fd, frame.data() + sent, frame.size() - sent);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return fail(formatMessage("Hello write: ",
+                                      std::strerror(errno)));
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+
+    // Block (with a deadline) until the HelloAck lands.
+    while (true) {
+        FrameView view;
+        std::size_t consumed = 0;
+        std::string decodeError;
+        const DecodeStatus status =
+            tryDecodeFrame(rbuf.data(), rbuf.size(), view, consumed,
+                           decodeError);
+        if (status == DecodeStatus::Bad)
+            return fail("handshake: " + decodeError);
+        if (status == DecodeStatus::Ok) {
+            if (view.type == MsgType::Error) {
+                const ErrorMsg msg = ErrorMsg::decode(view);
+                return fail("server error: " + msg.message);
+            }
+            if (view.type != MsgType::HelloAck)
+                return fail(formatMessage("expected HelloAck, got ",
+                                          msgTypeName(view.type)));
+            HelloAckMsg::decode(view);
+            rbuf.erase(rbuf.begin(),
+                       rbuf.begin() +
+                           static_cast<std::ptrdiff_t>(consumed));
+            // The pump loop interleaves sends and reads; it needs
+            // EAGAIN, not blocking writes.
+            const int fl = ::fcntl(fd, F_GETFL, 0);
+            if (fl < 0 ||
+                ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0)
+                return fail(formatMessage("fcntl: ",
+                                          std::strerror(errno)));
+            return true;
+        }
+        pollfd pfd{fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, kIdlePollMs);
+        if (pr == 0)
+            return fail("timed out waiting for HelloAck");
+        if (pr < 0 && errno != EINTR)
+            return fail(formatMessage("poll: ",
+                                      std::strerror(errno)));
+        std::uint8_t chunk[4096];
+        const ssize_t r = ::read(fd, chunk, sizeof(chunk));
+        if (r == 0)
+            return fail("server closed during handshake");
+        if (r < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            return fail(formatMessage("read: ",
+                                      std::strerror(errno)));
+        }
+        rbuf.insert(rbuf.end(), chunk,
+                    chunk + static_cast<std::size_t>(r));
+    }
+}
+
+void
+Worker::queueDueEvents(Clock::time_point now)
+{
+    const double rate = config->eventsPerSecond;
+    std::size_t batched = 0;
+    while (nextSend < events.size() && batched < kSendBatch &&
+           wbuf.size() - wpos < kSendHighWater) {
+        const auto &[seq, event] = events[nextSend];
+        if (rate > 0.0) {
+            const auto target =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                static_cast<double>(seq) / rate));
+            if (now < target)
+                break;
+        }
+        EventMsg msg;
+        msg.seq = seq;
+        msg.tick = event.tick;
+        msg.kind = event.kind == EventKind::Arrival ? 0 : 1;
+        msg.uid = event.uid;
+        msg.type = event.type;
+        std::vector<std::uint8_t> payload;
+        msg.encode(payload);
+        encodeFrame(wbuf, MsgType::Event, 0, payload.data(),
+                    payload.size());
+        sendTimes.push_back(now);
+        ++nextSend;
+        ++batched;
+        if (rate > 0.0)
+            break; // paced: one frame per deadline
+    }
+    if (nextSend == events.size() && !finishedQueued) {
+        // Every event is queued behind us in the same stream, so the
+        // Finished frame can follow immediately; declare once.
+        FinishedMsg done;
+        done.eventsSent = events.size();
+        std::vector<std::uint8_t> payload;
+        done.encode(payload);
+        encodeFrame(wbuf, MsgType::Finished, 0, payload.data(),
+                    payload.size());
+        finishedQueued = true;
+    }
+}
+
+bool
+Worker::flushSends()
+{
+    while (wpos < wbuf.size()) {
+        const ssize_t w =
+            ::write(fd, wbuf.data() + wpos, wbuf.size() - wpos);
+        if (w > 0) {
+            wpos += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;
+        if (w < 0 && errno == EINTR)
+            continue;
+        return fail(formatMessage("write: ", std::strerror(errno)));
+    }
+    if (wpos == wbuf.size()) {
+        wbuf.clear();
+        wpos = 0;
+    }
+    return true;
+}
+
+int
+Worker::pollTimeoutMs(Clock::time_point now) const
+{
+    if (nextSend >= events.size())
+        return kIdlePollMs;
+    if (config->eventsPerSecond <= 0.0)
+        return 0; // unpaced: the next batch is due immediately
+    const std::uint64_t seq = events[nextSend].first;
+    const auto target =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        static_cast<double>(seq) /
+                        config->eventsPerSecond));
+    if (target <= now)
+        return 0;
+    const auto wait = std::chrono::duration_cast<
+        std::chrono::milliseconds>(target - now);
+    return static_cast<int>(
+        std::min<long long>(wait.count() + 1, kIdlePollMs));
+}
+
+bool
+Worker::handle(const FrameView &frame)
+{
+    const Clock::time_point now = Clock::now();
+    switch (frame.type) {
+    case MsgType::Ack: {
+        const AckMsg ack = AckMsg::decode(frame);
+        const std::uint64_t local =
+            (ack.seq - id) / config->connections;
+        if (ack.seq % config->connections != id ||
+            local >= sendTimes.size())
+            return fail(formatMessage("Ack for foreign seq ",
+                                      ack.seq));
+        rttMs.push_back(toMs(now - sendTimes[local]));
+        ++acks;
+        return true;
+    }
+    case MsgType::EpochComplete: {
+        const EpochCompleteMsg epoch = EpochCompleteMsg::decode(frame);
+        ++epochs;
+        // Completion latency: from the last event this connection
+        // sent below the epoch's boundary tick. Local events are in
+        // seq order, so ticks never decrease — one pointer sweep.
+        const std::size_t sent = sendTimes.size();
+        while (epochPtr < sent &&
+               events[epochPtr].second.tick < epoch.tick)
+            ++epochPtr;
+        if (epochPtr > 0 &&
+            events[epochPtr - 1].second.tick < epoch.tick)
+            epochMs.push_back(toMs(now - sendTimes[epochPtr - 1]));
+        return true;
+    }
+    case MsgType::ProbeResult:
+        ProbeResultMsg::decode(frame);
+        return true;
+    case MsgType::Assignment:
+        AssignmentMsg::decode(frame);
+        return true;
+    case MsgType::CheckpointAck:
+        CheckpointAckMsg::decode(frame);
+        return true;
+    case MsgType::Summary:
+        summary.append(reinterpret_cast<const char *>(frame.payload),
+                       frame.size);
+        return true;
+    case MsgType::Bye:
+        byeSeen = true;
+        lastDone = now;
+        return true;
+    case MsgType::Error: {
+        const ErrorMsg msg = ErrorMsg::decode(frame);
+        return fail("server error: " + msg.message);
+    }
+    default:
+        return fail(formatMessage("unexpected ",
+                                  msgTypeName(frame.type),
+                                  " frame from the server"));
+    }
+}
+
+bool
+Worker::pump()
+{
+    while (!byeSeen) {
+        const Clock::time_point now = Clock::now();
+        queueDueEvents(now);
+        if (!flushSends())
+            return false;
+
+        pollfd pfd{fd, POLLIN, 0};
+        if (wpos < wbuf.size())
+            pfd.events |= POLLOUT;
+        // Progress comes from three places: encoding more frames
+        // (possible until the high-water mark), the socket draining
+        // (POLLOUT), or the server talking (POLLIN). Sleep only for
+        // the pacing deadline — or the idle guard when everything
+        // waits on the peer.
+        const bool canQueueMore =
+            nextSend < events.size() &&
+            wbuf.size() - wpos < kSendHighWater;
+        const int timeout =
+            canQueueMore ? pollTimeoutMs(now) : kIdlePollMs;
+        const int pr = ::poll(&pfd, 1, timeout);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return fail(formatMessage("poll: ",
+                                      std::strerror(errno)));
+        }
+        if (pr == 0 && timeout == kIdlePollMs)
+            return fail("timed out waiting for the server");
+        if (pfd.revents & POLLIN) {
+            std::uint8_t chunk[64 * 1024];
+            while (true) {
+                const ssize_t r = ::read(fd, chunk, sizeof(chunk));
+                if (r > 0) {
+                    rbuf.insert(rbuf.end(), chunk,
+                                chunk + static_cast<std::size_t>(r));
+                    if (static_cast<std::size_t>(r) < sizeof(chunk))
+                        break;
+                    continue;
+                }
+                if (r == 0)
+                    return byeSeen ||
+                           fail("server closed before the summary");
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    break;
+                return fail(formatMessage("read: ",
+                                          std::strerror(errno)));
+            }
+            std::size_t offset = 0;
+            while (true) {
+                FrameView view;
+                std::size_t consumed = 0;
+                std::string decodeError;
+                const DecodeStatus status = tryDecodeFrame(
+                    rbuf.data() + offset, rbuf.size() - offset, view,
+                    consumed, decodeError);
+                if (status == DecodeStatus::NeedMore)
+                    break;
+                if (status == DecodeStatus::Bad)
+                    return fail("frame decode: " + decodeError);
+                offset += consumed;
+                try {
+                    if (!handle(view))
+                        return false;
+                } catch (const FatalError &err) {
+                    return fail(err.what());
+                }
+                if (byeSeen)
+                    break;
+            }
+            if (offset > 0)
+                rbuf.erase(rbuf.begin(),
+                           rbuf.begin() +
+                               static_cast<std::ptrdiff_t>(offset));
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+LoadGenResult
+runLoadGen(const ChurnTrace &trace, const LoadGenConfig &config)
+{
+    LoadGenResult result;
+    if (config.connections == 0) {
+        result.error = "load_gen: connections must be >= 1";
+        return result;
+    }
+
+    const std::size_t n = config.connections;
+    std::vector<Worker> workers(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        workers[c].id = c;
+        workers[c].config = &config;
+    }
+    const auto &events = trace.events();
+    for (std::size_t i = 0; i < events.size(); ++i)
+        workers[i % n].events.emplace_back(i, events[i]);
+    for (Worker &worker : workers)
+        worker.sendTimes.reserve(worker.events.size());
+
+    // Connect and handshake everyone, then release the replay from
+    // one shared start instant so the aggregate pacing rate holds.
+    Clock::time_point start{};
+    std::barrier gate(static_cast<std::ptrdiff_t>(n),
+                      [&start]() noexcept {
+                          start = Clock::now();
+                      });
+    std::atomic<bool> connectFailed{false};
+
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        threads.emplace_back([&, c]() {
+            Worker &worker = workers[c];
+            if (!worker.connect() || !worker.handshake()) {
+                connectFailed.store(true);
+                gate.arrive_and_drop();
+                return;
+            }
+            gate.arrive_and_wait();
+            if (connectFailed.load()) {
+                // A sibling never joined; the run cannot complete.
+                worker.fail("a sibling connection failed to start");
+                ::close(worker.fd);
+                worker.fd = -1;
+                return;
+            }
+            worker.start = start;
+            worker.pump();
+            ::close(worker.fd);
+            worker.fd = -1;
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    std::vector<double> rtt;
+    std::vector<double> epoch;
+    Clock::time_point lastDone = start;
+    for (Worker &worker : workers) {
+        if (!worker.error.empty() && result.error.empty())
+            result.error = formatMessage("connection ", worker.id,
+                                         ": ", worker.error);
+        result.stats.eventsSent += worker.sendTimes.size();
+        result.stats.acksReceived += worker.acks;
+        result.stats.epochsObserved =
+            std::max(result.stats.epochsObserved, worker.epochs);
+        rtt.insert(rtt.end(), worker.rttMs.begin(),
+                   worker.rttMs.end());
+        epoch.insert(epoch.end(), worker.epochMs.begin(),
+                     worker.epochMs.end());
+        if (worker.lastDone > lastDone)
+            lastDone = worker.lastDone;
+    }
+    if (!result.error.empty())
+        return result;
+
+    for (std::size_t c = 1; c < n; ++c) {
+        if (workers[c].summary != workers[0].summary) {
+            result.error = formatMessage(
+                "connections 0 and ", c,
+                " received different summaries (",
+                workers[0].summary.size(), " vs ",
+                workers[c].summary.size(), " bytes)");
+            return result;
+        }
+    }
+
+    result.summary = workers[0].summary;
+    result.stats.wallSeconds =
+        std::chrono::duration<double>(lastDone - start).count();
+    if (result.stats.wallSeconds > 0.0)
+        result.stats.arrivalsPerSecond =
+            static_cast<double>(result.stats.eventsSent) /
+            result.stats.wallSeconds;
+    result.stats.rttP50Ms = percentile(rtt, 50.0);
+    result.stats.rttP99Ms = percentile(rtt, 99.0);
+    result.stats.rttP999Ms = percentile(rtt, 99.9);
+    result.stats.epochP50Ms = percentile(epoch, 50.0);
+    result.stats.epochP99Ms = percentile(epoch, 99.0);
+    result.stats.epochP999Ms = percentile(epoch, 99.9);
+    result.ok = true;
+    return result;
+}
+
+#else // !__linux__
+
+LoadGenResult
+runLoadGen(const ChurnTrace &, const LoadGenConfig &)
+{
+    LoadGenResult result;
+    result.error = "load_gen requires Linux sockets";
+    return result;
+}
+
+#endif // __linux__
+
+} // namespace cooper::net

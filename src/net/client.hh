@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Multi-connection load-generating client for the service plane.
+ *
+ * Splits a churn trace round-robin across N concurrent connections
+ * (event i goes to connection i % N, stamped with seq = i so the
+ * server's reorder buffer restores the canonical order), replays it
+ * open-loop at a configurable aggregate rate, and measures what the
+ * paper's tail-latency discussion asks for: per-message round-trip
+ * time (Ack echoes the seq) and per-epoch completion latency (from
+ * the last event this connection sent below an epoch's boundary to
+ * the server's EpochComplete frame).
+ *
+ * Wall-clock timing lives entirely on this side of the socket; the
+ * server's decisions never see it, so a load-generated run still
+ * reproduces the in-process summary byte-for-byte.
+ */
+
+#ifndef COOPER_NET_CLIENT_HH
+#define COOPER_NET_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "online/events.hh"
+
+namespace cooper::net {
+
+/** One load run's shape. */
+struct LoadGenConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    /** Concurrent connections the trace is split across. */
+    std::size_t connections = 1;
+
+    /** Aggregate open-loop send rate in events/second across all
+     *  connections; 0 = as fast as the sockets accept. */
+    double eventsPerSecond = 0.0;
+
+    /** Subscription bits for the Hello frame (see frame.hh). */
+    std::uint32_t subscriptions = 0;
+};
+
+/** Client-side latency and throughput measurements. */
+struct LoadGenStats
+{
+    std::size_t eventsSent = 0;
+    std::size_t acksReceived = 0;
+    std::size_t epochsObserved = 0;
+
+    /** Wall-clock seconds from first send to summary received. */
+    double wallSeconds = 0.0;
+
+    /** eventsSent / wallSeconds. */
+    double arrivalsPerSecond = 0.0;
+
+    /** Ack round-trip percentiles, milliseconds (nearest-rank). */
+    double rttP50Ms = 0.0;
+    double rttP99Ms = 0.0;
+    double rttP999Ms = 0.0;
+
+    /** Epoch completion-latency percentiles, milliseconds. */
+    double epochP50Ms = 0.0;
+    double epochP99Ms = 0.0;
+    double epochP999Ms = 0.0;
+};
+
+/** What a load run produced. */
+struct LoadGenResult
+{
+    bool ok = false;
+    std::string error; //!< set when !ok
+
+    /** The server's summary bytes (identical on every connection;
+     *  the run fails if they disagree). */
+    std::string summary;
+
+    LoadGenStats stats;
+};
+
+/**
+ * Replay `trace` against a serving plane and collect the summary.
+ * Blocks until the server says Bye (or any connection fails).
+ */
+LoadGenResult runLoadGen(const ChurnTrace &trace,
+                         const LoadGenConfig &config);
+
+} // namespace cooper::net
+
+#endif // COOPER_NET_CLIENT_HH

@@ -1,0 +1,455 @@
+#include "net/frame.hh"
+
+#include <cstring>
+
+#include "util/error.hh"
+
+namespace cooper::net {
+
+namespace {
+
+std::uint16_t
+loadU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0]) |
+           static_cast<std::uint16_t>(p[1]) << 8;
+}
+
+std::uint32_t
+loadU32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t
+loadU64(const std::uint8_t *p)
+{
+    return static_cast<std::uint64_t>(loadU32(p)) |
+           static_cast<std::uint64_t>(loadU32(p + 4)) << 32;
+}
+
+} // namespace
+
+bool
+validMsgType(std::uint8_t type)
+{
+    return type >= static_cast<std::uint8_t>(MsgType::Hello) &&
+           type <= static_cast<std::uint8_t>(MsgType::Bye);
+}
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+    case MsgType::Hello: return "Hello";
+    case MsgType::HelloAck: return "HelloAck";
+    case MsgType::Event: return "Event";
+    case MsgType::Ack: return "Ack";
+    case MsgType::EpochComplete: return "EpochComplete";
+    case MsgType::ProbeResult: return "ProbeResult";
+    case MsgType::Assignment: return "Assignment";
+    case MsgType::CheckpointRequest: return "CheckpointRequest";
+    case MsgType::CheckpointAck: return "CheckpointAck";
+    case MsgType::Finished: return "Finished";
+    case MsgType::Summary: return "Summary";
+    case MsgType::Error: return "Error";
+    case MsgType::Bye: return "Bye";
+    }
+    return "Unknown";
+}
+
+DecodeStatus
+tryDecodeFrame(const std::uint8_t *data, std::size_t size,
+               FrameView &frame, std::size_t &consumed,
+               std::string &error)
+{
+    if (size < kHeaderSize)
+        return DecodeStatus::NeedMore;
+
+    const std::uint32_t magic = loadU32(data);
+    if (magic != kMagic) {
+        error = formatMessage("bad frame magic 0x", std::hex, magic);
+        return DecodeStatus::Bad;
+    }
+    const std::uint8_t version = data[4];
+    if (version != kProtocolVersion) {
+        error = formatMessage("unsupported protocol version ",
+                              unsigned{version}, " (want ",
+                              unsigned{kProtocolVersion}, ")");
+        return DecodeStatus::Bad;
+    }
+    const std::uint8_t type = data[5];
+    if (!validMsgType(type)) {
+        error = formatMessage("unknown message type ", unsigned{type});
+        return DecodeStatus::Bad;
+    }
+    const std::size_t length = loadU32(data + 8);
+    if (length > kMaxFramePayload) {
+        error = formatMessage("declared payload of ", length,
+                              " bytes exceeds the ", kMaxFramePayload,
+                              "-byte frame cap");
+        return DecodeStatus::Bad;
+    }
+    if (size < kHeaderSize + length)
+        return DecodeStatus::NeedMore;
+
+    frame.type = static_cast<MsgType>(type);
+    frame.flags = loadU16(data + 6);
+    frame.payload = data + kHeaderSize;
+    frame.size = length;
+    consumed = kHeaderSize + length;
+    return DecodeStatus::Ok;
+}
+
+void
+encodeFrame(std::vector<std::uint8_t> &out, MsgType type,
+            std::uint16_t flags, const std::uint8_t *payload,
+            std::size_t size)
+{
+    panicIf(size > kMaxFramePayload,
+            "encodeFrame: payload exceeds the frame cap");
+    const std::size_t base = out.size();
+    out.resize(base + kHeaderSize + size);
+    std::uint8_t *p = out.data() + base;
+    p[0] = static_cast<std::uint8_t>(kMagic);
+    p[1] = static_cast<std::uint8_t>(kMagic >> 8);
+    p[2] = static_cast<std::uint8_t>(kMagic >> 16);
+    p[3] = static_cast<std::uint8_t>(kMagic >> 24);
+    p[4] = kProtocolVersion;
+    p[5] = static_cast<std::uint8_t>(type);
+    p[6] = static_cast<std::uint8_t>(flags);
+    p[7] = static_cast<std::uint8_t>(flags >> 8);
+    const auto length = static_cast<std::uint32_t>(size);
+    p[8] = static_cast<std::uint8_t>(length);
+    p[9] = static_cast<std::uint8_t>(length >> 8);
+    p[10] = static_cast<std::uint8_t>(length >> 16);
+    p[11] = static_cast<std::uint8_t>(length >> 24);
+    if (size > 0)
+        std::memcpy(p + kHeaderSize, payload, size);
+}
+
+void
+WireWriter::u16(std::uint16_t v)
+{
+    out_->push_back(static_cast<std::uint8_t>(v));
+    out_->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+WireWriter::u32(std::uint32_t v)
+{
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void
+WireWriter::u64(std::uint64_t v)
+{
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+WireWriter::str(const std::string &v)
+{
+    fatalIf(v.size() > kMaxFramePayload,
+            "WireWriter: string exceeds the frame cap");
+    u32(static_cast<std::uint32_t>(v.size()));
+    out_->insert(out_->end(), v.begin(), v.end());
+}
+
+void
+WireReader::need(std::size_t bytes) const
+{
+    fatalIf(size_ - pos_ < bytes, context_,
+            ": truncated payload (need ", bytes, " bytes at offset ",
+            pos_, " of ", size_, ")");
+}
+
+std::uint8_t
+WireReader::u8()
+{
+    need(1);
+    return data_[pos_++];
+}
+
+std::uint16_t
+WireReader::u16()
+{
+    need(2);
+    const std::uint16_t v = loadU16(data_ + pos_);
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t
+WireReader::u32()
+{
+    need(4);
+    const std::uint32_t v = loadU32(data_ + pos_);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+WireReader::u64()
+{
+    need(8);
+    const std::uint64_t v = loadU64(data_ + pos_);
+    pos_ += 8;
+    return v;
+}
+
+std::string
+WireReader::str()
+{
+    const std::uint32_t length = u32();
+    fatalIf(length > kMaxFramePayload, context_,
+            ": declared string length ", length,
+            " exceeds the frame cap");
+    need(length);
+    std::string v(reinterpret_cast<const char *>(data_ + pos_),
+                  length);
+    pos_ += length;
+    return v;
+}
+
+void
+WireReader::done() const
+{
+    fatalIf(pos_ != size_, context_, ": ", size_ - pos_,
+            " trailing payload bytes");
+}
+
+void
+HelloMsg::encode(std::vector<std::uint8_t> &out) const
+{
+    WireWriter w(out);
+    w.u32(clientId);
+    w.u32(protocol);
+    w.u32(subscriptions);
+}
+
+HelloMsg
+HelloMsg::decode(const FrameView &frame)
+{
+    WireReader r(frame.payload, frame.size, "Hello");
+    HelloMsg msg;
+    msg.clientId = r.u32();
+    msg.protocol = r.u32();
+    msg.subscriptions = r.u32();
+    r.done();
+    fatalIf(msg.protocol != kProtocolVersion,
+            "Hello: client speaks protocol ", msg.protocol,
+            ", server speaks ", unsigned{kProtocolVersion});
+    return msg;
+}
+
+void
+HelloAckMsg::encode(std::vector<std::uint8_t> &out) const
+{
+    WireWriter w(out);
+    w.u64(seed);
+    w.u64(epochTicks);
+    w.u64(shards);
+    w.u64(catalogTypes);
+}
+
+HelloAckMsg
+HelloAckMsg::decode(const FrameView &frame)
+{
+    WireReader r(frame.payload, frame.size, "HelloAck");
+    HelloAckMsg msg;
+    msg.seed = r.u64();
+    msg.epochTicks = r.u64();
+    msg.shards = r.u64();
+    msg.catalogTypes = r.u64();
+    r.done();
+    return msg;
+}
+
+void
+EventMsg::encode(std::vector<std::uint8_t> &out) const
+{
+    WireWriter w(out);
+    w.u64(seq);
+    w.u64(tick);
+    w.u8(kind);
+    w.u64(uid);
+    w.u32(type);
+}
+
+EventMsg
+EventMsg::decode(const FrameView &frame)
+{
+    WireReader r(frame.payload, frame.size, "Event");
+    EventMsg msg;
+    msg.seq = r.u64();
+    msg.tick = r.u64();
+    msg.kind = r.u8();
+    msg.uid = r.u64();
+    msg.type = r.u32();
+    r.done();
+    fatalIf(msg.kind > 1, "Event: unknown event kind ",
+            unsigned{msg.kind});
+    return msg;
+}
+
+void
+AckMsg::encode(std::vector<std::uint8_t> &out) const
+{
+    WireWriter w(out);
+    w.u64(seq);
+    w.u64(epochsCommitted);
+}
+
+AckMsg
+AckMsg::decode(const FrameView &frame)
+{
+    WireReader r(frame.payload, frame.size, "Ack");
+    AckMsg msg;
+    msg.seq = r.u64();
+    msg.epochsCommitted = r.u64();
+    r.done();
+    return msg;
+}
+
+void
+EpochCompleteMsg::encode(std::vector<std::uint8_t> &out) const
+{
+    WireWriter w(out);
+    w.u64(epoch);
+    w.u64(tick);
+    w.u64(population);
+    w.u64(admitted);
+}
+
+EpochCompleteMsg
+EpochCompleteMsg::decode(const FrameView &frame)
+{
+    WireReader r(frame.payload, frame.size, "EpochComplete");
+    EpochCompleteMsg msg;
+    msg.epoch = r.u64();
+    msg.tick = r.u64();
+    msg.population = r.u64();
+    msg.admitted = r.u64();
+    r.done();
+    return msg;
+}
+
+void
+ProbeResultMsg::encode(std::vector<std::uint8_t> &out) const
+{
+    WireWriter w(out);
+    w.u64(epoch);
+    w.u64(probes);
+    w.u64(retries);
+    w.u64(cfFallbacks);
+    w.u64(faultsInjected);
+}
+
+ProbeResultMsg
+ProbeResultMsg::decode(const FrameView &frame)
+{
+    WireReader r(frame.payload, frame.size, "ProbeResult");
+    ProbeResultMsg msg;
+    msg.epoch = r.u64();
+    msg.probes = r.u64();
+    msg.retries = r.u64();
+    msg.cfFallbacks = r.u64();
+    msg.faultsInjected = r.u64();
+    r.done();
+    return msg;
+}
+
+void
+AssignmentMsg::encode(std::vector<std::uint8_t> &out) const
+{
+    WireWriter w(out);
+    w.u64(epoch);
+    w.u32(static_cast<std::uint32_t>(pairs.size()));
+    for (const auto &[a, b] : pairs) {
+        w.u64(a);
+        w.u64(b);
+    }
+}
+
+AssignmentMsg
+AssignmentMsg::decode(const FrameView &frame)
+{
+    WireReader r(frame.payload, frame.size, "Assignment");
+    AssignmentMsg msg;
+    msg.epoch = r.u64();
+    const std::uint32_t count = r.u32();
+    fatalIf(static_cast<std::size_t>(count) * 16 > r.remaining(),
+            "Assignment: declared pair count ", count,
+            " exceeds the payload");
+    msg.pairs.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t a = r.u64();
+        const std::uint64_t b = r.u64();
+        msg.pairs.emplace_back(a, b);
+    }
+    r.done();
+    return msg;
+}
+
+void
+CheckpointAckMsg::encode(std::vector<std::uint8_t> &out) const
+{
+    WireWriter w(out);
+    w.u64(epoch);
+    w.u8(ok);
+}
+
+CheckpointAckMsg
+CheckpointAckMsg::decode(const FrameView &frame)
+{
+    WireReader r(frame.payload, frame.size, "CheckpointAck");
+    CheckpointAckMsg msg;
+    msg.epoch = r.u64();
+    msg.ok = r.u8();
+    r.done();
+    return msg;
+}
+
+void
+FinishedMsg::encode(std::vector<std::uint8_t> &out) const
+{
+    WireWriter w(out);
+    w.u64(eventsSent);
+}
+
+FinishedMsg
+FinishedMsg::decode(const FrameView &frame)
+{
+    WireReader r(frame.payload, frame.size, "Finished");
+    FinishedMsg msg;
+    msg.eventsSent = r.u64();
+    r.done();
+    return msg;
+}
+
+void
+ErrorMsg::encode(std::vector<std::uint8_t> &out) const
+{
+    WireWriter w(out);
+    w.u32(code);
+    w.str(message);
+}
+
+ErrorMsg
+ErrorMsg::decode(const FrameView &frame)
+{
+    WireReader r(frame.payload, frame.size, "Error");
+    ErrorMsg msg;
+    msg.code = r.u32();
+    msg.message = r.str();
+    r.done();
+    return msg;
+}
+
+} // namespace cooper::net

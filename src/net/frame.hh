@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Length-prefixed binary framing for the Cooper service plane.
+ *
+ * Every message on the wire is one frame: a fixed 12-byte
+ * little-endian header (magic, version, type, flags, payload length)
+ * followed by `length` payload bytes. The codec is symmetric with
+ * io/serialize's hostile-input posture: every decode bounds-checks
+ * before it reads, rejects bad magic/version/type and oversized
+ * declared lengths, and raises FatalError instead of reading past the
+ * buffer — a malicious peer can make a connection fail, never the
+ * process.
+ *
+ * Decode is zero-copy: tryDecodeFrame() yields FrameViews that point
+ * into the caller's receive buffer, so the batched server drains a
+ * whole read() worth of frames in one pass without copying payloads.
+ */
+
+#ifndef COOPER_NET_FRAME_HH
+#define COOPER_NET_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cooper::net {
+
+/** Frame header magic: "COOP" read as a little-endian u32. */
+constexpr std::uint32_t kMagic = 0x504F4F43u;
+
+/** Protocol version this build speaks. */
+constexpr std::uint8_t kProtocolVersion = 1;
+
+/** Bytes in the fixed frame header. */
+constexpr std::size_t kHeaderSize = 12;
+
+/** Hard cap on one frame's declared payload (hostile-input guard). */
+constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+/** Frame flag bit: this Summary chunk is the last one. */
+constexpr std::uint16_t kFlagLastChunk = 1u << 0;
+
+/** Wire message types (the header's `type` byte). */
+enum class MsgType : std::uint8_t
+{
+    Hello = 1,         //!< client -> server: handshake
+    HelloAck = 2,      //!< server -> client: run parameters
+    Event = 3,         //!< client -> server: one churn event
+    Ack = 4,           //!< server -> client: event accepted
+    EpochComplete = 5, //!< server -> client: epoch committed
+    ProbeResult = 6,   //!< server -> client: epoch probe stats
+    Assignment = 7,    //!< server -> client: epoch pairing
+    CheckpointRequest = 8, //!< client -> server: checkpoint now
+    CheckpointAck = 9,     //!< server -> client: checkpoint result
+    Finished = 10,     //!< client -> server: no more events
+    Summary = 11,      //!< server -> client: summary bytes (chunked)
+    Error = 12,        //!< server -> client: fatal protocol error
+    Bye = 13,          //!< server -> client: orderly close
+};
+
+/** True when `type` is a value the protocol defines. */
+bool validMsgType(std::uint8_t type);
+
+/** Human-readable message-type name (diagnostics). */
+const char *msgTypeName(MsgType type);
+
+/** One decoded frame, pointing into the receive buffer (not owned). */
+struct FrameView
+{
+    MsgType type = MsgType::Error;
+    std::uint16_t flags = 0;
+    const std::uint8_t *payload = nullptr;
+    std::size_t size = 0;
+};
+
+/** What tryDecodeFrame found at the front of the buffer. */
+enum class DecodeStatus
+{
+    NeedMore, //!< incomplete header or payload; read more bytes
+    Ok,       //!< `frame` is valid; consume `consumed` bytes
+    Bad,      //!< malformed header; the connection must die
+};
+
+/**
+ * Decode one frame from the front of [data, data+size). On Ok, `frame`
+ * views the payload in place and `consumed` is the total frame size;
+ * on Bad, `error` says what was wrong (bad magic, unsupported version,
+ * unknown type, oversized payload).
+ */
+DecodeStatus tryDecodeFrame(const std::uint8_t *data, std::size_t size,
+                            FrameView &frame, std::size_t &consumed,
+                            std::string &error);
+
+/** Append one whole frame (header + payload) to `out`. */
+void encodeFrame(std::vector<std::uint8_t> &out, MsgType type,
+                 std::uint16_t flags,
+                 const std::uint8_t *payload, std::size_t size);
+
+/** Bounds-checked little-endian payload writer. */
+class WireWriter
+{
+  public:
+    explicit WireWriter(std::vector<std::uint8_t> &out) : out_(&out) {}
+
+    void u8(std::uint8_t v) { out_->push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+
+    /** Length-prefixed (u32) byte string. */
+    void str(const std::string &v);
+
+  private:
+    std::vector<std::uint8_t> *out_;
+};
+
+/**
+ * Bounds-checked little-endian payload reader. Every accessor raises
+ * FatalError on a short or trailing-garbage payload, naming the
+ * message being decoded.
+ */
+class WireReader
+{
+  public:
+    WireReader(const std::uint8_t *data, std::size_t size,
+               std::string context)
+        : data_(data), size_(size), context_(std::move(context))
+    {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::string str();
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+    /** Fatal unless the whole payload was consumed. */
+    void done() const;
+
+  private:
+    void need(std::size_t bytes) const;
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::string context_;
+};
+
+// -- Message payloads. Each struct encodes itself into a payload
+// vector and decodes from a FrameView; decode validates as it reads.
+
+/** Client handshake. */
+struct HelloMsg
+{
+    std::uint32_t clientId = 0;
+    std::uint32_t protocol = kProtocolVersion;
+
+    /** Bit 0: send Assignment frames; bit 1: send ProbeResult
+     *  frames. EpochComplete and Summary are always sent. */
+    std::uint32_t subscriptions = 0;
+
+    void encode(std::vector<std::uint8_t> &out) const;
+    static HelloMsg decode(const FrameView &frame);
+};
+
+constexpr std::uint32_t kSubscribeAssignments = 1u << 0;
+constexpr std::uint32_t kSubscribeProbes = 1u << 1;
+
+/** Server handshake reply: the run the plane is serving. */
+struct HelloAckMsg
+{
+    std::uint64_t seed = 0;
+    std::uint64_t epochTicks = 0;
+    std::uint64_t shards = 0; //!< 0 = flat OnlineDriver
+    std::uint64_t catalogTypes = 0;
+
+    void encode(std::vector<std::uint8_t> &out) const;
+    static HelloAckMsg decode(const FrameView &frame);
+};
+
+/** One churn event. `seq` is the event's index in the canonical
+ *  trace order; the plane reorders by it, so N connections may split
+ *  a trace round-robin and replay concurrently. */
+struct EventMsg
+{
+    std::uint64_t seq = 0;
+    std::uint64_t tick = 0;
+    std::uint8_t kind = 0; //!< 0 = arrival, 1 = departure
+    std::uint64_t uid = 0;
+    std::uint32_t type = 0; //!< job type (arrivals only)
+
+    void encode(std::vector<std::uint8_t> &out) const;
+    static EventMsg decode(const FrameView &frame);
+};
+
+/** Per-event acknowledgement (echoes seq for RTT measurement). */
+struct AckMsg
+{
+    std::uint64_t seq = 0;
+    std::uint64_t epochsCommitted = 0;
+
+    void encode(std::vector<std::uint8_t> &out) const;
+    static AckMsg decode(const FrameView &frame);
+};
+
+/** An epoch committed. */
+struct EpochCompleteMsg
+{
+    std::uint64_t epoch = 0;
+    std::uint64_t tick = 0;
+    std::uint64_t population = 0;
+    std::uint64_t admitted = 0;
+
+    void encode(std::vector<std::uint8_t> &out) const;
+    static EpochCompleteMsg decode(const FrameView &frame);
+};
+
+/** An epoch's probe/fault ladder stats. */
+struct ProbeResultMsg
+{
+    std::uint64_t epoch = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t cfFallbacks = 0;
+    std::uint64_t faultsInjected = 0;
+
+    void encode(std::vector<std::uint8_t> &out) const;
+    static ProbeResultMsg decode(const FrameView &frame);
+};
+
+/** An epoch's committed uid-level pairing. */
+struct AssignmentMsg
+{
+    std::uint64_t epoch = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+
+    void encode(std::vector<std::uint8_t> &out) const;
+    static AssignmentMsg decode(const FrameView &frame);
+};
+
+/** Checkpoint-on-demand result. */
+struct CheckpointAckMsg
+{
+    std::uint64_t epoch = 0;
+    std::uint8_t ok = 0;
+
+    void encode(std::vector<std::uint8_t> &out) const;
+    static CheckpointAckMsg decode(const FrameView &frame);
+};
+
+/** Client is done sending; declares its event count for an
+ *  end-to-end loss check. */
+struct FinishedMsg
+{
+    std::uint64_t eventsSent = 0;
+
+    void encode(std::vector<std::uint8_t> &out) const;
+    static FinishedMsg decode(const FrameView &frame);
+};
+
+/** Protocol failure the server reports before closing. */
+struct ErrorMsg
+{
+    std::uint32_t code = 0;
+    std::string message;
+
+    void encode(std::vector<std::uint8_t> &out) const;
+    static ErrorMsg decode(const FrameView &frame);
+};
+
+} // namespace cooper::net
+
+#endif // COOPER_NET_FRAME_HH

@@ -1,0 +1,698 @@
+#include "net/server.hh"
+
+#include "obs/obs.hh"
+#include "util/error.hh"
+
+#ifdef __linux__
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+namespace cooper::net {
+
+namespace {
+
+/** Iovec spans coalesced per writev() call. */
+constexpr std::size_t kMaxIov = 64;
+
+/** Per-drain syscall/byte tallies, folded into obs counters once. */
+struct DrainTally
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytesIn = 0;
+    std::uint64_t bytesOut = 0;
+    std::uint64_t framesIn = 0;
+    std::uint64_t framesOut = 0;
+
+    void
+    fold() const
+    {
+        MetricsRegistry *metrics = obsMetrics();
+        if (metrics == nullptr)
+            return;
+        if (reads)
+            metrics->counter("net.read_syscalls").add(reads);
+        if (writes)
+            metrics->counter("net.write_syscalls").add(writes);
+        if (bytesIn)
+            metrics->counter("net.bytes_in").add(bytesIn);
+        if (bytesOut)
+            metrics->counter("net.bytes_out").add(bytesOut);
+        if (framesIn)
+            metrics->counter("net.frames_in").add(framesIn);
+        if (framesOut)
+            metrics->counter("net.frames_out").add(framesOut);
+    }
+};
+
+thread_local DrainTally tally;
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+EpollServer::EpollServer(ServicePlane &plane, ServerConfig config)
+    : plane_(&plane), config_(std::move(config))
+{
+    listenFd_ = ::socket(AF_INET,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+    fatalIf(listenFd_ < 0, "EpollServer: socket: ",
+            std::strerror(errno));
+
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    fatalIf(::inet_pton(AF_INET, config_.host.c_str(),
+                        &addr.sin_addr) != 1,
+            "EpollServer: bad listen address '", config_.host, "'");
+    fatalIf(::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0,
+            "EpollServer: bind ", config_.host, ":", config_.port,
+            ": ", std::strerror(errno));
+    fatalIf(::listen(listenFd_, 64) != 0, "EpollServer: listen: ",
+            std::strerror(errno));
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    fatalIf(::getsockname(listenFd_,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) != 0,
+            "EpollServer: getsockname: ", std::strerror(errno));
+    port_ = ntohs(bound.sin_port);
+
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    fatalIf(epollFd_ < 0, "EpollServer: epoll_create1: ",
+            std::strerror(errno));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd_;
+    fatalIf(::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev) != 0,
+            "EpollServer: epoll_ctl(listen): ", std::strerror(errno));
+}
+
+EpollServer::~EpollServer()
+{
+    for (auto &[fd, conn] : conns_)
+        ::close(fd);
+    conns_.clear();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (epollFd_ >= 0)
+        ::close(epollFd_);
+}
+
+bool
+EpollServer::runUntilServed()
+{
+    epoll_event events[64];
+    while (true) {
+        if (aborted_) {
+            while (!conns_.empty())
+                closeConn(conns_.begin()->first);
+            return false;
+        }
+        if (summaryQueued_ && conns_.empty())
+            return true;
+
+        const int n = ::epoll_wait(epollFd_, events, 64, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            abortRun(formatMessage("epoll_wait: ",
+                                   std::strerror(errno)));
+            continue;
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == listenFd_) {
+                acceptReady();
+                continue;
+            }
+            const auto it = conns_.find(fd);
+            if (it == conns_.end())
+                continue; // closed by an earlier event this batch
+            Conn &conn = *it->second;
+            if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+                readReady(conn);
+                continue;
+            }
+            if (events[i].events & EPOLLIN)
+                readReady(conn);
+            if (conns_.count(fd) != 0 &&
+                (events[i].events & EPOLLOUT)) {
+                flushWrites(conn);
+                if (conns_.count(fd) != 0)
+                    updateWriteInterest(conn);
+            }
+        }
+        tally.fold();
+        tally = DrainTally{};
+    }
+}
+
+void
+EpollServer::acceptReady()
+{
+    while (true) {
+        const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (summaryQueued_) {
+            ::close(fd); // the run is over; no late joiners
+            continue;
+        }
+        setNoDelay(fd);
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            ::close(fd);
+            continue;
+        }
+        conns_.emplace(fd, std::move(conn));
+        if (MetricsRegistry *metrics = obsMetrics())
+            metrics->counter("net.accepts").add(1);
+    }
+}
+
+void
+EpollServer::readReady(Conn &conn)
+{
+    const int fd = conn.fd;
+    const bool alive = config_.batched ? drainBatched(conn)
+                                       : drainPerMessage(conn);
+    if (!alive || conns_.count(fd) == 0)
+        return; // connection already closed
+    flushWrites(conn);
+    const auto it = conns_.find(fd);
+    if (it != conns_.end())
+        updateWriteInterest(*it->second);
+}
+
+bool
+EpollServer::drainBatched(Conn &conn)
+{
+    const TraceSpan span("net.drain", "net");
+    bool eof = false;
+    while (true) {
+        const std::size_t base = conn.rbuf.size();
+        conn.rbuf.resize(base + config_.readChunk);
+        const ssize_t r = ::read(conn.fd, conn.rbuf.data() + base,
+                                 config_.readChunk);
+        if (r > 0) {
+            conn.rbuf.resize(base + static_cast<std::size_t>(r));
+            ++tally.reads;
+            tally.bytesIn += static_cast<std::uint64_t>(r);
+            continue;
+        }
+        conn.rbuf.resize(base);
+        if (r == 0) {
+            eof = true;
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        eof = true; // hard socket error: treat as a disconnect
+        break;
+    }
+
+    if (!processBuffered(conn, false))
+        return false;
+
+    if (eof) {
+        const int fd = conn.fd;
+        const bool abandoned = !summaryQueued_ && conn.handshaked &&
+                               !conn.finishedSent;
+        if (!conn.rbuf.empty()) {
+            if (MetricsRegistry *metrics = obsMetrics())
+                metrics->counter("net.dirty_disconnects").add(1);
+        }
+        if (abandoned)
+            abortRun("client disconnected mid-run before Finished");
+        closeConn(fd);
+        return false;
+    }
+    return true;
+}
+
+bool
+EpollServer::drainPerMessage(Conn &conn)
+{
+    // The deliberately naive baseline: one recv per header/payload
+    // step, at most one frame processed per wakeup, one write() per
+    // queued response. Level-triggered epoll re-arms for the rest.
+    while (true) {
+        std::size_t need = kHeaderSize;
+        if (conn.rbuf.size() >= kHeaderSize) {
+            const std::uint32_t length =
+                static_cast<std::uint32_t>(conn.rbuf[8]) |
+                static_cast<std::uint32_t>(conn.rbuf[9]) << 8 |
+                static_cast<std::uint32_t>(conn.rbuf[10]) << 16 |
+                static_cast<std::uint32_t>(conn.rbuf[11]) << 24;
+            if (length > kMaxFramePayload)
+                return processBuffered(conn, true); // reject via codec
+            need = kHeaderSize + length;
+        }
+        if (conn.rbuf.size() >= need)
+            return processBuffered(conn, true);
+
+        const std::size_t base = conn.rbuf.size();
+        conn.rbuf.resize(need);
+        const ssize_t r =
+            ::read(conn.fd, conn.rbuf.data() + base, need - base);
+        conn.rbuf.resize(base +
+                         (r > 0 ? static_cast<std::size_t>(r) : 0));
+        if (r > 0) {
+            ++tally.reads;
+            tally.bytesIn += static_cast<std::uint64_t>(r);
+            continue;
+        }
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;
+        if (r < 0 && errno == EINTR)
+            continue;
+        const int fd = conn.fd;
+        const bool abandoned = !summaryQueued_ && conn.handshaked &&
+                               !conn.finishedSent;
+        if (!conn.rbuf.empty()) {
+            if (MetricsRegistry *metrics = obsMetrics())
+                metrics->counter("net.dirty_disconnects").add(1);
+        }
+        if (abandoned)
+            abortRun("client disconnected mid-run before Finished");
+        closeConn(fd);
+        return false;
+    }
+}
+
+bool
+EpollServer::processBuffered(Conn &conn, bool single)
+{
+    const int fd = conn.fd;
+    std::size_t offset = 0;
+    bool keep = true;
+    while (keep) {
+        FrameView frame;
+        std::size_t consumed = 0;
+        std::string error;
+        const DecodeStatus status = tryDecodeFrame(
+            conn.rbuf.data() + offset, conn.rbuf.size() - offset,
+            frame, consumed, error);
+        if (status == DecodeStatus::NeedMore)
+            break;
+        if (status == DecodeStatus::Bad) {
+            const bool participant = conn.handshaked;
+            PlaneOutcome outcome = PlaneOutcome::fail(
+                PlaneError::None, "malformed frame: " + error);
+            sendError(conn, outcome);
+            if (participant)
+                abortRun(outcome.message);
+            keep = false;
+            break;
+        }
+        offset += consumed;
+        ++tally.framesIn;
+        keep = handleFrame(conn, frame);
+        if (conns_.count(fd) == 0)
+            return false; // closed underneath us (e.g. after Bye)
+        if (single)
+            break;
+    }
+    // One compaction per drain pass, after the batch decode.
+    if (offset > 0)
+        conn.rbuf.erase(conn.rbuf.begin(),
+                        conn.rbuf.begin() +
+                            static_cast<std::ptrdiff_t>(offset));
+    if (keep)
+        return true;
+    if (conn.wqueue.empty()) {
+        closeConn(fd);
+        return false;
+    }
+    conn.closeAfterFlush = true;
+    flushWrites(conn);
+    const auto it = conns_.find(fd);
+    if (it != conns_.end())
+        updateWriteInterest(*it->second);
+    return false;
+}
+
+bool
+EpollServer::handleFrame(Conn &conn, const FrameView &frame)
+{
+    const int fd = conn.fd;
+    try {
+        if (!conn.handshaked && frame.type != MsgType::Hello) {
+            sendError(conn,
+                      PlaneOutcome::fail(
+                          PlaneError::None,
+                          formatMessage(msgTypeName(frame.type),
+                                        " before Hello")));
+            return false;
+        }
+        switch (frame.type) {
+        case MsgType::Hello: {
+            if (conn.handshaked) {
+                sendError(conn, PlaneOutcome::fail(
+                                    PlaneError::None,
+                                    "duplicate Hello"));
+                return false;
+            }
+            const HelloMsg hello = HelloMsg::decode(frame);
+            conn.handshaked = true;
+            conn.subscriptions = hello.subscriptions;
+            ++handshakedEver_;
+            std::vector<std::uint8_t> payload;
+            plane_->helloAck().encode(payload);
+            queueFrame(conn, MsgType::HelloAck, 0, payload);
+            return true;
+        }
+        case MsgType::Event: {
+            const EventMsg event = EventMsg::decode(frame);
+            const PlaneOutcome outcome = plane_->ingest(event);
+            if (!outcome.ok) {
+                sendError(conn, outcome);
+                abortRun(outcome.message);
+                return false;
+            }
+            AckMsg ack{event.seq, plane_->epochsCommitted()};
+            std::vector<std::uint8_t> payload;
+            ack.encode(payload);
+            queueFrame(conn, MsgType::Ack, 0, payload);
+            broadcastOutputs();
+            return true;
+        }
+        case MsgType::CheckpointRequest: {
+            std::vector<std::uint8_t> payload;
+            plane_->checkpointNow().encode(payload);
+            queueFrame(conn, MsgType::CheckpointAck, 0, payload);
+            return true;
+        }
+        case MsgType::Finished: {
+            const FinishedMsg finished = FinishedMsg::decode(frame);
+            if (!conn.finishedSent) {
+                conn.finishedSent = true;
+                ++finishedClients_;
+                plane_->declareFinished(finished.eventsSent);
+                finishRunIfReady();
+            }
+            return conns_.count(fd) != 0;
+        }
+        default:
+            sendError(conn,
+                      PlaneOutcome::fail(
+                          PlaneError::None,
+                          formatMessage("unexpected ",
+                                        msgTypeName(frame.type),
+                                        " frame from a client")));
+            if (conn.handshaked)
+                abortRun("unexpected frame type from a client");
+            return false;
+        }
+    } catch (const FatalError &err) {
+        // Hostile payload: the codec refused it. Kill the connection,
+        // and the run with it when the peer was a participant.
+        const bool participant = conn.handshaked;
+        sendError(conn, PlaneOutcome::fail(PlaneError::None,
+                                           err.what()));
+        if (participant)
+            abortRun(err.what());
+        return false;
+    }
+}
+
+void
+EpollServer::queueFrame(Conn &conn, MsgType type, std::uint16_t flags,
+                        const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> buf;
+    encodeFrame(buf, type, flags, payload.data(), payload.size());
+    conn.wqueue.push_back(std::move(buf));
+    ++tally.framesOut;
+}
+
+void
+EpollServer::broadcastOutputs()
+{
+    const std::vector<EpochOutput> outputs = plane_->takeOutputs();
+    if (outputs.empty())
+        return;
+    for (const EpochOutput &out : outputs) {
+        std::vector<std::uint8_t> complete;
+        out.complete.encode(complete);
+        std::vector<std::uint8_t> probes;
+        out.probes.encode(probes);
+        std::vector<std::uint8_t> assignment;
+        out.assignment.encode(assignment);
+        for (auto &[fd, conn] : conns_) {
+            if (!conn->handshaked)
+                continue;
+            queueFrame(*conn, MsgType::EpochComplete, 0, complete);
+            if (conn->subscriptions & kSubscribeProbes)
+                queueFrame(*conn, MsgType::ProbeResult, 0, probes);
+            if (conn->subscriptions & kSubscribeAssignments)
+                queueFrame(*conn, MsgType::Assignment, 0, assignment);
+        }
+    }
+}
+
+void
+EpollServer::sendError(Conn &conn, const PlaneOutcome &outcome)
+{
+    ErrorMsg msg;
+    msg.code = static_cast<std::uint32_t>(outcome.code);
+    msg.message = outcome.message;
+    std::vector<std::uint8_t> payload;
+    msg.encode(payload);
+    queueFrame(conn, MsgType::Error, 0, payload);
+    flushWrites(conn);
+}
+
+void
+EpollServer::finishRunIfReady()
+{
+    if (summaryQueued_ || finishedClients_ == 0 ||
+        finishedClients_ < handshakedEver_)
+        return;
+    const PlaneOutcome outcome = plane_->completeRun();
+    if (!outcome.ok) {
+        std::vector<int> fds;
+        fds.reserve(conns_.size());
+        for (const auto &[fd, conn] : conns_)
+            fds.push_back(fd);
+        for (const int fd : fds) {
+            const auto it = conns_.find(fd);
+            if (it != conns_.end())
+                sendError(*it->second, outcome);
+        }
+        abortRun(outcome.message);
+        return;
+    }
+    broadcastOutputs();
+    queueSummaryAndBye();
+}
+
+void
+EpollServer::queueSummaryAndBye()
+{
+    const std::string &summary = plane_->summary();
+    for (auto &[fd, conn] : conns_) {
+        if (!conn->handshaked)
+            continue;
+        std::size_t offset = 0;
+        do {
+            const std::size_t chunk = std::min(
+                config_.summaryChunk, summary.size() - offset);
+            const bool last = offset + chunk >= summary.size();
+            std::vector<std::uint8_t> buf;
+            encodeFrame(buf, MsgType::Summary,
+                        last ? kFlagLastChunk : 0,
+                        reinterpret_cast<const std::uint8_t *>(
+                            summary.data() + offset),
+                        chunk);
+            conn->wqueue.push_back(std::move(buf));
+            ++tally.framesOut;
+            offset += chunk;
+        } while (offset < summary.size());
+        queueFrame(*conn, MsgType::Bye, 0, {});
+        conn->closeAfterFlush = true;
+    }
+    summaryQueued_ = true;
+    // Flush everything we can now; EPOLLOUT covers the rest.
+    std::vector<int> fds;
+    fds.reserve(conns_.size());
+    for (const auto &[fd, conn] : conns_)
+        fds.push_back(fd);
+    for (const int fd : fds) {
+        const auto it = conns_.find(fd);
+        if (it == conns_.end())
+            continue;
+        flushWrites(*it->second);
+        if (conns_.count(fd) != 0)
+            updateWriteInterest(*it->second);
+    }
+}
+
+void
+EpollServer::flushWrites(Conn &conn)
+{
+    while (!conn.wqueue.empty()) {
+        ssize_t written = 0;
+        if (config_.batched) {
+            // Coalesce queued frames into one writev.
+            iovec iov[kMaxIov];
+            std::size_t niov = 0;
+            std::size_t front = conn.wfront;
+            for (const auto &buf : conn.wqueue) {
+                if (niov == kMaxIov)
+                    break;
+                iov[niov].iov_base =
+                    const_cast<std::uint8_t *>(buf.data()) + front;
+                iov[niov].iov_len = buf.size() - front;
+                ++niov;
+                front = 0;
+            }
+            written = ::writev(conn.fd, iov,
+                               static_cast<int>(niov));
+        } else {
+            const auto &buf = conn.wqueue.front();
+            written = ::write(conn.fd, buf.data() + conn.wfront,
+                              buf.size() - conn.wfront);
+        }
+        if (written < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                conn.wantWrite = true;
+                return;
+            }
+            if (errno == EINTR)
+                continue;
+            closeConn(conn.fd); // peer is gone; drop the backlog
+            return;
+        }
+        ++tally.writes;
+        tally.bytesOut += static_cast<std::uint64_t>(written);
+        std::size_t left = static_cast<std::size_t>(written);
+        while (left > 0) {
+            auto &buf = conn.wqueue.front();
+            const std::size_t remain = buf.size() - conn.wfront;
+            if (left >= remain) {
+                left -= remain;
+                conn.wfront = 0;
+                conn.wqueue.pop_front();
+            } else {
+                conn.wfront += left;
+                left = 0;
+            }
+        }
+    }
+    conn.wantWrite = false;
+    if (conn.closeAfterFlush)
+        closeConn(conn.fd);
+}
+
+void
+EpollServer::updateWriteInterest(Conn &conn)
+{
+    const bool want = !conn.wqueue.empty();
+    epoll_event ev{};
+    ev.events = want ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    ev.data.fd = conn.fd;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.wantWrite = want;
+}
+
+void
+EpollServer::closeConn(int fd)
+{
+    const auto it = conns_.find(fd);
+    if (it == conns_.end())
+        return;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns_.erase(it);
+}
+
+void
+EpollServer::abortRun(const std::string &why)
+{
+    if (aborted_)
+        return;
+    aborted_ = true;
+    lastError_ = why;
+    if (MetricsRegistry *metrics = obsMetrics())
+        metrics->counter("net.runs_aborted").add(1);
+}
+
+} // namespace cooper::net
+
+#else // !__linux__
+
+namespace cooper::net {
+
+EpollServer::EpollServer(ServicePlane &plane, ServerConfig config)
+    : plane_(&plane), config_(std::move(config))
+{
+    fatal("EpollServer: the service plane requires Linux epoll");
+}
+
+EpollServer::~EpollServer() = default;
+
+bool
+EpollServer::runUntilServed()
+{
+    return false;
+}
+
+void EpollServer::acceptReady() {}
+void EpollServer::readReady(Conn &) {}
+bool EpollServer::drainBatched(Conn &) { return false; }
+bool EpollServer::drainPerMessage(Conn &) { return false; }
+bool EpollServer::processBuffered(Conn &, bool) { return false; }
+bool EpollServer::handleFrame(Conn &, const FrameView &)
+{
+    return false;
+}
+void EpollServer::queueFrame(Conn &, MsgType, std::uint16_t,
+                             const std::vector<std::uint8_t> &)
+{}
+void EpollServer::broadcastOutputs() {}
+void EpollServer::sendError(Conn &, const PlaneOutcome &) {}
+void EpollServer::finishRunIfReady() {}
+void EpollServer::queueSummaryAndBye() {}
+void EpollServer::flushWrites(Conn &) {}
+void EpollServer::updateWriteInterest(Conn &) {}
+void EpollServer::closeConn(int) {}
+void EpollServer::abortRun(const std::string &) {}
+
+} // namespace cooper::net
+
+#endif // __linux__

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Non-blocking epoll TCP server for the Cooper service plane.
+ *
+ * One thread, one epoll set, per-connection read/write buffers. The
+ * hot path is the batched drain: each EPOLLIN reads until EAGAIN into
+ * the connection buffer, decodes every complete frame in a single
+ * zero-copy pass (FrameViews point into the buffer; the undecoded
+ * tail is compacted once per drain), and responses are coalesced into
+ * writev() batches. `ServerConfig::batched = false` selects the
+ * deliberately naive baseline — one frame per read, one write() per
+ * response — which bench_serve contrasts against the batched path for
+ * the syscall-batching speedup phase.
+ *
+ * The server owns bytes and connection lifecycle only; ordering,
+ * validation, and stepping live in the ServicePlane, which is what
+ * keeps a served run byte-identical to the in-process replay.
+ */
+
+#ifndef COOPER_NET_SERVER_HH
+#define COOPER_NET_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/service_plane.hh"
+
+namespace cooper::net {
+
+/** Socket-layer knobs; none of them affect the served decisions. */
+struct ServerConfig
+{
+    std::string host = "127.0.0.1";
+
+    /** Listen port; 0 binds an ephemeral port (see port()). */
+    std::uint16_t port = 0;
+
+    /** Batched drain + writev coalescing (the optimized path); false
+     *  selects the per-message-syscall baseline. */
+    bool batched = true;
+
+    /** Read chunk size for the batched drain. */
+    std::size_t readChunk = 64 * 1024;
+
+    /** Summary frames are chunked to this payload size. */
+    std::size_t summaryChunk = 64 * 1024;
+};
+
+/**
+ * Serves exactly one run: accept clients, feed their frames to the
+ * plane, broadcast epoch outputs, and after every client finishes,
+ * deliver the summary and close. Linux-only (epoll); constructing on
+ * another platform is fatal.
+ */
+class EpollServer
+{
+  public:
+    /** Binds and listens immediately; fatal on socket errors. */
+    EpollServer(ServicePlane &plane, ServerConfig config);
+    ~EpollServer();
+
+    EpollServer(const EpollServer &) = delete;
+    EpollServer &operator=(const EpollServer &) = delete;
+
+    /** The bound port (resolves an ephemeral request). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Serve until the run completes and every client got the summary
+     * (true), or until a protocol error / client abort kills the run
+     * (false; see lastError()).
+     */
+    bool runUntilServed();
+
+    /** Why runUntilServed() returned false. */
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::vector<std::uint8_t> rbuf;
+        std::deque<std::vector<std::uint8_t>> wqueue;
+        std::size_t wfront = 0; //!< bytes of wqueue.front() written
+        bool wantWrite = false; //!< EPOLLOUT currently armed
+        bool handshaked = false;
+        std::uint32_t subscriptions = 0;
+        bool finishedSent = false; //!< client sent Finished
+        bool closeAfterFlush = false;
+    };
+
+    void acceptReady();
+    void readReady(Conn &conn);
+    bool drainBatched(Conn &conn);
+    bool drainPerMessage(Conn &conn);
+
+    /** Decode and dispatch every complete frame in conn.rbuf; at most
+     *  one frame when `single`. Returns false when the connection
+     *  must close. */
+    bool processBuffered(Conn &conn, bool single);
+    bool handleFrame(Conn &conn, const FrameView &frame);
+
+    void queueFrame(Conn &conn, MsgType type, std::uint16_t flags,
+                    const std::vector<std::uint8_t> &payload);
+    void broadcastOutputs();
+    void sendError(Conn &conn, const PlaneOutcome &outcome);
+    void finishRunIfReady();
+    void queueSummaryAndBye();
+
+    void flushWrites(Conn &conn);
+    void updateWriteInterest(Conn &conn);
+    void closeConn(int fd);
+    void abortRun(const std::string &why);
+
+    ServicePlane *plane_;
+    ServerConfig config_;
+
+    int listenFd_ = -1;
+    int epollFd_ = -1;
+    std::uint16_t port_ = 0;
+
+    std::map<int, std::unique_ptr<Conn>> conns_;
+    std::size_t handshakedEver_ = 0;
+    std::size_t finishedClients_ = 0;
+    bool summaryQueued_ = false;
+    bool aborted_ = false;
+    std::string lastError_;
+};
+
+} // namespace cooper::net
+
+#endif // COOPER_NET_SERVER_HH

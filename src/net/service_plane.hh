@@ -1,0 +1,192 @@
+/**
+ * @file
+ * ServicePlane: the determinism boundary between the socket layer and
+ * the online drivers.
+ *
+ * The plane turns an unordered, multi-connection stream of EventMsgs
+ * back into the canonical churn order and drives an OnlineDriver or
+ * ShardedDriver through exactly the stepEpoch() sequence that
+ * run(trace) would have executed, so a served trace produces a
+ * byte-identical summary to the in-process replay. Three rules make
+ * this hold:
+ *
+ *  1. Events carry `seq`, their index in the canonical ChurnTrace
+ *     order (ticks are non-decreasing in seq). A reorder buffer
+ *     delivers contiguous runs into the driver's EventQueue in seq
+ *     order, which matches queue.push(trace) exactly — the queue
+ *     breaks tick ties by push order.
+ *  2. Mid-stream, an epoch steps only when its boundary tick is <=
+ *     the last delivered tick: every undelivered event has tick >=
+ *     lastDeliveredTick >= boundary, so none of them belongs to the
+ *     epoch being committed. When the condition holds the queue still
+ *     contains the frontier event itself, so run() would also have
+ *     stepped (never an extra empty epoch).
+ *  3. After every client finishes (with a declared-count loss check),
+ *     the plane drains to idle() just as run() does.
+ *
+ * Hostile streams are validated here, before the driver sees them —
+ * unknown job types, replayed or duplicate seqs, uid reuse,
+ * departures of unknown jobs, tick regressions, and events after
+ * Finished all produce a protocol error (the server answers with an
+ * Error frame), never a crash. Mirrors the io/serialize posture.
+ */
+
+#ifndef COOPER_NET_SERVICE_PLANE_HH
+#define COOPER_NET_SERVICE_PLANE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/frame.hh"
+#include "online/driver.hh"
+#include "shard/sharded_driver.hh"
+
+namespace cooper::net {
+
+/** Protocol error codes carried by ErrorMsg. */
+enum class PlaneError : std::uint32_t
+{
+    None = 0,
+    BadType = 1,       //!< arrival names a type outside the catalog
+    DuplicateSeq = 2,  //!< seq replayed or already pending
+    UidReuse = 3,      //!< arrival uid was used before
+    UnknownUid = 4,    //!< departure of an unknown/departed uid
+    TickRegression = 5, //!< delivered tick went backwards
+    BeforeClock = 6,   //!< event predates the driver's clock
+    AfterFinish = 7,   //!< event after the run completed
+    CountMismatch = 8, //!< declared counts != events ingested
+    MissingEvents = 9, //!< finish with gaps in the seq space
+    SeqWindow = 10,    //!< seq too far ahead of the frontier
+};
+
+/** Out-of-order events the plane will park before giving up — bounds
+ *  the reorder buffer against a hostile sender that opens with a huge
+ *  seq and never fills the gap. */
+constexpr std::uint64_t kMaxPendingEvents = 1u << 20;
+
+/** One ingest/finish verdict; ok == true means accepted. */
+struct PlaneOutcome
+{
+    bool ok = true;
+    PlaneError code = PlaneError::None;
+    std::string message;
+
+    static PlaneOutcome
+    fail(PlaneError code, std::string message)
+    {
+        return {false, code, std::move(message)};
+    }
+};
+
+/** Everything one committed epoch tells subscribed clients. */
+struct EpochOutput
+{
+    EpochCompleteMsg complete;
+    ProbeResultMsg probes;
+    AssignmentMsg assignment;
+};
+
+/**
+ * Drives one flat or sharded driver from decoded messages. Owns the
+ * event queue and the report; the socket layer owns nothing but
+ * bytes.
+ */
+class ServicePlane
+{
+  public:
+    /** On-demand checkpoint hook (CheckpointRequest frames); returns
+     *  whether the write landed. */
+    using CheckpointHook = std::function<bool()>;
+
+    /** Serve a flat driver. The driver must be freshly constructed or
+     *  restored; the plane begins its report immediately. */
+    ServicePlane(const Catalog &catalog, OnlineDriver &driver);
+
+    /** Serve a sharded fleet. */
+    ServicePlane(const Catalog &catalog, ShardedDriver &driver);
+
+    void setCheckpointHook(CheckpointHook hook);
+
+    /** Handshake parameters for HelloAck. */
+    HelloAckMsg helloAck() const;
+
+    /**
+     * Accept one event. On success the reorder frontier may advance
+     * and zero or more epochs commit (see takeOutputs()); on failure
+     * the plane is poisoned and every later call fails too.
+     */
+    PlaneOutcome ingest(const EventMsg &event);
+
+    /** Record one client's declared event count (Finished frame). */
+    void declareFinished(std::uint64_t eventsSent);
+
+    /**
+     * All clients are done: verify nothing was lost (no seq gaps,
+     * declared counts match), then drain the driver to idle and
+     * finalize the report. After this, summary() is available.
+     */
+    PlaneOutcome completeRun();
+
+    /** Invoke the checkpoint hook now (CheckpointRequest). */
+    CheckpointAckMsg checkpointNow();
+
+    /** Epoch outputs committed since the last call (move-out). */
+    std::vector<EpochOutput> takeOutputs();
+
+    /** Fleet epochs committed so far (for Ack frames). */
+    std::uint64_t epochsCommitted() const;
+
+    /** Events accepted so far. */
+    std::uint64_t eventsIngested() const { return eventsIngested_; }
+
+    bool finished() const { return finished_; }
+
+    /** The run summary (exact writeOnlineSummary/writeShardedSummary
+     *  bytes); fatal before completeRun() succeeds. */
+    const std::string &summary() const;
+
+  private:
+    PlaneOutcome deliver(const EventMsg &event);
+    void stepReadyEpochs();
+    void stepOne();
+    Tick epochBoundary() const;
+    bool driverIdle() const;
+    Tick driverClock() const;
+    EpochOutput makeOutput() const;
+
+    const Catalog *catalog_ = nullptr;
+    OnlineDriver *flat_ = nullptr;
+    ShardedDriver *sharded_ = nullptr;
+    PlaneOutcome poison_;
+
+    EventQueue queue_;
+    OnlineReport flatReport_;
+    ShardedReport shardedReport_;
+
+    /** Out-of-order events parked until their seq is next. */
+    std::map<std::uint64_t, EventMsg> pending_;
+    std::uint64_t nextSeq_ = 0;
+    Tick lastDeliveredTick_ = 0;
+    bool anyDelivered_ = false;
+
+    std::unordered_set<std::uint64_t> seenUids_;
+    std::unordered_set<std::uint64_t> activeUids_;
+
+    std::uint64_t eventsIngested_ = 0;
+    std::uint64_t declaredTotal_ = 0;
+
+    std::vector<EpochOutput> outputs_;
+    CheckpointHook checkpointHook_;
+
+    bool poisoned_ = false;
+    bool finished_ = false;
+    std::string summary_;
+};
+
+} // namespace cooper::net
+
+#endif // COOPER_NET_SERVICE_PLANE_HH

@@ -191,6 +191,16 @@ ShardedDriver::run(const ChurnTrace &trace)
               global.nextTick(), ", before the clock (", clockTick(),
               "); resume with trace.suffix(clockTick())");
 
+    ShardedReport report = beginReport();
+    while (!idle(global))
+        stepEpoch(global, report);
+    finalizeReport(report);
+    return report;
+}
+
+ShardedReport
+ShardedDriver::beginReport() const
+{
     ShardedReport report;
     report.policy = config_.policy;
     report.seed = seed_;
@@ -199,63 +209,68 @@ ShardedDriver::run(const ChurnTrace &trace)
         config_.execution.online.rebalanceBudgetPerEpoch;
     for (const auto &driver : drivers_)
         report.perShard.push_back(driver->beginReport());
+    return report;
+}
 
+void
+ShardedDriver::stepEpoch(EventQueue &global, ShardedReport &report)
+{
     const std::size_t threads = config_.execution.threads;
-    while (!idle(global)) {
-        ShardEpochStats stats;
-        stats.epoch = epoch_;
-        stats.tick = (epoch_ + 1) * config_.execution.online.epochTicks;
+    ShardEpochStats stats;
+    stats.epoch = epoch_;
+    stats.tick = (epoch_ + 1) * config_.execution.online.epochTicks;
 
-        // 1. Route this epoch's events to their shards. Arrivals go
-        // by type, departures by the uid's current home.
-        routeEpoch(global);
+    // 1. Route this epoch's events to their shards. Arrivals go
+    // by type, departures by the uid's current home.
+    routeEpoch(global);
 
-        // 2. Step every shard through the epoch concurrently. Shards
-        // share no mutable state — each writes only its own queue,
-        // report slot, and driver — and every random draw comes from
-        // the shard's own substreams, so the commit is bit-identical
-        // at any thread count.
-        {
-            const TraceSpan epoch_span("shard.epoch", "shard");
-            const ScopedTimer timer("shard.epoch_seconds");
-            parallelFor(0, drivers_.size(), threads,
-                        [&](std::size_t s) {
-                            drivers_[s]->stepEpoch(queues_[s],
-                                                   report.perShard[s]);
-                        });
-        }
-        for (const auto &driver : drivers_)
-            panicIf(driver->epoch() != epoch_ + 1,
-                    "ShardedDriver: shard clocks diverged");
-        ++epoch_;
+    // 2. Step every shard through the epoch concurrently. Shards
+    // share no mutable state — each writes only its own queue,
+    // report slot, and driver — and every random draw comes from
+    // the shard's own substreams, so the commit is bit-identical
+    // at any thread count.
+    {
+        const TraceSpan epoch_span("shard.epoch", "shard");
+        const ScopedTimer timer("shard.epoch_seconds");
+        parallelFor(0, drivers_.size(), threads,
+                    [&](std::size_t s) {
+                        drivers_[s]->stepEpoch(queues_[s],
+                                               report.perShard[s]);
+                    });
+    }
+    for (const auto &driver : drivers_)
+        panicIf(driver->epoch() != epoch_ + 1,
+                "ShardedDriver: shard clocks diverged");
+    ++epoch_;
 
-        // 3. One egalitarian rebalance pass on the committed state;
-        // migrants land in their target's admission queue at the new
-        // clock tick, so they rejoin at the next epoch boundary.
-        rebalance(stats);
+    // 3. One egalitarian rebalance pass on the committed state;
+    // migrants land in their target's admission queue at the new
+    // clock tick, so they rejoin at the next epoch boundary.
+    rebalance(stats);
 
-        for (const auto &driver : drivers_)
-            stats.population += driver->live().size();
+    for (const auto &driver : drivers_)
+        stats.population += driver->live().size();
 
-        maybeCheckpoint();
+    maybeCheckpoint();
 
-        if (MetricsRegistry *metrics = obsMetrics()) {
-            metrics->counter("shard.epochs").add(1);
-            metrics->counter("shard.migrations").add(stats.migrations);
-            metrics->gauge("shard.objective").set(stats.objectiveAfter);
-            metrics->gauge("shard.population")
-                .set(static_cast<double>(stats.population));
-            for (std::size_t s = 0; s < drivers_.size(); ++s)
-                metrics
-                    ->gauge("shard." + std::to_string(s) +
-                            ".population")
-                    .set(static_cast<double>(
-                        drivers_[s]->live().size()));
-        }
-
-        report.epochs.push_back(stats);
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        metrics->counter("shard.epochs").add(1);
+        metrics->counter("shard.migrations").add(stats.migrations);
+        metrics->gauge("shard.objective").set(stats.objectiveAfter);
+        metrics->gauge("shard.population")
+            .set(static_cast<double>(stats.population));
+        for (std::size_t s = 0; s < drivers_.size(); ++s)
+            metrics
+                ->gauge("shard." + std::to_string(s) + ".population")
+                .set(static_cast<double>(drivers_[s]->live().size()));
     }
 
+    report.epochs.push_back(stats);
+}
+
+void
+ShardedDriver::finalizeReport(ShardedReport &report) const
+{
     for (std::size_t s = 0; s < drivers_.size(); ++s)
         drivers_[s]->finalizeReport(report.perShard[s]);
     report.totalCrossMigrations = totalCrossMigrations_;
@@ -264,7 +279,6 @@ ShardedDriver::run(const ChurnTrace &trace)
     report.finalPopulation = 0;
     for (const auto &driver : drivers_)
         report.finalPopulation += driver->live().size();
-    return report;
 }
 
 ShardedState

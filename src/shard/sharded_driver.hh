@@ -137,6 +137,26 @@ class ShardedDriver
      */
     ShardedReport run(const ChurnTrace &trace);
 
+    // -- Stepwise interface, mirroring OnlineDriver's. run() is
+    // exactly beginReport(), then stepEpoch() until idle(), then
+    // finalizeReport(); the net ServicePlane drives the fleet through
+    // the same calls as events stream in over TCP, so a served trace
+    // reproduces run() bit-for-bit.
+
+    /** Report skeleton (policy, seed, shard skeletons) for a stepwise
+     *  run. */
+    ShardedReport beginReport() const;
+
+    /** Play exactly one fleet epoch against `global` (route, step all
+     *  shards, rebalance, checkpoint) and append its stats. */
+    void stepEpoch(EventQueue &global, ShardedReport &report);
+
+    /** Nothing left to do on any shard and no events pending. */
+    bool idle(const EventQueue &global) const;
+
+    /** Fill in the fleet totals and final-state fields. */
+    void finalizeReport(ShardedReport &report) const;
+
     /** Checkpoint the fleet between epochs. */
     ShardedState snapshot() const;
 
@@ -148,7 +168,6 @@ class ShardedDriver
     void routeEpoch(EventQueue &global);
     void rebalance(ShardEpochStats &stats);
     void maybeCheckpoint();
-    bool idle(const EventQueue &global) const;
 
     const Catalog *catalog_;
     FrameworkConfig config_;

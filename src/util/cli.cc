@@ -119,4 +119,69 @@ CliFlags::usage(const std::string &program) const
     return os.str();
 }
 
+void
+CliCommands::declare(const std::string &name, Handler handler)
+{
+    fatalIf(handlers_.count(name) != 0,
+            "CliCommands: duplicate subcommand '", name, "'");
+    handlers_[name] = std::move(handler);
+    order_.push_back(name);
+}
+
+void
+CliCommands::routeBareFlagsTo(const std::string &name)
+{
+    fatalIf(handlers_.count(name) == 0,
+            "CliCommands: bare-flag target '", name,
+            "' was never declared");
+    bareFlagTarget_ = name;
+}
+
+int
+CliCommands::run(int argc, const char *const *argv,
+                 std::ostream &out, std::ostream &err) const
+{
+    if (argc < 2) {
+        out << usage_;
+        return 2;
+    }
+
+    const std::string first = argv[1];
+    std::string name;
+    int sub_argc = 0;
+    const char *const *sub_argv = nullptr;
+    if (first.rfind("--", 0) == 0 && !bareFlagTarget_.empty()) {
+        // Bare flags keep argv intact so the handler's CliFlags sees
+        // them all.
+        name = bareFlagTarget_;
+        sub_argc = argc;
+        sub_argv = argv;
+    } else {
+        name = first;
+        sub_argc = argc - 1;
+        sub_argv = argv + 1;
+    }
+
+    const auto it = handlers_.find(name);
+    if (it == handlers_.end()) {
+        err << program_ << ": unknown subcommand '" << name << "'\n"
+            << usage_;
+        return 2;
+    }
+    try {
+        return it->second(sub_argc, sub_argv);
+    } catch (const std::exception &e) {
+        err << program_ << " " << name << ": " << e.what() << "\n"
+            << "Run '" << program_ << " " << name
+            << " --help' to list its flags.\n";
+        return 2;
+    }
+}
+
+int
+CliCommands::run(int argc, const char *const *argv) const
+{
+    return run(argc, argv, std::cout, std::cerr);
+}
+
 } // namespace cooper

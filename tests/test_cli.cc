@@ -1,9 +1,14 @@
 /**
  * @file
- * Unit tests for command-line flag parsing.
+ * Unit tests for command-line flag parsing and subcommand dispatch:
+ * unknown flags and subcommands are hard failures that name the
+ * offender, never silent no-ops.
  */
 
 #include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
 
 #include "util/cli.hh"
 #include "util/error.hh"
@@ -94,6 +99,121 @@ TEST(CliFlags, UsageListsFlags)
     const std::string usage = flags.usage("prog");
     EXPECT_NE(usage.find("--agents"), std::string::npos);
     EXPECT_NE(usage.find("population size"), std::string::npos);
+}
+
+TEST(CliCommands, DispatchesToTheNamedSubcommand)
+{
+    CliCommands commands("tool");
+    int seen_argc = 0;
+    std::string seen_first;
+    commands.declare("go", [&](int argc, const char *const *argv) {
+        seen_argc = argc;
+        seen_first = argv[0];
+        return 0;
+    });
+
+    const char *argv[] = {"tool", "go", "--n=1"};
+    std::ostringstream out, err;
+    EXPECT_EQ(commands.run(3, argv, out, err), 0);
+    // The handler sees argv shifted so CliFlags parses its own flags.
+    EXPECT_EQ(seen_argc, 2);
+    EXPECT_EQ(seen_first, "go");
+}
+
+TEST(CliCommands, UnknownSubcommandNamesTheOffenderAndFails)
+{
+    CliCommands commands("tool");
+    commands.declare("go",
+                     [](int, const char *const *) { return 0; });
+    commands.setUsageText("Usage: tool <go> [flags]\n");
+
+    const char *argv[] = {"tool", "frobnicate"};
+    std::ostringstream out, err;
+    EXPECT_EQ(commands.run(2, argv, out, err), 2);
+    EXPECT_NE(err.str().find("unknown subcommand 'frobnicate'"),
+              std::string::npos);
+    EXPECT_NE(err.str().find("Usage: tool"), std::string::npos);
+}
+
+TEST(CliCommands, NoArgumentsPrintsUsageAndFails)
+{
+    CliCommands commands("tool");
+    commands.declare("go",
+                     [](int, const char *const *) { return 0; });
+    commands.setUsageText("Usage: tool <go> [flags]\n");
+
+    const char *argv[] = {"tool"};
+    std::ostringstream out, err;
+    EXPECT_EQ(commands.run(1, argv, out, err), 2);
+    EXPECT_NE(out.str().find("Usage: tool"), std::string::npos);
+}
+
+TEST(CliCommands, BareFlagsRouteToTheDefaultSubcommand)
+{
+    CliCommands commands("tool");
+    int seen_argc = 0;
+    std::string seen_flag;
+    commands.declare("go", [&](int argc, const char *const *argv) {
+        seen_argc = argc;
+        seen_flag = argv[1];
+        return 0;
+    });
+    commands.routeBareFlagsTo("go");
+
+    // Legacy spelling: flags with no subcommand keep argv intact.
+    const char *argv[] = {"tool", "--n=1"};
+    std::ostringstream out, err;
+    EXPECT_EQ(commands.run(2, argv, out, err), 0);
+    EXPECT_EQ(seen_argc, 2);
+    EXPECT_EQ(seen_flag, "--n=1");
+}
+
+TEST(CliCommands, UnknownFlagFailureNamesTheSubcommand)
+{
+    // A handler whose CliFlags rejects an unrecognized flag must
+    // surface that as a hard dispatch failure with a --help hint, not
+    // a crash and not a silently ignored argument.
+    CliCommands commands("tool");
+    commands.declare("go", [](int argc, const char *const *argv) {
+        CliFlags flags;
+        flags.declare("n", "1", "n");
+        flags.parse(argc, argv);
+        return 0;
+    });
+
+    const char *argv[] = {"tool", "go", "--bogus=1"};
+    std::ostringstream out, err;
+    EXPECT_EQ(commands.run(3, argv, out, err), 2);
+    EXPECT_NE(err.str().find("tool go:"), std::string::npos);
+    EXPECT_NE(err.str().find("unknown flag --bogus"),
+              std::string::npos);
+    EXPECT_NE(err.str().find("tool go --help"), std::string::npos);
+}
+
+TEST(CliCommands, HandlerExitCodePassesThrough)
+{
+    CliCommands commands("tool");
+    commands.declare("go",
+                     [](int, const char *const *) { return 3; });
+    const char *argv[] = {"tool", "go"};
+    std::ostringstream out, err;
+    EXPECT_EQ(commands.run(2, argv, out, err), 3);
+}
+
+TEST(CliCommands, DuplicateSubcommandFatal)
+{
+    CliCommands commands("tool");
+    commands.declare("go",
+                     [](int, const char *const *) { return 0; });
+    EXPECT_THROW(commands.declare(
+                     "go", [](int, const char *const *) { return 0; }),
+                 FatalError);
+}
+
+TEST(CliCommands, BareFlagTargetMustBeDeclared)
+{
+    CliCommands commands("tool");
+    EXPECT_THROW(commands.routeBareFlagsTo("missing"), FatalError);
 }
 
 } // namespace

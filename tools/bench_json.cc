@@ -20,7 +20,11 @@
  *    shape, one `scale<K>` phase per shard count above one, and a
  *    shards object with at least two per-shard-count rows (wall
  *    clock, speedup, efficiency = speedup/K, egalitarian objective,
- *    migrations).
+ *    migrations);
+ *  - "cooper.bench_serve.v1" (bench_serve): the served workload
+ *    shape, the `serve` throughput and `batched_decode` comparison
+ *    phases, and a latency object with the sustained arrival rate
+ *    and the client-observed RTT / epoch-completion tails.
  *
  * Empty, truncated, or otherwise corrupt documents are hard failures
  * (exit 1) — a bench run that crashed mid-write must not validate.
@@ -31,7 +35,10 @@
  * positive speedup.
  *
  * --min-speedup takes phase=value pairs so a perf run can enforce the
- * acceptance numbers:
+ * acceptance numbers. Every floor is checked before the verdict: a
+ * failing run reports ALL offending phases, each with its measured
+ * value against the required one, so one fix-and-rerun cycle sees the
+ * whole damage:
  *
  *   bench_json --file BENCH_kernels.json \
  *       --min-speedup similarity=3,blocking=2
@@ -44,6 +51,7 @@
  */
 
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -59,6 +67,7 @@ constexpr const char *kKernelsSchema = "cooper.bench_kernels.v1";
 constexpr const char *kOnlineSchema = "cooper.bench_online.v1";
 constexpr const char *kFaultsSchema = "cooper.bench_faults.v1";
 constexpr const char *kShardSchema = "cooper.bench_shard.v1";
+constexpr const char *kServeSchema = "cooper.bench_serve.v1";
 
 const char *const kKernelPhases[] = {
     "similarity", "simd_similarity",      "predict", "matching",
@@ -85,6 +94,15 @@ const char *const kShardWorkloadFields[] = {
 const char *const kShardRowFields[] = {
     "shards",          "wall_seconds",     "speedup",   "efficiency",
     "egalitarian_final", "egalitarian_mean", "migrations", "epochs"};
+
+const char *const kServePhases[] = {"serve", "batched_decode"};
+
+const char *const kServeWorkloadFields[] = {
+    "events", "epochs", "types", "arrivals", "connections", "threads"};
+
+const char *const kServeLatencyFields[] = {
+    "arrivals_per_sec", "rtt_p50_ms",   "rtt_p99_ms", "rtt_p999_ms",
+    "epoch_p50_ms",     "epoch_p99_ms", "epoch_p999_ms"};
 
 const char *const kFaultsCounterFields[] = {
     "injected",          "retries",           "quarantined",
@@ -289,6 +307,35 @@ validateShard(const JsonValue &root, const std::string &path)
     }
 }
 
+void
+validateServe(const JsonValue &root, const std::string &path)
+{
+    const JsonValue &workload = member(root, "workload", path);
+    fatalIf(!workload.isObject(),
+            "bench_json: workload is not an object");
+    for (const char *field : kServeWorkloadFields)
+        numberField(workload, field, "workload");
+    checkTinyFlag(workload);
+
+    const JsonValue &phases = member(root, "phases", path);
+    fatalIf(!phases.isObject(), "bench_json: phases is not an object");
+    for (const char *name : kServePhases)
+        checkPhase(member(phases, name, "phases"), name);
+
+    const JsonValue &latency = member(root, "latency", path);
+    fatalIf(!latency.isObject(),
+            "bench_json: latency is not an object");
+    for (const char *field : kServeLatencyFields)
+        fatalIf(numberField(latency, field, "latency") < 0.0,
+                "bench_json: latency.", field, " is negative");
+
+    // A serve document with no sustained rate served nothing: the
+    // latency tails would all be vacuous zeros.
+    fatalIf(numberField(latency, "arrivals_per_sec", "latency") <= 0.0,
+            "bench_json: latency.arrivals_per_sec is not positive — "
+            "the served run moved no events");
+}
+
 } // namespace
 
 int
@@ -321,19 +368,29 @@ main(int argc, char **argv)
             validateFaults(root, path);
         else if (schema.text == kShardSchema)
             validateShard(root, path);
+        else if (schema.text == kServeSchema)
+            validateServe(root, path);
         else
             fatal("bench_json: ", path, " has unknown schema \"",
                   schema.text, "\"");
 
+        // Floors: check every requested phase before the verdict so a
+        // failing run names all offenders, not just the first.
+        std::vector<std::string> violations;
         const JsonValue &phases = member(root, "phases", path);
         for (const auto &[name, floor] :
              parseMinSpeedups(flags.get("min-speedup"))) {
             const JsonValue &phase = member(phases, name, "phases");
             const double speedup =
                 numberField(phase, "speedup", "phases." + name);
-            fatalIf(speedup < floor, "bench_json: phase ", name,
-                    " speedup ", speedup, " is below the required ",
-                    floor, "x");
+            if (speedup < floor) {
+                std::ostringstream os;
+                os << "bench_json: phase " << name << ": measured "
+                      "speedup " << speedup
+                   << " is below the required " << floor << "x";
+                violations.push_back(os.str());
+                continue;
+            }
             std::cout << "phase " << name << ": speedup " << speedup
                       << " >= " << floor << "x\n";
         }
@@ -347,12 +404,25 @@ main(int argc, char **argv)
                 const JsonValue &row = member(shards, name, "shards");
                 const double efficiency =
                     numberField(row, "efficiency", "shards." + name);
-                fatalIf(efficiency < floor, "bench_json: shard row ",
-                        name, " efficiency ", efficiency,
-                        " is below the required ", floor);
+                if (efficiency < floor) {
+                    std::ostringstream os;
+                    os << "bench_json: shard row " << name
+                       << ": measured efficiency " << efficiency
+                       << " is below the required " << floor;
+                    violations.push_back(os.str());
+                    continue;
+                }
                 std::cout << "shards " << name << ": efficiency "
                           << efficiency << " >= " << floor << "\n";
             }
+        }
+        if (!violations.empty()) {
+            for (const std::string &violation : violations)
+                std::cerr << violation << "\n";
+            std::cerr << "bench_json: " << path << ": "
+                      << violations.size()
+                      << " floor(s) not met\n";
+            return 1;
         }
         std::cout << "bench_json: " << path << " OK\n";
     } catch (const std::exception &err) {

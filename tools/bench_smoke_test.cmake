@@ -1,16 +1,21 @@
-# Runs bench_regression, bench_online, bench_faults, and bench_shard
-# at smoke-test sizes and validates the emitted JSON against the
-# cooper.bench_kernels.v1 / cooper.bench_online.v1 /
-# cooper.bench_faults.v1 / cooper.bench_shard.v1 schemas. Only the
-# schema and the exact-equivalence bits are checked here — speedup and
-# efficiency floors are timing-sensitive and belong to manual
-# full-size runs
+# Runs bench_regression, bench_online, bench_faults, bench_shard, and
+# bench_serve at smoke-test sizes and validates the emitted JSON
+# against the cooper.bench_kernels.v1 / cooper.bench_online.v1 /
+# cooper.bench_faults.v1 / cooper.bench_shard.v1 /
+# cooper.bench_serve.v1 schemas. Mostly only the schema and the
+# exact-equivalence bits are checked here — speedup and efficiency
+# floors are timing-sensitive and belong to manual full-size runs
 # (bench_json --min-speedup
 #      similarity=3,simd_similarity=1.5,blocking=2,blocking_incremental=3,
 #  bench_json --file BENCH_online.json --min-speedup predict=1.5, and
 #  bench_json --file BENCH_shard.json --min-efficiency k2=0.5).
+# The exception is the serve document's batched_decode floor: the
+# per-message baseline pays ~4x the syscalls, so batched >= 1.1x holds
+# with a wide margin even at tiny sizes on a noisy runner.
 # Corrupt documents (empty file, truncated write) must be rejected:
-# a bench run that crashed mid-write must not validate.
+# a bench run that crashed mid-write must not validate. A failing
+# floor must name every offending phase with measured-vs-required
+# values.
 function(run_step)
     execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORKDIR}
                     RESULT_VARIABLE code OUTPUT_VARIABLE out
@@ -43,6 +48,38 @@ run_step(${BENCH_JSON} --file bench_smoke_faults.json)
 
 run_step(${BENCH_SHARD} --tiny --out bench_smoke_shard.json)
 run_step(${BENCH_JSON} --file bench_smoke_shard.json)
+
+run_step(${BENCH_SERVE} --tiny --out bench_smoke_serve.json)
+run_step(${BENCH_JSON} --file bench_smoke_serve.json
+         --min-speedup batched_decode=1.1)
+
+# Floor-failure diagnostics: an unmeetable floor must fail naming the
+# phase with its measured value against the requirement, and a
+# multi-floor failure must report every offender, not just the first.
+function(expect_floor_failure pattern)
+    set(cmd ${ARGV})
+    list(REMOVE_AT cmd 0)
+    execute_process(COMMAND ${cmd} WORKING_DIRECTORY ${WORKDIR}
+                    RESULT_VARIABLE code OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(code EQUAL 0)
+        message(FATAL_ERROR
+                "floor was expected to fail but passed: ${cmd}\n${out}")
+    endif()
+    if(NOT "${out}${err}" MATCHES "${pattern}")
+        message(FATAL_ERROR
+                "floor failure lacks '${pattern}': ${cmd}\n${out}${err}")
+    endif()
+    message(STATUS "floor rejected as expected: ${err}")
+endfunction()
+
+expect_floor_failure(
+    "phase batched_decode: measured speedup .* is below the required 10000"
+    ${BENCH_JSON} --file bench_smoke_serve.json
+    --min-speedup batched_decode=10000)
+expect_floor_failure("2 floor\\(s\\) not met"
+    ${BENCH_JSON} --file bench_smoke_serve.json
+    --min-speedup batched_decode=10000,serve=10000)
 
 # Corruption regressions: empty document, truncated document, and a
 # whitespace-only document must all exit nonzero.

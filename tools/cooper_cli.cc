@@ -47,12 +47,16 @@
  */
 
 #include <algorithm>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cf/item_knn.hh"
+#include "net/server.hh"
+#include "net/service_plane.hh"
 #include "core/experiment.hh"
 #include "core/framework.hh"
 #include "core/instance.hh"
@@ -74,11 +78,10 @@ namespace {
 
 using namespace cooper;
 
-int
-usage()
+std::string
+usageText()
 {
-    std::cout
-        << "Usage: cooper_cli <profile|predict|match|assess|epoch|serve> "
+    return "Usage: cooper_cli <profile|predict|match|assess|epoch|serve> "
            "[flags]\n"
            "  profile  --ratio R --seed S --out FILE\n"
            "  predict  --in FILE --iterations N --threads T --out FILE\n"
@@ -98,14 +101,18 @@ usage()
            "           --probe-budget N --quarantine-after N\n"
            "           --quarantine-epochs N --checkpoint-every N\n"
            "           --shards K --rebalance-budget N\n"
+           "           --listen --port P --port-file FILE --batched B\n"
            "Bare flags (cooper_cli --policy SMR ...) route to epoch.\n"
+           "serve --listen accepts the churn trace over TCP instead of\n"
+           "--trace: clients (tools/load_gen) stream framed events and\n"
+           "receive the same byte-identical summary the in-process\n"
+           "replay writes (see DESIGN.md, \"Service plane\").\n"
            "--metrics-out / --trace-out enable the observability layer\n"
            "(off by default; see DESIGN.md, \"Observability\").\n"
            "--threads 0 uses all hardware threads, 1 runs serially;\n"
            "results are identical either way (see DESIGN.md,\n"
            "\"Parallelism & determinism\").\n"
            "Run a subcommand with --help for its flags.\n";
-    return 2;
 }
 
 /** The --threads flag, shared by the parallel subcommands. */
@@ -465,6 +472,18 @@ cmdServe(int argc, const char *const *argv)
     flags.declare("rebalance-budget", "4",
                   "cross-shard migrations per epoch when sharded "
                   "(0 = no rebalancing)");
+    flags.declare("listen", "false",
+                  "serve the trace over TCP: accept framed events from "
+                  "load_gen clients instead of reading --trace");
+    flags.declare("port", "0",
+                  "TCP listen port for --listen (0 = ephemeral)");
+    flags.declare("port-file", "",
+                  "write the bound port here once listening (lets "
+                  "scripts find an ephemeral port)");
+    flags.declare("batched", "1",
+                  "1 = batched decode + writev responses; 0 = the "
+                  "per-message-syscall baseline (identical results, "
+                  "only slower)");
     declareThreads(flags);
     flags.declare("out", "online.json",
                   "deterministic run-summary JSON");
@@ -530,6 +549,116 @@ cmdServe(int argc, const char *const *argv)
     // one trace; the driver's own ObsScope then stays passive.
     const ObsScope scope(obs);
     const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+
+    if (flags.getBool("listen")) {
+        // Network mode: the trace arrives as framed events over TCP
+        // (tools/load_gen); the ServicePlane restores canonical order
+        // so the summary is byte-identical to the --trace replay.
+        std::unique_ptr<OnlineDriver> flat;
+        std::unique_ptr<ShardedDriver> sharded;
+        std::unique_ptr<net::ServicePlane> plane;
+        const std::string checkpointPath = flags.get("checkpoint");
+        if (shardCount > 0) {
+            sharded = std::make_unique<ShardedDriver>(catalog, model,
+                                                      config, seed);
+            if (!flags.get("fault-plan").empty())
+                sharded->setFaultPlan(
+                    loadFaultPlan(flags.get("fault-plan"), seed));
+            if (online.checkpointEveryEpochs > 0 &&
+                !checkpointPath.empty())
+                sharded->setCheckpointSink(
+                    [checkpointPath](const ShardedState &state) {
+                        saveShardedState(checkpointPath, state);
+                        return true;
+                    });
+            if (!flags.get("restore").empty())
+                sharded->restore(
+                    loadShardedState(flags.get("restore")));
+            plane = std::make_unique<net::ServicePlane>(catalog,
+                                                        *sharded);
+            if (!checkpointPath.empty())
+                plane->setCheckpointHook(
+                    [&driver = *sharded, checkpointPath]() {
+                        saveShardedState(checkpointPath,
+                                         driver.snapshot());
+                        return true;
+                    });
+        } else {
+            flat = std::make_unique<OnlineDriver>(catalog, model,
+                                                  config, seed);
+            if (!flags.get("fault-plan").empty())
+                flat->setFaultPlan(
+                    loadFaultPlan(flags.get("fault-plan"), seed));
+            if (online.checkpointEveryEpochs > 0 &&
+                !checkpointPath.empty())
+                flat->setCheckpointSink(
+                    [checkpointPath](const OnlineState &state) {
+                        saveOnlineState(checkpointPath, state);
+                        return true;
+                    });
+            if (!flags.get("restore").empty())
+                flat->restore(loadOnlineState(flags.get("restore")));
+            plane = std::make_unique<net::ServicePlane>(catalog,
+                                                        *flat);
+            if (!checkpointPath.empty())
+                plane->setCheckpointHook(
+                    [&driver = *flat, checkpointPath]() {
+                        saveOnlineState(checkpointPath,
+                                        driver.snapshot());
+                        return true;
+                    });
+        }
+
+        net::ServerConfig server_config;
+        server_config.port =
+            static_cast<std::uint16_t>(flags.getInt("port"));
+        server_config.batched = flags.getInt("batched") != 0;
+        net::EpollServer server(*plane, server_config);
+        if (!flags.get("port-file").empty()) {
+            std::ofstream pf(flags.get("port-file"),
+                             std::ios::trunc);
+            fatalIf(!pf, "serve: cannot write --port-file ",
+                    flags.get("port-file"));
+            pf << server.port() << "\n";
+        }
+        std::cout << "listening on " << server_config.host << ":"
+                  << server.port()
+                  << (server_config.batched ? " (batched)"
+                                            : " (per-message)")
+                  << std::endl;
+
+        if (!server.runUntilServed()) {
+            std::cerr << "cooper_cli serve: run aborted: "
+                      << server.lastError() << "\n";
+            return 1;
+        }
+        {
+            std::ofstream os(flags.get("out"),
+                             std::ios::binary | std::ios::trunc);
+            fatalIf(!os, "serve: cannot write ", flags.get("out"));
+            os << plane->summary();
+            os.flush();
+            fatalIf(!os.good(), "serve: write failed for ",
+                    flags.get("out"));
+        }
+        if (!checkpointPath.empty()) {
+            if (sharded)
+                saveShardedState(checkpointPath, sharded->snapshot());
+            else
+                saveOnlineState(checkpointPath, flat->snapshot());
+        }
+        std::cout << "served " << plane->eventsIngested()
+                  << " event(s) over tcp, "
+                  << plane->epochsCommitted() << " epoch(s) -> "
+                  << flags.get("out") << "\n";
+        if (!checkpointPath.empty())
+            std::cout << "checkpoint -> " << checkpointPath << "\n";
+        if (!obs.metricsOut.empty())
+            std::cout << "metrics -> " << obs.metricsOut << "\n";
+        if (!obs.traceOut.empty())
+            std::cout << "trace -> " << obs.traceOut << "\n";
+        return 0;
+    }
 
     if (shardCount > 0) {
         ShardedDriver driver(catalog, model, config, seed);
@@ -636,34 +765,17 @@ cmdServe(int argc, const char *const *argv)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
+    CliCommands commands("cooper_cli");
+    commands.declare("profile", cmdProfile);
+    commands.declare("predict", cmdPredict);
+    commands.declare("match", cmdMatch);
+    commands.declare("assess", cmdAssess);
+    commands.declare("epoch", cmdEpoch);
+    commands.declare("serve", cmdServe);
     // Bare flags route to the full-pipeline subcommand, so
     // `cooper_cli --policy SMR --metrics-out m.json` just works.
-    const bool bare_flags =
-        std::string(argv[1]).rfind("--", 0) == 0;
-    const std::string command = bare_flags ? "epoch" : argv[1];
-    const int sub_argc = bare_flags ? argc : argc - 1;
-    const char *const *sub_argv =
-        bare_flags ? const_cast<const char *const *>(argv)
-                   : const_cast<const char *const *>(argv + 1);
-    try {
-        if (command == "profile")
-            return cmdProfile(sub_argc, sub_argv);
-        if (command == "predict")
-            return cmdPredict(sub_argc, sub_argv);
-        if (command == "match")
-            return cmdMatch(sub_argc, sub_argv);
-        if (command == "assess")
-            return cmdAssess(sub_argc, sub_argv);
-        if (command == "epoch")
-            return cmdEpoch(sub_argc, sub_argv);
-        if (command == "serve")
-            return cmdServe(sub_argc, sub_argv);
-    } catch (const std::exception &err) {
-        std::cerr << "cooper_cli " << command << ": " << err.what()
-                  << "\n";
-        return 1;
-    }
-    return usage();
+    commands.routeBareFlagsTo("epoch");
+    commands.setUsageText(usageText());
+    return commands.run(argc,
+                        const_cast<const char *const *>(argv));
 }
