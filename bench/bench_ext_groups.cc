@@ -9,6 +9,11 @@
  * Expected shape: the hierarchical heuristic retains the fairness of
  * pairwise stable matching while greedy/random groupings do not;
  * penalties grow with group size for everyone.
+ *
+ * Multi-co-runner penalties route through the shared coalition value
+ * function (coalitionMemberPenalty in src/coalition/value.hh, via
+ * trueGroupPenalties), the same math the formation subsystem and
+ * bench_coalition score with.
  */
 
 #include <iostream>

@@ -1,0 +1,190 @@
+#include "structure.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace cooper {
+
+std::vector<AgentId>
+CoalitionStructure::othersOf(AgentId a) const
+{
+    std::vector<AgentId> out;
+    const std::size_t g = memberOf_[a];
+    if (g == kNoCoalition)
+        return out;
+    for (AgentId m : coalitions_[g])
+        if (m != a)
+            out.push_back(m);
+    return out;
+}
+
+void
+CoalitionStructure::addCoalition(std::vector<AgentId> members)
+{
+    fatalIf(members.size() < 2,
+            "CoalitionStructure: a coalition needs at least 2 members");
+    std::sort(members.begin(), members.end());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        const AgentId m = members[i];
+        fatalIf(m >= memberOf_.size(),
+                "CoalitionStructure: member ", m, " out of range");
+        fatalIf(i > 0 && members[i - 1] == m,
+                "CoalitionStructure: duplicate member ", m);
+        fatalIf(memberOf_[m] != kNoCoalition,
+                "CoalitionStructure: agent ", m,
+                " is already in a coalition");
+    }
+    for (AgentId m : members)
+        memberOf_[m] = coalitions_.size();
+    coalitions_.push_back(std::move(members));
+}
+
+void
+CoalitionStructure::removeAgent(AgentId a)
+{
+    const std::size_t g = memberOf_[a];
+    if (g == kNoCoalition)
+        return;
+    auto &group = coalitions_[g];
+    group.erase(std::find(group.begin(), group.end(), a));
+    memberOf_[a] = kNoCoalition;
+    if (group.size() == 1) {
+        memberOf_[group.front()] = kNoCoalition;
+        group.clear(); // canonicalize() drops the empty slot
+    }
+}
+
+void
+CoalitionStructure::deviate(const std::vector<AgentId> &members)
+{
+    for (AgentId m : members)
+        removeAgent(m);
+    addCoalition(members);
+}
+
+void
+CoalitionStructure::canonicalize()
+{
+    std::vector<std::vector<AgentId>> kept;
+    kept.reserve(coalitions_.size());
+    for (auto &group : coalitions_) {
+        if (group.empty())
+            continue;
+        std::sort(group.begin(), group.end());
+        kept.push_back(std::move(group));
+    }
+    std::sort(kept.begin(), kept.end());
+    coalitions_ = std::move(kept);
+    for (std::size_t g = 0; g < coalitions_.size(); ++g)
+        for (AgentId m : coalitions_[g])
+            memberOf_[m] = g;
+}
+
+std::size_t
+CoalitionStructure::machines() const
+{
+    std::size_t grouped = 0;
+    std::size_t nonempty = 0;
+    for (const auto &group : coalitions_) {
+        if (group.empty())
+            continue;
+        ++nonempty;
+        grouped += group.size();
+    }
+    return nonempty + (memberOf_.size() - grouped);
+}
+
+bool
+CoalitionStructure::valid(std::size_t max_size) const
+{
+    std::vector<std::uint8_t> seen(memberOf_.size(), 0);
+    for (const auto &group : coalitions_) {
+        if (group.empty())
+            continue;
+        if (group.size() < 2 || group.size() > max_size)
+            return false;
+        for (AgentId m : group) {
+            if (m >= memberOf_.size() || seen[m])
+                return false;
+            seen[m] = 1;
+        }
+    }
+    for (AgentId a = 0; a < memberOf_.size(); ++a) {
+        const std::size_t g = memberOf_[a];
+        if (g == kNoCoalition) {
+            if (seen[a])
+                return false;
+            continue;
+        }
+        if (g >= coalitions_.size() ||
+            std::find(coalitions_[g].begin(), coalitions_[g].end(),
+                      a) == coalitions_[g].end())
+            return false;
+    }
+    return true;
+}
+
+CoalitionStructure
+CoalitionStructure::fromMatching(const Matching &matching)
+{
+    CoalitionStructure out(matching.size());
+    for (const auto &[a, b] : matching.pairs())
+        out.addCoalition({a, b});
+    out.canonicalize();
+    return out;
+}
+
+CoalitionStructure
+CoalitionStructure::packMatching(const Matching &matching,
+                                 std::size_t group_size)
+{
+    fatalIf(group_size < 2,
+            "packMatching: group size must be at least 2");
+    const std::size_t n = matching.size();
+    const std::size_t machines = (n + group_size - 1) / group_size;
+    std::vector<std::vector<AgentId>> slots(machines);
+
+    // Emptiest machine with `need` free slots, or `machines` if none.
+    const auto freest = [&](std::size_t need) {
+        std::size_t best = machines;
+        for (std::size_t m = 0; m < machines; ++m) {
+            if (group_size - slots[m].size() < need)
+                continue;
+            if (best == machines ||
+                slots[m].size() < slots[best].size())
+                best = m;
+        }
+        return best;
+    };
+
+    std::vector<AgentId> singles;
+    for (const auto &[a, b] : matching.pairs()) {
+        const std::size_t m = freest(2);
+        if (m == machines) {
+            singles.push_back(a);
+            singles.push_back(b);
+            continue;
+        }
+        slots[m].push_back(a);
+        slots[m].push_back(b);
+    }
+    for (AgentId a = 0; a < n; ++a)
+        if (!matching.isMatched(a))
+            singles.push_back(a);
+    for (const AgentId a : singles) {
+        const std::size_t m = freest(1);
+        panicIf(m == machines,
+                "packMatching: capacity arithmetic violated");
+        slots[m].push_back(a);
+    }
+
+    CoalitionStructure out(n);
+    for (auto &machine : slots)
+        if (machine.size() >= 2)
+            out.addCoalition(std::move(machine));
+    out.canonicalize();
+    return out;
+}
+
+} // namespace cooper

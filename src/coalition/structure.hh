@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Coalition structures: partitions of agents into CMP-sharing groups.
+ *
+ * The matching layer's Matching pairs agents one-to-one; a
+ * CoalitionStructure generalizes it to groups of up to G co-runners
+ * per CMP. The canonical form (each coalition's members ascending,
+ * coalitions ordered by their first member) makes structures directly
+ * comparable, which the differential tests and the checkpoint format
+ * both rely on.
+ */
+
+#ifndef COOPER_COALITION_STRUCTURE_HH
+#define COOPER_COALITION_STRUCTURE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "matching/matching.hh"
+
+namespace cooper {
+
+/** No coalition: the agent runs alone on its CMP. */
+inline constexpr std::size_t kNoCoalition =
+    static_cast<std::size_t>(-1);
+
+/**
+ * A partition of agents 0..n-1 into coalitions of co-located jobs.
+ * Singleton coalitions are implicit: an agent in no listed coalition
+ * runs alone.
+ */
+class CoalitionStructure
+{
+  public:
+    CoalitionStructure() = default;
+
+    /** @param agents Population size (agent ids are 0..agents-1). */
+    explicit CoalitionStructure(std::size_t agents)
+        : memberOf_(agents, kNoCoalition)
+    {
+    }
+
+    std::size_t agents() const { return memberOf_.size(); }
+
+    /** Coalitions of size >= 2, in canonical order after canonicalize(). */
+    const std::vector<std::vector<AgentId>> &coalitions() const
+    {
+        return coalitions_;
+    }
+
+    /** Index into coalitions() for `a`, or kNoCoalition when alone. */
+    std::size_t coalitionOf(AgentId a) const { return memberOf_[a]; }
+
+    /** Co-members of `a` (empty when alone), ascending. */
+    std::vector<AgentId> othersOf(AgentId a) const;
+
+    /**
+     * Add a coalition of >= 2 distinct, currently-alone agents.
+     * Members are stored sorted ascending.
+     */
+    void addCoalition(std::vector<AgentId> members);
+
+    /**
+     * Remove `a` from its coalition (no-op when alone). A coalition
+     * reduced to one member dissolves — its survivor runs alone.
+     */
+    void removeAgent(AgentId a);
+
+    /**
+     * Carve out a deviating coalition: every member leaves its current
+     * coalition (abandoned co-members stay behind in their shrunken
+     * coalition) and the members form a new one together.
+     */
+    void deviate(const std::vector<AgentId> &members);
+
+    /**
+     * Sort each coalition's members and order coalitions by first
+     * member, dropping empty slots. Call before comparing or
+     * serializing.
+     */
+    void canonicalize();
+
+    /** Number of occupied CMPs: listed coalitions plus singletons. */
+    std::size_t machines() const;
+
+    /** True when every member id is valid, no agent appears twice,
+     *  and every coalition has 2..maxSize members. */
+    bool valid(std::size_t max_size) const;
+
+    /** Lift a pairwise matching: every pair becomes a coalition. */
+    static CoalitionStructure fromMatching(const Matching &matching);
+
+    /**
+     * Pack a pairwise matching into ceil(n/group_size) machines of
+     * capacity group_size: pairs first-fit onto the emptiest machine
+     * with two free slots (splitting a pair only when none has two),
+     * then unmatched agents fill the remaining capacity. This is the
+     * equal-capacity bridge from the pairwise policies to the n-way
+     * setting: the formation uses it as a candidate seed and the
+     * coalition bench as its SR/SMR baselines.
+     */
+    static CoalitionStructure packMatching(const Matching &matching,
+                                           std::size_t group_size);
+
+    bool operator==(const CoalitionStructure &other) const
+    {
+        return coalitions_ == other.coalitions_ &&
+               memberOf_ == other.memberOf_;
+    }
+
+  private:
+    std::vector<std::vector<AgentId>> coalitions_;
+    std::vector<std::size_t> memberOf_;
+};
+
+} // namespace cooper
+
+#endif // COOPER_COALITION_STRUCTURE_HH

@@ -1,0 +1,54 @@
+#include "value.hh"
+
+#include "game/colocation_game.hh"
+
+namespace cooper {
+
+double
+coalitionMemberPenalty(const InterferenceModel &model, JobTypeId self,
+                       std::span<const JobTypeId> others)
+{
+    if (others.empty())
+        return 0.0;
+    return model.groupPenalty(self, others);
+}
+
+std::vector<double>
+coalitionMemberPenalties(const InterferenceModel &model,
+                         std::span<const JobTypeId> members)
+{
+    std::vector<double> out(members.size(), 0.0);
+    if (members.size() < 2)
+        return out;
+    std::vector<JobTypeId> others;
+    others.reserve(members.size() - 1);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        others.clear();
+        for (std::size_t j = 0; j < members.size(); ++j)
+            if (j != i)
+                others.push_back(members[j]);
+        out[i] = coalitionMemberPenalty(model, members[i], others);
+    }
+    return out;
+}
+
+double
+coalitionValue(const InterferenceModel &model,
+               std::span<const JobTypeId> members)
+{
+    double total = 0.0;
+    for (double p : coalitionMemberPenalties(model, members))
+        total += p;
+    return total;
+}
+
+CharacteristicFn
+coalitionCharacteristic(const InterferenceModel &model,
+                        std::vector<JobTypeId> jobs)
+{
+    // colocationGame already prices masked coalitions through
+    // groupPenalty; keep one implementation.
+    return colocationGame(model, std::move(jobs));
+}
+
+} // namespace cooper

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Coalition-value function over the multi-co-runner interference
+ * model.
+ *
+ * The characteristic function of the colocation game prices a
+ * coalition S by the total ground-truth degradation its members
+ * inflict on each other when they share one CMP: v(S) = sum over
+ * members of InterferenceModel::groupPenalty against the rest of S,
+ * with v = 0 for singletons (running alone costs nothing). This is
+ * the one shared route to multi-co-runner penalties — core/groups'
+ * evaluation helpers and bench_ext_groups both go through it, so the
+ * benchmarks cannot drift from the subsystem.
+ */
+
+#ifndef COOPER_COALITION_VALUE_HH
+#define COOPER_COALITION_VALUE_HH
+
+#include <span>
+#include <vector>
+
+#include "game/shapley.hh"
+#include "sim/interference.hh"
+#include "workload/catalog.hh"
+
+namespace cooper {
+
+/**
+ * Ground-truth penalty of one member colocated with `others` on a
+ * CMP. Zero when `others` is empty; the pair case equals the model's
+ * pairwise penalty exactly.
+ */
+double coalitionMemberPenalty(const InterferenceModel &model,
+                              JobTypeId self,
+                              std::span<const JobTypeId> others);
+
+/** Per-member penalties for a whole coalition, in member order. */
+std::vector<double>
+coalitionMemberPenalties(const InterferenceModel &model,
+                         std::span<const JobTypeId> members);
+
+/** Coalition value v(S): total penalty across members (>= 0). */
+double coalitionValue(const InterferenceModel &model,
+                      std::span<const JobTypeId> members);
+
+/**
+ * Mask-based characteristic function over up to 20 jobs, for the
+ * Shapley samplers: bit i of the mask selects jobs[i]. Delegates to
+ * the same member-penalty route as coalitionValue.
+ */
+CharacteristicFn coalitionCharacteristic(const InterferenceModel &model,
+                                         std::vector<JobTypeId> jobs);
+
+} // namespace cooper
+
+#endif // COOPER_COALITION_VALUE_HH

@@ -33,7 +33,8 @@ namespace cooper {
 /** Framework configuration. */
 struct FrameworkConfig
 {
-    /** Policy short name: GR, CO, SMP, SMR, SR, TH. */
+    /** Policy short name: GR, CO, SMP, SMR, SR, TH, or coalition
+     *  (n-way formation; honors execution.online.groupSize). */
     std::string policy = "SMR";
 
     /** Fraction of the type-penalty matrix the profiler samples. */

@@ -4,6 +4,7 @@
 #include <bit>
 #include <numeric>
 
+#include "coalition/value.hh"
 #include "matching/stable_roommates.hh"
 #include "util/error.hh"
 
@@ -49,9 +50,10 @@ trueGroupPenalty(const ColocationInstance &instance,
     }
     fatalIf(!found, "trueGroupPenalty: agent ", self,
             " is not in the group");
-    if (others.empty())
-        return 0.0;
-    return model.groupPenalty(instance.typeOf(self), others);
+    // One shared route to multi-co-runner penalties: the coalition
+    // subsystem, these evaluation helpers, and the group benchmarks
+    // all price colocation through the same value function.
+    return coalitionMemberPenalty(model, instance.typeOf(self), others);
 }
 
 std::vector<double>

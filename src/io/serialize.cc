@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <istream>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "util/error.hh"
@@ -19,12 +20,16 @@ constexpr const char *kOnlineStateHeader = "cooper-online-state";
 // Formats version independently: v2 of the online state added the
 // fault-plane sections (quarantine, probe rounds, fault counters, and
 // the fault plan) without touching the other two formats. v3 is the
-// *sharded* container — same magic, one embedded v2 block per shard —
-// so a flat reader fails fast on a sharded file and vice versa.
+// *sharded* container — same magic, one embedded per-shard block per
+// shard — so a flat reader fails fast on a sharded file and vice
+// versa. v4 (flat) adds the coalition groups section after the pairs;
+// v5 is the sharded container embedding v4 blocks. Odd versions
+// shard, even versions don't — the parity rule keeps the two families
+// distinguishable as both grow.
 constexpr int kProfilesVersion = 1;
 constexpr int kMatchingVersion = 1;
-constexpr int kOnlineStateVersion = 2;
-constexpr int kShardedStateVersion = 3;
+constexpr int kOnlineStateVersion = 4;
+constexpr int kShardedStateVersion = 5;
 
 void
 expectHeader(std::istream &is, const char *magic, int expected_version,
@@ -148,6 +153,13 @@ writeOnlineState(std::ostream &os, const OnlineState &state)
     os << "pairs " << state.pairs.size() << "\n";
     for (const auto &[a, b] : state.pairs)
         os << a << " " << b << "\n";
+    os << "groups " << state.groups.size() << "\n";
+    for (const auto &group : state.groups) {
+        os << group.size();
+        for (const JobUid uid : group)
+            os << " " << uid;
+        os << "\n";
+    }
     os << "queue " << state.pending.size() << " " << state.rejected << " "
        << state.queueHighWater << "\n";
     for (const PendingArrival &arrival : state.pending)
@@ -275,6 +287,44 @@ readOnlineState(std::istream &is)
         fatalIf(a >= b, "readOnlineState: pair ", i,
                 " not strictly ordered");
         state.pairs.emplace_back(a, b);
+    }
+
+    {
+        auto fields = sectionLine(is, "groups");
+        fatalIf(!(fields >> count),
+                "readOnlineState: malformed groups count");
+    }
+    state.groups.reserve(count);
+    {
+        std::set<JobUid> grouped;
+        for (std::size_t i = 0; i < count; ++i) {
+            auto fields = bodyLine(is, "groups");
+            std::size_t size = 0;
+            fatalIf(!(fields >> size),
+                    "readOnlineState: malformed group ", i);
+            fatalIf(size < 2, "readOnlineState: group ", i, " has ",
+                    size, " members (minimum is 2)");
+            std::vector<JobUid> group;
+            group.reserve(size);
+            for (std::size_t j = 0; j < size; ++j) {
+                JobUid uid = 0;
+                fatalIf(!(fields >> uid),
+                        "readOnlineState: truncated group ", i,
+                        " (declared ", size, " members)");
+                fatalIf(!group.empty() && group.back() >= uid,
+                        "readOnlineState: group ", i,
+                        " members not strictly ascending");
+                fatalIf(!grouped.insert(uid).second,
+                        "readOnlineState: uid ", uid,
+                        " appears in two groups");
+                group.push_back(uid);
+            }
+            fatalIf(!state.groups.empty() &&
+                        state.groups.back().front() >= group.front(),
+                    "readOnlineState: groups not ordered by first "
+                    "member");
+            state.groups.push_back(std::move(group));
+        }
     }
 
     {

@@ -38,12 +38,15 @@ Matching readMatching(std::istream &is);
 
 /**
  * Write an online-service checkpoint (see OnlineState); format:
- * "cooper-online-state 2" header, then keyword-tagged sections for the
+ * "cooper-online-state 4" header, then keyword-tagged sections for the
  * clock, totals, live population, uid-level pairs, admission queue,
  * the warm-start profile matrix, and (since v2) the fault plane: the
  * lifetime fault counters, quarantine table, pending probe rounds,
  * and the fault plan itself, so a restore refuses to resume under a
- * different fault schedule.
+ * different fault schedule. v4 adds a "groups" section after the
+ * pairs — the coalition policy's uid-level n-way colocations, one
+ * "<size> <uid...>" line per group, members strictly ascending and
+ * groups ordered by first member (empty under the pairwise policies).
  */
 void writeOnlineState(std::ostream &os, const OnlineState &state);
 
@@ -52,12 +55,12 @@ OnlineState readOnlineState(std::istream &is);
 
 /**
  * Write a sharded fleet checkpoint (see ShardedState); format:
- * "cooper-online-state 3" header — v3 of the checkpoint family is
- * the sharded container — then the router's type partition and uid
- * map, the fleet rebalance counters, and one embedded v2 per-shard
- * block per shard, each introduced by a "shard <index>" line.
- * readOnlineState() consumes exactly its counted sections, so the v2
- * blocks nest without delimiters.
+ * "cooper-online-state 5" header — odd versions of the checkpoint
+ * family are the sharded container — then the router's type partition
+ * and uid map, the fleet rebalance counters, and one embedded v4
+ * per-shard block per shard, each introduced by a "shard <index>"
+ * line. readOnlineState() consumes exactly its counted sections, so
+ * the v4 blocks nest without delimiters.
  */
 void writeShardedState(std::ostream &os, const ShardedState &state);
 

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "coalition/formation.hh"
 #include "obs/obs.hh"
 #include "sim/profiler.hh"
 #include "util/error.hh"
@@ -22,6 +23,18 @@ namespace {
 constexpr std::uint64_t kPolicyStream = 0xA1;
 constexpr std::uint64_t kProbeStream = 0xA2;
 constexpr std::uint64_t kRefreshStream = 0xA3;
+
+/**
+ * Policy name handed to the embedded pair repairer. Coalition mode
+ * repairs groups itself, but RepairingPolicy eagerly validates its
+ * policy name, so it gets the SR fallback (never invoked).
+ */
+std::string
+repairPolicyName(const FrameworkConfig &config)
+{
+    return config.policy == "coalition" ? std::string("SR")
+                                        : config.policy;
+}
 
 ItemKnnConfig
 effectivePredictorConfig(const FrameworkConfig &config)
@@ -61,7 +74,7 @@ OnlineDriver::OnlineDriver(const Catalog &catalog,
     : catalog_(&catalog), model_(&model), config_(std::move(config)),
       seed_(seed), base_(seed),
       predictor_(catalog.size(), effectivePredictorConfig(config_)),
-      repairer_(config_.policy, config_.alpha,
+      repairer_(repairPolicyName(config_), config_.alpha,
                 config_.execution.online.migrationBudget,
                 config_.execution.online.fullRematchBlockingPairs),
       admission_(config_.execution.online.maxQueueDepth)
@@ -69,6 +82,11 @@ OnlineDriver::OnlineDriver(const Catalog &catalog,
     const OnlineConfig &online = config_.execution.online;
     fatalIf(online.epochTicks == 0,
             "OnlineDriver: epochTicks must be positive");
+    fatalIf(coalitionMode() &&
+                (online.groupSize < 2 || online.groupSize > 20),
+            "OnlineDriver: coalition groupSize must be in [2, 20], "
+            "got ",
+            online.groupSize);
     fatalIf(online.admitPerEpoch == 0,
             "OnlineDriver: admitPerEpoch must be positive (the queue "
             "could never drain)");
@@ -231,8 +249,135 @@ OnlineDriver::departLive(JobUid uid)
         partner_.erase(link);
         partner_.erase(other);
     }
+    ungroup(uid);
     live_.erase(it);
     return true;
+}
+
+void
+OnlineDriver::ungroup(JobUid uid)
+{
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        auto &group = groups_[g];
+        const auto member =
+            std::find(group.begin(), group.end(), uid);
+        if (member == group.end())
+            continue;
+        group.erase(member);
+        // A group of one is no colocation; the survivor runs alone
+        // until the next formation epoch re-packs it.
+        if (group.size() < 2)
+            groups_.erase(groups_.begin() + g);
+        return;
+    }
+}
+
+CoalitionStructure
+OnlineDriver::carriedStructure() const
+{
+    std::map<JobUid, AgentId> index;
+    for (AgentId i = 0; i < live_.size(); ++i)
+        index.emplace(live_[i].uid, i);
+
+    CoalitionStructure carried(live_.size());
+    for (const auto &group : groups_) {
+        std::vector<AgentId> members;
+        members.reserve(group.size());
+        for (const JobUid uid : group) {
+            const auto it = index.find(uid);
+            panicIf(it == index.end(),
+                    "OnlineDriver: grouped uid not live");
+            members.push_back(it->second);
+        }
+        carried.addCoalition(std::move(members));
+    }
+    carried.canonicalize();
+    return carried;
+}
+
+void
+OnlineDriver::formEpoch(const ColocationInstance &instance,
+                        const Rng &rng, OnlineEpochStats &stats)
+{
+    const OnlineConfig &online = config_.execution.online;
+    const std::size_t threads = config_.execution.threads;
+
+    std::vector<JobTypeId> types;
+    types.reserve(live_.size());
+    for (const LiveJob &job : live_)
+        types.push_back(job.type);
+    const DisutilityTable believed = instance.believedTable(threads);
+
+    const CoalitionStructure carried = carriedStructure();
+
+    FormationConfig formation;
+    formation.groupSize = online.groupSize;
+    formation.alpha = config_.alpha;
+    formation.threads = threads;
+    // Per-epoch Shapley attribution is a diagnostic the decision path
+    // never reads; the bench and tests exercise it instead.
+    formation.shapleySamples = 0;
+    const FormationResult result = formCoalitions(
+        types, believed, *model_, formation, rng, &carried);
+
+    stats.blockingBefore = result.blockingBefore;
+    stats.blockingAfter = result.blockingAfter;
+
+    // Map the formed structure back to uids, canonical order.
+    std::vector<std::vector<JobUid>> formed;
+    formed.reserve(result.structure.coalitions().size());
+    for (const auto &coalition : result.structure.coalitions()) {
+        std::vector<JobUid> group;
+        group.reserve(coalition.size());
+        for (const AgentId a : coalition)
+            group.push_back(live_[a].uid);
+        std::sort(group.begin(), group.end());
+        formed.push_back(std::move(group));
+    }
+    std::sort(formed.begin(), formed.end());
+
+    // Churn accounting mirrors the pair path: a carried group that
+    // did not survive intact counts as broken, and every previously
+    // grouped job whose co-runner set changed counts as a migration.
+    std::map<JobUid, std::vector<JobUid>> before;
+    for (const auto &group : groups_)
+        for (const JobUid uid : group)
+            before.emplace(uid, group);
+    std::map<JobUid, std::vector<JobUid>> after;
+    for (const auto &group : formed)
+        for (const JobUid uid : group)
+            after.emplace(uid, group);
+    for (const auto &group : groups_) {
+        const auto it = after.find(group.front());
+        if (it == after.end() || it->second != group)
+            ++stats.pairsBroken;
+    }
+    for (const auto &[uid, group] : before) {
+        const auto it = after.find(uid);
+        if (it == after.end() || it->second != group)
+            ++stats.migrations;
+    }
+
+    groups_ = std::move(formed);
+
+    // Mean true penalty over grouped agents (ungrouped jobs run alone
+    // at zero penalty, as unmatched agents do in the pair path).
+    double sum = 0.0;
+    std::size_t grouped = 0;
+    for (AgentId a = 0; a < live_.size(); ++a) {
+        if (result.structure.coalitionOf(a) == kNoCoalition)
+            continue;
+        sum += result.truePenalties[a];
+        ++grouped;
+    }
+    stats.meanPenalty =
+        grouped == 0 ? 0.0 : sum / static_cast<double>(grouped);
+
+    if (MetricsRegistry *metrics = obsMetrics()) {
+        metrics->counter("online.formation_rounds").add(result.rounds);
+        metrics->gauge("online.coalitions")
+            .set(static_cast<double>(groups_.size()));
+    }
 }
 
 RepairOutcome
@@ -328,6 +473,12 @@ OnlineDriver::pairsSnapshot() const
     return pairs; // map iteration order: already ascending
 }
 
+std::vector<std::vector<JobUid>>
+OnlineDriver::groupsSnapshot() const
+{
+    return groups_; // maintained canonical by formEpoch / ungroup
+}
+
 void
 OnlineDriver::faultBoundary(OnlineEpochStats &stats)
 {
@@ -358,9 +509,23 @@ OnlineDriver::faultBoundary(OnlineEpochStats &stats)
                 if (it == live_.end())
                     continue; // already evicted as a partner
                 std::vector<LiveJob> evicted{*it};
+                // A node hosts one colocation — a pair under the
+                // pairwise policies, a coalition in coalition mode —
+                // so a crash takes down every co-runner with it.
+                std::vector<JobUid> corunners;
                 const auto link = partner_.find(victim);
-                if (link != partner_.end()) {
-                    const JobUid other = link->second;
+                if (link != partner_.end())
+                    corunners.push_back(link->second);
+                for (const auto &group : groups_) {
+                    if (std::find(group.begin(), group.end(), victim) ==
+                        group.end())
+                        continue;
+                    for (const JobUid uid : group)
+                        if (uid != victim)
+                            corunners.push_back(uid);
+                    break;
+                }
+                for (const JobUid other : corunners) {
                     const auto po = std::find_if(
                         live_.begin(), live_.end(),
                         [other](const LiveJob &job) {
@@ -371,8 +536,8 @@ OnlineDriver::faultBoundary(OnlineEpochStats &stats)
                     evicted.push_back(*po);
                 }
                 departLive(victim);
-                if (evicted.size() > 1)
-                    departLive(evicted[1].uid);
+                for (std::size_t e = 1; e < evicted.size(); ++e)
+                    departLive(evicted[e].uid);
                 ++stats.crashes;
                 ++crashes_;
                 ++stats.faultsInjected;
@@ -576,37 +741,44 @@ OnlineDriver::stepEpoch(EventQueue &queue, OnlineReport &report)
                                           std::move(believed),
                                           config_.jitter);
 
-        const Matching prev = carriedMatching();
         Rng rng = base_.substream(kPolicyStream).substream(epoch_);
-        const RepairOutcome out =
-            online.incrementalBlocking
-                ? repairIncremental(instance, prev, rng)
-                : repairer_.repair(instance, prev, rng,
-                                   config_.execution.threads);
+        if (coalitionMode()) {
+            formEpoch(instance, rng, stats);
+            totalMigrations_ += stats.migrations;
+            totalPairsBroken_ += stats.pairsBroken;
+        } else {
+            const Matching prev = carriedMatching();
+            const RepairOutcome out =
+                online.incrementalBlocking
+                    ? repairIncremental(instance, prev, rng)
+                    : repairer_.repair(instance, prev, rng,
+                                       config_.execution.threads);
 
-        stats.blockingBefore = out.blockingBefore;
-        stats.blockingAfter = out.blockingAfter;
-        stats.pairsBroken = out.pairsBroken;
-        stats.fullRematch = out.fullRematch;
-        for (const auto &[a, b] : prev.pairs())
-            if (out.matching.partnerOf(a) != b)
-                stats.migrations += 2;
+            stats.blockingBefore = out.blockingBefore;
+            stats.blockingAfter = out.blockingAfter;
+            stats.pairsBroken = out.pairsBroken;
+            stats.fullRematch = out.fullRematch;
+            for (const auto &[a, b] : prev.pairs())
+                if (out.matching.partnerOf(a) != b)
+                    stats.migrations += 2;
 
-        partner_.clear();
-        for (const auto &[a, b] : out.matching.pairs()) {
-            partner_[live_[a].uid] = live_[b].uid;
-            partner_[live_[b].uid] = live_[a].uid;
+            partner_.clear();
+            for (const auto &[a, b] : out.matching.pairs()) {
+                partner_[live_[a].uid] = live_[b].uid;
+                partner_[live_[b].uid] = live_[a].uid;
+            }
+            stats.meanPenalty = instance.meanTruePenalty(out.matching);
+
+            totalMigrations_ += stats.migrations;
+            totalPairsBroken_ += stats.pairsBroken;
+            if (out.fullRematch)
+                ++totalFullRematches_;
         }
-        stats.meanPenalty = instance.meanTruePenalty(out.matching);
-
-        totalMigrations_ += stats.migrations;
-        totalPairsBroken_ += stats.pairsBroken;
-        if (out.fullRematch)
-            ++totalFullRematches_;
     } else {
         // Nobody to pair. A lone survivor of a departed pair was
         // already widowed by departLive.
         partner_.clear();
+        groups_.clear();
         // The population collapsed; any cached blocking state is for
         // a vanished agent set.
         lastUids_.clear();
@@ -713,6 +885,7 @@ OnlineDriver::finalizeReport(OnlineReport &report) const
     report.finalQuarantine = quarantine_.size();
     report.finalMeanPenalty = lastMeanPenalty_;
     report.finalPairs = pairsSnapshot();
+    report.finalGroups = groupsSnapshot();
 }
 
 std::optional<LiveJob>
@@ -754,6 +927,7 @@ OnlineDriver::snapshot() const
     state.clockTick = clockTick();
     state.live = live_;
     state.pairs = pairsSnapshot();
+    state.groups = groupsSnapshot();
     state.pending = admission_.snapshot();
     state.rejected = admission_.rejected();
     state.queueHighWater = admission_.highWater();
@@ -811,6 +985,37 @@ OnlineDriver::restore(const OnlineState &state)
         partner_[a] = b;
         partner_[b] = a;
     }
+    groups_.clear();
+    {
+        const std::size_t cap = config_.execution.online.groupSize;
+        std::map<JobUid, std::uint8_t> grouped;
+        for (const auto &group : state.groups) {
+            fatalIf(group.size() < 2,
+                    "OnlineDriver::restore: coalition of ",
+                    group.size(), " members (minimum is 2)");
+            fatalIf(coalitionMode() && group.size() > cap,
+                    "OnlineDriver::restore: coalition of ",
+                    group.size(), " members exceeds groupSize ", cap);
+            fatalIf(!std::is_sorted(group.begin(), group.end()),
+                    "OnlineDriver::restore: coalition members not "
+                    "ascending");
+            for (const JobUid uid : group) {
+                fatalIf(std::find_if(live_.begin(), live_.end(),
+                                     [uid](const LiveJob &job) {
+                                         return job.uid == uid;
+                                     }) == live_.end(),
+                        "OnlineDriver::restore: grouped uid ", uid,
+                        " not in the live population");
+                fatalIf(!grouped.emplace(uid, 1).second,
+                        "OnlineDriver::restore: uid ", uid,
+                        " appears in two coalitions");
+                fatalIf(partner_.count(uid) != 0,
+                        "OnlineDriver::restore: uid ", uid,
+                        " both paired and grouped");
+            }
+        }
+        groups_ = state.groups;
+    }
     admission_.restore(state.pending, state.rejected,
                        state.queueHighWater);
     epoch_ = state.epoch;
@@ -858,6 +1063,28 @@ OnlineDriver::restore(const OnlineState &state)
 }
 
 void
+validateServeOptions(const std::string &policy, std::size_t groupSize,
+                     std::size_t shards)
+{
+    static constexpr const char *kKnown[] = {"GR",  "CO", "SMP",
+                                             "SMR", "SR", "TH",
+                                             "coalition"};
+    bool known = false;
+    for (const char *name : kKnown)
+        known = known || policy == name;
+    fatalIf(!known, "serve: unknown --policy '", policy,
+            "' (expected GR, CO, SMP, SMR, SR, TH, or coalition)");
+    if (policy != "coalition")
+        return;
+    fatalIf(groupSize < 2 || groupSize > 20,
+            "serve: --group-size must be in [2, 20], got ", groupSize);
+    fatalIf(shards > 1,
+            "serve: --policy coalition does not support --shards > 1 "
+            "(the cross-shard rebalancer migrates pairs); run the "
+            "flat driver");
+}
+
+void
 writeOnlineSummary(std::ostream &os, const OnlineReport &report)
 {
     // Only decision-path quantities go here. Predictor diagnostics
@@ -866,7 +1093,7 @@ writeOnlineSummary(std::ostream &os, const OnlineReport &report)
     // full-predict runs whose decisions are identical; they are
     // exposed through obs metrics and BENCH_online.json instead.
     os << "{\n";
-    os << "  \"schema\": \"cooper.online.v2\",\n";
+    os << "  \"schema\": \"cooper.online.v3\",\n";
     os << "  \"policy\": \"" << report.policy << "\",\n";
     os << "  \"seed\": " << report.seed << ",\n";
     os << "  \"start_epoch\": " << report.startEpoch << ",\n";
@@ -928,6 +1155,15 @@ writeOnlineSummary(std::ostream &os, const OnlineReport &report)
         os << (i == 0 ? "" : ", ");
         os << "[" << report.finalPairs[i].first << ", "
            << report.finalPairs[i].second << "]";
+    }
+    os << "],\n";
+    os << "    \"groups\": [";
+    for (std::size_t i = 0; i < report.finalGroups.size(); ++i) {
+        os << (i == 0 ? "" : ", ");
+        os << "[";
+        for (std::size_t j = 0; j < report.finalGroups[i].size(); ++j)
+            os << (j == 0 ? "" : ", ") << report.finalGroups[i][j];
+        os << "]";
     }
     os << "]\n";
     os << "  }\n";

@@ -18,6 +18,14 @@
  * generator state survives an epoch, which is also what makes
  * checkpoint/restore exact (see OnlineState).
  *
+ * Coalition mode: with config.policy == "coalition" the epoch's
+ * repair step is replaced by n-way coalition formation (see
+ * src/coalition): carried groups of up to execution.online.groupSize
+ * jobs warm-start a core-seeking search over the same believed table
+ * the pair policies use. Colocation state then lives in uid-level
+ * groups instead of partners; everything else — admission, probing,
+ * prediction, faults, checkpoints — is identical.
+ *
  * Fault plane: an installed FaultPlan injects probe timeouts, lost or
  * corrupted measurements, node crashes, and checkpoint-write failures
  * on the same substream discipline, so a faulty run is exactly as
@@ -41,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "coalition/structure.hh"
 #include "core/framework.hh"
 #include "fault/plan.hh"
 #include "matching/blocking_incremental.hh"
@@ -143,6 +152,10 @@ struct OnlineReport
     std::size_t finalQuarantine = 0;
     double finalMeanPenalty = 0.0;
     std::vector<std::pair<JobUid, JobUid>> finalPairs;
+
+    /** Uid-level coalitions under the coalition policy (members
+     *  ascending, groups by first member); empty otherwise. */
+    std::vector<std::vector<JobUid>> finalGroups;
 };
 
 /**
@@ -234,6 +247,10 @@ class OnlineDriver
     /** Uid-level pairs, first < second, ascending. */
     std::vector<std::pair<JobUid, JobUid>> pairsSnapshot() const;
 
+    /** Uid-level coalitions in canonical order (members ascending,
+     *  groups by first member); empty under the pairwise policies. */
+    std::vector<std::vector<JobUid>> groupsSnapshot() const;
+
     /** Probe measurements accumulated so far (types x types). */
     const SparseMatrix &profileRatings() const
     {
@@ -319,6 +336,20 @@ class OnlineDriver
     /** Previous matching mapped onto current agent indices. */
     Matching carriedMatching() const;
 
+    /** Running the n-way coalition policy instead of pair repair? */
+    bool coalitionMode() const { return config_.policy == "coalition"; }
+
+    /** Drop a uid from its carried coalition; a group reduced to one
+     *  member dissolves. No-op when the uid is ungrouped. */
+    void ungroup(JobUid uid);
+
+    /** Carried coalitions mapped onto current agent indices. */
+    CoalitionStructure carriedStructure() const;
+
+    /** Coalition-mode epoch core: form, commit groups_, fill stats. */
+    void formEpoch(const ColocationInstance &instance,
+                   const Rng &rng, OnlineEpochStats &stats);
+
     /**
      * Repair with incrementally maintained blocking bounds
      * (online.incrementalBlocking): diffs the believed matrix and the
@@ -354,6 +385,12 @@ class OnlineDriver
     std::vector<LiveJob> live_;
     std::map<JobUid, JobUid> partner_;
 
+    /** Uid-level coalitions under the coalition policy, canonical
+     *  order (see OnlineState::groups); always empty otherwise.
+     *  partner_ stays empty in coalition mode — one of the two holds
+     *  the colocation state, never both. */
+    std::vector<std::vector<JobUid>> groups_;
+
     /** Incremental-blocking caches (see repairIncremental): the
      *  previous epoch's uid-per-slot sequence and believed matrix
      *  diff into the dirty-row set; the believed table and pair
@@ -384,12 +421,25 @@ class OnlineDriver
 };
 
 /**
- * Deterministic run summary (schema cooper.online.v2). Contains only
+ * Hard-fail validation of the serve-facing policy flags, shared by
+ * `cooper_cli serve` and the tests so the CLI cannot drift from the
+ * driver's expectations. Raises FatalError when `policy` is not a
+ * known name (GR, CO, SMP, SMR, SR, TH, coalition), when the
+ * coalition policy's `groupSize` is outside [2, 20], or when the
+ * coalition policy is combined with `shards` > 1 (the cross-shard
+ * rebalancer is pairs-native; see src/shard/rebalance.cc).
+ */
+void validateServeOptions(const std::string &policy,
+                          std::size_t groupSize, std::size_t shards);
+
+/**
+ * Deterministic run summary (schema cooper.online.v3). Contains only
  * decision-path quantities — no timings — so two replays of the same
  * (trace, seed, config, fault plan) emit byte-identical files at any
  * thread count; `cooper_cli serve` relies on this for its replay
- * check. v2 adds the fault-plane fields (all zero under the inert
- * plan).
+ * check. v2 added the fault-plane fields (all zero under the inert
+ * plan); v3 adds the final coalition groups (empty under the
+ * pairwise policies).
  */
 void writeOnlineSummary(std::ostream &os, const OnlineReport &report);
 

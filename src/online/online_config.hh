@@ -150,6 +150,14 @@ struct OnlineConfig
      */
     std::uint64_t checkpointEveryEpochs = 0;
 
+    /**
+     * Coalition capacity: jobs sharing one CMP when the framework
+     * policy is "coalition" (2..20). Ignored by the pairwise
+     * policies. G = 2 reproduces pairing (the coalition seed is the
+     * adapted stable-roommates matching); G >= 3 packs n-way.
+     */
+    std::size_t groupSize = 2;
+
     // -- Sharding (see src/shard). Read by the ShardedDriver and the
     // CLI only; the flat OnlineDriver ignores both knobs.
 

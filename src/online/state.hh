@@ -54,6 +54,15 @@ struct OnlineState
     /** Uid-level matching, first < second, ascending. */
     std::vector<std::pair<JobUid, JobUid>> pairs;
 
+    /**
+     * Uid-level coalitions under the coalition policy: each group a
+     * set of >= 2 uids sharing one CMP, members ascending, groups
+     * ordered by first member. Empty under the pairwise policies
+     * (whose colocations live in `pairs`); a uid never appears in
+     * both.
+     */
+    std::vector<std::vector<JobUid>> groups;
+
     /** Admission queue contents in FIFO order. */
     std::vector<PendingArrival> pending;
 

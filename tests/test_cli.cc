@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "online/driver.hh"
 #include "util/cli.hh"
 #include "util/error.hh"
 
@@ -214,6 +215,48 @@ TEST(CliCommands, BareFlagTargetMustBeDeclared)
 {
     CliCommands commands("tool");
     EXPECT_THROW(commands.routeBareFlagsTo("missing"), FatalError);
+}
+
+// `cooper_cli serve` flag validation: bad --policy / --group-size /
+// --shards combinations must hard-fail before any trace is replayed,
+// naming the offender.
+
+TEST(CliCommands, ServeRejectsUnknownPolicy)
+{
+    EXPECT_THROW(validateServeOptions("SRX", 2, 1), FatalError);
+    EXPECT_THROW(validateServeOptions("", 2, 1), FatalError);
+    EXPECT_THROW(validateServeOptions("Coalition", 2, 1), FatalError);
+    for (const char *policy :
+         {"GR", "CO", "SMP", "SMR", "SR", "TH", "coalition"})
+        EXPECT_NO_THROW(validateServeOptions(policy, 2, 1));
+}
+
+TEST(CliCommands, ServeRejectsGroupSizeOutOfRange)
+{
+    EXPECT_THROW(validateServeOptions("coalition", 0, 1), FatalError);
+    EXPECT_THROW(validateServeOptions("coalition", 1, 1), FatalError);
+    EXPECT_THROW(validateServeOptions("coalition", 21, 1), FatalError);
+    EXPECT_NO_THROW(validateServeOptions("coalition", 20, 1));
+    // The pairwise policies ignore --group-size entirely.
+    EXPECT_NO_THROW(validateServeOptions("SR", 0, 1));
+}
+
+TEST(CliCommands, ServeRejectsCoalitionWithShards)
+{
+    EXPECT_THROW(validateServeOptions("coalition", 3, 2), FatalError);
+    EXPECT_NO_THROW(validateServeOptions("coalition", 3, 1));
+    EXPECT_NO_THROW(validateServeOptions("SR", 2, 4));
+}
+
+TEST(CliCommands, ServeGroupSizeMustBeNumeric)
+{
+    // The CLI reads --group-size through CliFlags::getInt, which
+    // rejects non-numeric values before validateServeOptions runs.
+    CliFlags flags;
+    flags.declare("group-size", "2", "jobs per CMP");
+    const char *argv[] = {"prog", "--group-size", "three"};
+    EXPECT_TRUE(flags.parse(3, argv));
+    EXPECT_THROW(flags.getInt("group-size"), FatalError);
 }
 
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sim/interference.hh"
 #include "util/error.hh"
 
@@ -142,6 +144,54 @@ TEST_F(InterferenceTest, BadConfigRejected)
     ServerConfig config;
     config.llcMB = 0.0;
     EXPECT_THROW(InterferenceModel(catalog_, config), FatalError);
+}
+
+// Group-penalty properties the coalition subsystem builds on.
+
+TEST_F(InterferenceTest, GroupPenaltyPairCaseMatchesPairwisePenalty)
+{
+    for (JobTypeId i = 0; i < catalog_.size(); ++i)
+        for (JobTypeId j = 0; j < catalog_.size(); ++j) {
+            const JobTypeId others[] = {j};
+            EXPECT_DOUBLE_EQ(model_.groupPenalty(i, others),
+                             model_.penalty(i, j))
+                << i << " vs " << j;
+        }
+}
+
+TEST_F(InterferenceTest, GroupPenaltyInvariantUnderCoRunnerOrder)
+{
+    const JobTypeId a = id("kmeans");
+    const JobTypeId b = id("dedup");
+    const JobTypeId c = id("correlation");
+    const JobTypeId self = id("svm");
+    const JobTypeId perms[][3] = {{a, b, c}, {a, c, b}, {b, a, c},
+                                  {b, c, a}, {c, a, b}, {c, b, a}};
+    const double reference = model_.groupPenalty(self, perms[0]);
+    for (const auto &perm : perms)
+        EXPECT_DOUBLE_EQ(model_.groupPenalty(self, perm), reference);
+}
+
+TEST_F(InterferenceTest, GroupPenaltyMonotoneInGroupSize)
+{
+    // Adding a co-runner can only add pressure. Idiosyncrasy off so
+    // the property is exact rather than up to the +-15% jitter.
+    ServerConfig config;
+    config.idiosyncrasy = 0.0;
+    InterferenceModel plain(catalog_, config);
+    for (JobTypeId self = 0; self < catalog_.size(); ++self) {
+        std::vector<JobTypeId> others;
+        double previous = 0.0;
+        for (const char *name :
+             {"correlation", "kmeans", "dedup", "streamc"}) {
+            others.push_back(id(name));
+            const double grown = plain.groupPenalty(self, others);
+            EXPECT_GE(grown, previous)
+                << "job " << self << " with " << others.size()
+                << " co-runners";
+            previous = grown;
+        }
+    }
 }
 
 } // namespace

@@ -249,6 +249,92 @@ TEST(Serialize, OnlineStateRejectsDuplicateRatingsCell)
     EXPECT_THROW(readOnlineState(corrupt), FatalError);
 }
 
+/** A state whose population runs under the coalition policy. */
+OnlineState
+sampleCoalitionState()
+{
+    OnlineState state = sampleOnlineState();
+    state.live = {{1, 0}, {2, 4}, {5, 2}, {8, 1}, {9, 3}};
+    state.pairs = {};
+    state.groups = {{1, 2, 5}, {8, 9}};
+    return state;
+}
+
+TEST(Serialize, OnlineStateGroupsRoundTrip)
+{
+    const OnlineState state = sampleCoalitionState();
+    std::stringstream buffer;
+    writeOnlineState(buffer, state);
+    const OnlineState back = readOnlineState(buffer);
+
+    ASSERT_EQ(back.groups.size(), 2u);
+    EXPECT_EQ(back.groups[0], (std::vector<JobUid>{1, 2, 5}));
+    EXPECT_EQ(back.groups[1], (std::vector<JobUid>{8, 9}));
+
+    // Byte-stable like the rest of the format.
+    std::stringstream first, second;
+    writeOnlineState(first, state);
+    writeOnlineState(second, back);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Serialize, OnlineStateRejectsUndersizedGroup)
+{
+    std::stringstream full;
+    writeOnlineState(full, sampleCoalitionState());
+    std::string text = full.str();
+    const std::size_t at = text.find("groups 2\n3 1 2 5\n");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 17, "groups 2\n1 1\n");
+    std::stringstream corrupt(text);
+    EXPECT_THROW(readOnlineState(corrupt), FatalError);
+}
+
+TEST(Serialize, OnlineStateRejectsTruncatedGroup)
+{
+    std::stringstream full;
+    writeOnlineState(full, sampleCoalitionState());
+    std::string text = full.str();
+
+    // Declare four members over a three-member line: the reader must
+    // notice the shortfall, not bleed into the next section.
+    const std::size_t at = text.find("3 1 2 5\n");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 8, "4 1 2 5\n");
+    std::stringstream corrupt(text);
+    EXPECT_THROW(readOnlineState(corrupt), FatalError);
+}
+
+TEST(Serialize, OnlineStateRejectsUidInTwoGroups)
+{
+    OnlineState state = sampleCoalitionState();
+    state.groups = {{1, 2, 5}, {5, 8}};
+    std::stringstream buffer;
+    writeOnlineState(buffer, state);
+    EXPECT_THROW(readOnlineState(buffer), FatalError);
+}
+
+TEST(Serialize, OnlineStateRejectsUnsortedGroupMembers)
+{
+    std::stringstream full;
+    writeOnlineState(full, sampleCoalitionState());
+    std::string text = full.str();
+    const std::size_t at = text.find("3 1 2 5\n");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 8, "3 2 1 5\n");
+    std::stringstream corrupt(text);
+    EXPECT_THROW(readOnlineState(corrupt), FatalError);
+}
+
+TEST(Serialize, OnlineStateRejectsGroupsOutOfOrder)
+{
+    OnlineState state = sampleCoalitionState();
+    state.groups = {{8, 9}, {1, 2, 5}};
+    std::stringstream buffer;
+    writeOnlineState(buffer, state);
+    EXPECT_THROW(readOnlineState(buffer), FatalError);
+}
+
 TEST(Serialize, OnlineStateFileRoundTrip)
 {
     const std::string path = "/tmp/cooper_test_online_state.txt";
@@ -328,7 +414,7 @@ TEST(Serialize, ShardedStateRejectsTruncatedShardBlock)
     writeShardedState(full, sampleShardedState());
     const std::string text = full.str();
 
-    // Cut inside the last per-shard block; the embedded v2 reader
+    // Cut inside the last per-shard block; the embedded v4 reader
     // must fail on its own truncation, never half-read.
     const std::size_t at = text.rfind("penalty");
     ASSERT_NE(at, std::string::npos);

@@ -24,7 +24,13 @@
  *  - "cooper.bench_serve.v1" (bench_serve): the served workload
  *    shape, the `serve` throughput and `batched_decode` comparison
  *    phases, and a latency object with the sustained arrival rate
- *    and the client-observed RTT / epoch-completion tails.
+ *    and the client-observed RTT / epoch-completion tails;
+ *  - "cooper.bench_coalition.v1" (bench_coalition): the coalition
+ *    workload shape and a groups object with one row per group size
+ *    (blocking counts for the formation and the packed SR/SMR
+ *    baselines, blocking_ratio, welfare and fairness columns, and the
+ *    identical_across_threads determinism verdict, which must be
+ *    true).
  *
  * Empty, truncated, or otherwise corrupt documents are hard failures
  * (exit 1) — a bench run that crashed mid-write must not validate.
@@ -48,6 +54,14 @@
  * scaling efficiency:
  *
  *   bench_json --file BENCH_shard.json --min-efficiency k2=0.5
+ *
+ * --max-blocking-ratio is the coalition document's stability ceiling:
+ * the formation's blocking-coalition count relative to the packed
+ * stable-roommates baseline at the same capacity must not exceed the
+ * bound (1 = "never less stable than packed pairs"):
+ *
+ *   bench_json --file BENCH_coalition.json \
+ *       --max-blocking-ratio g3=1,g4=1
  */
 
 #include <iostream>
@@ -68,6 +82,7 @@ constexpr const char *kOnlineSchema = "cooper.bench_online.v1";
 constexpr const char *kFaultsSchema = "cooper.bench_faults.v1";
 constexpr const char *kShardSchema = "cooper.bench_shard.v1";
 constexpr const char *kServeSchema = "cooper.bench_serve.v1";
+constexpr const char *kCoalitionSchema = "cooper.bench_coalition.v1";
 
 const char *const kKernelPhases[] = {
     "similarity", "simd_similarity",      "predict", "matching",
@@ -103,6 +118,24 @@ const char *const kServeWorkloadFields[] = {
 const char *const kServeLatencyFields[] = {
     "arrivals_per_sec", "rtt_p50_ms",   "rtt_p99_ms", "rtt_p999_ms",
     "epoch_p50_ms",     "epoch_p99_ms", "epoch_p999_ms"};
+
+const char *const kCoalitionWorkloadFields[] = {
+    "agents", "trials", "types", "threads", "shapley_samples"};
+
+/** Non-negative numeric columns of one groups.g<G> row. */
+const char *const kCoalitionRowFields[] = {
+    "group_size",         "machines",
+    "trials",             "core_stable_trials",
+    "rounds_mean",        "blocking_coalition",
+    "blocking_sr",        "blocking_smr",
+    "blocking_ratio",     "mean_penalty_coalition",
+    "mean_penalty_sr",    "mean_penalty_smr",
+    "egalitarian_coalition", "egalitarian_sr",
+    "egalitarian_smr"};
+
+/** Rank correlations: numeric, bounded to [-1, 1]. */
+const char *const kCoalitionFairnessFields[] = {
+    "fairness_coalition", "fairness_sr", "fairness_smr"};
 
 const char *const kFaultsCounterFields[] = {
     "injected",          "retries",           "quarantined",
@@ -336,6 +369,44 @@ validateServe(const JsonValue &root, const std::string &path)
             "the served run moved no events");
 }
 
+void
+validateCoalition(const JsonValue &root, const std::string &path)
+{
+    const JsonValue &workload = member(root, "workload", path);
+    fatalIf(!workload.isObject(),
+            "bench_json: workload is not an object");
+    for (const char *field : kCoalitionWorkloadFields)
+        numberField(workload, field, "workload");
+    checkTinyFlag(workload);
+
+    const JsonValue &groups = member(root, "groups", path);
+    fatalIf(!groups.isObject(), "bench_json: groups is not an object");
+    fatalIf(groups.members.empty(),
+            "bench_json: groups is empty — no group size was measured");
+    for (const auto &[name, row] : groups.members) {
+        const std::string where = "groups." + name;
+        fatalIf(!row.isObject(), "bench_json: ", where,
+                " is not an object");
+        for (const char *field : kCoalitionRowFields)
+            fatalIf(numberField(row, field, where) < 0.0,
+                    "bench_json: ", where, ".", field, " is negative");
+        for (const char *field : kCoalitionFairnessFields) {
+            const double rho = numberField(row, field, where);
+            fatalIf(rho < -1.0 || rho > 1.0, "bench_json: ", where,
+                    ".", field, " is not a rank correlation");
+        }
+        fatalIf(numberField(row, "group_size", where) < 2.0,
+                "bench_json: ", where, " has a group size below 2");
+        const JsonValue &identical =
+            member(row, "identical_across_threads", where);
+        fatalIf(identical.kind != JsonValue::Kind::Bool,
+                "bench_json: ", where,
+                ".identical_across_threads is not a boolean");
+        fatalIf(!identical.boolean, "bench_json: ", where,
+                " formation diverged across thread counts");
+    }
+}
+
 } // namespace
 
 int
@@ -349,6 +420,9 @@ main(int argc, char **argv)
     flags.declare("min-efficiency", "",
                   "comma-separated shard-row=value efficiency floors "
                   "(cooper.bench_shard.v1 only), e.g. k2=0.5");
+    flags.declare("max-blocking-ratio", "",
+                  "comma-separated group-row=value stability ceilings "
+                  "(cooper.bench_coalition.v1 only), e.g. g3=1,g4=1");
     try {
         if (!flags.parse(argc, argv))
             return 0;
@@ -370,6 +444,8 @@ main(int argc, char **argv)
             validateShard(root, path);
         else if (schema.text == kServeSchema)
             validateServe(root, path);
+        else if (schema.text == kCoalitionSchema)
+            validateCoalition(root, path);
         else
             fatal("bench_json: ", path, " has unknown schema \"",
                   schema.text, "\"");
@@ -377,22 +453,24 @@ main(int argc, char **argv)
         // Floors: check every requested phase before the verdict so a
         // failing run names all offenders, not just the first.
         std::vector<std::string> violations;
-        const JsonValue &phases = member(root, "phases", path);
-        for (const auto &[name, floor] :
-             parseMinSpeedups(flags.get("min-speedup"))) {
-            const JsonValue &phase = member(phases, name, "phases");
-            const double speedup =
-                numberField(phase, "speedup", "phases." + name);
-            if (speedup < floor) {
-                std::ostringstream os;
-                os << "bench_json: phase " << name << ": measured "
-                      "speedup " << speedup
-                   << " is below the required " << floor << "x";
-                violations.push_back(os.str());
-                continue;
+        if (!flags.get("min-speedup").empty()) {
+            const JsonValue &phases = member(root, "phases", path);
+            for (const auto &[name, floor] :
+                 parseMinSpeedups(flags.get("min-speedup"))) {
+                const JsonValue &phase = member(phases, name, "phases");
+                const double speedup =
+                    numberField(phase, "speedup", "phases." + name);
+                if (speedup < floor) {
+                    std::ostringstream os;
+                    os << "bench_json: phase " << name << ": measured "
+                          "speedup " << speedup
+                       << " is below the required " << floor << "x";
+                    violations.push_back(os.str());
+                    continue;
+                }
+                std::cout << "phase " << name << ": speedup " << speedup
+                          << " >= " << floor << "x\n";
             }
-            std::cout << "phase " << name << ": speedup " << speedup
-                      << " >= " << floor << "x\n";
         }
         if (!flags.get("min-efficiency").empty()) {
             fatalIf(schema.text != kShardSchema,
@@ -414,6 +492,28 @@ main(int argc, char **argv)
                 }
                 std::cout << "shards " << name << ": efficiency "
                           << efficiency << " >= " << floor << "\n";
+            }
+        }
+        if (!flags.get("max-blocking-ratio").empty()) {
+            fatalIf(schema.text != kCoalitionSchema,
+                    "bench_json: --max-blocking-ratio only applies to ",
+                    kCoalitionSchema, " documents");
+            const JsonValue &groups = member(root, "groups", path);
+            for (const auto &[name, ceiling] :
+                 parseMinSpeedups(flags.get("max-blocking-ratio"))) {
+                const JsonValue &row = member(groups, name, "groups");
+                const double ratio = numberField(row, "blocking_ratio",
+                                                 "groups." + name);
+                if (ratio > ceiling) {
+                    std::ostringstream os;
+                    os << "bench_json: group row " << name
+                       << ": measured blocking ratio " << ratio
+                       << " exceeds the allowed " << ceiling;
+                    violations.push_back(os.str());
+                    continue;
+                }
+                std::cout << "groups " << name << ": blocking ratio "
+                          << ratio << " <= " << ceiling << "\n";
             }
         }
         if (!violations.empty()) {

@@ -1,8 +1,9 @@
-# Runs bench_regression, bench_online, bench_faults, bench_shard, and
-# bench_serve at smoke-test sizes and validates the emitted JSON
-# against the cooper.bench_kernels.v1 / cooper.bench_online.v1 /
-# cooper.bench_faults.v1 / cooper.bench_shard.v1 /
-# cooper.bench_serve.v1 schemas. Mostly only the schema and the
+# Runs bench_regression, bench_online, bench_faults, bench_shard,
+# bench_serve, and bench_coalition at smoke-test sizes and validates
+# the emitted JSON against the cooper.bench_kernels.v1 /
+# cooper.bench_online.v1 / cooper.bench_faults.v1 /
+# cooper.bench_shard.v1 / cooper.bench_serve.v1 /
+# cooper.bench_coalition.v1 schemas. Mostly only the schema and the
 # exact-equivalence bits are checked here — speedup and efficiency
 # floors are timing-sensitive and belong to manual full-size runs
 # (bench_json --min-speedup
@@ -11,7 +12,11 @@
 #  bench_json --file BENCH_shard.json --min-efficiency k2=0.5).
 # The exception is the serve document's batched_decode floor: the
 # per-message baseline pays ~4x the syscalls, so batched >= 1.1x holds
-# with a wide margin even at tiny sizes on a noisy runner.
+# with a wide margin even at tiny sizes on a noisy runner. The
+# coalition document's blocking-ratio ceiling is also held here — it
+# counts blocking coalitions, not seconds, so it is noise-free: the
+# formation seeds from the packed-pairs baseline among its candidates
+# and only improves, making ratio <= 1 structural.
 # Corrupt documents (empty file, truncated write) must be rejected:
 # a bench run that crashed mid-write must not validate. A failing
 # floor must name every offending phase with measured-vs-required
@@ -53,6 +58,10 @@ run_step(${BENCH_SERVE} --tiny --out bench_smoke_serve.json)
 run_step(${BENCH_JSON} --file bench_smoke_serve.json
          --min-speedup batched_decode=1.1)
 
+run_step(${BENCH_COALITION} --tiny --out bench_smoke_coalition.json)
+run_step(${BENCH_JSON} --file bench_smoke_coalition.json
+         --max-blocking-ratio g3=1,g4=1)
+
 # Floor-failure diagnostics: an unmeetable floor must fail naming the
 # phase with its measured value against the requirement, and a
 # multi-floor failure must report every offender, not just the first.
@@ -80,6 +89,10 @@ expect_floor_failure(
 expect_floor_failure("2 floor\\(s\\) not met"
     ${BENCH_JSON} --file bench_smoke_serve.json
     --min-speedup batched_decode=10000,serve=10000)
+expect_floor_failure(
+    "group row g2: measured blocking ratio .* exceeds the allowed 0"
+    ${BENCH_JSON} --file bench_smoke_coalition.json
+    --max-blocking-ratio g2=0)
 
 # Corruption regressions: empty document, truncated document, and a
 # whitespace-only document must all exit nonzero.

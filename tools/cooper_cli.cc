@@ -93,6 +93,7 @@ usageText()
            "           --alpha A --threads T --shapley-samples K\n"
            "           --metrics-out FILE --trace-out FILE\n"
            "  serve    --trace FILE --policy P --alpha A --seed S\n"
+           "           --group-size G (with --policy coalition)\n"
            "           --epoch-ticks T --admit N --queue-depth N\n"
            "           --probes N --budget N --rematch-threshold N\n"
            "           --threads T --out FILE\n"
@@ -433,7 +434,9 @@ cmdServe(int argc, const char *const *argv)
 {
     CliFlags flags;
     flags.declare("trace", "trace.txt", "churn trace file (see trace_gen)");
-    flags.declare("policy", "SMR", "GR|CO|SMP|SMR|SR|TH");
+    flags.declare("policy", "SMR", "GR|CO|SMP|SMR|SR|TH|coalition");
+    flags.declare("group-size", "2",
+                  "jobs per CMP under --policy coalition (2..20)");
     flags.declare("alpha", "0.02", "minimum gain to break away");
     flags.declare("seed", "1", "probe-noise / policy seed");
     flags.declare("epoch-ticks", "100", "virtual-clock ticks per epoch");
@@ -535,12 +538,18 @@ cmdServe(int argc, const char *const *argv)
         static_cast<std::uint64_t>(flags.getInt("quarantine-epochs"));
     online.checkpointEveryEpochs =
         static_cast<std::uint64_t>(flags.getInt("checkpoint-every"));
+    online.groupSize =
+        static_cast<std::size_t>(flags.getInt("group-size"));
     const auto shardCount =
         static_cast<std::size_t>(flags.getInt("shards"));
     if (shardCount > 0)
         online.shards = shardCount;
     online.rebalanceBudgetPerEpoch =
         static_cast<std::size_t>(flags.getInt("rebalance-budget"));
+
+    // Fail fast on a bad policy/group/shard combination — before any
+    // trace is loaded or socket bound.
+    validateServeOptions(config.policy, online.groupSize, shardCount);
 
     const Catalog catalog = Catalog::paperTableI();
     const InterferenceModel model(catalog);
