@@ -5,7 +5,7 @@
  * concurrent connections — and emits a schema-stable BENCH_serve.json
  * (schema "cooper.bench_serve.v1") that tools/bench_json validates.
  *
- * Two phases are reported:
+ * Three phases are reported:
  *
  *  - serve:          whole-run client wall clock of the batched
  *                    server, timed for trend tracking
@@ -21,6 +21,16 @@
  *                    summaries byte-equal to the in-process
  *                    OnlineDriver replay — the net plane must never
  *                    change a decision, only its transport cost.
+ *  - runs_per_server: N independent replays (run r seeded seed+r)
+ *                    hosted concurrently behind one epoll loop vs.
+ *                    the same N runs served one at a time. The
+ *                    reported "speedup" is the per-run efficiency
+ *                    N*wall_1 / wall_N — 1.0 means colocating runs
+ *                    costs nothing over serving them back to back,
+ *                    and the acceptance floor (>= 0.5 at N = 4)
+ *                    bounds the multi-run coordination overhead.
+ *                    `identical` holds every concurrent run's summary
+ *                    byte-equal to its solo in-process replay.
  *
  * The trace shape is deliberately decode-heavy (many events per
  * epoch, small population) so the phase measures the framing hot
@@ -38,6 +48,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -157,6 +168,88 @@ serveOnce(const Catalog &catalog, const InterferenceModel &model,
     return out;
 }
 
+/** What one multi-run service produced. */
+struct MultiServed
+{
+    double wallSeconds = 0.0; //!< first send to last summary, overall
+    bool identical = true;    //!< every summary matched its reference
+    std::uint64_t runsServed = 0;
+};
+
+/**
+ * Host `runs` concurrent replays of `trace` (run r seeded seed + r)
+ * behind one EpollServer, each fed by its own client thread, and
+ * check every summary against the matching in-process reference.
+ */
+MultiServed
+serveMulti(const Catalog &catalog, const InterferenceModel &model,
+           const FrameworkConfig &config, std::uint64_t seed,
+           const ChurnTrace &trace, std::uint64_t runs,
+           std::size_t connections,
+           const std::vector<std::string> &references)
+{
+    ObsConfig obs_config;
+    obs_config.metrics = true;
+    const ObsScope obs(obs_config);
+
+    std::vector<std::unique_ptr<OnlineDriver>> drivers;
+    std::vector<std::unique_ptr<net::ServicePlane>> planes;
+    for (std::uint64_t r = 0; r < runs; ++r) {
+        drivers.push_back(std::make_unique<OnlineDriver>(
+            catalog, model, config, seed + r));
+        planes.push_back(std::make_unique<net::ServicePlane>(
+            catalog, *drivers.back()));
+    }
+
+    net::ServerConfig server_config;
+    net::EpollServer server(server_config);
+    for (std::uint64_t r = 0; r < runs; ++r)
+        server.addRun(r, *planes[r]);
+
+    bool served = false;
+    std::thread serving([&] { served = server.runUntilServed(); });
+
+    std::vector<net::LoadGenResult> results(runs);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(runs);
+    for (std::uint64_t r = 0; r < runs; ++r)
+        clients.emplace_back([&, r] {
+            net::LoadGenConfig client_config;
+            client_config.port = server.port();
+            client_config.connections = connections;
+            client_config.runId = r;
+            results[r] = net::runLoadGen(trace, client_config);
+        });
+    for (auto &client : clients)
+        client.join();
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    serving.join();
+
+    if (!served)
+        throw std::runtime_error("multi-run serve aborted: " +
+                                 server.lastError());
+    MultiServed out;
+    out.wallSeconds = wall;
+    for (std::uint64_t r = 0; r < runs; ++r) {
+        if (!results[r].ok)
+            throw std::runtime_error(
+                "load generator failed on run " + std::to_string(r) +
+                ": " + results[r].error);
+        out.identical =
+            out.identical && results[r].summary == references[r];
+    }
+    MetricsRegistry *metrics = obsMetrics();
+    if (metrics == nullptr)
+        throw std::runtime_error("metrics session missing");
+    out.runsServed =
+        counterValue(metrics->snapshot(), "net.runs_served");
+    return out;
+}
+
 void
 writeJson(const std::string &path,
           const std::vector<std::pair<std::string, std::string>> &workload,
@@ -208,6 +301,11 @@ main(int argc, char **argv)
     flags.declare("mean-life", "40.0", "mean job lifetime, ticks");
     flags.declare("epoch-ticks", "400", "virtual-clock ticks per epoch");
     flags.declare("connections", "4", "load-generator connections");
+    flags.declare("runs", "4",
+                  "concurrent replays for the runs_per_server phase");
+    flags.declare("run-connections", "2",
+                  "connections per replay in the runs_per_server "
+                  "phase (both legs)");
     flags.declare("seed", "2017", "trace and service seed");
     flags.declare("reps", "3", "timing repetitions (best-of)");
     flags.declare("tiny", "false",
@@ -248,12 +346,23 @@ main(int argc, char **argv)
             const ChurnTrace trace =
                 generateChurnTrace(catalog, churn, trace_rng);
 
-            // The determinism reference: the same trace replayed
-            // in-process, no sockets anywhere.
-            OnlineDriver reference(catalog, model, config, seed);
-            std::ostringstream reference_summary;
-            writeOnlineSummary(reference_summary,
-                               reference.run(trace));
+            const auto runs =
+                static_cast<std::uint64_t>(flags.getInt("runs"));
+            const auto runConnections = static_cast<std::size_t>(
+                flags.getInt("run-connections"));
+
+            // The determinism references: the same trace replayed
+            // in-process, no sockets anywhere — one per concurrent
+            // run (run r uses seed + r).
+            std::vector<std::string> references;
+            for (std::uint64_t r = 0; r < runs; ++r) {
+                OnlineDriver reference(catalog, model, config,
+                                       seed + r);
+                std::ostringstream summary;
+                writeOnlineSummary(summary, reference.run(trace));
+                references.push_back(summary.str());
+            }
+            const std::string &reference_summary = references.front();
 
             // Best-of-reps on both transports; every rep's served
             // summary must match the in-process bytes.
@@ -267,8 +376,8 @@ main(int argc, char **argv)
                     serveOnce(catalog, model, config, seed, trace,
                               connections, /*batched=*/false);
                 identical = identical &&
-                            fast.summary == reference_summary.str() &&
-                            slow.summary == reference_summary.str();
+                            fast.summary == reference_summary &&
+                            slow.summary == reference_summary;
                 if (r == 0 ||
                     fast.stats.wallSeconds < batched.stats.wallSeconds)
                     batched = std::move(fast);
@@ -276,6 +385,28 @@ main(int argc, char **argv)
                     slow.stats.wallSeconds < permsg.stats.wallSeconds)
                     permsg = std::move(slow);
             }
+
+            // Multi-run hosting: N concurrent replays vs. the same N
+            // served one at a time (same per-run connection count on
+            // both legs).
+            MultiServed solo, multi;
+            bool multiIdentical = true;
+            for (int r = 0; r < reps; ++r) {
+                MultiServed one =
+                    serveMulti(catalog, model, config, seed, trace,
+                               1, runConnections, references);
+                MultiServed all =
+                    serveMulti(catalog, model, config, seed, trace,
+                               runs, runConnections, references);
+                multiIdentical =
+                    multiIdentical && one.identical && all.identical;
+                if (r == 0 || one.wallSeconds < solo.wallSeconds)
+                    solo = one;
+                if (r == 0 || all.wallSeconds < multi.wallSeconds)
+                    multi = all;
+            }
+            const double sequentialSeconds =
+                static_cast<double>(runs) * solo.wallSeconds;
 
             std::vector<PhaseResult> phases;
             {
@@ -301,6 +432,19 @@ main(int argc, char **argv)
                 p.metricCount = batched.readSyscalls;
                 p.metricSum =
                     static_cast<double>(batched.readSyscalls);
+                phases.push_back(std::move(p));
+            }
+            {
+                PhaseResult p;
+                p.name = "runs_per_server";
+                p.mode = "baseline_vs_optimized";
+                p.baselineSeconds = sequentialSeconds;
+                p.optimizedSeconds = multi.wallSeconds;
+                p.speedup = p.baselineSeconds / p.optimizedSeconds;
+                p.identical = multiIdentical;
+                p.metric = "net.runs_served";
+                p.metricCount = multi.runsServed;
+                p.metricSum = static_cast<double>(multi.runsServed);
                 phases.push_back(std::move(p));
             }
 
@@ -329,8 +473,16 @@ main(int argc, char **argv)
                       << " ms, epoch p99 "
                       << Table::num(batched.stats.epochP99Ms, 3)
                       << " ms\n";
+            std::cout << "runs_per_server efficiency "
+                      << Table::num(phases[2].speedup, 2) << "x ("
+                      << runs << " run(s) of " << runConnections
+                      << " conn(s): "
+                      << Table::num(multi.wallSeconds * 1e3, 2)
+                      << " ms concurrent vs "
+                      << Table::num(sequentialSeconds * 1e3, 2)
+                      << " ms sequential)\n";
 
-            if (!identical)
+            if (!identical || !multiIdentical)
                 throw std::runtime_error(
                     "served summaries differ from the in-process "
                     "replay");
@@ -343,6 +495,7 @@ main(int argc, char **argv)
                     {"arrivals",
                      std::to_string(batched.stats.eventsSent)},
                     {"connections", std::to_string(connections)},
+                    {"runs", std::to_string(runs)},
                     {"threads", "1"},
                     {"tiny", tiny ? "true" : "false"},
                 };

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <thread>
 
@@ -83,6 +84,13 @@ struct Worker
     std::size_t epochPtr = 0; //!< two-pointer for epoch latency
     bool finishedQueued = false;
 
+    /** Busy-refused local indices awaiting retransmit (seq order). */
+    std::deque<std::size_t> retryQueue;
+    Clock::time_point retryAt{};
+    double backoffMs = 0.0; //!< current back-off; 0 = none pending
+    std::size_t busyRefusals = 0;
+    std::size_t retriesSent = 0;
+
     Clock::time_point start;
     Clock::time_point lastDone;
 
@@ -105,10 +113,27 @@ struct Worker
     bool handshake();
     bool pump();
     bool handle(const FrameView &frame);
+    void encodeEvent(std::size_t local);
     void queueDueEvents(Clock::time_point now);
     bool flushSends();
     int pollTimeoutMs(Clock::time_point now) const;
 };
+
+void
+Worker::encodeEvent(std::size_t local)
+{
+    const auto &[seq, event] = events[local];
+    EventMsg msg;
+    msg.seq = seq;
+    msg.tick = event.tick;
+    msg.kind = event.kind == EventKind::Arrival ? 0 : 1;
+    msg.uid = event.uid;
+    msg.type = event.type;
+    std::vector<std::uint8_t> payload;
+    msg.encode(payload);
+    encodeFrame(wbuf, MsgType::Event, 0, payload.data(),
+                payload.size());
+}
 
 bool
 Worker::connect()
@@ -138,6 +163,7 @@ Worker::handshake()
     HelloMsg hello;
     hello.clientId = static_cast<std::uint32_t>(id);
     hello.subscriptions = config->subscriptions;
+    hello.runId = config->runId;
     std::vector<std::uint8_t> payload;
     hello.encode(payload);
     std::vector<std::uint8_t> frame;
@@ -214,9 +240,27 @@ Worker::queueDueEvents(Clock::time_point now)
 {
     const double rate = config->eventsPerSecond;
     std::size_t batched = 0;
+    if (!retryQueue.empty()) {
+        // Refused events retransmit first, in seq order, once the
+        // back-off expires. New sends stay paused meanwhile: the
+        // server's backlog for this connection is full, so more
+        // would only earn more refusals.
+        if (now < retryAt)
+            return;
+        while (!retryQueue.empty() && batched < kSendBatch &&
+               wbuf.size() - wpos < kSendHighWater) {
+            const std::size_t local = retryQueue.front();
+            retryQueue.pop_front();
+            encodeEvent(local);
+            sendTimes[local] = now; // RTT from the last transmit
+            ++retriesSent;
+            ++batched;
+        }
+        return;
+    }
     while (nextSend < events.size() && batched < kSendBatch &&
            wbuf.size() - wpos < kSendHighWater) {
-        const auto &[seq, event] = events[nextSend];
+        const std::uint64_t seq = events[nextSend].first;
         if (rate > 0.0) {
             const auto target =
                 start + std::chrono::duration_cast<Clock::duration>(
@@ -225,25 +269,18 @@ Worker::queueDueEvents(Clock::time_point now)
             if (now < target)
                 break;
         }
-        EventMsg msg;
-        msg.seq = seq;
-        msg.tick = event.tick;
-        msg.kind = event.kind == EventKind::Arrival ? 0 : 1;
-        msg.uid = event.uid;
-        msg.type = event.type;
-        std::vector<std::uint8_t> payload;
-        msg.encode(payload);
-        encodeFrame(wbuf, MsgType::Event, 0, payload.data(),
-                    payload.size());
+        encodeEvent(nextSend);
         sendTimes.push_back(now);
         ++nextSend;
         ++batched;
         if (rate > 0.0)
             break; // paced: one frame per deadline
     }
-    if (nextSend == events.size() && !finishedQueued) {
-        // Every event is queued behind us in the same stream, so the
-        // Finished frame can follow immediately; declare once.
+    if (nextSend == events.size() && acks == events.size() &&
+        !finishedQueued) {
+        // Declare only after every event is Acked: an Ack is the
+        // server's acceptance, so no late Busy refusal can strand an
+        // event behind the declaration.
         FinishedMsg done;
         done.eventsSent = events.size();
         std::vector<std::uint8_t> payload;
@@ -280,6 +317,14 @@ Worker::flushSends()
 int
 Worker::pollTimeoutMs(Clock::time_point now) const
 {
+    if (!retryQueue.empty()) {
+        if (retryAt <= now)
+            return 0;
+        const auto wait = std::chrono::duration_cast<
+            std::chrono::milliseconds>(retryAt - now);
+        return static_cast<int>(
+            std::min<long long>(wait.count() + 1, kIdlePollMs));
+    }
     if (nextSend >= events.size())
         return kIdlePollMs;
     if (config->eventsPerSecond <= 0.0)
@@ -313,6 +358,28 @@ Worker::handle(const FrameView &frame)
                                       ack.seq));
         rttMs.push_back(toMs(now - sendTimes[local]));
         ++acks;
+        backoffMs = 0.0; // progress: the refusal pressure eased
+        return true;
+    }
+    case MsgType::Busy: {
+        const BusyMsg busy = BusyMsg::decode(frame);
+        const std::uint64_t local =
+            (busy.seq - id) / config->connections;
+        if (busy.seq % config->connections != id ||
+            local >= sendTimes.size())
+            return fail(formatMessage("Busy for foreign seq ",
+                                      busy.seq));
+        retryQueue.push_back(static_cast<std::size_t>(local));
+        ++busyRefusals;
+        backoffMs =
+            backoffMs <= 0.0
+                ? std::max(config->busyBackoffMs,
+                           static_cast<double>(busy.retryAfterMs))
+                : std::min(backoffMs * 2.0,
+                           config->busyBackoffMaxMs);
+        retryAt = now + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                backoffMs));
         return true;
     }
     case MsgType::EpochComplete: {
@@ -376,7 +443,7 @@ Worker::pump()
         // the pacing deadline — or the idle guard when everything
         // waits on the peer.
         const bool canQueueMore =
-            nextSend < events.size() &&
+            (!retryQueue.empty() || nextSend < events.size()) &&
             wbuf.size() - wpos < kSendHighWater;
         const int timeout =
             canQueueMore ? pollTimeoutMs(now) : kIdlePollMs;
@@ -509,6 +576,8 @@ runLoadGen(const ChurnTrace &trace, const LoadGenConfig &config)
                                          ": ", worker.error);
         result.stats.eventsSent += worker.sendTimes.size();
         result.stats.acksReceived += worker.acks;
+        result.stats.busyRefusals += worker.busyRefusals;
+        result.stats.retriesSent += worker.retriesSent;
         result.stats.epochsObserved =
             std::max(result.stats.epochsObserved, worker.epochs);
         rtt.insert(rtt.end(), worker.rttMs.begin(),

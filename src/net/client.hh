@@ -14,6 +14,14 @@
  * Wall-clock timing lives entirely on this side of the socket; the
  * server's decisions never see it, so a load-generated run still
  * reproduces the in-process summary byte-for-byte.
+ *
+ * Against a multi-run server the Hello carries a runId and the client
+ * honours Busy flow-control pushback: a refused event goes on a retry
+ * queue and is resent after an exponential back-off (new sends pause
+ * meanwhile — the server's backlog for this connection is full, so
+ * more would only earn more refusals). Finished is declared only once
+ * every event is Acked, so a late refusal can never strand an event
+ * behind the declaration.
  */
 
 #ifndef COOPER_NET_CLIENT_HH
@@ -42,6 +50,14 @@ struct LoadGenConfig
 
     /** Subscription bits for the Hello frame (see frame.hh). */
     std::uint32_t subscriptions = 0;
+
+    /** Which run in the server's table this replay feeds. */
+    std::uint64_t runId = 0;
+
+    /** Initial back-off after a Busy refusal; doubles per refusal up
+     *  to the cap, resets on the next Ack. */
+    double busyBackoffMs = 1.0;
+    double busyBackoffMaxMs = 100.0;
 };
 
 /** Client-side latency and throughput measurements. */
@@ -50,6 +66,10 @@ struct LoadGenStats
     std::size_t eventsSent = 0;
     std::size_t acksReceived = 0;
     std::size_t epochsObserved = 0;
+
+    /** Busy refusals received and the retransmits they caused. */
+    std::size_t busyRefusals = 0;
+    std::size_t retriesSent = 0;
 
     /** Wall-clock seconds from first send to summary received. */
     double wallSeconds = 0.0;

@@ -37,7 +37,7 @@ bool
 validMsgType(std::uint8_t type)
 {
     return type >= static_cast<std::uint8_t>(MsgType::Hello) &&
-           type <= static_cast<std::uint8_t>(MsgType::Bye);
+           type <= static_cast<std::uint8_t>(MsgType::Busy);
 }
 
 const char *
@@ -57,6 +57,7 @@ msgTypeName(MsgType type)
     case MsgType::Summary: return "Summary";
     case MsgType::Error: return "Error";
     case MsgType::Bye: return "Bye";
+    case MsgType::Busy: return "Busy";
     }
     return "Unknown";
 }
@@ -231,6 +232,7 @@ HelloMsg::encode(std::vector<std::uint8_t> &out) const
     w.u32(clientId);
     w.u32(protocol);
     w.u32(subscriptions);
+    w.u64(runId);
 }
 
 HelloMsg
@@ -241,6 +243,7 @@ HelloMsg::decode(const FrameView &frame)
     msg.clientId = r.u32();
     msg.protocol = r.u32();
     msg.subscriptions = r.u32();
+    msg.runId = r.u64();
     r.done();
     fatalIf(msg.protocol != kProtocolVersion,
             "Hello: client speaks protocol ", msg.protocol,
@@ -429,6 +432,25 @@ FinishedMsg::decode(const FrameView &frame)
     WireReader r(frame.payload, frame.size, "Finished");
     FinishedMsg msg;
     msg.eventsSent = r.u64();
+    r.done();
+    return msg;
+}
+
+void
+BusyMsg::encode(std::vector<std::uint8_t> &out) const
+{
+    WireWriter w(out);
+    w.u64(seq);
+    w.u32(retryAfterMs);
+}
+
+BusyMsg
+BusyMsg::decode(const FrameView &frame)
+{
+    WireReader r(frame.payload, frame.size, "Busy");
+    BusyMsg msg;
+    msg.seq = r.u64();
+    msg.retryAfterMs = r.u32();
     r.done();
     return msg;
 }

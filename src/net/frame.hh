@@ -30,8 +30,9 @@ namespace cooper::net {
 /** Frame header magic: "COOP" read as a little-endian u32. */
 constexpr std::uint32_t kMagic = 0x504F4F43u;
 
-/** Protocol version this build speaks. */
-constexpr std::uint8_t kProtocolVersion = 1;
+/** Protocol version this build speaks. v2 added the Hello runId
+ *  (multi-run servers) and the Busy flow-control frame. */
+constexpr std::uint8_t kProtocolVersion = 2;
 
 /** Bytes in the fixed frame header. */
 constexpr std::size_t kHeaderSize = 12;
@@ -58,6 +59,7 @@ enum class MsgType : std::uint8_t
     Summary = 11,      //!< server -> client: summary bytes (chunked)
     Error = 12,        //!< server -> client: fatal protocol error
     Bye = 13,          //!< server -> client: orderly close
+    Busy = 14,         //!< server -> client: back off and resend seq
 };
 
 /** True when `type` is a value the protocol defines. */
@@ -162,6 +164,10 @@ struct HelloMsg
      *  frames. EpochComplete and Summary are always sent. */
     std::uint32_t subscriptions = 0;
 
+    /** Which run in the server's run table this connection feeds.
+     *  Single-run servers register run 0. */
+    std::uint64_t runId = 0;
+
     void encode(std::vector<std::uint8_t> &out) const;
     static HelloMsg decode(const FrameView &frame);
 };
@@ -259,6 +265,18 @@ struct FinishedMsg
 
     void encode(std::vector<std::uint8_t> &out) const;
     static FinishedMsg decode(const FrameView &frame);
+};
+
+/** Flow-control pushback: the server refused event `seq` because the
+ *  connection's reorder backlog is full. Not an error — the client
+ *  backs off `retryAfterMs` and resends the same event. */
+struct BusyMsg
+{
+    std::uint64_t seq = 0;
+    std::uint32_t retryAfterMs = 0;
+
+    void encode(std::vector<std::uint8_t> &out) const;
+    static BusyMsg decode(const FrameView &frame);
 };
 
 /** Protocol failure the server reports before closing. */

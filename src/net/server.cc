@@ -57,6 +57,13 @@ struct DrainTally
 thread_local DrainTally tally;
 
 void
+countMetric(const char *name)
+{
+    if (MetricsRegistry *metrics = obsMetrics())
+        metrics->counter(name).add(1);
+}
+
+void
 setNoDelay(int fd)
 {
     int one = 1;
@@ -65,8 +72,8 @@ setNoDelay(int fd)
 
 } // namespace
 
-EpollServer::EpollServer(ServicePlane &plane, ServerConfig config)
-    : plane_(&plane), config_(std::move(config))
+EpollServer::EpollServer(ServerConfig config)
+    : config_(std::move(config))
 {
     listenFd_ = ::socket(AF_INET,
                          SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
@@ -107,6 +114,23 @@ EpollServer::EpollServer(ServicePlane &plane, ServerConfig config)
     ev.data.fd = listenFd_;
     fatalIf(::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev) != 0,
             "EpollServer: epoll_ctl(listen): ", std::strerror(errno));
+
+    epoch_ = std::chrono::steady_clock::now();
+    if (config_.idleTimeoutMs > 0) {
+        // Coarse wheel: fire every quarter timeout; enough slots to
+        // park any deadline inside one full timeout plus slack.
+        wheelGranularityMs_ = std::max<std::uint64_t>(
+            1, config_.idleTimeoutMs / 4);
+        const std::size_t slots =
+            config_.idleTimeoutMs / wheelGranularityMs_ + 3;
+        wheel_.assign(slots, {});
+    }
+}
+
+EpollServer::EpollServer(ServicePlane &plane, ServerConfig config)
+    : EpollServer(std::move(config))
+{
+    addRun(0, plane);
 }
 
 EpollServer::~EpollServer()
@@ -120,25 +144,108 @@ EpollServer::~EpollServer()
         ::close(epollFd_);
 }
 
+void
+EpollServer::addRun(std::uint64_t runId, ServicePlane &plane)
+{
+    fatalIf(started_,
+            "EpollServer: addRun(", runId, ") after serving started");
+    Run run;
+    run.id = runId;
+    run.plane = &plane;
+    fatalIf(!runs_.emplace(runId, std::move(run)).second,
+            "EpollServer: duplicate run id ", runId);
+    plane.setFlowControl(config_.maxPendingPerConn);
+}
+
+std::uint64_t
+EpollServer::nowMs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+EpollServer::Run *
+EpollServer::connRun(const Conn &conn)
+{
+    const auto it = runs_.find(conn.runId);
+    fatalIf(it == runs_.end(),
+            "EpollServer: connection bound to unknown run ",
+            conn.runId);
+    return &it->second;
+}
+
+bool
+EpollServer::allRunsResolved() const
+{
+    for (const auto &[id, run] : runs_)
+        if (!run.resolved())
+            return false;
+    return true;
+}
+
+bool
+EpollServer::runServed(std::uint64_t runId) const
+{
+    const auto it = runs_.find(runId);
+    fatalIf(it == runs_.end(), "EpollServer: unknown run id ", runId);
+    return it->second.summaryQueued && !it->second.aborted;
+}
+
+const std::string &
+EpollServer::runError(std::uint64_t runId) const
+{
+    const auto it = runs_.find(runId);
+    fatalIf(it == runs_.end(), "EpollServer: unknown run id ", runId);
+    return it->second.error;
+}
+
 bool
 EpollServer::runUntilServed()
 {
+    fatalIf(runs_.empty(),
+            "EpollServer: runUntilServed with no runs registered");
+    started_ = true;
     epoll_event events[64];
     while (true) {
-        if (aborted_) {
-            while (!conns_.empty())
-                closeConn(conns_.begin()->first);
-            return false;
+        // Sweep connections of runs that died since the last pass
+        // (aborts are recorded mid-drain but closed here, where no
+        // Conn is borrowed). Once every run is resolved, strangers
+        // can no longer join anything — drop them too.
+        const bool resolved = allRunsResolved();
+        std::vector<int> dead;
+        for (const auto &[fd, conn] : conns_) {
+            if (!conn->handshaked) {
+                if (resolved)
+                    dead.push_back(fd);
+                continue;
+            }
+            if (connRun(*conn)->aborted)
+                dead.push_back(fd);
         }
-        if (summaryQueued_ && conns_.empty())
+        for (const int fd : dead)
+            closeConn(fd);
+        if (resolved && conns_.empty()) {
+            for (const auto &[id, run] : runs_)
+                if (run.aborted)
+                    return false;
             return true;
+        }
 
-        const int n = ::epoll_wait(epollFd_, events, 64, -1);
+        const int timeout =
+            config_.idleTimeoutMs > 0
+                ? static_cast<int>(wheelGranularityMs_)
+                : -1;
+        const int n = ::epoll_wait(epollFd_, events, 64, timeout);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            abortRun(formatMessage("epoll_wait: ",
-                                   std::strerror(errno)));
+            // The loop itself is broken; no run can be served.
+            const std::string why = formatMessage(
+                "epoll_wait: ", std::strerror(errno));
+            for (auto &[id, run] : runs_)
+                abortRun(run, why);
             continue;
         }
         for (int i = 0; i < n; ++i) {
@@ -164,6 +271,8 @@ EpollServer::runUntilServed()
                     updateWriteInterest(conn);
             }
         }
+        if (config_.idleTimeoutMs > 0)
+            reapIdle(nowMs());
         tally.fold();
         tally = DrainTally{};
     }
@@ -182,13 +291,15 @@ EpollServer::acceptReady()
                 continue;
             return;
         }
-        if (summaryQueued_) {
-            ::close(fd); // the run is over; no late joiners
+        if (allRunsResolved()) {
+            ::close(fd); // every run is over; no late joiners
             continue;
         }
         setNoDelay(fd);
         auto conn = std::make_unique<Conn>();
         conn->fd = fd;
+        conn->serial = ++connSerial_;
+        conn->lastActivityMs = nowMs();
         epoll_event ev{};
         ev.events = EPOLLIN;
         ev.data.fd = fd;
@@ -196,6 +307,9 @@ EpollServer::acceptReady()
             ::close(fd);
             continue;
         }
+        if (config_.idleTimeoutMs > 0)
+            scheduleIdleCheck(
+                fd, conn->lastActivityMs + config_.idleTimeoutMs);
         conns_.emplace(fd, std::move(conn));
         if (MetricsRegistry *metrics = obsMetrics())
             metrics->counter("net.accepts").add(1);
@@ -203,9 +317,73 @@ EpollServer::acceptReady()
 }
 
 void
+EpollServer::scheduleIdleCheck(int fd, std::uint64_t deadlineMs)
+{
+    // +1 so the slot fires at-or-after the deadline; clamp into the
+    // unfired region (a deadline in an already-swept slot is checked
+    // on the very next tick).
+    std::uint64_t slot = deadlineMs / wheelGranularityMs_ + 1;
+    if (slot < wheelNextSlot_)
+        slot = wheelNextSlot_;
+    wheel_[slot % wheel_.size()].push_back(fd);
+}
+
+void
+EpollServer::reapIdle(std::uint64_t now)
+{
+    const std::uint64_t current = now / wheelGranularityMs_;
+    while (wheelNextSlot_ <= current) {
+        std::vector<int> due;
+        due.swap(wheel_[wheelNextSlot_ % wheel_.size()]);
+        ++wheelNextSlot_;
+        for (const int fd : due) {
+            const auto it = conns_.find(fd);
+            if (it == conns_.end())
+                continue; // already closed; stale wheel entry
+            Conn &conn = *it->second;
+            const std::uint64_t deadline =
+                conn.lastActivityMs + config_.idleTimeoutMs;
+            if (deadline > now) {
+                scheduleIdleCheck(fd, deadline);
+                continue;
+            }
+            countMetric("net.idle_reaped");
+            if (conn.handshaked && !conn.finishedSent) {
+                Run *run = connRun(conn);
+                if (!run->resolved())
+                    abortRun(*run,
+                             formatMessage(
+                                 "run ", run->id,
+                                 ": connection idle past ",
+                                 config_.idleTimeoutMs,
+                                 " ms before Finished"));
+            }
+            closeConn(fd);
+        }
+    }
+}
+
+bool
+EpollServer::onAbandonedEof(Conn &conn)
+{
+    if (!conn.handshaked || conn.finishedSent)
+        return false;
+    Run *run = connRun(conn);
+    if (run->resolved())
+        return false;
+    abortRun(*run, formatMessage(
+                       "run ", run->id,
+                       ": client disconnected mid-run before "
+                       "Finished"));
+    return true;
+}
+
+void
 EpollServer::readReady(Conn &conn)
 {
     const int fd = conn.fd;
+    if (config_.idleTimeoutMs > 0)
+        conn.lastActivityMs = nowMs();
     const bool alive = config_.batched ? drainBatched(conn)
                                        : drainPerMessage(conn);
     if (!alive || conns_.count(fd) == 0)
@@ -250,14 +428,11 @@ EpollServer::drainBatched(Conn &conn)
 
     if (eof) {
         const int fd = conn.fd;
-        const bool abandoned = !summaryQueued_ && conn.handshaked &&
-                               !conn.finishedSent;
         if (!conn.rbuf.empty()) {
             if (MetricsRegistry *metrics = obsMetrics())
                 metrics->counter("net.dirty_disconnects").add(1);
         }
-        if (abandoned)
-            abortRun("client disconnected mid-run before Finished");
+        onAbandonedEof(conn);
         closeConn(fd);
         return false;
     }
@@ -301,14 +476,11 @@ EpollServer::drainPerMessage(Conn &conn)
         if (r < 0 && errno == EINTR)
             continue;
         const int fd = conn.fd;
-        const bool abandoned = !summaryQueued_ && conn.handshaked &&
-                               !conn.finishedSent;
         if (!conn.rbuf.empty()) {
             if (MetricsRegistry *metrics = obsMetrics())
                 metrics->counter("net.dirty_disconnects").add(1);
         }
-        if (abandoned)
-            abortRun("client disconnected mid-run before Finished");
+        onAbandonedEof(conn);
         closeConn(fd);
         return false;
     }
@@ -330,12 +502,11 @@ EpollServer::processBuffered(Conn &conn, bool single)
         if (status == DecodeStatus::NeedMore)
             break;
         if (status == DecodeStatus::Bad) {
-            const bool participant = conn.handshaked;
             PlaneOutcome outcome = PlaneOutcome::fail(
                 PlaneError::None, "malformed frame: " + error);
             sendError(conn, outcome);
-            if (participant)
-                abortRun(outcome.message);
+            if (conn.handshaked)
+                abortRun(*connRun(conn), outcome.message);
             keep = false;
             break;
         }
@@ -379,6 +550,16 @@ EpollServer::handleFrame(Conn &conn, const FrameView &frame)
                                         " before Hello")));
             return false;
         }
+        if (conn.handshaked && connRun(conn)->aborted) {
+            // The run died earlier in this drain batch; the sweep
+            // has not closed this sibling yet.
+            sendError(conn,
+                      PlaneOutcome::fail(
+                          PlaneError::None,
+                          formatMessage("run ", conn.runId,
+                                        " was aborted")));
+            return false;
+        }
         switch (frame.type) {
         case MsgType::Hello: {
             if (conn.handshaked) {
@@ -388,32 +569,64 @@ EpollServer::handleFrame(Conn &conn, const FrameView &frame)
                 return false;
             }
             const HelloMsg hello = HelloMsg::decode(frame);
+            const auto it = runs_.find(hello.runId);
+            if (it == runs_.end()) {
+                sendError(conn,
+                          PlaneOutcome::fail(
+                              PlaneError::None,
+                              formatMessage(
+                                  "Hello names unknown run ",
+                                  hello.runId)));
+                return false;
+            }
+            Run &run = it->second;
+            if (run.resolved()) {
+                sendError(conn,
+                          PlaneOutcome::fail(
+                              PlaneError::None,
+                              formatMessage(
+                                  "run ", run.id,
+                                  run.aborted ? " was aborted"
+                                              : " already completed")));
+                return false;
+            }
             conn.handshaked = true;
+            conn.runId = run.id;
             conn.subscriptions = hello.subscriptions;
-            ++handshakedEver_;
+            ++run.handshakedEver;
             std::vector<std::uint8_t> payload;
-            plane_->helloAck().encode(payload);
+            run.plane->helloAck().encode(payload);
             queueFrame(conn, MsgType::HelloAck, 0, payload);
             return true;
         }
         case MsgType::Event: {
             const EventMsg event = EventMsg::decode(frame);
-            const PlaneOutcome outcome = plane_->ingest(event);
-            if (!outcome.ok) {
-                sendError(conn, outcome);
-                abortRun(outcome.message);
+            Run *run = connRun(conn);
+            const IngestResult result =
+                run->plane->ingest(event, conn.serial);
+            if (result.status == IngestStatus::Busy) {
+                BusyMsg busy{event.seq, config_.busyRetryHintMs};
+                std::vector<std::uint8_t> payload;
+                busy.encode(payload);
+                queueFrame(conn, MsgType::Busy, 0, payload);
+                countMetric("net.busy_sent");
+                return true;
+            }
+            if (result.status == IngestStatus::Failed) {
+                sendError(conn, result.outcome);
+                abortRun(*run, result.outcome.message);
                 return false;
             }
-            AckMsg ack{event.seq, plane_->epochsCommitted()};
+            AckMsg ack{event.seq, run->plane->epochsCommitted()};
             std::vector<std::uint8_t> payload;
             ack.encode(payload);
             queueFrame(conn, MsgType::Ack, 0, payload);
-            broadcastOutputs();
+            broadcastOutputs(*run);
             return true;
         }
         case MsgType::CheckpointRequest: {
             std::vector<std::uint8_t> payload;
-            plane_->checkpointNow().encode(payload);
+            connRun(conn)->plane->checkpointNow().encode(payload);
             queueFrame(conn, MsgType::CheckpointAck, 0, payload);
             return true;
         }
@@ -421,9 +634,10 @@ EpollServer::handleFrame(Conn &conn, const FrameView &frame)
             const FinishedMsg finished = FinishedMsg::decode(frame);
             if (!conn.finishedSent) {
                 conn.finishedSent = true;
-                ++finishedClients_;
-                plane_->declareFinished(finished.eventsSent);
-                finishRunIfReady();
+                Run *run = connRun(conn);
+                ++run->finishedClients;
+                run->plane->declareFinished(finished.eventsSent);
+                finishRunIfReady(*run);
             }
             return conns_.count(fd) != 0;
         }
@@ -435,17 +649,18 @@ EpollServer::handleFrame(Conn &conn, const FrameView &frame)
                                         msgTypeName(frame.type),
                                         " frame from a client")));
             if (conn.handshaked)
-                abortRun("unexpected frame type from a client");
+                abortRun(*connRun(conn),
+                         "unexpected frame type from a client");
             return false;
         }
     } catch (const FatalError &err) {
         // Hostile payload: the codec refused it. Kill the connection,
-        // and the run with it when the peer was a participant.
+        // and its run with it when the peer was a participant.
         const bool participant = conn.handshaked;
         sendError(conn, PlaneOutcome::fail(PlaneError::None,
                                            err.what()));
         if (participant)
-            abortRun(err.what());
+            abortRun(*connRun(conn), err.what());
         return false;
     }
 }
@@ -461,9 +676,10 @@ EpollServer::queueFrame(Conn &conn, MsgType type, std::uint16_t flags,
 }
 
 void
-EpollServer::broadcastOutputs()
+EpollServer::broadcastOutputs(Run &run)
 {
-    const std::vector<EpochOutput> outputs = plane_->takeOutputs();
+    const std::vector<EpochOutput> outputs =
+        run.plane->takeOutputs();
     if (outputs.empty())
         return;
     for (const EpochOutput &out : outputs) {
@@ -474,7 +690,7 @@ EpollServer::broadcastOutputs()
         std::vector<std::uint8_t> assignment;
         out.assignment.encode(assignment);
         for (auto &[fd, conn] : conns_) {
-            if (!conn->handshaked)
+            if (!conn->handshaked || conn->runId != run.id)
                 continue;
             queueFrame(*conn, MsgType::EpochComplete, 0, complete);
             if (conn->subscriptions & kSubscribeProbes)
@@ -498,35 +714,36 @@ EpollServer::sendError(Conn &conn, const PlaneOutcome &outcome)
 }
 
 void
-EpollServer::finishRunIfReady()
+EpollServer::finishRunIfReady(Run &run)
 {
-    if (summaryQueued_ || finishedClients_ == 0 ||
-        finishedClients_ < handshakedEver_)
+    if (run.resolved() || run.finishedClients == 0 ||
+        run.finishedClients < run.handshakedEver)
         return;
-    const PlaneOutcome outcome = plane_->completeRun();
+    const PlaneOutcome outcome = run.plane->completeRun();
     if (!outcome.ok) {
         std::vector<int> fds;
         fds.reserve(conns_.size());
         for (const auto &[fd, conn] : conns_)
-            fds.push_back(fd);
+            if (conn->handshaked && conn->runId == run.id)
+                fds.push_back(fd);
         for (const int fd : fds) {
             const auto it = conns_.find(fd);
             if (it != conns_.end())
                 sendError(*it->second, outcome);
         }
-        abortRun(outcome.message);
+        abortRun(run, outcome.message);
         return;
     }
-    broadcastOutputs();
-    queueSummaryAndBye();
+    broadcastOutputs(run);
+    queueSummaryAndBye(run);
 }
 
 void
-EpollServer::queueSummaryAndBye()
+EpollServer::queueSummaryAndBye(Run &run)
 {
-    const std::string &summary = plane_->summary();
+    const std::string &summary = run.plane->summary();
     for (auto &[fd, conn] : conns_) {
-        if (!conn->handshaked)
+        if (!conn->handshaked || conn->runId != run.id)
             continue;
         std::size_t offset = 0;
         do {
@@ -546,12 +763,14 @@ EpollServer::queueSummaryAndBye()
         queueFrame(*conn, MsgType::Bye, 0, {});
         conn->closeAfterFlush = true;
     }
-    summaryQueued_ = true;
+    run.summaryQueued = true;
+    countMetric("net.runs_served");
     // Flush everything we can now; EPOLLOUT covers the rest.
     std::vector<int> fds;
     fds.reserve(conns_.size());
     for (const auto &[fd, conn] : conns_)
-        fds.push_back(fd);
+        if (conn->handshaked && conn->runId == run.id)
+            fds.push_back(fd);
     for (const int fd : fds) {
         const auto it = conns_.find(fd);
         if (it == conns_.end())
@@ -642,14 +861,17 @@ EpollServer::closeConn(int fd)
 }
 
 void
-EpollServer::abortRun(const std::string &why)
+EpollServer::abortRun(Run &run, const std::string &why)
 {
-    if (aborted_)
+    if (run.resolved())
         return;
-    aborted_ = true;
-    lastError_ = why;
-    if (MetricsRegistry *metrics = obsMetrics())
-        metrics->counter("net.runs_aborted").add(1);
+    run.aborted = true;
+    run.error = why;
+    if (lastError_.empty())
+        lastError_ = why;
+    countMetric("net.runs_aborted");
+    // Connections are closed by the main-loop sweep — never here,
+    // where a Conn may be borrowed by the drain path.
 }
 
 } // namespace cooper::net
@@ -658,13 +880,21 @@ EpollServer::abortRun(const std::string &why)
 
 namespace cooper::net {
 
-EpollServer::EpollServer(ServicePlane &plane, ServerConfig config)
-    : plane_(&plane), config_(std::move(config))
+EpollServer::EpollServer(ServerConfig config)
+    : config_(std::move(config))
 {
     fatal("EpollServer: the service plane requires Linux epoll");
 }
 
+EpollServer::EpollServer(ServicePlane &plane, ServerConfig config)
+    : EpollServer(std::move(config))
+{
+    addRun(0, plane);
+}
+
 EpollServer::~EpollServer() = default;
+
+void EpollServer::addRun(std::uint64_t, ServicePlane &) {}
 
 bool
 EpollServer::runUntilServed()
@@ -672,6 +902,12 @@ EpollServer::runUntilServed()
     return false;
 }
 
+bool EpollServer::runServed(std::uint64_t) const { return false; }
+const std::string &
+EpollServer::runError(std::uint64_t) const
+{
+    return lastError_;
+}
 void EpollServer::acceptReady() {}
 void EpollServer::readReady(Conn &) {}
 bool EpollServer::drainBatched(Conn &) { return false; }
@@ -684,14 +920,23 @@ bool EpollServer::handleFrame(Conn &, const FrameView &)
 void EpollServer::queueFrame(Conn &, MsgType, std::uint16_t,
                              const std::vector<std::uint8_t> &)
 {}
-void EpollServer::broadcastOutputs() {}
+void EpollServer::broadcastOutputs(Run &) {}
 void EpollServer::sendError(Conn &, const PlaneOutcome &) {}
-void EpollServer::finishRunIfReady() {}
-void EpollServer::queueSummaryAndBye() {}
+void EpollServer::finishRunIfReady(Run &) {}
+void EpollServer::queueSummaryAndBye(Run &) {}
 void EpollServer::flushWrites(Conn &) {}
 void EpollServer::updateWriteInterest(Conn &) {}
 void EpollServer::closeConn(int) {}
-void EpollServer::abortRun(const std::string &) {}
+EpollServer::Run *EpollServer::connRun(const Conn &)
+{
+    return nullptr;
+}
+void EpollServer::abortRun(Run &, const std::string &) {}
+bool EpollServer::allRunsResolved() const { return false; }
+bool EpollServer::onAbandonedEof(Conn &) { return false; }
+std::uint64_t EpollServer::nowMs() const { return 0; }
+void EpollServer::scheduleIdleCheck(int, std::uint64_t) {}
+void EpollServer::reapIdle(std::uint64_t) {}
 
 } // namespace cooper::net
 

@@ -82,18 +82,33 @@ ServicePlane::driverIdle() const
     return flat_ ? flat_->idle(queue_) : sharded_->idle(queue_);
 }
 
+void
+ServicePlane::setFlowControl(std::uint64_t maxPendingPerSource)
+{
+    maxPendingPerSource_ = maxPendingPerSource;
+}
+
 PlaneOutcome
 ServicePlane::ingest(const EventMsg &event)
 {
+    // Unattributed ingest: one anonymous source. With the default
+    // unlimited bound this can never come back Busy, so the outcome
+    // alone describes the verdict.
+    return ingest(event, 0).outcome;
+}
+
+IngestResult
+ServicePlane::ingest(const EventMsg &event, std::uint64_t source)
+{
     if (poisoned_)
-        return poison_;
+        return {IngestStatus::Failed, poison_};
     if (finished_) {
         poison_ = PlaneOutcome::fail(
             PlaneError::AfterFinish,
             formatMessage("event seq ", event.seq,
                           " arrived after the run completed"));
         poisoned_ = true;
-        return poison_;
+        return {IngestStatus::Failed, poison_};
     }
     if (event.seq < nextSeq_ || pending_.count(event.seq) != 0) {
         poison_ = PlaneOutcome::fail(
@@ -101,7 +116,7 @@ ServicePlane::ingest(const EventMsg &event)
             formatMessage("duplicate or replayed event seq ",
                           event.seq, " (frontier ", nextSeq_, ")"));
         poisoned_ = true;
-        return poison_;
+        return {IngestStatus::Failed, poison_};
     }
     if (event.seq - nextSeq_ >= kMaxPendingEvents) {
         poison_ = PlaneOutcome::fail(
@@ -111,24 +126,39 @@ ServicePlane::ingest(const EventMsg &event)
                           " ahead of the frontier (window ",
                           kMaxPendingEvents, ")"));
         poisoned_ = true;
-        return poison_;
+        return {IngestStatus::Failed, poison_};
+    }
+    if (event.seq != nextSeq_ && maxPendingPerSource_ > 0) {
+        // Soft refusal: the frontier event itself is always taken
+        // (progress), but a source at its parked bound must wait for
+        // the gap to fill before adding more out-of-order events.
+        const auto it = parkedBySource_.find(source);
+        if (it != parkedBySource_.end() &&
+            it->second >= maxPendingPerSource_) {
+            countMetric("net.events_busy");
+            return {IngestStatus::Busy, {}};
+        }
     }
 
-    pending_.emplace(event.seq, event);
+    pending_.emplace(event.seq, Parked{event, source});
+    ++parkedBySource_[source];
     while (!pending_.empty() &&
            pending_.begin()->first == nextSeq_) {
-        const EventMsg next = pending_.begin()->second;
+        const Parked next = pending_.begin()->second;
         pending_.erase(pending_.begin());
-        const PlaneOutcome outcome = deliver(next);
+        auto parked = parkedBySource_.find(next.source);
+        if (parked != parkedBySource_.end() && --parked->second == 0)
+            parkedBySource_.erase(parked);
+        const PlaneOutcome outcome = deliver(next.event);
         if (!outcome.ok) {
             poison_ = outcome;
             poisoned_ = true;
-            return poison_;
+            return {IngestStatus::Failed, poison_};
         }
     }
     stepReadyEpochs();
     countMetric("net.events_ingested");
-    return {};
+    return {IngestStatus::Accepted, {}};
 }
 
 PlaneOutcome

@@ -29,6 +29,12 @@
  * departures of unknown jobs, tick regressions, and events after
  * Finished all produce a protocol error (the server answers with an
  * Error frame), never a crash. Mirrors the io/serialize posture.
+ *
+ * Flow control (setFlowControl) bounds the parked out-of-order events
+ * per source: a connection at its bound gets a soft Busy refusal and
+ * retries, while the frontier event is always accepted so the run
+ * keeps making progress. Busy never perturbs plane state, so served
+ * summaries stay byte-identical whether or not pushback happened.
  */
 
 #ifndef COOPER_NET_SERVICE_PLANE_HH
@@ -38,6 +44,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -82,6 +89,22 @@ struct PlaneOutcome
     }
 };
 
+/** What ingest did with an event when flow control is on. */
+enum class IngestStatus
+{
+    Accepted, //!< delivered or parked; the sender gets an Ack
+    Busy,     //!< refused softly; the sender backs off and resends
+    Failed,   //!< protocol violation; the plane is poisoned
+};
+
+/** Flow-controlled ingest verdict: `outcome` carries the error when
+ *  `status == Failed`. Busy leaves the plane untouched. */
+struct IngestResult
+{
+    IngestStatus status = IngestStatus::Accepted;
+    PlaneOutcome outcome;
+};
+
 /** Everything one committed epoch tells subscribed clients. */
 struct EpochOutput
 {
@@ -115,11 +138,29 @@ class ServicePlane
     HelloAckMsg helloAck() const;
 
     /**
+     * Soft per-source bound on parked (out-of-order) events. When a
+     * source already holds `maxPending` parked events, further
+     * out-of-order events from it come back Busy instead of growing
+     * the reorder buffer. 0 (the default) disables the bound; the
+     * hard kMaxPendingEvents window still poisons hostile gaps.
+     */
+    void setFlowControl(std::uint64_t maxPendingPerSource);
+
+    /**
      * Accept one event. On success the reorder frontier may advance
      * and zero or more epochs commit (see takeOutputs()); on failure
      * the plane is poisoned and every later call fails too.
      */
     PlaneOutcome ingest(const EventMsg &event);
+
+    /**
+     * Flow-controlled ingest: `source` is an opaque per-connection
+     * token for the parked-event accounting. Busy is a soft refusal —
+     * nothing changes, the sender retries the same event later. An
+     * in-order event (seq == frontier) is never refused, so the run
+     * always makes progress.
+     */
+    IngestResult ingest(const EventMsg &event, std::uint64_t source);
 
     /** Record one client's declared event count (Finished frame). */
     void declareFinished(std::uint64_t eventsSent);
@@ -167,8 +208,19 @@ class ServicePlane
     OnlineReport flatReport_;
     ShardedReport shardedReport_;
 
+    /** One parked out-of-order event and who sent it. */
+    struct Parked
+    {
+        EventMsg event;
+        std::uint64_t source = 0;
+    };
+
     /** Out-of-order events parked until their seq is next. */
-    std::map<std::uint64_t, EventMsg> pending_;
+    std::map<std::uint64_t, Parked> pending_;
+
+    /** Parked-event counts per source (flow-control accounting). */
+    std::unordered_map<std::uint64_t, std::uint64_t> parkedBySource_;
+    std::uint64_t maxPendingPerSource_ = 0;
     std::uint64_t nextSeq_ = 0;
     Tick lastDeliveredTick_ = 0;
     bool anyDelivered_ = false;

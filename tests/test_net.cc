@@ -347,6 +347,43 @@ TEST(Frame, PayloadDecodeRejectsShortLyingAndTrailingBytes)
     }
 }
 
+TEST(Frame, BusyRoundTripsAndCarriesTheRetryHint)
+{
+    net::BusyMsg msg;
+    msg.seq = 777;
+    msg.retryAfterMs = 5;
+
+    std::vector<std::uint8_t> payload;
+    msg.encode(payload);
+    const std::vector<std::uint8_t> bytes =
+        frameOf(net::MsgType::Busy, payload);
+
+    net::FrameView frame;
+    std::size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(net::tryDecodeFrame(bytes.data(), bytes.size(), frame,
+                                  consumed, error),
+              net::DecodeStatus::Ok);
+    EXPECT_EQ(frame.type, net::MsgType::Busy);
+
+    const net::BusyMsg back = net::BusyMsg::decode(frame);
+    EXPECT_EQ(back.seq, msg.seq);
+    EXPECT_EQ(back.retryAfterMs, msg.retryAfterMs);
+}
+
+TEST(Frame, HelloCarriesTheRunId)
+{
+    std::vector<std::uint8_t> payload;
+    net::HelloMsg{9, net::kProtocolVersion, 0, 42}.encode(payload);
+    net::FrameView frame;
+    frame.type = net::MsgType::Hello;
+    frame.payload = payload.data();
+    frame.size = payload.size();
+    const net::HelloMsg back = net::HelloMsg::decode(frame);
+    EXPECT_EQ(back.clientId, 9u);
+    EXPECT_EQ(back.runId, 42u);
+}
+
 // ---------------------------------------------------------------------
 // ServicePlane: byte-identity with the in-process replay.
 
@@ -567,6 +604,94 @@ TEST(ServicePlane, EventsAfterTheRunCompletedAreRejected)
     EXPECT_EQ(outcome.code, net::PlaneError::AfterFinish);
 }
 
+// ---------------------------------------------------------------------
+// ServicePlane: soft flow control (Busy) semantics.
+
+TEST(ServicePlane, SoftBoundRefusesParkedEventsButNeverTheFrontier)
+{
+    const Fixture fx;
+    FrameworkConfig config;
+    config.execution.threads = 1;
+    OnlineDriver driver(fx.catalog, fx.model, config, 1);
+    net::ServicePlane plane(fx.catalog, driver);
+    plane.setFlowControl(2);
+
+    // Source 5 parks two out-of-order events and hits its bound.
+    EXPECT_EQ(plane.ingest(arrival(2, 0, 3), 5).status,
+              net::IngestStatus::Accepted);
+    EXPECT_EQ(plane.ingest(arrival(3, 0, 4), 5).status,
+              net::IngestStatus::Accepted);
+    EXPECT_EQ(plane.ingest(arrival(4, 0, 5), 5).status,
+              net::IngestStatus::Busy);
+
+    // The bound is per source: a neighbor can still park...
+    EXPECT_EQ(plane.ingest(arrival(4, 0, 5), 6).status,
+              net::IngestStatus::Accepted);
+
+    // ...and the frontier event is never refused, even from the
+    // saturated source — that is what guarantees progress.
+    EXPECT_EQ(plane.ingest(arrival(0, 0, 1), 5).status,
+              net::IngestStatus::Accepted);
+
+    // Delivering seq 0 freed nothing (1 is still missing), but the
+    // frontier keeps moving: seq 1 drains everything parked.
+    EXPECT_EQ(plane.ingest(arrival(1, 0, 2), 5).status,
+              net::IngestStatus::Accepted);
+
+    // The refused event retries successfully after the drain.
+    EXPECT_EQ(plane.ingest(arrival(5, 0, 6), 5).status,
+              net::IngestStatus::Accepted);
+
+    plane.declareFinished(6);
+    EXPECT_TRUE(plane.completeRun().ok);
+}
+
+TEST(ServicePlane, FlowControlledShuffledReplayStaysByteIdentical)
+{
+    // A Busy refusal must leave no trace in the served decisions:
+    // replay a fully shuffled stream through a tiny bound, retrying
+    // refusals, and demand the in-process bytes.
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 200, 3);
+    std::vector<net::EventMsg> events = wireEventsOf(trace);
+
+    FrameworkConfig config;
+    config.execution.threads = 2;
+    OnlineDriver reference(fx.catalog, fx.model, config, 23);
+    const std::string expected = summaryOf(reference.run(trace));
+
+    std::mt19937 rng(7);
+    std::shuffle(events.begin(), events.end(), rng);
+
+    OnlineDriver served(fx.catalog, fx.model, config, 23);
+    net::ServicePlane plane(fx.catalog, served);
+    plane.setFlowControl(3);
+
+    std::vector<net::EventMsg> deferred = events;
+    std::size_t refusals = 0;
+    while (!deferred.empty()) {
+        std::vector<net::EventMsg> next;
+        for (const net::EventMsg &event : deferred) {
+            const net::IngestResult result =
+                plane.ingest(event, event.seq % 3);
+            if (result.status == net::IngestStatus::Busy) {
+                next.push_back(event);
+                ++refusals;
+                continue;
+            }
+            ASSERT_EQ(result.status, net::IngestStatus::Accepted)
+                << "seq " << event.seq << ": "
+                << result.outcome.message;
+        }
+        next.swap(deferred);
+    }
+    EXPECT_GT(refusals, 0u) << "the bound never engaged";
+
+    plane.declareFinished(events.size());
+    ASSERT_TRUE(plane.completeRun().ok);
+    EXPECT_EQ(plane.summary(), expected);
+}
+
 #ifdef __linux__
 // ---------------------------------------------------------------------
 // EpollServer on real loopback sockets.
@@ -749,6 +874,329 @@ TEST(EpollServer, DribbledFramesAcrossManyReadsStillServe)
 
     ASSERT_TRUE(ok) << server.lastError();
     EXPECT_EQ(plane.summary(), expected);
+}
+
+// ---------------------------------------------------------------------
+// Multi-run serving, flow control, and idle reaping.
+
+void
+sendHello(int fd, std::uint64_t runId)
+{
+    std::vector<std::uint8_t> payload;
+    net::HelloMsg{0, net::kProtocolVersion, 0, runId}.encode(payload);
+    sendAll(fd, frameOf(net::MsgType::Hello, payload),
+            net::kHeaderSize + payload.size());
+}
+
+void
+sendEvent(int fd, const net::EventMsg &msg)
+{
+    std::vector<std::uint8_t> payload;
+    msg.encode(payload);
+    sendAll(fd, frameOf(net::MsgType::Event, payload),
+            net::kHeaderSize + payload.size());
+}
+
+void
+sendFinished(int fd, std::uint64_t count)
+{
+    std::vector<std::uint8_t> payload;
+    net::FinishedMsg{count}.encode(payload);
+    sendAll(fd, frameOf(net::MsgType::Finished, payload),
+            net::kHeaderSize + payload.size());
+}
+
+/** Block until one frame of `want` arrives; returns its payload. */
+std::vector<std::uint8_t>
+awaitPayload(int fd, net::MsgType want)
+{
+    std::vector<std::uint8_t> buffer;
+    std::uint8_t chunk[4096];
+    for (;;) {
+        net::FrameView frame;
+        std::size_t consumed = 0;
+        std::string error;
+        while (net::tryDecodeFrame(buffer.data(), buffer.size(),
+                                   frame, consumed,
+                                   error) == net::DecodeStatus::Ok) {
+            if (frame.type == want)
+                return {frame.payload, frame.payload + frame.size};
+            buffer.erase(buffer.begin(),
+                         buffer.begin() +
+                             static_cast<std::ptrdiff_t>(consumed));
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        EXPECT_GT(n, 0) << "peer closed before "
+                        << net::msgTypeName(want);
+        if (n <= 0)
+            return {};
+        buffer.insert(buffer.end(), chunk,
+                      chunk + static_cast<std::size_t>(n));
+    }
+}
+
+TEST(EpollServer, BusyPushbackRoundTripAndRetry)
+{
+    const Fixture fx;
+    FrameworkConfig config;
+    config.execution.threads = 1;
+    OnlineDriver driver(fx.catalog, fx.model, config, 1);
+    net::ServicePlane plane(fx.catalog, driver);
+
+    net::ServerConfig server_config;
+    server_config.maxPendingPerConn = 2;
+    server_config.busyRetryHintMs = 3;
+    net::EpollServer server(plane, server_config);
+
+    bool served = false;
+    std::thread serving([&] { served = server.runUntilServed(); });
+
+    const int fd = connectLoopback(server.port());
+    sendHello(fd, 0);
+    awaitFrame(fd, net::MsgType::HelloAck);
+
+    // Two parked events fill the bound; the third earns Busy naming
+    // its seq and the configured retry hint.
+    sendEvent(fd, arrival(1, 0, 2));
+    sendEvent(fd, arrival(2, 0, 3));
+    sendEvent(fd, arrival(3, 0, 4));
+    const std::vector<std::uint8_t> payload =
+        awaitPayload(fd, net::MsgType::Busy);
+    net::FrameView frame;
+    frame.type = net::MsgType::Busy;
+    frame.payload = payload.data();
+    frame.size = payload.size();
+    const net::BusyMsg busy = net::BusyMsg::decode(frame);
+    EXPECT_EQ(busy.seq, 3u);
+    EXPECT_EQ(busy.retryAfterMs, 3u);
+
+    // The frontier event drains the parked pair; the refused event
+    // retries clean and the run completes as if nothing happened.
+    sendEvent(fd, arrival(0, 0, 1));
+    sendEvent(fd, arrival(3, 0, 4));
+    sendFinished(fd, 4);
+    awaitFrame(fd, net::MsgType::Bye);
+    ::close(fd);
+    serving.join();
+
+    EXPECT_TRUE(served) << server.lastError();
+    EXPECT_EQ(plane.eventsIngested(), 4u);
+}
+
+TEST(EpollServer, LoadGenBacksOffUnderATinyFlowBound)
+{
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 80, 31);
+
+    FrameworkConfig config;
+    config.execution.threads = 1;
+    OnlineDriver reference(fx.catalog, fx.model, config, 37);
+    const std::string expected = summaryOf(reference.run(trace));
+
+    OnlineDriver served(fx.catalog, fx.model, config, 37);
+    net::ServicePlane plane(fx.catalog, served);
+    net::ServerConfig server_config;
+    server_config.maxPendingPerConn = 1;
+    net::EpollServer server(plane, server_config);
+
+    bool ok = false;
+    std::thread serving([&] { ok = server.runUntilServed(); });
+
+    net::LoadGenConfig client;
+    client.port = server.port();
+    client.connections = 3;
+    const net::LoadGenResult result = net::runLoadGen(trace, client);
+    serving.join();
+
+    ASSERT_TRUE(ok) << server.lastError();
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_GT(result.stats.busyRefusals, 0u)
+        << "a 3-way split through a bound of 1 never hit Busy";
+    EXPECT_EQ(result.stats.retriesSent, result.stats.busyRefusals);
+    EXPECT_EQ(result.summary, expected);
+}
+
+TEST(EpollServer, NeverDrainingTenantDoesNotStallItsNeighbors)
+{
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 60, 41);
+    const std::vector<net::EventMsg> events = wireEventsOf(trace);
+
+    FrameworkConfig config;
+    config.execution.threads = 1;
+    OnlineDriver reference(fx.catalog, fx.model, config, 43);
+    const std::string expected = summaryOf(reference.run(trace));
+
+    OnlineDriver driver0(fx.catalog, fx.model, config, 43);
+    net::ServicePlane plane0(fx.catalog, driver0);
+    OnlineDriver driver1(fx.catalog, fx.model, config, 44);
+    net::ServicePlane plane1(fx.catalog, driver1);
+
+    net::ServerConfig server_config;
+    server_config.maxPendingPerConn = 2;
+    net::EpollServer server(server_config);
+    server.addRun(0, plane0);
+    server.addRun(1, plane1);
+
+    bool served = true;
+    std::thread serving([&] { served = server.runUntilServed(); });
+
+    // The stalled tenant: run 1 parks events behind a gap it never
+    // fills, saturates its bound, and then just sits there.
+    const int stalled = connectLoopback(server.port());
+    sendHello(stalled, 1);
+    awaitFrame(stalled, net::MsgType::HelloAck);
+    sendEvent(stalled, arrival(1, 0, 2));
+    sendEvent(stalled, arrival(2, 0, 3));
+    sendEvent(stalled, arrival(3, 0, 4));
+    awaitFrame(stalled, net::MsgType::Busy);
+
+    // The neighbor replays run 0 to completion meanwhile — the
+    // stalled tenant's backlog is bounded and cannot wedge the loop.
+    const int fd = connectLoopback(server.port());
+    sendHello(fd, 0);
+    awaitFrame(fd, net::MsgType::HelloAck);
+    for (const net::EventMsg &event : events)
+        sendEvent(fd, event);
+    sendFinished(fd, events.size());
+    awaitFrame(fd, net::MsgType::Bye);
+    ::close(fd);
+
+    // Only now does the stalled tenant die — and only its own run.
+    ::close(stalled);
+    serving.join();
+
+    EXPECT_FALSE(served);
+    EXPECT_TRUE(server.runServed(0)) << server.runError(0);
+    EXPECT_FALSE(server.runServed(1));
+    EXPECT_FALSE(server.runError(1).empty());
+    EXPECT_EQ(plane0.summary(), expected);
+}
+
+TEST(EpollServer, IdleConnectionIsReapedAndAbortsItsRun)
+{
+    const Fixture fx;
+    FrameworkConfig config;
+    config.execution.threads = 1;
+    OnlineDriver driver(fx.catalog, fx.model, config, 1);
+    net::ServicePlane plane(fx.catalog, driver);
+
+    net::ServerConfig server_config;
+    server_config.idleTimeoutMs = 100;
+    net::EpollServer server(plane, server_config);
+
+    bool served = true;
+    std::thread serving([&] { served = server.runUntilServed(); });
+
+    // Handshake, then go silent: the timer wheel must reap this
+    // connection instead of waiting on TCP forever.
+    const int fd = connectLoopback(server.port());
+    sendHello(fd, 0);
+    awaitFrame(fd, net::MsgType::HelloAck);
+    serving.join();
+    ::close(fd);
+
+    EXPECT_FALSE(served);
+    EXPECT_NE(server.lastError().find("idle"), std::string::npos)
+        << server.lastError();
+}
+
+TEST(EpollServer, DuplicateRunRegistrationIsFatal)
+{
+    const Fixture fx;
+    FrameworkConfig config;
+    config.execution.threads = 1;
+    OnlineDriver driver(fx.catalog, fx.model, config, 1);
+    net::ServicePlane plane(fx.catalog, driver);
+
+    net::EpollServer server{net::ServerConfig{}};
+    server.addRun(4, plane);
+    EXPECT_THROW(server.addRun(4, plane), FatalError);
+}
+
+TEST(EpollServer, HelloNamingAnUnknownRunIsRefusedAloneAndTheRunServes)
+{
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 40, 47);
+
+    FrameworkConfig config;
+    config.execution.threads = 1;
+    OnlineDriver reference(fx.catalog, fx.model, config, 53);
+    const std::string expected = summaryOf(reference.run(trace));
+
+    OnlineDriver served(fx.catalog, fx.model, config, 53);
+    net::ServicePlane plane(fx.catalog, served);
+    net::EpollServer server(plane, net::ServerConfig{});
+
+    bool ok = false;
+    std::thread serving([&] { ok = server.runUntilServed(); });
+
+    // A client naming a run the server never registered gets an
+    // Error and dies alone; run 0 is untouched.
+    const int stranger = connectLoopback(server.port());
+    sendHello(stranger, 7);
+    awaitFrame(stranger, net::MsgType::Error);
+
+    net::LoadGenConfig client;
+    client.port = server.port();
+    client.connections = 2;
+    const net::LoadGenResult result = net::runLoadGen(trace, client);
+    serving.join();
+    ::close(stranger);
+
+    ASSERT_TRUE(ok) << server.lastError();
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.summary, expected);
+}
+
+TEST(EpollServer, SeqPoisonInOneRunDoesNotCrossIntoAnother)
+{
+    const Fixture fx;
+    const ChurnTrace trace = makeTrace(fx.catalog, 60, 59);
+
+    FrameworkConfig config;
+    config.execution.threads = 1;
+    OnlineDriver reference(fx.catalog, fx.model, config, 61);
+    const std::string expected = summaryOf(reference.run(trace));
+
+    OnlineDriver driver0(fx.catalog, fx.model, config, 61);
+    net::ServicePlane plane0(fx.catalog, driver0);
+    OnlineDriver driver1(fx.catalog, fx.model, config, 62);
+    net::ServicePlane plane1(fx.catalog, driver1);
+
+    net::EpollServer server{net::ServerConfig{}};
+    server.addRun(0, plane0);
+    server.addRun(1, plane1);
+
+    bool served = true;
+    std::thread serving([&] { served = server.runUntilServed(); });
+
+    // Run 1's client replays a duplicate seq — sticky poison for its
+    // plane, an Error and an abort for its run.
+    const int poisoner = connectLoopback(server.port());
+    sendHello(poisoner, 1);
+    awaitFrame(poisoner, net::MsgType::HelloAck);
+    sendEvent(poisoner, arrival(0, 0, 1));
+    sendEvent(poisoner, arrival(0, 0, 2));
+    awaitFrame(poisoner, net::MsgType::Error);
+
+    // Run 0 serves to completion, byte-identical, as if run 1 never
+    // existed.
+    net::LoadGenConfig client;
+    client.port = server.port();
+    client.connections = 2;
+    const net::LoadGenResult result = net::runLoadGen(trace, client);
+    serving.join();
+    ::close(poisoner);
+
+    EXPECT_FALSE(served);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_TRUE(server.runServed(0)) << server.runError(0);
+    EXPECT_FALSE(server.runServed(1));
+    EXPECT_NE(server.runError(1).find("duplicate"),
+              std::string::npos)
+        << server.runError(1);
+    EXPECT_EQ(result.summary, expected);
 }
 #endif // __linux__
 

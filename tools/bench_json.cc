@@ -22,9 +22,10 @@
  *    clock, speedup, efficiency = speedup/K, egalitarian objective,
  *    migrations);
  *  - "cooper.bench_serve.v1" (bench_serve): the served workload
- *    shape, the `serve` throughput and `batched_decode` comparison
- *    phases, and a latency object with the sustained arrival rate
- *    and the client-observed RTT / epoch-completion tails;
+ *    shape, the `serve` throughput, `batched_decode` comparison, and
+ *    `runs_per_server` multi-run-efficiency phases, and a latency
+ *    object with the sustained arrival rate and the client-observed
+ *    RTT / epoch-completion tails;
  *  - "cooper.bench_coalition.v1" (bench_coalition): the coalition
  *    workload shape and a groups object with one row per group size
  *    (blocking counts for the formation and the packed SR/SMR
@@ -110,10 +111,12 @@ const char *const kShardRowFields[] = {
     "shards",          "wall_seconds",     "speedup",   "efficiency",
     "egalitarian_final", "egalitarian_mean", "migrations", "epochs"};
 
-const char *const kServePhases[] = {"serve", "batched_decode"};
+const char *const kServePhases[] = {"serve", "batched_decode",
+                                    "runs_per_server"};
 
 const char *const kServeWorkloadFields[] = {
-    "events", "epochs", "types", "arrivals", "connections", "threads"};
+    "events", "epochs",      "types",  "arrivals",
+    "runs",   "connections", "threads"};
 
 const char *const kServeLatencyFields[] = {
     "arrivals_per_sec", "rtt_p50_ms",   "rtt_p99_ms", "rtt_p999_ms",

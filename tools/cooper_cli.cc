@@ -103,11 +103,14 @@ usageText()
            "           --quarantine-epochs N --checkpoint-every N\n"
            "           --shards K --rebalance-budget N\n"
            "           --listen --port P --port-file FILE --batched B\n"
+           "           --runs N --max-pending N --idle-timeout-ms T\n"
            "Bare flags (cooper_cli --policy SMR ...) route to epoch.\n"
            "serve --listen accepts the churn trace over TCP instead of\n"
            "--trace: clients (tools/load_gen) stream framed events and\n"
            "receive the same byte-identical summary the in-process\n"
-           "replay writes (see DESIGN.md, \"Service plane\").\n"
+           "replay writes (see DESIGN.md, \"Service plane\"). --runs N\n"
+           "hosts N independent replays (run r uses seed+r; summaries\n"
+           "land at --out.run<r>) behind one epoll loop.\n"
            "--metrics-out / --trace-out enable the observability layer\n"
            "(off by default; see DESIGN.md, \"Observability\").\n"
            "--threads 0 uses all hardware threads, 1 runs serially;\n"
@@ -487,6 +490,16 @@ cmdServe(int argc, const char *const *argv)
                   "1 = batched decode + writev responses; 0 = the "
                   "per-message-syscall baseline (identical results, "
                   "only slower)");
+    flags.declare("runs", "1",
+                  "independent replays served concurrently under "
+                  "--listen; run r uses seed+r and writes "
+                  "--out.run<r> (plain --out when 1)");
+    flags.declare("max-pending", "4096",
+                  "parked out-of-order events per connection before "
+                  "the server answers Busy (0 = unbounded)");
+    flags.declare("idle-timeout-ms", "0",
+                  "reap connections silent this long under --listen "
+                  "(0 = never)");
     declareThreads(flags);
     flags.declare("out", "online.json",
                   "deterministic run-summary JSON");
@@ -563,66 +576,97 @@ cmdServe(int argc, const char *const *argv)
         // Network mode: the trace arrives as framed events over TCP
         // (tools/load_gen); the ServicePlane restores canonical order
         // so the summary is byte-identical to the --trace replay.
-        std::unique_ptr<OnlineDriver> flat;
-        std::unique_ptr<ShardedDriver> sharded;
-        std::unique_ptr<net::ServicePlane> plane;
+        // --runs N hosts N independent replays (run r seeded seed+r)
+        // behind the same epoll loop.
+        const auto runs =
+            static_cast<std::uint64_t>(flags.getInt("runs"));
+        fatalIf(runs == 0, "serve: --runs must be >= 1");
+        fatalIf(runs > 1 && !flags.get("restore").empty(),
+                "serve: --restore only applies to a single run "
+                "(--runs 1); each run seeds its own fresh driver");
+        const auto runPath = [runs](const std::string &base,
+                                    std::uint64_t r) {
+            return runs > 1 ? formatMessage(base, ".run", r) : base;
+        };
+
+        std::vector<std::unique_ptr<OnlineDriver>> flats;
+        std::vector<std::unique_ptr<ShardedDriver>> shardeds;
+        std::vector<std::unique_ptr<net::ServicePlane>> planes;
         const std::string checkpointPath = flags.get("checkpoint");
-        if (shardCount > 0) {
-            sharded = std::make_unique<ShardedDriver>(catalog, model,
-                                                      config, seed);
-            if (!flags.get("fault-plan").empty())
-                sharded->setFaultPlan(
-                    loadFaultPlan(flags.get("fault-plan"), seed));
-            if (online.checkpointEveryEpochs > 0 &&
-                !checkpointPath.empty())
-                sharded->setCheckpointSink(
-                    [checkpointPath](const ShardedState &state) {
-                        saveShardedState(checkpointPath, state);
-                        return true;
-                    });
-            if (!flags.get("restore").empty())
-                sharded->restore(
-                    loadShardedState(flags.get("restore")));
-            plane = std::make_unique<net::ServicePlane>(catalog,
-                                                        *sharded);
-            if (!checkpointPath.empty())
-                plane->setCheckpointHook(
-                    [&driver = *sharded, checkpointPath]() {
-                        saveShardedState(checkpointPath,
-                                         driver.snapshot());
-                        return true;
-                    });
-        } else {
-            flat = std::make_unique<OnlineDriver>(catalog, model,
-                                                  config, seed);
-            if (!flags.get("fault-plan").empty())
-                flat->setFaultPlan(
-                    loadFaultPlan(flags.get("fault-plan"), seed));
-            if (online.checkpointEveryEpochs > 0 &&
-                !checkpointPath.empty())
-                flat->setCheckpointSink(
-                    [checkpointPath](const OnlineState &state) {
-                        saveOnlineState(checkpointPath, state);
-                        return true;
-                    });
-            if (!flags.get("restore").empty())
-                flat->restore(loadOnlineState(flags.get("restore")));
-            plane = std::make_unique<net::ServicePlane>(catalog,
-                                                        *flat);
-            if (!checkpointPath.empty())
-                plane->setCheckpointHook(
-                    [&driver = *flat, checkpointPath]() {
-                        saveOnlineState(checkpointPath,
-                                        driver.snapshot());
-                        return true;
-                    });
+        for (std::uint64_t r = 0; r < runs; ++r) {
+            const std::uint64_t runSeed = seed + r;
+            const std::string runCheckpoint =
+                checkpointPath.empty()
+                    ? std::string()
+                    : runPath(checkpointPath, r);
+            std::unique_ptr<net::ServicePlane> plane;
+            if (shardCount > 0) {
+                auto sharded = std::make_unique<ShardedDriver>(
+                    catalog, model, config, runSeed);
+                if (!flags.get("fault-plan").empty())
+                    sharded->setFaultPlan(loadFaultPlan(
+                        flags.get("fault-plan"), runSeed));
+                if (online.checkpointEveryEpochs > 0 &&
+                    !runCheckpoint.empty())
+                    sharded->setCheckpointSink(
+                        [runCheckpoint](const ShardedState &state) {
+                            saveShardedState(runCheckpoint, state);
+                            return true;
+                        });
+                if (!flags.get("restore").empty())
+                    sharded->restore(
+                        loadShardedState(flags.get("restore")));
+                plane = std::make_unique<net::ServicePlane>(
+                    catalog, *sharded);
+                if (!runCheckpoint.empty())
+                    plane->setCheckpointHook(
+                        [&driver = *sharded, runCheckpoint]() {
+                            saveShardedState(runCheckpoint,
+                                             driver.snapshot());
+                            return true;
+                        });
+                shardeds.push_back(std::move(sharded));
+            } else {
+                auto flat = std::make_unique<OnlineDriver>(
+                    catalog, model, config, runSeed);
+                if (!flags.get("fault-plan").empty())
+                    flat->setFaultPlan(loadFaultPlan(
+                        flags.get("fault-plan"), runSeed));
+                if (online.checkpointEveryEpochs > 0 &&
+                    !runCheckpoint.empty())
+                    flat->setCheckpointSink(
+                        [runCheckpoint](const OnlineState &state) {
+                            saveOnlineState(runCheckpoint, state);
+                            return true;
+                        });
+                if (!flags.get("restore").empty())
+                    flat->restore(
+                        loadOnlineState(flags.get("restore")));
+                plane = std::make_unique<net::ServicePlane>(catalog,
+                                                            *flat);
+                if (!runCheckpoint.empty())
+                    plane->setCheckpointHook(
+                        [&driver = *flat, runCheckpoint]() {
+                            saveOnlineState(runCheckpoint,
+                                            driver.snapshot());
+                            return true;
+                        });
+                flats.push_back(std::move(flat));
+            }
+            planes.push_back(std::move(plane));
         }
 
         net::ServerConfig server_config;
         server_config.port =
             static_cast<std::uint16_t>(flags.getInt("port"));
         server_config.batched = flags.getInt("batched") != 0;
-        net::EpollServer server(*plane, server_config);
+        server_config.maxPendingPerConn = static_cast<std::uint64_t>(
+            flags.getInt("max-pending"));
+        server_config.idleTimeoutMs = static_cast<std::uint32_t>(
+            flags.getInt("idle-timeout-ms"));
+        net::EpollServer server(server_config);
+        for (std::uint64_t r = 0; r < runs; ++r)
+            server.addRun(r, *planes[r]);
         if (!flags.get("port-file").empty()) {
             std::ofstream pf(flags.get("port-file"),
                              std::ios::trunc);
@@ -634,34 +678,53 @@ cmdServe(int argc, const char *const *argv)
                   << server.port()
                   << (server_config.batched ? " (batched)"
                                             : " (per-message)")
-                  << std::endl;
+                  << ", " << runs << " run(s)" << std::endl;
 
-        if (!server.runUntilServed()) {
+        const bool served = server.runUntilServed();
+
+        // Surviving runs deliver their summaries even when a sibling
+        // died; only their files are written.
+        std::uint64_t written = 0;
+        std::uint64_t eventsTotal = 0;
+        std::uint64_t epochsTotal = 0;
+        for (std::uint64_t r = 0; r < runs; ++r) {
+            if (!planes[r]->finished())
+                continue;
+            const std::string outPath = runPath(flags.get("out"), r);
+            std::ofstream os(outPath,
+                             std::ios::binary | std::ios::trunc);
+            fatalIf(!os, "serve: cannot write ", outPath);
+            os << planes[r]->summary();
+            os.flush();
+            fatalIf(!os.good(), "serve: write failed for ", outPath);
+            ++written;
+            eventsTotal += planes[r]->eventsIngested();
+            epochsTotal += planes[r]->epochsCommitted();
+            if (!checkpointPath.empty()) {
+                const std::string cp = runPath(checkpointPath, r);
+                if (shardCount > 0)
+                    saveShardedState(cp, shardeds[r]->snapshot());
+                else
+                    saveOnlineState(cp, flats[r]->snapshot());
+            }
+        }
+        if (!served) {
             std::cerr << "cooper_cli serve: run aborted: "
                       << server.lastError() << "\n";
+            for (std::uint64_t r = 0; r < runs; ++r)
+                if (!server.runServed(r))
+                    std::cerr << "  run " << r << ": "
+                              << server.runError(r) << "\n";
             return 1;
         }
-        {
-            std::ofstream os(flags.get("out"),
-                             std::ios::binary | std::ios::trunc);
-            fatalIf(!os, "serve: cannot write ", flags.get("out"));
-            os << plane->summary();
-            os.flush();
-            fatalIf(!os.good(), "serve: write failed for ",
-                    flags.get("out"));
-        }
-        if (!checkpointPath.empty()) {
-            if (sharded)
-                saveShardedState(checkpointPath, sharded->snapshot());
-            else
-                saveOnlineState(checkpointPath, flat->snapshot());
-        }
-        std::cout << "served " << plane->eventsIngested()
-                  << " event(s) over tcp, "
-                  << plane->epochsCommitted() << " epoch(s) -> "
-                  << flags.get("out") << "\n";
+        std::cout << "served " << eventsTotal
+                  << " event(s) over tcp, " << epochsTotal
+                  << " epoch(s) across " << written << " run(s) -> "
+                  << flags.get("out")
+                  << (runs > 1 ? ".run<r>" : "") << "\n";
         if (!checkpointPath.empty())
-            std::cout << "checkpoint -> " << checkpointPath << "\n";
+            std::cout << "checkpoint -> " << checkpointPath
+                      << (runs > 1 ? ".run<r>" : "") << "\n";
         if (!obs.metricsOut.empty())
             std::cout << "metrics -> " << obs.metricsOut << "\n";
         if (!obs.traceOut.empty())

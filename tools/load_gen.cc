@@ -12,10 +12,19 @@
  * about. The server's summary is written to --out; it is byte-
  * identical to what `cooper_cli serve --trace` would have produced
  * for the same (trace, seed, config).
+ *
+ * Against a multi-run server, --runs R drives R replays at once: run
+ * r targets runId = --run-id + r from its own thread and writes its
+ * summary to --out.run<r>. --run-id alone aims a single replay at a
+ * specific entry in the server's run table.
  */
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "net/client.hh"
 #include "net/frame.hh"
@@ -24,11 +33,48 @@
 #include "util/error.hh"
 #include "util/table.hh"
 
+namespace {
+
+using namespace cooper;
+
+void
+writeSummary(const std::string &path, const std::string &summary)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    fatalIf(!os, "load_gen: cannot write ", path);
+    os << summary;
+    os.flush();
+    fatalIf(!os.good(), "load_gen: write failed for ", path);
+}
+
+void
+printStats(const net::LoadGenStats &stats, std::size_t connections)
+{
+    std::cout
+        << "replayed " << stats.eventsSent << " event(s) over "
+        << connections << " connection(s) in "
+        << Table::num(stats.wallSeconds, 3) << "s ("
+        << Table::num(stats.arrivalsPerSecond, 1)
+        << " events/s sustained), " << stats.acksReceived
+        << " ack(s), " << stats.epochsObserved << " epoch(s)";
+    if (stats.busyRefusals > 0)
+        std::cout << ", " << stats.busyRefusals << " busy refusal(s) "
+                  << stats.retriesSent << " retransmit(s)";
+    std::cout
+        << "\n"
+        << "rtt ms   p50 " << Table::num(stats.rttP50Ms, 3)
+        << "  p99 " << Table::num(stats.rttP99Ms, 3)
+        << "  p999 " << Table::num(stats.rttP999Ms, 3) << "\n"
+        << "epoch ms p50 " << Table::num(stats.epochP50Ms, 3)
+        << "  p99 " << Table::num(stats.epochP99Ms, 3)
+        << "  p999 " << Table::num(stats.epochP999Ms, 3) << "\n";
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    using namespace cooper;
-
     CliFlags flags;
     flags.declare("trace", "trace.txt",
                   "churn trace file (see trace_gen)");
@@ -43,6 +89,11 @@ main(int argc, char **argv)
                   "1 = receive per-epoch Assignment frames");
     flags.declare("subscribe-probes", "0",
                   "1 = receive per-epoch ProbeResult frames");
+    flags.declare("run-id", "0",
+                  "run in the server's table this replay feeds");
+    flags.declare("runs", "1",
+                  "concurrent replays; replay r targets "
+                  "--run-id + r and writes --out.run<r>");
     flags.declare("out", "",
                   "write the server's summary JSON here (empty = "
                   "discard)");
@@ -64,43 +115,65 @@ main(int argc, char **argv)
             config.subscriptions |= net::kSubscribeAssignments;
         if (flags.getInt("subscribe-probes") != 0)
             config.subscriptions |= net::kSubscribeProbes;
+        const auto baseRun =
+            static_cast<std::uint64_t>(flags.getInt("run-id"));
+        const auto runs =
+            static_cast<std::uint64_t>(flags.getInt("runs"));
+        fatalIf(runs == 0, "load_gen: --runs must be >= 1");
 
         const ChurnTrace trace = loadTrace(flags.get("trace"));
-        const net::LoadGenResult result =
-            net::runLoadGen(trace, config);
-        if (!result.ok) {
-            std::cerr << "load_gen: " << result.error << "\n";
+
+        if (runs == 1) {
+            config.runId = baseRun;
+            const net::LoadGenResult result =
+                net::runLoadGen(trace, config);
+            if (!result.ok) {
+                std::cerr << "load_gen: " << result.error << "\n";
+                return 1;
+            }
+            if (!flags.get("out").empty())
+                writeSummary(flags.get("out"), result.summary);
+            printStats(result.stats, config.connections);
+            if (!flags.get("out").empty())
+                std::cout << "summary -> " << flags.get("out")
+                          << "\n";
+            return 0;
+        }
+
+        // Multi-run: one replay thread per run, each with its own
+        // connection pool, all hammering the same server at once.
+        std::vector<net::LoadGenResult> results(runs);
+        std::vector<std::thread> threads;
+        threads.reserve(runs);
+        for (std::uint64_t r = 0; r < runs; ++r)
+            threads.emplace_back([&, r]() {
+                net::LoadGenConfig runConfig = config;
+                runConfig.runId = baseRun + r;
+                results[r] = net::runLoadGen(trace, runConfig);
+            });
+        for (auto &thread : threads)
+            thread.join();
+
+        bool ok = true;
+        for (std::uint64_t r = 0; r < runs; ++r) {
+            if (!results[r].ok) {
+                std::cerr << "load_gen: run " << (baseRun + r)
+                          << ": " << results[r].error << "\n";
+                ok = false;
+                continue;
+            }
+            if (!flags.get("out").empty())
+                writeSummary(formatMessage(flags.get("out"), ".run",
+                                           baseRun + r),
+                             results[r].summary);
+            std::cout << "run " << (baseRun + r) << ":\n";
+            printStats(results[r].stats, config.connections);
+        }
+        if (!ok)
             return 1;
-        }
-
-        if (!flags.get("out").empty()) {
-            std::ofstream os(flags.get("out"),
-                             std::ios::binary | std::ios::trunc);
-            fatalIf(!os, "load_gen: cannot write ",
-                    flags.get("out"));
-            os << result.summary;
-            os.flush();
-            fatalIf(!os.good(), "load_gen: write failed for ",
-                    flags.get("out"));
-        }
-
-        const net::LoadGenStats &stats = result.stats;
-        std::cout
-            << "replayed " << stats.eventsSent << " event(s) over "
-            << config.connections << " connection(s) in "
-            << Table::num(stats.wallSeconds, 3) << "s ("
-            << Table::num(stats.arrivalsPerSecond, 1)
-            << " events/s sustained), " << stats.acksReceived
-            << " ack(s), " << stats.epochsObserved << " epoch(s)\n"
-            << "rtt ms   p50 " << Table::num(stats.rttP50Ms, 3)
-            << "  p99 " << Table::num(stats.rttP99Ms, 3)
-            << "  p999 " << Table::num(stats.rttP999Ms, 3) << "\n"
-            << "epoch ms p50 " << Table::num(stats.epochP50Ms, 3)
-            << "  p99 " << Table::num(stats.epochP99Ms, 3)
-            << "  p999 " << Table::num(stats.epochP999Ms, 3)
-            << "\n";
         if (!flags.get("out").empty())
-            std::cout << "summary -> " << flags.get("out") << "\n";
+            std::cout << "summaries -> " << flags.get("out")
+                      << ".run<r>\n";
         return 0;
     } catch (const std::exception &err) {
         std::cerr << "load_gen: " << err.what() << "\n";

@@ -1,0 +1,110 @@
+# Multi-run determinism under adversarial interleaving: one `cooper_cli
+# serve --listen --runs 4` epoll loop hosts four independent replays of
+# the same trace (run r seeded seed+r) while four load_gen replay
+# threads hammer it concurrently through a deliberately tiny
+# --max-pending bound, so the Busy flow-control path (refusal, client
+# back-off, retransmit) fires constantly in the middle of the replay.
+# Every run's summary — the server's --out.run<r> and each client's
+# received Summary bytes — must still be byte-identical to the solo
+# in-process `cooper_cli serve --trace` replay of that (trace, seed+r,
+# config). Flat and sharded drivers, single- and multi-threaded.
+function(run_step)
+    execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORKDIR}
+                    RESULT_VARIABLE code OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT code EQUAL 0)
+        message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}${err}")
+    endif()
+    message(STATUS "${out}")
+endfunction()
+
+function(require_identical a b what)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${WORKDIR}/${a} ${WORKDIR}/${b}
+                    RESULT_VARIABLE code)
+    if(NOT code EQUAL 0)
+        message(FATAL_ERROR "${what}: ${a} and ${b} differ")
+    endif()
+endfunction()
+
+function(wait_for_file path what)
+    foreach(attempt RANGE 300)
+        if(EXISTS ${WORKDIR}/${path})
+            return()
+        endif()
+        execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+    endforeach()
+    message(FATAL_ERROR "${what}: timed out waiting for ${path}")
+endfunction()
+
+# Poll until the port file holds an actual port number (existence alone
+# races the server's write).
+function(wait_for_port_file path out_var what)
+    foreach(attempt RANGE 300)
+        if(EXISTS ${WORKDIR}/${path})
+            file(READ ${WORKDIR}/${path} port)
+            string(STRIP "${port}" port)
+            if(port MATCHES "^[0-9]+$")
+                set(${out_var} "${port}" PARENT_SCOPE)
+                return()
+            endif()
+        endif()
+        execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+    endforeach()
+    message(FATAL_ERROR "${what}: timed out waiting for ${path}")
+endfunction()
+
+set(RUNS 4)
+set(BASE_SEED 11)
+
+# Solo references, then the same four runs concurrently over TCP.
+function(multi_round_trip tag)
+    set(config_flags ${ARGN})
+
+    math(EXPR last "${RUNS} - 1")
+    foreach(r RANGE ${last})
+        math(EXPR run_seed "${BASE_SEED} + ${r}")
+        run_step(${CLI} serve --trace serve_multi_trace.txt
+                 --seed ${run_seed} ${config_flags}
+                 --out ${tag}_ref${r}.json)
+    endforeach()
+
+    file(REMOVE ${WORKDIR}/${tag}_port.txt ${WORKDIR}/${tag}_done.txt)
+    string(JOIN " " server_args ${config_flags})
+    execute_process(
+        COMMAND sh -c "{ ${CLI} serve --listen --runs ${RUNS} \
+--port-file ${tag}_port.txt --trace serve_multi_trace.txt \
+--seed ${BASE_SEED} ${server_args} --max-pending 4 \
+--idle-timeout-ms 20000 --out ${tag}_server.json \
+> ${tag}_server.log 2>&1; echo done > ${tag}_done.txt; } \
+< /dev/null > /dev/null 2>&1 &"
+        WORKING_DIRECTORY ${WORKDIR} RESULT_VARIABLE code)
+    if(NOT code EQUAL 0)
+        message(FATAL_ERROR "${tag}: failed to launch the server")
+    endif()
+    wait_for_port_file(${tag}_port.txt port
+                       "${tag}: server never came up")
+    run_step(${LOAD_GEN} --trace serve_multi_trace.txt --port ${port}
+             --runs ${RUNS} --connections 3
+             --out ${tag}_client.json)
+    wait_for_file(${tag}_done.txt "${tag}: server never exited")
+
+    foreach(r RANGE ${last})
+        require_identical(${tag}_ref${r}.json
+                          ${tag}_server.json.run${r}
+                          "${tag}: served run ${r} diverged from its \
+solo in-process replay")
+        require_identical(${tag}_ref${r}.json
+                          ${tag}_client.json.run${r}
+                          "${tag}: client run ${r} summary diverged \
+from its solo in-process replay")
+    endforeach()
+endfunction()
+
+run_step(${TRACE_GEN} --arrivals 120 --initial 16 --mean-gap 8
+         --mean-life 400 --seed 7 --out serve_multi_trace.txt)
+
+multi_round_trip(serve_multi_flat_t1 --threads 1)
+multi_round_trip(serve_multi_flat_t8 --threads 8)
+multi_round_trip(serve_multi_shard_t1 --threads 1 --shards 4)
+multi_round_trip(serve_multi_shard_t8 --threads 8 --shards 4)

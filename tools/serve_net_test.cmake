@@ -54,6 +54,24 @@ function(wait_for_file path what)
     message(FATAL_ERROR "${what}: timed out waiting for ${path}")
 endfunction()
 
+# The port file existing is not enough — the server creates it, then
+# writes the port, and the read below must not land in between. Poll
+# until the content is an actual port number.
+function(wait_for_port_file path out_var what)
+    foreach(attempt RANGE 300)
+        if(EXISTS ${WORKDIR}/${path})
+            file(READ ${WORKDIR}/${path} port)
+            string(STRIP "${port}" port)
+            if(port MATCHES "^[0-9]+$")
+                set(${out_var} "${port}" PARENT_SCOPE)
+                return()
+            endif()
+        endif()
+        execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+    endforeach()
+    message(FATAL_ERROR "${what}: timed out waiting for ${path}")
+endfunction()
+
 # Serve one --listen run in the background and replay the trace into
 # it with load_gen; ${tag}_server.json / ${tag}_client.json hold the
 # two summaries afterwards. The done-marker (written after the server
@@ -72,9 +90,8 @@ function(serve_round_trip tag connections)
     if(NOT code EQUAL 0)
         message(FATAL_ERROR "${tag}: failed to launch the server")
     endif()
-    wait_for_file(${tag}_port.txt "${tag}: server never came up")
-    file(READ ${WORKDIR}/${tag}_port.txt port)
-    string(STRIP "${port}" port)
+    wait_for_port_file(${tag}_port.txt port
+                       "${tag}: server never came up")
     run_step(${LOAD_GEN} --trace serve_net_trace.txt --port ${port}
              --connections ${connections} --out ${tag}_client.json)
     wait_for_file(${tag}_done.txt "${tag}: server never exited")
